@@ -1,0 +1,23 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wlm::bench {
+
+analysis::ScenarioScale scale_from_args(int argc, char** argv, int default_networks) {
+  analysis::ScenarioScale scale;
+  scale.networks = default_networks;
+  if (argc > 1) scale.networks = std::atoi(argv[1]);
+  if (argc > 2) scale.client_scale = std::atof(argv[2]);
+  if (argc > 3) scale.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  return scale;
+}
+
+void print_header(const char* experiment, const analysis::ScenarioScale& scale) {
+  std::printf("=== %s ===\n(simulated fleet: %d networks, client scale %.2f, seed %llu)\n\n",
+              experiment, scale.networks, scale.client_scale,
+              static_cast<unsigned long long>(scale.seed));
+}
+
+}  // namespace wlm::bench

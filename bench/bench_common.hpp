@@ -1,0 +1,17 @@
+// Shared helpers for the experiment-regeneration binaries.
+#pragma once
+
+#include "analysis/experiments.hpp"
+
+namespace wlm::bench {
+
+/// Scale from argv: bench_x [networks] [client_scale] [seed].
+/// Benches default to a smaller fleet than the integration tests so that
+/// `for b in build/bench/*; do $b; done` finishes in minutes.
+[[nodiscard]] analysis::ScenarioScale scale_from_args(int argc, char** argv,
+                                                      int default_networks = 250);
+
+/// Prints a standard header naming the experiment.
+void print_header(const char* experiment, const analysis::ScenarioScale& scale);
+
+}  // namespace wlm::bench

@@ -1,0 +1,12 @@
+// Regenerates Figure 10: fraction of channel busy time that is decodable 802.11.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 200);
+  wlm::bench::print_header("Figure 10: decodable 802.11 fraction", scale);
+  const auto run = wlm::analysis::run_utilization_study(scale);
+  std::fputs(wlm::analysis::render_fig10(run).c_str(), stdout);
+  return 0;
+}

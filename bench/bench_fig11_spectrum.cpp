@@ -1,0 +1,12 @@
+// Regenerates Figure 11: USRP-style spectrum snapshots at 2.437 and 5.220 GHz.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Figure 11: spectrum analysis", scale);
+  const auto run = wlm::analysis::run_spectrum_study(scale.seed);
+  std::fputs(wlm::analysis::render_fig11(run).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 1: distribution of client signal strength by band.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Figure 1: client RSSI distribution", scale);
+  const auto run = wlm::analysis::run_snapshot_study(scale);
+  std::fputs(wlm::analysis::render_fig1(run).c_str(), stdout);
+  return 0;
+}

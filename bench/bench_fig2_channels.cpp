@@ -1,0 +1,12 @@
+// Regenerates Figure 2: nearby networks by channel number.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Figure 2: nearby networks by channel", scale);
+  const auto run = wlm::analysis::run_neighbor_study(scale);
+  std::fputs(wlm::analysis::render_fig2(run).c_str(), stdout);
+  return 0;
+}

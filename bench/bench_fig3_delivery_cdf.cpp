@@ -1,0 +1,12 @@
+// Regenerates Figure 3: link delivery ratio CDFs, both bands, two epochs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 300);
+  wlm::bench::print_header("Figure 3: link delivery ratio CDFs", scale);
+  const auto run = wlm::analysis::run_link_study(scale);
+  std::fputs(wlm::analysis::render_fig3(run).c_str(), stdout);
+  return 0;
+}

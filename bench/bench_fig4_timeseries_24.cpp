@@ -1,0 +1,12 @@
+// Regenerates Figure 4: 2.4 GHz link delivery variation over a week.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 60);
+  wlm::bench::print_header("Figure 4: weekly delivery variation, 2.4 GHz", scale);
+  const auto run = wlm::analysis::run_link_study(scale);
+  std::fputs(wlm::analysis::render_fig4(run).c_str(), stdout);
+  return 0;
+}

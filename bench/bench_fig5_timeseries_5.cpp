@@ -1,0 +1,12 @@
+// Regenerates Figure 5: 5 GHz link delivery variation over a week.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 60);
+  wlm::bench::print_header("Figure 5: weekly delivery variation, 5 GHz", scale);
+  const auto run = wlm::analysis::run_link_study(scale);
+  std::fputs(wlm::analysis::render_fig5(run).c_str(), stdout);
+  return 0;
+}

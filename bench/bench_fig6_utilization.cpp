@@ -1,0 +1,12 @@
+// Regenerates Figure 6: channel utilization CDFs as seen by MR16 radios.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 200);
+  wlm::bench::print_header("Figure 6: MR16 channel utilization", scale);
+  const auto run = wlm::analysis::run_utilization_study(scale);
+  std::fputs(wlm::analysis::render_fig6(run).c_str(), stdout);
+  return 0;
+}

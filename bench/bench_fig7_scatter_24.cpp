@@ -1,0 +1,12 @@
+// Regenerates Figure 7: utilization vs nearby-AP count, 2.4 GHz.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 200);
+  wlm::bench::print_header("Figure 7: utilization vs nearby APs (2.4 GHz)", scale);
+  const auto run = wlm::analysis::run_utilization_study(scale);
+  std::fputs(wlm::analysis::render_fig7(run).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 8: utilization vs nearby-AP count, 5 GHz.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 200);
+  wlm::bench::print_header("Figure 8: utilization vs nearby APs (5 GHz)", scale);
+  const auto run = wlm::analysis::run_utilization_study(scale);
+  std::fputs(wlm::analysis::render_fig8(run).c_str(), stdout);
+  return 0;
+}

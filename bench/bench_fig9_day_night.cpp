@@ -1,0 +1,12 @@
+// Regenerates Figure 9: day vs night channel utilization (MR18 scans).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 200);
+  wlm::bench::print_header("Figure 9: day/night utilization", scale);
+  const auto run = wlm::analysis::run_utilization_study(scale);
+  std::fputs(wlm::analysis::render_fig9(run).c_str(), stdout);
+  return 0;
+}

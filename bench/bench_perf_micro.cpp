@@ -1,0 +1,129 @@
+// Micro-benchmarks of the hot pipeline stages: flow classification, wire
+// encode/decode, framing, medium observation, and the probe window.
+#include <benchmark/benchmark.h>
+
+#include "backend/poller.hpp"
+#include "classify/classifier.hpp"
+#include "mac/medium.hpp"
+#include "probe/window.hpp"
+#include "scan/spectral.hpp"
+#include "traffic/flowgen.hpp"
+#include "wire/framing.hpp"
+#include "wire/messages.hpp"
+
+namespace {
+
+using namespace wlm;
+
+std::vector<classify::FlowSample> make_samples(std::size_t n) {
+  traffic::FlowGenerator gen{Rng{42}};
+  Rng rng{7};
+  std::vector<classify::FlowSample> samples;
+  const auto catalog = classify::app_catalog();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& info = catalog[1 + rng.next_u64() % (catalog.size() - 1)];
+    samples.push_back(
+        gen.make_flow(info.id, classify::OsType::kWindows, 1000, 9000).sample);
+  }
+  return samples;
+}
+
+void BM_ClassifyFlow(benchmark::State& state) {
+  const auto samples = make_samples(512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::classify_flow(samples[i++ % samples.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassifyFlow);
+
+wire::ApReport make_report(int clients) {
+  wire::ApReport report;
+  report.ap_id = 17;
+  report.timestamp_us = 123456789;
+  for (int i = 0; i < clients; ++i) {
+    wire::ClientUsage u;
+    u.client = MacAddress::from_u64(0x3c0754000000ULL + static_cast<std::uint64_t>(i));
+    u.app_id = static_cast<std::uint32_t>(i % 40);
+    u.tx_bytes = 1000 + static_cast<std::uint64_t>(i);
+    u.rx_bytes = 9000 + static_cast<std::uint64_t>(i);
+    report.usage.push_back(u);
+  }
+  return report;
+}
+
+void BM_WireEncode(benchmark::State& state) {
+  const auto report = make_report(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_report(report));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_WireEncode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WireDecode(benchmark::State& state) {
+  const auto bytes = wire::encode_report(make_report(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_report(bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_WireDecode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Framing(benchmark::State& state) {
+  const auto payload = wire::encode_report(make_report(64));
+  for (auto _ : state) {
+    std::vector<std::uint8_t> stream;
+    wire::append_frame(stream, payload);
+    benchmark::DoNotOptimize(wire::decode_stream(stream));
+  }
+}
+BENCHMARK(BM_Framing);
+
+void BM_MediumObserve(benchmark::State& state) {
+  std::vector<mac::ActivitySource> sources;
+  Rng rng{5};
+  for (int i = 0; i < 60; ++i) {
+    mac::ActivitySource s;
+    s.kind = mac::SourceKind::kWifi;
+    s.rx_power = PowerDbm{rng.uniform(-90.0, -50.0)};
+    s.duty_cycle = rng.uniform(0.0, 0.05);
+    s.plcp_decode_prob = 0.9;
+    sources.push_back(s);
+  }
+  const mac::MediumObserver observer{PowerDbm{-95.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(observer.observe(Duration::minutes(5), sources, 0.01));
+  }
+}
+BENCHMARK(BM_MediumObserve);
+
+void BM_ProbeWindow(benchmark::State& state) {
+  probe::SlidingDeliveryWindow window;
+  SimTime t;
+  Rng rng{3};
+  for (auto _ : state) {
+    window.record(t, rng.chance(0.7));
+    t += Duration::seconds(15);
+    benchmark::DoNotOptimize(window.ratio());
+  }
+}
+BENCHMARK(BM_ProbeWindow);
+
+void BM_Fft4096(benchmark::State& state) {
+  Rng rng{11};
+  std::vector<std::complex<double>> data(4096);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = data;
+    scan::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fft4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

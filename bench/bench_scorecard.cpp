@@ -1,0 +1,14 @@
+// The whole reproduction, checked mechanically: every qualitative claim
+// from the paper's evaluation against a fresh simulation run.
+#include <cstdio>
+
+#include "analysis/scorecard.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 150);
+  wlm::bench::print_header("Reproduction scorecard (all tables & figures)", scale);
+  const auto card = wlm::analysis::run_scorecard(scale);
+  std::fputs(wlm::analysis::render_scorecard(card).c_str(), stdout);
+  return card.all_passed() ? 0 : 1;
+}

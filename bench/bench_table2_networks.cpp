@@ -1,0 +1,11 @@
+// Regenerates Table 2: network deployment types by industry.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Table 2: network deployment types", scale);
+  std::fputs(wlm::analysis::render_table2(scale).c_str(), stdout);
+  return 0;
+}

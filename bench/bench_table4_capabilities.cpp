@@ -1,0 +1,12 @@
+// Regenerates Table 4: client 802.11 capabilities, Jan 2014 vs Jan 2015.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Table 4: client capabilities", scale);
+  const auto run = wlm::analysis::run_snapshot_study(scale);
+  std::fputs(wlm::analysis::render_table4(run).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table 5: top applications by bytes transferred.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Table 5: top applications by usage", scale);
+  const auto run = wlm::analysis::run_usage_study(scale);
+  std::fputs(wlm::analysis::render_table5(run).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table 6: usage by application category.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Table 6: usage by application category", scale);
+  const auto run = wlm::analysis::run_usage_study(scale);
+  std::fputs(wlm::analysis::render_table6(run).c_str(), stdout);
+  return 0;
+}

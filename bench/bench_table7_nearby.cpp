@@ -1,0 +1,12 @@
+// Regenerates Table 7: nearby networks per AP, now vs six months ago.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv);
+  wlm::bench::print_header("Table 7: nearby networks growth", scale);
+  const auto run = wlm::analysis::run_neighbor_study(scale);
+  std::fputs(wlm::analysis::render_table7(run).c_str(), stdout);
+  return 0;
+}

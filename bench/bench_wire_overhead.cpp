@@ -1,0 +1,16 @@
+// Checks the paper's §2 claim: ~1 kbit/s of telemetry per access point,
+// with a realistic full reporting cadence.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = wlm::bench::scale_from_args(argc, argv, 100);
+  wlm::bench::print_header("Telemetry wire overhead", scale);
+  const auto run = wlm::analysis::run_wire_overhead_study(scale);
+  std::fputs(wlm::analysis::render_wire_overhead_full(run).c_str(), stdout);
+  // Also report the classification stats from the usage pipeline.
+  const auto usage = wlm::analysis::run_usage_study(scale);
+  std::fputs(wlm::analysis::render_wire_overhead(usage).c_str(), stdout);
+  return 0;
+}

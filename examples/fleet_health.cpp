@@ -1,0 +1,65 @@
+// Fleet health triage: runs a week of telemetry with WAN disturbances and a
+// "skyscraper" outlier, then lets the backend's health monitor find them —
+// the paper's §6.1 operational workflow.
+#include <cstdio>
+
+#include "backend/health.hpp"
+#include "backend/timeseries.hpp"
+#include "sim/world.hpp"
+
+int main() {
+  using namespace wlm;
+
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 25;
+  config.wan_flap_fraction = 0.1;  // a flaky WAN under some sites
+  config.seed = 2026;
+  sim::World world(config);
+
+  // Inject a skyscraper outlier: thousands of audible foreign networks.
+  auto& outlier = world.aps().front();
+  Rng rng(1);
+  const deploy::NeighborGenerator dense(deploy::Epoch::kJan2015,
+                                        deploy::Density::kDenseUrban);
+  auto& env = const_cast<deploy::ApConfig&>(outlier.config()).environment;
+  for (int i = 0; i < 12; ++i) {
+    const auto extra = dense.generate(rng);
+    env.neighbors.insert(env.neighbors.end(), extra.neighbors.begin(),
+                         extra.neighbors.end());
+  }
+
+  world.run_usage_week(7);
+  world.run_mr16_interference(SimTime::epoch() + Duration::days(3));
+  world.harvest();
+
+  // Feed per-AP report counts into the time-series store (the dashboard's
+  // backing data) and run the health analysis.
+  backend::TimeSeriesStore tsdb;
+  world.store().for_each([&](const wire::ApReport& report) {
+    tsdb.append(backend::SeriesKey{"neighbors", report.ap_id},
+                SimTime::from_micros(report.timestamp_us),
+                static_cast<double>(report.neighbors.size()));
+  });
+  std::printf("tsdb: %zu series, %zu points\n", tsdb.series_count(), tsdb.total_points());
+
+  backend::HealthPolicy policy;
+  policy.expected_interval = Duration::days(1);
+  const backend::HealthMonitor monitor(policy);
+  auto findings = monitor.analyze(world.store(), SimTime::epoch() + Duration::days(7));
+  for (const auto& ap : world.aps()) {
+    const auto tunnel_findings = monitor.analyze_tunnel(ap.tunnel());
+    findings.insert(findings.end(), tunnel_findings.begin(), tunnel_findings.end());
+  }
+  std::fputs(backend::HealthMonitor::render(findings).c_str(), stdout);
+
+  // The outlier's neighbor series, downsampled for a dashboard panel.
+  const auto buckets =
+      tsdb.downsample(backend::SeriesKey{"neighbors", outlier.id().value()},
+                      SimTime::epoch(), SimTime::epoch() + Duration::days(7),
+                      Duration::days(1), backend::Agg::kMax);
+  std::printf("\nAP%u daily max audible neighbors:", outlier.id().value());
+  for (const auto& b : buckets) std::printf(" %.0f", b.value);
+  std::printf("\n");
+  return 0;
+}

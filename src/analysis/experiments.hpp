@@ -1,0 +1,171 @@
+// Experiment drivers: one entry point per table/figure of the paper.
+//
+// Each run_* function builds the necessary simulated fleets, pushes all
+// telemetry through the wire format / tunnels / poller, and computes its
+// results FROM THE BACKEND STORE ONLY. Each render_* function produces the
+// table or ASCII figure next to the paper's reference values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/aggregate.hpp"
+#include "core/stats.hpp"
+#include "deploy/epoch.hpp"
+
+namespace wlm::analysis {
+
+/// Scale knobs shared by all experiments. The defaults run in seconds on a
+/// laptop; raise `networks` toward the paper's 20,667 for higher fidelity.
+struct ScenarioScale {
+  int networks = 250;
+  double client_scale = 1.0;
+  std::uint64_t seed = 2015;
+};
+
+// ---------------------------------------------------------------- Table 2
+
+/// Renders the industry mix (generator calibration vs Table 2).
+[[nodiscard]] std::string render_table2(const ScenarioScale& scale);
+
+// ------------------------------------------------- Tables 3/5/6 (usage)
+
+struct UsageRun {
+  backend::UsageAggregator agg_2015;
+  backend::UsageAggregator agg_2014;
+  /// paper clients / simulated clients, used to scale byte totals to TB.
+  double upscale_2015 = 1.0;
+  double upscale_2014 = 1.0;
+  std::uint64_t flows_classified = 0;
+  std::uint64_t flows_misclassified = 0;
+  double mean_report_bytes_per_ap = 0.0;
+  double report_kbit_per_s = 0.0;  // the §2 "~1 kbit/s" overhead check
+};
+
+[[nodiscard]] UsageRun run_usage_study(const ScenarioScale& scale);
+[[nodiscard]] std::string render_table3(const UsageRun& run);
+[[nodiscard]] std::string render_table5(const UsageRun& run, std::size_t top_n = 40);
+[[nodiscard]] std::string render_table6(const UsageRun& run);
+[[nodiscard]] std::string render_wire_overhead(const UsageRun& run);
+
+/// Full-cadence telemetry overhead (the §2 "~1 kbit/s per AP" claim): runs
+/// a week of usage reports plus periodic interference/neighbor reports and
+/// measures framed bytes through the tunnels.
+struct WireOverheadRun {
+  double bytes_per_ap_week = 0.0;
+  double kbit_per_s = 0.0;
+  double reports_per_ap = 0.0;
+};
+[[nodiscard]] WireOverheadRun run_wire_overhead_study(const ScenarioScale& scale);
+[[nodiscard]] std::string render_wire_overhead_full(const WireOverheadRun& run);
+
+// ----------------------------------------- Table 4 / Figure 1 (snapshots)
+
+struct SnapshotRun {
+  /// Measured capability fractions per epoch, indexed like Table 4's rows:
+  /// {11g, 11n, 5GHz, 40MHz, 11ac, 2ss, 3ss, 4ss}.
+  std::vector<double> caps_2014;
+  std::vector<double> caps_2015;
+  /// Signal-to-noise (dB above noise floor) samples by band, 2015 snapshot.
+  std::vector<double> snr_24;
+  std::vector<double> snr_5;
+  std::size_t clients_24 = 0;
+  std::size_t clients_5 = 0;
+};
+
+[[nodiscard]] SnapshotRun run_snapshot_study(const ScenarioScale& scale);
+[[nodiscard]] std::string render_table4(const SnapshotRun& run);
+[[nodiscard]] std::string render_fig1(const SnapshotRun& run);
+
+// --------------------------------------- Table 7 / Figure 2 (neighbors)
+
+struct NeighborRun {
+  struct EpochStats {
+    double networks_per_ap_24 = 0.0;
+    double networks_per_ap_5 = 0.0;
+    std::uint64_t total_24 = 0;
+    std::uint64_t total_5 = 0;
+    double hotspot_frac_24 = 0.0;
+    double hotspot_frac_5 = 0.0;
+    int ap_count = 0;
+  };
+  EpochStats now;        // Jan 2015
+  EpochStats six_months; // Jul 2014
+  /// Histogram of neighbor BSS observations by channel (Jan 2015).
+  std::vector<std::pair<int, std::uint64_t>> by_channel_24;
+  std::vector<std::pair<int, std::uint64_t>> by_channel_5;
+};
+
+[[nodiscard]] NeighborRun run_neighbor_study(const ScenarioScale& scale);
+[[nodiscard]] std::string render_table7(const NeighborRun& run);
+[[nodiscard]] std::string render_fig2(const NeighborRun& run);
+
+// --------------------------------------------- Figures 3/4/5 (links)
+
+struct LinkRun {
+  std::vector<double> ratios_24_now;
+  std::vector<double> ratios_24_before;
+  std::vector<double> ratios_5_now;
+  std::vector<double> ratios_5_before;
+  /// Week-long series for two sample links per band (Figures 4/5).
+  struct Series {
+    std::vector<double> hours;
+    std::vector<double> ratios;
+  };
+  std::vector<Series> series_24;
+  std::vector<Series> series_5;
+};
+
+[[nodiscard]] LinkRun run_link_study(const ScenarioScale& scale);
+[[nodiscard]] std::string render_fig3(const LinkRun& run);
+[[nodiscard]] std::string render_fig4(const LinkRun& run);
+[[nodiscard]] std::string render_fig5(const LinkRun& run);
+
+// ------------------------------------- Figures 6/7/8/9/10 (utilization)
+
+struct UtilizationRun {
+  // MR16 serving-channel utilization (Figure 6).
+  std::vector<double> mr16_util_24;
+  std::vector<double> mr16_util_5;
+  // MR18 all-channel scans: per (channel-observation) pairs.
+  std::vector<double> scatter_util_24;   // Figure 7 y-values
+  std::vector<double> scatter_count_24;  // Figure 7 x-values
+  std::vector<double> scatter_util_5;    // Figure 8
+  std::vector<double> scatter_count_5;
+  double correlation_24 = 0.0;
+  double correlation_5 = 0.0;
+  // Day/night per-channel utilization (Figure 9).
+  std::vector<double> day_24, night_24, day_5, night_5;
+  // Decodable fraction of busy time (Figure 10).
+  std::vector<double> decodable_24, decodable_5;
+};
+
+[[nodiscard]] UtilizationRun run_utilization_study(const ScenarioScale& scale);
+[[nodiscard]] std::string render_fig6(const UtilizationRun& run);
+[[nodiscard]] std::string render_fig7(const UtilizationRun& run);
+[[nodiscard]] std::string render_fig8(const UtilizationRun& run);
+[[nodiscard]] std::string render_fig9(const UtilizationRun& run);
+[[nodiscard]] std::string render_fig10(const UtilizationRun& run);
+
+// ------------------------------------------------ Figure 11 (spectrum)
+
+struct SpectrumRun {
+  std::vector<double> avg_24_db;  // averaged PSD, 2.437 GHz scene
+  std::vector<double> avg_5_db;   // 5.220 GHz scene
+  double occupancy_24 = 0.0;
+  double occupancy_5 = 0.0;
+  std::vector<std::string> waterfall_24;  // rendered rows
+  std::vector<std::string> waterfall_5;
+};
+
+[[nodiscard]] SpectrumRun run_spectrum_study(std::uint64_t seed);
+[[nodiscard]] std::string render_fig11(const SpectrumRun& run);
+
+// ----------------------------------------------------------- utilities
+
+/// "p50=25.3% p90=50.1%" helper used across renders.
+[[nodiscard]] std::string percentile_summary(const std::vector<double>& values,
+                                             bool as_percent);
+
+}  // namespace wlm::analysis

@@ -1,0 +1,156 @@
+#include "analysis/export.hpp"
+
+#include <cstdio>
+
+#include "classify/apps.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace wlm::analysis {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvDoc::to_string() const {
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void add_cdf_rows(CsvDoc& doc, const std::string& label, const std::vector<double>& values) {
+  EmpiricalCdf cdf{std::vector<double>(values)};
+  for (const auto& [x, p] : cdf.curve(200)) {
+    doc.rows.push_back({label, fixed(x, 6), fixed(p, 6)});
+  }
+}
+
+}  // namespace
+
+CsvDoc export_fig1(const SnapshotRun& run) {
+  CsvDoc doc;
+  doc.name = "fig1_rssi_cdf";
+  doc.rows.push_back({"series", "snr_db", "cdf"});
+  add_cdf_rows(doc, "2.4GHz", run.snr_24);
+  add_cdf_rows(doc, "5GHz", run.snr_5);
+  return doc;
+}
+
+CsvDoc export_fig3(const LinkRun& run) {
+  CsvDoc doc;
+  doc.name = "fig3_delivery_cdf";
+  doc.rows.push_back({"series", "delivery_ratio", "cdf"});
+  add_cdf_rows(doc, "2.4GHz_now", run.ratios_24_now);
+  add_cdf_rows(doc, "2.4GHz_6mo", run.ratios_24_before);
+  add_cdf_rows(doc, "5GHz_now", run.ratios_5_now);
+  add_cdf_rows(doc, "5GHz_6mo", run.ratios_5_before);
+  return doc;
+}
+
+CsvDoc export_fig6(const UtilizationRun& run) {
+  CsvDoc doc;
+  doc.name = "fig6_utilization_cdf";
+  doc.rows.push_back({"series", "utilization", "cdf"});
+  add_cdf_rows(doc, "2.4GHz", run.mr16_util_24);
+  add_cdf_rows(doc, "5GHz", run.mr16_util_5);
+  return doc;
+}
+
+CsvDoc export_fig78(const UtilizationRun& run) {
+  CsvDoc doc;
+  doc.name = "fig78_scatter";
+  doc.rows.push_back({"band", "nearby_aps", "utilization"});
+  for (std::size_t i = 0; i < run.scatter_count_24.size(); ++i) {
+    doc.rows.push_back(
+        {"2.4GHz", fixed(run.scatter_count_24[i], 0), fixed(run.scatter_util_24[i], 6)});
+  }
+  for (std::size_t i = 0; i < run.scatter_count_5.size(); ++i) {
+    doc.rows.push_back(
+        {"5GHz", fixed(run.scatter_count_5[i], 0), fixed(run.scatter_util_5[i], 6)});
+  }
+  return doc;
+}
+
+CsvDoc export_fig9(const UtilizationRun& run) {
+  CsvDoc doc;
+  doc.name = "fig9_day_night_cdf";
+  doc.rows.push_back({"series", "utilization", "cdf"});
+  add_cdf_rows(doc, "2.4GHz_day", run.day_24);
+  add_cdf_rows(doc, "2.4GHz_night", run.night_24);
+  add_cdf_rows(doc, "5GHz_day", run.day_5);
+  add_cdf_rows(doc, "5GHz_night", run.night_5);
+  return doc;
+}
+
+CsvDoc export_fig11(const SpectrumRun& run) {
+  CsvDoc doc;
+  doc.name = "fig11_spectrum";
+  doc.rows.push_back({"scene", "bin", "psd_db"});
+  for (std::size_t i = 0; i < run.avg_24_db.size(); ++i) {
+    doc.rows.push_back({"2.437GHz", std::to_string(i), fixed(run.avg_24_db[i], 2)});
+  }
+  for (std::size_t i = 0; i < run.avg_5_db.size(); ++i) {
+    doc.rows.push_back({"5.220GHz", std::to_string(i), fixed(run.avg_5_db[i], 2)});
+  }
+  return doc;
+}
+
+CsvDoc export_table7(const NeighborRun& run) {
+  CsvDoc doc;
+  doc.name = "table7_fig2_neighbors";
+  doc.rows.push_back({"band", "channel", "observations"});
+  for (const auto& [channel, count] : run.by_channel_24) {
+    doc.rows.push_back({"2.4GHz", std::to_string(channel), std::to_string(count)});
+  }
+  for (const auto& [channel, count] : run.by_channel_5) {
+    doc.rows.push_back({"5GHz", std::to_string(channel), std::to_string(count)});
+  }
+  return doc;
+}
+
+CsvDoc export_scorecard_data(const UsageRun& run) {
+  CsvDoc doc;
+  doc.name = "table5_apps";
+  doc.rows.push_back({"app", "category", "tb", "download_frac", "clients"});
+  for (const auto& [app, roll] : run.agg_2015.by_app()) {
+    const auto& info = classify::app_info(app);
+    const double tb =
+        static_cast<double>(roll.up + roll.down) * run.upscale_2015 / 1e12;
+    const double down =
+        (roll.up + roll.down) > 0
+            ? static_cast<double>(roll.down) / static_cast<double>(roll.up + roll.down)
+            : 0.0;
+    doc.rows.push_back({std::string(info.name), std::string(category_name(info.category)),
+                        fixed(tb, 3), fixed(down, 4),
+                        std::to_string(static_cast<long long>(
+                            static_cast<double>(roll.clients) * run.upscale_2015))});
+  }
+  return doc;
+}
+
+bool write_csv(const CsvDoc& doc, const std::string& dir) {
+  const std::string path = dir + "/" + doc.name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = doc.to_string();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace wlm::analysis

@@ -1,0 +1,37 @@
+// CSV export of experiment data, for plotting outside the terminal
+// renderers (gnuplot/matplotlib reproduce the paper's actual figures from
+// these series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+
+namespace wlm::analysis {
+
+/// One CSV document: a filename stem plus rows (first row is the header).
+struct CsvDoc {
+  std::string name;  // e.g. "fig3_delivery_cdf"
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// RFC-4180-style field quoting (commas, quotes, newlines).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+// Per-experiment exports.
+[[nodiscard]] CsvDoc export_fig1(const SnapshotRun& run);
+[[nodiscard]] CsvDoc export_fig3(const LinkRun& run);
+[[nodiscard]] CsvDoc export_fig6(const UtilizationRun& run);
+[[nodiscard]] CsvDoc export_fig78(const UtilizationRun& run);
+[[nodiscard]] CsvDoc export_fig9(const UtilizationRun& run);
+[[nodiscard]] CsvDoc export_fig11(const SpectrumRun& run);
+[[nodiscard]] CsvDoc export_table7(const NeighborRun& run);
+[[nodiscard]] CsvDoc export_scorecard_data(const UsageRun& run);
+
+/// Writes a document to `<dir>/<name>.csv`; false on I/O failure.
+[[nodiscard]] bool write_csv(const CsvDoc& doc, const std::string& dir);
+
+}  // namespace wlm::analysis

@@ -1,0 +1,179 @@
+#include "analysis/scorecard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace wlm::analysis {
+
+std::size_t Scorecard::passed() const {
+  return static_cast<std::size_t>(
+      std::count_if(checks.begin(), checks.end(), [](const Check& c) { return c.passed; }));
+}
+
+namespace {
+
+void check_near(Scorecard& card, const std::string& id, const std::string& claim,
+                double expected, double measured, double tolerance) {
+  card.checks.push_back(
+      Check{id, claim, expected, measured, std::abs(measured - expected) <= tolerance});
+}
+
+void check_greater(Scorecard& card, const std::string& id, const std::string& claim,
+                   double threshold, double measured) {
+  card.checks.push_back(Check{id, claim, threshold, measured, measured > threshold});
+}
+
+void check_less(Scorecard& card, const std::string& id, const std::string& claim,
+                double threshold, double measured) {
+  card.checks.push_back(Check{id, claim, threshold, measured, measured < threshold});
+}
+
+double frac_if(const std::vector<double>& v, double lo, double hi) {
+  if (v.empty()) return 0.0;
+  return static_cast<double>(std::count_if(
+             v.begin(), v.end(), [&](double r) { return r > lo && r < hi; })) /
+         static_cast<double>(v.size());
+}
+
+}  // namespace
+
+Scorecard run_scorecard(const ScenarioScale& scale) {
+  Scorecard card;
+
+  {  // Usage (Tables 3/5/6).
+    const auto run = run_usage_study(scale);
+    double total_tb = 0.0;
+    double total_tb_before = 0.0;
+    for (const auto& [app, roll] : run.agg_2015.by_app()) {
+      total_tb += static_cast<double>(roll.up + roll.down) * run.upscale_2015 / 1e12;
+    }
+    for (const auto& [app, roll] : run.agg_2014.by_app()) {
+      total_tb_before += static_cast<double>(roll.up + roll.down) * run.upscale_2014 / 1e12;
+    }
+    check_near(card, "table3.total_tb", "total weekly usage ~1950 TB", 1950.0, total_tb,
+               400.0);
+    check_near(card, "table3.growth", "usage grew ~62% YoY", 0.62,
+               total_tb / std::max(total_tb_before, 1.0) - 1.0, 0.25);
+
+    const auto by_os = run.agg_2015.by_os();
+    auto os_tb = [&](classify::OsType os) {
+      const auto& r = by_os[static_cast<std::size_t>(os)];
+      return static_cast<double>(r.up + r.down) * run.upscale_2015 / 1e12;
+    };
+    check_greater(card, "table3.windows_vs_android", "Windows ≫ Android by bytes",
+                  os_tb(classify::OsType::kAndroid), os_tb(classify::OsType::kWindows));
+    const auto& ios = by_os[static_cast<std::size_t>(classify::OsType::kAppleIos)];
+    const auto& win = by_os[static_cast<std::size_t>(classify::OsType::kWindows)];
+    check_greater(card, "table3.ios_clients", "iOS clients ~3x Windows clients",
+                  2.0 * static_cast<double>(win.clients), static_cast<double>(ios.clients));
+
+    const auto cats = run.agg_2015.by_category();
+    std::uint64_t cat_total = 0;
+    for (const auto& c : cats) cat_total += c.up + c.down;
+    const auto& video = cats[static_cast<std::size_t>(classify::Category::kVideoMusic)];
+    check_near(card, "table6.video_share", "video & music ~34% of bytes", 0.34,
+               static_cast<double>(video.up + video.down) /
+                   std::max<std::uint64_t>(1, cat_total),
+               0.08);
+    check_greater(card, "table6.video_down", "video is ~97% download", 0.85,
+                  static_cast<double>(video.down) /
+                      std::max<std::uint64_t>(1, video.up + video.down));
+    const auto& backup = cats[static_cast<std::size_t>(classify::Category::kOnlineBackup)];
+    check_less(card, "table6.backup_down", "online backup is upload-dominated", 0.5,
+               static_cast<double>(backup.down) /
+                   std::max<std::uint64_t>(1, backup.up + backup.down));
+    check_less(card, "pipeline.misclassified", "classification matches ground truth", 0.05,
+               static_cast<double>(run.flows_misclassified) /
+                   std::max<std::uint64_t>(1, run.flows_classified));
+  }
+
+  {  // Capabilities + RSSI (Table 4, Figure 1).
+    const auto run = run_snapshot_study(scale);
+    check_near(card, "table4.ac2015", "18% of clients 11ac-capable (2015)", 0.18,
+               run.caps_2015[4], 0.05);
+    check_near(card, "table4.5ghz2015", "64.9% of clients 5 GHz-capable (2015)", 0.649,
+               run.caps_2015[2], 0.06);
+    check_greater(card, "table4.growth", "11ac grew sharply over the year",
+                  run.caps_2014[4] * 3.0, run.caps_2015[4]);
+    const double total =
+        static_cast<double>(run.clients_24 + run.clients_5);
+    check_near(card, "fig1.band_split", "~80% of associations on 2.4 GHz", 0.80,
+               total > 0 ? static_cast<double>(run.clients_24) / total : 0.0, 0.15);
+    check_near(card, "fig1.median_snr", "median client SNR ~28 dB", 28.0,
+               quantile(run.snr_24, 0.5), 10.0);
+  }
+
+  {  // Neighbors (Table 7, Figure 2).
+    const auto run = run_neighbor_study(scale);
+    check_near(card, "table7.mean24_now", "55.47 foreign networks per AP (2.4 GHz)",
+               55.47, run.now.networks_per_ap_24, 18.0);
+    check_greater(card, "table7.growth24", "2.4 GHz neighbors nearly doubled in 6 months",
+                  run.six_months.networks_per_ap_24 * 1.5, run.now.networks_per_ap_24);
+    check_near(card, "table7.hotspots", "~20% of 2.4 GHz networks are hotspots", 0.20,
+               run.now.hotspot_frac_24, 0.05);
+    auto count24 = [&](int ch) {
+      for (const auto& [c, n] : run.by_channel_24) {
+        if (c == ch) return static_cast<double>(n);
+      }
+      return 0.0;
+    };
+    check_near(card, "fig2.ch1_lead", "channel 1 ~37% above channels 6/11", 1.37,
+               count24(1) / std::max(1.0, (count24(6) + count24(11)) / 2.0), 0.3);
+  }
+
+  {  // Links (Figure 3).
+    const auto run = run_link_study(scale);
+    check_greater(card, "fig3.intermediate24", "majority of 2.4 GHz links intermediate",
+                  0.5, frac_if(run.ratios_24_now, 0.05, 0.95));
+    check_greater(card, "fig3.perfect5", "over half of 5 GHz links deliver everything",
+                  0.4, frac_if(run.ratios_5_now, 0.989, 1.1));
+    check_less(card, "fig3.degradation", "2.4 GHz delivery degraded over 6 months",
+               quantile(run.ratios_24_before, 0.5) + 1e-9,
+               quantile(run.ratios_24_now, 0.5));
+  }
+
+  {  // Utilization (Figures 6-10).
+    const auto run = run_utilization_study(scale);
+    check_near(card, "fig6.median24", "median 2.4 GHz utilization ~25%", 0.25,
+               quantile(run.mr16_util_24, 0.5), 0.10);
+    check_near(card, "fig6.median5", "median 5 GHz utilization ~5%", 0.05,
+               quantile(run.mr16_util_5, 0.5), 0.05);
+    check_less(card, "fig78.correlation", "AP count does not predict utilization", 0.7,
+               std::abs(run.correlation_24));
+    check_near(card, "fig9.day_night", "day ~5 points busier than night (2.4 GHz)", 0.05,
+               quantile(run.day_24, 0.5) - quantile(run.night_24, 0.5), 0.05);
+    check_greater(card, "fig10.decodable", "majority of busy time decodable 802.11", 0.5,
+                  quantile(run.decodable_24, 0.5));
+  }
+
+  {  // Spectrum (Figure 11).
+    const auto run = run_spectrum_study(scale.seed);
+    check_greater(card, "fig11.ordering", "2.4 GHz band far busier than 5 GHz",
+                  run.occupancy_5 * 2.0, run.occupancy_24);
+  }
+
+  return card;
+}
+
+std::string render_scorecard(const Scorecard& card) {
+  TextTable table({"check", "claim", "paper", "measured", "verdict"},
+                  {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight, Align::kLeft});
+  auto sorted = card.checks;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Check& a, const Check& b) { return a.passed < b.passed; });
+  for (const auto& c : sorted) {
+    table.add_row({c.id, c.claim, fixed(c.expected, 2), fixed(c.measured, 2),
+                   c.passed ? "pass" : "FAIL"});
+  }
+  std::ostringstream out;
+  out << "Reproduction scorecard: " << card.passed() << "/" << card.checks.size()
+      << " claims hold\n"
+      << table.render();
+  return out.str();
+}
+
+}  // namespace wlm::analysis

@@ -1,0 +1,37 @@
+// Reproduction scorecard: every qualitative claim from the paper's
+// evaluation, checked mechanically against a fresh simulation run. This is
+// EXPERIMENTS.md as code — the claims are the same rows, with explicit
+// tolerances, so a regression in any substrate shows up as a failed check
+// rather than a silently drifted table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+
+namespace wlm::analysis {
+
+struct Check {
+  std::string id;        // "fig6.median24"
+  std::string claim;     // the paper's sentence, abbreviated
+  double expected = 0.0; // paper value (or threshold)
+  double measured = 0.0;
+  bool passed = false;
+};
+
+struct Scorecard {
+  std::vector<Check> checks;
+
+  [[nodiscard]] std::size_t passed() const;
+  [[nodiscard]] std::size_t failed() const { return checks.size() - passed(); }
+  [[nodiscard]] bool all_passed() const { return passed() == checks.size(); }
+};
+
+/// Runs every study at the given scale and evaluates all claims.
+[[nodiscard]] Scorecard run_scorecard(const ScenarioScale& scale);
+
+/// Renders the card: one line per check, worst first.
+[[nodiscard]] std::string render_scorecard(const Scorecard& card);
+
+}  // namespace wlm::analysis

@@ -1,0 +1,96 @@
+#include "backend/aggregate.hpp"
+
+namespace wlm::backend {
+
+std::uint64_t ClientAggregate::upstream() const {
+  std::uint64_t total = 0;
+  for (const auto& [app, bytes] : app_bytes) total += bytes.first;
+  return total;
+}
+
+std::uint64_t ClientAggregate::downstream() const {
+  std::uint64_t total = 0;
+  for (const auto& [app, bytes] : app_bytes) total += bytes.second;
+  return total;
+}
+
+void UsageAggregator::consume(const ReportStore& store, SimTime from, SimTime to) {
+  store.for_each_in(from, to, [&](const wire::ApReport& report) {
+    const ApId ap{report.ap_id};
+    for (const auto& u : report.usage) {
+      auto& agg = clients_[u.client];
+      agg.mac = u.client;
+      auto& bytes = agg.app_bytes[static_cast<classify::AppId>(u.app_id)];
+      bytes.first += u.tx_bytes;
+      bytes.second += u.rx_bytes;
+      seen_on_[u.client][ap] = true;
+    }
+    for (const auto& snap : report.clients) {
+      auto& agg = clients_[snap.client];
+      agg.mac = snap.client;
+      agg.capability_bits |= snap.capability_bits;
+      ++os_votes_[snap.client][snap.os_id];
+      seen_on_[snap.client][ap] = true;
+    }
+  });
+  // Resolve per-client OS by majority vote and roaming spread.
+  for (auto& [mac, agg] : clients_) {
+    const auto votes_it = os_votes_.find(mac);
+    if (votes_it != os_votes_.end()) {
+      int best = 0;
+      for (const auto& [os_id, count] : votes_it->second) {
+        if (count > best) {
+          best = count;
+          agg.os = static_cast<classify::OsType>(os_id);
+        }
+      }
+    }
+    const auto seen_it = seen_on_.find(mac);
+    agg.ap_count = seen_it == seen_on_.end() ? 0 : static_cast<int>(seen_it->second.size());
+  }
+}
+
+std::vector<UsageAggregator::OsRollup> UsageAggregator::by_os() const {
+  std::vector<OsRollup> out(static_cast<std::size_t>(classify::kOsTypeCount));
+  for (const auto& [mac, agg] : clients_) {
+    auto& roll = out[static_cast<std::size_t>(agg.os)];
+    roll.up += agg.upstream();
+    roll.down += agg.downstream();
+    ++roll.clients;
+  }
+  return out;
+}
+
+std::unordered_map<classify::AppId, UsageAggregator::AppRollup> UsageAggregator::by_app() const {
+  std::unordered_map<classify::AppId, AppRollup> out;
+  for (const auto& [mac, agg] : clients_) {
+    for (const auto& [app, bytes] : agg.app_bytes) {
+      auto& roll = out[app];
+      roll.up += bytes.first;
+      roll.down += bytes.second;
+      ++roll.clients;
+    }
+  }
+  return out;
+}
+
+std::vector<UsageAggregator::AppRollup> UsageAggregator::by_category() const {
+  std::vector<AppRollup> out(static_cast<std::size_t>(classify::kCategoryCount));
+  // Track distinct clients per category, not the sum of app client counts.
+  std::vector<std::unordered_map<std::uint64_t, bool>> seen(
+      static_cast<std::size_t>(classify::kCategoryCount));
+  for (const auto& [mac, agg] : clients_) {
+    for (const auto& [app, bytes] : agg.app_bytes) {
+      const auto cat = static_cast<std::size_t>(classify::app_info(app).category);
+      out[cat].up += bytes.first;
+      out[cat].down += bytes.second;
+      seen[cat][mac.to_u64()] = true;
+    }
+  }
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c].clients = seen[c].size();
+  }
+  return out;
+}
+
+}  // namespace wlm::backend

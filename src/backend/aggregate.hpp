@@ -1,0 +1,68 @@
+// Backend-side aggregation.
+//
+// "Local statistics are aggregated by MAC address in the backend (to account
+// for roaming)" — paper §2.3. A client that roamed across three APs during
+// the week must count once, with its bytes summed; its OS is resolved by
+// majority over the per-AP observations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/store.hpp"
+#include "classify/apps.hpp"
+#include "classify/os.hpp"
+#include "core/ids.hpp"
+
+namespace wlm::backend {
+
+/// Week-level rollup for one client MAC.
+struct ClientAggregate {
+  MacAddress mac;
+  classify::OsType os = classify::OsType::kUnknown;
+  std::uint32_t capability_bits = 0;
+  std::unordered_map<classify::AppId, std::pair<std::uint64_t, std::uint64_t>>
+      app_bytes;  // app -> (up, down)
+  int ap_count = 0;  // distinct APs the client appeared on (roaming)
+
+  [[nodiscard]] std::uint64_t upstream() const;
+  [[nodiscard]] std::uint64_t downstream() const;
+  [[nodiscard]] std::uint64_t total() const { return upstream() + downstream(); }
+};
+
+/// Aggregates all usage and client snapshots in the store by MAC.
+class UsageAggregator {
+ public:
+  /// Consumes every report in [from, to).
+  void consume(const ReportStore& store, SimTime from, SimTime to);
+
+  [[nodiscard]] const std::unordered_map<MacAddress, ClientAggregate>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+  /// Per-OS rollup: (total up, total down, client count) per OS.
+  struct OsRollup {
+    std::uint64_t up = 0;
+    std::uint64_t down = 0;
+    std::uint64_t clients = 0;
+  };
+  [[nodiscard]] std::vector<OsRollup> by_os() const;
+
+  /// Per-app rollup: (up, down, clients).
+  struct AppRollup {
+    std::uint64_t up = 0;
+    std::uint64_t down = 0;
+    std::uint64_t clients = 0;
+  };
+  [[nodiscard]] std::unordered_map<classify::AppId, AppRollup> by_app() const;
+  [[nodiscard]] std::vector<AppRollup> by_category() const;
+
+ private:
+  std::unordered_map<MacAddress, ClientAggregate> clients_;
+  std::unordered_map<MacAddress, std::unordered_map<ApId, bool>> seen_on_;
+  std::unordered_map<MacAddress, std::unordered_map<std::uint8_t, int>> os_votes_;
+};
+
+}  // namespace wlm::backend

@@ -1,0 +1,31 @@
+#include "backend/anonymize.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "core/checksum.hpp"
+
+namespace wlm::backend {
+
+MacAddress Anonymizer::pseudonym(MacAddress mac) const {
+  std::array<std::uint8_t, 14> buf{};
+  const std::uint64_t v = mac.to_u64();
+  for (int i = 0; i < 6; ++i) buf[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  for (int i = 0; i < 8; ++i) {
+    buf[static_cast<std::size_t>(6 + i)] = static_cast<std::uint8_t>(salt_ >> (8 * i));
+  }
+  std::uint64_t h = fnv1a64(buf);
+  h &= 0xFFFFFFFFFFFFULL;
+  h |= 0x020000000000ULL;  // locally administered
+  h &= ~0x010000000000ULL;  // unicast
+  return MacAddress::from_u64(h);
+}
+
+std::string Anonymizer::pseudonym(const std::string& value) const {
+  const std::uint64_t h = fnv1a64(value) ^ salt_;
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "anon-%012llx", static_cast<unsigned long long>(h & 0xFFFFFFFFFFFFULL));
+  return buf;
+}
+
+}  // namespace wlm::backend

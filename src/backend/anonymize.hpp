@@ -1,0 +1,30 @@
+// Anonymization for published datasets (the paper studies "an anonymized
+// subset" and presents "only aggregates"). Identifiers are replaced by
+// salted FNV-1a hashes: stable within one export, unlinkable across exports
+// with different salts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.hpp"
+
+namespace wlm::backend {
+
+class Anonymizer {
+ public:
+  explicit Anonymizer(std::uint64_t salt) : salt_(salt) {}
+
+  /// Deterministic pseudonym MAC: hash preserves nothing of the original
+  /// except stability (same input -> same output for this salt). The result
+  /// is marked locally administered so it can never collide with real OUIs.
+  [[nodiscard]] MacAddress pseudonym(MacAddress mac) const;
+
+  /// Pseudonymous label for any string identifier (SSIDs, org names).
+  [[nodiscard]] std::string pseudonym(const std::string& value) const;
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace wlm::backend

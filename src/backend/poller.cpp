@@ -1,0 +1,36 @@
+#include "backend/poller.hpp"
+
+#include "wire/framing.hpp"
+
+namespace wlm::backend {
+
+void Poller::attach(Tunnel& tunnel) { tunnels_.push_back(&tunnel); }
+
+void Poller::poll_all(std::size_t per_tunnel_budget) {
+  for (Tunnel* tunnel : tunnels_) {
+    const auto frames = tunnel->poll(per_tunnel_budget);
+    for (const auto& frame : frames) {
+      ++stats_.frames_harvested;
+      stats_.bytes_harvested += frame.size();
+      const auto decoded = wire::decode_stream(frame);
+      stats_.corrupt_frames += decoded.corrupt_frames;
+      for (const auto& payload : decoded.payloads) {
+        if (auto report = wire::decode_report(payload)) {
+          store_->add(std::move(*report));
+        } else {
+          ++stats_.malformed_reports;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> frame_report(const wire::ApReport& report) {
+  const auto payload = wire::encode_report(report);
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + wire::frame_overhead(payload.size()));
+  wire::append_frame(framed, payload);
+  return framed;
+}
+
+}  // namespace wlm::backend

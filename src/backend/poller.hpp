@@ -1,0 +1,47 @@
+// Pull-based harvesting (paper §2: "the system operates using a pull
+// mechanism, which helps regulate the flow of updates during peak load").
+//
+// The poller walks the registered tunnels each cycle, drains their framed
+// report streams, validates framing CRCs, decodes reports, and writes them
+// to the store. A per-cycle frame budget provides the load regulation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backend/store.hpp"
+#include "backend/tunnel.hpp"
+
+namespace wlm::backend {
+
+struct PollerStats {
+  std::uint64_t frames_harvested = 0;
+  std::uint64_t corrupt_frames = 0;   // framing CRC failures
+  std::uint64_t malformed_reports = 0;  // decodable frame, bad message
+  std::uint64_t bytes_harvested = 0;
+};
+
+class Poller {
+ public:
+  explicit Poller(ReportStore& store) : store_(&store) {}
+
+  /// Registers a device tunnel; the poller does not own it.
+  void attach(Tunnel& tunnel);
+
+  /// One poll cycle over all tunnels. `per_tunnel_budget` caps the frames
+  /// pulled from any one device per cycle (peak-load regulation).
+  void poll_all(std::size_t per_tunnel_budget = 64);
+
+  [[nodiscard]] const PollerStats& stats() const { return stats_; }
+
+ private:
+  ReportStore* store_;
+  std::vector<Tunnel*> tunnels_;
+  PollerStats stats_;
+};
+
+/// Device-side helper: encodes a report and frames it for the tunnel.
+[[nodiscard]] std::vector<std::uint8_t> frame_report(const wire::ApReport& report);
+
+}  // namespace wlm::backend

@@ -1,0 +1,151 @@
+#include "backend/timeseries.hpp"
+
+#include <algorithm>
+
+namespace wlm::backend {
+
+void TimeSeriesStore::append(const SeriesKey& key, SimTime t, double value) {
+  auto& s = series_[key];
+  if (!s.raw.empty() && t < s.raw.back().time) s.raw_sorted = false;
+  s.raw.push_back(Point{t, value});
+}
+
+void TimeSeriesStore::ensure_sorted(Series& s) const {
+  if (s.raw_sorted) return;
+  std::stable_sort(s.raw.begin(), s.raw.end(),
+                   [](const Point& a, const Point& b) { return a.time < b.time; });
+  s.raw_sorted = true;
+}
+
+std::size_t TimeSeriesStore::point_count(const SeriesKey& key) const {
+  const auto it = series_.find(key);
+  if (it == series_.end()) return 0;
+  return it->second.raw.size() + it->second.rollups.size();
+}
+
+std::size_t TimeSeriesStore::total_points() const {
+  std::size_t total = 0;
+  for (const auto& [key, s] : series_) total += s.raw.size() + s.rollups.size();
+  return total;
+}
+
+std::vector<Point> TimeSeriesStore::query(const SeriesKey& key, SimTime from,
+                                          SimTime to) const {
+  std::vector<Point> out;
+  const auto it = series_.find(key);
+  if (it == series_.end()) return out;
+  ensure_sorted(it->second);
+  for (const auto& list : {it->second.rollups, it->second.raw}) {
+    for (const auto& p : list) {
+      if (p.time >= from && p.time < to) out.push_back(p);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Point& a, const Point& b) { return a.time < b.time; });
+  return out;
+}
+
+std::vector<Bucket> TimeSeriesStore::downsample(const SeriesKey& key, SimTime from,
+                                                SimTime to, Duration width, Agg agg) const {
+  std::vector<Bucket> out;
+  if (width <= Duration{}) return out;
+  const auto points = query(key, from, to);
+  if (points.empty()) return out;
+
+  auto flush = [&](SimTime start, const RunningStats& stats) {
+    if (stats.count() == 0) return;
+    Bucket b;
+    b.start = start;
+    b.width = width;
+    b.samples = stats.count();
+    switch (agg) {
+      case Agg::kMean:
+        b.value = stats.mean();
+        break;
+      case Agg::kMax:
+        b.value = stats.max();
+        break;
+      case Agg::kMin:
+        b.value = stats.min();
+        break;
+      case Agg::kSum:
+        b.value = stats.sum();
+        break;
+      case Agg::kCount:
+        b.value = static_cast<double>(stats.count());
+        break;
+    }
+    out.push_back(b);
+  };
+
+  std::int64_t bucket_index = -1;
+  RunningStats stats;
+  SimTime bucket_start;
+  for (const auto& p : points) {
+    const std::int64_t idx = (p.time - from) / width;
+    if (idx != bucket_index) {
+      flush(bucket_start, stats);
+      stats = RunningStats{};
+      bucket_index = idx;
+      bucket_start = from + width * idx;
+    }
+    stats.add(p.value);
+  }
+  flush(bucket_start, stats);
+  return out;
+}
+
+std::optional<Point> TimeSeriesStore::latest(const SeriesKey& key) const {
+  const auto it = series_.find(key);
+  if (it == series_.end()) return std::nullopt;
+  ensure_sorted(it->second);
+  if (!it->second.raw.empty()) return it->second.raw.back();
+  if (!it->second.rollups.empty()) return it->second.rollups.back();
+  return std::nullopt;
+}
+
+void TimeSeriesStore::compact(SimTime now) {
+  const SimTime horizon =
+      SimTime::from_micros(now.as_micros() - retention_.raw_horizon.as_micros());
+  for (auto& [key, s] : series_) {
+    ensure_sorted(s);
+    const auto split = std::lower_bound(
+        s.raw.begin(), s.raw.end(), horizon,
+        [](const Point& p, SimTime t) { return p.time < t; });
+    if (split == s.raw.begin()) continue;
+
+    // Fold [begin, split) into rollup buckets.
+    const Duration width = retention_.rollup_width;
+    std::int64_t bucket_index = -1;
+    RunningStats stats;
+    SimTime bucket_start;
+    auto flush = [&]() {
+      if (stats.count() == 0) return;
+      s.rollups.push_back(Point{bucket_start + width / 2, stats.mean()});
+      stats = RunningStats{};
+    };
+    for (auto it = s.raw.begin(); it != split; ++it) {
+      const std::int64_t idx = it->time.as_micros() / width.as_micros();
+      if (idx != bucket_index) {
+        flush();
+        bucket_index = idx;
+        bucket_start = SimTime::from_micros(idx * width.as_micros());
+      }
+      stats.add(it->value);
+    }
+    flush();
+    s.raw.erase(s.raw.begin(), split);
+    std::stable_sort(s.rollups.begin(), s.rollups.end(),
+                     [](const Point& a, const Point& b) { return a.time < b.time; });
+  }
+}
+
+std::vector<SeriesKey> TimeSeriesStore::keys_for_metric(const std::string& metric) const {
+  std::vector<SeriesKey> out;
+  for (const auto& [key, s] : series_) {
+    if (key.metric == metric) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace wlm::backend

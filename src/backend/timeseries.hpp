@@ -1,0 +1,100 @@
+// Long-term time-series storage.
+//
+// The paper's backend keeps "a database of time-series measurements of
+// wireless link, client, and application behavior" (abstract) spanning
+// years. This store models that layer: named metric series per entity,
+// append-mostly writes, range queries, bucketed downsampling for charts,
+// and bounded retention so a year of 3-minute scans does not grow without
+// limit (old points collapse into coarser rollups instead of vanishing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace wlm::backend {
+
+/// Identifies one series: metric name plus an entity key (AP id, client
+/// MAC, channel number — the caller composes it).
+struct SeriesKey {
+  std::string metric;
+  std::uint64_t entity = 0;
+
+  bool operator<(const SeriesKey& o) const {
+    return metric < o.metric || (metric == o.metric && entity < o.entity);
+  }
+  bool operator==(const SeriesKey&) const = default;
+};
+
+struct Point {
+  SimTime time;
+  double value = 0.0;
+};
+
+/// Aggregation used when downsampling.
+enum class Agg : std::uint8_t { kMean, kMax, kMin, kSum, kCount };
+
+struct Bucket {
+  SimTime start;
+  Duration width;
+  double value = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Retention policy: points older than `raw_horizon` fold into rollups of
+/// width `rollup_width`.
+struct Retention {
+  Duration raw_horizon = Duration::days(7);
+  Duration rollup_width = Duration::hours(1);
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(Retention retention = Retention{}) : retention_(retention) {}
+
+  /// Appends a sample. Out-of-order appends (late tunnel catch-up after a
+  /// WAN outage) are accepted and kept sorted.
+  void append(const SeriesKey& key, SimTime t, double value);
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  [[nodiscard]] std::size_t point_count(const SeriesKey& key) const;
+  [[nodiscard]] std::size_t total_points() const;
+
+  /// Raw points in [from, to), time-sorted.
+  [[nodiscard]] std::vector<Point> query(const SeriesKey& key, SimTime from,
+                                         SimTime to) const;
+
+  /// Fixed-width bucket aggregation over [from, to). Empty buckets are
+  /// omitted.
+  [[nodiscard]] std::vector<Bucket> downsample(const SeriesKey& key, SimTime from,
+                                               SimTime to, Duration width, Agg agg) const;
+
+  /// Latest point of a series, if any.
+  [[nodiscard]] std::optional<Point> latest(const SeriesKey& key) const;
+
+  /// Applies retention relative to `now`: raw points older than the raw
+  /// horizon are replaced by their hourly mean rollups. Idempotent.
+  void compact(SimTime now);
+
+  /// All series keys for a metric (e.g. every AP reporting "util24").
+  [[nodiscard]] std::vector<SeriesKey> keys_for_metric(const std::string& metric) const;
+
+ private:
+  struct Series {
+    std::vector<Point> raw;       // time-sorted
+    std::vector<Point> rollups;   // hourly means of aged data, time-sorted
+    bool raw_sorted = true;
+  };
+  void ensure_sorted(Series& s) const;
+
+  Retention retention_;
+  mutable std::map<SeriesKey, Series> series_;
+};
+
+}  // namespace wlm::backend

@@ -1,0 +1,38 @@
+#include "backend/tunnel.hpp"
+
+namespace wlm::backend {
+
+Tunnel::Tunnel(ApId ap, std::size_t queue_limit) : ap_(ap), queue_limit_(queue_limit) {}
+
+void Tunnel::enqueue(std::vector<std::uint8_t> frame) {
+  if (queue_.size() >= queue_limit_) {
+    // Shed the oldest report: fresher telemetry is worth more than stale.
+    queue_.pop_front();
+    ++stats_.frames_dropped;
+  }
+  queue_.push_back(std::move(frame));
+  ++stats_.frames_queued;
+}
+
+void Tunnel::disconnect() {
+  if (connected_) {
+    connected_ = false;
+    ++stats_.disconnects;
+  }
+}
+
+void Tunnel::reconnect() { connected_ = true; }
+
+std::vector<std::vector<std::uint8_t>> Tunnel::poll(std::size_t max_frames) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (!connected_) return out;
+  while (!queue_.empty() && out.size() < max_frames) {
+    stats_.bytes_delivered += queue_.front().size();
+    ++stats_.frames_delivered;
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace wlm::backend

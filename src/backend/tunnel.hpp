@@ -1,0 +1,58 @@
+// Persistent management tunnel between an access point and the backend.
+//
+// Paper §2: each device keeps encrypted tunnels to two data centers, used
+// only for statistics/configuration; on disconnection "normal client routing
+// and accounting continues" and "the backend polls for queued information
+// when the connection is reestablished". This class models exactly that
+// contract: reports queue locally while down, nothing is lost (up to a
+// bounded queue), and the poller drains on reconnect.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace wlm::backend {
+
+struct TunnelStats {
+  std::uint64_t frames_queued = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;   // bounded-queue overflow
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t disconnects = 0;
+};
+
+class Tunnel {
+ public:
+  /// `queue_limit` bounds device-side memory (the paper's APs are 64 MB
+  /// boxes; unbounded buffering is exactly the §6.1 OOM failure mode).
+  explicit Tunnel(ApId ap, std::size_t queue_limit = 4096);
+
+  [[nodiscard]] ApId ap() const { return ap_; }
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] const TunnelStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Device side: enqueue one encoded report frame.
+  void enqueue(std::vector<std::uint8_t> frame);
+
+  /// WAN events.
+  void disconnect();
+  void reconnect();
+
+  /// Backend side: drain up to `max_frames` queued frames (empty when
+  /// disconnected — a pull never reaches a down device).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> poll(std::size_t max_frames = SIZE_MAX);
+
+ private:
+  ApId ap_;
+  std::size_t queue_limit_;
+  bool connected_ = true;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  TunnelStats stats_;
+};
+
+}  // namespace wlm::backend

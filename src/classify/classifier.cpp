@@ -1,0 +1,133 @@
+#include "classify/classifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "classify/dns.hpp"
+#include "classify/http.hpp"
+#include "classify/oui.hpp"
+#include "classify/tls.hpp"
+#include "classify/user_agent.hpp"
+
+namespace wlm::classify {
+
+OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version) {
+  // --- DHCP fingerprints: the strongest signal. ---
+  std::set<OsType> dhcp_votes;
+  for (const auto& params : evidence.dhcp_fingerprints) {
+    std::optional<OsType> os;
+    if (version == HeuristicsVersion::k2014) {
+      // The older heuristics only accepted exact signature matches.
+      os = os_from_dhcp(params);
+      if (os && canonical_dhcp_params(*os) != params) os = std::nullopt;
+    } else {
+      os = os_from_dhcp(params);
+    }
+    if (os) dhcp_votes.insert(*os);
+  }
+  if (dhcp_votes.size() > 1) {
+    // Distinct stacks behind one MAC: dual-boot or VM host (paper §3.2).
+    return OsType::kUnknown;
+  }
+
+  // --- User-Agent strings: may legitimately disagree (apps, spoofing). ---
+  std::map<OsType, int> ua_votes;
+  for (const auto& ua : evidence.user_agents) {
+    if (const auto os = os_from_user_agent(ua)) ++ua_votes[*os];
+  }
+
+  if (dhcp_votes.size() == 1) {
+    const OsType dhcp_os = *dhcp_votes.begin();
+    // UA evidence can refine a coarse DHCP result (e.g. Apple's desktop and
+    // mobile stacks share fingerprints in old tables) but never override a
+    // unanimously different one unless *all* UAs agree.
+    if (!ua_votes.empty()) {
+      const auto best =
+          std::max_element(ua_votes.begin(), ua_votes.end(),
+                           [](const auto& a, const auto& b) { return a.second < b.second; });
+      if (ua_votes.size() == 1 && best->first != dhcp_os) {
+        // Single consistent UA OS contradicting DHCP: ambiguous hardware.
+        return version == HeuristicsVersion::k2015 ? best->first : OsType::kUnknown;
+      }
+    }
+    return dhcp_os;
+  }
+
+  // --- No DHCP result: UA majority. ---
+  if (!ua_votes.empty()) {
+    OsType best = OsType::kUnknown;
+    int best_count = 0;
+    bool tie = false;
+    for (const auto& [os, count] : ua_votes) {
+      if (count > best_count) {
+        best = os;
+        best_count = count;
+        tie = false;
+      } else if (count == best_count) {
+        tie = true;
+      }
+    }
+    if (!tie) return best;
+    return OsType::kUnknown;
+  }
+
+  // --- Vendor prior (2015 heuristics only). ---
+  if (version == HeuristicsVersion::k2015) {
+    if (const auto os = os_hint_from_vendor(vendor_for(evidence.mac))) return *os;
+  }
+  return OsType::kUnknown;
+}
+
+bool payload_high_entropy(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 64) return false;
+  std::array<int, 256> counts{};
+  for (auto b : payload) ++counts[b];
+  double entropy = 0.0;
+  const double n = static_cast<double>(payload.size());
+  for (int c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    entropy -= p * std::log2(p);
+  }
+  // Threshold accounts for small-sample bias: 256 uniform bytes measure
+  // ~7.1 bits observed entropy; text and binary protocol headers sit at 4-6.
+  return entropy > 6.5;
+}
+
+FlowMetadata extract_metadata(const FlowSample& sample) {
+  FlowMetadata meta;
+  meta.transport = sample.transport;
+  meta.dst_port = sample.dst_port;
+
+  if (!sample.dns_packet.empty()) {
+    if (const auto dns = parse_dns(sample.dns_packet)) {
+      if (!dns->questions.empty()) meta.dns_hostname = dns->questions.front().qname;
+    }
+  }
+  if (!sample.first_payload.empty()) {
+    // TLS first (binary, unambiguous), then HTTP, then the entropy test.
+    if (const auto hello = parse_client_hello(sample.first_payload)) {
+      meta.saw_tls = true;
+      meta.sni = hello->sni;
+    } else {
+      const std::string_view text(reinterpret_cast<const char*>(sample.first_payload.data()),
+                                  sample.first_payload.size());
+      if (const auto http = parse_http_request(text)) {
+        meta.http_host = http->host;
+        meta.http_content_type = http->content_type;
+      } else {
+        meta.high_entropy = payload_high_entropy(sample.first_payload);
+      }
+    }
+  }
+  return meta;
+}
+
+AppId classify_flow(const FlowSample& sample) {
+  return RuleSet::standard().classify(extract_metadata(sample));
+}
+
+}  // namespace wlm::classify

@@ -1,0 +1,59 @@
+#include "classify/dhcp_fingerprint.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace wlm::classify {
+
+namespace {
+
+// Signature table: (OS, parameter request list). Based on widely published
+// DHCP fingerprints (Fingerbank / satori): option numbers are real.
+const std::vector<std::pair<OsType, DhcpParams>>& signatures() {
+  static const std::vector<std::pair<OsType, DhcpParams>> sigs = {
+      {OsType::kWindows, {1, 3, 6, 15, 31, 33, 43, 44, 46, 47, 119, 121, 249, 252}},
+      {OsType::kWindowsMobile, {1, 3, 6, 15, 44, 46, 47, 31, 33, 121, 249, 43}},
+      {OsType::kMacOsX, {1, 3, 6, 15, 119, 95, 252, 44, 46}},
+      {OsType::kAppleIos, {1, 3, 6, 15, 119, 252}},
+      {OsType::kAndroid, {1, 3, 6, 15, 26, 28, 51, 58, 59, 43}},
+      {OsType::kChromeOs, {1, 3, 6, 12, 15, 26, 28, 51, 58, 59, 43, 119}},
+      {OsType::kLinux, {1, 28, 2, 3, 15, 6, 119, 12, 44, 47, 26, 121, 42}},
+      {OsType::kBlackberry, {1, 3, 6, 15, 28, 43, 66, 67}},
+      {OsType::kPlaystation, {1, 3, 15, 6}},
+      {OsType::kXbox, {1, 3, 6, 15, 31, 33, 43, 44, 46, 47, 121, 249}},
+  };
+  return sigs;
+}
+
+}  // namespace
+
+DhcpParams canonical_dhcp_params(OsType os) {
+  for (const auto& [sig_os, params] : signatures()) {
+    if (sig_os == os) return params;
+  }
+  return {1, 3, 6};  // generic embedded stack
+}
+
+std::optional<OsType> os_from_dhcp(std::span<const std::uint8_t> params) {
+  if (params.empty()) return std::nullopt;
+  // Exact match.
+  for (const auto& [os, sig] : signatures()) {
+    if (sig.size() == params.size() && std::equal(sig.begin(), sig.end(), params.begin())) {
+      return os;
+    }
+  }
+  // Longest-prefix match: the signature must be a prefix of the observed
+  // list (appended vendor options) and at least 4 options long to count.
+  const std::pair<OsType, DhcpParams>* best = nullptr;
+  for (const auto& entry : signatures()) {
+    const auto& sig = entry.second;
+    if (sig.size() < 4 || sig.size() > params.size()) continue;
+    if (!std::equal(sig.begin(), sig.end(), params.begin())) continue;
+    if (best == nullptr || sig.size() > best->second.size()) best = &entry;
+  }
+  if (best != nullptr) return best->first;
+  return std::nullopt;
+}
+
+}  // namespace wlm::classify

@@ -1,0 +1,31 @@
+// DHCP option-55 (parameter request list) fingerprinting.
+//
+// Different OS network stacks request characteristic option sequences in
+// DHCPDISCOVER/REQUEST; matching the observed sequence against a signature
+// table identifies the OS (the paper's second device-typing signal, §3.2,
+// citing Franklin et al.). A client presenting multiple distinct
+// fingerprints (dual boot, VMs) is flagged ambiguous -> Unknown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "classify/os.hpp"
+
+namespace wlm::classify {
+
+/// A DHCP parameter-request-list as a byte sequence of option codes.
+using DhcpParams = std::vector<std::uint8_t>;
+
+/// Canonical fingerprints emitted by each OS's DHCP client (representative
+/// signatures in Fingerbank style).
+[[nodiscard]] DhcpParams canonical_dhcp_params(OsType os);
+
+/// Identifies the OS from a parameter request list. Exact match first, then
+/// the longest-prefix match (clients sometimes append vendor options);
+/// nullopt when nothing matches.
+[[nodiscard]] std::optional<OsType> os_from_dhcp(std::span<const std::uint8_t> params);
+
+}  // namespace wlm::classify

@@ -1,0 +1,106 @@
+#include "classify/dns.hpp"
+
+#include <cctype>
+
+namespace wlm::classify {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<std::uint16_t> get_u16(std::span<const std::uint8_t> in, std::size_t pos) {
+  if (pos + 2 > in.size()) return std::nullopt;
+  return static_cast<std::uint16_t>((in[pos] << 8) | in[pos + 1]);
+}
+
+/// Reads a (possibly compressed) name starting at `pos`; advances pos past
+/// the in-place portion. Returns nullopt on malformed input.
+std::optional<std::string> read_name(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::string name;
+  std::size_t p = pos;
+  bool jumped = false;
+  int hops = 0;
+  while (true) {
+    if (p >= in.size()) return std::nullopt;
+    const std::uint8_t len = in[p];
+    if ((len & 0xC0) == 0xC0) {  // compression pointer
+      const auto ptr = get_u16(in, p);
+      if (!ptr) return std::nullopt;
+      if (!jumped) pos = p + 2;
+      p = *ptr & 0x3FFF;
+      jumped = true;
+      if (++hops > 16) return std::nullopt;  // pointer loop
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) pos = p + 1;
+      break;
+    }
+    if (len > 63 || p + 1 + len > in.size()) return std::nullopt;
+    if (!name.empty()) name.push_back('.');
+    for (std::size_t i = 0; i < len; ++i) {
+      name.push_back(static_cast<char>(std::tolower(in[p + 1 + i])));
+    }
+    p += 1 + len;
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_dns_query(std::uint16_t id, std::string_view qname) {
+  std::vector<std::uint8_t> out;
+  put_u16(out, id);
+  put_u16(out, 0x0100);  // flags: standard query, RD
+  put_u16(out, 1);       // QDCOUNT
+  put_u16(out, 0);       // ANCOUNT
+  put_u16(out, 0);       // NSCOUNT
+  put_u16(out, 0);       // ARCOUNT
+  // QNAME as length-prefixed labels.
+  std::size_t start = 0;
+  std::size_t total = 0;
+  while (start < qname.size() && total < 255) {
+    std::size_t dot = qname.find('.', start);
+    if (dot == std::string_view::npos) dot = qname.size();
+    std::size_t len = dot - start;
+    if (len > 63) len = 63;
+    if (len > 0) {
+      out.push_back(static_cast<std::uint8_t>(len));
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<std::uint8_t>(std::tolower(qname[start + i])));
+      }
+      total += len + 1;
+    }
+    start = dot + 1;
+  }
+  out.push_back(0);
+  put_u16(out, 1);  // QTYPE A
+  put_u16(out, 1);  // QCLASS IN
+  return out;
+}
+
+std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet) {
+  if (packet.size() < 12) return std::nullopt;
+  DnsMessage msg;
+  msg.id = *get_u16(packet, 0);
+  const std::uint16_t flags = *get_u16(packet, 2);
+  msg.is_response = (flags & 0x8000) != 0;
+  const std::uint16_t qdcount = *get_u16(packet, 4);
+  msg.answer_count = *get_u16(packet, 6);
+  std::size_t pos = 12;
+  for (std::uint16_t q = 0; q < qdcount; ++q) {
+    auto name = read_name(packet, pos);
+    if (!name) return std::nullopt;
+    const auto qtype = get_u16(packet, pos);
+    const auto qclass = get_u16(packet, pos + 2);
+    if (!qtype || !qclass) return std::nullopt;
+    pos += 4;
+    msg.questions.push_back(DnsQuestion{std::move(*name), *qtype, *qclass});
+  }
+  return msg;
+}
+
+}  // namespace wlm::classify

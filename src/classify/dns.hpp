@@ -1,0 +1,38 @@
+// Minimal DNS wire codec (RFC 1035): enough to build the query packets the
+// traffic generator emits and to let the classifier's slow path extract the
+// queried hostname — the paper's first application-identification signal
+// ("initial DNS lookup", §3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlm::classify {
+
+struct DnsQuestion {
+  std::string qname;       // dotted, lowercase
+  std::uint16_t qtype = 1;  // A
+  std::uint16_t qclass = 1; // IN
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::vector<DnsQuestion> questions;
+  std::uint16_t answer_count = 0;  // parsed but answers are not materialized
+};
+
+/// Encodes a single-question query. Names longer than 255 bytes or with
+/// labels over 63 bytes are truncated per-spec limits.
+[[nodiscard]] std::vector<std::uint8_t> encode_dns_query(std::uint16_t id,
+                                                         std::string_view qname);
+
+/// Parses header + question section (answers are skipped; compression
+/// pointers in QNAMEs are followed with loop protection).
+[[nodiscard]] std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet);
+
+}  // namespace wlm::classify

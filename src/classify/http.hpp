@@ -1,0 +1,31 @@
+// HTTP/1.x request-head parser — the slow path inspects "packets containing
+// HTTP headers" (paper §2.1) to pull Host and User-Agent for classification.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wlm::classify {
+
+struct HttpRequestHead {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::string host;          // lowercased, port stripped
+  std::string user_agent;
+  std::string content_type;  // from the request, when present
+};
+
+/// Parses the request line and headers from the start of a TCP payload.
+/// Tolerates a truncated header block (classification works from the first
+/// packet of a flow); returns nullopt only when the request line itself is
+/// absent or malformed.
+[[nodiscard]] std::optional<HttpRequestHead> parse_http_request(std::string_view payload);
+
+/// Builds a request head for the traffic generator.
+[[nodiscard]] std::string build_http_request(std::string_view method, std::string_view host,
+                                             std::string_view path, std::string_view user_agent,
+                                             std::string_view content_type = {});
+
+}  // namespace wlm::classify

@@ -1,0 +1,74 @@
+#include "classify/os.hpp"
+
+namespace wlm::classify {
+
+std::string_view os_name(OsType os) {
+  switch (os) {
+    case OsType::kUnknown:
+      return "Unknown";
+    case OsType::kWindows:
+      return "Windows";
+    case OsType::kAppleIos:
+      return "Apple iOS";
+    case OsType::kMacOsX:
+      return "Mac OS X";
+    case OsType::kAndroid:
+      return "Android";
+    case OsType::kChromeOs:
+      return "Chrome OS";
+    case OsType::kPlaystation:
+      return "Sony Playstation OS";
+    case OsType::kLinux:
+      return "Linux";
+    case OsType::kBlackberry:
+      return "RIM BlackBerry";
+    case OsType::kWindowsMobile:
+      return "Mobile Windows OSes";
+    case OsType::kXbox:
+      return "Microsoft Xbox";
+    case OsType::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+DeviceClass device_class(OsType os) {
+  switch (os) {
+    case OsType::kWindows:
+    case OsType::kMacOsX:
+    case OsType::kChromeOs:
+    case OsType::kLinux:
+      return DeviceClass::kDesktop;
+    case OsType::kAppleIos:
+    case OsType::kAndroid:
+    case OsType::kBlackberry:
+    case OsType::kWindowsMobile:
+      return DeviceClass::kMobile;
+    case OsType::kPlaystation:
+    case OsType::kXbox:
+      return DeviceClass::kConsole;
+    case OsType::kOther:
+      return DeviceClass::kEmbedded;
+    case OsType::kUnknown:
+      return DeviceClass::kUnknown;
+  }
+  return DeviceClass::kUnknown;
+}
+
+std::string_view device_class_name(DeviceClass dc) {
+  switch (dc) {
+    case DeviceClass::kDesktop:
+      return "desktop/laptop";
+    case DeviceClass::kMobile:
+      return "mobile";
+    case DeviceClass::kConsole:
+      return "console";
+    case DeviceClass::kEmbedded:
+      return "embedded";
+    case DeviceClass::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace wlm::classify

@@ -1,0 +1,34 @@
+// Client operating-system taxonomy (the row set of the paper's Table 3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wlm::classify {
+
+enum class OsType : std::uint8_t {
+  kUnknown = 0,
+  kWindows,
+  kAppleIos,
+  kMacOsX,
+  kAndroid,
+  kChromeOs,
+  kPlaystation,
+  kLinux,
+  kBlackberry,
+  kWindowsMobile,
+  kXbox,
+  kOther,
+};
+
+inline constexpr int kOsTypeCount = 12;
+
+[[nodiscard]] std::string_view os_name(OsType os);
+
+/// Device class implied by the OS (paper §3.2 contrasts mobile vs desktop).
+enum class DeviceClass : std::uint8_t { kDesktop, kMobile, kConsole, kEmbedded, kUnknown };
+
+[[nodiscard]] DeviceClass device_class(OsType os);
+[[nodiscard]] std::string_view device_class_name(DeviceClass dc);
+
+}  // namespace wlm::classify

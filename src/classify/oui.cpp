@@ -1,0 +1,158 @@
+#include "classify/oui.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace wlm::classify {
+
+std::string_view vendor_name(Vendor v) {
+  switch (v) {
+    case Vendor::kUnknown:
+      return "Unknown";
+    case Vendor::kApple:
+      return "Apple";
+    case Vendor::kSamsung:
+      return "Samsung";
+    case Vendor::kMicrosoft:
+      return "Microsoft";
+    case Vendor::kIntel:
+      return "Intel";
+    case Vendor::kDell:
+      return "Dell";
+    case Vendor::kHp:
+      return "HP";
+    case Vendor::kSony:
+      return "Sony";
+    case Vendor::kLg:
+      return "LG";
+    case Vendor::kHtc:
+      return "HTC";
+    case Vendor::kMotorola:
+      return "Motorola";
+    case Vendor::kRim:
+      return "RIM";
+    case Vendor::kNokia:
+      return "Nokia";
+    case Vendor::kGoogle:
+      return "Google";
+    case Vendor::kCisco:
+      return "Cisco";
+    case Vendor::kNovatel:
+      return "Novatel";
+    case Vendor::kPantech:
+      return "Pantech";
+    case Vendor::kSierraWireless:
+      return "Sierra Wireless";
+    case Vendor::kFranklin:
+      return "Franklin Wireless";
+    case Vendor::kZte:
+      return "ZTE";
+    case Vendor::kNetgear:
+      return "Netgear";
+    case Vendor::kTpLink:
+      return "TP-Link";
+    case Vendor::kDropcam:
+      return "Dropcam";
+  }
+  return "?";
+}
+
+namespace {
+
+// Real IEEE OUI assignments (subset).
+std::vector<OuiEntry> build_registry() {
+  std::vector<OuiEntry> reg = {
+      {0x000393, Vendor::kApple},  {0x0016CB, Vendor::kApple},  {0x001EC2, Vendor::kApple},
+      {0x0023DF, Vendor::kApple},  {0x28CFE9, Vendor::kApple},  {0x3C0754, Vendor::kApple},
+      {0x7CD1C3, Vendor::kApple},  {0xA45E60, Vendor::kApple},  {0xD0E140, Vendor::kApple},
+      {0x002339, Vendor::kSamsung}, {0x1489FD, Vendor::kSamsung}, {0x5001BB, Vendor::kSamsung},
+      {0x8C7712, Vendor::kSamsung}, {0xE8508B, Vendor::kSamsung},
+      {0x0017FA, Vendor::kMicrosoft}, {0x7CED8D, Vendor::kMicrosoft}, {0x985FD3, Vendor::kMicrosoft},
+      {0x001B21, Vendor::kIntel},  {0x3413E8, Vendor::kIntel},  {0xA0A8CD, Vendor::kIntel},
+      {0x001422, Vendor::kDell},   {0xB8AC6F, Vendor::kDell},
+      {0x001708, Vendor::kHp},     {0x308D99, Vendor::kHp},
+      {0x001315, Vendor::kSony},   {0x280DFC, Vendor::kSony},   {0xF8D0AC, Vendor::kSony},
+      {0x001C62, Vendor::kLg},     {0xA09169, Vendor::kLg},
+      {0x002376, Vendor::kHtc},    {0x7C6193, Vendor::kHtc},
+      {0x00A0BF, Vendor::kMotorola}, {0x40786A, Vendor::kMotorola},
+      {0x001CCC, Vendor::kRim},    {0x9C3AAF, Vendor::kRim},
+      {0x0002EE, Vendor::kNokia},  {0x3CF72A, Vendor::kNokia},
+      {0x3C5AB4, Vendor::kGoogle}, {0x94EB2C, Vendor::kGoogle},
+      {0x00180A, Vendor::kCisco},  {0x88154E, Vendor::kCisco},  {0xE05FB9, Vendor::kCisco},
+      {0x001529, Vendor::kNovatel}, {0x0015FF, Vendor::kNovatel}, {0x302DE8, Vendor::kNovatel},
+      {0x0022F1, Vendor::kPantech}, {0xC4AAA1, Vendor::kPantech},
+      {0x000F3D, Vendor::kSierraWireless}, {0x7C9A1D, Vendor::kSierraWireless},
+      {0x0023B3, Vendor::kFranklin},
+      {0x002512, Vendor::kZte},    {0x98F537, Vendor::kZte},
+      {0x00095B, Vendor::kNetgear}, {0xA040A0, Vendor::kNetgear},
+      {0x14CC20, Vendor::kTpLink}, {0xEC086B, Vendor::kTpLink},
+      {0x305CDE, Vendor::kDropcam},
+  };
+  std::sort(reg.begin(), reg.end(),
+            [](const OuiEntry& a, const OuiEntry& b) { return a.oui < b.oui; });
+  return reg;
+}
+
+const std::vector<OuiEntry>& registry_storage() {
+  static const std::vector<OuiEntry> reg = build_registry();
+  return reg;
+}
+
+}  // namespace
+
+std::span<const OuiEntry> oui_registry() { return registry_storage(); }
+
+Vendor vendor_for(MacAddress mac) {
+  if (mac.locally_administered()) return Vendor::kUnknown;
+  const auto& reg = registry_storage();
+  const std::uint32_t oui = mac.oui();
+  const auto it = std::lower_bound(reg.begin(), reg.end(), oui,
+                                   [](const OuiEntry& e, std::uint32_t v) { return e.oui < v; });
+  if (it != reg.end() && it->oui == oui) return it->vendor;
+  return Vendor::kUnknown;
+}
+
+bool is_hotspot_vendor(Vendor v) {
+  switch (v) {
+    case Vendor::kNovatel:
+    case Vendor::kPantech:
+    case Vendor::kSierraWireless:
+    case Vendor::kFranklin:
+    case Vendor::kZte:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<OsType> os_hint_from_vendor(Vendor v) {
+  switch (v) {
+    case Vendor::kApple:
+      return std::nullopt;  // could be iOS or Mac OS X; need more evidence
+    case Vendor::kSamsung:
+    case Vendor::kHtc:
+    case Vendor::kLg:
+    case Vendor::kMotorola:
+      return OsType::kAndroid;
+    case Vendor::kRim:
+      return OsType::kBlackberry;
+    case Vendor::kNokia:
+      return OsType::kWindowsMobile;
+    case Vendor::kSony:
+      return OsType::kPlaystation;
+    case Vendor::kDropcam:
+      return OsType::kOther;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::uint32_t representative_oui(Vendor v) {
+  for (const auto& e : registry_storage()) {
+    if (e.vendor == v) return e.oui;
+  }
+  return 0x020000;  // locally administered fallback
+}
+
+}  // namespace wlm::classify

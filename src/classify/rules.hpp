@@ -1,0 +1,71 @@
+// Application identification rule engine.
+//
+// Mirrors the paper's Click-based slow path (§2.1/§3.3): "about 200
+// application identification rules" match flow metadata — DNS lookup, HTTP
+// Host, SSL SNI, and port numbers — and update per-app usage counters. Rules
+// are generated from the application catalog's domain/port hints plus a set
+// of fallback bucket rules (miscellaneous web, non-web TCP, UDP, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/apps.hpp"
+
+namespace wlm::classify {
+
+enum class Transport : std::uint8_t { kTcp, kUdp };
+
+/// Metadata the slow path extracted from one flow's initial packets.
+struct FlowMetadata {
+  Transport transport = Transport::kTcp;
+  std::uint16_t dst_port = 0;
+  std::string dns_hostname;   // hostname from the preceding DNS lookup
+  std::string http_host;      // from an HTTP request head
+  std::string http_content_type;
+  std::string sni;            // from a TLS ClientHello
+  bool saw_tls = false;
+  bool high_entropy = false;  // payload looks encrypted (non-TLS)
+
+  /// Best hostname evidence in precedence order: SNI, HTTP Host, DNS.
+  [[nodiscard]] std::string_view best_hostname() const;
+};
+
+enum class RuleKind : std::uint8_t { kDomainSuffix, kTcpPort, kUdpPort };
+
+struct Rule {
+  RuleKind kind = RuleKind::kDomainSuffix;
+  std::string domain;       // for kDomainSuffix
+  std::uint16_t port = 0;   // for port rules
+  AppId app = AppId::kUnclassified;
+};
+
+/// True when `host` equals `suffix` or ends with "." + suffix.
+[[nodiscard]] bool domain_suffix_match(std::string_view host, std::string_view suffix);
+
+/// The compiled rule set.
+class RuleSet {
+ public:
+  /// Rules generated from app_catalog(); ~200 entries like the paper's.
+  [[nodiscard]] static const RuleSet& standard();
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Classifies one flow. Never returns kUnclassified: flows that match no
+  /// explicit rule land in a fallback bucket (misc web / misc secure web /
+  /// misc video / misc audio / encrypted P2P / non-web TCP / UDP).
+  [[nodiscard]] AppId classify(const FlowMetadata& flow) const;
+
+ private:
+  explicit RuleSet(std::vector<Rule> rules);
+  [[nodiscard]] std::optional<AppId> match_domain(std::string_view host) const;
+  [[nodiscard]] std::optional<AppId> match_port(Transport t, std::uint16_t port) const;
+
+  std::vector<Rule> rules_;
+};
+
+}  // namespace wlm::classify

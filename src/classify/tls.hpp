@@ -1,0 +1,31 @@
+// TLS ClientHello codec — the slow path inspects "packets containing SSL
+// handshakes" (paper §2.1); the Server Name Indication extension carries the
+// hostname used to classify HTTPS flows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlm::classify {
+
+struct ClientHelloInfo {
+  std::uint16_t legacy_version = 0x0303;  // TLS 1.2 on the wire
+  std::string sni;                        // empty when the extension is absent
+  std::size_t cipher_suite_count = 0;
+};
+
+/// Builds a syntactically valid ClientHello record with an SNI extension.
+/// `random32` seeds the 32-byte client random deterministically.
+[[nodiscard]] std::vector<std::uint8_t> build_client_hello(std::string_view sni,
+                                                           std::uint64_t random32 = 0);
+
+/// Parses a TLS record containing a ClientHello; extracts SNI when present.
+/// Returns nullopt for anything that is not a well-formed ClientHello.
+[[nodiscard]] std::optional<ClientHelloInfo> parse_client_hello(
+    std::span<const std::uint8_t> record);
+
+}  // namespace wlm::classify

@@ -1,0 +1,102 @@
+#include "classify/user_agent.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace wlm::classify {
+
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  const auto it = std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+                              [](unsigned char a, unsigned char b) {
+                                return std::tolower(a) == std::tolower(b);
+                              });
+  return it != haystack.end();
+}
+
+}  // namespace
+
+std::optional<OsType> os_from_user_agent(std::string_view ua) {
+  if (ua.empty()) return std::nullopt;
+  // Order matters: more specific tokens first. "Mobile Safari" on iPad/iPhone
+  // must win over the generic "Mac OS X" token iOS UAs also carry.
+  if (contains_ci(ua, "iPhone") || contains_ci(ua, "iPad") || contains_ci(ua, "iPod")) {
+    return OsType::kAppleIos;
+  }
+  // Modern Windows Phone UAs spoof "Android", so test them first.
+  if (contains_ci(ua, "Windows Phone") || contains_ci(ua, "Windows CE") ||
+      contains_ci(ua, "IEMobile")) {
+    return OsType::kWindowsMobile;
+  }
+  if (contains_ci(ua, "Android")) return OsType::kAndroid;
+  if (contains_ci(ua, "CrOS")) return OsType::kChromeOs;
+  // Console UAs embed desktop tokens ("Windows NT ...; Xbox"), so test them
+  // ahead of the generic desktop checks.
+  if (contains_ci(ua, "PlayStation")) return OsType::kPlaystation;
+  if (contains_ci(ua, "Xbox")) return OsType::kXbox;
+  if (contains_ci(ua, "Windows NT") || contains_ci(ua, "Win64")) return OsType::kWindows;
+  if (contains_ci(ua, "Mac OS X") || contains_ci(ua, "Macintosh")) return OsType::kMacOsX;
+  if (contains_ci(ua, "BlackBerry") || contains_ci(ua, "BB10")) return OsType::kBlackberry;
+  if (contains_ci(ua, "Linux")) return OsType::kLinux;
+  return std::nullopt;
+}
+
+std::string canonical_user_agent(OsType os, unsigned variant) {
+  switch (os) {
+    case OsType::kWindows: {
+      static const std::array<const char*, 3> uas = {
+          "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) "
+          "Chrome/39.0.2171.95 Safari/537.36",
+          "Mozilla/5.0 (Windows NT 6.3; Trident/7.0; rv:11.0) like Gecko",
+          "Mozilla/5.0 (Windows NT 6.1; rv:34.0) Gecko/20100101 Firefox/34.0"};
+      return uas[variant % uas.size()];
+    }
+    case OsType::kAppleIos: {
+      static const std::array<const char*, 3> uas = {
+          "Mozilla/5.0 (iPhone; CPU iPhone OS 8_1_2 like Mac OS X) AppleWebKit/600.1.4 "
+          "(KHTML, like Gecko) Version/8.0 Mobile/12B440 Safari/600.1.4",
+          "Mozilla/5.0 (iPad; CPU OS 8_1 like Mac OS X) AppleWebKit/600.1.4 (KHTML, like "
+          "Gecko) Version/8.0 Mobile/12B410 Safari/600.1.4",
+          "YouTube/9.38 (iPhone; CPU iPhone OS 8_1 like Mac OS X)"};
+      return uas[variant % uas.size()];
+    }
+    case OsType::kMacOsX: {
+      static const std::array<const char*, 2> uas = {
+          "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_1) AppleWebKit/600.2.5 (KHTML, "
+          "like Gecko) Version/8.0.2 Safari/600.2.5",
+          "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_9_5) AppleWebKit/537.36 (KHTML, like "
+          "Gecko) Chrome/39.0.2171.95 Safari/537.36"};
+      return uas[variant % uas.size()];
+    }
+    case OsType::kAndroid: {
+      static const std::array<const char*, 2> uas = {
+          "Mozilla/5.0 (Linux; Android 5.0; Nexus 5 Build/LRX21O) AppleWebKit/537.36 "
+          "(KHTML, like Gecko) Chrome/39.0.2171.93 Mobile Safari/537.36",
+          "Dalvik/1.6.0 (Linux; U; Android 4.4.4; SM-G900F Build/KTU84P)"};
+      return uas[variant % uas.size()];
+    }
+    case OsType::kChromeOs:
+      return "Mozilla/5.0 (X11; CrOS x86_64 6310.68.0) AppleWebKit/537.36 (KHTML, like "
+             "Gecko) Chrome/39.0.2171.96 Safari/537.36";
+    case OsType::kPlaystation:
+      return "Mozilla/5.0 (PlayStation 4 2.03) AppleWebKit/537.73 (KHTML, like Gecko)";
+    case OsType::kLinux:
+      return "Mozilla/5.0 (X11; Linux x86_64; rv:34.0) Gecko/20100101 Firefox/34.0";
+    case OsType::kBlackberry:
+      return "Mozilla/5.0 (BlackBerry; U; BlackBerry 9900; en) AppleWebKit/534.11+ (KHTML, "
+             "like Gecko) Version/7.1.0.346 Mobile Safari/534.11+";
+    case OsType::kWindowsMobile:
+      return "Mozilla/5.0 (Mobile; Windows Phone 8.1; Android 4.0; ARM; Trident/7.0; "
+             "Touch; rv:11.0; IEMobile/11.0; NOKIA; Lumia 630) like Gecko";
+    case OsType::kXbox:
+      return "Mozilla/5.0 (Windows NT 6.2; Trident/7.0; Xbox; Xbox One) like Gecko";
+    case OsType::kOther:
+    case OsType::kUnknown:
+      return "EmbeddedClient/1.0";
+  }
+  return "EmbeddedClient/1.0";
+}
+
+}  // namespace wlm::classify

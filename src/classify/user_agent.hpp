@@ -1,0 +1,19 @@
+// HTTP User-Agent inspection (the paper's third device-typing signal, §3.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "classify/os.hpp"
+
+namespace wlm::classify {
+
+/// OS detected from a User-Agent string; nullopt when unrecognized.
+[[nodiscard]] std::optional<OsType> os_from_user_agent(std::string_view ua);
+
+/// A realistic User-Agent string for an OS (used by the traffic generator).
+/// `variant` selects among several browsers/apps per OS.
+[[nodiscard]] std::string canonical_user_agent(OsType os, unsigned variant = 0);
+
+}  // namespace wlm::classify

@@ -1,0 +1,177 @@
+#include "core/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace wlm {
+
+namespace {
+
+constexpr char kSeriesGlyphs[] = {'*', 'o', '+', 'x', '@', '%'};
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range data_range(const std::vector<Series>& series, bool use_x) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double v = use_x ? x : y;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(lo < hi)) {  // empty or constant
+    if (!std::isfinite(lo)) lo = 0.0;
+    hi = lo + 1.0;
+  }
+  return {lo, hi};
+}
+
+std::string axis_number(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof buf, "%.2g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+std::string frame(const std::vector<std::string>& grid_rows, const Range& xr, const Range& yr,
+                  const ChartOptions& opt, const std::string& legend) {
+  std::ostringstream out;
+  if (!opt.title.empty()) out << opt.title << '\n';
+  if (!opt.y_label.empty()) out << opt.y_label << '\n';
+  const std::string y_hi = axis_number(yr.hi);
+  const std::string y_lo = axis_number(yr.lo);
+  const std::size_t label_w = std::max(y_hi.size(), y_lo.size());
+  for (std::size_t r = 0; r < grid_rows.size(); ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = std::string(label_w - y_hi.size(), ' ') + y_hi;
+    if (r + 1 == grid_rows.size()) label = std::string(label_w - y_lo.size(), ' ') + y_lo;
+    out << label << " |" << grid_rows[r] << '\n';
+  }
+  out << std::string(label_w, ' ') << " +" << std::string(opt.width, '-') << '\n';
+  const std::string x_lo = axis_number(xr.lo);
+  const std::string x_hi = axis_number(xr.hi);
+  out << std::string(label_w + 2, ' ') << x_lo;
+  if (opt.width > x_lo.size() + x_hi.size()) {
+    out << std::string(opt.width - x_lo.size() - x_hi.size(), ' ');
+  }
+  out << x_hi << '\n';
+  if (!opt.x_label.empty()) {
+    const std::size_t pad = label_w + 2 + (opt.width > opt.x_label.size() ? (opt.width - opt.x_label.size()) / 2 : 0);
+    out << std::string(pad, ' ') << opt.x_label << '\n';
+  }
+  if (!legend.empty()) out << legend << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  Range xr = options.fix_x ? Range{options.x_min, options.x_max} : data_range(series, true);
+  Range yr = options.fix_y ? Range{options.y_min, options.y_max} : data_range(series, false);
+
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  std::string legend = "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kSeriesGlyphs[si % sizeof kSeriesGlyphs];
+    legend += "  ";
+    legend += glyph;
+    legend += " = " + series[si].label;
+    for (const auto& [x, y] : series[si].points) {
+      if (x < xr.lo || x > xr.hi || y < yr.lo || y > yr.hi) continue;
+      const auto col = static_cast<std::size_t>(std::min(
+          static_cast<double>(options.width - 1),
+          (x - xr.lo) / (xr.hi - xr.lo) * static_cast<double>(options.width - 1) + 0.5));
+      const auto row_from_bottom = static_cast<std::size_t>(std::min(
+          static_cast<double>(options.height - 1),
+          (y - yr.lo) / (yr.hi - yr.lo) * static_cast<double>(options.height - 1) + 0.5));
+      const std::size_t row = options.height - 1 - row_from_bottom;
+      grid[row][col] = glyph;
+    }
+  }
+  return frame(grid, xr, yr, options, series.size() > 1 ? legend : std::string{});
+}
+
+std::string render_scatter(const Series& series, const ChartOptions& options) {
+  Range xr = options.fix_x ? Range{options.x_min, options.x_max} : data_range({series}, true);
+  Range yr = options.fix_y ? Range{options.y_min, options.y_max} : data_range({series}, false);
+
+  std::vector<std::vector<int>> density(options.height, std::vector<int>(options.width, 0));
+  for (const auto& [x, y] : series.points) {
+    if (x < xr.lo || x > xr.hi || y < yr.lo || y > yr.hi) continue;
+    const auto col = static_cast<std::size_t>(std::min(
+        static_cast<double>(options.width - 1),
+        (x - xr.lo) / (xr.hi - xr.lo) * static_cast<double>(options.width - 1) + 0.5));
+    const auto row_from_bottom = static_cast<std::size_t>(std::min(
+        static_cast<double>(options.height - 1),
+        (y - yr.lo) / (yr.hi - yr.lo) * static_cast<double>(options.height - 1) + 0.5));
+    ++density[options.height - 1 - row_from_bottom][col];
+  }
+  int max_d = 0;
+  for (const auto& row : density) {
+    for (int d : row) max_d = std::max(max_d, d);
+  }
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  const char ramp[] = {'.', ':', '*', '#'};
+  for (std::size_t r = 0; r < options.height; ++r) {
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const int d = density[r][c];
+      if (d == 0) continue;
+      const int level = max_d <= 1 ? 0 : std::min(3, d * 4 / (max_d + 1));
+      grid[r][c] = ramp[level];
+    }
+  }
+  return frame(grid, xr, yr, options, {});
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& bars,
+                        const std::string& title, std::size_t width) {
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  for (const auto& [label, v] : bars) {
+    const auto n = max_v > 0.0
+                       ? static_cast<std::size_t>(v / max_v * static_cast<double>(width) + 0.5)
+                       : 0;
+    out << label << std::string(label_w - label.size(), ' ') << " |" << std::string(n, '#') << ' '
+        << axis_number(v) << '\n';
+  }
+  return out.str();
+}
+
+std::string render_psd(const std::vector<double>& psd_db, double floor_db, double ceil_db,
+                       std::size_t width) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const std::size_t levels = sizeof kRamp - 2;
+  std::string out;
+  out.reserve(width);
+  if (psd_db.empty() || width == 0) return out;
+  for (std::size_t c = 0; c < width; ++c) {
+    // Average the FFT bins that fall into this column.
+    const std::size_t b0 = c * psd_db.size() / width;
+    const std::size_t b1 = std::max(b0 + 1, (c + 1) * psd_db.size() / width);
+    double acc = 0.0;
+    for (std::size_t b = b0; b < b1 && b < psd_db.size(); ++b) acc += psd_db[b];
+    const double v = acc / static_cast<double>(b1 - b0);
+    const double t = std::clamp((v - floor_db) / (ceil_db - floor_db), 0.0, 1.0);
+    out.push_back(kRamp[static_cast<std::size_t>(t * static_cast<double>(levels))]);
+  }
+  return out;
+}
+
+}  // namespace wlm

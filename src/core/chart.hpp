@@ -1,0 +1,49 @@
+// ASCII chart rendering for reproducing the paper's figures in a terminal:
+// CDF/line plots, scatter plots, bar charts, and spectral waterfalls.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wlm {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+struct ChartOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::size_t width = 72;   // plot-area columns
+  std::size_t height = 20;  // plot-area rows
+  // When set, override the auto-computed data range.
+  bool fix_x = false;
+  double x_min = 0.0;
+  double x_max = 1.0;
+  bool fix_y = false;
+  double y_min = 0.0;
+  double y_max = 1.0;
+};
+
+/// Multi-series line chart; each series gets its own glyph and a legend line.
+[[nodiscard]] std::string render_line_chart(const std::vector<Series>& series,
+                                            const ChartOptions& options);
+
+/// Scatter plot (density shown by glyph escalation: . : * #).
+[[nodiscard]] std::string render_scatter(const Series& series, const ChartOptions& options);
+
+/// Horizontal bar chart from (label, value) pairs.
+[[nodiscard]] std::string render_bars(const std::vector<std::pair<std::string, double>>& bars,
+                                      const std::string& title, std::size_t width = 60);
+
+/// Power-spectral-density "waterfall" strip: one row, dB values mapped onto a
+/// grayscale ramp of glyphs. Used to render Figure 11-style spectra.
+[[nodiscard]] std::string render_psd(const std::vector<double>& psd_db, double floor_db,
+                                     double ceil_db, std::size_t width = 96);
+
+}  // namespace wlm

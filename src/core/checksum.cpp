@@ -1,0 +1,49 @@
+#include "core/checksum.hpp"
+
+#include <array>
+
+namespace wlm {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) { return crc32_update(0, data); }
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  return fnv1a64(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(text.data()),
+                                               text.size()));
+}
+
+}  // namespace wlm

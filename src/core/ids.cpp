@@ -1,0 +1,40 @@
+#include "core/ids.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace wlm {
+
+namespace {
+
+std::optional<int> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx" (17 chars).
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const auto hi = hex_digit(text[static_cast<std::size_t>(i * 3)]);
+    const auto lo = hex_digit(text[static_cast<std::size_t>(i * 3 + 1)]);
+    if (!hi || !lo) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((*hi << 4) | *lo);
+    if (i < 5 && text[static_cast<std::size_t>(i * 3 + 2)] != ':') return std::nullopt;
+  }
+  return MacAddress{octets};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace wlm

@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repository must be exactly reproducible from a
+// seed, so we carry our own xoshiro256** generator (public-domain algorithm
+// by Blackman & Vigna) instead of std::mt19937, whose distributions are not
+// specified bit-for-bit across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wlm {
+
+/// xoshiro256** 1.0 — fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+  /// Pareto (heavy-tailed usage distributions) with scale xm>0, shape alpha>0.
+  double pareto(double xm, double alpha);
+  /// Poisson-distributed count with given mean (Knuth for small, normal
+  /// approximation for large means).
+  std::int64_t poisson(double mean);
+  /// Rayleigh-distributed amplitude with scale sigma (fading envelopes).
+  double rayleigh(double sigma);
+
+  /// Index in [0, weights.size()) sampled proportionally to weights.
+  /// Zero/negative weights are treated as zero; requires a positive total.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (stable given call order).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace wlm

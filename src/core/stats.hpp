@@ -1,0 +1,103 @@
+// Statistics primitives used by every analysis: running moments, empirical
+// CDFs/quantiles, fixed-bin histograms, and simple correlation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wlm {
+
+/// Streaming mean/variance/min/max (Welford's algorithm; numerically stable).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Empirical distribution built from a sample set. Immutable once built.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// P(X <= x), step CDF. 0 for empty distributions.
+  [[nodiscard]] double at(double x) const;
+  /// Quantile for p in [0,1], linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Evaluation points for plotting: `n` (x, F(x)) pairs spanning the range.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t n = 100) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// One-shot quantile of a sample span (copies + sorts; use EmpiricalCdf for
+/// repeated queries).
+[[nodiscard]] double quantile(std::span<const double> xs, double p);
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so that totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_weight(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total_weight() const { return total_; }
+  /// Fraction of total weight in bin i (0 when empty).
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Pearson correlation coefficient; 0 when either side has no variance.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace wlm

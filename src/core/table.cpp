@@ -1,0 +1,94 @@
+#include "core/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace wlm {
+
+TextTable::TextTable(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  assert(!headers_.empty());
+  if (aligns_.empty()) aligns_.assign(headers_.size(), Align::kLeft);
+  assert(aligns_.size() == headers_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::ostringstream& out, const std::string& text, std::size_t c) {
+    const auto pad = widths[c] - text.size();
+    out << ' ';
+    if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+    out << text;
+    if (aligns_[c] == Align::kLeft) out << std::string(pad, ' ');
+    out << " |";
+  };
+
+  std::ostringstream out;
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) emit_cell(out, headers_[c], c);
+  out << '\n' << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + (aligns_[c] == Align::kRight ? 1 : 2), '-');
+    if (aligns_[c] == Align::kRight) out << ':';
+    out << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) emit_cell(out, row[c], c);
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string with_commas(long long value) {
+  const bool neg = value < 0;
+  unsigned long long v = neg ? static_cast<unsigned long long>(-(value + 1)) + 1
+                             : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string pct(double fraction01) {
+  const double p = fraction01 * 100.0;
+  char buf[64];
+  const double mag = p < 0 ? -p : p;
+  if (mag >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.0f%%", p);
+  } else if (mag >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f%%", p);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%%", p);
+  }
+  return buf;
+}
+
+}  // namespace wlm

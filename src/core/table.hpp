@@ -1,0 +1,44 @@
+// Plain-text table rendering for reproducing the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wlm {
+
+/// Column alignment within a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Builds monospaced tables like:
+///
+///   | Industry    | # networks |
+///   |-------------|-----------:|
+///   | Education   |      4,075 |
+class TextTable {
+ public:
+  /// Columns are fixed at construction; every row must match.
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 12,345,678 with thousands separators, as the paper prints client counts.
+[[nodiscard]] std::string with_commas(long long value);
+
+/// Fixed-precision double ("25.3").
+[[nodiscard]] std::string fixed(double v, int decimals);
+
+/// Percent with sensible precision: "25%", "9.1%", "0.42%".
+[[nodiscard]] std::string pct(double fraction01);
+
+}  // namespace wlm

@@ -1,0 +1,24 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace wlm {
+
+std::string SimTime::to_string() const {
+  const std::int64_t day = day_index();
+  std::int64_t rem = us_ % (24LL * 3600 * 1'000'000);
+  if (rem < 0) rem += 24LL * 3600 * 1'000'000;
+  const auto h = rem / 3'600'000'000LL;
+  rem %= 3'600'000'000LL;
+  const auto m = rem / 60'000'000LL;
+  rem %= 60'000'000LL;
+  const auto s = rem / 1'000'000LL;
+  const auto ms = (rem % 1'000'000LL) / 1000;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "d%lld %02lld:%02lld:%02lld.%03lld", static_cast<long long>(day),
+                static_cast<long long>(h), static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace wlm

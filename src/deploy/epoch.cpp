@@ -1,0 +1,17 @@
+#include "deploy/epoch.hpp"
+
+namespace wlm::deploy {
+
+std::string_view epoch_name(Epoch e) {
+  switch (e) {
+    case Epoch::kJan2014:
+      return "Jan 2014";
+    case Epoch::kJul2014:
+      return "Jul 2014";
+    case Epoch::kJan2015:
+      return "Jan 2015";
+  }
+  return "?";
+}
+
+}  // namespace wlm::deploy

@@ -1,0 +1,17 @@
+// Measurement epochs used throughout the paper's comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wlm::deploy {
+
+enum class Epoch : std::uint8_t {
+  kJan2014,  // usage/capability baseline week (Jan 15-22, 2014)
+  kJul2014,  // "six months ago" for interference comparisons
+  kJan2015,  // the primary measurement week (Jan 15-22, 2015)
+};
+
+[[nodiscard]] std::string_view epoch_name(Epoch e);
+
+}  // namespace wlm::deploy

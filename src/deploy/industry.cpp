@@ -1,0 +1,69 @@
+#include "deploy/industry.hpp"
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+namespace wlm::deploy {
+
+namespace {
+
+// Table 2, in enum order.
+constexpr std::array<int, kIndustryCount> kCounts = {
+    127,   // Architecture/Engineering
+    333,   // Construction
+    365,   // Consulting
+    4075,  // Education
+    737,   // Finance/Insurance
+    1112,  // Government/Public Sector
+    1382,  // Healthcare
+    493,   // Hospitality
+    1220,  // Industrial/Manufacturing
+    264,   // Legal
+    427,   // Media/Advertising
+    640,   // Non-Profit
+    386,   // Real Estate
+    296,   // Restaurants
+    2355,  // Retail
+    983,   // Tech
+    442,   // Telecom
+    2876,  // VAR/System Integrator
+    2154,  // Other
+};
+
+constexpr std::array<std::string_view, kIndustryCount> kNames = {
+    "Architecture/Engineering",
+    "Construction",
+    "Consulting",
+    "Education",
+    "Finance/Insurance",
+    "Government/Public Sector",
+    "Healthcare",
+    "Hospitality",
+    "Industrial/Manufacturing",
+    "Legal",
+    "Media/Advertising",
+    "Non-Profit",
+    "Real Estate",
+    "Restaurants",
+    "Retail",
+    "Tech",
+    "Telecom",
+    "VAR/System Integrator",
+    "Other",
+};
+
+}  // namespace
+
+std::string_view industry_name(Industry i) { return kNames[static_cast<std::size_t>(i)]; }
+
+std::span<const int> industry_network_counts() { return kCounts; }
+
+int total_network_count() { return std::accumulate(kCounts.begin(), kCounts.end(), 0); }
+
+Industry sample_industry(Rng& rng) {
+  static const std::vector<double> weights(kCounts.begin(), kCounts.end());
+  return static_cast<Industry>(rng.weighted_index(weights));
+}
+
+}  // namespace wlm::deploy

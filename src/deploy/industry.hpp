@@ -1,0 +1,45 @@
+// Industry verticals of the studied networks (the paper's Table 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/rng.hpp"
+
+namespace wlm::deploy {
+
+enum class Industry : std::uint8_t {
+  kArchitectureEngineering,
+  kConstruction,
+  kConsulting,
+  kEducation,
+  kFinanceInsurance,
+  kGovernment,
+  kHealthcare,
+  kHospitality,
+  kIndustrialManufacturing,
+  kLegal,
+  kMediaAdvertising,
+  kNonProfit,
+  kRealEstate,
+  kRestaurants,
+  kRetail,
+  kTech,
+  kTelecom,
+  kVarSystemIntegrator,
+  kOther,
+};
+
+inline constexpr int kIndustryCount = 19;
+
+[[nodiscard]] std::string_view industry_name(Industry i);
+
+/// Network counts per industry from Table 2 (total 20,667).
+[[nodiscard]] std::span<const int> industry_network_counts();
+[[nodiscard]] int total_network_count();
+
+/// Samples an industry proportionally to the Table 2 mix.
+[[nodiscard]] Industry sample_industry(Rng& rng);
+
+}  // namespace wlm::deploy

@@ -1,0 +1,93 @@
+// Foreign-network environment generator.
+//
+// For each access point we synthesize the population of *other people's*
+// networks audible at its location: how many (heavy-tailed, grown between
+// epochs per Table 7), on which channels (the 1/6/11 skew and UNII-band
+// preferences of Figure 2), how strong, whether they are personal mobile
+// hotspots, whether they still beacon in 802.11b format, and how much
+// traffic they carry by day and night.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "deploy/epoch.hpp"
+#include "deploy/site.hpp"
+#include "phy/channel.hpp"
+
+namespace wlm::deploy {
+
+/// One foreign BSS audible at an AP.
+struct NeighborInfo {
+  MacAddress bssid;
+  std::string ssid;          // as broadcast in the beacon's SSID IE
+  phy::Band band = phy::Band::k2_4GHz;
+  int channel = 1;
+  double rssi_dbm = -80.0;
+  bool is_hotspot = false;
+  bool legacy_11b = false;   // long 2.592 ms beacons
+  int ssid_count = 1;        // virtual APs beacon once per SSID
+  /// Data-traffic duty cycle (beacons excluded) during busy daytime hours
+  /// and at night. Day >= night for business-hour-driven deployments.
+  double day_duty = 0.0;
+  double night_duty = 0.0;
+};
+
+/// Non-802.11 interferers co-located with the AP (Bluetooth, microwave
+/// ovens, analog video senders) — pure energy, never decodable.
+struct NonWifiInterferer {
+  phy::Band band = phy::Band::k2_4GHz;
+  int channel = 1;        // channel whose band it pollutes most
+  double rssi_dbm = -70.0;
+  double day_duty = 0.0;
+  double night_duty = 0.0;
+};
+
+struct NeighborEnvironment {
+  std::vector<NeighborInfo> neighbors;
+  std::vector<NonWifiInterferer> interferers;
+};
+
+struct NeighborModelParams {
+  /// Fleet-wide mean foreign networks audible per AP, by band.
+  double mean_24 = 55.47;
+  double mean_5 = 3.68;
+  /// Fraction of 2.4 GHz / 5 GHz neighbors that are mobile hotspots.
+  double hotspot_frac_24 = 0.194;
+  double hotspot_frac_5 = 0.017;
+  /// Heavy-tail shape (lognormal sigma) of the per-AP neighbor count.
+  double count_sigma = 0.95;
+};
+
+/// Table 7 calibration for an epoch.
+[[nodiscard]] NeighborModelParams neighbor_params(Epoch epoch);
+
+/// Samples a 2.4 GHz channel number with the Figure 2 skew
+/// (channel 1 ~37% more popular than 6/11, slivers on 2-10).
+[[nodiscard]] int sample_channel_24(Rng& rng);
+
+/// Samples a 5 GHz channel with UNII-1/UNII-3 dominating and the DFS bands
+/// (UNII-2/2e) lightly used.
+[[nodiscard]] int sample_channel_5(Rng& rng);
+
+class NeighborGenerator {
+ public:
+  NeighborGenerator(Epoch epoch, Density density);
+
+  /// The full audible environment for one AP.
+  [[nodiscard]] NeighborEnvironment generate(Rng& rng) const;
+
+  /// Density multiplier applied to the fleet-wide mean counts.
+  [[nodiscard]] static double density_multiplier(Density d);
+
+ private:
+  NeighborModelParams params_;
+  Density density_;
+
+  [[nodiscard]] std::vector<NeighborInfo> generate_band(phy::Band band, Rng& rng) const;
+};
+
+}  // namespace wlm::deploy

@@ -1,0 +1,128 @@
+#include "deploy/population.hpp"
+
+#include <array>
+
+#include "classify/oui.hpp"
+
+namespace wlm::deploy {
+
+namespace {
+
+using classify::OsType;
+using classify::Vendor;
+
+struct OsRow {
+  OsType os;
+  double clients_2015;
+  double increase;  // fraction: clients_2014 = clients_2015 / (1 + increase)
+};
+
+// Table 3 "# clients" and "% increase" columns.
+constexpr std::array<OsRow, 11> kOsRows = {{
+    {OsType::kWindows, 822'761, 0.28},
+    {OsType::kAppleIos, 2'550'379, 0.34},
+    {OsType::kMacOsX, 313'976, 0.24},
+    {OsType::kAndroid, 1'535'859, 0.61},
+    {OsType::kUnknown, 228'182, -0.089},
+    {OsType::kChromeOs, 178'095, 2.22},
+    {OsType::kOther, 13'969, -0.33},
+    {OsType::kPlaystation, 4'267, -0.13},
+    {OsType::kLinux, 4'402, 1.65},
+    {OsType::kBlackberry, 13'681, -0.53},
+    {OsType::kWindowsMobile, 4'943, -0.42},
+}};
+
+double row_clients(const OsRow& row, Epoch epoch) {
+  switch (epoch) {
+    case Epoch::kJan2015:
+      return row.clients_2015;
+    case Epoch::kJan2014:
+      return row.clients_2015 / (1.0 + row.increase);
+    case Epoch::kJul2014:
+      return (row.clients_2015 + row.clients_2015 / (1.0 + row.increase)) / 2.0;
+  }
+  return row.clients_2015;
+}
+
+Vendor sample_vendor_for_os(OsType os, Rng& rng) {
+  switch (os) {
+    case OsType::kAppleIos:
+    case OsType::kMacOsX:
+      return Vendor::kApple;
+    case OsType::kAndroid: {
+      const double w[] = {0.5, 0.2, 0.15, 0.15};
+      constexpr Vendor v[] = {Vendor::kSamsung, Vendor::kLg, Vendor::kHtc, Vendor::kMotorola};
+      return v[rng.weighted_index(w)];
+    }
+    case OsType::kWindows: {
+      const double w[] = {0.4, 0.3, 0.2, 0.1};
+      constexpr Vendor v[] = {Vendor::kIntel, Vendor::kDell, Vendor::kHp, Vendor::kMicrosoft};
+      return v[rng.weighted_index(w)];
+    }
+    case OsType::kChromeOs:
+      return rng.chance(0.5) ? Vendor::kGoogle : Vendor::kIntel;
+    case OsType::kPlaystation:
+      return Vendor::kSony;
+    case OsType::kBlackberry:
+      return Vendor::kRim;
+    case OsType::kWindowsMobile:
+      return Vendor::kNokia;
+    case OsType::kLinux:
+      return rng.chance(0.6) ? Vendor::kIntel : Vendor::kUnknown;
+    case OsType::kXbox:
+      return Vendor::kMicrosoft;
+    case OsType::kOther:
+      return rng.chance(0.3) ? Vendor::kDropcam : Vendor::kUnknown;
+    case OsType::kUnknown:
+      return Vendor::kUnknown;
+  }
+  return Vendor::kUnknown;
+}
+
+}  // namespace
+
+std::vector<double> os_client_weights(Epoch epoch) {
+  std::vector<double> weights(static_cast<std::size_t>(classify::kOsTypeCount), 0.0);
+  for (const auto& row : kOsRows) {
+    weights[static_cast<std::size_t>(row.os)] = row_clients(row, epoch);
+  }
+  return weights;
+}
+
+double total_clients(Epoch epoch) {
+  double total = 0.0;
+  for (const auto& row : kOsRows) total += row_clients(row, epoch);
+  return total;
+}
+
+ClientDevice PopulationModel::sample(ClientId id, Rng& rng) const {
+  ClientDevice dev;
+  dev.id = id;
+
+  const auto weights = os_client_weights(epoch_);
+  dev.os = static_cast<OsType>(rng.weighted_index(weights));
+
+  // MAC: vendor OUI + unique low bits from the client id (collision-free).
+  const Vendor vendor = sample_vendor_for_os(dev.os, rng);
+  std::uint64_t mac = 0;
+  if (vendor == Vendor::kUnknown && rng.chance(0.3)) {
+    // Some unknowns are randomized (locally administered) MACs.
+    mac = ((0x02ULL | (rng.next_u64() & 0xFCULL)) << 40) | (rng.next_u64() & 0xFFFFFFFFFFULL);
+  } else {
+    mac = (static_cast<std::uint64_t>(classify::representative_oui(vendor)) << 24) |
+          (static_cast<std::uint64_t>(id.value()) & 0xFFFFFF);
+  }
+  dev.mac = MacAddress::from_u64(mac);
+
+  dev.caps = sample_capabilities(epoch_, rng);
+  // Consoles and legacy handhelds never gained 11ac.
+  if (dev.os == OsType::kPlaystation || dev.os == OsType::kBlackberry ||
+      dev.os == OsType::kWindowsMobile) {
+    dev.caps.bits &= ~static_cast<std::uint32_t>(kCap11ac);
+  }
+  const auto dc = classify::device_class(dev.os);
+  dev.roams = dc == classify::DeviceClass::kMobile && rng.chance(0.6);
+  return dev;
+}
+
+}  // namespace wlm::deploy

@@ -1,0 +1,47 @@
+// Client-device population model.
+//
+// Samples the devices that connect to the studied networks: operating
+// system (Table 3 client-count mix per epoch), 802.11 capabilities
+// (Table 4), and a vendor-consistent MAC address so that OUI-based
+// fingerprinting sees realistic evidence.
+#pragma once
+
+#include <vector>
+
+#include "classify/os.hpp"
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "deploy/capabilities.hpp"
+#include "deploy/epoch.hpp"
+
+namespace wlm::deploy {
+
+struct ClientDevice {
+  ClientId id;
+  MacAddress mac;
+  classify::OsType os = classify::OsType::kUnknown;
+  Capabilities caps;
+  /// True for devices that roam between APs during the week (phones).
+  bool roams = false;
+};
+
+/// Client-count weights per OS for an epoch (Table 3's "# clients" column;
+/// 2014 derived from the year-over-year increases).
+[[nodiscard]] std::vector<double> os_client_weights(Epoch epoch);
+
+/// Total unique clients in the study week for an epoch (4.07 M -> 5.58 M).
+[[nodiscard]] double total_clients(Epoch epoch);
+
+class PopulationModel {
+ public:
+  explicit PopulationModel(Epoch epoch) : epoch_(epoch) {}
+
+  /// Samples one device. MAC vendor, OS, and capabilities are mutually
+  /// consistent (e.g. a Playstation is never 11ac, iPhones are Apple OUIs).
+  [[nodiscard]] ClientDevice sample(ClientId id, Rng& rng) const;
+
+ private:
+  Epoch epoch_;
+};
+
+}  // namespace wlm::deploy

@@ -1,0 +1,31 @@
+#include "mac/association.hpp"
+
+#include <algorithm>
+
+namespace wlm::mac {
+
+std::optional<AssociationResult> select_bss(const std::vector<BssCandidate>& candidates,
+                                            bool client_has_5ghz,
+                                            const AssociationPolicy& policy, Rng& rng) {
+  const BssCandidate* best24 = nullptr;
+  const BssCandidate* best5 = nullptr;
+  for (const auto& c : candidates) {
+    if (c.rssi < policy.min_rssi) continue;
+    if (c.band == phy::Band::k5GHz && !client_has_5ghz) continue;
+    auto*& slot = c.band == phy::Band::k5GHz ? best5 : best24;
+    if (slot == nullptr || c.rssi > slot->rssi) slot = &c;
+  }
+  const BssCandidate* pick = nullptr;
+  if (best5 != nullptr && best5->rssi >= policy.prefer_5ghz_above) {
+    // Usable 5 GHz; most dual-band clients take it, some stick to 2.4.
+    pick = (best24 != nullptr && rng.chance(policy.sticky_2_4_prob)) ? best24 : best5;
+  } else if (best24 != nullptr) {
+    pick = best24;
+  } else {
+    pick = best5;  // weak 5 GHz beats nothing
+  }
+  if (pick == nullptr) return std::nullopt;
+  return AssociationResult{pick->ap, pick->band, pick->rssi};
+}
+
+}  // namespace wlm::mac

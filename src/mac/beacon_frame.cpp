@@ -1,0 +1,141 @@
+#include "mac/beacon_frame.hpp"
+
+#include <algorithm>
+
+#include "core/checksum.hpp"
+
+namespace wlm::mac {
+
+bool BeaconFrame::is_11b_only() const {
+  // OFDM rates are 6 Mb/s and up: 12+ in 500 kb/s units (rate & 0x7F).
+  return !rates.empty() &&
+         std::all_of(rates.begin(), rates.end(),
+                     [](std::uint8_t r) { return (r & 0x7F) <= 22; });
+}
+
+std::vector<std::uint8_t> rates_11b() { return {0x82, 0x84, 0x8B, 0x96}; }
+
+std::vector<std::uint8_t> rates_11g() {
+  return {0x82, 0x84, 0x8B, 0x96, 0x0C, 0x12, 0x18, 0x24, 0x30, 0x48, 0x60, 0x6C};
+}
+
+namespace {
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_ie(std::vector<std::uint8_t>& out, std::uint8_t id,
+            std::span<const std::uint8_t> payload) {
+  out.push_back(id);
+  out.push_back(static_cast<std::uint8_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_beacon_frame(const BeaconFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + frame.ssid.size());
+  // Frame control: type=management(00), subtype=beacon(1000) -> 0x80 0x00.
+  out.push_back(0x80);
+  out.push_back(0x00);
+  put_u16le(out, 0);  // duration
+  const MacAddress da = broadcast_mac();
+  for (auto o : da.octets()) out.push_back(o);  // DA
+  for (auto o : frame.bssid.octets()) out.push_back(o);      // SA
+  for (auto o : frame.bssid.octets()) out.push_back(o);      // BSSID
+  put_u16le(out, 0);  // sequence control
+
+  // Fixed parameters: timestamp (8), interval (2), capabilities (2).
+  out.insert(out.end(), 8, 0);
+  put_u16le(out, frame.interval_tus);
+  std::uint16_t caps = 0;
+  if (frame.ess) caps |= 0x0001;
+  if (frame.privacy) caps |= 0x0010;
+  put_u16le(out, caps);
+
+  // IEs: SSID, supported rates, DS parameter set, optional HT caps.
+  put_ie(out, 0,
+         std::span<const std::uint8_t>(
+             reinterpret_cast<const std::uint8_t*>(frame.ssid.data()),
+             std::min<std::size_t>(frame.ssid.size(), 32)));
+  if (!frame.rates.empty()) {
+    // Supported Rates carries at most 8 entries; the remainder goes into
+    // the Extended Supported Rates IE, exactly as 802.11g gear does.
+    const std::size_t head = std::min<std::size_t>(frame.rates.size(), 8);
+    put_ie(out, 1, std::span<const std::uint8_t>(frame.rates.data(), head));
+    if (frame.rates.size() > head) {
+      put_ie(out, 50,
+             std::span<const std::uint8_t>(frame.rates.data() + head,
+                                           frame.rates.size() - head));
+    }
+  }
+  const std::uint8_t ds = static_cast<std::uint8_t>(frame.channel);
+  put_ie(out, 3, std::span<const std::uint8_t>(&ds, 1));
+  if (frame.has_ht) {
+    std::uint8_t ht[26] = {};
+    ht[0] = 0x2C;  // plausible HT capability info LSB
+    put_ie(out, 45, ht);
+  }
+
+  // FCS over the whole frame.
+  const std::uint32_t fcs = crc32(out);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(fcs >> (8 * i)));
+  return out;
+}
+
+std::optional<BeaconFrame> parse_beacon_frame(std::span<const std::uint8_t> data) {
+  // Header(24) + fixed(12) minimum, plus FCS(4).
+  if (data.size() < 24 + 12 + 4) return std::nullopt;
+  if (data[0] != 0x80 || data[1] != 0x00) return std::nullopt;
+
+  // Verify the FCS: a frame whose checksum fails was not "decodable".
+  const std::size_t body = data.size() - 4;
+  std::uint32_t fcs = 0;
+  for (int i = 3; i >= 0; --i) fcs = (fcs << 8) | data[body + static_cast<std::size_t>(i)];
+  if (crc32(data.first(body)) != fcs) return std::nullopt;
+
+  BeaconFrame frame;
+  std::uint64_t bssid = 0;
+  for (int i = 0; i < 6; ++i) bssid = (bssid << 8) | data[16 + static_cast<std::size_t>(i)];
+  frame.bssid = MacAddress::from_u64(bssid);
+  frame.interval_tus = static_cast<std::uint16_t>(data[32] | (data[33] << 8));
+  const std::uint16_t caps = static_cast<std::uint16_t>(data[34] | (data[35] << 8));
+  frame.ess = (caps & 0x0001) != 0;
+  frame.privacy = (caps & 0x0010) != 0;
+
+  frame.has_ht = false;
+  std::size_t pos = 36;
+  while (pos + 2 <= body) {
+    const std::uint8_t id = data[pos];
+    const std::uint8_t len = data[pos + 1];
+    pos += 2;
+    if (pos + len > body) break;  // truncated IE
+    const auto payload = data.subspan(pos, len);
+    pos += len;
+    switch (id) {
+      case 0:
+        frame.ssid.assign(payload.begin(), payload.end());
+        break;
+      case 1:
+        frame.rates.assign(payload.begin(), payload.end());
+        break;
+      case 50:  // Extended Supported Rates continues the list
+        frame.rates.insert(frame.rates.end(), payload.begin(), payload.end());
+        break;
+      case 3:
+        if (len == 1) frame.channel = payload[0];
+        break;
+      case 45:
+        frame.has_ht = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return frame;
+}
+
+}  // namespace wlm::mac

@@ -1,0 +1,47 @@
+// 802.11 beacon frame codec: management-frame header, fixed parameters, and
+// the information elements a scanner needs (SSID, supported rates, DS
+// parameter set, HT capabilities). The scanning radio builds its neighbor
+// table by parsing exactly these bytes off the air; this codec is the
+// packet-level substrate under the neighbor reports of Table 7 / Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace wlm::mac {
+
+struct BeaconFrame {
+  MacAddress bssid;
+  std::string ssid;                 // empty = hidden network
+  int channel = 1;                  // DS parameter set
+  std::uint16_t interval_tus = 100; // beacon interval in time units
+  bool privacy = false;             // WEP/WPA bit in the capability field
+  bool ess = true;                  // infrastructure (vs IBSS)
+  /// Supported rates in 500 kb/s units (0x82 = basic 1 Mb/s, ...).
+  std::vector<std::uint8_t> rates;
+  bool has_ht = false;              // HT capabilities IE present (802.11n)
+
+  /// True when only DSSS/CCK rates are advertised — the networks whose
+  /// beacons occupy 2.592 ms of airtime (paper §4.1).
+  [[nodiscard]] bool is_11b_only() const;
+};
+
+/// Rate sets used by the generator.
+[[nodiscard]] std::vector<std::uint8_t> rates_11b();
+[[nodiscard]] std::vector<std::uint8_t> rates_11g();
+
+/// Serializes the beacon's MAC frame (header + fixed params + IEs + FCS).
+[[nodiscard]] std::vector<std::uint8_t> encode_beacon_frame(const BeaconFrame& frame);
+
+/// Parses a beacon frame; nullopt unless the frame-control says
+/// management/beacon and the fixed parameters are intact. Unknown IEs are
+/// skipped; a truncated IE list yields what was parsed.
+[[nodiscard]] std::optional<BeaconFrame> parse_beacon_frame(
+    std::span<const std::uint8_t> data);
+
+}  // namespace wlm::mac

@@ -1,0 +1,56 @@
+#include "phy/propagation.hpp"
+
+#include <cmath>
+
+namespace wlm::phy {
+
+double distance_m(const Position& a, const Position& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double PathLossModel::reference_loss_db(FrequencyMhz freq) {
+  // Friis free-space loss at 1 m: 20 log10(4*pi*d*f/c).
+  const double c = 299'792'458.0;
+  return 20.0 * std::log10(4.0 * M_PI * 1.0 * freq.hz() / c);
+}
+
+double PathLossModel::median_loss_db(double d_m, FrequencyMhz freq, int walls) const {
+  const double d = d_m < 1.0 ? 1.0 : d_m;
+  return reference_loss_db(freq) + 10.0 * exponent * std::log10(d) +
+         static_cast<double>(walls) * wall_loss_db;
+}
+
+double draw_shadowing_db(Rng& rng, const PathLossModel& model) {
+  return rng.normal(0.0, model.shadowing_sigma_db);
+}
+
+FadingProcess::FadingProcess(Rng rng, double k_factor_db, double coherence)
+    : rng_(rng), coherence_(coherence) {
+  // Total mean power is normalized to 1 (0 dB): K/(K+1) in the LOS ray,
+  // 1/(K+1) in the scattered component.
+  const double k = k_factor_db <= -100.0 ? 0.0 : std::pow(10.0, k_factor_db / 10.0);
+  los_amplitude_ = std::sqrt(k / (k + 1.0));
+  scatter_sigma_ = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+  // Start from the stationary distribution.
+  re_ = rng_.normal(0.0, scatter_sigma_);
+  im_ = rng_.normal(0.0, scatter_sigma_);
+}
+
+double FadingProcess::next_gain_db() {
+  // AR(1) innovation keeping the stationary variance at scatter_sigma^2.
+  const double rho = coherence_;
+  const double innov = std::sqrt(1.0 - rho * rho) * scatter_sigma_;
+  re_ = rho * re_ + rng_.normal(0.0, innov);
+  im_ = rho * im_ + rng_.normal(0.0, innov);
+  const double i_part = los_amplitude_ + re_;
+  const double power = i_part * i_part + im_ * im_;
+  const double floor = 1e-9;  // -90 dB: bound deep fades to keep logs finite
+  return 10.0 * std::log10(power < floor ? floor : power);
+}
+
+PowerDbm noise_floor(double bandwidth_mhz, double noise_figure_db) {
+  // kT at 290K is -174 dBm/Hz.
+  return PowerDbm{-174.0 + 10.0 * std::log10(bandwidth_mhz * 1e6) + noise_figure_db};
+}
+
+}  // namespace wlm::phy

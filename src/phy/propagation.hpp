@@ -1,0 +1,70 @@
+// Indoor radio propagation: log-distance path loss with wall attenuation,
+// log-normal shadowing, and temporally correlated Rayleigh/Rician fading.
+//
+// The paper attributes its key PHY observations — intermediate link delivery
+// rates (§4.2) and weaker 5 GHz client connections (§3.1) — to indoor
+// attenuation and multipath fading. This module provides those effects.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+
+namespace wlm::phy {
+
+/// 2-D position in meters (sites are modeled per-floor).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double distance_m(const Position& a, const Position& b);
+
+/// Parameters of the log-distance path-loss model:
+///   PL(d) = PL(d0) + 10 n log10(d/d0) + walls * wall_loss + X_sigma
+struct PathLossModel {
+  double exponent = 3.0;         // indoor office: 2.7-3.5
+  double wall_loss_db = 5.0;     // per interior wall
+  double shadowing_sigma_db = 6.0;
+
+  /// Free-space reference loss at d0=1 m for a given carrier frequency.
+  [[nodiscard]] static double reference_loss_db(FrequencyMhz freq);
+
+  /// Median path loss (no shadowing) over distance d at frequency f.
+  [[nodiscard]] double median_loss_db(double d_m, FrequencyMhz freq, int walls) const;
+};
+
+/// A static, per-link shadowing value drawn once from N(0, sigma); real
+/// shadowing is a property of the obstruction geometry so it does not vary
+/// packet to packet.
+[[nodiscard]] double draw_shadowing_db(Rng& rng, const PathLossModel& model);
+
+/// Small-scale fading: temporally correlated Rician fading of the link gain.
+///
+/// The envelope is simulated as a complex Gauss-Markov process (first-order
+/// autoregressive), which yields Rayleigh fading for k_factor=0 and Rician
+/// fading for a dominant LOS component. `coherence` controls how fast the
+/// channel decorrelates between successive samples.
+class FadingProcess {
+ public:
+  /// k_factor_db: Rician K (LOS-to-scatter power ratio), -inf => Rayleigh.
+  /// coherence: AR(1) coefficient in [0,1); 0 = i.i.d. per sample.
+  FadingProcess(Rng rng, double k_factor_db, double coherence);
+
+  /// Advance one sample interval; returns fading gain in dB (0 dB average).
+  double next_gain_db();
+
+ private:
+  Rng rng_;
+  double los_amplitude_;
+  double scatter_sigma_;
+  double coherence_;
+  double re_ = 0.0;
+  double im_ = 0.0;
+};
+
+/// Thermal noise floor for a receiver: kTB + noise figure.
+[[nodiscard]] PowerDbm noise_floor(double bandwidth_mhz, double noise_figure_db = 7.0);
+
+}  // namespace wlm::phy

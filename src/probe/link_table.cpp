@@ -1,0 +1,50 @@
+#include "probe/link_table.hpp"
+
+namespace wlm::probe {
+
+LinkTable::LinkTable(std::size_t capacity) : capacity_(capacity) {}
+
+void LinkTable::record(LinkKey key, SimTime sent_at, bool received) {
+  auto it = windows_.find(key);
+  if (it == windows_.end()) {
+    if (windows_.size() >= capacity_) {
+      // Evict the least recently heard link.
+      const LinkKey victim = lru_.back();
+      lru_.pop_back();
+      windows_.erase(victim);
+      ++evictions_;
+    }
+    lru_.push_front(key);
+    it = windows_.emplace(key, Slot{SlidingDeliveryWindow{}, lru_.begin()}).first;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  it->second.window.record(sent_at, received);
+}
+
+std::optional<LinkMetric> LinkTable::metric(LinkKey key) const {
+  const auto it = windows_.find(key);
+  if (it == windows_.end()) return std::nullopt;
+  LinkMetric m;
+  m.key = key;
+  m.expected = it->second.window.expected();
+  m.received = it->second.window.received();
+  m.ratio = it->second.window.ratio();
+  return m;
+}
+
+std::vector<LinkMetric> LinkTable::all_metrics() const {
+  std::vector<LinkMetric> out;
+  out.reserve(windows_.size());
+  for (const auto& [key, slot] : windows_) {
+    LinkMetric m;
+    m.key = key;
+    m.expected = slot.window.expected();
+    m.received = slot.window.received();
+    m.ratio = slot.window.ratio();
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace wlm::probe

@@ -1,0 +1,70 @@
+// Per-AP link-metric table: one sliding window per heard neighbor AP, as the
+// mesh routing layer maintains it. Bounded, with least-recently-heard
+// eviction — the fix for the paper's §6.1 "skyscraper" out-of-memory bug,
+// where APs that could decode beacons from miles away grew their tables
+// without limit and fell over.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "phy/channel.hpp"
+#include "probe/window.hpp"
+
+namespace wlm::probe {
+
+struct LinkKey {
+  ApId from;
+  phy::Band band = phy::Band::k2_4GHz;
+
+  bool operator==(const LinkKey&) const = default;
+};
+
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.from.value()) << 1) |
+        (k.band == phy::Band::k5GHz ? 1u : 0u));
+  }
+};
+
+struct LinkMetric {
+  LinkKey key;
+  std::uint32_t expected = 0;
+  std::uint32_t received = 0;
+  double ratio = 0.0;
+};
+
+class LinkTable {
+ public:
+  /// `capacity` bounds the number of tracked links; the least recently
+  /// updated entry is evicted on overflow.
+  explicit LinkTable(std::size_t capacity = 256);
+
+  /// Records one probe result from `from` at `sent_at`.
+  void record(LinkKey key, SimTime sent_at, bool received);
+
+  [[nodiscard]] std::size_t size() const { return windows_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  [[nodiscard]] std::optional<LinkMetric> metric(LinkKey key) const;
+  [[nodiscard]] std::vector<LinkMetric> all_metrics() const;
+
+ private:
+  struct Slot {
+    SlidingDeliveryWindow window;
+    std::list<LinkKey>::iterator lru_pos;
+  };
+  std::size_t capacity_;
+  std::unordered_map<LinkKey, Slot, LinkKeyHash> windows_;
+  std::list<LinkKey> lru_;  // front = most recently updated
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace wlm::probe

@@ -1,0 +1,29 @@
+#include "probe/window.hpp"
+
+namespace wlm::probe {
+
+void SlidingDeliveryWindow::record(SimTime sent_at, bool received) {
+  entries_.push_back(Entry{sent_at, received});
+  if (received) ++received_count_;
+  expire(sent_at);
+}
+
+std::uint32_t SlidingDeliveryWindow::expected() const {
+  return static_cast<std::uint32_t>(entries_.size());
+}
+
+std::uint32_t SlidingDeliveryWindow::received() const { return received_count_; }
+
+double SlidingDeliveryWindow::ratio() const {
+  if (entries_.empty()) return 0.0;
+  return static_cast<double>(received_count_) / static_cast<double>(entries_.size());
+}
+
+void SlidingDeliveryWindow::expire(SimTime now) {
+  while (!entries_.empty() && now - entries_.front().sent >= kWindowSpan) {
+    if (entries_.front().ok) --received_count_;
+    entries_.pop_front();
+  }
+}
+
+}  // namespace wlm::probe

@@ -1,0 +1,65 @@
+// Channel utilization measurement, in both of the paper's flavors:
+//
+//  - MR16 style (§4.3 / Figure 6): the serving radio reads its own
+//    energy-detect counters — it sees only its current channel, continuously.
+//  - MR18 style (§5 / Figures 7-10): a dedicated third radio cycles through
+//    every channel with 5 ms dwells; the backend aggregates per-channel
+//    counters over three-minute windows.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "mac/medium.hpp"
+#include "phy/channel.hpp"
+
+namespace wlm::scan {
+
+/// What is on the air on one channel, from one AP's vantage point.
+struct ChannelActivity {
+  phy::Channel channel;
+  std::vector<mac::ActivitySource> sources;
+  /// Audible foreign BSS count on this channel (for Figures 7/8 joins).
+  int neighbor_count = 0;
+};
+
+/// MR16-style measurement: expected-value counters over a full interval on
+/// the serving channel only.
+[[nodiscard]] mac::ChannelCounters measure_serving_channel(const ChannelActivity& activity,
+                                                           Duration interval,
+                                                           double own_tx_duty,
+                                                           PowerDbm noise_floor);
+
+/// Result of one MR18 aggregation window for one channel.
+struct ChannelScanResult {
+  phy::Channel channel;
+  mac::ChannelCounters counters;
+  int neighbor_count = 0;
+};
+
+/// The dedicated scanning radio.
+class Mr18Scanner {
+ public:
+  /// `dwell` is 5 ms per the paper; `max_dwells_per_channel` bounds the
+  /// simulation cost of one window (dwell results are i.i.d. samples, so a
+  /// capped subsample is statistically equivalent and scaled back up).
+  Mr18Scanner(Duration dwell, Duration window, int max_dwells_per_channel = 24);
+
+  /// Scans every channel in `activities` for one aggregation window.
+  [[nodiscard]] std::vector<ChannelScanResult> scan_window(
+      const std::vector<ChannelActivity>& activities, PowerDbm noise_floor, Rng& rng) const;
+
+  [[nodiscard]] Duration dwell() const { return dwell_; }
+  [[nodiscard]] Duration window() const { return window_; }
+
+ private:
+  Duration dwell_;
+  Duration window_;
+  int max_dwells_;
+};
+
+/// Default scanner matching the paper: 5 ms dwells, 3-minute windows.
+[[nodiscard]] Mr18Scanner default_mr18_scanner();
+
+}  // namespace wlm::scan

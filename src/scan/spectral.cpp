@@ -1,0 +1,213 @@
+#include "scan/spectral.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wlm::scan {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  assert(is_power_of_two(n));
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> psd_db(std::span<const std::complex<double>> samples) {
+  const std::size_t n = samples.size();
+  assert(is_power_of_two(n));
+  std::vector<std::complex<double>> buf(samples.begin(), samples.end());
+  // Hann window.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = 0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                           static_cast<double>(n - 1)));
+    buf[i] *= w;
+  }
+  fft_inplace(buf);
+  std::vector<double> out(n);
+  // FFT-shift: negative frequencies first.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = (i + n / 2) % n;
+    const double p = std::norm(buf[src]) / static_cast<double>(n);
+    out[i] = 10.0 * std::log10(p + 1e-30);
+  }
+  return out;
+}
+
+namespace {
+
+/// Amplitude for a coherent tone whose FFT-bin PSD sits `power_db` above a
+/// noise floor of per-sample variance sigma^2. A windowed tone of amplitude
+/// A concentrates A^2 N / 4 into its bin (Hann coherent gain 1/2) while the
+/// noise measures sigma^2 per bin, so A = 2 sigma 10^(p/20) / sqrt(N).
+double tone_amplitude(double power_db, double noise_sigma, std::size_t n) {
+  return 2.0 * noise_sigma * std::pow(10.0, power_db / 20.0) /
+         std::sqrt(static_cast<double>(n));
+}
+
+/// Adds an OFDM burst: 64 subcarriers across the occupied band whose phases
+/// re-randomize every symbol (4 us), which smears each subcarrier across
+/// neighboring FFT bins exactly as real 802.11 captures look. Per-subcarrier
+/// Rician fading supplies the frequency selectivity; total power is set so
+/// the in-band per-bin PSD sits `power_db` above the noise floor.
+void add_ofdm(std::vector<std::complex<double>>& iq, const SpectralSource& src,
+              double sample_rate_mhz, double noise_sigma, Rng& rng) {
+  const std::size_t n = iq.size();
+  const int subcarriers = 64;
+  const double spacing = src.occupied_mhz / subcarriers;
+  // In-band per-sample signal power for the target per-bin PSD excess.
+  const double noise_psd = 0.75 * 2.0 * noise_sigma * noise_sigma;
+  const double p_signal = noise_psd * std::pow(10.0, src.power_db / 10.0) *
+                          (src.occupied_mhz / sample_rate_mhz);
+  const double amp_sc = std::sqrt(p_signal / subcarriers);
+  const double k = std::pow(10.0, src.fading_k_db / 10.0);
+  const double los = std::sqrt(k / (k + 1.0));
+  const double scatter = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+  // 4 us symbols at the configured sampling rate.
+  const auto symbol_len = static_cast<std::size_t>(std::max(1.0, 4.0 * sample_rate_mhz));
+  for (int sc = -subcarriers / 2; sc < subcarriers / 2; ++sc) {
+    const double f = src.center_offset_mhz + (sc + 0.5) * spacing;
+    if (std::abs(f) > sample_rate_mhz / 2.0) continue;
+    // Per-subcarrier fading gain (frequency-selective across the burst).
+    const double re = los + rng.normal(0.0, scatter);
+    const double im = rng.normal(0.0, scatter);
+    const double amp = amp_sc * std::hypot(re, im);
+    const double w = 2.0 * M_PI * f / sample_rate_mhz;  // radians per sample
+    double phase0 = rng.uniform(0.0, 2.0 * M_PI);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % symbol_len == 0) phase0 = rng.uniform(0.0, 2.0 * M_PI);
+      const double ph = w * static_cast<double>(i) + phase0;
+      iq[i] += std::complex<double>(amp * std::cos(ph), amp * std::sin(ph));
+    }
+  }
+}
+
+void add_tone(std::vector<std::complex<double>>& iq, double freq_mhz, double power_db,
+              double width_mhz, double sample_rate_mhz, double noise_sigma, Rng& rng) {
+  const std::size_t n = iq.size();
+  const double amp = tone_amplitude(power_db, noise_sigma, n);
+  const double w = 2.0 * M_PI * freq_mhz / sample_rate_mhz;
+  const double phase0 = rng.uniform(0.0, 2.0 * M_PI);
+  // Small FM dithering spreads the tone to ~width_mhz.
+  const double fm = 2.0 * M_PI * width_mhz / sample_rate_mhz;
+  double drift = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    drift += fm * rng.uniform(-0.5, 0.5);
+    const double ph = w * static_cast<double>(i) + phase0 + drift;
+    iq[i] += std::complex<double>(amp * std::cos(ph), amp * std::sin(ph));
+  }
+}
+
+}  // namespace
+
+Waterfall capture_spectrum(const SpectrumConfig& config,
+                           std::span<const SpectralSource> sources, Rng& rng) {
+  Waterfall wf;
+  wf.rows_db.reserve(config.slices);
+  // Per-sample noise sigma chosen so the measured per-bin noise PSD sits at
+  // the configured floor (the Hann window costs ~4.3 dB, compensated here).
+  const double noise_sigma =
+      std::pow(10.0, (config.noise_floor_db + 4.3) / 20.0) / std::sqrt(2.0);
+
+  std::vector<double> avg_power(config.fft_size, 0.0);
+  for (std::size_t slice = 0; slice < config.slices; ++slice) {
+    std::vector<std::complex<double>> iq(config.fft_size);
+    for (auto& s : iq) {
+      s = std::complex<double>(rng.normal(0.0, noise_sigma), rng.normal(0.0, noise_sigma));
+    }
+    for (const auto& src : sources) {
+      if (!rng.chance(src.duty_cycle)) continue;
+      switch (src.kind) {
+        case SpectralSource::Kind::kOfdm:
+          add_ofdm(iq, src, config.sample_rate_mhz, noise_sigma, rng);
+          break;
+        case SpectralSource::Kind::kBluetooth: {
+          // Re-hop each slice across the visible portion of the 79 MHz span.
+          const double hop = rng.uniform(-config.sample_rate_mhz / 2.0 * 0.9,
+                                         config.sample_rate_mhz / 2.0 * 0.9);
+          add_tone(iq, hop, src.power_db, 1.0, config.sample_rate_mhz, noise_sigma, rng);
+          break;
+        }
+        case SpectralSource::Kind::kNarrowband:
+          add_tone(iq, src.center_offset_mhz, src.power_db, src.occupied_mhz,
+                   config.sample_rate_mhz, noise_sigma, rng);
+          break;
+      }
+    }
+    auto row = psd_db(iq);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      avg_power[i] += std::pow(10.0, row[i] / 10.0);
+    }
+    wf.rows_db.push_back(std::move(row));
+  }
+  wf.average_db.resize(config.fft_size);
+  for (std::size_t i = 0; i < config.fft_size; ++i) {
+    wf.average_db[i] = 10.0 * std::log10(avg_power[i] / static_cast<double>(config.slices) + 1e-30);
+  }
+  return wf;
+}
+
+std::vector<SpectralSource> figure11_scene_2_4ghz() {
+  // Tuner at 2.437 GHz (channel 6). Channels 1 (-25 MHz, mostly out of view),
+  // 6 (0), and 11 (+25 MHz, partly visible) plus Bluetooth and two
+  // unidentified narrowband sources; ~22% overall utilization per the paper.
+  return {
+      {SpectralSource::Kind::kOfdm, 0.0, 20.0, 28.0, 0.18, 15.0},
+      {SpectralSource::Kind::kOfdm, -12.0, 20.0, 18.0, 0.08, 12.0},  // ch1 edge
+      {SpectralSource::Kind::kOfdm, 12.0, 20.0, 20.0, 0.10, 12.0},   // ch11 edge
+      {SpectralSource::Kind::kBluetooth, 0.0, 1.0, 22.0, 0.30, 0.0},
+      {SpectralSource::Kind::kNarrowband, -6.5, 0.3, 16.0, 0.65, 0.0},
+      {SpectralSource::Kind::kNarrowband, 9.0, 0.5, 12.0, 0.5, 0.0},
+  };
+}
+
+std::vector<SpectralSource> figure11_scene_5ghz() {
+  // Tuner at 5.220 GHz (channel 44). A 20 MHz BSS, a 40 MHz BSS with deep
+  // frequency-selective fading (low K), and faint distant transmitters;
+  // ~2% utilization.
+  return {
+      {SpectralSource::Kind::kOfdm, 0.0, 20.0, 26.0, 0.018, 3.0},
+      {SpectralSource::Kind::kOfdm, -4.0, 40.0, 22.0, 0.012, 1.0},
+      {SpectralSource::Kind::kOfdm, 8.0, 20.0, 8.0, 0.02, 2.0},  // faint, fading
+  };
+}
+
+double occupied_fraction(const Waterfall& wf, double noise_floor_db, double threshold_db) {
+  if (wf.rows_db.empty()) return 0.0;
+  // Time-frequency occupancy: the fraction of (slice, bin) cells above the
+  // floor. Averaging the spectrum first would let a 2%-duty burst paint its
+  // whole band "occupied", which is not what channel utilization means.
+  std::size_t occupied = 0;
+  std::size_t total = 0;
+  for (const auto& row : wf.rows_db) {
+    for (double v : row) {
+      ++total;
+      if (v > noise_floor_db + threshold_db) ++occupied;
+    }
+  }
+  return static_cast<double>(occupied) / static_cast<double>(total);
+}
+
+}  // namespace wlm::scan

@@ -1,0 +1,78 @@
+// Software-radio spectrum analysis (paper Figure 11).
+//
+// The paper parks a USRP B200 near one AP and runs a 32 MHz-wide, 4096-point
+// FFT, seeing 20 MHz 802.11 bursts, 1 MHz frequency-hopping Bluetooth, and
+// unidentified narrowband sources at 2.437 GHz, plus 20/40 MHz 802.11 with
+// frequency-selective fading at 5.22 GHz. Here we synthesize the same scene
+// as complex baseband IQ and run a real FFT over it.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace wlm::scan {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data);
+
+/// True if n is a nonzero power of two.
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+/// Hann-windowed power spectral density in dB (unnormalized reference),
+/// FFT-shifted so index 0 is the lowest frequency.
+[[nodiscard]] std::vector<double> psd_db(std::span<const std::complex<double>> samples);
+
+/// One emitter in the synthetic scene.
+struct SpectralSource {
+  enum class Kind : std::uint8_t {
+    kOfdm,        // 802.11 burst: occupied_mhz wide (20 or 40)
+    kBluetooth,   // 1 MHz GFSK, hops over 79 MHz each slot
+    kNarrowband,  // unidentified CW-ish source
+  };
+  Kind kind = Kind::kOfdm;
+  double center_offset_mhz = 0.0;  // relative to the tuner center
+  double occupied_mhz = 20.0;
+  double power_db = 0.0;  // relative to the noise floor
+  double duty_cycle = 0.5;
+  /// Rician K-factor controlling frequency-selective fading depth for OFDM
+  /// sources (low K => deep notches, as in the paper's 5 GHz pane).
+  double fading_k_db = 12.0;
+};
+
+struct SpectrumConfig {
+  double sample_rate_mhz = 32.0;  // USRP B200 scan width in the paper
+  std::size_t fft_size = 4096;
+  std::size_t slices = 48;        // waterfall rows (time slices)
+  double noise_floor_db = -100.0;
+};
+
+/// A captured waterfall: `slices` rows of `fft_size` PSD bins, plus the
+/// time-averaged spectrum.
+struct Waterfall {
+  std::vector<std::vector<double>> rows_db;
+  std::vector<double> average_db;
+};
+
+/// Synthesizes IQ per time slice (each source independently on/off per its
+/// duty cycle; Bluetooth re-hops each slice) and FFTs each slice.
+[[nodiscard]] Waterfall capture_spectrum(const SpectrumConfig& config,
+                                         std::span<const SpectralSource> sources, Rng& rng);
+
+/// The 2.437 GHz scene from Figure 11: three 20 MHz 802.11 channels' edges
+/// visible, Bluetooth hops, and a couple of narrowband mystery sources.
+[[nodiscard]] std::vector<SpectralSource> figure11_scene_2_4ghz();
+
+/// The 5.220 GHz scene: 20 MHz and 40 MHz 802.11 with selective fading and
+/// fainter distant transmissions.
+[[nodiscard]] std::vector<SpectralSource> figure11_scene_5ghz();
+
+/// Fraction of bins more than `threshold_db` above the noise floor in the
+/// averaged spectrum — a crude occupancy number for tests/benches.
+[[nodiscard]] double occupied_fraction(const Waterfall& wf, double noise_floor_db,
+                                       double threshold_db = 6.0);
+
+}  // namespace wlm::scan

@@ -1,0 +1,65 @@
+// Per-AP runtime state: configuration, associated clients, link table,
+// tunnel to the backend, and offered-load bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "backend/tunnel.hpp"
+#include "classify/classifier.hpp"
+#include "deploy/generator.hpp"
+#include "deploy/population.hpp"
+#include "mac/association.hpp"
+#include "probe/link_table.hpp"
+#include "sim/radio_env.hpp"
+
+namespace wlm::sim {
+
+/// A client currently associated to this AP.
+struct AssociatedClient {
+  deploy::ClientDevice device;
+  phy::Band band = phy::Band::k2_4GHz;
+  double rssi_at_ap_dbm = -70.0;
+  classify::OsType detected_os = classify::OsType::kUnknown;
+};
+
+class ApRuntime {
+ public:
+  ApRuntime(const deploy::ApConfig& config, NetworkId network, deploy::Industry industry);
+
+  [[nodiscard]] const deploy::ApConfig& config() const { return config_; }
+  [[nodiscard]] ApId id() const { return config_.id; }
+  [[nodiscard]] NetworkId network() const { return network_; }
+  [[nodiscard]] deploy::Industry industry() const { return industry_; }
+
+  [[nodiscard]] backend::Tunnel& tunnel() { return tunnel_; }
+  [[nodiscard]] const backend::Tunnel& tunnel() const { return tunnel_; }
+  [[nodiscard]] probe::LinkTable& link_table() { return link_table_; }
+  [[nodiscard]] const probe::LinkTable& link_table() const { return link_table_; }
+
+  void set_peers(std::vector<FleetPeer> peers) { peers_ = std::move(peers); }
+  [[nodiscard]] const std::vector<FleetPeer>& peers() const { return peers_; }
+
+  /// Offered-load duty on each band's serving channel (busy-hour average).
+  void set_tx_duty(double duty_24, double duty_5);
+  [[nodiscard]] double tx_duty(phy::Band band, double hour) const;
+
+  void add_client(AssociatedClient client) { clients_.push_back(std::move(client)); }
+  [[nodiscard]] const std::vector<AssociatedClient>& clients() const { return clients_; }
+  [[nodiscard]] std::vector<AssociatedClient>& clients() { return clients_; }
+
+  /// Radio environment for this AP (peers' duties scaled for the hour).
+  [[nodiscard]] RadioEnvironment environment(double hour) const;
+
+ private:
+  deploy::ApConfig config_;
+  NetworkId network_;
+  deploy::Industry industry_;
+  backend::Tunnel tunnel_;
+  probe::LinkTable link_table_;
+  std::vector<FleetPeer> peers_;
+  std::vector<AssociatedClient> clients_;
+  double tx_duty_24_ = 0.0;
+  double tx_duty_5_ = 0.0;
+};
+
+}  // namespace wlm::sim

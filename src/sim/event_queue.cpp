@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace wlm::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  assert(at >= now_);
+  queue_.push(Item{at, seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Duration delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::schedule_every(Duration period, SimTime until, Callback fn) {
+  assert(period > Duration{});
+  const SimTime first = now_ + period;
+  if (first > until) return;
+  // Each firing re-arms the next; the shared_ptr lets the closure refer to
+  // itself without a dangling reference.
+  auto body = std::make_shared<Callback>(std::move(fn));
+  auto rearm = std::make_shared<Callback>();
+  *rearm = [this, period, until, body, rearm](SimTime t) {
+    (*body)(t);
+    const SimTime next = t + period;
+    if (next <= until) schedule_at(next, *rearm);
+  };
+  schedule_at(first, *rearm);
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    ++executed_;
+    item.fn(now_);
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace wlm::sim

@@ -1,0 +1,66 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlm::sim {
+
+MeshLink::MeshLink(ApId from, ApId to, LinkBudget budget, Rng rng)
+    : from_(from),
+      to_(to),
+      budget_(budget),
+      rng_(rng),
+      // Multipath: Rician K ~ 6 dB indoors, mild probe-to-probe correlation
+      // (15 s apart). Slow drift: high coherence, small swing via K.
+      fast_fading_(rng_.fork(), 6.0, 0.35),
+      slow_drift_(rng_.fork(), 11.0, 0.997) {
+  advance();
+}
+
+void MeshLink::advance() {
+  current_fast_db_ = fast_fading_.next_gain_db();
+  current_slow_db_ = slow_drift_.next_gain_db() * 2.5;  // amplify drift swing
+}
+
+double MeshLink::delivery_probability(const ProbeOutcomeModel& model) {
+  const bool is5 = budget_.band == phy::Band::k5GHz;
+  const double rx = budget_.median_rx_dbm + current_fast_db_ + current_slow_db_;
+  const double noise = phy::noise_floor(20.0).dbm();
+  const double sinr = rx - noise;
+  const auto modulation = is5 ? phy::Modulation::kOfdm6 : phy::Modulation::kDsss1;
+  const double per = phy::packet_error_rate(modulation, sinr, 60);
+  const double p_collision =
+      std::clamp(model.receiver_utilization * model.hidden_fraction, 0.0, 1.0);
+  return (1.0 - per) * (1.0 - p_collision);
+}
+
+bool MeshLink::probe_once(const ProbeOutcomeModel& model) {
+  const double p = delivery_probability(model);
+  advance();
+  return rng_.chance(p);
+}
+
+MeshLink::WindowResult MeshLink::measure_window(const ProbeOutcomeModel& model, int probes) {
+  WindowResult result;
+  result.expected = probes;
+  for (int i = 0; i < probes; ++i) {
+    if (probe_once(model)) ++result.received;
+  }
+  return result;
+}
+
+LinkBudget compute_link_budget(const phy::Position& a, const phy::Position& b, int walls,
+                               phy::Band band, double tx_power_dbm,
+                               const phy::PathLossModel& model, Rng& rng) {
+  LinkBudget budget;
+  budget.band = band;
+  const double d = phy::distance_m(a, b);
+  const auto freq = band == phy::Band::k5GHz ? FrequencyMhz{5250.0} : FrequencyMhz{2437.0};
+  const double antenna_gain = band == phy::Band::k5GHz ? 5.0 : 3.0;  // Table 1 antennas
+  const double loss = model.median_loss_db(d, freq, walls);
+  budget.median_rx_dbm =
+      tx_power_dbm + 2.0 * antenna_gain - loss + phy::draw_shadowing_db(rng, model);
+  return budget;
+}
+
+}  // namespace wlm::sim

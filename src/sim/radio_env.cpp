@@ -1,0 +1,147 @@
+#include "sim/radio_env.hpp"
+
+#include <cmath>
+
+#include "mac/beacon.hpp"
+#include "phy/modulation.hpp"
+#include "phy/propagation.hpp"
+
+namespace wlm::sim {
+
+bool is_daytime(double hour) { return hour >= 8.0 && hour < 18.0; }
+
+double neighbor_beacon_duty(const deploy::NeighborInfo& n) {
+  const double per_beacon = static_cast<double>(mac::beacon_airtime_us(n.legacy_11b));
+  return per_beacon * static_cast<double>(n.ssid_count) /
+         static_cast<double>(mac::kBeaconIntervalUs);
+}
+
+RadioEnvironment::RadioEnvironment(const deploy::NeighborEnvironment* env,
+                                   std::vector<FleetPeer> peers)
+    : env_(env), peers_(std::move(peers)) {}
+
+scan::ChannelActivity RadioEnvironment::activity_on(const phy::Channel& channel,
+                                                    double hour) const {
+  scan::ChannelActivity activity;
+  activity.channel = channel;
+  const bool day = is_daytime(hour);
+  const auto& plan = phy::ChannelPlan::us();
+
+  for (const auto& n : env_->neighbors) {
+    if (n.band != channel.band) continue;
+    const auto n_channel = plan.find(n.band, n.channel);
+    if (!n_channel) continue;
+    const double rejection = phy::adjacent_channel_rejection_db(channel, *n_channel);
+    if (rejection >= 200.0) continue;  // disjoint
+    const PowerDbm rx = PowerDbm{n.rssi_dbm} - rejection;
+
+    // Two sources per neighbor: the steady beacon cadence, and its data
+    // traffic, which is bursty over 3-minute windows (a network is either
+    // pushing a download during the window or idle).
+    mac::ActivitySource beacons;
+    beacons.rx_power = rx;
+    beacons.duty_cycle = neighbor_beacon_duty(n);
+    mac::ActivitySource data;
+    data.rx_power = rx;
+    data.duty_cycle = day ? n.day_duty : n.night_duty;
+    data.window_active_prob = 0.15;
+    const double overlap = phy::channel_overlap(channel, *n_channel);
+    if (rejection == 0.0) {
+      // Co-channel: frames decodable if the preamble survives.
+      const double sinr = rx - phy::noise_floor(channel.width_mhz());
+      const double plcp = phy::plcp_decode_probability(sinr);
+      beacons.kind = mac::SourceKind::kWifi;
+      beacons.plcp_decode_prob = plcp;
+      data.kind = mac::SourceKind::kWifi;
+      data.plcp_decode_prob = plcp;
+    } else if (overlap >= 0.7) {
+      // One channel off (5 MHz): the robustly-modulated preamble often
+      // still locks in the receiver's filter skirt.
+      const double sinr = rx - phy::noise_floor(channel.width_mhz());
+      const double plcp = 0.5 * phy::plcp_decode_probability(sinr);
+      beacons.kind = mac::SourceKind::kWifi;
+      beacons.plcp_decode_prob = plcp;
+      data.kind = mac::SourceKind::kWifi;
+      data.plcp_decode_prob = plcp;
+    } else {
+      // Deeper partial overlap: energy only, headers never decode.
+      beacons.kind = mac::SourceKind::kWifiCorrupt;
+      data.kind = mac::SourceKind::kWifiCorrupt;
+    }
+    activity.sources.push_back(beacons);
+    if (data.duty_cycle > 0.0) activity.sources.push_back(data);
+    if (rejection == 0.0 && n.rssi_dbm >= kBeaconDecodeFloorDbm) {
+      ++activity.neighbor_count;
+    }
+  }
+
+  for (const auto& peer : peers_) {
+    const int peer_channel =
+        channel.band == phy::Band::k2_4GHz ? peer.channel_24 : peer.channel_5;
+    const auto pc = plan.find(channel.band, peer_channel);
+    if (!pc) continue;
+    const double rejection = phy::adjacent_channel_rejection_db(channel, *pc);
+    if (rejection >= 200.0) continue;
+    const double rx_dbm = channel.band == phy::Band::k2_4GHz ? peer.rx_power_24_dbm
+                                                             : peer.rx_power_5_dbm;
+    mac::ActivitySource src;
+    src.rx_power = PowerDbm{rx_dbm} - rejection;
+    // Fleet beacons: one SSID, OFDM format; plus its client traffic.
+    const double peer_duty =
+        channel.band == phy::Band::k2_4GHz ? peer.tx_duty_24 : peer.tx_duty_5;
+    src.duty_cycle = static_cast<double>(mac::beacon_airtime_us(false)) /
+                         static_cast<double>(mac::kBeaconIntervalUs) +
+                     peer_duty;
+    if (rejection == 0.0) {
+      src.kind = mac::SourceKind::kWifi;
+      const double sinr = src.rx_power - phy::noise_floor(channel.width_mhz());
+      src.plcp_decode_prob = phy::plcp_decode_probability(sinr);
+    } else {
+      src.kind = mac::SourceKind::kWifiCorrupt;
+    }
+    activity.sources.push_back(src);
+  }
+
+  for (const auto& i : env_->interferers) {
+    if (i.band != channel.band) continue;
+    // Non-WiFi energy is broadband-ish: count it on nearby channels with
+    // distance-dependent rolloff (Bluetooth hops across the whole band).
+    const int spread = std::abs(i.channel - channel.number);
+    if (channel.band == phy::Band::k2_4GHz && spread > 4) continue;
+    if (channel.band == phy::Band::k5GHz && spread > 0) continue;
+    mac::ActivitySource src;
+    src.kind = mac::SourceKind::kNonWifi;
+    src.rx_power = PowerDbm{i.rssi_dbm} - static_cast<double>(spread) * 2.0;
+    src.duty_cycle = is_daytime(hour) ? i.day_duty : i.night_duty;
+    activity.sources.push_back(src);
+  }
+  return activity;
+}
+
+std::vector<scan::ChannelActivity> RadioEnvironment::activities_all(
+    const phy::ChannelPlan& plan, double hour) const {
+  std::vector<scan::ChannelActivity> out;
+  out.reserve(plan.channels().size());
+  for (const auto& channel : plan.channels()) {
+    out.push_back(activity_on(channel, hour));
+  }
+  return out;
+}
+
+int RadioEnvironment::audible_neighbors(phy::Band band) const {
+  int count = 0;
+  for (const auto& n : env_->neighbors) {
+    if (n.band == band && n.rssi_dbm >= kBeaconDecodeFloorDbm) ++count;
+  }
+  return count;
+}
+
+int RadioEnvironment::audible_hotspots(phy::Band band) const {
+  int count = 0;
+  for (const auto& n : env_->neighbors) {
+    if (n.band == band && n.is_hotspot && n.rssi_dbm >= kBeaconDecodeFloorDbm) ++count;
+  }
+  return count;
+}
+
+}  // namespace wlm::sim

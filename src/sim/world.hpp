@@ -1,0 +1,114 @@
+// The world model: a generated fleet brought to life — APs with runtime
+// state, associated clients, mesh links, and campaign runners that push
+// telemetry through the full pipeline (encode -> tunnel -> poll -> store).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/poller.hpp"
+#include "backend/store.hpp"
+#include "deploy/generator.hpp"
+#include "sim/ap.hpp"
+#include "sim/link.hpp"
+#include "traffic/diurnal.hpp"
+
+namespace wlm::sim {
+
+struct WorldConfig {
+  deploy::FleetConfig fleet;
+  /// Scales clients per AP (1.0 = the industry-calibrated counts).
+  double client_scale = 1.0;
+  std::uint64_t seed = 7;
+  /// Fraction of tunnels that experience a WAN flap during a campaign.
+  double wan_flap_fraction = 0.0;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  // --- structure ---
+  [[nodiscard]] deploy::Epoch epoch() const { return config_.fleet.epoch; }
+  [[nodiscard]] const deploy::Fleet& fleet() const { return fleet_; }
+  [[nodiscard]] std::vector<ApRuntime>& aps() { return aps_; }
+  [[nodiscard]] const std::vector<ApRuntime>& aps() const { return aps_; }
+  [[nodiscard]] std::vector<MeshLink>& mesh_links() { return links_; }
+  [[nodiscard]] backend::ReportStore& store() { return store_; }
+  [[nodiscard]] const backend::Poller& poller() const { return poller_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::size_t client_count() const { return client_count_; }
+
+  // --- campaigns: each enqueues reports into the AP tunnels ---
+
+  /// The one-week usage study (Tables 3/5/6): generates each client's
+  /// weekly workload, classifies its flows AT THE AP with the real parsers
+  /// and rule engine, and emits `reports_per_week` usage reports per AP.
+  /// `spikes` injects fleet-wide software-update events (paper §6.2):
+  /// affected platforms multiply their download traffic during the event,
+  /// skewing that day's reports.
+  void run_usage_week(int reports_per_week = 7,
+                      const std::vector<traffic::UpdateSpike>& spikes = {});
+
+  /// Associated-client snapshot (Figure 1 / Table 4): capabilities + RSSI.
+  void snapshot_clients(SimTime t);
+
+  /// MR16-style interference measurement: serving-channel utilization plus
+  /// the neighbor scan table (Figures 2/6, Table 7).
+  void run_mr16_interference(SimTime t);
+
+  /// MR18-style dedicated-radio scan window across all channels
+  /// (Figures 7/8/9/10). `hour` selects day/night activity.
+  void run_mr18_scan(SimTime t, double hour);
+
+  /// Link-probe windows for every mesh link, recorded at the receiver and
+  /// reported (Figure 3).
+  void run_link_windows(SimTime t);
+
+  /// Polls every tunnel into the store (reconnecting flapped tunnels first:
+  /// queued reports must survive, per the paper's §2 design).
+  void harvest();
+
+  /// Delivery-ratio time series for one link across a simulated week
+  /// (Figures 4/5). `step` is the reporting cadence.
+  struct SeriesPoint {
+    double hour_of_week = 0.0;
+    double ratio = 0.0;
+  };
+  [[nodiscard]] std::vector<SeriesPoint> link_week_series(std::size_t link_index,
+                                                          Duration step);
+
+  // --- pipeline statistics ---
+  [[nodiscard]] std::uint64_t flows_classified() const { return flows_classified_; }
+  [[nodiscard]] std::uint64_t flows_misclassified() const { return flows_misclassified_; }
+  /// Total framed bytes enqueued per AP over the last usage campaign, for
+  /// the ~1 kbit/s overhead claim.
+  [[nodiscard]] double mean_report_bytes_per_ap() const;
+
+  /// Busy fraction on an AP's serving channel (used as collision exposure
+  /// for its incoming probes).
+  [[nodiscard]] double serving_utilization(const ApRuntime& ap, phy::Band band,
+                                           double hour) const;
+
+ private:
+  WorldConfig config_;
+  Rng rng_;
+  deploy::Fleet fleet_;
+  std::vector<ApRuntime> aps_;
+  std::unordered_map<std::uint32_t, std::size_t> ap_index_;
+  std::vector<MeshLink> links_;
+  backend::ReportStore store_;
+  backend::Poller poller_;
+  phy::PathLossModel pathloss_;
+  std::size_t client_count_ = 0;
+  std::uint64_t flows_classified_ = 0;
+  std::uint64_t flows_misclassified_ = 0;
+
+  void build_clients(const deploy::NetworkConfig& net, std::vector<ApRuntime*>& net_aps);
+  void build_links(const deploy::NetworkConfig& net, const std::vector<ApRuntime*>& net_aps);
+  void enqueue_report(ApRuntime& ap, wire::ApReport report);
+  [[nodiscard]] std::vector<wire::NeighborBss> neighbor_records(const ApRuntime& ap) const;
+};
+
+}  // namespace wlm::sim

@@ -1,0 +1,39 @@
+#include "traffic/broadcast.hpp"
+
+namespace wlm::traffic {
+
+BroadcastLoad broadcast_load(int clients, const BroadcastProfile& profile,
+                             phy::Modulation basic_rate) {
+  BroadcastLoad load;
+  if (clients <= 0) return load;
+  const double per_client_fps = (profile.arp_per_min + profile.mdns_per_min +
+                                 profile.ssdp_per_min + profile.dhcp_per_min) /
+                                60.0;
+  load.frames_per_second = per_client_fps * clients;
+
+  // Airtime per second: each class at its size, all at the basic rate.
+  const double airtime_us_per_client_s =
+      (profile.arp_per_min * static_cast<double>(phy::airtime_us(basic_rate, profile.arp_bytes)) +
+       profile.mdns_per_min * static_cast<double>(phy::airtime_us(basic_rate, profile.mdns_bytes)) +
+       profile.ssdp_per_min * static_cast<double>(phy::airtime_us(basic_rate, profile.ssdp_bytes)) +
+       profile.dhcp_per_min * static_cast<double>(phy::airtime_us(basic_rate, profile.dhcp_bytes))) /
+      60.0;
+  load.airtime_duty = airtime_us_per_client_s * clients / 1e6;
+  if (load.airtime_duty > 1.0) load.airtime_duty = 1.0;
+  return load;
+}
+
+int broadcast_client_limit(const BroadcastProfile& profile, phy::Modulation basic_rate,
+                           double duty_budget) {
+  const BroadcastLoad one = broadcast_load(1, profile, basic_rate);
+  if (one.airtime_duty <= 0.0) return INT32_MAX;
+  return static_cast<int>(duty_budget / one.airtime_duty);
+}
+
+BroadcastProfile with_mdns_suppression(BroadcastProfile profile) {
+  profile.mdns_per_min = 0.0;
+  profile.ssdp_per_min = 0.0;
+  return profile;
+}
+
+}  // namespace wlm::traffic

@@ -1,0 +1,52 @@
+// Broadcast/multicast overhead at campus scale.
+//
+// Paper §6.3 lists "protocols like multicast DNS, which work in home
+// environments but cause broadcast issues at campus scale" among the
+// common non-wireless problems. The mechanism: broadcast frames must be
+// transmitted at a basic (low) rate so every associated client can decode
+// them, so per-client chatter that is negligible at home multiplies into
+// real airtime across a large flat L2 domain.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+#include "phy/modulation.hpp"
+
+namespace wlm::traffic {
+
+struct BroadcastProfile {
+  /// Frames per client per minute of each chatter class.
+  double arp_per_min = 1.0;
+  double mdns_per_min = 0.8;   // Bonjour service discovery
+  double ssdp_per_min = 0.3;   // UPnP
+  double dhcp_per_min = 0.05;  // renewals
+  /// Typical frame sizes on air, bytes.
+  int arp_bytes = 60;
+  int mdns_bytes = 300;
+  int ssdp_bytes = 350;
+  int dhcp_bytes = 350;
+};
+
+struct BroadcastLoad {
+  double frames_per_second = 0.0;
+  double airtime_duty = 0.0;  // fraction of channel time consumed
+};
+
+/// Airtime consumed by broadcast chatter from `clients` devices sharing one
+/// L2 broadcast domain, as seen on one AP's channel. Broadcasts go out at
+/// `basic_rate` (1 Mb/s on legacy-compatible 2.4 GHz networks).
+[[nodiscard]] BroadcastLoad broadcast_load(int clients, const BroadcastProfile& profile,
+                                           phy::Modulation basic_rate);
+
+/// Clients at which broadcast chatter alone crosses `duty_budget` of the
+/// channel (the "works at home, melts the campus" threshold).
+[[nodiscard]] int broadcast_client_limit(const BroadcastProfile& profile,
+                                         phy::Modulation basic_rate,
+                                         double duty_budget = 0.10);
+
+/// Mitigation model: mDNS/SSDP suppression (proxying at the AP, as
+/// enterprise gear does) leaves only ARP + DHCP on air.
+[[nodiscard]] BroadcastProfile with_mdns_suppression(BroadcastProfile profile);
+
+}  // namespace wlm::traffic

@@ -1,0 +1,45 @@
+#include "traffic/diurnal.hpp"
+
+#include <cmath>
+
+namespace wlm::traffic {
+
+double diurnal_multiplier(double hour, deploy::Industry industry) {
+  // Two archetype curves blended by vertical:
+  //  - office: ramp 8am, peak 10am-4pm, quiet nights
+  //  - evening: hospitality/restaurants peak 6-10pm
+  auto bump = [](double h, double center, double width) {
+    const double d = std::remainder(h - center, 24.0);
+    return std::exp(-(d * d) / (2.0 * width * width));
+  };
+  const double office = 0.25 + 1.9 * bump(hour, 12.5, 3.5);
+  const double evening = 0.35 + 1.7 * bump(hour, 19.5, 3.0);
+
+  switch (industry) {
+    case deploy::Industry::kHospitality:
+    case deploy::Industry::kRestaurants:
+      return evening;
+    case deploy::Industry::kRetail:
+      return 0.5 * office + 0.5 * evening;
+    default:
+      return office;
+  }
+}
+
+std::vector<UpdateSpike> sample_update_spikes(Rng& rng) {
+  std::vector<UpdateSpike> spikes;
+  // Roughly one vendor release lands inside any given week (§6.2: "software
+  // updates from Apple and Microsoft would drive large downloads").
+  if (rng.chance(0.5)) {
+    UpdateSpike s;
+    s.start = SimTime::epoch() +
+              Duration::hours(rng.uniform_int(24, 5 * 24)) + Duration::minutes(rng.uniform_int(0, 59));
+    s.affects_apple = rng.chance(0.6);
+    s.affects_windows = !s.affects_apple;
+    s.download_multiplier = rng.uniform(5.0, 12.0);
+    spikes.push_back(s);
+  }
+  return spikes;
+}
+
+}  // namespace wlm::traffic

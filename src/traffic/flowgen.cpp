@@ -1,0 +1,163 @@
+#include "traffic/flowgen.hpp"
+
+#include <algorithm>
+
+#include "classify/dns.hpp"
+#include "classify/http.hpp"
+#include "classify/tls.hpp"
+#include "classify/user_agent.hpp"
+
+namespace wlm::traffic {
+
+namespace {
+
+using classify::AppId;
+using classify::Category;
+
+/// Apps that run over TLS (SNI evidence) vs plain HTTP vs raw sockets.
+enum class WireStyle {
+  kTls,
+  kTlsOddPort,
+  kHttp,
+  kHttpVideo,
+  kHttpAudio,
+  kRawTcp,
+  kRawUdp,
+  kEncryptedTcp
+};
+
+WireStyle wire_style(const classify::AppInfo& info, Rng& rng) {
+  switch (info.id) {
+    case AppId::kMiscWeb:
+      return WireStyle::kHttp;
+    case AppId::kMiscSecureWeb:
+      return WireStyle::kTls;
+    case AppId::kEncryptedTcp:
+      return WireStyle::kTlsOddPort;  // SSL on a non-web port
+    case AppId::kMiscVideo:
+      return WireStyle::kHttpVideo;
+    case AppId::kMiscAudio:
+      return WireStyle::kHttpAudio;
+    case AppId::kNonWebTcp:
+    case AppId::kRtmp:
+    case AppId::kRemoteDesktop:
+    case AppId::kWindowsFileSharing:
+    case AppId::kAppleFileSharing:
+    case AppId::kSteam:
+      return WireStyle::kRawTcp;
+    case AppId::kUdp:
+      return WireStyle::kRawUdp;
+    case AppId::kSkype:  // media over UDP more often than not
+      return rng.chance(0.7) ? WireStyle::kRawUdp : WireStyle::kTls;
+    case AppId::kBitTorrent:
+      return WireStyle::kRawTcp;
+    case AppId::kEncryptedP2p:
+      return WireStyle::kEncryptedTcp;
+    default:
+      // Named web services: mostly HTTPS by 2015, some still plain HTTP.
+      if (!info.domains.empty()) return rng.chance(0.7) ? WireStyle::kTls : WireStyle::kHttp;
+      return WireStyle::kRawTcp;
+  }
+}
+
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+std::string FlowGenerator::pick_domain(const classify::AppInfo& info) {
+  if (info.domains.empty()) return {};
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(info.domains.size()) - 1));
+  std::string domain{info.domains[idx]};
+  // Real clients resolve host names under the service domain.
+  if (rng_.chance(0.4) && !domain.starts_with("www.")) {
+    static const char* kPrefixes[] = {"www", "api", "cdn", "edge", "static"};
+    domain = std::string(kPrefixes[rng_.uniform_int(0, 4)]) + "." + domain;
+  }
+  return domain;
+}
+
+GeneratedFlow FlowGenerator::make_flow(classify::AppId app, classify::OsType os,
+                                       std::uint64_t up_bytes, std::uint64_t down_bytes) {
+  const auto& info = classify::app_info(app);
+  GeneratedFlow flow;
+  flow.truth = app;
+  flow.upstream_bytes = up_bytes;
+  flow.downstream_bytes = down_bytes;
+
+  const WireStyle style = wire_style(info, rng_);
+  const std::string domain = pick_domain(info);
+  const std::string ua =
+      classify::canonical_user_agent(os, static_cast<unsigned>(rng_.next_u64() & 3));
+
+  auto& s = flow.sample;
+  // The DNS lookup that preceded the flow: present for anything hostname-
+  // based, unless the client cached it (paper: DNS is only one signal).
+  if (!domain.empty() && rng_.chance(0.8)) {
+    s.dns_packet = classify::encode_dns_query(static_cast<std::uint16_t>(rng_.next_u64()), domain);
+  }
+
+  switch (style) {
+    case WireStyle::kTls:
+      s.transport = classify::Transport::kTcp;
+      s.dst_port = 443;
+      s.first_payload = classify::build_client_hello(domain, rng_.next_u64());
+      break;
+    case WireStyle::kTlsOddPort:
+      s.transport = classify::Transport::kTcp;
+      s.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(8400, 9000));
+      s.first_payload = classify::build_client_hello(domain, rng_.next_u64());
+      break;
+    case WireStyle::kHttp:
+    case WireStyle::kHttpVideo:
+    case WireStyle::kHttpAudio: {
+      s.transport = classify::Transport::kTcp;
+      s.dst_port = 80;
+      const char* content_type = style == WireStyle::kHttpVideo  ? "video/mp4"
+                                 : style == WireStyle::kHttpAudio ? "audio/mpeg"
+                                                                  : "";
+      const std::string host = domain.empty() ? "site-" + std::to_string(rng_.next_u64() % 100000) + ".example"
+                                              : domain;
+      s.first_payload =
+          to_bytes(classify::build_http_request("GET", host, "/", ua, content_type));
+      break;
+    }
+    case WireStyle::kRawTcp: {
+      s.transport = classify::Transport::kTcp;
+      if (!info.tcp_ports.empty()) {
+        s.dst_port = info.tcp_ports[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(info.tcp_ports.size()) - 1))];
+      } else {
+        s.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65000));
+      }
+      // Low-entropy binary preamble (protocol magic + zeros).
+      s.first_payload.assign(96, 0);
+      s.first_payload[0] = 0x13;
+      break;
+    }
+    case WireStyle::kRawUdp: {
+      s.transport = classify::Transport::kUdp;
+      if (!info.udp_ports.empty()) {
+        s.dst_port = info.udp_ports[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(info.udp_ports.size()) - 1))];
+      } else {
+        s.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65000));
+      }
+      s.first_payload.assign(64, 0xAB);
+      break;
+    }
+    case WireStyle::kEncryptedTcp: {
+      s.transport = classify::Transport::kTcp;
+      s.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(20000, 65000));
+      // High-entropy payload: every byte pseudo-random.
+      s.first_payload.resize(256);
+      for (auto& b : s.first_payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+      break;
+    }
+  }
+  return flow;
+}
+
+}  // namespace wlm::traffic

@@ -1,0 +1,42 @@
+// Flow generation: renders an (application, device) pair into the actual
+// packets the classifier's slow path will inspect — a DNS query, then an
+// HTTP request head or TLS ClientHello (or opaque payload for P2P and
+// non-web traffic). The generator and the classifier share no tables beyond
+// the app catalog, so classification is a real test, not a tautology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/apps.hpp"
+#include "classify/classifier.hpp"
+#include "classify/os.hpp"
+#include "core/rng.hpp"
+
+namespace wlm::traffic {
+
+/// One generated flow: classifier input plus ground truth and byte volume.
+struct GeneratedFlow {
+  classify::FlowSample sample;
+  classify::AppId truth = classify::AppId::kUnclassified;
+  std::uint64_t upstream_bytes = 0;
+  std::uint64_t downstream_bytes = 0;
+};
+
+class FlowGenerator {
+ public:
+  explicit FlowGenerator(Rng rng) : rng_(rng) {}
+
+  /// Builds the wire evidence for a flow of `app` from a device running
+  /// `os`, carrying the given byte volume.
+  [[nodiscard]] GeneratedFlow make_flow(classify::AppId app, classify::OsType os,
+                                        std::uint64_t up_bytes, std::uint64_t down_bytes);
+
+ private:
+  Rng rng_;
+
+  [[nodiscard]] std::string pick_domain(const classify::AppInfo& info);
+};
+
+}  // namespace wlm::traffic

@@ -1,0 +1,125 @@
+#include "traffic/os_model.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace wlm::traffic {
+
+namespace {
+
+using classify::AppId;
+using classify::Category;
+using classify::OsType;
+
+struct Row {
+  OsType os;
+  double mb_2015;
+  double mb_increase;
+  double download_frac;
+};
+
+// Table 3 "MB / client", its "% increase", and "% download" columns.
+constexpr std::array<Row, 11> kRows = {{
+    {OsType::kWindows, 751, 0.12, 0.83},
+    {OsType::kAppleIos, 224, 0.44, 0.88},
+    {OsType::kMacOsX, 1487, 0.17, 0.75},
+    {OsType::kAndroid, 121, 0.69, 0.89},
+    {OsType::kUnknown, 357, -0.0036, 0.45},
+    {OsType::kChromeOs, 366, 0.16, 0.91},
+    {OsType::kOther, 1951, 1.68, 0.78},
+    {OsType::kPlaystation, 5319, 0.77, 0.96},
+    {OsType::kLinux, 1393, 1.69, 0.68},
+    {OsType::kBlackberry, 11, -0.19, 0.94},
+    {OsType::kWindowsMobile, 26, 0.13, 0.91},
+}};
+
+}  // namespace
+
+OsUsageProfile os_usage(OsType os, deploy::Epoch epoch) {
+  for (const auto& row : kRows) {
+    if (row.os != os) continue;
+    OsUsageProfile p;
+    p.download_frac = row.download_frac;
+    switch (epoch) {
+      case deploy::Epoch::kJan2015:
+        p.mb_per_client = row.mb_2015;
+        break;
+      case deploy::Epoch::kJan2014:
+        p.mb_per_client = row.mb_2015 / (1.0 + row.mb_increase);
+        break;
+      case deploy::Epoch::kJul2014:
+        p.mb_per_client = (row.mb_2015 + row.mb_2015 / (1.0 + row.mb_increase)) / 2.0;
+        break;
+    }
+    return p;
+  }
+  return OsUsageProfile{100.0, 0.8};  // Xbox etc.: modest default
+}
+
+double sample_weekly_bytes(OsType os, deploy::Epoch epoch, Rng& rng) {
+  const OsUsageProfile profile = os_usage(os, epoch);
+  // Lognormal with sigma 1.6: the top decile of clients dominates usage,
+  // matching the paper's "a subset of clients driving most of the usage".
+  const double sigma = 1.6;
+  const double mean_bytes = profile.mb_per_client * 1e6;
+  const double mu = std::log(std::max(mean_bytes, 1.0)) - sigma * sigma / 2.0;
+  return rng.lognormal(mu, sigma);
+}
+
+double app_affinity(OsType os, AppId app) {
+  const auto& info = classify::app_info(app);
+  const auto dc = classify::device_class(os);
+  const bool is_apple = os == OsType::kAppleIos || os == OsType::kMacOsX;
+  const bool is_mobile = dc == classify::DeviceClass::kMobile;
+  const bool is_desktop = dc == classify::DeviceClass::kDesktop;
+  const bool is_console = dc == classify::DeviceClass::kConsole;
+
+  switch (app) {
+    // Platform-exclusive applications.
+    case AppId::kAppleFileSharing:
+      return is_apple ? (os == OsType::kMacOsX ? 6.0 : 0.3) : 0.0;
+    case AppId::kITunes:
+    case AppId::kAppleCom:
+      return is_apple ? 1.6 : (os == OsType::kWindows ? 0.4 : 0.0);
+    case AppId::kWindowsFileSharing:
+      return os == OsType::kWindows ? 2.0 : (os == OsType::kMacOsX ? 0.3 : 0.0);
+    case AppId::kSkydrive:
+    case AppId::kMicrosoftCom:
+      return os == OsType::kWindows || os == OsType::kWindowsMobile ? 1.6 : 0.2;
+    case AppId::kDropcam:
+      return os == OsType::kOther ? 30.0 : 0.0;
+    case AppId::kXboxLive:
+      return os == OsType::kXbox ? 50.0 : 0.0;
+
+    // Desktop-leaning traffic.
+    case AppId::kBitTorrent:
+    case AppId::kEncryptedP2p:
+      return is_desktop ? 2.0 : 0.0;
+    case AppId::kRemoteDesktop:
+      return is_desktop ? 1.2 : 0.0;
+    case AppId::kSteam:
+      return os == OsType::kWindows ? 2.0 : (is_desktop ? 0.5 : 0.0);
+    case AppId::kOnlineBackup:
+      return is_desktop ? 2.5 : 0.0;
+    case AppId::kSoftwareUpdates:
+      return is_desktop ? 1.4 : (is_mobile ? 0.7 : 0.3);
+
+    // Mobile-leaning traffic.
+    case AppId::kInstagram:
+      return is_mobile ? 1.7 : 0.3;
+    case AppId::kFacebook:
+    case AppId::kTwitter:
+      return is_mobile ? 1.8 : 0.8;
+
+    // Consoles: streaming video and gaming, nothing else.
+    default:
+      if (is_console) {
+        return info.category == Category::kVideoMusic || info.category == Category::kGaming
+                   ? 2.5
+                   : 0.05;
+      }
+      return 1.0;
+  }
+}
+
+}  // namespace wlm::traffic

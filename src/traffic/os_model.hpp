@@ -1,0 +1,29 @@
+// Per-OS usage calibration (the paper's Table 3) and the OS x application
+// affinity matrix that shapes which applications each device type uses.
+#pragma once
+
+#include "classify/apps.hpp"
+#include "classify/os.hpp"
+#include "core/rng.hpp"
+#include "deploy/epoch.hpp"
+
+namespace wlm::traffic {
+
+struct OsUsageProfile {
+  double mb_per_client = 0.0;   // mean weekly bytes per client, MB
+  double download_frac = 0.8;   // share of bytes that are downstream
+};
+
+/// Table 3 calibration for an epoch (2014 derived from the increases).
+[[nodiscard]] OsUsageProfile os_usage(classify::OsType os, deploy::Epoch epoch);
+
+/// Samples a device's weekly byte total: lognormal around the OS mean
+/// (usage across clients is uneven, paper §6.2 — a subset of clients drives
+/// most of the usage).
+[[nodiscard]] double sample_weekly_bytes(classify::OsType os, deploy::Epoch epoch, Rng& rng);
+
+/// Relative propensity of an OS to use an application (1 = neutral,
+/// 0 = never: e.g. Apple file sharing never appears on Android).
+[[nodiscard]] double app_affinity(classify::OsType os, classify::AppId app);
+
+}  // namespace wlm::traffic

@@ -1,0 +1,157 @@
+#include "traffic/pcap.hpp"
+
+#include <cstdio>
+
+namespace wlm::traffic {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+namespace {
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16be(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16be(out, static_cast<std::uint16_t>(v));
+}
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16le(out, static_cast<std::uint16_t>(v));
+  put_u16le(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encapsulate(const PacketEndpoints& endpoints,
+                                      classify::Transport transport,
+                                      std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  const std::size_t l4_header = transport == classify::Transport::kTcp ? 20 : 8;
+  out.reserve(14 + 20 + l4_header + payload.size());
+
+  // Ethernet II.
+  for (auto o : endpoints.dst_mac.octets()) out.push_back(o);
+  for (auto o : endpoints.src_mac.octets()) out.push_back(o);
+  put_u16be(out, 0x0800);  // IPv4
+
+  // IPv4 header (no options).
+  const auto total_len = static_cast<std::uint16_t>(20 + l4_header + payload.size());
+  const std::size_t ip_start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0x00);  // DSCP/ECN
+  put_u16be(out, total_len);
+  put_u16be(out, 0x1234);  // identification
+  put_u16be(out, 0x4000);  // DF, fragment offset 0
+  out.push_back(64);       // TTL
+  out.push_back(transport == classify::Transport::kTcp ? 6 : 17);
+  put_u16be(out, 0);  // checksum placeholder
+  put_u32be(out, endpoints.src_ip);
+  put_u32be(out, endpoints.dst_ip);
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + ip_start, 20));
+  out[ip_start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[ip_start + 11] = static_cast<std::uint8_t>(csum);
+
+  if (transport == classify::Transport::kTcp) {
+    put_u16be(out, endpoints.src_port);
+    put_u16be(out, endpoints.dst_port);
+    put_u32be(out, 0x10000001);  // sequence
+    put_u32be(out, 0x20000001);  // ack
+    out.push_back(0x50);         // data offset 5
+    out.push_back(0x18);         // PSH|ACK
+    put_u16be(out, 0xFFFF);      // window
+    put_u16be(out, 0);           // checksum left zero (optional on capture)
+    put_u16be(out, 0);           // urgent
+  } else {
+    put_u16be(out, endpoints.src_port);
+    put_u16be(out, endpoints.dst_port);
+    put_u16be(out, static_cast<std::uint16_t>(8 + payload.size()));
+    put_u16be(out, 0);  // checksum optional for IPv4 UDP
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+PcapWriter::PcapWriter() {
+  // Classic pcap global header, microsecond timestamps, little-endian.
+  put_u32le(buf_, 0xA1B2C3D4);
+  put_u16le(buf_, 2);   // major
+  put_u16le(buf_, 4);   // minor
+  put_u32le(buf_, 0);   // thiszone
+  put_u32le(buf_, 0);   // sigfigs
+  put_u32le(buf_, 65535);  // snaplen
+  put_u32le(buf_, 1);   // LINKTYPE_ETHERNET
+}
+
+void PcapWriter::add_packet(SimTime t, std::span<const std::uint8_t> frame) {
+  const auto us = t.as_micros();
+  put_u32le(buf_, static_cast<std::uint32_t>(us / 1'000'000));
+  put_u32le(buf_, static_cast<std::uint32_t>(us % 1'000'000));
+  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
+  buf_.insert(buf_.end(), frame.begin(), frame.end());
+  ++packets_;
+}
+
+void PcapWriter::add_flow(SimTime t, const GeneratedFlow& flow,
+                          const PacketEndpoints& endpoints) {
+  if (!flow.sample.dns_packet.empty()) {
+    PacketEndpoints dns = endpoints;
+    dns.dst_port = 53;
+    add_packet(t, encapsulate(dns, classify::Transport::kUdp, flow.sample.dns_packet));
+    t += Duration::millis(20);  // resolve latency before the data flow opens
+  }
+  if (!flow.sample.first_payload.empty()) {
+    PacketEndpoints data = endpoints;
+    data.dst_port = flow.sample.dst_port;
+    add_packet(t, encapsulate(data, flow.sample.transport, flow.sample.first_payload));
+  }
+}
+
+bool PcapWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::vector<std::size_t> parse_pcap_lengths(std::span<const std::uint8_t> capture) {
+  std::vector<std::size_t> lengths;
+  if (capture.size() < 24) return lengths;
+  const std::uint32_t magic = static_cast<std::uint32_t>(capture[0]) |
+                              (static_cast<std::uint32_t>(capture[1]) << 8) |
+                              (static_cast<std::uint32_t>(capture[2]) << 16) |
+                              (static_cast<std::uint32_t>(capture[3]) << 24);
+  if (magic != 0xA1B2C3D4) return lengths;
+  std::size_t pos = 24;
+  while (pos + 16 <= capture.size()) {
+    const std::uint32_t incl = static_cast<std::uint32_t>(capture[pos + 8]) |
+                               (static_cast<std::uint32_t>(capture[pos + 9]) << 8) |
+                               (static_cast<std::uint32_t>(capture[pos + 10]) << 16) |
+                               (static_cast<std::uint32_t>(capture[pos + 11]) << 24);
+    pos += 16;
+    if (pos + incl > capture.size()) break;  // truncated record
+    lengths.push_back(incl);
+    pos += incl;
+  }
+  return lengths;
+}
+
+}  // namespace wlm::traffic

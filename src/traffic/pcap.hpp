@@ -1,0 +1,67 @@
+// PCAP export of generated flows.
+//
+// Wraps the flow generator's application payloads in real Ethernet/IPv4/
+// TCP|UDP headers (correct lengths and IP header checksums) and writes a
+// classic libpcap capture — so a generated workload can be opened in
+// Wireshark or replayed through third-party classifiers for comparison
+// against our rule engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "traffic/flowgen.hpp"
+
+namespace wlm::traffic {
+
+/// Internet checksum (RFC 1071) over a byte span, as used by IPv4 headers.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+struct PacketEndpoints {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  std::uint32_t src_ip = 0x0A000002;  // 10.0.0.2
+  std::uint32_t dst_ip = 0xC0A80001;  // arbitrary remote
+  std::uint16_t src_port = 49152;
+  std::uint16_t dst_port = 80;
+};
+
+/// Ethernet II + IPv4 + TCP|UDP + payload. TCP segments carry PSH|ACK with
+/// plausible sequence numbers; UDP length fields are set correctly.
+[[nodiscard]] std::vector<std::uint8_t> encapsulate(const PacketEndpoints& endpoints,
+                                                    classify::Transport transport,
+                                                    std::span<const std::uint8_t> payload);
+
+/// In-memory classic pcap writer (magic 0xa1b2c3d4, LINKTYPE_ETHERNET).
+class PcapWriter {
+ public:
+  PcapWriter();
+
+  /// Appends one frame with a capture timestamp.
+  void add_packet(SimTime t, std::span<const std::uint8_t> frame);
+
+  /// Appends a generated flow's observable packets: the DNS query (as UDP
+  /// port 53) and the first data packet, from the device toward the server.
+  void add_flow(SimTime t, const GeneratedFlow& flow, const PacketEndpoints& endpoints);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t packet_count() const { return packets_; }
+
+  /// Writes the capture to a file; returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t packets_ = 0;
+};
+
+/// Parses the writer's own output (header check + record walk); used by
+/// tests and sanity checks. Returns per-record payload sizes.
+[[nodiscard]] std::vector<std::size_t> parse_pcap_lengths(
+    std::span<const std::uint8_t> capture);
+
+}  // namespace wlm::traffic

@@ -1,0 +1,57 @@
+#include "traffic/sessions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traffic/diurnal.hpp"
+
+namespace wlm::traffic {
+
+SessionModel::SessionModel(SessionModelParams params, Rng rng)
+    : params_(params), rng_(rng) {}
+
+std::vector<Session> SessionModel::sample_week(Duration span) {
+  std::vector<Session> sessions;
+  // Thinning: candidate arrivals at the peak rate, accepted with
+  // probability diurnal(t)/peak.
+  double peak = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    peak = std::max(peak, diurnal_multiplier(h + 0.5, params_.industry));
+  }
+  const double base_per_us = params_.sessions_per_day / 24.0 / 3.6e9;
+  const double peak_rate = base_per_us * peak;
+
+  const double mu = std::log(params_.duration_median_min * 60.0 * 1e6);  // us
+  SimTime t;
+  const SimTime horizon = SimTime::epoch() + span;
+  while (true) {
+    const double gap = rng_.exponential(peak_rate);
+    t += Duration::micros(static_cast<std::int64_t>(gap));
+    if (t >= horizon) break;
+    const double accept =
+        diurnal_multiplier(t.hour_of_day(), params_.industry) / peak;
+    if (!rng_.chance(accept)) continue;
+    // Arrivals during an ongoing session extend engagement, not overlap.
+    if (!sessions.empty() && sessions.back().active_at(t)) continue;
+    Session s;
+    s.start = t;
+    s.duration = Duration::micros(static_cast<std::int64_t>(
+        std::min(rng_.lognormal(mu, params_.duration_sigma), 12.0 * 3.6e9)));
+    if (s.end() > horizon) s.duration = horizon - s.start;
+    sessions.push_back(s);
+  }
+  return sessions;
+}
+
+double SessionModel::presence_probability(double hour_of_day) const {
+  // Mean of lognormal(mu, sigma) = median * exp(sigma^2/2).
+  const double mean_duration_days =
+      params_.duration_median_min * std::exp(params_.duration_sigma *
+                                             params_.duration_sigma / 2.0) /
+      60.0 / 24.0;
+  const double rate_per_day = params_.sessions_per_day *
+                              diurnal_multiplier(hour_of_day, params_.industry);
+  return std::clamp(rate_per_day * mean_duration_days, 0.0, 0.95);
+}
+
+}  // namespace wlm::traffic

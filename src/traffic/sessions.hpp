@@ -1,0 +1,55 @@
+// Client session model.
+//
+// The paper's real-time snapshot (§3.1) caught ~309,000 of the week's 5.58 M
+// clients online at one evening instant: clients come and go in sessions.
+// Related work the paper builds on (Ghosh et al.) models hotspot usage as
+// session arrivals and durations; this module provides that structure —
+// non-homogeneous Poisson arrivals shaped by the diurnal curve, with
+// heavy-tailed session durations.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "deploy/industry.hpp"
+
+namespace wlm::traffic {
+
+struct Session {
+  SimTime start;
+  Duration duration;
+
+  [[nodiscard]] SimTime end() const { return start + duration; }
+  [[nodiscard]] bool active_at(SimTime t) const { return t >= start && t < end(); }
+};
+
+struct SessionModelParams {
+  /// Mean sessions per device per day (arrivals scale with the diurnal
+  /// multiplier around this average).
+  double sessions_per_day = 3.0;
+  /// Lognormal duration: median ~25 minutes with a heavy tail, in line with
+  /// the hotspot literature.
+  double duration_median_min = 25.0;
+  double duration_sigma = 1.1;
+  deploy::Industry industry = deploy::Industry::kTech;
+};
+
+class SessionModel {
+ public:
+  SessionModel(SessionModelParams params, Rng rng);
+
+  /// Samples one device's sessions across [0, span). Sessions are pruned to
+  /// the span and never overlap (a device has one association at a time).
+  [[nodiscard]] std::vector<Session> sample_week(Duration span = Duration::days(7));
+
+  /// Probability a device with this model is online at the given hour
+  /// (analytic approximation: arrival intensity x mean duration, capped).
+  [[nodiscard]] double presence_probability(double hour_of_day) const;
+
+ private:
+  SessionModelParams params_;
+  Rng rng_;
+};
+
+}  // namespace wlm::traffic

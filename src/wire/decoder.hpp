@@ -1,0 +1,52 @@
+// Streaming field decoder.
+//
+// Unknown fields are skippable, which is what lets the backend "handle
+// schema changes and new software revisions without affecting the
+// measurement data" (paper §2): old collectors skip fields added by newer
+// firmware instead of failing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "wire/encoder.hpp"
+
+namespace wlm::wire {
+
+/// One decoded field header plus a view of its payload.
+struct Field {
+  std::uint32_t number = 0;
+  WireType type = WireType::kVarint;
+  std::uint64_t varint = 0;                // for kVarint / kFixed32 / kFixed64
+  std::span<const std::uint8_t> payload;   // for kLengthDelimited
+
+  [[nodiscard]] std::uint64_t as_uint() const { return varint; }
+  [[nodiscard]] std::int64_t as_sint() const { return zigzag_decode(varint); }
+  [[nodiscard]] bool as_bool() const { return varint != 0; }
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::string as_string() const {
+    return {reinterpret_cast<const char*>(payload.data()), payload.size()};
+  }
+};
+
+/// Iterates the fields of one message. Malformed input flips the decoder
+/// into an error state rather than throwing; callers check ok() at the end.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Next field, or nullopt at end-of-message or on error.
+  [[nodiscard]] std::optional<Field> next();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ >= data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wlm::wire

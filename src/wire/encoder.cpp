@@ -1,0 +1,42 @@
+#include "wire/encoder.hpp"
+
+#include <cstring>
+
+namespace wlm::wire {
+
+void Encoder::add_uint(std::uint32_t field, std::uint64_t v) {
+  put_varint(buf_, make_tag(field, WireType::kVarint));
+  put_varint(buf_, v);
+}
+
+void Encoder::add_sint(std::uint32_t field, std::int64_t v) {
+  put_varint(buf_, make_tag(field, WireType::kVarint));
+  put_varint(buf_, zigzag_encode(v));
+}
+
+void Encoder::add_bool(std::uint32_t field, bool v) { add_uint(field, v ? 1 : 0); }
+
+void Encoder::add_double(std::uint32_t field, double v) {
+  put_varint(buf_, make_tag(field, WireType::kFixed64));
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void Encoder::add_string(std::uint32_t field, std::string_view v) {
+  add_bytes(field, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(v.data()), v.size()));
+}
+
+void Encoder::add_bytes(std::uint32_t field, std::span<const std::uint8_t> v) {
+  put_varint(buf_, make_tag(field, WireType::kLengthDelimited));
+  put_varint(buf_, v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Encoder::add_message(std::uint32_t field, const Encoder& child) {
+  add_bytes(field, child.bytes());
+}
+
+}  // namespace wlm::wire

@@ -1,0 +1,47 @@
+// Tag-length-value message encoder (protobuf wire-format compatible layout:
+// field tags are (field_number << 3) | wire_type).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "wire/varint.hpp"
+
+namespace wlm::wire {
+
+enum class WireType : std::uint8_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+  kFixed32 = 5,
+};
+
+[[nodiscard]] constexpr std::uint64_t make_tag(std::uint32_t field, WireType type) {
+  return (static_cast<std::uint64_t>(field) << 3) | static_cast<std::uint64_t>(type);
+}
+
+/// Append-only message builder. Nested messages are encoded by building the
+/// child first and adding it as a length-delimited field.
+class Encoder {
+ public:
+  void add_uint(std::uint32_t field, std::uint64_t v);
+  /// ZigZag-encoded signed integer.
+  void add_sint(std::uint32_t field, std::int64_t v);
+  void add_bool(std::uint32_t field, bool v);
+  void add_double(std::uint32_t field, double v);
+  void add_string(std::uint32_t field, std::string_view v);
+  void add_bytes(std::uint32_t field, std::span<const std::uint8_t> v);
+  void add_message(std::uint32_t field, const Encoder& child);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace wlm::wire

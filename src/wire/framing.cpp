@@ -1,0 +1,55 @@
+#include "wire/framing.hpp"
+
+#include "core/checksum.hpp"
+#include "wire/varint.hpp"
+
+namespace wlm::wire {
+
+void append_frame(std::vector<std::uint8_t>& stream, std::span<const std::uint8_t> payload) {
+  stream.push_back(kFrameMagic0);
+  stream.push_back(kFrameMagic1);
+  put_varint(stream, payload.size());
+  stream.insert(stream.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i) stream.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+}
+
+StreamDecodeResult decode_stream(std::span<const std::uint8_t> stream) {
+  StreamDecodeResult result;
+  std::size_t pos = 0;
+  while (pos + 2 <= stream.size()) {
+    if (stream[pos] != kFrameMagic0 || stream[pos + 1] != kFrameMagic1) {
+      ++pos;
+      ++result.resync_bytes;
+      continue;
+    }
+    const std::size_t frame_start = pos;
+    pos += 2;
+    const auto len = get_varint(stream.subspan(pos));
+    if (!len) break;  // truncated tail
+    pos += len->consumed;
+    if (pos + len->value + 4 > stream.size()) {
+      // Truncated frame; rewind past the magic and resync.
+      pos = frame_start + 1;
+      ++result.resync_bytes;
+      continue;
+    }
+    const auto payload = stream.subspan(pos, len->value);
+    pos += len->value;
+    std::uint32_t crc = 0;
+    for (int i = 3; i >= 0; --i) crc = (crc << 8) | stream[pos + static_cast<std::size_t>(i)];
+    pos += 4;
+    if (crc32(payload) != crc) {
+      ++result.corrupt_frames;
+      continue;
+    }
+    result.payloads.emplace_back(payload.begin(), payload.end());
+  }
+  return result;
+}
+
+std::size_t frame_overhead(std::size_t payload_size) {
+  return 2 + varint_size(payload_size) + 4;
+}
+
+}  // namespace wlm::wire

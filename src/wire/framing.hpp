@@ -1,0 +1,34 @@
+// Tunnel stream framing: [magic u16][length varint][payload][crc32 fixed32].
+//
+// The CRC covers the payload only; the magic delimits frames so a reader can
+// resynchronize after a corrupt length. decode_stream() is tolerant: frames
+// with bad CRCs are counted and skipped, matching a collector that must
+// survive flaky WAN links.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wlm::wire {
+
+inline constexpr std::uint8_t kFrameMagic0 = 0xA7;
+inline constexpr std::uint8_t kFrameMagic1 = 0x5C;
+
+/// Appends one framed payload to `stream`.
+void append_frame(std::vector<std::uint8_t>& stream, std::span<const std::uint8_t> payload);
+
+struct StreamDecodeResult {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::size_t corrupt_frames = 0;   // bad CRC
+  std::size_t resync_bytes = 0;     // bytes skipped hunting for magic
+};
+
+/// Decodes every recoverable frame in the stream.
+[[nodiscard]] StreamDecodeResult decode_stream(std::span<const std::uint8_t> stream);
+
+/// Framing overhead in bytes for a payload of the given size.
+[[nodiscard]] std::size_t frame_overhead(std::size_t payload_size);
+
+}  // namespace wlm::wire

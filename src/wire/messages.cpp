@@ -1,0 +1,281 @@
+#include "wire/messages.hpp"
+
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace wlm::wire {
+
+namespace {
+
+// ApReport field numbers.
+constexpr std::uint32_t kFApId = 1;
+constexpr std::uint32_t kFTimestamp = 2;
+constexpr std::uint32_t kFFirmware = 3;
+constexpr std::uint32_t kFUsage = 4;
+constexpr std::uint32_t kFUtilization = 5;
+constexpr std::uint32_t kFNeighbor = 6;
+constexpr std::uint32_t kFLink = 7;
+constexpr std::uint32_t kFClient = 8;
+
+Encoder encode_usage(const ClientUsage& u) {
+  Encoder e;
+  e.add_uint(1, u.client.to_u64());
+  e.add_uint(2, u.app_id);
+  e.add_uint(3, u.tx_bytes);
+  e.add_uint(4, u.rx_bytes);
+  return e;
+}
+
+std::optional<ClientUsage> decode_usage(std::span<const std::uint8_t> data) {
+  ClientUsage u;
+  Decoder d(data);
+  while (auto f = d.next()) {
+    switch (f->number) {
+      case 1:
+        u.client = MacAddress::from_u64(f->as_uint());
+        break;
+      case 2:
+        u.app_id = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case 3:
+        u.tx_bytes = f->as_uint();
+        break;
+      case 4:
+        u.rx_bytes = f->as_uint();
+        break;
+      default:
+        break;  // forward compatibility
+    }
+  }
+  if (!d.ok()) return std::nullopt;
+  return u;
+}
+
+Encoder encode_util(const ChannelUtilization& c) {
+  Encoder e;
+  e.add_uint(1, c.band);
+  e.add_sint(2, c.channel);
+  e.add_uint(3, c.cycle_us);
+  e.add_uint(4, c.busy_us);
+  e.add_uint(5, c.rx_frame_us);
+  e.add_uint(6, c.tx_us);
+  return e;
+}
+
+std::optional<ChannelUtilization> decode_util(std::span<const std::uint8_t> data) {
+  ChannelUtilization c;
+  Decoder d(data);
+  while (auto f = d.next()) {
+    switch (f->number) {
+      case 1:
+        c.band = static_cast<std::uint8_t>(f->as_uint());
+        break;
+      case 2:
+        c.channel = static_cast<std::int32_t>(f->as_sint());
+        break;
+      case 3:
+        c.cycle_us = f->as_uint();
+        break;
+      case 4:
+        c.busy_us = f->as_uint();
+        break;
+      case 5:
+        c.rx_frame_us = f->as_uint();
+        break;
+      case 6:
+        c.tx_us = f->as_uint();
+        break;
+      default:
+        break;
+    }
+  }
+  if (!d.ok()) return std::nullopt;
+  return c;
+}
+
+Encoder encode_neighbor(const NeighborBss& n) {
+  Encoder e;
+  e.add_uint(1, n.bssid.to_u64());
+  e.add_uint(2, n.band);
+  e.add_sint(3, n.channel);
+  e.add_double(4, n.rssi_dbm);
+  e.add_bool(5, n.is_hotspot);
+  e.add_bool(6, n.is_same_fleet);
+  return e;
+}
+
+std::optional<NeighborBss> decode_neighbor(std::span<const std::uint8_t> data) {
+  NeighborBss n;
+  Decoder d(data);
+  while (auto f = d.next()) {
+    switch (f->number) {
+      case 1:
+        n.bssid = MacAddress::from_u64(f->as_uint());
+        break;
+      case 2:
+        n.band = static_cast<std::uint8_t>(f->as_uint());
+        break;
+      case 3:
+        n.channel = static_cast<std::int32_t>(f->as_sint());
+        break;
+      case 4:
+        n.rssi_dbm = f->as_double();
+        break;
+      case 5:
+        n.is_hotspot = f->as_bool();
+        break;
+      case 6:
+        n.is_same_fleet = f->as_bool();
+        break;
+      default:
+        break;
+    }
+  }
+  if (!d.ok()) return std::nullopt;
+  return n;
+}
+
+Encoder encode_link(const LinkProbeWindow& l) {
+  Encoder e;
+  e.add_uint(1, l.from_ap);
+  e.add_uint(2, l.band);
+  e.add_sint(3, l.channel);
+  e.add_uint(4, l.probes_expected);
+  e.add_uint(5, l.probes_received);
+  return e;
+}
+
+std::optional<LinkProbeWindow> decode_link(std::span<const std::uint8_t> data) {
+  LinkProbeWindow l;
+  Decoder d(data);
+  while (auto f = d.next()) {
+    switch (f->number) {
+      case 1:
+        l.from_ap = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case 2:
+        l.band = static_cast<std::uint8_t>(f->as_uint());
+        break;
+      case 3:
+        l.channel = static_cast<std::int32_t>(f->as_sint());
+        break;
+      case 4:
+        l.probes_expected = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case 5:
+        l.probes_received = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      default:
+        break;
+    }
+  }
+  if (!d.ok()) return std::nullopt;
+  return l;
+}
+
+Encoder encode_client(const ClientSnapshot& c) {
+  Encoder e;
+  e.add_uint(1, c.client.to_u64());
+  e.add_uint(2, c.capability_bits);
+  e.add_uint(3, c.band);
+  e.add_double(4, c.rssi_dbm);
+  e.add_uint(5, c.os_id);
+  return e;
+}
+
+std::optional<ClientSnapshot> decode_client(std::span<const std::uint8_t> data) {
+  ClientSnapshot c;
+  Decoder d(data);
+  while (auto f = d.next()) {
+    switch (f->number) {
+      case 1:
+        c.client = MacAddress::from_u64(f->as_uint());
+        break;
+      case 2:
+        c.capability_bits = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case 3:
+        c.band = static_cast<std::uint8_t>(f->as_uint());
+        break;
+      case 4:
+        c.rssi_dbm = f->as_double();
+        break;
+      case 5:
+        c.os_id = static_cast<std::uint8_t>(f->as_uint());
+        break;
+      default:
+        break;
+    }
+  }
+  if (!d.ok()) return std::nullopt;
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_report(const ApReport& report) {
+  Encoder e;
+  e.add_uint(kFApId, report.ap_id);
+  e.add_sint(kFTimestamp, report.timestamp_us);
+  e.add_uint(kFFirmware, report.firmware);
+  for (const auto& u : report.usage) e.add_message(kFUsage, encode_usage(u));
+  for (const auto& c : report.utilization) e.add_message(kFUtilization, encode_util(c));
+  for (const auto& n : report.neighbors) e.add_message(kFNeighbor, encode_neighbor(n));
+  for (const auto& l : report.links) e.add_message(kFLink, encode_link(l));
+  for (const auto& c : report.clients) e.add_message(kFClient, encode_client(c));
+  return std::move(e).take();
+}
+
+std::optional<ApReport> decode_report(std::span<const std::uint8_t> data) {
+  ApReport r;
+  Decoder d(data);
+  while (auto f = d.next()) {
+    switch (f->number) {
+      case kFApId:
+        r.ap_id = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case kFTimestamp:
+        r.timestamp_us = f->as_sint();
+        break;
+      case kFFirmware:
+        r.firmware = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case kFUsage: {
+        auto u = decode_usage(f->payload);
+        if (!u) return std::nullopt;
+        r.usage.push_back(*u);
+        break;
+      }
+      case kFUtilization: {
+        auto c = decode_util(f->payload);
+        if (!c) return std::nullopt;
+        r.utilization.push_back(*c);
+        break;
+      }
+      case kFNeighbor: {
+        auto n = decode_neighbor(f->payload);
+        if (!n) return std::nullopt;
+        r.neighbors.push_back(*n);
+        break;
+      }
+      case kFLink: {
+        auto l = decode_link(f->payload);
+        if (!l) return std::nullopt;
+        r.links.push_back(*l);
+        break;
+      }
+      case kFClient: {
+        auto c = decode_client(f->payload);
+        if (!c) return std::nullopt;
+        r.clients.push_back(*c);
+        break;
+      }
+      default:
+        break;  // unknown field from newer firmware: skip
+    }
+  }
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+}  // namespace wlm::wire

@@ -1,0 +1,35 @@
+#include "wire/varint.hpp"
+
+namespace wlm::wire {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<VarintResult> get_varint(std::span<const std::uint8_t> in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < in.size() && i < 10; ++i) {
+    value |= static_cast<std::uint64_t>(in[i] & 0x7F) << shift;
+    if ((in[i] & 0x80) == 0) {
+      return VarintResult{value, i + 1};
+    }
+    shift += 7;
+  }
+  return std::nullopt;  // truncated or over-long
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace wlm::wire

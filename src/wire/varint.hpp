@@ -1,0 +1,38 @@
+// Base-128 varint and ZigZag codecs — the primitive layer of the telemetry
+// wire format (paper §2: statistics protocols are "built with Google
+// Protocol Buffers to minimize reporting overhead"; we implement the same
+// encoding from scratch).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wlm::wire {
+
+/// Appends the varint encoding of v (1-10 bytes) to out.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Decoded value plus the number of bytes consumed.
+struct VarintResult {
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+};
+
+/// Reads a varint from the front of `in`. Returns nullopt on truncation or
+/// an over-long (>10 byte) encoding.
+[[nodiscard]] std::optional<VarintResult> get_varint(std::span<const std::uint8_t> in);
+
+/// ZigZag maps signed to unsigned so small negatives stay small on the wire.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Number of bytes put_varint would write.
+[[nodiscard]] std::size_t varint_size(std::uint64_t v);
+
+}  // namespace wlm::wire

@@ -1,0 +1,90 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::analysis {
+namespace {
+
+ScenarioScale tiny() {
+  ScenarioScale s;
+  s.networks = 30;
+  s.seed = 5;
+  return s;
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvDoc, RendersRows) {
+  CsvDoc doc;
+  doc.name = "test";
+  doc.rows.push_back({"a", "b"});
+  doc.rows.push_back({"1", "x,y"});
+  EXPECT_EQ(doc.to_string(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(Export, Fig3HasAllFourSeries) {
+  const auto run = run_link_study(tiny());
+  const auto doc = export_fig3(run);
+  EXPECT_EQ(doc.name, "fig3_delivery_cdf");
+  ASSERT_GT(doc.rows.size(), 400u);  // 4 series x 200 points + header
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"series", "delivery_ratio", "cdf"}));
+  int series_seen = 0;
+  std::string last;
+  for (std::size_t i = 1; i < doc.rows.size(); ++i) {
+    if (doc.rows[i][0] != last) {
+      ++series_seen;
+      last = doc.rows[i][0];
+    }
+  }
+  EXPECT_EQ(series_seen, 4);
+}
+
+TEST(Export, Fig78RowsMatchScatterSize) {
+  const auto run = run_utilization_study(tiny());
+  const auto doc = export_fig78(run);
+  EXPECT_EQ(doc.rows.size(),
+            1 + run.scatter_count_24.size() + run.scatter_count_5.size());
+}
+
+TEST(Export, Table7CoversBothBands) {
+  const auto run = run_neighbor_study(tiny());
+  const auto doc = export_table7(run);
+  bool has24 = false;
+  bool has5 = false;
+  for (std::size_t i = 1; i < doc.rows.size(); ++i) {
+    has24 |= doc.rows[i][0] == "2.4GHz";
+    has5 |= doc.rows[i][0] == "5GHz";
+  }
+  EXPECT_TRUE(has24);
+  EXPECT_TRUE(has5);
+}
+
+TEST(Export, WriteCsvRoundTrip) {
+  CsvDoc doc;
+  doc.name = "export_test_tmp";
+  doc.rows.push_back({"h1", "h2"});
+  doc.rows.push_back({"v1", "v2"});
+  ASSERT_TRUE(write_csv(doc, "/tmp"));
+  std::FILE* f = std::fopen("/tmp/export_test_tmp.csv", "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "h1,h2\nv1,v2\n");
+  std::remove("/tmp/export_test_tmp.csv");
+}
+
+TEST(Export, WriteCsvFailsOnBadDir) {
+  CsvDoc doc;
+  doc.name = "x";
+  doc.rows.push_back({"a"});
+  EXPECT_FALSE(write_csv(doc, "/nonexistent-dir-xyz"));
+}
+
+}  // namespace
+}  // namespace wlm::analysis

@@ -1,0 +1,103 @@
+// Rendering smoke tests: every table/figure renderer produces output that
+// names its subject and carries the paper-reference annotations.
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::analysis {
+namespace {
+
+ScenarioScale tiny_scale() {
+  ScenarioScale s;
+  s.networks = 40;
+  s.seed = 7;
+  return s;
+}
+
+TEST(Render, Table2) {
+  const auto out = render_table2(tiny_scale());
+  EXPECT_NE(out.find("Education"), std::string::npos);
+  EXPECT_NE(out.find("20,667"), std::string::npos);
+}
+
+TEST(Render, UsageTables) {
+  const auto run = run_usage_study(tiny_scale());
+  const auto t3 = render_table3(run);
+  EXPECT_NE(t3.find("Windows"), std::string::npos);
+  EXPECT_NE(t3.find("Apple iOS"), std::string::npos);
+  EXPECT_NE(t3.find("paper: 1,950 TB"), std::string::npos);
+
+  const auto t5 = render_table5(run);
+  EXPECT_NE(t5.find("Netflix"), std::string::npos);
+  EXPECT_NE(t5.find("Miscellaneous web"), std::string::npos);
+
+  const auto t6 = render_table6(run);
+  EXPECT_NE(t6.find("Video & music"), std::string::npos);
+  EXPECT_NE(t6.find("File sharing"), std::string::npos);
+
+  const auto overhead = render_wire_overhead(run);
+  EXPECT_NE(overhead.find("flows classified"), std::string::npos);
+  EXPECT_GT(run.flows_classified, 0u);
+
+  const auto full = run_wire_overhead_study(tiny_scale());
+  const auto full_render = render_wire_overhead_full(full);
+  EXPECT_NE(full_render.find("kbit/s"), std::string::npos);
+  EXPECT_GT(full.bytes_per_ap_week, 0.0);
+  // The paper's budget: around (and certainly under) 1 kbit/s.
+  EXPECT_LT(full.kbit_per_s, 1.0);
+}
+
+TEST(Render, SnapshotFigures) {
+  const auto run = run_snapshot_study(tiny_scale());
+  const auto t4 = render_table4(run);
+  EXPECT_NE(t4.find("802.11ac"), std::string::npos);
+  EXPECT_NE(t4.find("Two streams"), std::string::npos);
+  const auto f1 = render_fig1(run);
+  EXPECT_NE(f1.find("2.4 GHz"), std::string::npos);
+  EXPECT_NE(f1.find("median SNR"), std::string::npos);
+}
+
+TEST(Render, NeighborFigures) {
+  const auto run = run_neighbor_study(tiny_scale());
+  const auto t7 = render_table7(run);
+  EXPECT_NE(t7.find("55.47"), std::string::npos);
+  EXPECT_NE(t7.find("six months ago"), std::string::npos);
+  const auto f2 = render_fig2(run);
+  EXPECT_NE(f2.find("2.4 ch 1"), std::string::npos);
+  EXPECT_NE(f2.find("channel 1 vs channels 6/11"), std::string::npos);
+}
+
+TEST(Render, LinkFigures) {
+  const auto run = run_link_study(tiny_scale());
+  const auto f3 = render_fig3(run);
+  EXPECT_NE(f3.find("delivery ratio"), std::string::npos);
+  EXPECT_NE(f3.find("2.4 now"), std::string::npos);
+  EXPECT_NE(render_fig4(run).find("Figure 4"), std::string::npos);
+  EXPECT_NE(render_fig5(run).find("Figure 5"), std::string::npos);
+}
+
+TEST(Render, UtilizationFigures) {
+  const auto run = run_utilization_study(tiny_scale());
+  EXPECT_NE(render_fig6(run).find("paper: median 25%"), std::string::npos);
+  EXPECT_NE(render_fig7(run).find("Pearson correlation"), std::string::npos);
+  EXPECT_NE(render_fig8(run).find("5 GHz"), std::string::npos);
+  EXPECT_NE(render_fig9(run).find("day"), std::string::npos);
+  EXPECT_NE(render_fig10(run).find("decodable"), std::string::npos);
+}
+
+TEST(Render, SpectrumFigure) {
+  const auto run = run_spectrum_study(7);
+  const auto f11 = render_fig11(run);
+  EXPECT_NE(f11.find("4096-point FFT"), std::string::npos);
+  EXPECT_NE(f11.find("2.437 GHz"), std::string::npos);
+  EXPECT_NE(f11.find("5.220 GHz"), std::string::npos);
+}
+
+TEST(Render, PercentileSummaryFormat) {
+  const auto s = percentile_summary({0.1, 0.2, 0.3, 0.4, 0.5}, true);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("(%)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wlm::analysis

@@ -1,0 +1,48 @@
+#include "backend/anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wlm::backend {
+namespace {
+
+TEST(Anonymizer, Deterministic) {
+  const Anonymizer anon(42);
+  const auto mac = MacAddress::from_u64(0x3c0754aabbccULL);
+  EXPECT_EQ(anon.pseudonym(mac), anon.pseudonym(mac));
+}
+
+TEST(Anonymizer, DifferentSaltsUnlinkable) {
+  const auto mac = MacAddress::from_u64(0x3c0754aabbccULL);
+  EXPECT_NE(Anonymizer(1).pseudonym(mac), Anonymizer(2).pseudonym(mac));
+}
+
+TEST(Anonymizer, OutputIsLocallyAdministeredUnicast) {
+  const Anonymizer anon(7);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto p = anon.pseudonym(MacAddress::from_u64(i));
+    EXPECT_TRUE(p.locally_administered());
+    EXPECT_FALSE(p.multicast());
+  }
+}
+
+TEST(Anonymizer, DistinctInputsRarelyCollide) {
+  const Anonymizer anon(9);
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    outputs.insert(anon.pseudonym(MacAddress::from_u64(i)).to_u64());
+  }
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Anonymizer, StringPseudonyms) {
+  const Anonymizer anon(11);
+  const auto p = anon.pseudonym(std::string("Corp Guest WiFi"));
+  EXPECT_EQ(p.rfind("anon-", 0), 0u);
+  EXPECT_EQ(p, anon.pseudonym(std::string("Corp Guest WiFi")));
+  EXPECT_NE(p, anon.pseudonym(std::string("Other SSID")));
+}
+
+}  // namespace
+}  // namespace wlm::backend

@@ -1,0 +1,94 @@
+#include "backend/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::backend {
+namespace {
+
+wire::ApReport report_at(std::uint32_t ap, Duration t, std::size_t neighbors = 10) {
+  wire::ApReport r;
+  r.ap_id = ap;
+  r.timestamp_us = t.as_micros();
+  r.neighbors.resize(neighbors);
+  return r;
+}
+
+HealthPolicy daily_policy() {
+  HealthPolicy p;
+  p.expected_interval = Duration::hours(24);
+  return p;
+}
+
+TEST(Health, HealthyFleetHasNoFindings) {
+  ReportStore store;
+  for (int d = 0; d < 7; ++d) store.add(report_at(1, Duration::days(d)));
+  const HealthMonitor monitor(daily_policy());
+  EXPECT_TRUE(monitor.analyze(store, SimTime::epoch() + Duration::days(7)).empty());
+}
+
+TEST(Health, OfflineApFlagged) {
+  ReportStore store;
+  store.add(report_at(1, Duration::days(0)));
+  const HealthMonitor monitor(daily_policy());
+  const auto findings = monitor.analyze(store, SimTime::epoch() + Duration::days(10));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].issue, HealthIssue::kOffline);
+  EXPECT_EQ(findings[0].ap, ApId{1});
+}
+
+TEST(Health, ReportingGapFlagged) {
+  ReportStore store;
+  store.add(report_at(2, Duration::days(0)));
+  store.add(report_at(2, Duration::days(5)));  // 5-day hole
+  store.add(report_at(2, Duration::days(6)));
+  const HealthMonitor monitor(daily_policy());
+  const auto findings = monitor.analyze(store, SimTime::epoch() + Duration::days(7));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].issue, HealthIssue::kReportingGaps);
+}
+
+TEST(Health, SkyscraperNeighborPressure) {
+  // The §6.1 signature: an AP suddenly reporting hundreds of neighbors.
+  ReportStore store;
+  store.add(report_at(3, Duration::days(0), 30));
+  store.add(report_at(3, Duration::days(1), 950));
+  const HealthMonitor monitor(daily_policy());
+  const auto findings = monitor.analyze(store, SimTime::epoch() + Duration::days(2));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].issue, HealthIssue::kNeighborPressure);
+  EXPECT_NE(findings[0].detail.find("950"), std::string::npos);
+}
+
+TEST(Health, TunnelSheddingAndFlapping) {
+  Tunnel tunnel(ApId{4}, /*queue_limit=*/2);
+  for (int i = 0; i < 5; ++i) tunnel.enqueue({std::uint8_t(i)});
+  for (int i = 0; i < 8; ++i) {
+    tunnel.disconnect();
+    tunnel.reconnect();
+  }
+  const HealthMonitor monitor(daily_policy());
+  const auto findings = monitor.analyze_tunnel(tunnel);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].issue, HealthIssue::kTelemetryShed);
+  EXPECT_EQ(findings[1].issue, HealthIssue::kWanFlapping);
+}
+
+TEST(Health, RenderListsFindings) {
+  const std::vector<HealthFinding> findings{
+      {ApId{7}, HealthIssue::kOffline, "silent"},
+      {ApId{9}, HealthIssue::kNeighborPressure, "800 entries"},
+  };
+  const auto text = HealthMonitor::render(findings);
+  EXPECT_NE(text.find("AP7"), std::string::npos);
+  EXPECT_NE(text.find("neighbor-table-pressure"), std::string::npos);
+  EXPECT_EQ(HealthMonitor::render({}), "fleet healthy: no findings\n");
+}
+
+TEST(Health, EmptyStoreIsHealthy) {
+  ReportStore store;
+  const HealthMonitor monitor(daily_policy());
+  EXPECT_TRUE(monitor.analyze(store, SimTime::epoch()).empty());
+}
+
+}  // namespace
+}  // namespace wlm::backend

@@ -1,0 +1,101 @@
+#include "backend/poller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/framing.hpp"
+
+namespace wlm::backend {
+namespace {
+
+wire::ApReport report_for(std::uint32_t ap, std::int64_t ts = 1000) {
+  wire::ApReport r;
+  r.ap_id = ap;
+  r.timestamp_us = ts;
+  return r;
+}
+
+TEST(Poller, HarvestsAcrossTunnels) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t1(ApId{1});
+  Tunnel t2(ApId{2});
+  poller.attach(t1);
+  poller.attach(t2);
+  t1.enqueue(frame_report(report_for(1)));
+  t2.enqueue(frame_report(report_for(2)));
+  t2.enqueue(frame_report(report_for(2, 2000)));
+  poller.poll_all();
+  EXPECT_EQ(store.report_count(), 3u);
+  EXPECT_EQ(store.reports_for(ApId{2}).size(), 2u);
+  EXPECT_EQ(poller.stats().frames_harvested, 3u);
+  EXPECT_EQ(poller.stats().corrupt_frames, 0u);
+}
+
+TEST(Poller, CorruptFramesCountedNotStored) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{3});
+  poller.attach(t);
+  auto framed = frame_report(report_for(3));
+  framed[framed.size() / 2] ^= 0xFF;  // corrupt mid-payload
+  t.enqueue(std::move(framed));
+  t.enqueue(frame_report(report_for(3)));
+  poller.poll_all();
+  EXPECT_EQ(store.report_count(), 1u);
+  EXPECT_EQ(poller.stats().corrupt_frames, 1u);
+}
+
+TEST(Poller, MalformedReportInValidFrameCounted) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{4});
+  poller.attach(t);
+  // A frame with valid CRC around garbage that is not an ApReport.
+  std::vector<std::uint8_t> stream;
+  const std::vector<std::uint8_t> junk{0x00, 0x13, 0x37};
+  wire::append_frame(stream, junk);
+  t.enqueue(std::move(stream));
+  poller.poll_all();
+  EXPECT_EQ(store.report_count(), 0u);
+  EXPECT_EQ(poller.stats().malformed_reports, 1u);
+}
+
+TEST(Poller, BudgetRegulatesPerCycle) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{5});
+  poller.attach(t);
+  for (int i = 0; i < 10; ++i) t.enqueue(frame_report(report_for(5, i)));
+  poller.poll_all(3);
+  EXPECT_EQ(store.report_count(), 3u);
+  poller.poll_all(3);
+  poller.poll_all(100);
+  EXPECT_EQ(store.report_count(), 10u);
+}
+
+TEST(Poller, DisconnectedTunnelSkipped) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{6});
+  poller.attach(t);
+  t.enqueue(frame_report(report_for(6)));
+  t.disconnect();
+  poller.poll_all();
+  EXPECT_EQ(store.report_count(), 0u);
+  t.reconnect();
+  poller.poll_all();
+  EXPECT_EQ(store.report_count(), 1u);
+}
+
+TEST(FrameReport, RoundTripsThroughFraming) {
+  const auto framed = frame_report(report_for(7, 424242));
+  const auto decoded = wire::decode_stream(framed);
+  ASSERT_EQ(decoded.payloads.size(), 1u);
+  const auto report = wire::decode_report(decoded.payloads[0]);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->ap_id, 7u);
+  EXPECT_EQ(report->timestamp_us, 424242);
+}
+
+}  // namespace
+}  // namespace wlm::backend

@@ -1,0 +1,143 @@
+#include "backend/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::backend {
+namespace {
+
+SeriesKey key(const char* metric, std::uint64_t entity = 1) {
+  return SeriesKey{metric, entity};
+}
+
+SimTime at_hours(int h) { return SimTime::epoch() + Duration::hours(h); }
+
+TEST(TimeSeries, AppendAndQueryRange) {
+  TimeSeriesStore store;
+  for (int h = 0; h < 10; ++h) store.append(key("util24"), at_hours(h), h * 0.1);
+  const auto points = store.query(key("util24"), at_hours(2), at_hours(5));
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].value, 0.2);
+  EXPECT_DOUBLE_EQ(points[2].value, 0.4);
+}
+
+TEST(TimeSeries, SeriesAreIndependent) {
+  TimeSeriesStore store;
+  store.append(key("util24", 1), at_hours(0), 1.0);
+  store.append(key("util24", 2), at_hours(0), 2.0);
+  store.append(key("util5", 1), at_hours(0), 3.0);
+  EXPECT_EQ(store.series_count(), 3u);
+  EXPECT_EQ(store.point_count(key("util24", 1)), 1u);
+  EXPECT_DOUBLE_EQ(store.latest(key("util5", 1))->value, 3.0);
+}
+
+TEST(TimeSeries, OutOfOrderAppendsSorted) {
+  // WAN catch-up after a tunnel outage delivers stale reports late.
+  TimeSeriesStore store;
+  store.append(key("m"), at_hours(5), 5.0);
+  store.append(key("m"), at_hours(1), 1.0);
+  store.append(key("m"), at_hours(3), 3.0);
+  const auto points = store.query(key("m"), at_hours(0), at_hours(10));
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(points[2].value, 5.0);
+}
+
+TEST(TimeSeries, DownsampleMean) {
+  TimeSeriesStore store;
+  // Two samples per hour for four hours.
+  for (int h = 0; h < 4; ++h) {
+    store.append(key("m"), at_hours(h), 1.0);
+    store.append(key("m"), at_hours(h) + Duration::minutes(30), 3.0);
+  }
+  const auto buckets =
+      store.downsample(key("m"), at_hours(0), at_hours(4), Duration::hours(1), Agg::kMean);
+  ASSERT_EQ(buckets.size(), 4u);
+  for (const auto& b : buckets) {
+    EXPECT_DOUBLE_EQ(b.value, 2.0);
+    EXPECT_EQ(b.samples, 2u);
+  }
+}
+
+TEST(TimeSeries, DownsampleAggregations) {
+  TimeSeriesStore store;
+  store.append(key("m"), at_hours(0), 1.0);
+  store.append(key("m"), at_hours(0) + Duration::minutes(10), 5.0);
+  const auto max_b =
+      store.downsample(key("m"), at_hours(0), at_hours(1), Duration::hours(1), Agg::kMax);
+  const auto min_b =
+      store.downsample(key("m"), at_hours(0), at_hours(1), Duration::hours(1), Agg::kMin);
+  const auto sum_b =
+      store.downsample(key("m"), at_hours(0), at_hours(1), Duration::hours(1), Agg::kSum);
+  const auto cnt_b =
+      store.downsample(key("m"), at_hours(0), at_hours(1), Duration::hours(1), Agg::kCount);
+  EXPECT_DOUBLE_EQ(max_b[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(min_b[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(sum_b[0].value, 6.0);
+  EXPECT_DOUBLE_EQ(cnt_b[0].value, 2.0);
+}
+
+TEST(TimeSeries, EmptyBucketsOmitted) {
+  TimeSeriesStore store;
+  store.append(key("m"), at_hours(0), 1.0);
+  store.append(key("m"), at_hours(5), 2.0);
+  const auto buckets =
+      store.downsample(key("m"), at_hours(0), at_hours(6), Duration::hours(1), Agg::kMean);
+  EXPECT_EQ(buckets.size(), 2u);
+}
+
+TEST(TimeSeries, CompactRollsUpOldPoints) {
+  Retention retention;
+  retention.raw_horizon = Duration::days(1);
+  retention.rollup_width = Duration::hours(1);
+  TimeSeriesStore store(retention);
+  // Four samples in one old hour, plus a fresh one.
+  for (int m = 0; m < 4; ++m) {
+    store.append(key("m"), at_hours(1) + Duration::minutes(m * 10), 1.0 + m);
+  }
+  store.append(key("m"), at_hours(47), 9.0);
+  store.compact(at_hours(48));
+  // The old hour collapsed into one rollup point; the fresh one survives raw.
+  EXPECT_EQ(store.point_count(key("m")), 2u);
+  const auto points = store.query(key("m"), SimTime::epoch(), at_hours(48));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 2.5);  // mean of 1..4
+  EXPECT_DOUBLE_EQ(points[1].value, 9.0);
+}
+
+TEST(TimeSeries, CompactIsIdempotent) {
+  TimeSeriesStore store;
+  for (int h = 0; h < 24; ++h) store.append(key("m"), at_hours(h), h);
+  store.compact(at_hours(24 * 30));
+  const auto count = store.point_count(key("m"));
+  store.compact(at_hours(24 * 30));
+  EXPECT_EQ(store.point_count(key("m")), count);
+}
+
+TEST(TimeSeries, RollupsVisibleInQueries) {
+  Retention retention;
+  retention.raw_horizon = Duration::hours(1);
+  TimeSeriesStore store(retention);
+  store.append(key("m"), at_hours(0), 4.0);
+  store.compact(at_hours(10));
+  const auto points = store.query(key("m"), SimTime::epoch(), at_hours(10));
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].value, 4.0);
+}
+
+TEST(TimeSeries, KeysForMetric) {
+  TimeSeriesStore store;
+  store.append(key("util24", 1), at_hours(0), 0.1);
+  store.append(key("util24", 2), at_hours(0), 0.2);
+  store.append(key("bytes", 1), at_hours(0), 10.0);
+  const auto keys = store.keys_for_metric("util24");
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(TimeSeries, LatestOnEmpty) {
+  TimeSeriesStore store;
+  EXPECT_FALSE(store.latest(key("missing")).has_value());
+}
+
+}  // namespace
+}  // namespace wlm::backend

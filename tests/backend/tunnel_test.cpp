@@ -1,0 +1,81 @@
+#include "backend/tunnel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::backend {
+namespace {
+
+std::vector<std::uint8_t> frame(std::uint8_t tag) { return {tag, tag, tag}; }
+
+TEST(Tunnel, DeliversInOrder) {
+  Tunnel t(ApId{1});
+  t.enqueue(frame(1));
+  t.enqueue(frame(2));
+  const auto out = t.poll();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], frame(1));
+  EXPECT_EQ(out[1], frame(2));
+  EXPECT_EQ(t.queued(), 0u);
+}
+
+TEST(Tunnel, DisconnectedPollReturnsNothing) {
+  Tunnel t(ApId{2});
+  t.enqueue(frame(1));
+  t.disconnect();
+  EXPECT_FALSE(t.connected());
+  EXPECT_TRUE(t.poll().empty());
+  EXPECT_EQ(t.queued(), 1u);  // still queued, not lost
+}
+
+TEST(Tunnel, QueuedDataSurvivesDisconnect) {
+  // Paper SS2: "the backend polls for queued information when the
+  // connection is reestablished".
+  Tunnel t(ApId{3});
+  t.disconnect();
+  for (std::uint8_t i = 0; i < 10; ++i) t.enqueue(frame(i));
+  t.reconnect();
+  EXPECT_EQ(t.poll().size(), 10u);
+  EXPECT_EQ(t.stats().frames_delivered, 10u);
+  EXPECT_EQ(t.stats().frames_dropped, 0u);
+}
+
+TEST(Tunnel, BudgetedPollLeavesRemainder) {
+  Tunnel t(ApId{4});
+  for (std::uint8_t i = 0; i < 10; ++i) t.enqueue(frame(i));
+  EXPECT_EQ(t.poll(4).size(), 4u);
+  EXPECT_EQ(t.queued(), 6u);
+  EXPECT_EQ(t.poll(100).size(), 6u);
+}
+
+TEST(Tunnel, BoundedQueueShedsOldest) {
+  Tunnel t(ApId{5}, /*queue_limit=*/3);
+  for (std::uint8_t i = 0; i < 5; ++i) t.enqueue(frame(i));
+  EXPECT_EQ(t.stats().frames_dropped, 2u);
+  const auto out = t.poll();
+  ASSERT_EQ(out.size(), 3u);
+  // Oldest (0 and 1) were shed; freshest survive.
+  EXPECT_EQ(out[0], frame(2));
+  EXPECT_EQ(out[2], frame(4));
+}
+
+TEST(Tunnel, StatsCountBytes) {
+  Tunnel t(ApId{6});
+  t.enqueue(std::vector<std::uint8_t>(100, 0));
+  t.enqueue(std::vector<std::uint8_t>(50, 0));
+  (void)t.poll();
+  EXPECT_EQ(t.stats().bytes_delivered, 150u);
+  EXPECT_EQ(t.stats().frames_queued, 2u);
+}
+
+TEST(Tunnel, DisconnectCountsOnce) {
+  Tunnel t(ApId{7});
+  t.disconnect();
+  t.disconnect();  // idempotent while down
+  EXPECT_EQ(t.stats().disconnects, 1u);
+  t.reconnect();
+  t.disconnect();
+  EXPECT_EQ(t.stats().disconnects, 2u);
+}
+
+}  // namespace
+}  // namespace wlm::backend

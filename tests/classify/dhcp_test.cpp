@@ -1,0 +1,56 @@
+#include "classify/dhcp_fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::classify {
+namespace {
+
+class DhcpRoundTrip : public ::testing::TestWithParam<OsType> {};
+
+TEST_P(DhcpRoundTrip, CanonicalParamsIdentifyOs) {
+  const OsType os = GetParam();
+  const auto params = canonical_dhcp_params(os);
+  const auto detected = os_from_dhcp(params);
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, os);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFingerprintedOses, DhcpRoundTrip,
+                         ::testing::Values(OsType::kWindows, OsType::kMacOsX,
+                                           OsType::kAppleIos, OsType::kAndroid,
+                                           OsType::kChromeOs, OsType::kLinux,
+                                           OsType::kBlackberry, OsType::kPlaystation,
+                                           OsType::kWindowsMobile, OsType::kXbox));
+
+TEST(Dhcp, EmptyListUnidentified) {
+  EXPECT_FALSE(os_from_dhcp({}).has_value());
+}
+
+TEST(Dhcp, UnknownSequenceUnidentified) {
+  const DhcpParams junk{99, 98, 97, 96};
+  EXPECT_FALSE(os_from_dhcp(junk).has_value());
+}
+
+TEST(Dhcp, PrefixMatchWithVendorSuffix) {
+  // Clients sometimes append vendor options after the canonical list.
+  auto params = canonical_dhcp_params(OsType::kAndroid);
+  params.push_back(224);
+  params.push_back(225);
+  const auto detected = os_from_dhcp(params);
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, OsType::kAndroid);
+}
+
+TEST(Dhcp, ShortPrefixDoesNotMatch) {
+  // Three options alone are too generic to identify anything.
+  const DhcpParams generic{1, 3, 6};
+  EXPECT_FALSE(os_from_dhcp(generic).has_value());
+}
+
+TEST(Dhcp, GenericFallbackParamsForUnfingerprinted) {
+  const auto params = canonical_dhcp_params(OsType::kUnknown);
+  EXPECT_EQ(params, (DhcpParams{1, 3, 6}));
+}
+
+}  // namespace
+}  // namespace wlm::classify

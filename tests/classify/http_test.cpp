@@ -1,0 +1,90 @@
+#include "classify/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::classify {
+namespace {
+
+TEST(Http, ParsesSimpleGet) {
+  const auto head = parse_http_request(
+      "GET /index.html HTTP/1.1\r\nHost: www.Example.COM\r\nUser-Agent: TestUA/1.0\r\n\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->method, "GET");
+  EXPECT_EQ(head->target, "/index.html");
+  EXPECT_EQ(head->version, "HTTP/1.1");
+  EXPECT_EQ(head->host, "www.example.com");  // lowercased
+  EXPECT_EQ(head->user_agent, "TestUA/1.0");
+}
+
+TEST(Http, BuildParseRoundTrip) {
+  const std::string req =
+      build_http_request("POST", "api.dropbox.com", "/upload", "Client/2", "video/mp4");
+  const auto head = parse_http_request(req);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->method, "POST");
+  EXPECT_EQ(head->host, "api.dropbox.com");
+  EXPECT_EQ(head->content_type, "video/mp4");
+}
+
+TEST(Http, StripsPortFromHost) {
+  const auto head =
+      parse_http_request("GET / HTTP/1.1\r\nHost: example.com:8080\r\n\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->host, "example.com");
+}
+
+TEST(Http, HeaderNamesCaseInsensitive) {
+  const auto head = parse_http_request(
+      "GET / HTTP/1.0\r\nHOST: a.example\r\nuser-agent: UA\r\nCONTENT-TYPE: Audio/MPEG\r\n\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->host, "a.example");
+  EXPECT_EQ(head->user_agent, "UA");
+  EXPECT_EQ(head->content_type, "audio/mpeg");  // value lowercased
+}
+
+TEST(Http, ToleratesBareLfLineEndings) {
+  const auto head = parse_http_request("GET / HTTP/1.1\nHost: lf.example\n\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->host, "lf.example");
+}
+
+TEST(Http, TruncatedHeadersStillYieldRequestLine) {
+  const auto head = parse_http_request("GET /path HTTP/1.1\r\nHost: trunc.exam");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->target, "/path");
+  // The cut-off host is parsed from what arrived (classification uses the
+  // first packet and must tolerate split headers).
+  EXPECT_EQ(head->host, "trunc.exam");
+}
+
+TEST(Http, RejectsNonHttpPayloads) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("\x16\x03\x01 binary").has_value());
+  EXPECT_FALSE(parse_http_request("NOSPACE").has_value());
+  EXPECT_FALSE(parse_http_request("GET /only-two-tokens").has_value());
+  EXPECT_FALSE(parse_http_request("GET / NOTHTTP/1.1").has_value());
+}
+
+TEST(Http, JunkHeaderLinesIgnored) {
+  const auto head = parse_http_request(
+      "GET / HTTP/1.1\r\ngarbage line without colon\r\nHost: ok.example\r\n\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->host, "ok.example");
+}
+
+TEST(Http, WhitespaceTrimmed) {
+  const auto head =
+      parse_http_request("GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->host, "spaced.example");
+}
+
+TEST(Http, BodyAfterHeadersIgnored) {
+  const auto head = parse_http_request(
+      "POST /x HTTP/1.1\r\nHost: b.example\r\n\r\nHost: fake.example\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->host, "b.example");
+}
+
+}  // namespace
+}  // namespace wlm::classify

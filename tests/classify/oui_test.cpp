@@ -1,0 +1,62 @@
+#include "classify/oui.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::classify {
+namespace {
+
+TEST(Oui, KnownVendors) {
+  EXPECT_EQ(vendor_for(MacAddress::from_u64(0x3C0754000001ULL)), Vendor::kApple);
+  EXPECT_EQ(vendor_for(MacAddress::from_u64(0x001B21000001ULL)), Vendor::kIntel);
+  EXPECT_EQ(vendor_for(MacAddress::from_u64(0x001529000001ULL)), Vendor::kNovatel);
+  EXPECT_EQ(vendor_for(MacAddress::from_u64(0x88154E000001ULL)), Vendor::kCisco);
+}
+
+TEST(Oui, UnknownOui) {
+  EXPECT_EQ(vendor_for(MacAddress::from_u64(0x123456000001ULL)), Vendor::kUnknown);
+}
+
+TEST(Oui, LocallyAdministeredIsAlwaysUnknown) {
+  // Randomized MACs defeat OUI lookup even if bits collide with a vendor.
+  EXPECT_EQ(vendor_for(MacAddress::from_u64(0x0218AA000001ULL)), Vendor::kUnknown);
+}
+
+TEST(Oui, HotspotVendors) {
+  EXPECT_TRUE(is_hotspot_vendor(Vendor::kNovatel));
+  EXPECT_TRUE(is_hotspot_vendor(Vendor::kSierraWireless));
+  EXPECT_TRUE(is_hotspot_vendor(Vendor::kPantech));
+  EXPECT_FALSE(is_hotspot_vendor(Vendor::kApple));
+  EXPECT_FALSE(is_hotspot_vendor(Vendor::kCisco));
+}
+
+TEST(Oui, OsHints) {
+  EXPECT_EQ(os_hint_from_vendor(Vendor::kSamsung), OsType::kAndroid);
+  EXPECT_EQ(os_hint_from_vendor(Vendor::kRim), OsType::kBlackberry);
+  EXPECT_EQ(os_hint_from_vendor(Vendor::kSony), OsType::kPlaystation);
+  // Apple is deliberately ambiguous (iOS vs Mac OS X).
+  EXPECT_FALSE(os_hint_from_vendor(Vendor::kApple).has_value());
+  EXPECT_FALSE(os_hint_from_vendor(Vendor::kIntel).has_value());
+}
+
+TEST(Oui, RegistryIsSortedForBinarySearch) {
+  const auto reg = oui_registry();
+  for (std::size_t i = 1; i < reg.size(); ++i) {
+    EXPECT_LT(reg[i - 1].oui, reg[i].oui);
+  }
+}
+
+TEST(Oui, RepresentativeOuiRoundTrips) {
+  for (Vendor v : {Vendor::kApple, Vendor::kSamsung, Vendor::kNovatel, Vendor::kDropcam}) {
+    const std::uint32_t oui = representative_oui(v);
+    const auto mac = MacAddress::from_u64(static_cast<std::uint64_t>(oui) << 24 | 0x42);
+    EXPECT_EQ(vendor_for(mac), v);
+  }
+}
+
+TEST(Oui, VendorNames) {
+  EXPECT_EQ(vendor_name(Vendor::kSierraWireless), "Sierra Wireless");
+  EXPECT_EQ(vendor_name(Vendor::kUnknown), "Unknown");
+}
+
+}  // namespace
+}  // namespace wlm::classify

@@ -1,0 +1,155 @@
+#include "classify/rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::classify {
+namespace {
+
+FlowMetadata tls_flow(std::string sni, std::uint16_t port = 443) {
+  FlowMetadata m;
+  m.transport = Transport::kTcp;
+  m.dst_port = port;
+  m.sni = std::move(sni);
+  m.saw_tls = true;
+  return m;
+}
+
+TEST(Rules, RuleCountNearPaper) {
+  // Paper SS2.1: "about 200 application identification rules".
+  const auto n = RuleSet::standard().rule_count();
+  EXPECT_GE(n, 150u);
+  EXPECT_LE(n, 260u);
+}
+
+TEST(DomainSuffix, MatchesOnLabelBoundary) {
+  EXPECT_TRUE(domain_suffix_match("netflix.com", "netflix.com"));
+  EXPECT_TRUE(domain_suffix_match("api.netflix.com", "netflix.com"));
+  EXPECT_FALSE(domain_suffix_match("notnetflix.com", "netflix.com"));
+  EXPECT_FALSE(domain_suffix_match("netflix.com.evil.example", "netflix.com"));
+  EXPECT_FALSE(domain_suffix_match("com", "netflix.com"));
+}
+
+TEST(Rules, SniIdentifiesApp) {
+  EXPECT_EQ(RuleSet::standard().classify(tls_flow("www.netflix.com")), AppId::kNetflix);
+  EXPECT_EQ(RuleSet::standard().classify(tls_flow("edge.dropbox.com")), AppId::kDropbox);
+  EXPECT_EQ(RuleSet::standard().classify(tls_flow("i.instagram.com")), AppId::kInstagram);
+}
+
+TEST(Rules, LongestSuffixWins) {
+  // drive.google.com must classify as Google Drive, not generic Google.
+  EXPECT_EQ(RuleSet::standard().classify(tls_flow("drive.google.com")),
+            AppId::kGoogleDrive);
+  EXPECT_EQ(RuleSet::standard().classify(tls_flow("www.google.com")), AppId::kGoogle);
+  EXPECT_EQ(RuleSet::standard().classify(tls_flow("mail.google.com")), AppId::kGmail);
+}
+
+TEST(Rules, HostnamePrecedenceOverPort) {
+  // A known hostname on an odd port still wins.
+  FlowMetadata m = tls_flow("www.youtube.com", 8443);
+  EXPECT_EQ(RuleSet::standard().classify(m), AppId::kYouTube);
+}
+
+TEST(Rules, DnsHostnameUsedWhenNoSni) {
+  FlowMetadata m;
+  m.transport = Transport::kTcp;
+  m.dst_port = 80;
+  m.dns_hostname = "cdn.spotify.com";
+  EXPECT_EQ(RuleSet::standard().classify(m), AppId::kSpotify);
+}
+
+TEST(Rules, PortRules) {
+  FlowMetadata smb;
+  smb.transport = Transport::kTcp;
+  smb.dst_port = 445;
+  EXPECT_EQ(RuleSet::standard().classify(smb), AppId::kWindowsFileSharing);
+
+  FlowMetadata rtmp;
+  rtmp.transport = Transport::kTcp;
+  rtmp.dst_port = 1935;
+  EXPECT_EQ(RuleSet::standard().classify(rtmp), AppId::kRtmp);
+
+  FlowMetadata torrent;
+  torrent.transport = Transport::kTcp;
+  torrent.dst_port = 6881;
+  EXPECT_EQ(RuleSet::standard().classify(torrent), AppId::kBitTorrent);
+}
+
+TEST(Rules, FallbackBuckets) {
+  FlowMetadata web;
+  web.transport = Transport::kTcp;
+  web.dst_port = 80;
+  web.http_host = "random-site.example";
+  EXPECT_EQ(RuleSet::standard().classify(web), AppId::kMiscWeb);
+
+  FlowMetadata secure;
+  secure.transport = Transport::kTcp;
+  secure.dst_port = 443;
+  secure.saw_tls = true;
+  EXPECT_EQ(RuleSet::standard().classify(secure), AppId::kMiscSecureWeb);
+
+  FlowMetadata udp;
+  udp.transport = Transport::kUdp;
+  udp.dst_port = 33333;
+  EXPECT_EQ(RuleSet::standard().classify(udp), AppId::kUdp);
+
+  FlowMetadata tcp;
+  tcp.transport = Transport::kTcp;
+  tcp.dst_port = 12345;
+  EXPECT_EQ(RuleSet::standard().classify(tcp), AppId::kNonWebTcp);
+}
+
+TEST(Rules, ContentTypeBuckets) {
+  FlowMetadata video;
+  video.transport = Transport::kTcp;
+  video.dst_port = 80;
+  video.http_host = "unknown-cdn.example";
+  video.http_content_type = "video/mp4";
+  EXPECT_EQ(RuleSet::standard().classify(video), AppId::kMiscVideo);
+
+  FlowMetadata audio = video;
+  audio.http_content_type = "audio/aac";
+  EXPECT_EQ(RuleSet::standard().classify(audio), AppId::kMiscAudio);
+
+  FlowMetadata hls = video;
+  hls.http_content_type = "application/vnd.apple.mpegurl";
+  EXPECT_EQ(RuleSet::standard().classify(hls), AppId::kMiscVideo);
+}
+
+TEST(Rules, EncryptedBuckets) {
+  FlowMetadata tls_odd;
+  tls_odd.transport = Transport::kTcp;
+  tls_odd.dst_port = 8765;
+  tls_odd.saw_tls = true;
+  EXPECT_EQ(RuleSet::standard().classify(tls_odd), AppId::kEncryptedTcp);
+
+  FlowMetadata p2p;
+  p2p.transport = Transport::kTcp;
+  p2p.dst_port = 54321;
+  p2p.high_entropy = true;
+  EXPECT_EQ(RuleSet::standard().classify(p2p), AppId::kEncryptedP2p);
+}
+
+TEST(Rules, NeverReturnsUnclassified) {
+  // Sweep ports and transports: every flow lands in some bucket.
+  for (int port : {0, 80, 443, 445, 6881, 9999, 65535}) {
+    for (auto transport : {Transport::kTcp, Transport::kUdp}) {
+      FlowMetadata m;
+      m.transport = transport;
+      m.dst_port = static_cast<std::uint16_t>(port);
+      EXPECT_NE(RuleSet::standard().classify(m), AppId::kUnclassified);
+    }
+  }
+}
+
+TEST(Metadata, HostnamePrecedence) {
+  FlowMetadata m;
+  m.dns_hostname = "dns.example";
+  EXPECT_EQ(m.best_hostname(), "dns.example");
+  m.http_host = "http.example";
+  EXPECT_EQ(m.best_hostname(), "http.example");
+  m.sni = "sni.example";
+  EXPECT_EQ(m.best_hostname(), "sni.example");
+}
+
+}  // namespace
+}  // namespace wlm::classify

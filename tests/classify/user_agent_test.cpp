@@ -1,0 +1,61 @@
+#include "classify/user_agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::classify {
+namespace {
+
+class UaRoundTrip : public ::testing::TestWithParam<OsType> {};
+
+TEST_P(UaRoundTrip, CanonicalUaIdentifiesOs) {
+  const OsType os = GetParam();
+  for (unsigned variant = 0; variant < 3; ++variant) {
+    const auto detected = os_from_user_agent(canonical_user_agent(os, variant));
+    ASSERT_TRUE(detected.has_value()) << os_name(os) << " v" << variant;
+    EXPECT_EQ(*detected, os) << os_name(os) << " v" << variant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectableOses, UaRoundTrip,
+                         ::testing::Values(OsType::kWindows, OsType::kAppleIos,
+                                           OsType::kMacOsX, OsType::kAndroid,
+                                           OsType::kChromeOs, OsType::kPlaystation,
+                                           OsType::kLinux, OsType::kBlackberry,
+                                           OsType::kWindowsMobile, OsType::kXbox));
+
+TEST(UserAgent, EmptyAndUnknownStrings) {
+  EXPECT_FALSE(os_from_user_agent("").has_value());
+  EXPECT_FALSE(os_from_user_agent("curl/7.68.0").has_value());
+  EXPECT_FALSE(os_from_user_agent("EmbeddedClient/1.0").has_value());
+}
+
+TEST(UserAgent, IosBeatsMacToken) {
+  // iOS UAs contain "like Mac OS X" but must classify as iOS.
+  const auto detected = os_from_user_agent(
+      "Mozilla/5.0 (iPhone; CPU iPhone OS 8_1 like Mac OS X) AppleWebKit/600.1.4");
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, OsType::kAppleIos);
+}
+
+TEST(UserAgent, XboxBeatsWindowsToken) {
+  const auto detected = os_from_user_agent(
+      "Mozilla/5.0 (Windows NT 6.2; Trident/7.0; Xbox; Xbox One) like Gecko");
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, OsType::kXbox);
+}
+
+TEST(UserAgent, WindowsPhoneBeatsAndroidToken) {
+  const auto detected = os_from_user_agent(
+      "Mozilla/5.0 (Mobile; Windows Phone 8.1; Android 4.0; ARM; Trident/7.0)");
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, OsType::kWindowsMobile);
+}
+
+TEST(UserAgent, CaseInsensitive) {
+  const auto detected = os_from_user_agent("mozilla (WINDOWS NT 10.0)");
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, OsType::kWindows);
+}
+
+}  // namespace
+}  // namespace wlm::classify

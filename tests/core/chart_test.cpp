@@ -1,0 +1,85 @@
+#include "core/chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm {
+namespace {
+
+TEST(LineChart, ContainsTitleAxesAndLegend) {
+  Series s1{"alpha", {{0.0, 0.0}, {1.0, 1.0}}};
+  Series s2{"beta", {{0.0, 1.0}, {1.0, 0.0}}};
+  ChartOptions opt;
+  opt.title = "test chart";
+  opt.x_label = "x-axis";
+  opt.y_label = "y-axis";
+  const std::string out = render_line_chart({s1, s2}, opt);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("x-axis"), std::string::npos);
+  EXPECT_NE(out.find("y-axis"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, SingleSeriesHasNoLegend) {
+  Series s{"only", {{0.0, 0.5}, {1.0, 0.5}}};
+  const std::string out = render_line_chart({s}, ChartOptions{});
+  EXPECT_EQ(out.find("legend"), std::string::npos);
+}
+
+TEST(LineChart, FixedRangeClipsOutliers) {
+  Series s{"s", {{0.5, 0.5}, {99.0, 99.0}}};
+  ChartOptions opt;
+  opt.fix_x = true;
+  opt.x_min = 0.0;
+  opt.x_max = 1.0;
+  opt.fix_y = true;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  const std::string out = render_line_chart({s}, opt);
+  // Exactly one plotted glyph: the in-range point.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 1);
+}
+
+TEST(Scatter, DensityRampEscalates) {
+  Series s{"dense", {}};
+  for (int i = 0; i < 500; ++i) s.points.emplace_back(0.5, 0.5);
+  s.points.emplace_back(0.9, 0.9);
+  ChartOptions opt;
+  opt.fix_x = true;
+  opt.x_max = 1.0;
+  opt.fix_y = true;
+  opt.y_max = 1.0;
+  const std::string out = render_scatter(s, opt);
+  EXPECT_NE(out.find('#'), std::string::npos);  // hot cell
+  EXPECT_NE(out.find('.'), std::string::npos);  // lone point
+}
+
+TEST(Bars, ProportionalLengths) {
+  const std::string out =
+      render_bars({{"big", 100.0}, {"half", 50.0}, {"zero", 0.0}}, "bars", 20);
+  EXPECT_NE(out.find("bars"), std::string::npos);
+  // The 100-value bar renders 20 hashes, the 50-value bar 10.
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+  EXPECT_EQ(out.find(std::string(21, '#')), std::string::npos);
+}
+
+TEST(Psd, MapsLevelsToRamp) {
+  std::vector<double> psd(64, -100.0);
+  for (std::size_t i = 24; i < 40; ++i) psd[i] = -60.0;
+  const std::string strip = render_psd(psd, -100.0, -60.0, 32);
+  ASSERT_EQ(strip.size(), 32u);
+  // Center columns saturate, edges stay quiet.
+  EXPECT_EQ(strip[16], '@');
+  EXPECT_EQ(strip.front(), ' ');
+  EXPECT_EQ(strip.back(), ' ');
+}
+
+TEST(Psd, EmptyInputs) {
+  EXPECT_TRUE(render_psd({}, -100, -60, 32).empty());
+  EXPECT_TRUE(render_psd({-80.0}, -100, -60, 0).empty());
+}
+
+}  // namespace
+}  // namespace wlm

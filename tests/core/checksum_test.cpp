@@ -1,0 +1,50 @@
+#include "core/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wlm {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto all = bytes_of("the quick brown fox jumps over the lazy dog");
+  const auto part1 = bytes_of("the quick brown fox ");
+  const auto part2 = bytes_of("jumps over the lazy dog");
+  const std::uint32_t inc = crc32_update(crc32(part1), part2);
+  EXPECT_EQ(inc, crc32(all));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  auto data = bytes_of("telemetry payload");
+  const std::uint32_t original = crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(Fnv1a, KnownVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, SpanAndStringAgree) {
+  const std::string s = "network";
+  EXPECT_EQ(fnv1a64(s), fnv1a64(bytes_of(s)));
+}
+
+}  // namespace
+}  // namespace wlm

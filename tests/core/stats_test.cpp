@@ -1,0 +1,151 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace wlm {
+namespace {
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInterpolates) {
+  EmpiricalCdf cdf({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdf, QuantileClampsP) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(2.0), 3.0);
+}
+
+TEST(EmpiricalCdf, EmptyIsSafe) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(EmpiricalCdf, CurveIsMonotonic) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.normal(10.0, 3.0));
+  EmpiricalCdf cdf(std::move(samples));
+  const auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(QuantileFreeFunction, MatchesCdf) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Histogram, ConservesTotalWeight) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(-0.5, 1.5));  // incl. out of range
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1000.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) sum += h.bin_weight(i);
+  EXPECT_DOUBLE_EQ(sum, 1000.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 2.0 / 3.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(3), 1.0);
+}
+
+TEST(PearsonCorrelation, PerfectAndNone) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pos{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+  const std::vector<double> flat{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, flat), 0.0);
+}
+
+TEST(PearsonCorrelation, IndependentIsNearZero) {
+  Rng rng(17);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20'000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson_correlation(xs, ys), 0.0, 0.03);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 200; ++i) e.add(7.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.5);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+}  // namespace
+}  // namespace wlm

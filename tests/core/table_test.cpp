@@ -1,0 +1,56 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Count"}, {Align::kLeft, Align::kRight});
+  t.add_row({"Education", "4,075"});
+  t.add_row({"Retail", "2,355"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name      |"), std::string::npos);
+  EXPECT_NE(out.find("| 4,075 |"), std::string::npos);
+  EXPECT_NE(out.find("| Retail    |"), std::string::npos);
+  // Right-aligned separator carries the markdown colon.
+  EXPECT_NE(out.find(":|"), std::string::npos);
+}
+
+TEST(TextTable, DefaultsToLeftAlignment) {
+  TextTable t({"A"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(TextTable, WideCellsStretchColumn) {
+  TextTable t({"H"});
+  t.add_row({"a-much-longer-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a-much-longer-cell |"), std::string::npos);
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(5'578'126), "5,578,126");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Fixed, Precision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(55.47, 2), "55.47");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Pct, AdaptivePrecision) {
+  EXPECT_EQ(pct(0.25), "25%");
+  EXPECT_EQ(pct(0.091), "9.1%");
+  EXPECT_EQ(pct(0.0042), "0.42%");
+  EXPECT_EQ(pct(-0.092), "-9.2%");
+}
+
+}  // namespace
+}  // namespace wlm

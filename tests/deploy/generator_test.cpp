@@ -1,0 +1,107 @@
+#include "deploy/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wlm::deploy {
+namespace {
+
+FleetConfig small_config() {
+  FleetConfig cfg;
+  cfg.network_count = 100;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const Fleet a = generate_fleet(small_config());
+  const Fleet b = generate_fleet(small_config());
+  ASSERT_EQ(a.networks.size(), b.networks.size());
+  EXPECT_EQ(a.total_aps(), b.total_aps());
+  for (std::size_t i = 0; i < a.networks.size(); ++i) {
+    EXPECT_EQ(a.networks[i].industry, b.networks[i].industry);
+    ASSERT_EQ(a.networks[i].aps.size(), b.networks[i].aps.size());
+    for (std::size_t j = 0; j < a.networks[i].aps.size(); ++j) {
+      EXPECT_EQ(a.networks[i].aps[j].channel_24, b.networks[i].aps[j].channel_24);
+      EXPECT_DOUBLE_EQ(a.networks[i].aps[j].position.x, b.networks[i].aps[j].position.x);
+    }
+  }
+}
+
+TEST(Generator, EveryNetworkHasAtLeastTwoAps) {
+  // The paper's data set filters for networks with >= 2 APs.
+  const Fleet fleet = generate_fleet(small_config());
+  for (const auto& net : fleet.networks) {
+    EXPECT_GE(net.aps.size(), 2u) << "network " << net.id.value();
+  }
+}
+
+TEST(Generator, ApIdsGloballyUnique) {
+  const Fleet fleet = generate_fleet(small_config());
+  std::set<std::uint32_t> ids;
+  for (const auto& net : fleet.networks) {
+    for (const auto& ap : net.aps) ids.insert(ap.id.value());
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), fleet.total_aps());
+}
+
+TEST(Generator, ChannelsFromUsPlan) {
+  const Fleet fleet = generate_fleet(small_config());
+  const auto& plan = phy::ChannelPlan::us();
+  for (const auto& net : fleet.networks) {
+    for (const auto& ap : net.aps) {
+      EXPECT_TRUE(plan.find(phy::Band::k2_4GHz, ap.channel_24).has_value());
+      EXPECT_TRUE(plan.find(phy::Band::k5GHz, ap.channel_5).has_value());
+    }
+  }
+}
+
+TEST(Generator, TxPowerMatchesModel) {
+  auto cfg = small_config();
+  cfg.model = ApModel::kMr16;
+  for (const auto& net : generate_fleet(cfg).networks) {
+    for (const auto& ap : net.aps) {
+      EXPECT_DOUBLE_EQ(ap.tx_power_24_dbm, 23.0);  // Table 1
+      EXPECT_DOUBLE_EQ(ap.tx_power_5_dbm, 24.0);
+    }
+  }
+  cfg.model = ApModel::kMr18;
+  for (const auto& net : generate_fleet(cfg).networks) {
+    for (const auto& ap : net.aps) {
+      EXPECT_DOUBLE_EQ(ap.tx_power_24_dbm, 24.0);
+    }
+  }
+}
+
+TEST(Generator, SomeNetworksShareChannels) {
+  // The mesh-measurable population: same-channel AP pairs must exist.
+  const Fleet fleet = generate_fleet(small_config());
+  int shared = 0;
+  for (const auto& net : fleet.networks) {
+    std::set<int> channels;
+    for (const auto& ap : net.aps) channels.insert(ap.channel_24);
+    if (channels.size() == 1 && net.aps.size() >= 2) ++shared;
+  }
+  EXPECT_GT(shared, 20);
+}
+
+TEST(Generator, ClientsPerApByIndustry) {
+  EXPECT_GT(clients_per_ap(Industry::kEducation), clients_per_ap(Industry::kLegal));
+}
+
+TEST(Generator, EnvironmentsPopulated) {
+  const Fleet fleet = generate_fleet(small_config());
+  std::size_t with_neighbors = 0;
+  std::size_t total = 0;
+  for (const auto& net : fleet.networks) {
+    for (const auto& ap : net.aps) {
+      ++total;
+      with_neighbors += !ap.environment.neighbors.empty();
+    }
+  }
+  EXPECT_GT(static_cast<double>(with_neighbors) / static_cast<double>(total), 0.9);
+}
+
+}  // namespace
+}  // namespace wlm::deploy

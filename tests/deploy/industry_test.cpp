@@ -1,0 +1,43 @@
+#include "deploy/industry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace wlm::deploy {
+namespace {
+
+TEST(Industry, Table2TotalIs20667) {
+  EXPECT_EQ(total_network_count(), 20'667);
+}
+
+TEST(Industry, KnownCounts) {
+  const auto counts = industry_network_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(Industry::kEducation)], 4075);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Industry::kRetail)], 2355);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Industry::kLegal)], 264);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Industry::kVarSystemIntegrator)], 2876);
+}
+
+TEST(Industry, NamesMatchEnumOrder) {
+  EXPECT_EQ(industry_name(Industry::kEducation), "Education");
+  EXPECT_EQ(industry_name(Industry::kOther), "Other");
+  EXPECT_EQ(industry_name(Industry::kGovernment), "Government/Public Sector");
+}
+
+TEST(Industry, SamplerTracksTable2Mix) {
+  Rng rng(42);
+  std::vector<int> counts(static_cast<std::size_t>(kIndustryCount), 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(sample_industry(rng))];
+  const auto expected = industry_network_counts();
+  for (int i = 0; i < kIndustryCount; ++i) {
+    const double want = static_cast<double>(expected[static_cast<std::size_t>(i)]) /
+                        total_network_count();
+    const double got = static_cast<double>(counts[static_cast<std::size_t>(i)]) / n;
+    EXPECT_NEAR(got, want, 0.01) << industry_name(static_cast<Industry>(i));
+  }
+}
+
+}  // namespace
+}  // namespace wlm::deploy

@@ -1,0 +1,155 @@
+#include "deploy/neighbors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "classify/oui.hpp"
+
+namespace wlm::deploy {
+namespace {
+
+TEST(NeighborParams, Table7Calibration) {
+  const auto now = neighbor_params(Epoch::kJan2015);
+  EXPECT_NEAR(now.mean_24, 55.47, 0.01);
+  EXPECT_NEAR(now.mean_5, 3.68, 0.01);
+  const auto before = neighbor_params(Epoch::kJul2014);
+  EXPECT_NEAR(before.mean_24, 28.60, 0.01);
+  EXPECT_NEAR(before.mean_5, 2.47, 0.01);
+  EXPECT_GT(before.hotspot_frac_24, now.hotspot_frac_24);  // share shrank
+}
+
+TEST(Channel24Sampler, OneSixElevenDominateWithCh1Lead) {
+  Rng rng(3);
+  std::map<int, int> counts;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[sample_channel_24(rng)];
+  const double c1 = counts[1];
+  const double c6 = counts[6];
+  const double c11 = counts[11];
+  // Figure 2: channel 1 carries ~37% more networks than 6/11.
+  EXPECT_NEAR(c1 / ((c6 + c11) / 2.0), 1.37, 0.08);
+  // The trio holds the overwhelming majority.
+  EXPECT_GT((c1 + c6 + c11) / n, 0.85);
+  for (int ch = 1; ch <= 11; ++ch) EXPECT_GT(counts[ch], 0) << "channel " << ch;
+}
+
+TEST(Channel5Sampler, UniiBandShares) {
+  Rng rng(5);
+  std::map<int, int> counts;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[sample_channel_5(rng)];
+  double unii1 = 0;
+  double unii2 = 0;
+  double unii2e = 0;
+  double unii3 = 0;
+  for (const auto& [ch, c] : counts) {
+    if (ch <= 48) unii1 += c;
+    else if (ch <= 64) unii2 += c;
+    else if (ch <= 140) unii2e += c;
+    else unii3 += c;
+  }
+  // DFS-free bands dominate; the extended band is nearly empty (Figure 2).
+  EXPECT_GT(unii1 / n, 0.35);
+  EXPECT_GT(unii3 / n, 0.30);
+  EXPECT_LT(unii2e / n, 0.10);
+  EXPECT_LT(unii2 / n, 0.15);
+}
+
+TEST(NeighborGenerator, MeansTrackEpochCalibration) {
+  // Suburban at multiplier 0.40: expect 0.40 * 55.47 neighbors at 2.4 GHz.
+  const NeighborGenerator gen(Epoch::kJan2015, Density::kSuburban);
+  Rng rng(7);
+  double total24 = 0;
+  double total5 = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const auto env = gen.generate(rng);
+    for (const auto& nb : env.neighbors) {
+      (nb.band == phy::Band::k2_4GHz ? total24 : total5) += 1.0;
+    }
+  }
+  const double mult = NeighborGenerator::density_multiplier(Density::kSuburban);
+  EXPECT_NEAR(total24 / n, 55.47 * mult, 55.47 * mult * 0.15);
+  EXPECT_NEAR(total5 / n, 3.68 * mult, 3.68 * mult * 0.25);
+}
+
+TEST(NeighborGenerator, EpochGrowth) {
+  Rng rng(9);
+  auto mean_count = [&](Epoch e) {
+    const NeighborGenerator gen(e, Density::kUrban);
+    double total = 0;
+    for (int i = 0; i < 2000; ++i) total += gen.generate(rng).neighbors.size();
+    return total / 2000.0;
+  };
+  EXPECT_GT(mean_count(Epoch::kJan2015), mean_count(Epoch::kJul2014) * 1.5);
+}
+
+TEST(NeighborGenerator, HotspotBssidsCarryHotspotOuis) {
+  const NeighborGenerator gen(Epoch::kJan2015, Density::kUrban);
+  Rng rng(11);
+  int hotspots = 0;
+  int correct_oui = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const auto& nb : gen.generate(rng).neighbors) {
+      if (!nb.is_hotspot) continue;
+      ++hotspots;
+      correct_oui += classify::is_hotspot_vendor(classify::vendor_for(nb.bssid));
+    }
+  }
+  ASSERT_GT(hotspots, 50);
+  EXPECT_EQ(correct_oui, hotspots);  // OUI-based detection must recover all
+}
+
+TEST(NeighborGenerator, DayDutyAtLeastNightDuty) {
+  const NeighborGenerator gen(Epoch::kJan2015, Density::kSuburban);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& nb : gen.generate(rng).neighbors) {
+      EXPECT_GE(nb.day_duty, nb.night_duty);
+      EXPECT_GE(nb.day_duty, 0.0);
+      EXPECT_LE(nb.day_duty, 0.45);
+    }
+  }
+}
+
+TEST(NeighborGenerator, LegacyBeaconsOnly24GHz) {
+  const NeighborGenerator gen(Epoch::kJan2015, Density::kDenseUrban);
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& nb : gen.generate(rng).neighbors) {
+      if (nb.band == phy::Band::k5GHz) {
+        EXPECT_FALSE(nb.legacy_11b);
+      }
+    }
+  }
+}
+
+TEST(NeighborGenerator, InterferersMostly24GHz) {
+  const NeighborGenerator gen(Epoch::kJan2015, Density::kUrban);
+  Rng rng(17);
+  int total = 0;
+  int on5 = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const auto& intf : gen.generate(rng).interferers) {
+      ++total;
+      on5 += intf.band == phy::Band::k5GHz;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_EQ(on5, 0);  // Bluetooth and microwaves live in the ISM band
+}
+
+TEST(NeighborGenerator, HeavyTailExists) {
+  // Some AP must hear several times the mean (the skyscraper effect).
+  const NeighborGenerator gen(Epoch::kJan2015, Density::kDenseUrban);
+  Rng rng(19);
+  std::size_t max_seen = 0;
+  for (int i = 0; i < 2000; ++i) {
+    max_seen = std::max(max_seen, gen.generate(rng).neighbors.size());
+  }
+  EXPECT_GT(max_seen, 400u);
+}
+
+}  // namespace
+}  // namespace wlm::deploy

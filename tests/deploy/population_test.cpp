@@ -1,0 +1,111 @@
+#include "deploy/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "classify/oui.hpp"
+
+namespace wlm::deploy {
+namespace {
+
+TEST(Population, TotalClientsMatchPaper) {
+  EXPECT_NEAR(total_clients(Epoch::kJan2015), 5.67e6, 0.05e6);
+  EXPECT_NEAR(total_clients(Epoch::kJan2014), 4.1e6, 0.2e6);
+}
+
+TEST(Population, OsMixTracksTable3) {
+  const PopulationModel model(Epoch::kJan2015);
+  Rng rng(3);
+  std::map<classify::OsType, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[model.sample(ClientId{static_cast<std::uint32_t>(i)}, rng).os];
+  }
+  const auto weights = os_client_weights(Epoch::kJan2015);
+  const double total = total_clients(Epoch::kJan2015);
+  // The two largest populations.
+  EXPECT_NEAR(counts[classify::OsType::kAppleIos] / static_cast<double>(n),
+              weights[static_cast<std::size_t>(classify::OsType::kAppleIos)] / total, 0.01);
+  EXPECT_NEAR(counts[classify::OsType::kAndroid] / static_cast<double>(n),
+              weights[static_cast<std::size_t>(classify::OsType::kAndroid)] / total, 0.01);
+  // iOS outnumbers Windows ~3x (paper SS3.2).
+  EXPECT_GT(counts[classify::OsType::kAppleIos], counts[classify::OsType::kWindows] * 2);
+}
+
+TEST(Population, VendorConsistentWithOs) {
+  const PopulationModel model(Epoch::kJan2015);
+  Rng rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto dev = model.sample(ClientId{static_cast<std::uint32_t>(i)}, rng);
+    const auto vendor = classify::vendor_for(dev.mac);
+    switch (dev.os) {
+      case classify::OsType::kAppleIos:
+      case classify::OsType::kMacOsX:
+        EXPECT_EQ(vendor, classify::Vendor::kApple);
+        break;
+      case classify::OsType::kPlaystation:
+        EXPECT_EQ(vendor, classify::Vendor::kSony);
+        break;
+      case classify::OsType::kBlackberry:
+        EXPECT_EQ(vendor, classify::Vendor::kRim);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(Population, ConsolesNeverGain11ac) {
+  const PopulationModel model(Epoch::kJan2015);
+  Rng rng(7);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto dev = model.sample(ClientId{static_cast<std::uint32_t>(i)}, rng);
+    if (dev.os == classify::OsType::kPlaystation ||
+        dev.os == classify::OsType::kBlackberry) {
+      EXPECT_FALSE(dev.caps.has(kCap11ac));
+    }
+  }
+}
+
+TEST(Population, OnlyMobileDevicesRoam) {
+  const PopulationModel model(Epoch::kJan2015);
+  Rng rng(9);
+  int mobile_roamers = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto dev = model.sample(ClientId{static_cast<std::uint32_t>(i)}, rng);
+    if (dev.roams) {
+      EXPECT_EQ(classify::device_class(dev.os), classify::DeviceClass::kMobile);
+      ++mobile_roamers;
+    }
+  }
+  EXPECT_GT(mobile_roamers, 1000);
+}
+
+TEST(Population, MacsMostlyUnique) {
+  const PopulationModel model(Epoch::kJan2015);
+  Rng rng(11);
+  std::set<std::uint64_t> macs;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) {
+    macs.insert(model.sample(ClientId{static_cast<std::uint32_t>(i)}, rng).mac.to_u64());
+  }
+  // Vendor-OUI MACs embed the unique client id; only randomized ones can
+  // ever collide, and then only with vanishing probability.
+  EXPECT_GT(macs.size(), static_cast<std::size_t>(n) - 5);
+}
+
+TEST(Population, WeightsShrinkFor2014) {
+  const auto w15 = os_client_weights(Epoch::kJan2015);
+  const auto w14 = os_client_weights(Epoch::kJan2014);
+  // Growing platforms had fewer clients in 2014...
+  EXPECT_LT(w14[static_cast<std::size_t>(classify::OsType::kAppleIos)],
+            w15[static_cast<std::size_t>(classify::OsType::kAppleIos)]);
+  // ...while shrinking ones (BlackBerry) had more.
+  EXPECT_GT(w14[static_cast<std::size_t>(classify::OsType::kBlackberry)],
+            w15[static_cast<std::size_t>(classify::OsType::kBlackberry)]);
+}
+
+}  // namespace
+}  // namespace wlm::deploy

@@ -1,0 +1,90 @@
+#include "mac/association.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::mac {
+namespace {
+
+BssCandidate bss(std::uint32_t ap, phy::Band band, double rssi) {
+  return BssCandidate{ApId{ap}, band, PowerDbm{rssi}};
+}
+
+TEST(Association, NothingUsableReturnsNullopt) {
+  AssociationPolicy policy;
+  Rng rng(1);
+  const auto r = select_bss({bss(1, phy::Band::k2_4GHz, -95.0)}, true, policy, rng);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_FALSE(select_bss({}, true, policy, rng).has_value());
+}
+
+TEST(Association, PicksStrongest24) {
+  AssociationPolicy policy;
+  Rng rng(2);
+  const auto r = select_bss(
+      {bss(1, phy::Band::k2_4GHz, -70.0), bss(2, phy::Band::k2_4GHz, -60.0)}, false,
+      policy, rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ap, ApId{2});
+  EXPECT_EQ(r->band, phy::Band::k2_4GHz);
+}
+
+TEST(Association, SingleBandClientIgnores5GHz) {
+  AssociationPolicy policy;
+  Rng rng(3);
+  const auto r = select_bss(
+      {bss(1, phy::Band::k5GHz, -50.0), bss(2, phy::Band::k2_4GHz, -80.0)}, false,
+      policy, rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->band, phy::Band::k2_4GHz);
+}
+
+TEST(Association, DualBandPrefersStrong5GHz) {
+  AssociationPolicy policy;
+  policy.sticky_2_4_prob = 0.0;
+  Rng rng(4);
+  const auto r = select_bss(
+      {bss(1, phy::Band::k2_4GHz, -55.0), bss(1, phy::Band::k5GHz, -65.0)}, true, policy,
+      rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->band, phy::Band::k5GHz);
+}
+
+TEST(Association, WeakFiveGhzFallsBackTo24) {
+  AssociationPolicy policy;
+  policy.sticky_2_4_prob = 0.0;
+  Rng rng(5);
+  // 5 GHz usable but below the preference threshold.
+  const auto r = select_bss(
+      {bss(1, phy::Band::k2_4GHz, -75.0), bss(1, phy::Band::k5GHz, -80.0)}, true, policy,
+      rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->band, phy::Band::k2_4GHz);
+}
+
+TEST(Association, OnlyWeak5GHzBeatsNothing) {
+  AssociationPolicy policy;
+  Rng rng(6);
+  const auto r = select_bss({bss(3, phy::Band::k5GHz, -85.0)}, true, policy, rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->band, phy::Band::k5GHz);
+}
+
+TEST(Association, StickinessKeepsSomeClientsOn24) {
+  // Paper SS3.1: 65% of clients are 5 GHz capable but 80% associate at 2.4.
+  AssociationPolicy policy;
+  policy.sticky_2_4_prob = 0.35;
+  Rng rng(7);
+  int on24 = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = select_bss(
+        {bss(1, phy::Band::k2_4GHz, -55.0), bss(1, phy::Band::k5GHz, -60.0)}, true,
+        policy, rng);
+    ASSERT_TRUE(r.has_value());
+    if (r->band == phy::Band::k2_4GHz) ++on24;
+  }
+  EXPECT_NEAR(static_cast<double>(on24) / n, 0.35, 0.02);
+}
+
+}  // namespace
+}  // namespace wlm::mac

@@ -1,0 +1,94 @@
+#include "mac/beacon_frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::mac {
+namespace {
+
+BeaconFrame sample() {
+  BeaconFrame f;
+  f.bssid = MacAddress::from_u64(0x001529aabbccULL);
+  f.ssid = "Verizon-MiFi-1234";
+  f.channel = 6;
+  f.interval_tus = 100;
+  f.privacy = true;
+  f.rates = rates_11g();
+  f.has_ht = true;
+  return f;
+}
+
+TEST(BeaconFrame, RoundTrip) {
+  const BeaconFrame original = sample();
+  const auto parsed = parse_beacon_frame(encode_beacon_frame(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bssid, original.bssid);
+  EXPECT_EQ(parsed->ssid, original.ssid);
+  EXPECT_EQ(parsed->channel, 6);
+  EXPECT_EQ(parsed->interval_tus, 100);
+  EXPECT_TRUE(parsed->privacy);
+  EXPECT_TRUE(parsed->ess);
+  EXPECT_TRUE(parsed->has_ht);
+  EXPECT_EQ(parsed->rates, rates_11g());
+}
+
+TEST(BeaconFrame, HiddenSsid) {
+  BeaconFrame f = sample();
+  f.ssid.clear();
+  const auto parsed = parse_beacon_frame(encode_beacon_frame(f));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ssid.empty());
+}
+
+TEST(BeaconFrame, LegacyRateDetection) {
+  BeaconFrame b = sample();
+  b.rates = rates_11b();
+  b.has_ht = false;
+  const auto parsed = parse_beacon_frame(encode_beacon_frame(b));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_11b_only());
+
+  const auto modern = parse_beacon_frame(encode_beacon_frame(sample()));
+  EXPECT_FALSE(modern->is_11b_only());
+}
+
+TEST(BeaconFrame, CorruptFcsRejected) {
+  auto bytes = encode_beacon_frame(sample());
+  bytes[30] ^= 0x01;  // flip a bit mid-frame
+  EXPECT_FALSE(parse_beacon_frame(bytes).has_value());
+}
+
+TEST(BeaconFrame, NonBeaconRejected) {
+  auto bytes = encode_beacon_frame(sample());
+  bytes[0] = 0x88;  // QoS data subtype
+  EXPECT_FALSE(parse_beacon_frame(bytes).has_value());
+  EXPECT_FALSE(parse_beacon_frame({}).has_value());
+}
+
+TEST(BeaconFrame, LongSsidTruncatedTo32) {
+  BeaconFrame f = sample();
+  f.ssid = std::string(60, 'x');
+  const auto parsed = parse_beacon_frame(encode_beacon_frame(f));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ssid.size(), 32u);
+}
+
+TEST(BeaconFrame, FiveGhzChannelNumbers) {
+  BeaconFrame f = sample();
+  f.channel = 165;
+  f.rates = {0x0C, 0x12, 0x18};  // OFDM only
+  const auto parsed = parse_beacon_frame(encode_beacon_frame(f));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->channel, 165);
+  EXPECT_FALSE(parsed->is_11b_only());
+}
+
+TEST(BeaconFrame, IbssCapability) {
+  BeaconFrame f = sample();
+  f.ess = false;
+  const auto parsed = parse_beacon_frame(encode_beacon_frame(f));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ess);
+}
+
+}  // namespace
+}  // namespace wlm::mac

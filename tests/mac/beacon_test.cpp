@@ -1,0 +1,70 @@
+#include "mac/beacon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::mac {
+namespace {
+
+TEST(BeaconDuty, SingleModernNetwork) {
+  // One OFDM beacon every 102.4 ms.
+  const double duty = beacon_duty_cycle({BeaconSource{1, false, kBeaconIntervalUs}});
+  EXPECT_NEAR(duty, static_cast<double>(beacon_airtime_us(false)) / 102'400.0, 1e-12);
+  EXPECT_LT(duty, 0.005);
+}
+
+TEST(BeaconDuty, LegacyCostsSixTimesMore) {
+  const double legacy = beacon_duty_cycle({BeaconSource{1, true, kBeaconIntervalUs}});
+  const double modern = beacon_duty_cycle({BeaconSource{1, false, kBeaconIntervalUs}});
+  EXPECT_GT(legacy / modern, 5.0);
+  EXPECT_NEAR(legacy, 2592.0 / 102'400.0, 1e-9);
+}
+
+TEST(BeaconDuty, VirtualApsMultiply) {
+  const double one = beacon_duty_cycle({BeaconSource{1, false, kBeaconIntervalUs}});
+  const double four = beacon_duty_cycle({BeaconSource{4, false, kBeaconIntervalUs}});
+  EXPECT_NEAR(four, 4.0 * one, 1e-12);
+}
+
+TEST(BeaconDuty, ManySourcesCapAtOne) {
+  std::vector<BeaconSource> sources(200, BeaconSource{4, true, kBeaconIntervalUs});
+  EXPECT_DOUBLE_EQ(beacon_duty_cycle(sources), 1.0);
+}
+
+TEST(BeaconSchedule, CountsBeaconsInLongWindow) {
+  BeaconSchedule sched(102'400, 0, 420);
+  // A full second contains 9 or 10 beacon starts.
+  const int n = sched.beacons_in_window(0, 1'000'000);
+  EXPECT_GE(n, 9);
+  EXPECT_LE(n, 10);
+}
+
+TEST(BeaconSchedule, ShortDwellUsuallyMisses) {
+  BeaconSchedule sched(102'400, 0, 420);
+  // A 5 ms dwell at an offset far from the TBTT sees nothing.
+  EXPECT_EQ(sched.beacons_in_window(50'000, 5'000), 0);
+  // A dwell covering the TBTT sees exactly one.
+  EXPECT_EQ(sched.beacons_in_window(102'000, 5'000), 1);
+}
+
+TEST(BeaconSchedule, PartialOverlapAccounted) {
+  BeaconSchedule sched(102'400, 0, 1'000);
+  // Window starts mid-transmission of beacon k=1 (on air 102400..103400).
+  EXPECT_EQ(sched.beacons_in_window(102'900, 1'000), 1);
+  EXPECT_EQ(sched.airtime_in_window(102'900, 1'000), 500);
+}
+
+TEST(BeaconSchedule, AirtimeOverFullIntervalEqualsOneBeacon) {
+  BeaconSchedule sched(102'400, 7'000, 420);
+  EXPECT_EQ(sched.airtime_in_window(0, 102'400), 420);
+}
+
+TEST(BeaconSchedule, OffsetShiftsPhase) {
+  BeaconSchedule early(102'400, 0, 420);
+  BeaconSchedule late(102'400, 51'200, 420);
+  EXPECT_EQ(early.beacons_in_window(0, 1'000), 1);
+  EXPECT_EQ(late.beacons_in_window(0, 1'000), 0);
+  EXPECT_EQ(late.beacons_in_window(51'200, 1'000), 1);
+}
+
+}  // namespace
+}  // namespace wlm::mac

@@ -1,0 +1,102 @@
+#include "phy/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+
+namespace wlm::phy {
+namespace {
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance_m({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_m({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(PathLoss, FreeSpaceReferenceAt2_4GHz) {
+  // Friis at 1 m, 2.437 GHz: ~40.2 dB.
+  EXPECT_NEAR(PathLossModel::reference_loss_db(FrequencyMhz{2437.0}), 40.2, 0.2);
+  // 5.25 GHz is ~6.7 dB worse.
+  const double delta = PathLossModel::reference_loss_db(FrequencyMhz{5250.0}) -
+                       PathLossModel::reference_loss_db(FrequencyMhz{2437.0});
+  EXPECT_NEAR(delta, 6.7, 0.2);
+}
+
+TEST(PathLoss, MonotonicInDistanceAndWalls) {
+  PathLossModel model;
+  const auto f = FrequencyMhz{2437.0};
+  EXPECT_LT(model.median_loss_db(5.0, f, 0), model.median_loss_db(20.0, f, 0));
+  EXPECT_LT(model.median_loss_db(20.0, f, 0), model.median_loss_db(20.0, f, 3));
+  // Each wall costs exactly wall_loss_db.
+  EXPECT_DOUBLE_EQ(model.median_loss_db(20.0, f, 2) - model.median_loss_db(20.0, f, 0),
+                   2.0 * model.wall_loss_db);
+}
+
+TEST(PathLoss, SubMeterClampsToOneMeter) {
+  PathLossModel model;
+  const auto f = FrequencyMhz{2437.0};
+  EXPECT_DOUBLE_EQ(model.median_loss_db(0.1, f, 0), model.median_loss_db(1.0, f, 0));
+}
+
+TEST(PathLoss, ExponentScalesSlope) {
+  PathLossModel model;
+  model.exponent = 2.0;
+  const auto f = FrequencyMhz{2437.0};
+  // Doubling distance at n=2 adds ~6 dB.
+  EXPECT_NEAR(model.median_loss_db(20.0, f, 0) - model.median_loss_db(10.0, f, 0), 6.02, 0.1);
+}
+
+TEST(Shadowing, HasConfiguredSpread) {
+  PathLossModel model;
+  model.shadowing_sigma_db = 6.0;
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(draw_shadowing_db(rng, model));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.15);
+  EXPECT_NEAR(stats.stddev(), 6.0, 0.15);
+}
+
+TEST(Fading, AveragePowerIsZeroDb) {
+  // Mean linear power of the fading process must be ~1 (0 dB).
+  FadingProcess fading(Rng{17}, /*k_factor_db=*/6.0, /*coherence=*/0.0);
+  double linear_sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    linear_sum += std::pow(10.0, fading.next_gain_db() / 10.0);
+  }
+  EXPECT_NEAR(linear_sum / n, 1.0, 0.05);
+}
+
+TEST(Fading, RayleighFadesDeeperThanRician) {
+  FadingProcess rayleigh(Rng{5}, -200.0, 0.0);
+  FadingProcess rician(Rng{5}, 12.0, 0.0);
+  double min_ray = 0.0;
+  double min_ric = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    min_ray = std::min(min_ray, rayleigh.next_gain_db());
+    min_ric = std::min(min_ric, rician.next_gain_db());
+  }
+  EXPECT_LT(min_ray, min_ric - 5.0);
+}
+
+TEST(Fading, CoherencePersistsGain) {
+  // Highly coherent process moves slowly: successive samples are close.
+  FadingProcess slow(Rng{7}, 0.0, 0.999);
+  double prev = slow.next_gain_db();
+  double max_step = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = slow.next_gain_db();
+    max_step = std::max(max_step, std::abs(cur - prev));
+    prev = cur;
+  }
+  EXPECT_LT(max_step, 6.0);
+}
+
+TEST(NoiseFloor, TwentyMhzReceiver) {
+  // kTB for 20 MHz is -101 dBm; +7 dB noise figure = -94 dBm.
+  EXPECT_NEAR(noise_floor(20.0).dbm(), -94.0, 0.1);
+  // Wider bandwidth raises the floor by 10log10(BW ratio).
+  EXPECT_NEAR(noise_floor(40.0).dbm() - noise_floor(20.0).dbm(), 3.01, 0.05);
+}
+
+}  // namespace
+}  // namespace wlm::phy

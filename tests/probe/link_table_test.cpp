@@ -1,0 +1,78 @@
+#include "probe/link_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::probe {
+namespace {
+
+LinkKey key(std::uint32_t ap, phy::Band band = phy::Band::k2_4GHz) {
+  return LinkKey{ApId{ap}, band};
+}
+
+TEST(LinkTable, RecordsAndReportsMetrics) {
+  LinkTable table;
+  SimTime t;
+  for (int i = 0; i < 10; ++i) {
+    table.record(key(1), t, i < 7);
+    t += kProbeInterval;
+  }
+  const auto m = table.metric(key(1));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->expected, 10u);
+  EXPECT_EQ(m->received, 7u);
+  EXPECT_DOUBLE_EQ(m->ratio, 0.7);
+}
+
+TEST(LinkTable, BandsAreSeparateLinks) {
+  LinkTable table;
+  SimTime t;
+  table.record(key(1, phy::Band::k2_4GHz), t, true);
+  table.record(key(1, phy::Band::k5GHz), t, false);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.metric(key(1, phy::Band::k2_4GHz))->ratio, 1.0);
+  EXPECT_DOUBLE_EQ(table.metric(key(1, phy::Band::k5GHz))->ratio, 0.0);
+}
+
+TEST(LinkTable, MissingLinkIsNullopt) {
+  LinkTable table;
+  EXPECT_FALSE(table.metric(key(42)).has_value());
+}
+
+TEST(LinkTable, BoundedWithLruEviction) {
+  // The paper's SS6.1 skyscraper bug: unbounded neighbor state ran 64 MB
+  // APs out of memory. The table must evict, not grow.
+  LinkTable table(/*capacity=*/16);
+  SimTime t;
+  for (std::uint32_t ap = 1; ap <= 100; ++ap) {
+    table.record(key(ap), t, true);
+    t += Duration::seconds(1);
+  }
+  EXPECT_EQ(table.size(), 16u);
+  EXPECT_EQ(table.evictions(), 84u);
+  // The most recent links survive.
+  EXPECT_TRUE(table.metric(key(100)).has_value());
+  EXPECT_FALSE(table.metric(key(1)).has_value());
+}
+
+TEST(LinkTable, RecentlyHeardLinkSurvivesEviction) {
+  LinkTable table(3);
+  SimTime t;
+  table.record(key(1), t, true);
+  table.record(key(2), t, true);
+  table.record(key(3), t, true);
+  // Touch link 1 so it becomes most-recent, then overflow.
+  table.record(key(1), t + Duration::seconds(1), true);
+  table.record(key(4), t + Duration::seconds(2), true);
+  EXPECT_TRUE(table.metric(key(1)).has_value());
+  EXPECT_FALSE(table.metric(key(2)).has_value());  // LRU victim
+}
+
+TEST(LinkTable, AllMetricsEnumerates) {
+  LinkTable table;
+  SimTime t;
+  for (std::uint32_t ap = 1; ap <= 5; ++ap) table.record(key(ap), t, true);
+  EXPECT_EQ(table.all_metrics().size(), 5u);
+}
+
+}  // namespace
+}  // namespace wlm::probe

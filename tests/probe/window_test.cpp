@@ -1,0 +1,79 @@
+#include "probe/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::probe {
+namespace {
+
+TEST(Window, EmptyRatioIsZero) {
+  SlidingDeliveryWindow w;
+  EXPECT_EQ(w.expected(), 0u);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+}
+
+TEST(Window, CountsWithinSpan) {
+  SlidingDeliveryWindow w;
+  SimTime t;
+  for (int i = 0; i < 20; ++i) {
+    w.record(t, i % 2 == 0);
+    t += kProbeInterval;
+  }
+  EXPECT_EQ(w.expected(), 20u);
+  EXPECT_EQ(w.received(), 10u);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.5);
+}
+
+TEST(Window, ExactlyTwentyProbesFitIn300s) {
+  // 15 s cadence and a 300 s window: the 21st probe evicts the 1st.
+  SlidingDeliveryWindow w;
+  SimTime t;
+  for (int i = 0; i < 21; ++i) {
+    w.record(t, true);
+    t += kProbeInterval;
+  }
+  EXPECT_EQ(w.expected(), 20u);
+}
+
+TEST(Window, EvictionAdjustsReceivedCount) {
+  SlidingDeliveryWindow w;
+  SimTime t;
+  w.record(t, true);  // will be evicted
+  for (int i = 1; i <= 20; ++i) {
+    w.record(t + kProbeInterval * i, false);
+  }
+  EXPECT_EQ(w.received(), 0u);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+}
+
+TEST(Window, ExpireDropsStaleEntries) {
+  SlidingDeliveryWindow w;
+  SimTime t;
+  w.record(t, true);
+  w.record(t + Duration::seconds(15), true);
+  w.expire(t + Duration::seconds(400));
+  EXPECT_EQ(w.expected(), 0u);
+}
+
+TEST(Window, PartialExpiry) {
+  SlidingDeliveryWindow w;
+  SimTime t;
+  w.record(t, true);
+  w.record(t + Duration::seconds(100), false);
+  w.record(t + Duration::seconds(200), true);
+  // At t+350: the first entry (age 350) falls out, the rest stay.
+  w.expire(t + Duration::seconds(350));
+  EXPECT_EQ(w.expected(), 2u);
+  EXPECT_EQ(w.received(), 1u);
+}
+
+TEST(Window, GapInProbesShrinksWindow) {
+  SlidingDeliveryWindow w;
+  SimTime t;
+  for (int i = 0; i < 10; ++i) w.record(t + kProbeInterval * i, true);
+  // Sender goes quiet for 10 minutes, then one more probe arrives.
+  w.record(t + Duration::minutes(10) + kProbeInterval * 10, true);
+  EXPECT_EQ(w.expected(), 1u);
+}
+
+}  // namespace
+}  // namespace wlm::probe

@@ -1,0 +1,145 @@
+// Cross-module property tests: randomized invariants that must hold for any
+// input, swept with parameterized seeds.
+#include <gtest/gtest.h>
+
+#include "backend/aggregate.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "mac/beacon.hpp"
+#include "phy/channel.hpp"
+#include "wire/messages.hpp"
+
+namespace wlm {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1ULL, 7ULL, 42ULL, 1337ULL, 2015ULL, 99991ULL));
+
+wire::ApReport random_report(Rng& rng) {
+  wire::ApReport r;
+  r.ap_id = static_cast<std::uint32_t>(rng.next_u64());
+  r.timestamp_us = static_cast<std::int64_t>(rng.next_u64() >> 2) *
+                   (rng.chance(0.2) ? -1 : 1);
+  r.firmware = static_cast<std::uint32_t>(rng.uniform_int(0, 10));
+  const auto n_usage = rng.uniform_int(0, 50);
+  for (std::int64_t i = 0; i < n_usage; ++i) {
+    r.usage.push_back(wire::ClientUsage{MacAddress::from_u64(rng.next_u64() & 0xFFFFFFFFFFFF),
+                                        static_cast<std::uint32_t>(rng.uniform_int(0, 44)),
+                                        rng.next_u64() >> 20, rng.next_u64() >> 20});
+  }
+  const auto n_util = rng.uniform_int(0, 35);
+  for (std::int64_t i = 0; i < n_util; ++i) {
+    wire::ChannelUtilization u;
+    u.band = rng.chance(0.5) ? 0 : 1;
+    u.channel = static_cast<std::int32_t>(rng.uniform_int(1, 165));
+    u.cycle_us = rng.next_u64() >> 40;
+    u.busy_us = u.cycle_us > 0 ? rng.next_u64() % (u.cycle_us + 1) : 0;
+    u.rx_frame_us = u.busy_us > 0 ? rng.next_u64() % (u.busy_us + 1) : 0;
+    r.utilization.push_back(u);
+  }
+  const auto n_nb = rng.uniform_int(0, 80);
+  for (std::int64_t i = 0; i < n_nb; ++i) {
+    wire::NeighborBss n;
+    n.bssid = MacAddress::from_u64(rng.next_u64() & 0xFFFFFFFFFFFF);
+    n.band = rng.chance(0.8) ? 0 : 1;
+    n.channel = static_cast<std::int32_t>(rng.uniform_int(1, 165));
+    n.rssi_dbm = rng.uniform(-95.0, -40.0);
+    n.is_hotspot = rng.chance(0.2);
+    r.neighbors.push_back(n);
+  }
+  return r;
+}
+
+TEST_P(SeededProperty, WireRoundTripIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const auto report = random_report(rng);
+    const auto decoded = wire::decode_report(wire::encode_report(report));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, report);
+  }
+}
+
+TEST_P(SeededProperty, WireEncodingIsDeterministic) {
+  Rng rng(GetParam());
+  const auto report = random_report(rng);
+  EXPECT_EQ(wire::encode_report(report), wire::encode_report(report));
+}
+
+TEST_P(SeededProperty, AggregationConservesBytesUnderRoaming) {
+  Rng rng(GetParam() * 31 + 5);
+  backend::ReportStore store;
+  std::uint64_t total_in = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto report = random_report(rng);
+    report.timestamp_us = static_cast<std::int64_t>(rng.next_u64() % 1'000'000);
+    for (const auto& u : report.usage) total_in += u.tx_bytes + u.rx_bytes;
+    store.add(std::move(report));
+  }
+  backend::UsageAggregator agg;
+  agg.consume(store, SimTime::epoch(), SimTime::from_micros(2'000'000));
+  std::uint64_t total_out = 0;
+  for (const auto& [mac, client] : agg.clients()) total_out += client.total();
+  EXPECT_EQ(total_out, total_in);
+}
+
+TEST_P(SeededProperty, BeaconAirtimePartitionsExactly) {
+  // Airtime over a window equals the sum over any partition of the window.
+  Rng rng(GetParam() * 17 + 3);
+  for (int i = 0; i < 50; ++i) {
+    const auto interval = rng.uniform_int(1'000, 200'000);
+    const auto airtime = rng.uniform_int(0, interval);
+    const auto offset = rng.uniform_int(0, interval - 1);
+    mac::BeaconSchedule sched(interval, offset, airtime);
+    const auto start = rng.uniform_int(0, 1'000'000);
+    const auto len = rng.uniform_int(1, 500'000);
+    const auto split = rng.uniform_int(1, len);
+    const auto whole = sched.airtime_in_window(start, len);
+    const auto left = sched.airtime_in_window(start, split);
+    const auto right = sched.airtime_in_window(start + split, len - split);
+    EXPECT_EQ(whole, left + right);
+    EXPECT_LE(whole, len);
+  }
+}
+
+TEST_P(SeededProperty, CdfQuantileIsRightInverse) {
+  Rng rng(GetParam() * 101 + 7);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.normal(0.0, 5.0));
+  EmpiricalCdf cdf(std::move(samples));
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = cdf.quantile(p);
+    // F(quantile(p)) >= p (step CDF) with limited overshoot.
+    EXPECT_GE(cdf.at(x) + 1e-9, p);
+    EXPECT_LE(cdf.at(x), p + 0.01);
+  }
+}
+
+TEST_P(SeededProperty, ChannelOverlapSymmetricSameWidth) {
+  Rng rng(GetParam());
+  const auto& channels = phy::ChannelPlan::us().channels();
+  for (int i = 0; i < 200; ++i) {
+    const auto& a = channels[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(channels.size()) - 1))];
+    const auto& b = channels[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(channels.size()) - 1))];
+    // Same 20 MHz width everywhere in the plan: overlap must be symmetric.
+    EXPECT_DOUBLE_EQ(phy::channel_overlap(a, b), phy::channel_overlap(b, a));
+    EXPECT_GE(phy::channel_overlap(a, b), 0.0);
+    EXPECT_LE(phy::channel_overlap(a, b), 1.0);
+  }
+}
+
+TEST_P(SeededProperty, HistogramFractionsSumToOne) {
+  Rng rng(GetParam() + 1);
+  Histogram h(-10.0, 10.0, 16);
+  for (int i = 0; i < 1000; ++i) h.add(rng.normal(0.0, 6.0));
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.bin_fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wlm

@@ -1,0 +1,97 @@
+#include "scan/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/propagation.hpp"
+
+namespace wlm::scan {
+namespace {
+
+mac::ActivitySource wifi(double rx_dbm, double duty) {
+  mac::ActivitySource s;
+  s.kind = mac::SourceKind::kWifi;
+  s.rx_power = PowerDbm{rx_dbm};
+  s.duty_cycle = duty;
+  s.plcp_decode_prob = 1.0;
+  return s;
+}
+
+ChannelActivity activity(double duty) {
+  ChannelActivity a;
+  a.channel = *phy::ChannelPlan::us().find(phy::Band::k2_4GHz, 6);
+  a.sources.push_back(wifi(-70.0, duty));
+  a.neighbor_count = 3;
+  return a;
+}
+
+TEST(Mr16, ServingChannelUtilization) {
+  const auto counters = measure_serving_channel(activity(0.3), Duration::minutes(5), 0.0,
+                                                phy::noise_floor(20.0));
+  EXPECT_EQ(counters.cycle_us, Duration::minutes(5).as_micros());
+  EXPECT_NEAR(counters.utilization(), 0.3, 1e-9);
+}
+
+TEST(Mr18, DefaultMatchesPaper) {
+  const auto scanner = default_mr18_scanner();
+  EXPECT_EQ(scanner.dwell(), Duration::millis(5));
+  EXPECT_EQ(scanner.window(), Duration::minutes(3));
+}
+
+TEST(Mr18, ScansEveryChannel) {
+  const auto scanner = default_mr18_scanner();
+  std::vector<ChannelActivity> activities;
+  for (const auto& ch : phy::ChannelPlan::us().channels()) {
+    ChannelActivity a;
+    a.channel = ch;
+    activities.push_back(a);
+  }
+  Rng rng(3);
+  const auto results = scanner.scan_window(activities, phy::noise_floor(20.0), rng);
+  EXPECT_EQ(results.size(), activities.size());
+}
+
+TEST(Mr18, UtilizationConvergesToDuty) {
+  const Mr18Scanner scanner(Duration::millis(5), Duration::minutes(3),
+                            /*max_dwells_per_channel=*/200);
+  std::vector<ChannelActivity> activities{activity(0.25)};
+  Rng rng(7);
+  // Average several windows: sampled dwells are noisy individually.
+  double total = 0.0;
+  const int windows = 30;
+  for (int i = 0; i < windows; ++i) {
+    const auto results = scanner.scan_window(activities, phy::noise_floor(20.0), rng);
+    total += results[0].counters.utilization();
+  }
+  EXPECT_NEAR(total / windows, 0.25, 0.03);
+}
+
+TEST(Mr18, CycleTimeScalesToFullDwellBudget) {
+  const auto scanner = default_mr18_scanner();
+  std::vector<ChannelActivity> activities{activity(0.1), activity(0.2)};
+  Rng rng(9);
+  const auto results = scanner.scan_window(activities, phy::noise_floor(20.0), rng);
+  // Two channels share the 3-minute window: each listens ~90 s.
+  for (const auto& r : results) {
+    EXPECT_NEAR(static_cast<double>(r.counters.cycle_us), 90e6, 5e6);
+  }
+}
+
+TEST(Mr18, NeighborCountPassesThrough) {
+  const auto scanner = default_mr18_scanner();
+  Rng rng(11);
+  const auto results = scanner.scan_window({activity(0.1)}, phy::noise_floor(20.0), rng);
+  EXPECT_EQ(results[0].neighbor_count, 3);
+}
+
+TEST(Mr18, QuietChannelReadsZero) {
+  const auto scanner = default_mr18_scanner();
+  ChannelActivity quiet;
+  quiet.channel = *phy::ChannelPlan::us().find(phy::Band::k5GHz, 100);
+  Rng rng(13);
+  const auto results = scanner.scan_window({quiet}, phy::noise_floor(20.0), rng);
+  EXPECT_EQ(results[0].counters.busy_us, 0);
+  EXPECT_DOUBLE_EQ(results[0].counters.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace wlm::scan

@@ -1,0 +1,130 @@
+#include "scan/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wlm::scan {
+namespace {
+
+TEST(Fft, PowerOfTwoCheck) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(4096));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(64, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft_inplace(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(std::abs(bin), 1.0, 1e-9);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<std::complex<double>> data(64, {1.0, 0.0});
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[0]), 64.0, 1e-9);
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ComplexToneLandsInExactBin) {
+  const std::size_t n = 256;
+  const int k = 37;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * M_PI * k * static_cast<double>(i) / n;
+    data[i] = {std::cos(ph), std::sin(ph)};
+  }
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[k]), static_cast<double>(n), 1e-6);
+  EXPECT_NEAR(std::abs(data[k + 1]), 0.0, 1e-6);
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(128);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = {rng.normal(), rng.normal()};
+    time_energy += std::norm(v);
+  }
+  fft_inplace(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, time_energy * 1e-9);
+}
+
+TEST(Psd, ToneAppearsAtShiftedOffset) {
+  // A +4 MHz tone at 32 MHz sampling lands right of center after fft-shift.
+  const std::size_t n = 1024;
+  std::vector<std::complex<double>> iq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * M_PI * (4.0 / 32.0) * static_cast<double>(i);
+    iq[i] = {std::cos(ph), std::sin(ph)};
+  }
+  const auto psd = psd_db(iq);
+  const auto peak =
+      std::max_element(psd.begin(), psd.end()) - psd.begin();
+  const auto expected = static_cast<std::ptrdiff_t>(n / 2 + n * 4 / 32);
+  EXPECT_NEAR(static_cast<double>(peak), static_cast<double>(expected), 2.0);
+}
+
+TEST(Spectrum, Figure11ScenesOrdering) {
+  SpectrumConfig config;
+  config.slices = 16;  // keep the test fast
+  Rng rng24(1);
+  const auto wf24 = capture_spectrum(config, figure11_scene_2_4ghz(), rng24);
+  Rng rng5(2);
+  const auto wf5 = capture_spectrum(config, figure11_scene_5ghz(), rng5);
+  const double occ24 = occupied_fraction(wf24, config.noise_floor_db);
+  const double occ5 = occupied_fraction(wf5, config.noise_floor_db);
+  // Paper: 2.4 GHz ~22% busy, 5 GHz ~2%: an order-of-magnitude gap.
+  EXPECT_GT(occ24, occ5 * 2.0);
+  EXPECT_GT(occ24, 0.10);
+  EXPECT_LT(occ5, 0.40);
+}
+
+TEST(Spectrum, WaterfallShapeMatchesConfig) {
+  SpectrumConfig config;
+  config.fft_size = 512;
+  config.slices = 8;
+  Rng rng(5);
+  const auto wf = capture_spectrum(config, figure11_scene_2_4ghz(), rng);
+  EXPECT_EQ(wf.rows_db.size(), 8u);
+  for (const auto& row : wf.rows_db) EXPECT_EQ(row.size(), 512u);
+  EXPECT_EQ(wf.average_db.size(), 512u);
+}
+
+TEST(Spectrum, NoiseOnlyFloorIsQuiet) {
+  SpectrumConfig config;
+  config.fft_size = 512;
+  config.slices = 8;
+  Rng rng(7);
+  const auto wf = capture_spectrum(config, {}, rng);
+  EXPECT_LT(occupied_fraction(wf, config.noise_floor_db, 10.0), 0.05);
+}
+
+TEST(Spectrum, OfdmBurstOccupiesItsBand) {
+  SpectrumConfig config;
+  config.fft_size = 1024;
+  config.slices = 12;
+  SpectralSource src;
+  src.kind = SpectralSource::Kind::kOfdm;
+  src.center_offset_mhz = 0.0;
+  src.occupied_mhz = 20.0;
+  src.power_db = 30.0;
+  src.duty_cycle = 1.0;
+  Rng rng(9);
+  const auto wf = capture_spectrum(config, {{src}}, rng);
+  // 20 of 32 MHz occupied -> ~60% of bins hot.
+  const double occ = occupied_fraction(wf, config.noise_floor_db, 10.0);
+  EXPECT_NEAR(occ, 20.0 / 32.0, 0.12);
+}
+
+}  // namespace
+}  // namespace wlm::scan

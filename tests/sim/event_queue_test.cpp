@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::from_micros(300), [&](SimTime) { order.push_back(3); });
+  q.schedule_at(SimTime::from_micros(100), [&](SimTime) { order.push_back(1); });
+  q.schedule_at(SimTime::from_micros(200), [&](SimTime) { order.push_back(2); });
+  q.run_until(SimTime::from_micros(1000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, SimultaneousEventsStable) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(SimTime::from_micros(100), [&, i](SimTime) { order.push_back(i); });
+  }
+  q.run_until(SimTime::from_micros(100));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime::from_micros(100), [&](SimTime) { ++fired; });
+  q.schedule_at(SimTime::from_micros(200), [&](SimTime) { ++fired; });
+  q.run_until(SimTime::from_micros(150));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), SimTime::from_micros(150));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int chain = 0;
+  q.schedule_at(SimTime::from_micros(10), [&](SimTime) {
+    ++chain;
+    q.schedule_in(Duration::micros(10), [&](SimTime) { ++chain; });
+  });
+  q.run_until(SimTime::from_micros(100));
+  EXPECT_EQ(chain, 2);
+}
+
+TEST(EventQueue, PeriodicFiresUntilDeadline) {
+  EventQueue q;
+  std::vector<std::int64_t> times;
+  q.schedule_every(Duration::seconds(15), SimTime::from_micros(Duration::seconds(70).as_micros()),
+                   [&](SimTime t) { times.push_back(t.as_micros()); });
+  q.run_until(SimTime::from_micros(Duration::minutes(5).as_micros()));
+  ASSERT_EQ(times.size(), 4u);  // 15, 30, 45, 60 s
+  EXPECT_EQ(times[0], Duration::seconds(15).as_micros());
+  EXPECT_EQ(times[3], Duration::seconds(60).as_micros());
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime::from_micros(100), [&](SimTime) { ++fired; });
+  q.clear();
+  q.run_until(SimTime::from_micros(1000));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CallbackReceivesFiringTime) {
+  EventQueue q;
+  SimTime seen;
+  q.schedule_at(SimTime::from_micros(12345), [&](SimTime t) { seen = t; });
+  q.run_until(SimTime::from_micros(20000));
+  EXPECT_EQ(seen, SimTime::from_micros(12345));
+}
+
+}  // namespace
+}  // namespace wlm::sim

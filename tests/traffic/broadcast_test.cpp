@@ -1,0 +1,59 @@
+#include "traffic/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::traffic {
+namespace {
+
+TEST(Broadcast, ScalesLinearlyWithClients) {
+  const BroadcastProfile profile;
+  const auto one = broadcast_load(100, profile, phy::Modulation::kDsss1);
+  const auto two = broadcast_load(200, profile, phy::Modulation::kDsss1);
+  EXPECT_NEAR(two.airtime_duty, 2.0 * one.airtime_duty, 1e-9);
+  EXPECT_NEAR(two.frames_per_second, 2.0 * one.frames_per_second, 1e-9);
+}
+
+TEST(Broadcast, HomeScaleIsNegligible) {
+  const auto load = broadcast_load(10, BroadcastProfile{}, phy::Modulation::kDsss1);
+  EXPECT_LT(load.airtime_duty, 0.01);
+}
+
+TEST(Broadcast, CampusScaleHurtsAtBasicRate) {
+  // Paper §6.3: mDNS "works in home environments but causes broadcast
+  // issues at campus scale". A couple thousand devices on one flat L2
+  // domain at a 1 Mb/s basic rate eats a meaningful channel share.
+  const auto load = broadcast_load(2000, BroadcastProfile{}, phy::Modulation::kDsss1);
+  EXPECT_GT(load.airtime_duty, 0.10);
+}
+
+TEST(Broadcast, HigherBasicRateShrinksDuty) {
+  const auto slow = broadcast_load(1000, BroadcastProfile{}, phy::Modulation::kDsss1);
+  const auto fast = broadcast_load(1000, BroadcastProfile{}, phy::Modulation::kOfdm24);
+  EXPECT_LT(fast.airtime_duty, slow.airtime_duty / 5.0);
+  // Frame counts are rate-independent.
+  EXPECT_DOUBLE_EQ(fast.frames_per_second, slow.frames_per_second);
+}
+
+TEST(Broadcast, SuppressionRestoresHeadroom) {
+  const BroadcastProfile raw;
+  const auto suppressed = with_mdns_suppression(raw);
+  const int raw_limit = broadcast_client_limit(raw, phy::Modulation::kDsss1);
+  const int clean_limit = broadcast_client_limit(suppressed, phy::Modulation::kDsss1);
+  EXPECT_GT(clean_limit, raw_limit * 3);
+  EXPECT_DOUBLE_EQ(suppressed.mdns_per_min, 0.0);
+  EXPECT_DOUBLE_EQ(suppressed.arp_per_min, raw.arp_per_min);  // ARP must stay
+}
+
+TEST(Broadcast, DutyCapsAtOne) {
+  const auto load = broadcast_load(1'000'000, BroadcastProfile{}, phy::Modulation::kDsss1);
+  EXPECT_DOUBLE_EQ(load.airtime_duty, 1.0);
+}
+
+TEST(Broadcast, ZeroClients) {
+  const auto load = broadcast_load(0, BroadcastProfile{}, phy::Modulation::kDsss1);
+  EXPECT_DOUBLE_EQ(load.airtime_duty, 0.0);
+  EXPECT_DOUBLE_EQ(load.frames_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace wlm::traffic

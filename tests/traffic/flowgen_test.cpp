@@ -1,0 +1,86 @@
+#include "traffic/flowgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::traffic {
+namespace {
+
+using classify::AppId;
+
+class FlowRoundTrip : public ::testing::TestWithParam<AppId> {};
+
+TEST_P(FlowRoundTrip, GeneratedFlowsClassifyToTruth) {
+  // The generator and classifier share only the app catalog; this closes
+  // the loop over the real DNS/HTTP/TLS parsers for every application.
+  const AppId app = GetParam();
+  FlowGenerator gen{Rng{static_cast<std::uint64_t>(app) * 7 + 1}};
+  int correct = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const auto flow = gen.make_flow(app, classify::OsType::kWindows, 1000, 10'000);
+    if (classify::classify_flow(flow.sample) == app) ++correct;
+  }
+  // Some flows legitimately degrade (cached DNS and no SNI -> misc bucket),
+  // but the vast majority must classify exactly.
+  EXPECT_GE(correct, n * 8 / 10) << classify::app_info(app).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamedApps, FlowRoundTrip,
+    ::testing::Values(AppId::kNetflix, AppId::kYouTube, AppId::kITunes, AppId::kFacebook,
+                      AppId::kDropbox, AppId::kInstagram, AppId::kBitTorrent,
+                      AppId::kSpotify, AppId::kGmail, AppId::kSteam, AppId::kDropcam,
+                      AppId::kWindowsFileSharing, AppId::kRtmp, AppId::kHulu,
+                      AppId::kTwitter, AppId::kEspn, AppId::kPandora));
+
+class FallbackRoundTrip : public ::testing::TestWithParam<AppId> {};
+
+TEST_P(FallbackRoundTrip, BucketAppsLandInTheirBucket) {
+  const AppId app = GetParam();
+  FlowGenerator gen{Rng{static_cast<std::uint64_t>(app) * 13 + 5}};
+  int correct = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const auto flow = gen.make_flow(app, classify::OsType::kAndroid, 500, 500);
+    if (classify::classify_flow(flow.sample) == app) ++correct;
+  }
+  EXPECT_GE(correct, n * 9 / 10) << classify::app_info(app).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, FallbackRoundTrip,
+                         ::testing::Values(AppId::kMiscWeb, AppId::kMiscSecureWeb,
+                                           AppId::kMiscVideo, AppId::kMiscAudio,
+                                           AppId::kNonWebTcp, AppId::kUdp,
+                                           AppId::kEncryptedTcp, AppId::kEncryptedP2p));
+
+TEST(FlowGen, BytesCarriedThrough) {
+  FlowGenerator gen{Rng{3}};
+  const auto flow = gen.make_flow(AppId::kNetflix, classify::OsType::kMacOsX, 123, 4567);
+  EXPECT_EQ(flow.upstream_bytes, 123u);
+  EXPECT_EQ(flow.downstream_bytes, 4567u);
+  EXPECT_EQ(flow.truth, AppId::kNetflix);
+}
+
+TEST(FlowGen, TlsFlowsHaveParsableHello) {
+  FlowGenerator gen{Rng{5}};
+  int tls_seen = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto flow = gen.make_flow(AppId::kMiscSecureWeb, classify::OsType::kWindows, 1, 1);
+    const auto meta = classify::extract_metadata(flow.sample);
+    if (meta.saw_tls) ++tls_seen;
+  }
+  EXPECT_EQ(tls_seen, 50);
+}
+
+TEST(FlowGen, DnsPacketsAreWellFormedWhenPresent) {
+  FlowGenerator gen{Rng{7}};
+  for (int i = 0; i < 100; ++i) {
+    const auto flow = gen.make_flow(AppId::kYouTube, classify::OsType::kAndroid, 1, 1);
+    if (flow.sample.dns_packet.empty()) continue;
+    const auto meta = classify::extract_metadata(flow.sample);
+    EXPECT_FALSE(meta.dns_hostname.empty());
+  }
+}
+
+}  // namespace
+}  // namespace wlm::traffic

@@ -1,0 +1,79 @@
+#include "traffic/os_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::traffic {
+namespace {
+
+using classify::AppId;
+using classify::OsType;
+
+TEST(OsUsage, Table3Calibration2015) {
+  EXPECT_DOUBLE_EQ(os_usage(OsType::kWindows, deploy::Epoch::kJan2015).mb_per_client, 751);
+  EXPECT_DOUBLE_EQ(os_usage(OsType::kAppleIos, deploy::Epoch::kJan2015).mb_per_client, 224);
+  EXPECT_DOUBLE_EQ(os_usage(OsType::kMacOsX, deploy::Epoch::kJan2015).mb_per_client, 1487);
+  EXPECT_DOUBLE_EQ(os_usage(OsType::kPlaystation, deploy::Epoch::kJan2015).mb_per_client,
+                   5319);
+}
+
+TEST(OsUsage, DownloadFractions) {
+  EXPECT_DOUBLE_EQ(os_usage(OsType::kAndroid, deploy::Epoch::kJan2015).download_frac, 0.89);
+  // Unknown devices are upload-heavy (embedded cameras etc.).
+  EXPECT_LT(os_usage(OsType::kUnknown, deploy::Epoch::kJan2015).download_frac, 0.5);
+}
+
+TEST(OsUsage, Derives2014FromIncrease) {
+  // Windows grew 12% per client: 751 / 1.12.
+  EXPECT_NEAR(os_usage(OsType::kWindows, deploy::Epoch::kJan2014).mb_per_client,
+              751.0 / 1.12, 0.1);
+}
+
+TEST(SampleWeeklyBytes, MeanTracksProfile) {
+  Rng rng(3);
+  double total = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    total += sample_weekly_bytes(OsType::kAppleIos, deploy::Epoch::kJan2015, rng);
+  }
+  EXPECT_NEAR(total / n / 1e6, 224.0, 15.0);
+}
+
+TEST(SampleWeeklyBytes, HeavyTailed) {
+  // Paper SS6.2: a subset of clients drives most usage.
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 50'000; ++i) {
+    samples.push_back(sample_weekly_bytes(OsType::kWindows, deploy::Epoch::kJan2015, rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  double total = 0.0;
+  for (double s : samples) total += s;
+  double top_decile = 0.0;
+  for (std::size_t i = samples.size() * 9 / 10; i < samples.size(); ++i) {
+    top_decile += samples[i];
+  }
+  EXPECT_GT(top_decile / total, 0.5);
+}
+
+TEST(Affinity, PlatformExclusives) {
+  EXPECT_EQ(app_affinity(OsType::kAndroid, AppId::kAppleFileSharing), 0.0);
+  EXPECT_EQ(app_affinity(OsType::kAppleIos, AppId::kWindowsFileSharing), 0.0);
+  EXPECT_GT(app_affinity(OsType::kMacOsX, AppId::kAppleFileSharing), 1.0);
+  EXPECT_GT(app_affinity(OsType::kOther, AppId::kDropcam), 10.0);
+  EXPECT_EQ(app_affinity(OsType::kWindows, AppId::kDropcam), 0.0);
+}
+
+TEST(Affinity, MobileVsDesktopLeanings) {
+  EXPECT_GT(app_affinity(OsType::kAppleIos, AppId::kInstagram),
+            app_affinity(OsType::kWindows, AppId::kInstagram));
+  EXPECT_GT(app_affinity(OsType::kWindows, AppId::kBitTorrent), 0.0);
+  EXPECT_EQ(app_affinity(OsType::kAppleIos, AppId::kBitTorrent), 0.0);
+}
+
+TEST(Affinity, ConsolesStreamOnly) {
+  EXPECT_GT(app_affinity(OsType::kPlaystation, AppId::kNetflix), 1.0);
+  EXPECT_LT(app_affinity(OsType::kPlaystation, AppId::kGmail), 0.5);
+}
+
+}  // namespace
+}  // namespace wlm::traffic

@@ -1,0 +1,94 @@
+#include "traffic/sessions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/diurnal.hpp"
+
+namespace wlm::traffic {
+namespace {
+
+SessionModel model(std::uint64_t seed = 3, double per_day = 3.0) {
+  SessionModelParams params;
+  params.sessions_per_day = per_day;
+  return SessionModel{params, Rng{seed}};
+}
+
+TEST(Sessions, WeeklyCountTracksRate) {
+  auto m = model();
+  double total = 0.0;
+  const int devices = 500;
+  for (int i = 0; i < devices; ++i) total += static_cast<double>(m.sample_week().size());
+  // ~3/day * 7 days, minus overlap suppression.
+  EXPECT_NEAR(total / devices, 21.0, 6.0);
+}
+
+TEST(Sessions, NoOverlapAndInSpan) {
+  auto m = model(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto sessions = m.sample_week();
+    const SimTime horizon = SimTime::epoch() + Duration::days(7);
+    for (std::size_t k = 0; k < sessions.size(); ++k) {
+      EXPECT_GE(sessions[k].start, SimTime::epoch());
+      EXPECT_LE(sessions[k].end(), horizon);
+      EXPECT_GT(sessions[k].duration, Duration{});
+      if (k > 0) {
+        EXPECT_GE(sessions[k].start, sessions[k - 1].end());
+      }
+    }
+  }
+}
+
+TEST(Sessions, DiurnalConcentration) {
+  auto m = model(11);
+  std::int64_t work_hours = 0;
+  std::int64_t night_hours = 0;
+  for (int i = 0; i < 400; ++i) {
+    for (const auto& s : m.sample_week()) {
+      const double h = s.start.hour_of_day();
+      if (h >= 9.0 && h < 17.0) ++work_hours;
+      if (h >= 0.0 && h < 6.0) ++night_hours;
+    }
+  }
+  // Office diurnal: business hours dominate overnight by a wide margin.
+  EXPECT_GT(work_hours, night_hours * 3);
+}
+
+TEST(Sessions, ActiveAtSemantics) {
+  Session s;
+  s.start = SimTime::epoch() + Duration::hours(10);
+  s.duration = Duration::minutes(30);
+  EXPECT_FALSE(s.active_at(SimTime::epoch() + Duration::hours(9)));
+  EXPECT_TRUE(s.active_at(SimTime::epoch() + Duration::hours(10) + Duration::minutes(15)));
+  EXPECT_FALSE(s.active_at(s.end()));
+}
+
+TEST(Sessions, PresenceProbabilityShape) {
+  auto m = model();
+  const double midday = m.presence_probability(12.5);
+  const double night = m.presence_probability(3.0);
+  EXPECT_GT(midday, night);
+  EXPECT_GT(midday, 0.02);
+  EXPECT_LE(midday, 0.95);
+}
+
+TEST(Sessions, PresenceMatchesSampledOccupancy) {
+  // The analytic presence probability should track the empirical fraction
+  // of devices in-session at a probe instant.
+  auto m = model(17, 4.0);
+  const SimTime probe = SimTime::epoch() + Duration::days(2) + Duration::hours(14);
+  int online = 0;
+  const int devices = 3000;
+  for (int i = 0; i < devices; ++i) {
+    for (const auto& s : m.sample_week()) {
+      if (s.active_at(probe)) {
+        ++online;
+        break;
+      }
+    }
+  }
+  const double empirical = static_cast<double>(online) / devices;
+  EXPECT_NEAR(empirical, m.presence_probability(14.0), 0.10);
+}
+
+}  // namespace
+}  // namespace wlm::traffic

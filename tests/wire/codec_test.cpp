@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace wlm::wire {
+namespace {
+
+TEST(Codec, UintField) {
+  Encoder e;
+  e.add_uint(1, 42);
+  Decoder d(e.bytes());
+  const auto f = d.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->number, 1u);
+  EXPECT_EQ(f->type, WireType::kVarint);
+  EXPECT_EQ(f->as_uint(), 42u);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_TRUE(d.ok());
+}
+
+TEST(Codec, SintField) {
+  Encoder e;
+  e.add_sint(3, -123456);
+  Decoder d(e.bytes());
+  const auto f = d.next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->as_sint(), -123456);
+}
+
+TEST(Codec, BoolField) {
+  Encoder e;
+  e.add_bool(2, true);
+  e.add_bool(4, false);
+  Decoder d(e.bytes());
+  EXPECT_TRUE(d.next()->as_bool());
+  EXPECT_FALSE(d.next()->as_bool());
+}
+
+TEST(Codec, DoubleFieldExact) {
+  Encoder e;
+  e.add_double(7, -78.125);
+  e.add_double(8, 0.1);
+  Decoder d(e.bytes());
+  EXPECT_DOUBLE_EQ(d.next()->as_double(), -78.125);
+  EXPECT_DOUBLE_EQ(d.next()->as_double(), 0.1);
+}
+
+TEST(Codec, StringField) {
+  Encoder e;
+  e.add_string(5, "netflix.com");
+  Decoder d(e.bytes());
+  const auto f = d.next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->type, WireType::kLengthDelimited);
+  EXPECT_EQ(f->as_string(), "netflix.com");
+}
+
+TEST(Codec, EmptyStringField) {
+  Encoder e;
+  e.add_string(5, "");
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.next()->as_string(), "");
+}
+
+TEST(Codec, NestedMessage) {
+  Encoder child;
+  child.add_uint(1, 99);
+  Encoder parent;
+  parent.add_message(2, child);
+  Decoder d(parent.bytes());
+  const auto f = d.next();
+  ASSERT_TRUE(f);
+  Decoder inner(f->payload);
+  EXPECT_EQ(inner.next()->as_uint(), 99u);
+}
+
+TEST(Codec, UnknownFieldsSkippable) {
+  // Forward compatibility: a decoder that only knows field 1 must walk past
+  // fields of every wire type without desync.
+  Encoder e;
+  e.add_uint(10, 7);
+  e.add_double(11, 3.5);
+  e.add_string(12, "future stuff");
+  e.add_uint(1, 42);
+  Decoder d(e.bytes());
+  std::uint64_t field1 = 0;
+  while (auto f = d.next()) {
+    if (f->number == 1) field1 = f->as_uint();
+  }
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(field1, 42u);
+}
+
+TEST(Codec, MalformedTagFlagsError) {
+  // Field number 0 is illegal.
+  const std::vector<std::uint8_t> bad{0x00, 0x01};
+  Decoder d(bad);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Codec, TruncatedLengthDelimitedFlagsError) {
+  Encoder e;
+  e.add_string(1, "hello world");
+  auto bytes = e.bytes();
+  bytes.resize(bytes.size() - 4);
+  Decoder d(bytes);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Codec, TruncatedFixed64FlagsError) {
+  Encoder e;
+  e.add_double(1, 1.0);
+  auto bytes = e.bytes();
+  bytes.resize(bytes.size() - 1);
+  Decoder d(bytes);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Codec, EmptyMessageDecodesToNothing) {
+  Decoder d(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_TRUE(d.ok());
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Codec, ManyFieldsRoundTrip) {
+  Encoder e;
+  for (std::uint32_t i = 1; i <= 100; ++i) e.add_uint(i, i * 17);
+  Decoder d(e.bytes());
+  std::uint32_t count = 0;
+  while (auto f = d.next()) {
+    ++count;
+    EXPECT_EQ(f->as_uint(), f->number * 17);
+  }
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(count, 100u);
+}
+
+}  // namespace
+}  // namespace wlm::wire

@@ -1,0 +1,107 @@
+#include "wire/framing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::wire {
+namespace {
+
+std::vector<std::uint8_t> payload_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Framing, SingleFrameRoundTrip) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload_of("hello"));
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 1u);
+  EXPECT_EQ(result.payloads[0], payload_of("hello"));
+  EXPECT_EQ(result.corrupt_frames, 0u);
+  EXPECT_EQ(result.resync_bytes, 0u);
+}
+
+TEST(Framing, MultipleFramesInOrder) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload_of("one"));
+  append_frame(stream, payload_of("two"));
+  append_frame(stream, payload_of("three"));
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 3u);
+  EXPECT_EQ(result.payloads[1], payload_of("two"));
+}
+
+TEST(Framing, EmptyPayloadAllowed) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, {});
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 1u);
+  EXPECT_TRUE(result.payloads[0].empty());
+}
+
+TEST(Framing, CorruptCrcIsCountedAndSkipped) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload_of("good-1"));
+  const std::size_t second_start = stream.size();
+  append_frame(stream, payload_of("bad!!!"));
+  append_frame(stream, payload_of("good-2"));
+  stream[second_start + 4] ^= 0xFF;  // flip a payload byte of frame 2
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 2u);
+  EXPECT_EQ(result.payloads[0], payload_of("good-1"));
+  EXPECT_EQ(result.payloads[1], payload_of("good-2"));
+  EXPECT_EQ(result.corrupt_frames, 1u);
+}
+
+TEST(Framing, ResyncsAfterGarbage) {
+  std::vector<std::uint8_t> stream{0x01, 0x02, 0x03, 0x04};  // line noise
+  append_frame(stream, payload_of("payload"));
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 1u);
+  EXPECT_EQ(result.resync_bytes, 4u);
+}
+
+TEST(Framing, TruncatedTailIgnored) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload_of("complete"));
+  std::vector<std::uint8_t> partial;
+  append_frame(partial, payload_of("partial frame data"));
+  stream.insert(stream.end(), partial.begin(), partial.begin() + 6);
+  const auto result = decode_stream(stream);
+  EXPECT_EQ(result.payloads.size(), 1u);
+}
+
+TEST(Framing, OverheadFormula) {
+  std::vector<std::uint8_t> stream;
+  const auto payload = payload_of("abcdefgh");
+  append_frame(stream, payload);
+  EXPECT_EQ(stream.size(), payload.size() + frame_overhead(payload.size()));
+  // 2 magic + 1 length byte + 4 CRC for short payloads.
+  EXPECT_EQ(frame_overhead(8), 7u);
+  EXPECT_EQ(frame_overhead(200), 8u);  // two-byte varint length
+}
+
+TEST(Framing, LargePayloadRoundTrip) {
+  std::vector<std::uint8_t> payload(100'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload);
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 1u);
+  EXPECT_EQ(result.payloads[0], payload);
+}
+
+TEST(Framing, MagicInsidePayloadDoesNotConfuse) {
+  // A payload containing the magic sequence must not break framing.
+  std::vector<std::uint8_t> payload{kFrameMagic0, kFrameMagic1, kFrameMagic0,
+                                    kFrameMagic1, 0x42};
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload);
+  append_frame(stream, payload_of("next"));
+  const auto result = decode_stream(stream);
+  ASSERT_EQ(result.payloads.size(), 2u);
+  EXPECT_EQ(result.payloads[0], payload);
+}
+
+}  // namespace
+}  // namespace wlm::wire

@@ -1,0 +1,116 @@
+#include "wire/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::wire {
+namespace {
+
+ApReport sample_report() {
+  ApReport r;
+  r.ap_id = 1234;
+  r.timestamp_us = 86'400'000'000LL;
+  r.firmware = 2;
+  r.usage.push_back(
+      ClientUsage{MacAddress::from_u64(0x3c0754aabbccULL), 7, 1'000'000, 9'000'000});
+  r.usage.push_back(ClientUsage{MacAddress::from_u64(0x001b21ddeeffULL), 2, 5, 0});
+  ChannelUtilization u;
+  u.band = 0;
+  u.channel = 6;
+  u.cycle_us = 300'000'000;
+  u.busy_us = 75'000'000;
+  u.rx_frame_us = 60'000'000;
+  u.tx_us = 1'000'000;
+  r.utilization.push_back(u);
+  NeighborBss n;
+  n.bssid = MacAddress::from_u64(0x001529123456ULL);
+  n.band = 0;
+  n.channel = 1;
+  n.rssi_dbm = -77.25;
+  n.is_hotspot = true;
+  r.neighbors.push_back(n);
+  LinkProbeWindow l;
+  l.from_ap = 99;
+  l.band = 1;
+  l.channel = 36;
+  l.probes_expected = 20;
+  l.probes_received = 17;
+  r.links.push_back(l);
+  ClientSnapshot c;
+  c.client = MacAddress::from_u64(0x3c0754aabbccULL);
+  c.capability_bits = 0x1F;
+  c.band = 1;
+  c.rssi_dbm = -64.5;
+  c.os_id = 2;
+  r.clients.push_back(c);
+  return r;
+}
+
+TEST(Messages, FullRoundTrip) {
+  const ApReport original = sample_report();
+  const auto bytes = encode_report(original);
+  const auto decoded = decode_report(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(Messages, EmptyReportRoundTrip) {
+  ApReport empty;
+  const auto decoded = decode_report(encode_report(empty));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, empty);
+}
+
+TEST(Messages, NegativeTimestampSurvives) {
+  ApReport r;
+  r.timestamp_us = -42;  // pre-epoch timestamps must not corrupt
+  const auto decoded = decode_report(encode_report(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->timestamp_us, -42);
+}
+
+TEST(Messages, LinkWindowDeliveryRatio) {
+  LinkProbeWindow w;
+  w.probes_expected = 20;
+  w.probes_received = 15;
+  EXPECT_DOUBLE_EQ(w.delivery_ratio(), 0.75);
+  w.probes_expected = 0;
+  EXPECT_DOUBLE_EQ(w.delivery_ratio(), 0.0);
+}
+
+TEST(Messages, MalformedBytesRejected) {
+  std::vector<std::uint8_t> junk{0x00, 0xFF, 0x80};
+  EXPECT_FALSE(decode_report(junk).has_value());
+}
+
+TEST(Messages, TruncatedReportRejected) {
+  auto bytes = encode_report(sample_report());
+  bytes.resize(bytes.size() / 2);
+  // Either cleanly rejected or the truncation lands between fields; it must
+  // never crash, and a mid-field cut must be detected.
+  (void)decode_report(bytes);
+}
+
+TEST(Messages, WireSizeIsCompact) {
+  // The §2 overhead budget depends on varint packing: a usage record with
+  // small counters must cost far less than its in-memory footprint.
+  ApReport r;
+  r.ap_id = 1;
+  r.usage.push_back(ClientUsage{MacAddress::from_u64(0xAABBCCDDEEFFULL), 3, 100, 2000});
+  const auto bytes = encode_report(r);
+  EXPECT_LT(bytes.size(), 32u);
+}
+
+TEST(Messages, ManyRecordsRoundTrip) {
+  ApReport r;
+  r.ap_id = 7;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    r.usage.push_back(ClientUsage{MacAddress::from_u64(i), i % 40, i, i * 2});
+  }
+  const auto decoded = decode_report(encode_report(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->usage.size(), 500u);
+  EXPECT_EQ(*decoded, r);
+}
+
+}  // namespace
+}  // namespace wlm::wire

@@ -1,0 +1,100 @@
+#include "wire/varint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::wire {
+namespace {
+
+TEST(Varint, SingleByteValues) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 0);
+  put_varint(buf, 127);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{0x00, 0x7F}));
+}
+
+TEST(Varint, KnownEncodings) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 300);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{0xAC, 0x02}));
+}
+
+TEST(Varint, MaxValueIsTenBytes) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, UINT64_MAX);
+  EXPECT_EQ(buf.size(), 10u);
+  const auto r = get_varint(buf);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, UINT64_MAX);
+  EXPECT_EQ(r->consumed, 10u);
+}
+
+TEST(Varint, TruncatedFails) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1'000'000);
+  buf.pop_back();
+  EXPECT_FALSE(get_varint(buf).has_value());
+  EXPECT_FALSE(get_varint({}).has_value());
+}
+
+TEST(Varint, OverlongFails) {
+  // Eleven continuation bytes can never terminate legally.
+  const std::vector<std::uint8_t> bad(11, 0x80);
+  EXPECT_FALSE(get_varint(bad).has_value());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodeDecode) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, GetParam());
+  const auto r = get_varint(buf);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, GetParam());
+  EXPECT_EQ(r->consumed, buf.size());
+  EXPECT_EQ(varint_size(GetParam()), buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16'383ULL, 16'384ULL, 2'097'151ULL,
+                      2'097'152ULL, 0xFFFFFFFFULL, 0x100000000ULL, UINT64_MAX - 1,
+                      UINT64_MAX));
+
+class ZigzagRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ZigzagRoundTrip, EncodeDecode) {
+  EXPECT_EQ(zigzag_decode(zigzag_encode(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ZigzagRoundTrip,
+                         ::testing::Values(0LL, 1LL, -1LL, 2LL, -2LL, 1'000'000LL,
+                                           -1'000'000LL, INT64_MAX, INT64_MIN));
+
+TEST(Zigzag, SmallNegativesStaySmall) {
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-64), 127u);  // still one varint byte
+}
+
+TEST(Varint, SequentialDecodeConsumesCorrectly) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 5);
+  put_varint(buf, 70'000);
+  put_varint(buf, 0);
+  std::span<const std::uint8_t> view = buf;
+  const auto a = get_varint(view);
+  ASSERT_TRUE(a);
+  view = view.subspan(a->consumed);
+  const auto b = get_varint(view);
+  ASSERT_TRUE(b);
+  view = view.subspan(b->consumed);
+  const auto c = get_varint(view);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(a->value, 5u);
+  EXPECT_EQ(b->value, 70'000u);
+  EXPECT_EQ(c->value, 0u);
+  EXPECT_EQ(view.size(), c->consumed);
+}
+
+}  // namespace
+}  // namespace wlm::wire

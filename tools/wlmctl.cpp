@@ -1,0 +1,254 @@
+// wlmctl — command-line front end for the wlm measurement system.
+//
+//   wlmctl simulate [--networks N] [--seed S]    run all campaigns, print stats
+//   wlmctl report   <table2|table3|...|fig11>    regenerate one paper artifact
+//   wlmctl health   [--networks N] [--flap F]    run a week and triage the fleet
+//   wlmctl pcap     <path> [--flows N]           export a synthetic capture
+//   wlmctl spectrum [--seed S]                   render the Figure 11 scenes
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "analysis/export.hpp"
+#include "backend/health.hpp"
+#include "sim/world.hpp"
+#include "traffic/pcap.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace wlm;
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[token.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+sim::WorldConfig world_config(const Args& args) {
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = args.get_int("networks", 50);
+  config.fleet.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.seed = config.fleet.seed + 1;
+  config.wan_flap_fraction = args.get_double("flap", 0.0);
+  return config;
+}
+
+int cmd_simulate(const Args& args) {
+  sim::World world(world_config(args));
+  std::printf("fleet: %d APs, %zu clients, %zu mesh links\n", world.fleet().total_aps(),
+              world.client_count(), world.mesh_links().size());
+  world.run_usage_week();
+  world.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
+  world.run_link_windows(SimTime::epoch() + Duration::hours(14));
+  world.harvest();
+  std::printf("store: %zu reports; flows classified: %llu (%.2f%% disagree with truth)\n",
+              world.store().report_count(),
+              static_cast<unsigned long long>(world.flows_classified()),
+              100.0 * static_cast<double>(world.flows_misclassified()) /
+                  std::max<std::uint64_t>(1, world.flows_classified()));
+  std::printf("mean telemetry per AP: %.1f kB framed\n",
+              world.mean_report_bytes_per_ap() / 1e3);
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: wlmctl report <artifact> [--networks N] [--seed S]\n");
+    return 2;
+  }
+  analysis::ScenarioScale scale;
+  scale.networks = args.get_int("networks", 150);
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  const std::string& what = args.positional[0];
+
+  if (what == "table2") {
+    std::fputs(analysis::render_table2(scale).c_str(), stdout);
+  } else if (what == "table3" || what == "table5" || what == "table6") {
+    const auto run = analysis::run_usage_study(scale);
+    if (what == "table3") std::fputs(analysis::render_table3(run).c_str(), stdout);
+    if (what == "table5") std::fputs(analysis::render_table5(run).c_str(), stdout);
+    if (what == "table6") std::fputs(analysis::render_table6(run).c_str(), stdout);
+  } else if (what == "table4" || what == "fig1") {
+    const auto run = analysis::run_snapshot_study(scale);
+    std::fputs((what == "table4" ? analysis::render_table4(run)
+                                 : analysis::render_fig1(run))
+                   .c_str(),
+               stdout);
+  } else if (what == "table7" || what == "fig2") {
+    const auto run = analysis::run_neighbor_study(scale);
+    std::fputs(
+        (what == "table7" ? analysis::render_table7(run) : analysis::render_fig2(run))
+            .c_str(),
+        stdout);
+  } else if (what == "fig3" || what == "fig4" || what == "fig5") {
+    const auto run = analysis::run_link_study(scale);
+    if (what == "fig3") std::fputs(analysis::render_fig3(run).c_str(), stdout);
+    if (what == "fig4") std::fputs(analysis::render_fig4(run).c_str(), stdout);
+    if (what == "fig5") std::fputs(analysis::render_fig5(run).c_str(), stdout);
+  } else if (what == "fig6" || what == "fig7" || what == "fig8" || what == "fig9" ||
+             what == "fig10") {
+    const auto run = analysis::run_utilization_study(scale);
+    if (what == "fig6") std::fputs(analysis::render_fig6(run).c_str(), stdout);
+    if (what == "fig7") std::fputs(analysis::render_fig7(run).c_str(), stdout);
+    if (what == "fig8") std::fputs(analysis::render_fig8(run).c_str(), stdout);
+    if (what == "fig9") std::fputs(analysis::render_fig9(run).c_str(), stdout);
+    if (what == "fig10") std::fputs(analysis::render_fig10(run).c_str(), stdout);
+  } else if (what == "fig11") {
+    std::fputs(analysis::render_fig11(analysis::run_spectrum_study(scale.seed)).c_str(),
+               stdout);
+  } else {
+    std::fprintf(stderr, "unknown artifact '%s'\n", what.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_health(const Args& args) {
+  auto config = world_config(args);
+  if (config.wan_flap_fraction == 0.0) config.wan_flap_fraction = 0.1;
+  sim::World world(config);
+  world.run_usage_week();
+  world.harvest();
+  backend::HealthPolicy policy;
+  policy.expected_interval = Duration::days(1);
+  const backend::HealthMonitor monitor(policy);
+  auto findings = monitor.analyze(world.store(), SimTime::epoch() + Duration::days(7));
+  for (const auto& ap : world.aps()) {
+    const auto t = monitor.analyze_tunnel(ap.tunnel());
+    findings.insert(findings.end(), t.begin(), t.end());
+  }
+  std::fputs(backend::HealthMonitor::render(findings).c_str(), stdout);
+  return 0;
+}
+
+int cmd_pcap(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: wlmctl pcap <path> [--flows N] [--seed S]\n");
+    return 2;
+  }
+  const int flows = args.get_int("flows", 200);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 9)));
+  const deploy::PopulationModel population(deploy::Epoch::kJan2015);
+  traffic::WorkloadModel workload(deploy::Epoch::kJan2015, rng.fork());
+  traffic::PcapWriter writer;
+  SimTime t;
+  int written = 0;
+  for (std::uint32_t c = 1; written < flows; ++c) {
+    const auto device = population.sample(ClientId{c}, rng);
+    const auto week = workload.generate_week(device);
+    for (const auto& flow : week.flows) {
+      if (written >= flows) break;
+      traffic::PacketEndpoints endpoints;
+      endpoints.src_mac = device.mac;
+      endpoints.dst_mac = MacAddress::from_u64(0x88154E000001ULL);
+      writer.add_flow(t, flow, endpoints);
+      t += Duration::millis(250);
+      ++written;
+    }
+  }
+  if (!writer.write_file(args.positional[0])) {
+    std::fprintf(stderr, "cannot write %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  std::printf("wrote %zu packets (%zu bytes) from %d flows to %s\n",
+              writer.packet_count(), writer.bytes().size(), written,
+              args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: wlmctl export <dir> [--networks N] [--seed S]\n");
+    return 2;
+  }
+  analysis::ScenarioScale scale;
+  scale.networks = args.get_int("networks", 150);
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  const std::string& dir = args.positional[0];
+
+  std::vector<analysis::CsvDoc> docs;
+  docs.push_back(analysis::export_fig1(analysis::run_snapshot_study(scale)));
+  {
+    const auto link = analysis::run_link_study(scale);
+    docs.push_back(analysis::export_fig3(link));
+  }
+  {
+    const auto util = analysis::run_utilization_study(scale);
+    docs.push_back(analysis::export_fig6(util));
+    docs.push_back(analysis::export_fig78(util));
+    docs.push_back(analysis::export_fig9(util));
+  }
+  docs.push_back(analysis::export_table7(analysis::run_neighbor_study(scale)));
+  docs.push_back(analysis::export_fig11(analysis::run_spectrum_study(scale.seed)));
+  docs.push_back(analysis::export_scorecard_data(analysis::run_usage_study(scale)));
+
+  for (const auto& doc : docs) {
+    if (!analysis::write_csv(doc, dir)) {
+      std::fprintf(stderr, "cannot write %s/%s.csv\n", dir.c_str(), doc.name.c_str());
+      return 1;
+    }
+    std::printf("wrote %s/%s.csv (%zu rows)\n", dir.c_str(), doc.name.c_str(),
+                doc.rows.size() - 1);
+  }
+  return 0;
+}
+
+int cmd_spectrum(const Args& args) {
+  const auto run = analysis::run_spectrum_study(
+      static_cast<std::uint64_t>(args.get_int("seed", 2015)));
+  std::fputs(analysis::render_fig11(run).c_str(), stdout);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wlmctl <command> [options]\n"
+               "  simulate  [--networks N] [--seed S] [--flap F]\n"
+               "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S]\n"
+               "  health    [--networks N] [--flap F]\n"
+               "  pcap      <path> [--flows N] [--seed S]\n"
+               "  export    <dir> [--networks N] [--seed S]   write CSV data series\n"
+               "  spectrum  [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "report") return cmd_report(args);
+  if (command == "health") return cmd_health(args);
+  if (command == "pcap") return cmd_pcap(args);
+  if (command == "export") return cmd_export(args);
+  if (command == "spectrum") return cmd_spectrum(args);
+  return usage();
+}
