@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_broadcast"
+  "../bench/bench_ablation_broadcast.pdb"
+  "CMakeFiles/bench_ablation_broadcast.dir/bench_ablation_broadcast.cpp.o"
+  "CMakeFiles/bench_ablation_broadcast.dir/bench_ablation_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dfs"
+  "../bench/bench_ablation_dfs.pdb"
+  "CMakeFiles/bench_ablation_dfs.dir/bench_ablation_dfs.cpp.o"
+  "CMakeFiles/bench_ablation_dfs.dir/bench_ablation_dfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_linktable"
+  "../bench/bench_ablation_linktable.pdb"
+  "CMakeFiles/bench_ablation_linktable.dir/bench_ablation_linktable.cpp.o"
+  "CMakeFiles/bench_ablation_linktable.dir/bench_ablation_linktable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linktable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

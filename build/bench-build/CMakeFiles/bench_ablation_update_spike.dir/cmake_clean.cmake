@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_update_spike"
+  "../bench/bench_ablation_update_spike.pdb"
+  "CMakeFiles/bench_ablation_update_spike.dir/bench_ablation_update_spike.cpp.o"
+  "CMakeFiles/bench_ablation_update_spike.dir/bench_ablation_update_spike.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_update_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_decodable"
+  "../bench/bench_fig10_decodable.pdb"
+  "CMakeFiles/bench_fig10_decodable.dir/bench_fig10_decodable.cpp.o"
+  "CMakeFiles/bench_fig10_decodable.dir/bench_fig10_decodable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_decodable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

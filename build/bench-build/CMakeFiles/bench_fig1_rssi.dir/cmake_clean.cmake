@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_rssi"
+  "../bench/bench_fig1_rssi.pdb"
+  "CMakeFiles/bench_fig1_rssi.dir/bench_fig1_rssi.cpp.o"
+  "CMakeFiles/bench_fig1_rssi.dir/bench_fig1_rssi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

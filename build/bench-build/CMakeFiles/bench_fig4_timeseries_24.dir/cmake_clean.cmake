@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_timeseries_24"
+  "../bench/bench_fig4_timeseries_24.pdb"
+  "CMakeFiles/bench_fig4_timeseries_24.dir/bench_fig4_timeseries_24.cpp.o"
+  "CMakeFiles/bench_fig4_timeseries_24.dir/bench_fig4_timeseries_24.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_timeseries_24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_timeseries_5"
+  "../bench/bench_fig5_timeseries_5.pdb"
+  "CMakeFiles/bench_fig5_timeseries_5.dir/bench_fig5_timeseries_5.cpp.o"
+  "CMakeFiles/bench_fig5_timeseries_5.dir/bench_fig5_timeseries_5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_timeseries_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_scatter_5"
+  "../bench/bench_fig8_scatter_5.pdb"
+  "CMakeFiles/bench_fig8_scatter_5.dir/bench_fig8_scatter_5.cpp.o"
+  "CMakeFiles/bench_fig8_scatter_5.dir/bench_fig8_scatter_5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scatter_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_day_night"
+  "../bench/bench_fig9_day_night.pdb"
+  "CMakeFiles/bench_fig9_day_night.dir/bench_fig9_day_night.cpp.o"
+  "CMakeFiles/bench_fig9_day_night.dir/bench_fig9_day_night.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_day_night.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

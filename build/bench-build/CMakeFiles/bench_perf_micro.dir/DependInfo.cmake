@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_micro.cpp" "bench-build/CMakeFiles/bench_perf_micro.dir/bench_perf_micro.cpp.o" "gcc" "bench-build/CMakeFiles/bench_perf_micro.dir/bench_perf_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wlm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wlm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/wlm_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/wlm_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/wlm_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wlm_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/wlm_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/wlm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/wlm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scorecard"
+  "../bench/bench_scorecard.pdb"
+  "CMakeFiles/bench_scorecard.dir/bench_scorecard.cpp.o"
+  "CMakeFiles/bench_scorecard.dir/bench_scorecard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_networks"
+  "../bench/bench_table2_networks.pdb"
+  "CMakeFiles/bench_table2_networks.dir/bench_table2_networks.cpp.o"
+  "CMakeFiles/bench_table2_networks.dir/bench_table2_networks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

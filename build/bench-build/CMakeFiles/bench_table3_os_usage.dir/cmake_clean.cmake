@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_os_usage"
+  "../bench/bench_table3_os_usage.pdb"
+  "CMakeFiles/bench_table3_os_usage.dir/bench_table3_os_usage.cpp.o"
+  "CMakeFiles/bench_table3_os_usage.dir/bench_table3_os_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_os_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

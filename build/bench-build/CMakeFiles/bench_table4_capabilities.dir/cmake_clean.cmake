@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_capabilities"
+  "../bench/bench_table4_capabilities.pdb"
+  "CMakeFiles/bench_table4_capabilities.dir/bench_table4_capabilities.cpp.o"
+  "CMakeFiles/bench_table4_capabilities.dir/bench_table4_capabilities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_categories"
+  "../bench/bench_table6_categories.pdb"
+  "CMakeFiles/bench_table6_categories.dir/bench_table6_categories.cpp.o"
+  "CMakeFiles/bench_table6_categories.dir/bench_table6_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

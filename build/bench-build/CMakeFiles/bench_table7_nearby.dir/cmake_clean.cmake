@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_nearby"
+  "../bench/bench_table7_nearby.pdb"
+  "CMakeFiles/bench_table7_nearby.dir/bench_table7_nearby.cpp.o"
+  "CMakeFiles/bench_table7_nearby.dir/bench_table7_nearby.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_nearby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_monitor.dir/link_monitor.cpp.o"
+  "CMakeFiles/link_monitor.dir/link_monitor.cpp.o.d"
+  "link_monitor"
+  "link_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

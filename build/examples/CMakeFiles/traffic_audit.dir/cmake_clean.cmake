@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_audit.dir/traffic_audit.cpp.o"
+  "CMakeFiles/traffic_audit.dir/traffic_audit.cpp.o.d"
+  "traffic_audit"
+  "traffic_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

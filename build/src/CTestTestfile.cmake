@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("phy")
+subdirs("mac")
+subdirs("wire")
+subdirs("classify")
+subdirs("deploy")
+subdirs("traffic")
+subdirs("backend")
+subdirs("probe")
+subdirs("scan")
+subdirs("sim")
+subdirs("analysis")

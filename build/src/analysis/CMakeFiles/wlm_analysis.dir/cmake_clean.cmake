@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_analysis.dir/experiments_radio.cpp.o"
+  "CMakeFiles/wlm_analysis.dir/experiments_radio.cpp.o.d"
+  "CMakeFiles/wlm_analysis.dir/experiments_spectrum.cpp.o"
+  "CMakeFiles/wlm_analysis.dir/experiments_spectrum.cpp.o.d"
+  "CMakeFiles/wlm_analysis.dir/experiments_usage.cpp.o"
+  "CMakeFiles/wlm_analysis.dir/experiments_usage.cpp.o.d"
+  "CMakeFiles/wlm_analysis.dir/export.cpp.o"
+  "CMakeFiles/wlm_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/wlm_analysis.dir/scorecard.cpp.o"
+  "CMakeFiles/wlm_analysis.dir/scorecard.cpp.o.d"
+  "libwlm_analysis.a"
+  "libwlm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

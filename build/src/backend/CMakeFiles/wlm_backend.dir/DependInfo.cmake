@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/aggregate.cpp" "src/backend/CMakeFiles/wlm_backend.dir/aggregate.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/aggregate.cpp.o.d"
+  "/root/repo/src/backend/anonymize.cpp" "src/backend/CMakeFiles/wlm_backend.dir/anonymize.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/anonymize.cpp.o.d"
+  "/root/repo/src/backend/health.cpp" "src/backend/CMakeFiles/wlm_backend.dir/health.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/health.cpp.o.d"
+  "/root/repo/src/backend/poller.cpp" "src/backend/CMakeFiles/wlm_backend.dir/poller.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/poller.cpp.o.d"
+  "/root/repo/src/backend/store.cpp" "src/backend/CMakeFiles/wlm_backend.dir/store.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/store.cpp.o.d"
+  "/root/repo/src/backend/timeseries.cpp" "src/backend/CMakeFiles/wlm_backend.dir/timeseries.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/timeseries.cpp.o.d"
+  "/root/repo/src/backend/tunnel.cpp" "src/backend/CMakeFiles/wlm_backend.dir/tunnel.cpp.o" "gcc" "src/backend/CMakeFiles/wlm_backend.dir/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/wlm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/wlm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_backend.dir/aggregate.cpp.o"
+  "CMakeFiles/wlm_backend.dir/aggregate.cpp.o.d"
+  "CMakeFiles/wlm_backend.dir/anonymize.cpp.o"
+  "CMakeFiles/wlm_backend.dir/anonymize.cpp.o.d"
+  "CMakeFiles/wlm_backend.dir/health.cpp.o"
+  "CMakeFiles/wlm_backend.dir/health.cpp.o.d"
+  "CMakeFiles/wlm_backend.dir/poller.cpp.o"
+  "CMakeFiles/wlm_backend.dir/poller.cpp.o.d"
+  "CMakeFiles/wlm_backend.dir/store.cpp.o"
+  "CMakeFiles/wlm_backend.dir/store.cpp.o.d"
+  "CMakeFiles/wlm_backend.dir/timeseries.cpp.o"
+  "CMakeFiles/wlm_backend.dir/timeseries.cpp.o.d"
+  "CMakeFiles/wlm_backend.dir/tunnel.cpp.o"
+  "CMakeFiles/wlm_backend.dir/tunnel.cpp.o.d"
+  "libwlm_backend.a"
+  "libwlm_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

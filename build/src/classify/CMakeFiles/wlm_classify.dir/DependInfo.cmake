@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/apps.cpp" "src/classify/CMakeFiles/wlm_classify.dir/apps.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/apps.cpp.o.d"
+  "/root/repo/src/classify/classifier.cpp" "src/classify/CMakeFiles/wlm_classify.dir/classifier.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/classifier.cpp.o.d"
+  "/root/repo/src/classify/dhcp.cpp" "src/classify/CMakeFiles/wlm_classify.dir/dhcp.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/dhcp.cpp.o.d"
+  "/root/repo/src/classify/dhcp_fingerprint.cpp" "src/classify/CMakeFiles/wlm_classify.dir/dhcp_fingerprint.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/dhcp_fingerprint.cpp.o.d"
+  "/root/repo/src/classify/dns.cpp" "src/classify/CMakeFiles/wlm_classify.dir/dns.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/dns.cpp.o.d"
+  "/root/repo/src/classify/http.cpp" "src/classify/CMakeFiles/wlm_classify.dir/http.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/http.cpp.o.d"
+  "/root/repo/src/classify/os.cpp" "src/classify/CMakeFiles/wlm_classify.dir/os.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/os.cpp.o.d"
+  "/root/repo/src/classify/oui.cpp" "src/classify/CMakeFiles/wlm_classify.dir/oui.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/oui.cpp.o.d"
+  "/root/repo/src/classify/rules.cpp" "src/classify/CMakeFiles/wlm_classify.dir/rules.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/rules.cpp.o.d"
+  "/root/repo/src/classify/tls.cpp" "src/classify/CMakeFiles/wlm_classify.dir/tls.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/tls.cpp.o.d"
+  "/root/repo/src/classify/user_agent.cpp" "src/classify/CMakeFiles/wlm_classify.dir/user_agent.cpp.o" "gcc" "src/classify/CMakeFiles/wlm_classify.dir/user_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_classify.dir/apps.cpp.o"
+  "CMakeFiles/wlm_classify.dir/apps.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/classifier.cpp.o"
+  "CMakeFiles/wlm_classify.dir/classifier.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/dhcp.cpp.o"
+  "CMakeFiles/wlm_classify.dir/dhcp.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/dhcp_fingerprint.cpp.o"
+  "CMakeFiles/wlm_classify.dir/dhcp_fingerprint.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/dns.cpp.o"
+  "CMakeFiles/wlm_classify.dir/dns.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/http.cpp.o"
+  "CMakeFiles/wlm_classify.dir/http.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/os.cpp.o"
+  "CMakeFiles/wlm_classify.dir/os.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/oui.cpp.o"
+  "CMakeFiles/wlm_classify.dir/oui.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/rules.cpp.o"
+  "CMakeFiles/wlm_classify.dir/rules.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/tls.cpp.o"
+  "CMakeFiles/wlm_classify.dir/tls.cpp.o.d"
+  "CMakeFiles/wlm_classify.dir/user_agent.cpp.o"
+  "CMakeFiles/wlm_classify.dir/user_agent.cpp.o.d"
+  "libwlm_classify.a"
+  "libwlm_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

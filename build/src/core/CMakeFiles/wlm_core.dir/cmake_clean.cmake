@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_core.dir/chart.cpp.o"
+  "CMakeFiles/wlm_core.dir/chart.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/checksum.cpp.o"
+  "CMakeFiles/wlm_core.dir/checksum.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/ids.cpp.o"
+  "CMakeFiles/wlm_core.dir/ids.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/rng.cpp.o"
+  "CMakeFiles/wlm_core.dir/rng.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/stats.cpp.o"
+  "CMakeFiles/wlm_core.dir/stats.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/table.cpp.o"
+  "CMakeFiles/wlm_core.dir/table.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/time.cpp.o"
+  "CMakeFiles/wlm_core.dir/time.cpp.o.d"
+  "CMakeFiles/wlm_core.dir/units.cpp.o"
+  "CMakeFiles/wlm_core.dir/units.cpp.o.d"
+  "libwlm_core.a"
+  "libwlm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/capabilities.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/capabilities.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/capabilities.cpp.o.d"
+  "/root/repo/src/deploy/epoch.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/epoch.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/epoch.cpp.o.d"
+  "/root/repo/src/deploy/generator.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/generator.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/generator.cpp.o.d"
+  "/root/repo/src/deploy/industry.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/industry.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/industry.cpp.o.d"
+  "/root/repo/src/deploy/neighbors.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/neighbors.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/neighbors.cpp.o.d"
+  "/root/repo/src/deploy/population.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/population.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/population.cpp.o.d"
+  "/root/repo/src/deploy/site.cpp" "src/deploy/CMakeFiles/wlm_deploy.dir/site.cpp.o" "gcc" "src/deploy/CMakeFiles/wlm_deploy.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/wlm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/wlm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_deploy.dir/capabilities.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/capabilities.cpp.o.d"
+  "CMakeFiles/wlm_deploy.dir/epoch.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/epoch.cpp.o.d"
+  "CMakeFiles/wlm_deploy.dir/generator.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/generator.cpp.o.d"
+  "CMakeFiles/wlm_deploy.dir/industry.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/industry.cpp.o.d"
+  "CMakeFiles/wlm_deploy.dir/neighbors.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/neighbors.cpp.o.d"
+  "CMakeFiles/wlm_deploy.dir/population.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/population.cpp.o.d"
+  "CMakeFiles/wlm_deploy.dir/site.cpp.o"
+  "CMakeFiles/wlm_deploy.dir/site.cpp.o.d"
+  "libwlm_deploy.a"
+  "libwlm_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/association.cpp" "src/mac/CMakeFiles/wlm_mac.dir/association.cpp.o" "gcc" "src/mac/CMakeFiles/wlm_mac.dir/association.cpp.o.d"
+  "/root/repo/src/mac/beacon.cpp" "src/mac/CMakeFiles/wlm_mac.dir/beacon.cpp.o" "gcc" "src/mac/CMakeFiles/wlm_mac.dir/beacon.cpp.o.d"
+  "/root/repo/src/mac/beacon_frame.cpp" "src/mac/CMakeFiles/wlm_mac.dir/beacon_frame.cpp.o" "gcc" "src/mac/CMakeFiles/wlm_mac.dir/beacon_frame.cpp.o.d"
+  "/root/repo/src/mac/frame.cpp" "src/mac/CMakeFiles/wlm_mac.dir/frame.cpp.o" "gcc" "src/mac/CMakeFiles/wlm_mac.dir/frame.cpp.o.d"
+  "/root/repo/src/mac/medium.cpp" "src/mac/CMakeFiles/wlm_mac.dir/medium.cpp.o" "gcc" "src/mac/CMakeFiles/wlm_mac.dir/medium.cpp.o.d"
+  "/root/repo/src/mac/rate_control.cpp" "src/mac/CMakeFiles/wlm_mac.dir/rate_control.cpp.o" "gcc" "src/mac/CMakeFiles/wlm_mac.dir/rate_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/wlm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_mac.dir/association.cpp.o"
+  "CMakeFiles/wlm_mac.dir/association.cpp.o.d"
+  "CMakeFiles/wlm_mac.dir/beacon.cpp.o"
+  "CMakeFiles/wlm_mac.dir/beacon.cpp.o.d"
+  "CMakeFiles/wlm_mac.dir/beacon_frame.cpp.o"
+  "CMakeFiles/wlm_mac.dir/beacon_frame.cpp.o.d"
+  "CMakeFiles/wlm_mac.dir/frame.cpp.o"
+  "CMakeFiles/wlm_mac.dir/frame.cpp.o.d"
+  "CMakeFiles/wlm_mac.dir/medium.cpp.o"
+  "CMakeFiles/wlm_mac.dir/medium.cpp.o.d"
+  "CMakeFiles/wlm_mac.dir/rate_control.cpp.o"
+  "CMakeFiles/wlm_mac.dir/rate_control.cpp.o.d"
+  "libwlm_mac.a"
+  "libwlm_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

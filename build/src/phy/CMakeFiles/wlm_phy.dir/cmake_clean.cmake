@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_phy.dir/channel.cpp.o"
+  "CMakeFiles/wlm_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/wlm_phy.dir/modulation.cpp.o"
+  "CMakeFiles/wlm_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/wlm_phy.dir/propagation.cpp.o"
+  "CMakeFiles/wlm_phy.dir/propagation.cpp.o.d"
+  "libwlm_phy.a"
+  "libwlm_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

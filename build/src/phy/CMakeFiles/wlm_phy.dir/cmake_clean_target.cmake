@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwlm_phy.a"
+)

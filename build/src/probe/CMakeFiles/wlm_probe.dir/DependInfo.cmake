@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/link_table.cpp" "src/probe/CMakeFiles/wlm_probe.dir/link_table.cpp.o" "gcc" "src/probe/CMakeFiles/wlm_probe.dir/link_table.cpp.o.d"
+  "/root/repo/src/probe/window.cpp" "src/probe/CMakeFiles/wlm_probe.dir/window.cpp.o" "gcc" "src/probe/CMakeFiles/wlm_probe.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/wlm_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_probe.dir/link_table.cpp.o"
+  "CMakeFiles/wlm_probe.dir/link_table.cpp.o.d"
+  "CMakeFiles/wlm_probe.dir/window.cpp.o"
+  "CMakeFiles/wlm_probe.dir/window.cpp.o.d"
+  "libwlm_probe.a"
+  "libwlm_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_scan.dir/channel_planner.cpp.o"
+  "CMakeFiles/wlm_scan.dir/channel_planner.cpp.o.d"
+  "CMakeFiles/wlm_scan.dir/dfs.cpp.o"
+  "CMakeFiles/wlm_scan.dir/dfs.cpp.o.d"
+  "CMakeFiles/wlm_scan.dir/scanner.cpp.o"
+  "CMakeFiles/wlm_scan.dir/scanner.cpp.o.d"
+  "CMakeFiles/wlm_scan.dir/spectral.cpp.o"
+  "CMakeFiles/wlm_scan.dir/spectral.cpp.o.d"
+  "libwlm_scan.a"
+  "libwlm_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_sim.dir/ap.cpp.o"
+  "CMakeFiles/wlm_sim.dir/ap.cpp.o.d"
+  "CMakeFiles/wlm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/wlm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/wlm_sim.dir/link.cpp.o"
+  "CMakeFiles/wlm_sim.dir/link.cpp.o.d"
+  "CMakeFiles/wlm_sim.dir/radio_env.cpp.o"
+  "CMakeFiles/wlm_sim.dir/radio_env.cpp.o.d"
+  "CMakeFiles/wlm_sim.dir/world.cpp.o"
+  "CMakeFiles/wlm_sim.dir/world.cpp.o.d"
+  "libwlm_sim.a"
+  "libwlm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/broadcast.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/broadcast.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/broadcast.cpp.o.d"
+  "/root/repo/src/traffic/diurnal.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/diurnal.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/diurnal.cpp.o.d"
+  "/root/repo/src/traffic/flowgen.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/flowgen.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/flowgen.cpp.o.d"
+  "/root/repo/src/traffic/os_model.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/os_model.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/os_model.cpp.o.d"
+  "/root/repo/src/traffic/pcap.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/pcap.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/pcap.cpp.o.d"
+  "/root/repo/src/traffic/sessions.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/sessions.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/sessions.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/wlm_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/wlm_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deploy/CMakeFiles/wlm_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/wlm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_traffic.dir/broadcast.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/broadcast.cpp.o.d"
+  "CMakeFiles/wlm_traffic.dir/diurnal.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/diurnal.cpp.o.d"
+  "CMakeFiles/wlm_traffic.dir/flowgen.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/flowgen.cpp.o.d"
+  "CMakeFiles/wlm_traffic.dir/os_model.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/os_model.cpp.o.d"
+  "CMakeFiles/wlm_traffic.dir/pcap.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/pcap.cpp.o.d"
+  "CMakeFiles/wlm_traffic.dir/sessions.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/sessions.cpp.o.d"
+  "CMakeFiles/wlm_traffic.dir/workload.cpp.o"
+  "CMakeFiles/wlm_traffic.dir/workload.cpp.o.d"
+  "libwlm_traffic.a"
+  "libwlm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

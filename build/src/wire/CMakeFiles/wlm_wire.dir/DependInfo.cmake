@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/decoder.cpp" "src/wire/CMakeFiles/wlm_wire.dir/decoder.cpp.o" "gcc" "src/wire/CMakeFiles/wlm_wire.dir/decoder.cpp.o.d"
+  "/root/repo/src/wire/encoder.cpp" "src/wire/CMakeFiles/wlm_wire.dir/encoder.cpp.o" "gcc" "src/wire/CMakeFiles/wlm_wire.dir/encoder.cpp.o.d"
+  "/root/repo/src/wire/framing.cpp" "src/wire/CMakeFiles/wlm_wire.dir/framing.cpp.o" "gcc" "src/wire/CMakeFiles/wlm_wire.dir/framing.cpp.o.d"
+  "/root/repo/src/wire/messages.cpp" "src/wire/CMakeFiles/wlm_wire.dir/messages.cpp.o" "gcc" "src/wire/CMakeFiles/wlm_wire.dir/messages.cpp.o.d"
+  "/root/repo/src/wire/varint.cpp" "src/wire/CMakeFiles/wlm_wire.dir/varint.cpp.o" "gcc" "src/wire/CMakeFiles/wlm_wire.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

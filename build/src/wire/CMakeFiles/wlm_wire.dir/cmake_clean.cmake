@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_wire.dir/decoder.cpp.o"
+  "CMakeFiles/wlm_wire.dir/decoder.cpp.o.d"
+  "CMakeFiles/wlm_wire.dir/encoder.cpp.o"
+  "CMakeFiles/wlm_wire.dir/encoder.cpp.o.d"
+  "CMakeFiles/wlm_wire.dir/framing.cpp.o"
+  "CMakeFiles/wlm_wire.dir/framing.cpp.o.d"
+  "CMakeFiles/wlm_wire.dir/messages.cpp.o"
+  "CMakeFiles/wlm_wire.dir/messages.cpp.o.d"
+  "CMakeFiles/wlm_wire.dir/varint.cpp.o"
+  "CMakeFiles/wlm_wire.dir/varint.cpp.o.d"
+  "libwlm_wire.a"
+  "libwlm_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

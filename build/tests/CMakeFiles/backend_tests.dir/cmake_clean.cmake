@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_tests.dir/backend/aggregate_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/aggregate_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/backend/anonymize_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/anonymize_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/backend/health_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/health_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/backend/poller_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/poller_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/backend/store_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/store_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/backend/timeseries_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/timeseries_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/backend/tunnel_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/backend/tunnel_test.cpp.o.d"
+  "backend_tests"
+  "backend_tests.pdb"
+  "backend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

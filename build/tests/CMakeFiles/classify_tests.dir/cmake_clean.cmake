@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_tests.dir/classify/classifier_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/classifier_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/dhcp_packet_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/dhcp_packet_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/dhcp_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/dhcp_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/dns_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/dns_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/http_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/http_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/oui_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/oui_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/rules_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/rules_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/tls_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/tls_test.cpp.o.d"
+  "CMakeFiles/classify_tests.dir/classify/user_agent_test.cpp.o"
+  "CMakeFiles/classify_tests.dir/classify/user_agent_test.cpp.o.d"
+  "classify_tests"
+  "classify_tests.pdb"
+  "classify_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

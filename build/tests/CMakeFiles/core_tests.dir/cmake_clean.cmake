@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/chart_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/chart_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/checksum_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/checksum_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ids_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ids_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rng_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rng_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stats_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/table_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/table_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/time_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/time_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/units_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/units_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_tests.dir/deploy/capabilities_test.cpp.o"
+  "CMakeFiles/deploy_tests.dir/deploy/capabilities_test.cpp.o.d"
+  "CMakeFiles/deploy_tests.dir/deploy/generator_test.cpp.o"
+  "CMakeFiles/deploy_tests.dir/deploy/generator_test.cpp.o.d"
+  "CMakeFiles/deploy_tests.dir/deploy/industry_test.cpp.o"
+  "CMakeFiles/deploy_tests.dir/deploy/industry_test.cpp.o.d"
+  "CMakeFiles/deploy_tests.dir/deploy/neighbors_test.cpp.o"
+  "CMakeFiles/deploy_tests.dir/deploy/neighbors_test.cpp.o.d"
+  "CMakeFiles/deploy_tests.dir/deploy/population_test.cpp.o"
+  "CMakeFiles/deploy_tests.dir/deploy/population_test.cpp.o.d"
+  "CMakeFiles/deploy_tests.dir/deploy/site_test.cpp.o"
+  "CMakeFiles/deploy_tests.dir/deploy/site_test.cpp.o.d"
+  "deploy_tests"
+  "deploy_tests.pdb"
+  "deploy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tests.dir/mac/association_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/association_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/beacon_frame_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/beacon_frame_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/beacon_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/beacon_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/frame_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/frame_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/medium_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/medium_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/rate_control_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/rate_control_test.cpp.o.d"
+  "mac_tests"
+  "mac_tests.pdb"
+  "mac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_tests.dir/probe/link_table_test.cpp.o"
+  "CMakeFiles/probe_tests.dir/probe/link_table_test.cpp.o.d"
+  "CMakeFiles/probe_tests.dir/probe/window_test.cpp.o"
+  "CMakeFiles/probe_tests.dir/probe/window_test.cpp.o.d"
+  "probe_tests"
+  "probe_tests.pdb"
+  "probe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

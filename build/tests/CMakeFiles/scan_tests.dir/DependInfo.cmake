@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scan/channel_planner_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/channel_planner_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/channel_planner_test.cpp.o.d"
+  "/root/repo/tests/scan/dfs_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/dfs_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/dfs_test.cpp.o.d"
+  "/root/repo/tests/scan/scanner_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/scanner_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/scanner_test.cpp.o.d"
+  "/root/repo/tests/scan/spectral_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/spectral_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/spectral_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wlm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wlm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/wlm_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/wlm_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/wlm_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wlm_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/wlm_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/wlm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/wlm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

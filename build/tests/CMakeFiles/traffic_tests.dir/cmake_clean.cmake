@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_tests.dir/traffic/broadcast_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/broadcast_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/diurnal_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/diurnal_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/flowgen_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/flowgen_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/os_model_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/os_model_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/pcap_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/pcap_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/sessions_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/sessions_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/workload_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/workload_test.cpp.o.d"
+  "traffic_tests"
+  "traffic_tests.pdb"
+  "traffic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

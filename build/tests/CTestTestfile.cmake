@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/phy_tests[1]_include.cmake")
+include("/root/repo/build/tests/mac_tests[1]_include.cmake")
+include("/root/repo/build/tests/wire_tests[1]_include.cmake")
+include("/root/repo/build/tests/classify_tests[1]_include.cmake")
+include("/root/repo/build/tests/deploy_tests[1]_include.cmake")
+include("/root/repo/build/tests/traffic_tests[1]_include.cmake")
+include("/root/repo/build/tests/backend_tests[1]_include.cmake")
+include("/root/repo/build/tests/probe_tests[1]_include.cmake")
+include("/root/repo/build/tests/scan_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlmctl.dir/wlmctl.cpp.o"
+  "CMakeFiles/wlmctl.dir/wlmctl.cpp.o.d"
+  "wlmctl"
+  "wlmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
