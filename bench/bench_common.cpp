@@ -1,9 +1,36 @@
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace wlm::bench {
+
+namespace {
+
+// Wall-clock bookkeeping for the JSON trace written at exit. Plain globals:
+// each bench binary calls print_header exactly once, from main.
+std::string g_experiment;
+analysis::ScenarioScale g_scale;
+std::chrono::steady_clock::time_point g_start;
+
+void write_bench_json() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_start).count();
+  const char* path = std::getenv("WLM_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_fleetrunner.json";
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\"bench\": \"%s\", \"networks\": %d, \"client_scale\": %.3f, "
+               "\"seed\": %llu, \"threads\": %d, \"seconds\": %.3f}\n",
+               g_experiment.c_str(), g_scale.networks, g_scale.client_scale,
+               static_cast<unsigned long long>(g_scale.seed), g_scale.threads, seconds);
+  std::fclose(out);
+}
+
+}  // namespace
 
 analysis::ScenarioScale scale_from_args(int argc, char** argv, int default_networks) {
   analysis::ScenarioScale scale;
@@ -11,13 +38,21 @@ analysis::ScenarioScale scale_from_args(int argc, char** argv, int default_netwo
   if (argc > 1) scale.networks = std::atoi(argv[1]);
   if (argc > 2) scale.client_scale = std::atof(argv[2]);
   if (argc > 3) scale.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  if (argc > 4) scale.threads = std::atoi(argv[4]);
   return scale;
 }
 
 void print_header(const char* experiment, const analysis::ScenarioScale& scale) {
-  std::printf("=== %s ===\n(simulated fleet: %d networks, client scale %.2f, seed %llu)\n\n",
-              experiment, scale.networks, scale.client_scale,
-              static_cast<unsigned long long>(scale.seed));
+  std::printf(
+      "=== %s ===\n(simulated fleet: %d networks, client scale %.2f, seed %llu, "
+      "%d worker thread%s)\n\n",
+      experiment, scale.networks, scale.client_scale,
+      static_cast<unsigned long long>(scale.seed), scale.threads,
+      scale.threads == 1 ? "" : "s");
+  g_experiment = experiment;
+  g_scale = scale;
+  g_start = std::chrono::steady_clock::now();
+  std::atexit(write_bench_json);
 }
 
 }  // namespace wlm::bench

@@ -5,13 +5,17 @@
 
 namespace wlm::bench {
 
-/// Scale from argv: bench_x [networks] [client_scale] [seed].
+/// Scale from argv: bench_x [networks] [client_scale] [seed] [threads].
 /// Benches default to a smaller fleet than the integration tests so that
 /// `for b in build/bench/*; do $b; done` finishes in minutes.
 [[nodiscard]] analysis::ScenarioScale scale_from_args(int argc, char** argv,
                                                       int default_networks = 250);
 
-/// Prints a standard header naming the experiment.
+/// Prints a standard header naming the experiment and starts the wall-clock
+/// measurement. At process exit a line-delimited JSON record
+///   {"bench": ..., "networks": ..., "threads": ..., "seconds": ...}
+/// is appended to $WLM_BENCH_JSON (default ./BENCH_fleetrunner.json), so a
+/// sweep over thread counts leaves a machine-readable speedup trace.
 void print_header(const char* experiment, const analysis::ScenarioScale& scale);
 
 }  // namespace wlm::bench

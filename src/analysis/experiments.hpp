@@ -22,6 +22,9 @@ struct ScenarioScale {
   int networks = 250;
   double client_scale = 1.0;
   std::uint64_t seed = 2015;
+  /// Worker threads for the fleet runtime; output is identical for any
+  /// value (see sim::FleetRunner's determinism contract).
+  int threads = 1;
 };
 
 // ---------------------------------------------------------------- Table 2

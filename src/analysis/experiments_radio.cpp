@@ -8,7 +8,7 @@
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "deploy/neighbors.hpp"
-#include "sim/world.hpp"
+#include "sim/fleet_runner.hpp"
 
 namespace wlm::analysis {
 
@@ -23,6 +23,7 @@ sim::WorldConfig radio_world_config(const ScenarioScale& scale, deploy::Epoch ep
   cfg.fleet.seed = scale.seed ^ 0x9d2c5680ULL ^ (static_cast<std::uint64_t>(epoch) << 24);
   cfg.client_scale = scale.client_scale;
   cfg.seed = scale.seed * 2654435761ULL + 17 + static_cast<std::uint64_t>(epoch);
+  cfg.threads = scale.threads;
   return cfg;
 }
 
@@ -41,7 +42,7 @@ NeighborRun run_neighbor_study(const ScenarioScale& scale) {
   std::map<int, std::uint64_t> hist5;
 
   for (const deploy::Epoch epoch : {deploy::Epoch::kJan2015, deploy::Epoch::kJul2014}) {
-    sim::World world(radio_world_config(scale, epoch, deploy::ApModel::kMr16));
+    sim::FleetRunner world(radio_world_config(scale, epoch, deploy::ApModel::kMr16));
     world.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
     world.harvest();
 
@@ -130,7 +131,7 @@ std::string render_fig2(const NeighborRun& run) {
 
 LinkRun run_link_study(const ScenarioScale& scale) {
   LinkRun run;
-  sim::World world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
+  sim::FleetRunner world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
 
   // "Six months ago" differs by the interference level: the foreign-network
   // population was roughly half as dense (Table 7), so collision exposure
@@ -139,14 +140,10 @@ LinkRun run_link_study(const ScenarioScale& scale) {
   const auto params_before = deploy::neighbor_params(deploy::Epoch::kJul2014);
   const double util_scale_before = params_before.mean_24 / params_now.mean_24;
 
-  auto& aps = world.aps();
-  std::map<std::uint32_t, std::size_t> ap_at;
-  for (std::size_t i = 0; i < aps.size(); ++i) ap_at[aps[i].id().value()] = i;
-
   for (auto& link : world.mesh_links()) {
-    auto& receiver = aps[ap_at[link.to().value()]];
+    auto& receiver = *world.find_ap(link.to());
     const double util =
-        world.serving_utilization(receiver, link.band(), /*hour=*/14.0);
+        sim::serving_utilization(receiver, link.band(), /*hour=*/14.0);
 
     sim::ProbeOutcomeModel before_model;
     before_model.receiver_utilization = util * util_scale_before;
@@ -288,7 +285,7 @@ UtilizationRun run_utilization_study(const ScenarioScale& scale) {
 
   // --- MR16: serving-channel counters (Figure 6). ---
   {
-    sim::World world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
+    sim::FleetRunner world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
     world.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
     world.harvest();
     world.store().for_each([&](const wire::ApReport& report) {
@@ -302,7 +299,7 @@ UtilizationRun run_utilization_study(const ScenarioScale& scale) {
 
   // --- MR18: all-channel scan windows, day and night (Figures 7-10). ---
   {
-    sim::World world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr18));
+    sim::FleetRunner world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr18));
     const SimTime day = SimTime::epoch() + Duration::hours(10);
     const SimTime night = SimTime::epoch() + Duration::hours(22);
     world.run_mr18_scan(day, 10.0);

@@ -11,7 +11,7 @@
 #include "deploy/industry.hpp"
 #include "deploy/population.hpp"
 #include "phy/propagation.hpp"
-#include "sim/world.hpp"
+#include "sim/fleet_runner.hpp"
 
 namespace wlm::analysis {
 
@@ -26,6 +26,7 @@ sim::WorldConfig make_world_config(const ScenarioScale& scale, deploy::Epoch epo
   cfg.fleet.seed = scale.seed ^ (static_cast<std::uint64_t>(epoch) << 32);
   cfg.client_scale = scale.client_scale;
   cfg.seed = scale.seed * 1315423911ULL + static_cast<std::uint64_t>(epoch);
+  cfg.threads = scale.threads;
   return cfg;
 }
 
@@ -73,7 +74,7 @@ std::string render_table2(const ScenarioScale& scale) {
 UsageRun run_usage_study(const ScenarioScale& scale) {
   UsageRun run;
   for (const deploy::Epoch epoch : {deploy::Epoch::kJan2015, deploy::Epoch::kJan2014}) {
-    sim::World world(make_world_config(scale, epoch, deploy::ApModel::kMr16));
+    sim::FleetRunner world(make_world_config(scale, epoch, deploy::ApModel::kMr16));
     world.run_usage_week(/*reports_per_week=*/7);
     world.harvest();
 
@@ -296,7 +297,7 @@ WireOverheadRun run_wire_overhead_study(const ScenarioScale& scale) {
   // A realistic reporting week: 7 usage reports plus interference/neighbor
   // telemetry every 20 minutes (504 reports), which dominates the byte
   // budget exactly as in the production system.
-  sim::World world(make_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
+  sim::FleetRunner world(make_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
   world.run_usage_week(7);
   // One simulated day of periodic radio reports, scaled to the week.
   constexpr int kReportsPerDay = 72;  // every 20 minutes
@@ -336,7 +337,7 @@ SnapshotRun run_snapshot_study(const ScenarioScale& scale) {
   run.caps_2014.resize(8, 0.0);
   run.caps_2015.resize(8, 0.0);
   for (const deploy::Epoch epoch : {deploy::Epoch::kJan2014, deploy::Epoch::kJan2015}) {
-    sim::World world(make_world_config(scale, epoch, deploy::ApModel::kMr16));
+    sim::FleetRunner world(make_world_config(scale, epoch, deploy::ApModel::kMr16));
     world.snapshot_clients(SimTime::epoch() + Duration::hours(20));  // "one evening"
     world.harvest();
 

@@ -1,12 +1,28 @@
 #include "backend/store.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace wlm::backend {
 
 void ReportStore::add(wire::ApReport report) {
   by_ap_[ApId{report.ap_id}].push_back(std::move(report));
   ++total_;
+}
+
+void ReportStore::merge(ReportStore&& other) {
+  for (auto& [ap, reports] : other.by_ap_) {
+    auto& dst = by_ap_[ap];
+    if (dst.empty()) {
+      dst = std::move(reports);
+    } else {
+      dst.insert(dst.end(), std::make_move_iterator(reports.begin()),
+                 std::make_move_iterator(reports.end()));
+    }
+  }
+  total_ += other.total_;
+  other.by_ap_.clear();
+  other.total_ = 0;
 }
 
 const std::vector<wire::ApReport>& ReportStore::reports_for(ApId ap) const {

@@ -1,0 +1,61 @@
+// A flat, non-owning view over objects that live in several owners.
+//
+// The sharded fleet runtime keeps APs and mesh links inside per-network
+// shards; PtrSpan presents them to analyses and tests as one contiguous
+// sequence of references (range-for, operator[], front/size) without
+// copying or exposing the pointer vector itself.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+namespace wlm {
+
+template <typename T>
+class PtrSpan {
+ public:
+  class iterator {
+   public:
+    using difference_type = std::ptrdiff_t;
+    using value_type = T;
+    using pointer = T*;
+    using reference = T&;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() = default;
+    explicit iterator(T* const* p) : p_(p) {}
+    reference operator*() const { return **p_; }
+    pointer operator->() const { return *p_; }
+    iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++p_;
+      return copy;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) { return a.p_ == b.p_; }
+    friend bool operator!=(const iterator& a, const iterator& b) { return a.p_ != b.p_; }
+
+   private:
+    T* const* p_ = nullptr;
+  };
+
+  PtrSpan() = default;
+  PtrSpan(T* const* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) const { return *data_[i]; }
+  [[nodiscard]] T& front() const { return *data_[0]; }
+  [[nodiscard]] T& back() const { return *data_[size_ - 1]; }
+  [[nodiscard]] iterator begin() const { return iterator(data_); }
+  [[nodiscard]] iterator end() const { return iterator(data_ + size_); }
+
+ private:
+  T* const* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wlm

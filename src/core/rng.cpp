@@ -127,4 +127,17 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 
 Rng Rng::fork() { return Rng{next_u64()}; }
 
+Rng Rng::substream(std::uint64_t base_seed, std::uint64_t stream_id) {
+  return Rng{substream_seed(base_seed, stream_id)};
+}
+
+std::uint64_t substream_seed(std::uint64_t base_seed, std::uint64_t stream_id) {
+  // Two splitmix64 rounds over a state that folds in the stream id with a
+  // distinct odd multiplier, so (base, id) and (base, id+1) share no
+  // low-dimensional structure and id 0 never degenerates to the base seed.
+  std::uint64_t state = base_seed ^ (stream_id + 1) * 0xd1342543de82ef95ULL;
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
 }  // namespace wlm

@@ -64,10 +64,21 @@ class Rng {
   /// Derive an independent child generator (stable given call order).
   Rng fork();
 
+  /// An independent generator for stream `stream_id` of `base_seed`,
+  /// independent of call order — the parallel-safe alternative to fork().
+  /// Shards seeded this way produce bit-identical sequences no matter how
+  /// many workers run them or in what order they are built.
+  [[nodiscard]] static Rng substream(std::uint64_t base_seed, std::uint64_t stream_id);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+/// Seed of the `stream_id`-th substream of `base_seed` (splitmix64-style
+/// avalanche over both words). Distinct stream ids give statistically
+/// independent xoshiro seeds; the mapping is bit-stable across platforms.
+[[nodiscard]] std::uint64_t substream_seed(std::uint64_t base_seed, std::uint64_t stream_id);
 
 }  // namespace wlm

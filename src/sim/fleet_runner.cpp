@@ -1,0 +1,149 @@
+#include "sim/fleet_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace wlm::sim {
+
+FleetRunner::FleetRunner(WorldConfig config)
+    : config_(std::move(config)), fleet_(deploy::generate_fleet(config_.fleet)) {
+  ShardConfig shard_config;
+  shard_config.epoch = config_.fleet.epoch;
+  shard_config.client_scale = config_.client_scale;
+  shard_config.seed = config_.seed;
+  shard_config.wan_flap_fraction = config_.wan_flap_fraction;
+
+  // Shard construction is independent per network (each shard's RNG is a
+  // substream of the base seed), so it parallelizes like the campaigns do.
+  shards_.resize(fleet_.networks.size());
+  parallel_for(fleet_.networks.size(), [&](std::size_t i) {
+    shards_[i] = std::make_unique<NetworkShard>(fleet_.networks[i], shard_config);
+  });
+
+  // Flat views and the AP lookup are built serially in fleet order, so the
+  // global AP/link ordering matches the monolithic World's exactly.
+  std::size_t total_aps = 0;
+  std::size_t total_links = 0;
+  for (const auto& shard : shards_) {
+    total_aps += shard->aps().size();
+    total_links += shard->links().size();
+  }
+  ap_ptrs_.reserve(total_aps);
+  link_ptrs_.reserve(total_links);
+  for (const auto& shard : shards_) {
+    for (auto& ap : shard->aps()) {
+      ap_ptrs_.push_back(&ap);
+      ap_lookup_[ap.id().value()] = &ap;
+    }
+    for (auto& link : shard->links()) link_ptrs_.push_back(&link);
+  }
+}
+
+void FleetRunner::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+  const auto n_workers = static_cast<std::size_t>(std::max(1, config_.threads));
+  if (n_workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t n = std::min(n_workers, count);
+  pool.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+void FleetRunner::for_each_shard(const std::function<void(NetworkShard&)>& fn) {
+  parallel_for(shards_.size(), [&](std::size_t i) { fn(*shards_[i]); });
+}
+
+ApRuntime* FleetRunner::find_ap(ApId id) {
+  const auto it = ap_lookup_.find(id.value());
+  return it == ap_lookup_.end() ? nullptr : it->second;
+}
+
+std::size_t FleetRunner::client_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->client_count();
+  return total;
+}
+
+void FleetRunner::run_usage_week(int reports_per_week,
+                                 const std::vector<traffic::UpdateSpike>& spikes) {
+  for_each_shard(
+      [&](NetworkShard& shard) { shard.run_usage_week(reports_per_week, spikes); });
+}
+
+void FleetRunner::snapshot_clients(SimTime t) {
+  for_each_shard([&](NetworkShard& shard) { shard.snapshot_clients(t); });
+}
+
+void FleetRunner::run_mr16_interference(SimTime t) {
+  for_each_shard([&](NetworkShard& shard) { shard.run_mr16_interference(t); });
+}
+
+void FleetRunner::run_mr18_scan(SimTime t, double hour) {
+  for_each_shard([&](NetworkShard& shard) { shard.run_mr18_scan(t, hour); });
+}
+
+void FleetRunner::run_link_windows(SimTime t) {
+  for_each_shard([&](NetworkShard& shard) { shard.run_link_windows(t); });
+}
+
+void FleetRunner::harvest() {
+  // Drain in parallel (each poller touches only its shard's tunnels and
+  // store), then merge serially in fleet order: the global store's content
+  // is then independent of worker scheduling.
+  for_each_shard([](NetworkShard& shard) { shard.harvest_local(); });
+  for (auto& shard : shards_) store_.merge(std::move(shard->store()));
+}
+
+std::vector<SeriesPoint> FleetRunner::link_week_series(std::size_t link_index,
+                                                       Duration step) {
+  std::vector<SeriesPoint> series;
+  if (link_index >= link_ptrs_.size()) return series;
+  MeshLink& link = *link_ptrs_[link_index];
+  ApRuntime* receiver = find_ap(link.to());
+  if (receiver == nullptr) return series;
+  for (SimTime t; t < SimTime::epoch() + Duration::days(7); t += step) {
+    ProbeOutcomeModel model;
+    model.receiver_utilization = serving_utilization(*receiver, link.band(), t.hour_of_day());
+    model.hidden_fraction = ProbeOutcomeModel::default_hidden_fraction(link.band());
+    const auto window = link.measure_window(model);
+    series.push_back(SeriesPoint{t.since_epoch().as_hours(), window.ratio()});
+  }
+  return series;
+}
+
+std::uint64_t FleetRunner::flows_classified() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->flows_classified();
+  return total;
+}
+
+std::uint64_t FleetRunner::flows_misclassified() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->flows_misclassified();
+  return total;
+}
+
+double FleetRunner::mean_report_bytes_per_ap() const {
+  if (ap_ptrs_.empty()) return 0.0;
+  double total = 0.0;
+  for (const ApRuntime* ap : ap_ptrs_) {
+    total += static_cast<double>(ap->tunnel().stats().bytes_delivered);
+  }
+  return total / static_cast<double>(ap_ptrs_.size());
+}
+
+}  // namespace wlm::sim

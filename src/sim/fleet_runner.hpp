@@ -1,0 +1,127 @@
+// The fleet runtime: partitions a generated fleet into per-network shards,
+// fans campaigns out across a worker pool, and merges the shard-local report
+// stores into one backend store at harvest.
+//
+// Determinism contract: for a fixed WorldConfig (minus `threads`), every
+// byte of simulated output is identical for any thread count, including 1.
+// Three properties carry that guarantee:
+//   1. each shard draws its RNG from a substream keyed by the network id,
+//      so no draw depends on cross-shard scheduling;
+//   2. every mutable object a campaign touches (APs, tunnels, poller, store)
+//      is confined to its shard, so workers never contend;
+//   3. harvest merges shard stores in fleet order, so the global store's
+//      contents are independent of which worker ran which shard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/store.hpp"
+#include "core/ptr_span.hpp"
+#include "deploy/generator.hpp"
+#include "sim/network_shard.hpp"
+
+namespace wlm::sim {
+
+struct WorldConfig {
+  deploy::FleetConfig fleet;
+  /// Scales clients per AP (1.0 = the industry-calibrated counts).
+  double client_scale = 1.0;
+  std::uint64_t seed = 7;
+  /// Fraction of tunnels that experience a WAN flap during a campaign.
+  double wan_flap_fraction = 0.0;
+  /// Worker threads for shard campaigns; 1 runs fully serial. Output is
+  /// bit-identical regardless of this value.
+  int threads = 1;
+};
+
+/// Delivery-ratio time series sample for one link (Figures 4/5).
+struct SeriesPoint {
+  double hour_of_week = 0.0;
+  double ratio = 0.0;
+};
+
+class FleetRunner {
+ public:
+  explicit FleetRunner(WorldConfig config);
+
+  // --- structure ---
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+  [[nodiscard]] deploy::Epoch epoch() const { return config_.fleet.epoch; }
+  [[nodiscard]] const deploy::Fleet& fleet() const { return fleet_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<NetworkShard>>& shards() const {
+    return shards_;
+  }
+  /// All AP runtimes across shards, in fleet order (flat non-owning view).
+  [[nodiscard]] PtrSpan<ApRuntime> aps() { return {ap_ptrs_.data(), ap_ptrs_.size()}; }
+  [[nodiscard]] PtrSpan<const ApRuntime> aps() const {
+    return {ap_ptrs_.data(), ap_ptrs_.size()};
+  }
+  [[nodiscard]] PtrSpan<MeshLink> mesh_links() {
+    return {link_ptrs_.data(), link_ptrs_.size()};
+  }
+  [[nodiscard]] backend::ReportStore& store() { return store_; }
+  [[nodiscard]] std::size_t client_count() const;
+  [[nodiscard]] ApRuntime* find_ap(ApId id);
+
+  // --- campaigns: each fans out shard-by-shard across the worker pool ---
+
+  /// The one-week usage study (Tables 3/5/6): generates each client's
+  /// weekly workload, classifies its flows AT THE AP with the real parsers
+  /// and rule engine, and emits `reports_per_week` usage reports per AP.
+  /// `spikes` injects fleet-wide software-update events (paper §6.2).
+  void run_usage_week(int reports_per_week = 7,
+                      const std::vector<traffic::UpdateSpike>& spikes = {});
+
+  /// Associated-client snapshot (Figure 1 / Table 4): capabilities + RSSI.
+  void snapshot_clients(SimTime t);
+
+  /// MR16-style interference measurement: serving-channel utilization plus
+  /// the neighbor scan table (Figures 2/6, Table 7).
+  void run_mr16_interference(SimTime t);
+
+  /// MR18-style dedicated-radio scan window across all channels
+  /// (Figures 7/8/9/10). `hour` selects day/night activity.
+  void run_mr18_scan(SimTime t, double hour);
+
+  /// Link-probe windows for every mesh link, recorded at the receiver and
+  /// reported (Figure 3).
+  void run_link_windows(SimTime t);
+
+  /// Reconnects every tunnel (flapped ones included: queued reports must
+  /// survive, per the paper's §2 design), drains each shard's tunnels into
+  /// its local store in parallel, then merges the shard stores into the
+  /// global store in fleet order.
+  void harvest();
+
+  /// Delivery-ratio time series for one link across a simulated week
+  /// (Figures 4/5); `link_index` indexes the flat mesh_links() view.
+  [[nodiscard]] std::vector<SeriesPoint> link_week_series(std::size_t link_index,
+                                                          Duration step);
+
+  // --- pipeline statistics ---
+  [[nodiscard]] std::uint64_t flows_classified() const;
+  [[nodiscard]] std::uint64_t flows_misclassified() const;
+  /// Total framed bytes enqueued per AP over the last usage campaign, for
+  /// the ~1 kbit/s overhead claim.
+  [[nodiscard]] double mean_report_bytes_per_ap() const;
+
+ private:
+  WorldConfig config_;
+  deploy::Fleet fleet_;
+  std::vector<std::unique_ptr<NetworkShard>> shards_;
+  std::vector<ApRuntime*> ap_ptrs_;
+  std::vector<MeshLink*> link_ptrs_;
+  std::unordered_map<std::uint32_t, ApRuntime*> ap_lookup_;
+  backend::ReportStore store_;
+
+  /// Runs `fn(i)` for every i in [0, count) on the worker pool (serial when
+  /// threads <= 1). `fn` must confine itself to shard i's state.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  void for_each_shard(const std::function<void(NetworkShard&)>& fn);
+};
+
+}  // namespace wlm::sim

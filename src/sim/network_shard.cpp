@@ -1,0 +1,489 @@
+#include "sim/network_shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classify/dhcp.hpp"
+#include "classify/oui.hpp"
+#include "classify/user_agent.hpp"
+#include "mac/beacon_frame.hpp"
+#include "scan/scanner.hpp"
+#include "traffic/broadcast.hpp"
+#include "traffic/os_model.hpp"
+#include "traffic/sessions.hpp"
+#include "traffic/workload.hpp"
+
+namespace wlm::sim {
+
+namespace {
+
+/// Client radios transmit well below an AP (battery, antenna): 15 dBm EIRP.
+constexpr double kClientTxDbm = 15.0;
+/// Extra uplink loss vs the downlink beacon path: body absorption, pocket/
+/// desk orientation, and the elevation mismatch against a ceiling antenna.
+constexpr double kClientBodyLossDb = 9.0;
+
+/// Effective MAC-layer throughput used to convert offered bytes into duty.
+double effective_rate_mbps(phy::Band band) {
+  return band == phy::Band::k5GHz ? 80.0 : 20.0;
+}
+
+std::uint8_t band_code(phy::Band band) { return band == phy::Band::k5GHz ? 1 : 0; }
+
+}  // namespace
+
+double serving_utilization(const ApRuntime& ap, phy::Band band, double hour) {
+  const auto& plan = phy::ChannelPlan::us();
+  const int number = band == phy::Band::k5GHz ? ap.config().channel_5 : ap.config().channel_24;
+  const auto channel = plan.find(band, number);
+  if (!channel) return 0.0;
+  const auto env = ap.environment(hour);
+  const auto activity = env.activity_on(*channel, hour);
+  const auto counters = scan::measure_serving_channel(
+      activity, Duration::minutes(5), ap.tx_duty(band, hour), phy::noise_floor(20.0));
+  return counters.utilization();
+}
+
+NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& config)
+    : net_(&net), config_(config),
+      rng_(Rng::substream(config.seed, net.id.value())), poller_(store_) {
+  pathloss_.exponent = 3.2;
+  pathloss_.shadowing_sigma_db = 7.0;
+
+  aps_.reserve(net_->aps.size());
+  for (const auto& ap : net_->aps) {
+    ap_index_[ap.id.value()] = aps_.size();
+    aps_.emplace_back(ap, net_->id, net_->industry);
+  }
+  // aps_ never grows after this point; tunnel pointers stay valid.
+  for (auto& ap : aps_) poller_.attach(ap.tunnel());
+
+  build_clients();
+  build_duties_and_peers();
+  build_links();
+}
+
+ApRuntime* NetworkShard::find_ap(ApId id) {
+  const auto it = ap_index_.find(id.value());
+  return it == ap_index_.end() ? nullptr : &aps_[it->second];
+}
+
+void NetworkShard::build_clients() {
+  const deploy::PopulationModel population(epoch());
+  const auto n_clients = static_cast<int>(
+      net_->clients_per_ap * static_cast<double>(net_->aps.size()) * config_.client_scale + 0.5);
+  const mac::AssociationPolicy policy;
+
+  for (int i = 0; i < n_clients; ++i) {
+    const ClientId cid{static_cast<std::uint32_t>((net_->id.value() << 16) | (i + 1))};
+    deploy::ClientDevice device = population.sample(cid, rng_);
+    // Place the client and evaluate every in-network BSS.
+    const phy::Position pos{rng_.uniform(0.0, net_->site.width_m),
+                            rng_.uniform(0.0, net_->site.height_m)};
+    std::vector<mac::BssCandidate> candidates;
+    for (ApRuntime& ap : aps_) {
+      const double d = phy::distance_m(pos, ap.config().position);
+      const int walls = static_cast<int>(d / 10.0 * net_->site.walls_per_10m);
+      const double rx24 = ap.config().tx_power_24_dbm + 3.0 -
+                          pathloss_.median_loss_db(d, FrequencyMhz{2437.0}, walls) +
+                          rng_.normal(0.0, 3.0);
+      candidates.push_back(mac::BssCandidate{ap.id(), phy::Band::k2_4GHz, PowerDbm{rx24}});
+      // 5 GHz: more free-space loss and worse wall penetration.
+      const double rx5 = ap.config().tx_power_5_dbm + 5.0 -
+                         pathloss_.median_loss_db(d, FrequencyMhz{5250.0}, walls) -
+                         static_cast<double>(walls) * 2.0 + rng_.normal(0.0, 3.0);
+      candidates.push_back(mac::BssCandidate{ap.id(), phy::Band::k5GHz, PowerDbm{rx5}});
+    }
+    const auto result = mac::select_bss(candidates, device.caps.dual_band(), policy, rng_);
+    if (!result) continue;  // out of coverage
+
+    AssociatedClient client;
+    client.device = device;
+    client.band = result->band;
+    // Uplink RSSI at the AP: client EIRP replaces the AP's; the path is
+    // reciprocal, so reuse the downlink loss implied by the beacon RSSI.
+    ApRuntime& home = aps_[ap_index_[result->ap.value()]];
+    const double ap_tx = result->band == phy::Band::k5GHz
+                             ? home.config().tx_power_5_dbm + 5.0
+                             : home.config().tx_power_24_dbm + 3.0;
+    client.rssi_at_ap_dbm =
+        result->rssi.dbm() - ap_tx + kClientTxDbm + 3.0 - kClientBodyLossDb;
+
+    // Device-typing evidence as the AP's slow path would collect it: the
+    // client emits real DHCP packets, which the AP parses off the wire.
+    classify::ClientEvidence evidence;
+    evidence.mac = device.mac;
+    auto emit_dhcp = [&](classify::OsType os) {
+      classify::DhcpPacket pkt;
+      pkt.type = classify::DhcpMessageType::kDiscover;
+      pkt.xid = static_cast<std::uint32_t>(rng_.next_u64());
+      pkt.client_mac = device.mac;
+      pkt.parameter_request_list = classify::canonical_dhcp_params(os);
+      pkt.vendor_class = classify::canonical_vendor_class(os);
+      const auto bytes = classify::encode_dhcp(pkt);
+      if (const auto parsed = classify::parse_dhcp(bytes)) {
+        evidence.dhcp_fingerprints.push_back(parsed->parameter_request_list);
+      }
+    };
+    if (device.os == classify::OsType::kUnknown) {
+      // The genuinely ambiguous population: dual-boot boxes, VM hosts,
+      // headless embedded devices.
+      if (rng_.chance(0.5)) {
+        emit_dhcp(classify::OsType::kWindows);
+        emit_dhcp(classify::OsType::kLinux);
+      }
+    } else {
+      emit_dhcp(device.os);
+      if (rng_.chance(0.8)) {
+        evidence.user_agents.push_back(classify::canonical_user_agent(
+            device.os, static_cast<unsigned>(rng_.next_u64() & 3)));
+      }
+    }
+    client.detected_os = classify::classify_os(evidence, classify::HeuristicsVersion::k2015);
+    home.add_client(std::move(client));
+    ++client_count_;
+  }
+}
+
+void NetworkShard::build_duties_and_peers() {
+  // Offered load per AP -> duty, then peer tables. Broadcast chatter
+  // (ARP/mDNS/SSDP at the 1 Mb/s basic rate, paper §6.3) rides on every
+  // AP of the shared L2 domain, scaled by the network's client count.
+  std::size_t net_clients = 0;
+  for (const ApRuntime& ap : aps_) net_clients += ap.clients().size();
+  const auto bcast = traffic::broadcast_load(static_cast<int>(net_clients),
+                                             traffic::BroadcastProfile{},
+                                             phy::Modulation::kDsss1);
+  for (ApRuntime& ap : aps_) {
+    double bytes_24 = 0.0;
+    double bytes_5 = 0.0;
+    for (const auto& c : ap.clients()) {
+      const double mb = traffic::os_usage(c.device.os, epoch()).mb_per_client;
+      (c.band == phy::Band::k5GHz ? bytes_5 : bytes_24) += mb * 1e6;
+    }
+    const double week_s = 7.0 * 24 * 3600;
+    // x2 for MAC overhead, retries, and rate fallback.
+    const double duty24 =
+        bytes_24 * 8.0 * 2.0 / (week_s * effective_rate_mbps(phy::Band::k2_4GHz) * 1e6) +
+        bcast.airtime_duty;
+    const double duty5 =
+        bytes_5 * 8.0 * 2.0 / (week_s * effective_rate_mbps(phy::Band::k5GHz) * 1e6);
+    ap.set_tx_duty(duty24, duty5);
+  }
+  for (ApRuntime& ap : aps_) {
+    std::vector<FleetPeer> peers;
+    for (const ApRuntime& other : aps_) {
+      if (&other == &ap) continue;
+      const double d = phy::distance_m(ap.config().position, other.config().position);
+      const int walls = static_cast<int>(d / 10.0 * net_->site.walls_per_10m);
+      FleetPeer peer;
+      peer.channel_24 = other.config().channel_24;
+      peer.channel_5 = other.config().channel_5;
+      peer.rx_power_24_dbm = other.config().tx_power_24_dbm + 6.0 -
+                             pathloss_.median_loss_db(d, FrequencyMhz{2437.0}, walls);
+      peer.rx_power_5_dbm = other.config().tx_power_5_dbm + 10.0 -
+                            pathloss_.median_loss_db(d, FrequencyMhz{5250.0}, walls);
+      peer.tx_duty_24 = other.tx_duty(phy::Band::k2_4GHz, 12.0);
+      peer.tx_duty_5 = other.tx_duty(phy::Band::k5GHz, 12.0);
+      peers.push_back(peer);
+    }
+    ap.set_peers(std::move(peers));
+  }
+}
+
+void NetworkShard::build_links() {
+  for (const ApRuntime& a : aps_) {
+    for (const ApRuntime& b : aps_) {
+      if (&a == &b) continue;
+      for (const phy::Band band : {phy::Band::k2_4GHz, phy::Band::k5GHz}) {
+        const int ch_a = band == phy::Band::k5GHz ? a.config().channel_5 : a.config().channel_24;
+        const int ch_b = band == phy::Band::k5GHz ? b.config().channel_5 : b.config().channel_24;
+        if (ch_a != ch_b) continue;  // probes are heard co-channel only
+        const double d = phy::distance_m(a.config().position, b.config().position);
+        // APs are ceiling-mounted: roughly half the walls a floor-level
+        // client path would cross.
+        const int walls = static_cast<int>(d / 10.0 * net_->site.walls_per_10m * 0.5);
+        const double tx = band == phy::Band::k5GHz ? a.config().tx_power_5_dbm
+                                                   : a.config().tx_power_24_dbm;
+        const LinkBudget budget =
+            compute_link_budget(a.config().position, b.config().position, walls, band, tx,
+                                pathloss_, rng_);
+        if (budget.median_rx_dbm < -95.0) continue;  // never decodable
+        links_.emplace_back(a.id(), b.id(), budget, rng_.fork());
+      }
+    }
+  }
+}
+
+void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport report) {
+  report.ap_id = ap.id().value();
+  ap.tunnel().enqueue(backend::frame_report(report));
+}
+
+std::vector<wire::NeighborBss> NetworkShard::neighbor_records(const ApRuntime& ap) const {
+  std::vector<wire::NeighborBss> out;
+  for (const auto& n : ap.config().environment.neighbors) {
+    if (n.rssi_dbm < kBeaconDecodeFloorDbm) continue;
+    // The scan table entry comes from actually decoding the neighbor's
+    // beacon frame: build the bytes it transmits and parse them as the
+    // scanning radio would. A corrupted frame never enters the table.
+    mac::BeaconFrame beacon;
+    beacon.bssid = n.bssid;
+    beacon.ssid = n.ssid;
+    beacon.channel = n.channel;
+    beacon.rates = n.legacy_11b ? mac::rates_11b() : mac::rates_11g();
+    beacon.has_ht = !n.legacy_11b;
+    const auto parsed = mac::parse_beacon_frame(mac::encode_beacon_frame(beacon));
+    if (!parsed) continue;
+    wire::NeighborBss rec;
+    rec.bssid = parsed->bssid;
+    rec.band = band_code(n.band);
+    rec.channel = parsed->channel;
+    rec.rssi_dbm = n.rssi_dbm;
+    // The AP classifies hotspots by OUI, as the backend pipeline does.
+    rec.is_hotspot = classify::is_hotspot_vendor(classify::vendor_for(parsed->bssid));
+    rec.is_same_fleet = false;
+    out.push_back(rec);
+  }
+  // Same-site fleet APs are audible too; flagged and excluded from Table 7.
+  for (const auto& peer : ap.peers()) {
+    if (peer.rx_power_24_dbm < kBeaconDecodeFloorDbm) continue;
+    wire::NeighborBss rec;
+    rec.bssid = MacAddress{};  // filled by nothing: fleet ids are internal
+    rec.band = 0;
+    rec.channel = peer.channel_24;
+    rec.rssi_dbm = peer.rx_power_24_dbm;
+    rec.is_same_fleet = true;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void NetworkShard::run_usage_week(int reports_per_week,
+                                  const std::vector<traffic::UpdateSpike>& spikes) {
+  traffic::WorkloadModel workload(epoch(), rng_.fork());
+
+  // Per-report-period download multiplier for each OS under the injected
+  // update spikes (paper §6.2: vendor releases drive fleet-wide surges).
+  const Duration period = Duration::days(7) / reports_per_week;
+  auto spike_multiplier = [&](classify::OsType os, int report_index) {
+    const bool apple = os == classify::OsType::kAppleIos || os == classify::OsType::kMacOsX;
+    const bool windows = os == classify::OsType::kWindows;
+    double extra = 0.0;
+    const SimTime start = SimTime::epoch() + period * report_index;
+    const SimTime end = start + period;
+    for (const auto& s : spikes) {
+      if (!(apple ? s.affects_apple : windows && s.affects_windows)) continue;
+      // Overlap of the spike with this reporting period, as a fraction.
+      const auto lo = std::max(start.as_micros(), s.start.as_micros());
+      const auto hi = std::min(end.as_micros(), (s.start + s.duration).as_micros());
+      if (hi <= lo) continue;
+      const double frac = static_cast<double>(hi - lo) / static_cast<double>(period.as_micros());
+      extra += (s.download_multiplier - 1.0) * frac;
+    }
+    return 1.0 + extra;
+  };
+
+  // Optional WAN disturbance: some tunnels flap mid-campaign. They stay
+  // down until harvest reconnects them — reports queue device-side in the
+  // meantime (paper §2: the backend polls for queued information when the
+  // connection is reestablished). Reconnecting here, before the campaign's
+  // reports were even pulled, would let a second flap drop the backlog.
+  for (auto& ap : aps_) {
+    if (rng_.chance(config_.wan_flap_fraction)) ap.tunnel().disconnect();
+  }
+
+  // Per-report-period usage rows, accumulated per (client, app) at the AP
+  // that carried the traffic.
+  struct Row {
+    MacAddress mac;
+    classify::OsType os;
+    classify::AppId app;
+    std::uint64_t up;
+    std::uint64_t down;
+  };
+
+  std::unordered_map<std::uint32_t, std::vector<Row>> rows_by_ap;
+  for (ApRuntime& home : aps_) {
+    for (auto& client : home.clients()) {
+      traffic::DeviceWeek week = workload.generate_week(client.device);
+
+      // Roaming phones appear on several of the network's APs during the
+      // week; their bytes split across them and the backend must re-merge
+      // by MAC (paper §2.3).
+      std::vector<ApRuntime*> visited{&home};
+      if (client.device.roams && aps_.size() > 1) {
+        const int extra = static_cast<int>(rng_.uniform_int(1, std::min<std::int64_t>(
+                                                2, static_cast<std::int64_t>(aps_.size()) - 1)));
+        for (int e = 0; e < extra; ++e) {
+          ApRuntime* other = &aps_[static_cast<std::size_t>(
+              rng_.uniform_int(0, static_cast<std::int64_t>(aps_.size()) - 1))];
+          if (other != &home) visited.push_back(other);
+        }
+      }
+
+      for (const auto& flow : week.flows) {
+        // The AP classifies the flow with the real slow path, once.
+        const classify::AppId detected = classify::classify_flow(flow.sample);
+        ++flows_classified_;
+        if (detected != flow.truth) ++flows_misclassified_;
+        const auto share = static_cast<std::uint64_t>(visited.size());
+        for (ApRuntime* target : visited) {
+          rows_by_ap[target->id().value()].push_back(
+              Row{client.device.mac, client.device.os, detected,
+                  flow.upstream_bytes / share, flow.downstream_bytes / share});
+        }
+      }
+    }
+  }
+
+  for (ApRuntime& ap : aps_) {
+    const auto& rows = rows_by_ap[ap.id().value()];
+    for (int r = 0; r < reports_per_week; ++r) {
+      wire::ApReport report;
+      report.timestamp_us =
+          (Duration::days(7) / reports_per_week * r + Duration::hours(12)).as_micros();
+      report.firmware = 2;  // the second 2014 firmware revision
+      for (const auto& row : rows) {
+        wire::ClientUsage usage;
+        usage.client = row.mac;
+        usage.app_id = static_cast<std::uint32_t>(row.app);
+        usage.tx_bytes = row.up / static_cast<std::uint64_t>(reports_per_week);
+        const double mult = spikes.empty() ? 1.0 : spike_multiplier(row.os, r);
+        usage.rx_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(row.down / static_cast<std::uint64_t>(reports_per_week)) *
+            mult);
+        report.usage.push_back(usage);
+      }
+      for (const auto& client : ap.clients()) {
+        wire::ClientSnapshot snap;
+        snap.client = client.device.mac;
+        snap.capability_bits = client.device.caps.bits;
+        snap.band = band_code(client.band);
+        snap.rssi_dbm = client.rssi_at_ap_dbm;
+        snap.os_id = static_cast<std::uint8_t>(client.detected_os);
+        report.clients.push_back(snap);
+      }
+      enqueue_report(ap, std::move(report));
+    }
+  }
+}
+
+void NetworkShard::snapshot_clients(SimTime t) {
+  // A real-time snapshot only sees clients currently in a session (the
+  // paper's evening snapshot caught ~309 k of the week's 5.58 M clients).
+  for (auto& ap : aps_) {
+    traffic::SessionModelParams session_params;
+    session_params.industry = ap.industry();
+    const traffic::SessionModel sessions(session_params, Rng{config_.seed ^ 0xfeed});
+    const double presence = sessions.presence_probability(t.hour_of_day());
+    wire::ApReport report;
+    report.timestamp_us = t.as_micros();
+    for (const auto& client : ap.clients()) {
+      if (!rng_.chance(presence)) continue;
+      wire::ClientSnapshot snap;
+      snap.client = client.device.mac;
+      snap.capability_bits = client.device.caps.bits;
+      snap.band = band_code(client.band);
+      snap.rssi_dbm = client.rssi_at_ap_dbm;
+      snap.os_id = static_cast<std::uint8_t>(client.detected_os);
+      report.clients.push_back(snap);
+    }
+    enqueue_report(ap, std::move(report));
+  }
+}
+
+void NetworkShard::run_mr16_interference(SimTime t) {
+  const double hour = t.hour_of_day();
+  const auto& plan = phy::ChannelPlan::us();
+  for (auto& ap : aps_) {
+    wire::ApReport report;
+    report.timestamp_us = t.as_micros();
+    const auto env = ap.environment(hour);
+    for (const phy::Band band : {phy::Band::k2_4GHz, phy::Band::k5GHz}) {
+      const int number =
+          band == phy::Band::k5GHz ? ap.config().channel_5 : ap.config().channel_24;
+      const auto channel = plan.find(band, number);
+      if (!channel) continue;
+      const auto activity = env.activity_on(*channel, hour);
+      const auto counters = scan::measure_serving_channel(
+          activity, Duration::minutes(5), ap.tx_duty(band, hour), phy::noise_floor(20.0));
+      wire::ChannelUtilization util;
+      util.band = band_code(band);
+      util.channel = number;
+      util.cycle_us = static_cast<std::uint64_t>(counters.cycle_us);
+      util.busy_us = static_cast<std::uint64_t>(counters.busy_us);
+      util.rx_frame_us = static_cast<std::uint64_t>(counters.rx_frame_us);
+      util.tx_us = static_cast<std::uint64_t>(counters.tx_us);
+      report.utilization.push_back(util);
+    }
+    report.neighbors = neighbor_records(ap);
+    enqueue_report(ap, std::move(report));
+  }
+}
+
+void NetworkShard::run_mr18_scan(SimTime t, double hour) {
+  const auto scanner = scan::default_mr18_scanner();
+  const auto& plan = phy::ChannelPlan::us();
+  for (auto& ap : aps_) {
+    wire::ApReport report;
+    report.timestamp_us = t.as_micros();
+    const auto env = ap.environment(hour);
+    const auto activities = env.activities_all(plan, hour);
+    auto results = scanner.scan_window(activities, phy::noise_floor(20.0), rng_);
+    for (const auto& r : results) {
+      wire::ChannelUtilization util;
+      util.band = band_code(r.channel.band);
+      util.channel = r.channel.number;
+      util.cycle_us = static_cast<std::uint64_t>(r.counters.cycle_us);
+      util.busy_us = static_cast<std::uint64_t>(r.counters.busy_us);
+      util.rx_frame_us = static_cast<std::uint64_t>(r.counters.rx_frame_us);
+      report.utilization.push_back(util);
+    }
+    report.neighbors = neighbor_records(ap);
+    enqueue_report(ap, std::move(report));
+  }
+}
+
+void NetworkShard::run_link_windows(SimTime t) {
+  const double hour = t.hour_of_day();
+  for (auto& link : links_) {
+    auto& receiver = aps_[ap_index_[link.to().value()]];
+    ProbeOutcomeModel model;
+    model.receiver_utilization = serving_utilization(receiver, link.band(), hour);
+    model.hidden_fraction = ProbeOutcomeModel::default_hidden_fraction(link.band());
+    const auto window = link.measure_window(model);
+
+    // Feed the receiver's link table probe by probe for its own routing use
+    // and attach the wire record to its next report.
+    wire::ApReport report;
+    report.timestamp_us = t.as_micros();
+    wire::LinkProbeWindow rec;
+    rec.from_ap = link.from().value();
+    rec.band = band_code(link.band());
+    rec.channel = link.band() == phy::Band::k5GHz ? receiver.config().channel_5
+                                                  : receiver.config().channel_24;
+    rec.probes_expected = static_cast<std::uint32_t>(window.expected);
+    rec.probes_received = static_cast<std::uint32_t>(window.received);
+    report.links.push_back(rec);
+    enqueue_report(receiver, std::move(report));
+  }
+}
+
+void NetworkShard::harvest_local() {
+  for (auto& ap : aps_) ap.tunnel().reconnect();
+  // Pull-based with a per-cycle budget: loop until everything drained.
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    bool any = false;
+    for (const auto& ap : aps_) {
+      if (ap.tunnel().queued() > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    poller_.poll_all(64);
+  }
+}
+
+}  // namespace wlm::sim

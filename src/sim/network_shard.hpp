@@ -1,0 +1,99 @@
+// One network's slice of the simulated fleet: its APs, clients, mesh links,
+// RNG substream, and a thread-confined backend store.
+//
+// A shard is the unit of parallelism in the fleet runtime. Everything it
+// touches — the RNG, the AP runtimes, the tunnels, the poller, the report
+// store — belongs to it alone, so campaigns on different shards can run on
+// different worker threads with no synchronization, and the results are
+// bit-identical for any thread count (the RNG is a substream keyed by the
+// network id, not a shared stream whose consumption order would depend on
+// scheduling).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/poller.hpp"
+#include "backend/store.hpp"
+#include "deploy/generator.hpp"
+#include "sim/ap.hpp"
+#include "sim/link.hpp"
+#include "traffic/diurnal.hpp"
+
+namespace wlm::sim {
+
+/// Fleet-wide knobs a shard needs; shared verbatim by every shard.
+struct ShardConfig {
+  deploy::Epoch epoch = deploy::Epoch::kJan2015;
+  /// Scales clients per AP (1.0 = the industry-calibrated counts).
+  double client_scale = 1.0;
+  /// Base seed; each shard draws substream `network id` of it.
+  std::uint64_t seed = 7;
+  /// Fraction of tunnels that experience a WAN flap during a campaign.
+  double wan_flap_fraction = 0.0;
+};
+
+class NetworkShard {
+ public:
+  NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& config);
+
+  NetworkShard(const NetworkShard&) = delete;
+  NetworkShard& operator=(const NetworkShard&) = delete;
+
+  // --- structure ---
+  [[nodiscard]] NetworkId id() const { return net_->id; }
+  [[nodiscard]] deploy::Epoch epoch() const { return config_.epoch; }
+  [[nodiscard]] const deploy::NetworkConfig& network() const { return *net_; }
+  [[nodiscard]] std::vector<ApRuntime>& aps() { return aps_; }
+  [[nodiscard]] const std::vector<ApRuntime>& aps() const { return aps_; }
+  [[nodiscard]] std::vector<MeshLink>& links() { return links_; }
+  [[nodiscard]] const std::vector<MeshLink>& links() const { return links_; }
+  [[nodiscard]] backend::ReportStore& store() { return store_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::size_t client_count() const { return client_count_; }
+  [[nodiscard]] ApRuntime* find_ap(ApId id);
+
+  // --- campaigns: each enqueues reports into this shard's AP tunnels ---
+  // (Semantics documented on sim::FleetRunner, which fans them out.)
+  void run_usage_week(int reports_per_week, const std::vector<traffic::UpdateSpike>& spikes);
+  void snapshot_clients(SimTime t);
+  void run_mr16_interference(SimTime t);
+  void run_mr18_scan(SimTime t, double hour);
+  void run_link_windows(SimTime t);
+
+  /// Reconnects this shard's tunnels (WAN-flapped ones included — queued
+  /// reports survive, per the paper's §2 queue-and-catch-up design) and
+  /// drains them into the shard-local store.
+  void harvest_local();
+
+  // --- pipeline statistics ---
+  [[nodiscard]] std::uint64_t flows_classified() const { return flows_classified_; }
+  [[nodiscard]] std::uint64_t flows_misclassified() const { return flows_misclassified_; }
+
+ private:
+  const deploy::NetworkConfig* net_;
+  ShardConfig config_;
+  Rng rng_;
+  phy::PathLossModel pathloss_;
+  std::vector<ApRuntime> aps_;
+  std::unordered_map<std::uint32_t, std::size_t> ap_index_;
+  std::vector<MeshLink> links_;
+  backend::ReportStore store_;
+  backend::Poller poller_;
+  std::size_t client_count_ = 0;
+  std::uint64_t flows_classified_ = 0;
+  std::uint64_t flows_misclassified_ = 0;
+
+  void build_clients();
+  void build_duties_and_peers();
+  void build_links();
+  void enqueue_report(ApRuntime& ap, wire::ApReport report);
+  [[nodiscard]] std::vector<wire::NeighborBss> neighbor_records(const ApRuntime& ap) const;
+};
+
+/// Busy fraction on an AP's serving channel (used as collision exposure for
+/// its incoming probes). Pure function of the AP's environment and duty.
+[[nodiscard]] double serving_utilization(const ApRuntime& ap, phy::Band band, double hour);
+
+}  // namespace wlm::sim

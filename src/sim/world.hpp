@@ -1,114 +1,72 @@
-// The world model: a generated fleet brought to life — APs with runtime
-// state, associated clients, mesh links, and campaign runners that push
-// telemetry through the full pipeline (encode -> tunnel -> poll -> store).
+// The world model, now a thin facade over the sharded fleet runtime.
+//
+// Historically World owned every AP, client, link, and the RNG stream for
+// the whole fleet in one monolith. That state now lives in per-network
+// sim::NetworkShard instances driven by sim::FleetRunner; World keeps the
+// original construction-and-campaign API (and its default serial behavior)
+// so existing callers and tests are untouched. Set WorldConfig::threads > 1
+// to run campaigns on a worker pool — output is bit-identical either way.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
-#include "backend/poller.hpp"
-#include "backend/store.hpp"
-#include "deploy/generator.hpp"
-#include "sim/ap.hpp"
-#include "sim/link.hpp"
-#include "traffic/diurnal.hpp"
+#include "sim/fleet_runner.hpp"
 
 namespace wlm::sim {
 
-struct WorldConfig {
-  deploy::FleetConfig fleet;
-  /// Scales clients per AP (1.0 = the industry-calibrated counts).
-  double client_scale = 1.0;
-  std::uint64_t seed = 7;
-  /// Fraction of tunnels that experience a WAN flap during a campaign.
-  double wan_flap_fraction = 0.0;
-};
-
 class World {
  public:
-  explicit World(WorldConfig config);
+  explicit World(WorldConfig config)
+      : runner_(std::move(config)), rng_(runner_.config().seed) {}
 
   // --- structure ---
-  [[nodiscard]] deploy::Epoch epoch() const { return config_.fleet.epoch; }
-  [[nodiscard]] const deploy::Fleet& fleet() const { return fleet_; }
-  [[nodiscard]] std::vector<ApRuntime>& aps() { return aps_; }
-  [[nodiscard]] const std::vector<ApRuntime>& aps() const { return aps_; }
-  [[nodiscard]] std::vector<MeshLink>& mesh_links() { return links_; }
-  [[nodiscard]] backend::ReportStore& store() { return store_; }
-  [[nodiscard]] const backend::Poller& poller() const { return poller_; }
+  [[nodiscard]] deploy::Epoch epoch() const { return runner_.epoch(); }
+  [[nodiscard]] const deploy::Fleet& fleet() const { return runner_.fleet(); }
+  [[nodiscard]] PtrSpan<ApRuntime> aps() { return runner_.aps(); }
+  [[nodiscard]] PtrSpan<const ApRuntime> aps() const { return runner_.aps(); }
+  [[nodiscard]] PtrSpan<MeshLink> mesh_links() { return runner_.mesh_links(); }
+  [[nodiscard]] backend::ReportStore& store() { return runner_.store(); }
+  /// Facade-level auxiliary stream (simulation state draws from per-shard
+  /// substreams instead; see NetworkShard).
   [[nodiscard]] Rng& rng() { return rng_; }
-  [[nodiscard]] std::size_t client_count() const { return client_count_; }
+  [[nodiscard]] std::size_t client_count() const { return runner_.client_count(); }
+  /// The underlying runtime, for callers that want the sharded API.
+  [[nodiscard]] FleetRunner& runner() { return runner_; }
 
-  // --- campaigns: each enqueues reports into the AP tunnels ---
-
-  /// The one-week usage study (Tables 3/5/6): generates each client's
-  /// weekly workload, classifies its flows AT THE AP with the real parsers
-  /// and rule engine, and emits `reports_per_week` usage reports per AP.
-  /// `spikes` injects fleet-wide software-update events (paper §6.2):
-  /// affected platforms multiply their download traffic during the event,
-  /// skewing that day's reports.
+  // --- campaigns (see FleetRunner for semantics) ---
   void run_usage_week(int reports_per_week = 7,
-                      const std::vector<traffic::UpdateSpike>& spikes = {});
+                      const std::vector<traffic::UpdateSpike>& spikes = {}) {
+    runner_.run_usage_week(reports_per_week, spikes);
+  }
+  void snapshot_clients(SimTime t) { runner_.snapshot_clients(t); }
+  void run_mr16_interference(SimTime t) { runner_.run_mr16_interference(t); }
+  void run_mr18_scan(SimTime t, double hour) { runner_.run_mr18_scan(t, hour); }
+  void run_link_windows(SimTime t) { runner_.run_link_windows(t); }
+  void harvest() { runner_.harvest(); }
 
-  /// Associated-client snapshot (Figure 1 / Table 4): capabilities + RSSI.
-  void snapshot_clients(SimTime t);
-
-  /// MR16-style interference measurement: serving-channel utilization plus
-  /// the neighbor scan table (Figures 2/6, Table 7).
-  void run_mr16_interference(SimTime t);
-
-  /// MR18-style dedicated-radio scan window across all channels
-  /// (Figures 7/8/9/10). `hour` selects day/night activity.
-  void run_mr18_scan(SimTime t, double hour);
-
-  /// Link-probe windows for every mesh link, recorded at the receiver and
-  /// reported (Figure 3).
-  void run_link_windows(SimTime t);
-
-  /// Polls every tunnel into the store (reconnecting flapped tunnels first:
-  /// queued reports must survive, per the paper's §2 design).
-  void harvest();
-
-  /// Delivery-ratio time series for one link across a simulated week
-  /// (Figures 4/5). `step` is the reporting cadence.
-  struct SeriesPoint {
-    double hour_of_week = 0.0;
-    double ratio = 0.0;
-  };
+  using SeriesPoint = sim::SeriesPoint;
   [[nodiscard]] std::vector<SeriesPoint> link_week_series(std::size_t link_index,
-                                                          Duration step);
+                                                          Duration step) {
+    return runner_.link_week_series(link_index, step);
+  }
 
   // --- pipeline statistics ---
-  [[nodiscard]] std::uint64_t flows_classified() const { return flows_classified_; }
-  [[nodiscard]] std::uint64_t flows_misclassified() const { return flows_misclassified_; }
-  /// Total framed bytes enqueued per AP over the last usage campaign, for
-  /// the ~1 kbit/s overhead claim.
-  [[nodiscard]] double mean_report_bytes_per_ap() const;
-
-  /// Busy fraction on an AP's serving channel (used as collision exposure
-  /// for its incoming probes).
+  [[nodiscard]] std::uint64_t flows_classified() const { return runner_.flows_classified(); }
+  [[nodiscard]] std::uint64_t flows_misclassified() const {
+    return runner_.flows_misclassified();
+  }
+  [[nodiscard]] double mean_report_bytes_per_ap() const {
+    return runner_.mean_report_bytes_per_ap();
+  }
   [[nodiscard]] double serving_utilization(const ApRuntime& ap, phy::Band band,
-                                           double hour) const;
+                                           double hour) const {
+    return sim::serving_utilization(ap, band, hour);
+  }
 
  private:
-  WorldConfig config_;
+  FleetRunner runner_;
   Rng rng_;
-  deploy::Fleet fleet_;
-  std::vector<ApRuntime> aps_;
-  std::unordered_map<std::uint32_t, std::size_t> ap_index_;
-  std::vector<MeshLink> links_;
-  backend::ReportStore store_;
-  backend::Poller poller_;
-  phy::PathLossModel pathloss_;
-  std::size_t client_count_ = 0;
-  std::uint64_t flows_classified_ = 0;
-  std::uint64_t flows_misclassified_ = 0;
-
-  void build_clients(const deploy::NetworkConfig& net, std::vector<ApRuntime*>& net_aps);
-  void build_links(const deploy::NetworkConfig& net, const std::vector<ApRuntime*>& net_aps);
-  void enqueue_report(ApRuntime& ap, wire::ApReport report);
-  [[nodiscard]] std::vector<wire::NeighborBss> neighbor_records(const ApRuntime& ap) const;
 };
 
 }  // namespace wlm::sim

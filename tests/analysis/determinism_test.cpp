@@ -1,0 +1,39 @@
+// End-to-end determinism of the analysis drivers across thread counts: the
+// rendered artifacts — not just the raw stores — must be byte-identical
+// whether the fleet runtime ran serially or on a worker pool.
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+
+namespace wlm::analysis {
+namespace {
+
+ScenarioScale small_scale(int threads) {
+  ScenarioScale scale;
+  scale.networks = 12;
+  scale.seed = 2015;
+  scale.threads = threads;
+  return scale;
+}
+
+TEST(Determinism, UsageStudyIdenticalAcrossThreadCounts) {
+  const auto serial = run_usage_study(small_scale(1));
+  const auto parallel = run_usage_study(small_scale(4));
+  EXPECT_EQ(render_table3(serial), render_table3(parallel));
+  EXPECT_EQ(render_table5(serial), render_table5(parallel));
+  EXPECT_EQ(render_table6(serial), render_table6(parallel));
+  EXPECT_EQ(serial.flows_classified, parallel.flows_classified);
+  EXPECT_EQ(serial.flows_misclassified, parallel.flows_misclassified);
+  EXPECT_DOUBLE_EQ(serial.mean_report_bytes_per_ap, parallel.mean_report_bytes_per_ap);
+}
+
+TEST(Determinism, UtilizationStudyIdenticalAcrossThreadCounts) {
+  const auto serial = run_utilization_study(small_scale(1));
+  const auto parallel = run_utilization_study(small_scale(4));
+  EXPECT_EQ(render_fig6(serial), render_fig6(parallel));
+  EXPECT_EQ(render_fig9(serial), render_fig9(parallel));
+  EXPECT_EQ(render_fig10(serial), render_fig10(parallel));
+}
+
+}  // namespace
+}  // namespace wlm::analysis

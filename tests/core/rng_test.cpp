@@ -143,6 +143,34 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, SubstreamIsReproducible) {
+  Rng a = Rng::substream(2015, 42);
+  Rng b = Rng::substream(2015, 42);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SubstreamsAreMutuallyIndependent) {
+  // Adjacent stream ids (the common case: consecutive network ids) must not
+  // produce correlated streams.
+  Rng a = Rng::substream(7, 1);
+  Rng b = Rng::substream(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SubstreamSeedsAreDistinct) {
+  // No collisions across a fleet-sized id range, and the derivation depends
+  // on the base seed too.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 4096; ++id) seeds.push_back(substream_seed(5, id));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  EXPECT_NE(substream_seed(5, 9), substream_seed(6, 9));
+}
+
 TEST(Rng, ChanceExtremes) {
   Rng rng(41);
   for (int i = 0; i < 100; ++i) {

@@ -1,6 +1,6 @@
 // wlmctl — command-line front end for the wlm measurement system.
 //
-//   wlmctl simulate [--networks N] [--seed S]    run all campaigns, print stats
+//   wlmctl simulate [--networks N] [--seed S] [--jobs N]   run all campaigns
 //   wlmctl report   <table2|table3|...|fig11>    regenerate one paper artifact
 //   wlmctl health   [--networks N] [--flap F]    run a week and triage the fleet
 //   wlmctl pcap     <path> [--flows N]           export a synthetic capture
@@ -56,6 +56,7 @@ sim::WorldConfig world_config(const Args& args) {
   config.fleet.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   config.seed = config.fleet.seed + 1;
   config.wan_flap_fraction = args.get_double("flap", 0.0);
+  config.threads = args.get_int("jobs", 1);
   return config;
 }
 
@@ -85,6 +86,7 @@ int cmd_report(const Args& args) {
   analysis::ScenarioScale scale;
   scale.networks = args.get_int("networks", 150);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  scale.threads = args.get_int("jobs", 1);
   const std::string& what = args.positional[0];
 
   if (what == "table2") {
@@ -190,6 +192,7 @@ int cmd_export(const Args& args) {
   analysis::ScenarioScale scale;
   scale.networks = args.get_int("networks", 150);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  scale.threads = args.get_int("jobs", 1);
   const std::string& dir = args.positional[0];
 
   std::vector<analysis::CsvDoc> docs;
@@ -229,11 +232,11 @@ int cmd_spectrum(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: wlmctl <command> [options]\n"
-               "  simulate  [--networks N] [--seed S] [--flap F]\n"
-               "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S]\n"
-               "  health    [--networks N] [--flap F]\n"
+               "  simulate  [--networks N] [--seed S] [--flap F] [--jobs N]\n"
+               "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S] [--jobs N]\n"
+               "  health    [--networks N] [--flap F] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
-               "  export    <dir> [--networks N] [--seed S]   write CSV data series\n"
+               "  export    <dir> [--networks N] [--seed S] [--jobs N]  write CSV data series\n"
                "  spectrum  [--seed S]\n");
   return 2;
 }
