@@ -1,6 +1,8 @@
-// Fleet health triage: runs a week of telemetry with WAN disturbances and a
-// "skyscraper" outlier, then lets the backend's health monitor find them —
-// the paper's §6.1 operational workflow.
+// Fleet health triage: runs a week of telemetry under a mixed fault scenario
+// — WAN outages, a couple of reboot processes, wire corruption, and a
+// "skyscraper" outlier inflating its scan tables — then lets the backend's
+// health monitor find the damage from the reports and tunnel statistics
+// alone: the paper's §6.1 operational workflow.
 #include <cstdio>
 
 #include "backend/health.hpp"
@@ -13,33 +15,39 @@ int main() {
   sim::WorldConfig config;
   config.fleet.epoch = deploy::Epoch::kJan2015;
   config.fleet.network_count = 25;
-  config.wan_flap_fraction = 0.1;  // a flaky WAN under some sites
   config.seed = 2026;
+  // The fault scenario: a flaky WAN under some sites, occasional power
+  // events, a lossy long-haul link, and a few Manhattan-skyscraper APs whose
+  // neighbor tables grow until the box OOM-reboots (§6.1).
+  config.faults.flap_fraction = 0.1;
+  config.faults.outage_rate_per_week = 1.0;
+  config.faults.outage_mean_hours = 30.0;
+  config.faults.reboot_rate_per_week = 0.5;
+  config.faults.corrupt_probability = 0.005;
+  config.faults.skyscraper_fraction = 0.05;
+  config.faults.skyscraper_neighbors = 600;
+  config.faults.oom_neighbor_threshold = 400;
   sim::World world(config);
-
-  // Inject a skyscraper outlier: thousands of audible foreign networks.
-  auto& outlier = world.aps().front();
-  Rng rng(1);
-  const deploy::NeighborGenerator dense(deploy::Epoch::kJan2015,
-                                        deploy::Density::kDenseUrban);
-  auto& env = const_cast<deploy::ApConfig&>(outlier.config()).environment;
-  for (int i = 0; i < 12; ++i) {
-    const auto extra = dense.generate(rng);
-    env.neighbors.insert(env.neighbors.end(), extra.neighbors.begin(),
-                         extra.neighbors.end());
-  }
 
   world.run_usage_week(7);
   world.run_mr16_interference(SimTime::epoch() + Duration::days(3));
-  world.harvest();
+  // Week-end harvest: APs still inside an open outage stay offline, which is
+  // exactly what the dashboard should be alerting on.
+  world.harvest(sim::HarvestMode::kWeekEnd);
 
-  // Feed per-AP report counts into the time-series store (the dashboard's
+  // Feed per-AP neighbor counts into the time-series store (the dashboard's
   // backing data) and run the health analysis.
   backend::TimeSeriesStore tsdb;
+  std::uint32_t outlier_ap = 0;
+  std::size_t outlier_neighbors = 0;
   world.store().for_each([&](const wire::ApReport& report) {
     tsdb.append(backend::SeriesKey{"neighbors", report.ap_id},
                 SimTime::from_micros(report.timestamp_us),
                 static_cast<double>(report.neighbors.size()));
+    if (report.neighbors.size() > outlier_neighbors) {
+      outlier_neighbors = report.neighbors.size();
+      outlier_ap = report.ap_id;
+    }
   });
   std::printf("tsdb: %zu series, %zu points\n", tsdb.series_count(), tsdb.total_points());
 
@@ -53,12 +61,16 @@ int main() {
   }
   std::fputs(backend::HealthMonitor::render(findings).c_str(), stdout);
 
-  // The outlier's neighbor series, downsampled for a dashboard panel.
-  const auto buckets =
-      tsdb.downsample(backend::SeriesKey{"neighbors", outlier.id().value()},
-                      SimTime::epoch(), SimTime::epoch() + Duration::days(7),
-                      Duration::days(1), backend::Agg::kMax);
-  std::printf("\nAP%u daily max audible neighbors:", outlier.id().value());
+  // End-to-end loss accounting: every generated report lands in exactly one
+  // bucket, so the operator can tell shed from lost from still-queued.
+  std::printf("\n%s\n", world.loss_ledger().render().c_str());
+
+  // The worst offender's neighbor series, downsampled for a dashboard panel.
+  const auto buckets = tsdb.downsample(backend::SeriesKey{"neighbors", outlier_ap},
+                                       SimTime::epoch(),
+                                       SimTime::epoch() + Duration::days(7),
+                                       Duration::days(1), backend::Agg::kMax);
+  std::printf("\nAP%u daily max audible neighbors:", outlier_ap);
   for (const auto& b : buckets) std::printf(" %.0f", b.value);
   std::printf("\n");
   return 0;

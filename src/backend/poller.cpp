@@ -1,28 +1,73 @@
 #include "backend/poller.hpp"
 
+#include <algorithm>
+
 #include "wire/framing.hpp"
 
 namespace wlm::backend {
 
-void Poller::attach(Tunnel& tunnel) { tunnels_.push_back(&tunnel); }
+void Poller::attach(Tunnel& tunnel) {
+  tunnels_.push_back(&tunnel);
+  TunnelCounters counters;
+  counters.ap = tunnel.ap();
+  counters_.push_back(counters);
+}
 
-void Poller::poll_all(std::size_t per_tunnel_budget) {
-  for (Tunnel* tunnel : tunnels_) {
+void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
+  for (std::size_t i = 0; i < tunnels_.size(); ++i) {
+    Tunnel* tunnel = tunnels_[i];
+    TunnelCounters& tc = counters_[i];
+    if (!ignore_backoff && tc.backoff_remaining > 0) {
+      --tc.backoff_remaining;
+      ++tc.cycles_backed_off;
+      ++stats_.polls_skipped_backoff;
+      continue;
+    }
     const auto frames = tunnel->poll(per_tunnel_budget);
+    bool saw_corrupt = false;
     for (const auto& frame : frames) {
-      ++stats_.frames_harvested;
-      stats_.bytes_harvested += frame.size();
+      ++tc.frames_polled;
       const auto decoded = wire::decode_stream(frame);
-      stats_.corrupt_frames += decoded.corrupt_frames;
+      if (decoded.corrupt_frames > 0) {
+        stats_.corrupt_frames += decoded.corrupt_frames;
+        tc.corrupt_frames += decoded.corrupt_frames;
+        saw_corrupt = true;
+      } else {
+        // Only cleanly framed data counts as harvested; a frame that failed
+        // its CRC delivered nothing.
+        ++stats_.frames_harvested;
+        stats_.bytes_harvested += frame.size();
+      }
       for (const auto& payload : decoded.payloads) {
         if (auto report = wire::decode_report(payload)) {
           store_->add(std::move(*report));
+          ++stats_.reports_stored;
+          ++tc.reports_stored;
         } else {
           ++stats_.malformed_reports;
+          ++tc.malformed_reports;
+          saw_corrupt = true;
         }
       }
     }
+    if (saw_corrupt) {
+      tc.backoff_level = std::min(tc.backoff_level + 1, policy_.max_backoff_level);
+      tc.backoff_remaining = (1 << tc.backoff_level) - 1;
+      tc.quarantined = tc.backoff_level >= policy_.quarantine_level;
+    } else if (!frames.empty()) {
+      // A clean poll proves the device recovered; stop punishing it.
+      tc.backoff_level = 0;
+      tc.backoff_remaining = 0;
+      tc.quarantined = false;
+    }
   }
+}
+
+const TunnelCounters* Poller::counters_for(ApId ap) const {
+  for (const auto& tc : counters_) {
+    if (tc.ap == ap) return &tc;
+  }
+  return nullptr;
 }
 
 std::vector<std::uint8_t> frame_report(const wire::ApReport& report) {

@@ -3,7 +3,11 @@
 //
 // The poller walks the registered tunnels each cycle, drains their framed
 // report streams, validates framing CRCs, decodes reports, and writes them
-// to the store. A per-cycle frame budget provides the load regulation.
+// to the store. A per-cycle frame budget provides the load regulation, and
+// per-tunnel accounting drives a retry/backoff loop: a device whose frames
+// keep failing CRC gets polled exponentially less often (up to quarantine at
+// the maximum backoff) instead of being hammered — one broken AP must not
+// absorb the collector's cycles. A clean poll resets the backoff.
 #pragma once
 
 #include <cstdint>
@@ -16,28 +20,68 @@
 namespace wlm::backend {
 
 struct PollerStats {
+  /// Frames whose framing decoded cleanly. Corrupt frames are counted in
+  /// `corrupt_frames` ONLY — a frame that yielded nothing was not harvested.
   std::uint64_t frames_harvested = 0;
-  std::uint64_t corrupt_frames = 0;   // framing CRC failures
+  std::uint64_t corrupt_frames = 0;     // framing CRC failures
   std::uint64_t malformed_reports = 0;  // decodable frame, bad message
-  std::uint64_t bytes_harvested = 0;
+  std::uint64_t bytes_harvested = 0;    // bytes of clean frames only
+  std::uint64_t reports_stored = 0;     // decoded reports written to the store
+  std::uint64_t polls_skipped_backoff = 0;
+};
+
+/// Per-tunnel harvest accounting: the attribution the fleet-wide totals
+/// cannot give (which device is feeding the collector garbage).
+struct TunnelCounters {
+  ApId ap;
+  std::uint64_t frames_polled = 0;
+  std::uint64_t corrupt_frames = 0;
+  std::uint64_t malformed_reports = 0;
+  std::uint64_t reports_stored = 0;
+  std::uint64_t cycles_backed_off = 0;
+  /// Current backoff: the tunnel is skipped for 2^level - 1 cycles after a
+  /// corrupt poll. At `PollerPolicy::quarantine_level` it is quarantined.
+  int backoff_level = 0;
+  int backoff_remaining = 0;
+  bool quarantined = false;
+};
+
+struct PollerPolicy {
+  /// Backoff doubles per consecutive corrupt cycle up to this level
+  /// (2^4 - 1 = 15 skipped cycles between attempts).
+  int max_backoff_level = 4;
+  /// Backoff level at which the tunnel counts as quarantined. Quarantine is
+  /// an alarm state, not a death sentence: the poller still retries at the
+  /// maximum backoff interval, and a clean poll lifts it.
+  int quarantine_level = 4;
 };
 
 class Poller {
  public:
-  explicit Poller(ReportStore& store) : store_(&store) {}
+  explicit Poller(ReportStore& store, PollerPolicy policy = PollerPolicy{})
+      : store_(&store), policy_(policy) {}
 
   /// Registers a device tunnel; the poller does not own it.
   void attach(Tunnel& tunnel);
 
   /// One poll cycle over all tunnels. `per_tunnel_budget` caps the frames
   /// pulled from any one device per cycle (peak-load regulation).
-  void poll_all(std::size_t per_tunnel_budget = 64);
+  /// `ignore_backoff` forces a poll of backed-off tunnels too — the final
+  /// harvest drains everything regardless of quarantine state.
+  void poll_all(std::size_t per_tunnel_budget = 64, bool ignore_backoff = false);
 
   [[nodiscard]] const PollerStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<TunnelCounters>& tunnel_counters() const {
+    return counters_;
+  }
+  /// Counters for one AP's tunnel; nullptr if not attached.
+  [[nodiscard]] const TunnelCounters* counters_for(ApId ap) const;
 
  private:
   ReportStore* store_;
+  PollerPolicy policy_;
   std::vector<Tunnel*> tunnels_;
+  std::vector<TunnelCounters> counters_;
   PollerStats stats_;
 };
 

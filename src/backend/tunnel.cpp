@@ -23,6 +23,13 @@ void Tunnel::disconnect() {
 
 void Tunnel::reconnect() { connected_ = true; }
 
+std::size_t Tunnel::flush() {
+  const std::size_t lost = queue_.size();
+  stats_.frames_flushed += lost;
+  queue_.clear();
+  return lost;
+}
+
 std::vector<std::vector<std::uint8_t>> Tunnel::poll(std::size_t max_frames) {
   std::vector<std::vector<std::uint8_t>> out;
   if (!connected_) return out;

@@ -21,6 +21,7 @@ struct TunnelStats {
   std::uint64_t frames_queued = 0;
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_dropped = 0;   // bounded-queue overflow
+  std::uint64_t frames_flushed = 0;   // lost to a device restart
   std::uint64_t bytes_delivered = 0;
   std::uint64_t disconnects = 0;
 };
@@ -42,6 +43,11 @@ class Tunnel {
   /// WAN events.
   void disconnect();
   void reconnect();
+
+  /// Device restart: every queued frame is gone (reports queue in RAM; the
+  /// paper's §6.1 OOM reboots lost exactly this state). Returns the number
+  /// of frames lost.
+  std::size_t flush();
 
   /// Backend side: drain up to `max_frames` queued frames (empty when
   /// disconnected — a pull never reaches a down device).

@@ -1,0 +1,101 @@
+#include "fault/injector.hpp"
+
+#include "wire/framing.hpp"
+
+namespace wlm::fault {
+
+FaultInjector::FaultInjector(const FaultSpec& spec, FaultPlan plan)
+    : spec_(spec.clamped()), plan_(std::move(plan)), states_(plan_.ap_count()),
+      enabled_(spec_.enabled()) {}
+
+void FaultInjector::reboot_now(ApState& state, backend::Tunnel& tunnel) {
+  // A restart loses everything queued device-side and bounces the WAN
+  // session. The disconnect is momentary unless the AP is inside an outage,
+  // in which case the tunnel stays down.
+  (void)tunnel.flush();
+  tunnel.disconnect();
+  if (!state.in_outage) tunnel.reconnect();
+  ++reboots_applied_;
+}
+
+void FaultInjector::advance(std::size_t ap, std::int64_t t_us, backend::Tunnel& tunnel) {
+  if (!enabled_ || ap >= states_.size()) return;
+  ApState& state = states_[ap];
+  const auto& events = plan_.schedule(ap).events;
+  while (state.cursor < events.size() && events[state.cursor].t_us <= t_us) {
+    const FaultEvent& event = events[state.cursor++];
+    switch (event.type) {
+      case FaultEventType::kOutageStart:
+        state.in_outage = true;
+        tunnel.disconnect();
+        break;
+      case FaultEventType::kOutageEnd:
+        state.in_outage = false;
+        tunnel.reconnect();
+        break;
+      case FaultEventType::kReboot:
+        reboot_now(state, tunnel);
+        break;
+    }
+  }
+  if (t_us > state.clock) state.clock = t_us;
+}
+
+void FaultInjector::on_report(std::size_t ap, wire::ApReport& report,
+                              backend::Tunnel& tunnel, Rng& rng) {
+  if (!enabled_ || ap >= states_.size()) return;
+  advance(ap, report.timestamp_us, tunnel);
+
+  // Skyscraper environments: scan reports hear hundreds of foreign BSSes.
+  // Only reports that carry a neighbor table (MR16/MR18 scans) inflate.
+  if (plan_.schedule(ap).skyscraper && !report.neighbors.empty()) {
+    report.neighbors.reserve(report.neighbors.size() + spec_.skyscraper_neighbors);
+    for (std::size_t i = 0; i < spec_.skyscraper_neighbors; ++i) {
+      wire::NeighborBss bss;
+      // Locally-administered MACs: synthetic, never colliding with OUIs.
+      bss.bssid = MacAddress::from_u64(0x020000000000ULL | (rng.next_u64() & 0xFFFFFFFFFFULL));
+      bss.band = 0;
+      bss.channel = static_cast<std::int32_t>(1 + 5 * rng.uniform_int(0, 2));  // 1/6/11
+      bss.rssi_dbm = rng.uniform(-88.0, -40.0);
+      bss.is_hotspot = rng.chance(0.2);
+      bss.is_same_fleet = false;
+      report.neighbors.push_back(bss);
+    }
+  }
+
+  // §6.1: the neighbor table outgrows the 64 MB box and the AP OOM-reboots,
+  // taking its unsent telemetry with it.
+  if (spec_.oom_neighbor_threshold > 0 &&
+      report.neighbors.size() > spec_.oom_neighbor_threshold) {
+    reboot_now(states_[ap], tunnel);
+    ++oom_reboots_;
+  }
+}
+
+void FaultInjector::on_frame(std::vector<std::uint8_t>& frame, Rng& rng) {
+  if (!enabled_ || spec_.corrupt_probability <= 0.0) return;
+  if (!rng.chance(spec_.corrupt_probability)) return;
+  const auto range = wire::frame_payload_range(frame);
+  if (!range || range->second <= range->first) return;
+  const auto offset = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(range->first),
+                      static_cast<std::int64_t>(range->second) - 1));
+  frame[offset] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+  ++frames_corrupted_;
+}
+
+void FaultInjector::on_harvest(std::size_t ap, backend::Tunnel& tunnel,
+                               bool final_catch_up) {
+  if (!enabled_ || ap >= states_.size()) return;
+  advance(ap, FaultPlan::horizon().as_micros(), tunnel);
+  if (final_catch_up) {
+    states_[ap].in_outage = false;
+    tunnel.reconnect();
+  }
+}
+
+bool FaultInjector::in_outage(std::size_t ap) const {
+  return enabled_ && ap < states_.size() && states_[ap].in_outage;
+}
+
+}  // namespace wlm::fault

@@ -1,0 +1,78 @@
+// Applies a FaultPlan to a shard's tunnels as campaigns generate telemetry.
+//
+// The injector is shard-confined, like everything else a campaign touches:
+// NetworkShard owns one, hands it each report on the way to the tunnel, and
+// lets it advance that AP's fault clock — WAN outage transitions disconnect
+// and reconnect the tunnel, reboots flush its queued frames (the loss the
+// §6.1 OOM story is about), and wire corruption flips payload bits so the
+// poller's CRC path runs under load. All randomness comes from the shard's
+// own stream, so scenarios replay bit-identically at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/tunnel.hpp"
+#include "core/rng.hpp"
+#include "fault/plan.hpp"
+#include "fault/spec.hpp"
+#include "wire/messages.hpp"
+
+namespace wlm::fault {
+
+class FaultInjector {
+ public:
+  /// A disabled injector: every hook is a no-op.
+  FaultInjector() = default;
+  FaultInjector(const FaultSpec& spec, FaultPlan plan);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Advances AP `ap`'s fault clock to `t_us`, applying every scheduled
+  /// event in between to its tunnel. Idempotent for t <= the clock.
+  void advance(std::size_t ap, std::int64_t t_us, backend::Tunnel& tunnel);
+
+  /// Per-report hook, before framing: advances the clock to the report's
+  /// timestamp, inflates skyscraper neighbor tables, and raises the OOM
+  /// reboot when the table crosses the threshold.
+  void on_report(std::size_t ap, wire::ApReport& report, backend::Tunnel& tunnel, Rng& rng);
+
+  /// Per-frame hook, after framing: maybe flips bits inside the payload
+  /// (never the header — a corrupt length would desynchronize the stream
+  /// instead of exercising the CRC path).
+  void on_frame(std::vector<std::uint8_t>& frame, Rng& rng);
+
+  /// Harvest-time hook: drives the schedule to the horizon. With
+  /// `final_catch_up` the tunnel reconnects regardless (the paper's §2
+  /// catch-up contract); without it, an AP whose outage is still open stays
+  /// unreachable — that is what "offline" looks like from the backend.
+  void on_harvest(std::size_t ap, backend::Tunnel& tunnel, bool final_catch_up);
+
+  /// True if AP `ap` is inside a WAN outage at its current clock.
+  [[nodiscard]] bool in_outage(std::size_t ap) const;
+
+  // Telemetry for tests and scenario summaries.
+  [[nodiscard]] std::uint64_t reboots_applied() const { return reboots_applied_; }
+  [[nodiscard]] std::uint64_t oom_reboots() const { return oom_reboots_; }
+  [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+
+ private:
+  struct ApState {
+    std::size_t cursor = 0;
+    std::int64_t clock = -1;
+    bool in_outage = false;
+  };
+
+  void reboot_now(ApState& state, backend::Tunnel& tunnel);
+
+  FaultSpec spec_;
+  FaultPlan plan_;
+  std::vector<ApState> states_;
+  bool enabled_ = false;
+  std::uint64_t reboots_applied_ = 0;
+  std::uint64_t oom_reboots_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+};
+
+}  // namespace wlm::fault

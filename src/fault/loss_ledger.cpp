@@ -1,0 +1,32 @@
+#include "fault/loss_ledger.hpp"
+
+#include <cstdio>
+
+namespace wlm::fault {
+
+LossLedger& LossLedger::merge(const LossLedger& other) {
+  generated += other.generated;
+  delivered += other.delivered;
+  shed += other.shed;
+  lost_reboot += other.lost_reboot;
+  lost_corruption += other.lost_corruption;
+  in_flight += other.in_flight;
+  return *this;
+}
+
+std::string LossLedger::render() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "loss ledger: %llu generated = %llu delivered (%.1f%%) + %llu shed + "
+                "%llu lost-reboot + %llu lost-corruption + %llu in-flight [%s]",
+                static_cast<unsigned long long>(generated),
+                static_cast<unsigned long long>(delivered), 100.0 * delivery_ratio(),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(lost_reboot),
+                static_cast<unsigned long long>(lost_corruption),
+                static_cast<unsigned long long>(in_flight),
+                conserved() ? "conserved" : "NOT CONSERVED");
+  return buf;
+}
+
+}  // namespace wlm::fault

@@ -1,0 +1,50 @@
+// End-to-end loss accounting for fleet telemetry.
+//
+// Every report a device generates must end up in exactly one bucket:
+// delivered (decoded into the backend store), shed (dropped by the bounded
+// device-side queue), lost to a reboot (queue flushed by a power/OOM/firmware
+// restart), lost to wire corruption (framing CRC or message decode failure),
+// or still in flight (queued on a tunnel the backend has not drained yet).
+// The conservation invariant
+//
+//     generated == delivered + shed + lost_reboot + lost_corruption + in_flight
+//
+// is structural: each counter is derived from the tunnel and poller
+// statistics at the layer where the frame's fate is decided, so a violation
+// means double- or under-counting somewhere in the pipeline, not a modelling
+// choice. tests/fault/fault_injection_test.cpp enforces it under a mixed
+// outage + reboot + corruption scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wlm::fault {
+
+struct LossLedger {
+  std::uint64_t generated = 0;        // reports enqueued at devices
+  std::uint64_t delivered = 0;        // decoded into the backend store
+  std::uint64_t shed = 0;             // bounded-queue overflow (oldest-first)
+  std::uint64_t lost_reboot = 0;      // queue flushed by an AP restart
+  std::uint64_t lost_corruption = 0;  // framing CRC / message decode failure
+  std::uint64_t in_flight = 0;        // still queued device-side
+
+  [[nodiscard]] std::uint64_t lost() const { return lost_reboot + lost_corruption; }
+  [[nodiscard]] std::uint64_t accounted() const {
+    return delivered + shed + lost_reboot + lost_corruption + in_flight;
+  }
+  [[nodiscard]] bool conserved() const { return generated == accounted(); }
+  [[nodiscard]] double delivery_ratio() const {
+    return generated == 0 ? 1.0
+                          : static_cast<double>(delivered) / static_cast<double>(generated);
+  }
+
+  LossLedger& merge(const LossLedger& other);
+
+  /// One-line human-readable summary (wlmctl, examples).
+  [[nodiscard]] std::string render() const;
+
+  bool operator==(const LossLedger&) const = default;
+};
+
+}  // namespace wlm::fault

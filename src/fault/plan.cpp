@@ -1,0 +1,102 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+namespace wlm::fault {
+
+namespace {
+
+struct Interval {
+  std::int64_t start;
+  std::int64_t end;
+};
+
+/// Merges overlapping outage intervals into a disjoint, sorted set so the
+/// event stream alternates strictly Start/End.
+std::vector<Interval> merge_intervals(std::vector<Interval> raw) {
+  std::sort(raw.begin(), raw.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> merged;
+  for (const auto& iv : raw) {
+    if (!merged.empty() && iv.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::build(const FaultSpec& raw_spec, Rng rng, std::size_t ap_count) {
+  const FaultSpec spec = raw_spec.clamped();
+  const std::int64_t horizon_us = horizon().as_micros();
+
+  FaultPlan plan;
+  plan.schedules_.resize(ap_count);
+  for (auto& schedule : plan.schedules_) {
+    std::vector<Interval> outages;
+
+    // Legacy one-shot flap: down from campaign start, never recovering
+    // inside the horizon (final harvest reconnects and catches up).
+    if (rng.chance(spec.flap_fraction)) {
+      outages.push_back(Interval{0, horizon_us * 2});
+    }
+    // WAN outage process: Poisson count, uniform starts, exponential
+    // durations (a long tail of multi-day outages at high means).
+    const std::int64_t n_outages = rng.poisson(spec.outage_rate_per_week);
+    for (std::int64_t i = 0; i < n_outages; ++i) {
+      const auto start = static_cast<std::int64_t>(
+          rng.uniform(0.0, static_cast<double>(horizon_us)));
+      const auto duration_us = static_cast<std::int64_t>(
+          rng.exponential(1.0 / (spec.outage_mean_hours * 3.6e9)));
+      outages.push_back(Interval{start, start + std::max<std::int64_t>(duration_us, 1)});
+    }
+
+    std::vector<FaultEvent> events;
+    for (const auto& iv : merge_intervals(std::move(outages))) {
+      events.push_back(FaultEvent{iv.start, FaultEventType::kOutageStart});
+      events.push_back(FaultEvent{iv.end, FaultEventType::kOutageEnd});
+    }
+
+    // Random power events.
+    const std::int64_t n_reboots = rng.poisson(spec.reboot_rate_per_week);
+    for (std::int64_t i = 0; i < n_reboots; ++i) {
+      events.push_back(FaultEvent{
+          static_cast<std::int64_t>(rng.uniform(0.0, static_cast<double>(horizon_us))),
+          FaultEventType::kReboot});
+    }
+    // Firmware-upgrade wave: affected APs restart inside the wave hour.
+    if (rng.chance(spec.firmware_wave_fraction)) {
+      const double t_hours = spec.firmware_wave_hour + rng.uniform(0.0, 1.0);
+      events.push_back(FaultEvent{static_cast<std::int64_t>(t_hours * 3.6e9),
+                                  FaultEventType::kReboot});
+    }
+
+    schedule.skyscraper = rng.chance(spec.skyscraper_fraction);
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.t_us < b.t_us; });
+    schedule.events = std::move(events);
+  }
+  return plan;
+}
+
+std::size_t FaultPlan::total_outages() const {
+  std::size_t n = 0;
+  for (const auto& s : schedules_) {
+    for (const auto& e : s.events) n += e.type == FaultEventType::kOutageStart;
+  }
+  return n;
+}
+
+std::size_t FaultPlan::total_reboots() const {
+  std::size_t n = 0;
+  for (const auto& s : schedules_) {
+    for (const auto& e : s.events) n += e.type == FaultEventType::kReboot;
+  }
+  return n;
+}
+
+}  // namespace wlm::fault

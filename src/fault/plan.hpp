@@ -1,0 +1,72 @@
+// Deterministic per-network fault schedules.
+//
+// A FaultPlan is drawn once, at shard construction, from a dedicated RNG
+// substream keyed by the network id — never from the shard's campaign
+// stream. Two consequences: (1) the same seed replays the same disruptions
+// bit-identically at any thread count, and (2) enabling faults does not
+// perturb the campaign's own draws, so a flap-only plan reproduces the
+// legacy one-shot behavior exactly.
+//
+// The schedule for one AP is a time-sorted list of events over the one-week
+// campaign horizon: WAN outage start/end transitions (merged into disjoint
+// intervals; an outage may remain open past the horizon — the AP is then
+// offline at week-end harvest), and reboot instants from random power
+// events plus the firmware-upgrade wave. Dynamic events (the §6.1 OOM
+// reboot) are not scheduled here; FaultInjector raises them when a report's
+// neighbor table crosses the configured threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "fault/spec.hpp"
+
+namespace wlm::fault {
+
+enum class FaultEventType : std::uint8_t {
+  kOutageStart,  // WAN down: tunnel disconnects, telemetry queues
+  kOutageEnd,    // WAN restored: backend catches up on the next poll
+  kReboot,       // power/firmware restart: queued telemetry is flushed
+};
+
+struct FaultEvent {
+  std::int64_t t_us = 0;
+  FaultEventType type = FaultEventType::kReboot;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct ApFaultSchedule {
+  /// Sorted by time; outage intervals are disjoint. An OutageStart without a
+  /// matching OutageEnd inside the horizon keeps the AP down through
+  /// week-end harvest.
+  std::vector<FaultEvent> events;
+  /// Skyscraper-afflicted: scan reports gain extra audible networks.
+  bool skyscraper = false;
+};
+
+class FaultPlan {
+ public:
+  /// Campaign horizon all schedules are drawn over.
+  [[nodiscard]] static constexpr Duration horizon() { return Duration::days(7); }
+
+  /// Draws a schedule for each of `ap_count` APs. `rng` must be a dedicated
+  /// substream (see file comment); the plan consumes it in AP order.
+  [[nodiscard]] static FaultPlan build(const FaultSpec& spec, Rng rng, std::size_t ap_count);
+
+  [[nodiscard]] std::size_t ap_count() const { return schedules_.size(); }
+  [[nodiscard]] const ApFaultSchedule& schedule(std::size_t ap) const {
+    return schedules_[ap];
+  }
+
+  // Aggregate counts, for tests and scenario summaries.
+  [[nodiscard]] std::size_t total_outages() const;
+  [[nodiscard]] std::size_t total_reboots() const;
+
+ private:
+  std::vector<ApFaultSchedule> schedules_;
+};
+
+}  // namespace wlm::fault

@@ -5,8 +5,9 @@
 namespace wlm::sim {
 
 ApRuntime::ApRuntime(const deploy::ApConfig& config, NetworkId network,
-                     deploy::Industry industry)
-    : config_(config), network_(network), industry_(industry), tunnel_(config.id) {}
+                     deploy::Industry industry, std::size_t queue_limit)
+    : config_(config), network_(network), industry_(industry),
+      tunnel_(config.id, queue_limit) {}
 
 void ApRuntime::set_tx_duty(double duty_24, double duty_5) {
   tx_duty_24_ = duty_24;

@@ -24,7 +24,9 @@ struct AssociatedClient {
 
 class ApRuntime {
  public:
-  ApRuntime(const deploy::ApConfig& config, NetworkId network, deploy::Industry industry);
+  /// `queue_limit` bounds the device-side tunnel queue (see backend::Tunnel).
+  ApRuntime(const deploy::ApConfig& config, NetworkId network, deploy::Industry industry,
+            std::size_t queue_limit = 4096);
 
   [[nodiscard]] const deploy::ApConfig& config() const { return config_; }
   [[nodiscard]] ApId id() const { return config_.id; }

@@ -14,20 +14,33 @@ void EventQueue::schedule_in(Duration delay, Callback fn) {
   schedule_at(now_ + delay, std::move(fn));
 }
 
+namespace {
+
+// Each firing re-queues a copy of itself; the shared_ptr keeps the user
+// callback (and its state) shared across firings. Self-contained copies —
+// no closure capturing its own shared_ptr — so the last firing past
+// `until` releases the body instead of leaking a reference cycle.
+struct Rearm {
+  EventQueue* queue;
+  Duration period;
+  SimTime until;
+  std::shared_ptr<EventQueue::Callback> body;
+
+  void operator()(SimTime t) const {
+    (*body)(t);
+    const SimTime next = t + period;
+    if (next <= until) queue->schedule_at(next, *this);
+  }
+};
+
+}  // namespace
+
 void EventQueue::schedule_every(Duration period, SimTime until, Callback fn) {
   assert(period > Duration{});
   const SimTime first = now_ + period;
   if (first > until) return;
-  // Each firing re-arms the next; the shared_ptr lets the closure refer to
-  // itself without a dangling reference.
-  auto body = std::make_shared<Callback>(std::move(fn));
-  auto rearm = std::make_shared<Callback>();
-  *rearm = [this, period, until, body, rearm](SimTime t) {
-    (*body)(t);
-    const SimTime next = t + period;
-    if (next <= until) schedule_at(next, *rearm);
-  };
-  schedule_at(first, *rearm);
+  schedule_at(first,
+              Rearm{this, period, until, std::make_shared<Callback>(std::move(fn))});
 }
 
 void EventQueue::run_until(SimTime until) {

@@ -9,11 +9,24 @@ namespace wlm::sim {
 
 FleetRunner::FleetRunner(WorldConfig config)
     : config_(std::move(config)), fleet_(deploy::generate_fleet(config_.fleet)) {
+  // Knob validation: a bad scale or fraction degrades to the nearest legal
+  // value instead of silently producing nonsense (negative client counts,
+  // chance() calls outside [0,1]).
+  if (!(config_.client_scale > 0.0)) config_.client_scale = 0.0;  // also catches NaN
+  if (!(config_.wan_flap_fraction > 0.0)) config_.wan_flap_fraction = 0.0;
+  if (config_.wan_flap_fraction > 1.0) config_.wan_flap_fraction = 1.0;
+  // Legacy flap shorthand folds into the fault spec; an explicit
+  // faults.flap_fraction wins.
+  if (config_.wan_flap_fraction > 0.0 && config_.faults.flap_fraction == 0.0) {
+    config_.faults.flap_fraction = config_.wan_flap_fraction;
+  }
+  config_.faults = config_.faults.clamped();
+
   ShardConfig shard_config;
   shard_config.epoch = config_.fleet.epoch;
   shard_config.client_scale = config_.client_scale;
   shard_config.seed = config_.seed;
-  shard_config.wan_flap_fraction = config_.wan_flap_fraction;
+  shard_config.faults = config_.faults;
 
   // Shard construction is independent per network (each shard's RNG is a
   // substream of the base seed), so it parallelizes like the campaigns do.
@@ -100,11 +113,11 @@ void FleetRunner::run_link_windows(SimTime t) {
   for_each_shard([&](NetworkShard& shard) { shard.run_link_windows(t); });
 }
 
-void FleetRunner::harvest() {
+void FleetRunner::harvest(HarvestMode mode) {
   // Drain in parallel (each poller touches only its shard's tunnels and
   // store), then merge serially in fleet order: the global store's content
   // is then independent of worker scheduling.
-  for_each_shard([](NetworkShard& shard) { shard.harvest_local(); });
+  for_each_shard([mode](NetworkShard& shard) { shard.harvest_local(mode); });
   for (auto& shard : shards_) store_.merge(std::move(shard->store()));
 }
 
@@ -134,6 +147,12 @@ std::uint64_t FleetRunner::flows_classified() const {
 std::uint64_t FleetRunner::flows_misclassified() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->flows_misclassified();
+  return total;
+}
+
+fault::LossLedger FleetRunner::loss_ledger() const {
+  fault::LossLedger total;
+  for (const auto& shard : shards_) total.merge(shard->loss_ledger());
   return total;
 }
 

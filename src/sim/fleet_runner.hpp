@@ -29,10 +29,16 @@ namespace wlm::sim {
 struct WorldConfig {
   deploy::FleetConfig fleet;
   /// Scales clients per AP (1.0 = the industry-calibrated counts).
+  /// Negative or NaN values clamp to 0 at construction.
   double client_scale = 1.0;
   std::uint64_t seed = 7;
-  /// Fraction of tunnels that experience a WAN flap during a campaign.
+  /// Legacy shorthand for faults.flap_fraction: the fraction of tunnels
+  /// that experience a one-shot WAN flap during a campaign. Folded into
+  /// `faults` at construction (kept so existing callers stay source
+  /// compatible); `faults.flap_fraction` wins when both are set.
   double wan_flap_fraction = 0.0;
+  /// Fault scenario applied per shard; all-zeros runs a clean campaign.
+  fault::FaultSpec faults;
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;
@@ -91,11 +97,12 @@ class FleetRunner {
   /// reported (Figure 3).
   void run_link_windows(SimTime t);
 
-  /// Reconnects every tunnel (flapped ones included: queued reports must
-  /// survive, per the paper's §2 design), drains each shard's tunnels into
-  /// its local store in parallel, then merges the shard stores into the
-  /// global store in fleet order.
-  void harvest();
+  /// Drains each shard's tunnels into its local store in parallel, then
+  /// merges the shard stores into the global store in fleet order. kFinal
+  /// reconnects every tunnel first (queued reports must survive a WAN
+  /// outage, per the paper's §2 design); kWeekEnd leaves APs inside a
+  /// still-open outage offline, their backlog in flight.
+  void harvest(HarvestMode mode = HarvestMode::kFinal);
 
   /// Delivery-ratio time series for one link across a simulated week
   /// (Figures 4/5); `link_index` indexes the flat mesh_links() view.
@@ -108,6 +115,9 @@ class FleetRunner {
   /// Total framed bytes enqueued per AP over the last usage campaign, for
   /// the ~1 kbit/s overhead claim.
   [[nodiscard]] double mean_report_bytes_per_ap() const;
+  /// Fleet-wide end-to-end loss accounting, summed over shards in fleet
+  /// order (see fault::LossLedger for the conservation invariant).
+  [[nodiscard]] fault::LossLedger loss_ledger() const;
 
  private:
   WorldConfig config_;

@@ -44,19 +44,36 @@ double serving_utilization(const ApRuntime& ap, phy::Band band, double hour) {
   return counters.utilization();
 }
 
+namespace {
+/// Salt separating the fault substreams from the campaign substreams; both
+/// are keyed by the network id below it.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA171FA171FA17ULL;
+}  // namespace
+
 NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& config)
     : net_(&net), config_(config),
       rng_(Rng::substream(config.seed, net.id.value())), poller_(store_) {
+  config_.faults = config_.faults.clamped();
   pathloss_.exponent = 3.2;
   pathloss_.shadowing_sigma_db = 7.0;
 
   aps_.reserve(net_->aps.size());
   for (const auto& ap : net_->aps) {
     ap_index_[ap.id.value()] = aps_.size();
-    aps_.emplace_back(ap, net_->id, net_->industry);
+    aps_.emplace_back(ap, net_->id, net_->industry, config_.faults.tunnel_queue_limit);
   }
   // aps_ never grows after this point; tunnel pointers stay valid.
   for (auto& ap : aps_) poller_.attach(ap.tunnel());
+
+  if (config_.faults.enabled()) {
+    // The plan and the runtime fault draws come from a dedicated substream
+    // pair: campaigns consume exactly the same randomness with faults on or
+    // off, so a faulted run perturbs only what the faults themselves touch.
+    Rng fault_stream = Rng::substream(config_.seed ^ kFaultSeedSalt, net_->id.value());
+    injector_ = fault::FaultInjector(
+        config_.faults, fault::FaultPlan::build(config_.faults, fault_stream.fork(), aps_.size()));
+    fault_rng_ = fault_stream.fork();
+  }
 
   build_clients();
   build_duties_and_peers();
@@ -217,7 +234,18 @@ void NetworkShard::build_links() {
 
 void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport report) {
   report.ap_id = ap.id().value();
-  ap.tunnel().enqueue(backend::frame_report(report));
+  if (!injector_.enabled()) {
+    ap.tunnel().enqueue(backend::frame_report(report));
+    return;
+  }
+  // The injector advances this AP's fault clock to the report's timestamp
+  // (outages and reboots fire here, in time order), inflates skyscraper scan
+  // tables, raises OOM reboots, and maybe corrupts the frame on the wire.
+  const std::size_t idx = ap_index_[ap.id().value()];
+  injector_.on_report(idx, report, ap.tunnel(), fault_rng_);
+  auto frame = backend::frame_report(report);
+  injector_.on_frame(frame, fault_rng_);
+  ap.tunnel().enqueue(std::move(frame));
 }
 
 std::vector<wire::NeighborBss> NetworkShard::neighbor_records(const ApRuntime& ap) const {
@@ -284,15 +312,6 @@ void NetworkShard::run_usage_week(int reports_per_week,
     return 1.0 + extra;
   };
 
-  // Optional WAN disturbance: some tunnels flap mid-campaign. They stay
-  // down until harvest reconnects them — reports queue device-side in the
-  // meantime (paper §2: the backend polls for queued information when the
-  // connection is reestablished). Reconnecting here, before the campaign's
-  // reports were even pulled, would let a second flap drop the backlog.
-  for (auto& ap : aps_) {
-    if (rng_.chance(config_.wan_flap_fraction)) ap.tunnel().disconnect();
-  }
-
   // Per-report-period usage rows, accumulated per (client, app) at the AP
   // that carried the traffic.
   struct Row {
@@ -337,12 +356,21 @@ void NetworkShard::run_usage_week(int reports_per_week,
     }
   }
 
-  for (ApRuntime& ap : aps_) {
-    const auto& rows = rows_by_ap[ap.id().value()];
-    for (int r = 0; r < reports_per_week; ++r) {
+  // Report-index-major so simulated time advances monotonically across the
+  // whole shard: the fault schedule fires in order, and with faults enabled
+  // the backend polls between reporting periods — that mid-week delivery is
+  // what makes a later reboot or outage visible as a reporting gap instead
+  // of an invisible reshuffle at harvest. (Clean runs skip the mid-week
+  // polls; their store content is identical either way because reports only
+  // land at harvest.) Per-AP queue order matches the old AP-major loop, so
+  // the store's arrival order is unchanged.
+  for (int r = 0; r < reports_per_week; ++r) {
+    const std::int64_t t_us =
+        (Duration::days(7) / reports_per_week * r + Duration::hours(12)).as_micros();
+    for (ApRuntime& ap : aps_) {
+      const auto& rows = rows_by_ap[ap.id().value()];
       wire::ApReport report;
-      report.timestamp_us =
-          (Duration::days(7) / reports_per_week * r + Duration::hours(12)).as_micros();
+      report.timestamp_us = t_us;
       report.firmware = 2;  // the second 2014 firmware revision
       for (const auto& row : rows) {
         wire::ClientUsage usage;
@@ -366,6 +394,7 @@ void NetworkShard::run_usage_week(int reports_per_week,
       }
       enqueue_report(ap, std::move(report));
     }
+    if (injector_.enabled()) poller_.poll_all(64);
   }
 }
 
@@ -391,6 +420,7 @@ void NetworkShard::snapshot_clients(SimTime t) {
     }
     enqueue_report(ap, std::move(report));
   }
+  if (injector_.enabled()) poller_.poll_all(64);
 }
 
 void NetworkShard::run_mr16_interference(SimTime t) {
@@ -420,6 +450,7 @@ void NetworkShard::run_mr16_interference(SimTime t) {
     report.neighbors = neighbor_records(ap);
     enqueue_report(ap, std::move(report));
   }
+  if (injector_.enabled()) poller_.poll_all(64);
 }
 
 void NetworkShard::run_mr18_scan(SimTime t, double hour) {
@@ -443,6 +474,7 @@ void NetworkShard::run_mr18_scan(SimTime t, double hour) {
     report.neighbors = neighbor_records(ap);
     enqueue_report(ap, std::move(report));
   }
+  if (injector_.enabled()) poller_.poll_all(64);
 }
 
 void NetworkShard::run_link_windows(SimTime t) {
@@ -468,22 +500,51 @@ void NetworkShard::run_link_windows(SimTime t) {
     report.links.push_back(rec);
     enqueue_report(receiver, std::move(report));
   }
+  if (injector_.enabled()) poller_.poll_all(64);
 }
 
-void NetworkShard::harvest_local() {
-  for (auto& ap : aps_) ap.tunnel().reconnect();
-  // Pull-based with a per-cycle budget: loop until everything drained.
+void NetworkShard::harvest_local(HarvestMode mode) {
+  if (injector_.enabled()) {
+    // Drive every AP's fault schedule to the horizon first; kFinal then
+    // reconnects even APs whose outage is still open (§2 catch-up), while
+    // kWeekEnd leaves them offline with their backlog in flight.
+    for (std::size_t i = 0; i < aps_.size(); ++i) {
+      injector_.on_harvest(i, aps_[i].tunnel(), mode == HarvestMode::kFinal);
+    }
+  } else {
+    for (auto& ap : aps_) ap.tunnel().reconnect();
+  }
+  // Pull-based with a per-cycle budget: loop until every reachable tunnel
+  // drained. Backoff is overridden — the final harvest pulls quarantined
+  // devices too, so nothing recoverable is stranded by the retry policy.
   for (int cycle = 0; cycle < 1000; ++cycle) {
     bool any = false;
     for (const auto& ap : aps_) {
-      if (ap.tunnel().queued() > 0) {
+      if (ap.tunnel().connected() && ap.tunnel().queued() > 0) {
         any = true;
         break;
       }
     }
     if (!any) break;
-    poller_.poll_all(64);
+    poller_.poll_all(64, /*ignore_backoff=*/true);
   }
+}
+
+fault::LossLedger NetworkShard::loss_ledger() const {
+  fault::LossLedger ledger;
+  for (const auto& ap : aps_) {
+    const auto& ts = ap.tunnel().stats();
+    ledger.generated += ts.frames_queued;
+    ledger.shed += ts.frames_dropped;
+    ledger.lost_reboot += ts.frames_flushed;
+    ledger.in_flight += ap.tunnel().queued();
+  }
+  // Each frame carries exactly one report (backend::frame_report), so the
+  // poller's per-report and per-frame counters add up against the tunnels'.
+  const auto& ps = poller_.stats();
+  ledger.delivered = ps.reports_stored;
+  ledger.lost_corruption = ps.corrupt_frames + ps.malformed_reports;
+  return ledger;
 }
 
 }  // namespace wlm::sim

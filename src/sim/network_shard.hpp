@@ -17,6 +17,8 @@
 #include "backend/poller.hpp"
 #include "backend/store.hpp"
 #include "deploy/generator.hpp"
+#include "fault/injector.hpp"
+#include "fault/loss_ledger.hpp"
 #include "sim/ap.hpp"
 #include "sim/link.hpp"
 #include "traffic/diurnal.hpp"
@@ -30,8 +32,22 @@ struct ShardConfig {
   double client_scale = 1.0;
   /// Base seed; each shard draws substream `network id` of it.
   std::uint64_t seed = 7;
-  /// Fraction of tunnels that experience a WAN flap during a campaign.
-  double wan_flap_fraction = 0.0;
+  /// Fault scenario; FaultSpec{} (all zeros) runs a clean campaign. The
+  /// shard's FaultPlan is drawn from a dedicated substream, so enabling
+  /// faults never perturbs the campaign's own draws.
+  fault::FaultSpec faults;
+};
+
+/// How harvest treats tunnels that are down when the week ends.
+enum class HarvestMode {
+  /// Reconnect everything and catch up (paper §2: the backend polls for
+  /// queued information when the connection is reestablished). After this,
+  /// in_flight is zero and no report is stranded.
+  kFinal,
+  /// Leave tunnels inside a still-open WAN outage disconnected: their
+  /// backlog stays in flight and the backend sees those APs as offline —
+  /// the view HealthMonitor alerts on.
+  kWeekEnd,
 };
 
 class NetworkShard {
@@ -50,6 +66,8 @@ class NetworkShard {
   [[nodiscard]] std::vector<MeshLink>& links() { return links_; }
   [[nodiscard]] const std::vector<MeshLink>& links() const { return links_; }
   [[nodiscard]] backend::ReportStore& store() { return store_; }
+  [[nodiscard]] const backend::Poller& poller() const { return poller_; }
+  [[nodiscard]] const fault::FaultInjector& injector() const { return injector_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] std::size_t client_count() const { return client_count_; }
   [[nodiscard]] ApRuntime* find_ap(ApId id);
@@ -62,19 +80,27 @@ class NetworkShard {
   void run_mr18_scan(SimTime t, double hour);
   void run_link_windows(SimTime t);
 
-  /// Reconnects this shard's tunnels (WAN-flapped ones included — queued
-  /// reports survive, per the paper's §2 queue-and-catch-up design) and
-  /// drains them into the shard-local store.
-  void harvest_local();
+  /// Drains this shard's tunnels into the shard-local store. kFinal
+  /// reconnects every tunnel first (queued reports survive a WAN outage, per
+  /// the paper's §2 queue-and-catch-up design); kWeekEnd leaves APs inside a
+  /// still-open outage offline, backlog in flight.
+  void harvest_local(HarvestMode mode = HarvestMode::kFinal);
 
   // --- pipeline statistics ---
   [[nodiscard]] std::uint64_t flows_classified() const { return flows_classified_; }
   [[nodiscard]] std::uint64_t flows_misclassified() const { return flows_misclassified_; }
+  /// End-to-end loss accounting, derived from this shard's tunnel and poller
+  /// statistics (see fault::LossLedger for the conservation invariant).
+  [[nodiscard]] fault::LossLedger loss_ledger() const;
 
  private:
   const deploy::NetworkConfig* net_;
   ShardConfig config_;
   Rng rng_;
+  /// Runtime fault draws (corruption, skyscraper tables). A sibling of the
+  /// plan's substream, so faults never consume campaign randomness.
+  Rng fault_rng_;
+  fault::FaultInjector injector_;
   phy::PathLossModel pathloss_;
   std::vector<ApRuntime> aps_;
   std::unordered_map<std::uint32_t, std::size_t> ap_index_;

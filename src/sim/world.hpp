@@ -43,7 +43,7 @@ class World {
   void run_mr16_interference(SimTime t) { runner_.run_mr16_interference(t); }
   void run_mr18_scan(SimTime t, double hour) { runner_.run_mr18_scan(t, hour); }
   void run_link_windows(SimTime t) { runner_.run_link_windows(t); }
-  void harvest() { runner_.harvest(); }
+  void harvest(HarvestMode mode = HarvestMode::kFinal) { runner_.harvest(mode); }
 
   using SeriesPoint = sim::SeriesPoint;
   [[nodiscard]] std::vector<SeriesPoint> link_week_series(std::size_t link_index,
@@ -59,6 +59,7 @@ class World {
   [[nodiscard]] double mean_report_bytes_per_ap() const {
     return runner_.mean_report_bytes_per_ap();
   }
+  [[nodiscard]] fault::LossLedger loss_ledger() const { return runner_.loss_ledger(); }
   [[nodiscard]] double serving_utilization(const ApRuntime& ap, phy::Band band,
                                            double hour) const {
     return sim::serving_utilization(ap, band, hour);

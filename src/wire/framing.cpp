@@ -52,4 +52,16 @@ std::size_t frame_overhead(std::size_t payload_size) {
   return 2 + varint_size(payload_size) + 4;
 }
 
+std::optional<std::pair<std::size_t, std::size_t>> frame_payload_range(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < 2 || frame[0] != kFrameMagic0 || frame[1] != kFrameMagic1) {
+    return std::nullopt;
+  }
+  const auto len = get_varint(frame.subspan(2));
+  if (!len) return std::nullopt;
+  const std::size_t begin = 2 + len->consumed;
+  if (begin + len->value + 4 > frame.size()) return std::nullopt;
+  return std::make_pair(begin, begin + static_cast<std::size_t>(len->value));
+}
+
 }  // namespace wlm::wire

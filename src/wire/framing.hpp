@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace wlm::wire {
@@ -30,5 +31,12 @@ struct StreamDecodeResult {
 
 /// Framing overhead in bytes for a payload of the given size.
 [[nodiscard]] std::size_t frame_overhead(std::size_t payload_size);
+
+/// Byte range [first, second) of the payload inside a buffer that starts
+/// with one complete frame (magic at offset 0, full payload + CRC present).
+/// Lets a fault injector flip payload bits — and only payload bits, so the
+/// damage lands on the CRC check rather than desynchronizing the stream.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> frame_payload_range(
+    std::span<const std::uint8_t> frame);
 
 }  // namespace wlm::wire

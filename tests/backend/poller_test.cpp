@@ -87,6 +87,97 @@ TEST(Poller, DisconnectedTunnelSkipped) {
   EXPECT_EQ(store.report_count(), 1u);
 }
 
+TEST(Poller, CorruptFrameNotCountedAsHarvested) {
+  // A frame that failed its CRC delivered nothing: it must not inflate
+  // frames_harvested or bytes_harvested.
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{10});
+  poller.attach(t);
+  auto framed = frame_report(report_for(10));
+  framed[framed.size() / 2] ^= 0x01;
+  t.enqueue(std::move(framed));
+  poller.poll_all();
+  EXPECT_EQ(poller.stats().frames_harvested, 0u);
+  EXPECT_EQ(poller.stats().bytes_harvested, 0u);
+  EXPECT_EQ(poller.stats().corrupt_frames, 1u);
+  EXPECT_EQ(poller.stats().reports_stored, 0u);
+}
+
+TEST(Poller, PerTunnelCountersAttributeDamage) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel good(ApId{11});
+  Tunnel bad(ApId{12});
+  poller.attach(good);
+  poller.attach(bad);
+  good.enqueue(frame_report(report_for(11)));
+  auto framed = frame_report(report_for(12));
+  framed[framed.size() / 2] ^= 0x01;
+  bad.enqueue(std::move(framed));
+  poller.poll_all();
+  const TunnelCounters* gc = poller.counters_for(ApId{11});
+  const TunnelCounters* bc = poller.counters_for(ApId{12});
+  ASSERT_NE(gc, nullptr);
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(gc->reports_stored, 1u);
+  EXPECT_EQ(gc->corrupt_frames, 0u);
+  EXPECT_EQ(gc->backoff_level, 0);
+  EXPECT_EQ(bc->corrupt_frames, 1u);
+  EXPECT_EQ(bc->reports_stored, 0u);
+  EXPECT_EQ(bc->backoff_level, 1);
+  EXPECT_EQ(poller.counters_for(ApId{999}), nullptr);
+}
+
+TEST(Poller, RepeatedCorruptionBacksOffThenQuarantines) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{13});
+  poller.attach(t);
+  auto corrupt_frame = [] {
+    auto framed = frame_report(report_for(13));
+    framed[framed.size() / 2] ^= 0x01;
+    return framed;
+  };
+  // Keep the device spewing garbage; the poller should poll it less and
+  // less instead of hammering it every cycle.
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    if (t.queued() == 0) t.enqueue(corrupt_frame());
+    poller.poll_all();
+  }
+  const TunnelCounters* tc = poller.counters_for(ApId{13});
+  ASSERT_NE(tc, nullptr);
+  EXPECT_TRUE(tc->quarantined);
+  EXPECT_EQ(tc->backoff_level, 4);
+  EXPECT_GT(tc->cycles_backed_off, 10u);
+  EXPECT_GT(poller.stats().polls_skipped_backoff, 10u);
+  // One clean poll lifts the quarantine. Drain the stale corrupt frame the
+  // quarantine left queued so the next poll sees only clean traffic.
+  (void)t.poll();
+  t.enqueue(frame_report(report_for(13)));
+  poller.poll_all(/*per_tunnel_budget=*/64, /*ignore_backoff=*/true);
+  EXPECT_FALSE(poller.counters_for(ApId{13})->quarantined);
+  EXPECT_EQ(poller.counters_for(ApId{13})->backoff_level, 0);
+}
+
+TEST(Poller, IgnoreBackoffDrainsBackedOffTunnel) {
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{14});
+  poller.attach(t);
+  auto framed = frame_report(report_for(14));
+  framed[framed.size() / 2] ^= 0x01;
+  t.enqueue(std::move(framed));
+  poller.poll_all();  // corrupt -> backed off
+  t.enqueue(frame_report(report_for(14, 2000)));
+  poller.poll_all();  // skipped: still backing off
+  EXPECT_EQ(store.report_count(), 0u);
+  EXPECT_EQ(t.queued(), 1u);
+  // The final harvest overrides backoff so nothing recoverable strands.
+  poller.poll_all(/*per_tunnel_budget=*/64, /*ignore_backoff=*/true);
+  EXPECT_EQ(store.report_count(), 1u);
+}
+
 TEST(FrameReport, RoundTripsThroughFraming) {
   const auto framed = frame_report(report_for(7, 424242));
   const auto decoded = wire::decode_stream(framed);

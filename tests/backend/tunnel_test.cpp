@@ -67,6 +67,35 @@ TEST(Tunnel, StatsCountBytes) {
   EXPECT_EQ(t.stats().frames_queued, 2u);
 }
 
+TEST(Tunnel, FlushLosesEverythingQueued) {
+  // A device restart drops the in-RAM queue (§6.1 OOM reboots lost exactly
+  // this state); the loss is visible in frames_flushed, never silent.
+  Tunnel t(ApId{8});
+  for (std::uint8_t i = 0; i < 4; ++i) t.enqueue(frame(i));
+  EXPECT_EQ(t.flush(), 4u);
+  EXPECT_EQ(t.queued(), 0u);
+  EXPECT_EQ(t.stats().frames_flushed, 4u);
+  EXPECT_EQ(t.stats().frames_queued, 4u);  // generation counter unaffected
+  EXPECT_TRUE(t.poll().empty());
+  EXPECT_EQ(t.flush(), 0u);  // idempotent on an empty queue
+}
+
+TEST(Tunnel, OverflowShedsExactlyTheExcess) {
+  Tunnel t(ApId{9}, /*queue_limit=*/4);
+  for (std::uint8_t i = 0; i < 10; ++i) t.enqueue(frame(i));
+  EXPECT_EQ(t.stats().frames_queued, 10u);
+  EXPECT_EQ(t.stats().frames_dropped, 6u);
+  EXPECT_EQ(t.queued(), 4u);
+  const auto out = t.poll();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], frame(6));  // oldest six shed, freshest four kept
+  EXPECT_EQ(out[3], frame(9));
+  // Conservation at the tunnel: queued == delivered + dropped + flushed.
+  EXPECT_EQ(t.stats().frames_queued,
+            t.stats().frames_delivered + t.stats().frames_dropped +
+                t.stats().frames_flushed);
+}
+
 TEST(Tunnel, DisconnectCountsOnce) {
   Tunnel t(ApId{7});
   t.disconnect();

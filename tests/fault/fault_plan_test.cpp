@@ -1,0 +1,111 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::fault {
+namespace {
+
+TEST(FaultPlan, DeterministicForSameStream) {
+  FaultSpec spec;
+  spec.outage_rate_per_week = 3.0;
+  spec.reboot_rate_per_week = 2.0;
+  spec.firmware_wave_fraction = 0.5;
+  spec.skyscraper_fraction = 0.2;
+  const FaultPlan a = FaultPlan::build(spec, Rng{42}, 64);
+  const FaultPlan b = FaultPlan::build(spec, Rng{42}, 64);
+  ASSERT_EQ(a.ap_count(), b.ap_count());
+  for (std::size_t i = 0; i < a.ap_count(); ++i) {
+    EXPECT_EQ(a.schedule(i).events, b.schedule(i).events);
+    EXPECT_EQ(a.schedule(i).skyscraper, b.schedule(i).skyscraper);
+  }
+  const FaultPlan c = FaultPlan::build(spec, Rng{43}, 64);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.ap_count() && !any_difference; ++i) {
+    any_difference = a.schedule(i).events != c.schedule(i).events;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, FlapIsDegenerateOutage) {
+  // flap=1 reproduces the legacy one-shot flap: every AP goes down at t=0
+  // and stays down past the horizon, so only the final harvest reconnects.
+  FaultSpec spec;
+  spec.flap_fraction = 1.0;
+  const FaultPlan plan = FaultPlan::build(spec, Rng{7}, 16);
+  for (std::size_t i = 0; i < plan.ap_count(); ++i) {
+    const auto& events = plan.schedule(i).events;
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].type, FaultEventType::kOutageStart);
+    EXPECT_EQ(events[0].t_us, 0);
+    EXPECT_EQ(events[1].type, FaultEventType::kOutageEnd);
+    EXPECT_GT(events[1].t_us, FaultPlan::horizon().as_micros());
+  }
+}
+
+TEST(FaultPlan, OutagesSortedAndAlternating) {
+  FaultSpec spec;
+  spec.outage_rate_per_week = 6.0;
+  spec.outage_mean_hours = 10.0;
+  const FaultPlan plan = FaultPlan::build(spec, Rng{11}, 40);
+  for (std::size_t i = 0; i < plan.ap_count(); ++i) {
+    std::int64_t last_t = -1;
+    int depth = 0;  // outage nesting depth; merged intervals keep it in {0,1}
+    for (const auto& event : plan.schedule(i).events) {
+      EXPECT_GE(event.t_us, last_t);
+      last_t = event.t_us;
+      if (event.type == FaultEventType::kOutageStart) {
+        EXPECT_EQ(depth, 0);
+        ++depth;
+      } else if (event.type == FaultEventType::kOutageEnd) {
+        EXPECT_EQ(depth, 1);
+        --depth;
+      }
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+TEST(FaultPlan, EventCountsTrackRates) {
+  FaultSpec spec;
+  spec.outage_rate_per_week = 2.0;
+  spec.reboot_rate_per_week = 3.0;
+  const std::size_t aps = 200;
+  const FaultPlan plan = FaultPlan::build(spec, Rng{5}, aps);
+  // Poisson processes: expect counts near rate * ap_count. Wide tolerance —
+  // this guards against misreading the rate as per-day or per-AP-squared,
+  // not against statistical noise.
+  EXPECT_GT(plan.total_outages(), aps);
+  EXPECT_LT(plan.total_outages(), 3 * aps);
+  EXPECT_GT(plan.total_reboots(), 2 * aps);
+  EXPECT_LT(plan.total_reboots(), 4 * aps);
+}
+
+TEST(FaultPlan, FirmwareWaveRestartsInsideItsHour) {
+  FaultSpec spec;
+  spec.firmware_wave_fraction = 1.0;
+  spec.firmware_wave_hour = 60.0;
+  const FaultPlan plan = FaultPlan::build(spec, Rng{3}, 32);
+  EXPECT_EQ(plan.total_reboots(), 32u);
+  const std::int64_t lo = static_cast<std::int64_t>(60.0 * 3.6e9);
+  const std::int64_t hi = static_cast<std::int64_t>(61.0 * 3.6e9);
+  for (std::size_t i = 0; i < plan.ap_count(); ++i) {
+    ASSERT_EQ(plan.schedule(i).events.size(), 1u);
+    const auto& event = plan.schedule(i).events[0];
+    EXPECT_EQ(event.type, FaultEventType::kReboot);
+    EXPECT_GE(event.t_us, lo);
+    EXPECT_LE(event.t_us, hi);
+  }
+}
+
+TEST(FaultPlan, SkyscraperFractionMarksSomeAps) {
+  FaultSpec spec;
+  spec.skyscraper_fraction = 0.5;
+  const FaultPlan plan = FaultPlan::build(spec, Rng{9}, 100);
+  std::size_t marked = 0;
+  for (std::size_t i = 0; i < plan.ap_count(); ++i) marked += plan.schedule(i).skyscraper;
+  EXPECT_GT(marked, 20u);
+  EXPECT_LT(marked, 80u);
+}
+
+}  // namespace
+}  // namespace wlm::fault

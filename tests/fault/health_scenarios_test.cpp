@@ -1,0 +1,108 @@
+// Every HealthIssue class must be producible by a fault scenario: the
+// monitor exists to diagnose exactly the §6.1 failures the injector models,
+// so each signal gets a scenario that provably raises it.
+#include <gtest/gtest.h>
+
+#include "backend/health.hpp"
+#include "sim/fleet_runner.hpp"
+
+namespace wlm::sim {
+namespace {
+
+WorldConfig scenario(const fault::FaultSpec& faults, int networks = 8,
+                     std::uint64_t seed = 99) {
+  WorldConfig cfg;
+  cfg.fleet.epoch = deploy::Epoch::kJan2015;
+  cfg.fleet.network_count = networks;
+  cfg.fleet.seed = seed;
+  cfg.seed = seed + 1;
+  cfg.faults = faults;
+  return cfg;
+}
+
+std::vector<backend::HealthFinding> triage(FleetRunner& runner) {
+  backend::HealthPolicy policy;
+  policy.expected_interval = Duration::days(1);
+  const backend::HealthMonitor monitor(policy);
+  auto findings =
+      monitor.analyze(runner.store(), SimTime::epoch() + Duration::days(7));
+  for (const auto& ap : runner.aps()) {
+    const auto t = monitor.analyze_tunnel(ap.tunnel());
+    findings.insert(findings.end(), t.begin(), t.end());
+  }
+  return findings;
+}
+
+bool has_issue(const std::vector<backend::HealthFinding>& findings,
+               backend::HealthIssue issue) {
+  for (const auto& f : findings) {
+    if (f.issue == issue) return true;
+  }
+  return false;
+}
+
+TEST(HealthScenarios, TelemetryShedFromTinyQueueUnderFlap) {
+  fault::FaultSpec faults;
+  faults.flap_fraction = 1.0;
+  faults.tunnel_queue_limit = 2;  // a 7-report backlog cannot fit
+  FleetRunner runner(scenario(faults));
+  runner.run_usage_week(7);
+  runner.harvest(HarvestMode::kFinal);
+  EXPECT_TRUE(has_issue(triage(runner), backend::HealthIssue::kTelemetryShed));
+  EXPECT_GT(runner.loss_ledger().shed, 0u);
+}
+
+TEST(HealthScenarios, WanFlappingFromDenseOutageProcess) {
+  fault::FaultSpec faults;
+  faults.outage_rate_per_week = 12.0;
+  faults.outage_mean_hours = 2.0;
+  FleetRunner runner(scenario(faults));
+  runner.run_usage_week(7);
+  runner.harvest(HarvestMode::kFinal);
+  EXPECT_TRUE(has_issue(triage(runner), backend::HealthIssue::kWanFlapping));
+}
+
+TEST(HealthScenarios, OfflineFromOutageOpenPastWeekEnd) {
+  fault::FaultSpec faults;
+  faults.outage_rate_per_week = 2.0;
+  faults.outage_mean_hours = 400.0;
+  FleetRunner runner(scenario(faults));
+  runner.run_usage_week(7);
+  // Week-end view: APs inside an open outage have not reported for days.
+  runner.harvest(HarvestMode::kWeekEnd);
+  EXPECT_TRUE(has_issue(triage(runner), backend::HealthIssue::kOffline));
+}
+
+TEST(HealthScenarios, ReportingGapsFromRebootDuringOutage) {
+  // An outage queues reports; a reboot inside it flushes the backlog; the
+  // WAN comes back and reporting resumes — leaving a multi-day hole in the
+  // AP's timeline.
+  fault::FaultSpec faults;
+  faults.outage_rate_per_week = 3.0;
+  faults.outage_mean_hours = 30.0;
+  faults.reboot_rate_per_week = 6.0;
+  FleetRunner runner(scenario(faults));
+  runner.run_usage_week(7);
+  runner.harvest(HarvestMode::kFinal);
+  EXPECT_TRUE(has_issue(triage(runner), backend::HealthIssue::kReportingGaps));
+}
+
+TEST(HealthScenarios, NeighborPressureFromSkyscraperAps) {
+  fault::FaultSpec faults;
+  faults.skyscraper_fraction = 0.3;
+  faults.skyscraper_neighbors = 600;  // threshold is 400
+  FleetRunner runner(scenario(faults));
+  runner.run_mr16_interference(SimTime::epoch() + Duration::days(3));
+  runner.harvest(HarvestMode::kFinal);
+  EXPECT_TRUE(has_issue(triage(runner), backend::HealthIssue::kNeighborPressure));
+}
+
+TEST(HealthScenarios, CleanFleetHasNoFindings) {
+  FleetRunner runner(scenario(fault::FaultSpec{}));
+  runner.run_usage_week(7);
+  runner.harvest(HarvestMode::kFinal);
+  EXPECT_TRUE(triage(runner).empty());
+}
+
+}  // namespace
+}  // namespace wlm::sim

@@ -91,6 +91,42 @@ TEST(Framing, LargePayloadRoundTrip) {
   EXPECT_EQ(result.payloads[0], payload);
 }
 
+TEST(Framing, PayloadRangeLocatesExactlyThePayload) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload_of("abcdefgh"));
+  const auto range = frame_payload_range(stream);
+  ASSERT_TRUE(range.has_value());
+  // 2 magic + 1 varint length byte precede the 8-byte payload.
+  EXPECT_EQ(range->first, 3u);
+  EXPECT_EQ(range->second, 11u);
+  EXPECT_EQ(stream[range->first], 'a');
+  EXPECT_EQ(stream[range->second - 1], 'h');
+  // Flipping a bit inside the range damages the CRC, not the framing.
+  stream[range->first + 2] ^= 0x01;
+  const auto result = decode_stream(stream);
+  EXPECT_TRUE(result.payloads.empty());
+  EXPECT_EQ(result.corrupt_frames, 1u);
+  EXPECT_EQ(result.resync_bytes, 0u);
+}
+
+TEST(Framing, PayloadRangeRejectsNonFrames) {
+  EXPECT_FALSE(frame_payload_range({}).has_value());
+  const std::vector<std::uint8_t> noise{0x01, 0x02, 0x03, 0x04, 0x05};
+  EXPECT_FALSE(frame_payload_range(noise).has_value());
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, payload_of("truncated"));
+  stream.pop_back();  // CRC no longer fully present
+  EXPECT_FALSE(frame_payload_range(stream).has_value());
+}
+
+TEST(Framing, PayloadRangeEmptyPayloadIsEmptyRange) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, {});
+  const auto range = frame_payload_range(stream);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, range->second);
+}
+
 TEST(Framing, MagicInsidePayloadDoesNotConfuse) {
   // A payload containing the magic sequence must not break framing.
   std::vector<std::uint8_t> payload{kFrameMagic0, kFrameMagic1, kFrameMagic0,

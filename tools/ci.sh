@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 suite plus sanitizer passes.
+#
+#   tools/ci.sh            # tier-1 + ASan/UBSan + TSan
+#   tools/ci.sh --fast     # tier-1 only
+#
+# Each configuration builds into its own tree (build/, build-asan/,
+# build-tsan/) so switching sanitizers never poisons the plain build.
+# TSan specifically vets the sharded fleet harvest: the determinism tests
+# run the same campaign at several thread counts, which is exactly the
+# interleaving a data race would need to surface.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  cmake --build "${dir}" -j"$(nproc)"
+  (cd "${dir}" && ctest --output-on-failure -j"$(nproc)")
+}
+
+run_suite build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_suite build-asan -DWLM_SANITIZE=address
+  run_suite build-tsan -DWLM_SANITIZE=thread
+fi
+
+echo "=== ci.sh: all suites green ==="

@@ -1,19 +1,23 @@
 // wlmctl — command-line front end for the wlm measurement system.
 //
-//   wlmctl simulate [--networks N] [--seed S] [--jobs N]   run all campaigns
+//   wlmctl simulate [--networks N] [--seed S] [--jobs N] [--faults SPEC]
 //   wlmctl report   <table2|table3|...|fig11>    regenerate one paper artifact
-//   wlmctl health   [--networks N] [--flap F]    run a week and triage the fleet
+//   wlmctl health   [--networks N] [--faults SPEC]  run a faulted week, triage
 //   wlmctl pcap     <path> [--flows N]           export a synthetic capture
 //   wlmctl spectrum [--seed S]                   render the Figure 11 scenes
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "analysis/experiments.hpp"
 #include "analysis/export.hpp"
 #include "backend/health.hpp"
+#include "fault/spec.hpp"
 #include "sim/world.hpp"
 #include "traffic/pcap.hpp"
 #include "traffic/workload.hpp"
@@ -25,14 +29,37 @@ using namespace wlm;
 struct Args {
   std::map<std::string, std::string> options;
   std::vector<std::string> positional;
+  /// Set when any option failed to parse; commands bail with exit code 2.
+  mutable bool bad = false;
 
   [[nodiscard]] int get_int(const std::string& name, int fallback) const {
     const auto it = options.find(name);
-    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+    if (it == options.end()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE || v < INT_MIN ||
+        v > INT_MAX) {
+      std::fprintf(stderr, "wlmctl: --%s expects an integer, got '%s'\n", name.c_str(),
+                   it->second.c_str());
+      bad = true;
+      return fallback;
+    }
+    return static_cast<int>(v);
   }
   [[nodiscard]] double get_double(const std::string& name, double fallback) const {
     const auto it = options.find(name);
-    return it == options.end() ? fallback : std::atof(it->second.c_str());
+    if (it == options.end()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "wlmctl: --%s expects a number, got '%s'\n", name.c_str(),
+                   it->second.c_str());
+      bad = true;
+      return fallback;
+    }
+    return v;
   }
 };
 
@@ -49,7 +76,22 @@ Args parse_args(int argc, char** argv, int first) {
   return args;
 }
 
-sim::WorldConfig world_config(const Args& args) {
+/// Validates the scale/parallelism options shared by every world-building
+/// command. Prints a diagnostic and returns false on a bad value.
+bool validate_scale(const Args& args, int networks, int jobs) {
+  if (args.bad) return false;
+  if (networks < 1) {
+    std::fprintf(stderr, "wlmctl: --networks must be >= 1 (got %d)\n", networks);
+    return false;
+  }
+  if (jobs < 1) {
+    std::fprintf(stderr, "wlmctl: --jobs must be >= 1 (got %d)\n", jobs);
+    return false;
+  }
+  return true;
+}
+
+std::optional<sim::WorldConfig> world_config(const Args& args) {
   sim::WorldConfig config;
   config.fleet.epoch = deploy::Epoch::kJan2015;
   config.fleet.network_count = args.get_int("networks", 50);
@@ -57,11 +99,30 @@ sim::WorldConfig world_config(const Args& args) {
   config.seed = config.fleet.seed + 1;
   config.wan_flap_fraction = args.get_double("flap", 0.0);
   config.threads = args.get_int("jobs", 1);
+  if (!validate_scale(args, config.fleet.network_count, config.threads)) {
+    return std::nullopt;
+  }
+  if (config.wan_flap_fraction < 0.0 || config.wan_flap_fraction > 1.0) {
+    std::fprintf(stderr, "wlmctl: --flap must be in [0,1] (got %g)\n",
+                 config.wan_flap_fraction);
+    return std::nullopt;
+  }
+  if (const auto it = args.options.find("faults"); it != args.options.end()) {
+    std::string error;
+    const auto spec = fault::FaultSpec::parse(it->second, &error);
+    if (!spec) {
+      std::fprintf(stderr, "wlmctl: bad --faults spec: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    config.faults = *spec;
+  }
   return config;
 }
 
 int cmd_simulate(const Args& args) {
-  sim::World world(world_config(args));
+  const auto config = world_config(args);
+  if (!config) return 2;
+  sim::World world(*config);
   std::printf("fleet: %d APs, %zu clients, %zu mesh links\n", world.fleet().total_aps(),
               world.client_count(), world.mesh_links().size());
   world.run_usage_week();
@@ -75,6 +136,9 @@ int cmd_simulate(const Args& args) {
                   std::max<std::uint64_t>(1, world.flows_classified()));
   std::printf("mean telemetry per AP: %.1f kB framed\n",
               world.mean_report_bytes_per_ap() / 1e3);
+  if (world.runner().config().faults.enabled()) {
+    std::printf("%s\n", world.loss_ledger().render().c_str());
+  }
   return 0;
 }
 
@@ -87,6 +151,7 @@ int cmd_report(const Args& args) {
   scale.networks = args.get_int("networks", 150);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   scale.threads = args.get_int("jobs", 1);
+  if (!validate_scale(args, scale.networks, scale.threads)) return 2;
   const std::string& what = args.positional[0];
 
   if (what == "table2") {
@@ -133,10 +198,20 @@ int cmd_report(const Args& args) {
 
 int cmd_health(const Args& args) {
   auto config = world_config(args);
-  if (config.wan_flap_fraction == 0.0) config.wan_flap_fraction = 0.1;
-  sim::World world(config);
+  if (!config) return 2;
+  if (!config->faults.enabled()) {
+    // No scenario given: run a representative mixed-fault week so every
+    // triage signal has something to find.
+    config->faults.outage_rate_per_week = 2.0;
+    config->faults.outage_mean_hours = 18.0;
+    config->faults.reboot_rate_per_week = 1.0;
+    config->faults.corrupt_probability = 0.01;
+  }
+  sim::World world(*config);
   world.run_usage_week();
-  world.harvest();
+  // Week-end view: APs still inside an outage stay offline — exactly the
+  // state a fleet operator's dashboard would be alerting on.
+  world.harvest(sim::HarvestMode::kWeekEnd);
   backend::HealthPolicy policy;
   policy.expected_interval = Duration::days(1);
   const backend::HealthMonitor monitor(policy);
@@ -146,6 +221,7 @@ int cmd_health(const Args& args) {
     findings.insert(findings.end(), t.begin(), t.end());
   }
   std::fputs(backend::HealthMonitor::render(findings).c_str(), stdout);
+  std::printf("%s\n", world.loss_ledger().render().c_str());
   return 0;
 }
 
@@ -155,7 +231,13 @@ int cmd_pcap(const Args& args) {
     return 2;
   }
   const int flows = args.get_int("flows", 200);
-  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 9)));
+  const int pcap_seed = args.get_int("seed", 9);
+  if (args.bad) return 2;
+  if (flows < 1) {
+    std::fprintf(stderr, "wlmctl: --flows must be >= 1 (got %d)\n", flows);
+    return 2;
+  }
+  Rng rng(static_cast<std::uint64_t>(pcap_seed));
   const deploy::PopulationModel population(deploy::Epoch::kJan2015);
   traffic::WorkloadModel workload(deploy::Epoch::kJan2015, rng.fork());
   traffic::PcapWriter writer;
@@ -193,6 +275,7 @@ int cmd_export(const Args& args) {
   scale.networks = args.get_int("networks", 150);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   scale.threads = args.get_int("jobs", 1);
+  if (!validate_scale(args, scale.networks, scale.threads)) return 2;
   const std::string& dir = args.positional[0];
 
   std::vector<analysis::CsvDoc> docs;
@@ -223,8 +306,9 @@ int cmd_export(const Args& args) {
 }
 
 int cmd_spectrum(const Args& args) {
-  const auto run = analysis::run_spectrum_study(
-      static_cast<std::uint64_t>(args.get_int("seed", 2015)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  if (args.bad) return 2;
+  const auto run = analysis::run_spectrum_study(seed);
   std::fputs(analysis::render_fig11(run).c_str(), stdout);
   return 0;
 }
@@ -232,12 +316,17 @@ int cmd_spectrum(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: wlmctl <command> [options]\n"
-               "  simulate  [--networks N] [--seed S] [--flap F] [--jobs N]\n"
+               "  simulate  [--networks N] [--seed S] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S] [--jobs N]\n"
-               "  health    [--networks N] [--flap F] [--jobs N]\n"
+               "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
                "  export    <dir> [--networks N] [--seed S] [--jobs N]  write CSV data series\n"
-               "  spectrum  [--seed S]\n");
+               "  spectrum  [--seed S]\n"
+               "\n"
+               "--faults SPEC is comma-separated key=value pairs; keys: flap, outage_rate,\n"
+               "outage_hours, reboot_rate, fw_wave, fw_hour, corrupt, oom_threshold,\n"
+               "skyscraper, skyscraper_neighbors, queue. Example:\n"
+               "  wlmctl health --faults \"outage_rate=2,outage_hours=36,corrupt=0.02\"\n");
   return 2;
 }
 
