@@ -1,32 +1,36 @@
 #include "bench_common.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 namespace wlm::bench {
 
 namespace {
 
-// Wall-clock bookkeeping for the JSON trace written at exit. Plain globals:
-// each bench binary calls print_header exactly once, from main.
+// Bookkeeping for the JSON trace written at exit. Plain globals: each bench
+// binary calls print_header exactly once, from main. The total-run Timer
+// lives here too; its destructor fires after the atexit hook, so the hook
+// reads it explicitly instead of waiting for the record.
 std::string g_experiment;
 analysis::ScenarioScale g_scale;
-std::chrono::steady_clock::time_point g_start;
+std::optional<Timer> g_total;
 
 void write_bench_json() {
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_start).count();
+  const double seconds = g_total ? g_total->seconds() : 0.0;
+  telemetry::global_profiler().record("bench_total", seconds);
   const char* path = std::getenv("WLM_BENCH_JSON");
   if (path == nullptr) path = "BENCH_fleetrunner.json";
   std::FILE* out = std::fopen(path, "a");
   if (out == nullptr) return;
   std::fprintf(out,
                "{\"bench\": \"%s\", \"networks\": %d, \"client_scale\": %.3f, "
-               "\"seed\": %llu, \"threads\": %d, \"seconds\": %.3f}\n",
+               "\"seed\": %llu, \"threads\": %d, \"seconds\": %.3f, "
+               "\"telemetry\": %s}\n",
                g_experiment.c_str(), g_scale.networks, g_scale.client_scale,
-               static_cast<unsigned long long>(g_scale.seed), g_scale.threads, seconds);
+               static_cast<unsigned long long>(g_scale.seed), g_scale.threads, seconds,
+               telemetry::global_profiler().to_json().c_str());
   std::fclose(out);
 }
 
@@ -51,7 +55,9 @@ void print_header(const char* experiment, const analysis::ScenarioScale& scale) 
       scale.threads == 1 ? "" : "s");
   g_experiment = experiment;
   g_scale = scale;
-  g_start = std::chrono::steady_clock::now();
+  // The Timer's own destructor records "bench_total" again after the atexit
+  // hook runs; that late duplicate is never serialized.
+  g_total.emplace("bench_total");
   std::atexit(write_bench_json);
 }
 

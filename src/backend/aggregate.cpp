@@ -33,14 +33,43 @@ void UsageAggregator::consume(const ReportStore& store, SimTime from, SimTime to
       seen_on_[snap.client][ap] = true;
     }
   });
-  // Resolve per-client OS by majority vote and roaming spread.
+  resolve();
+}
+
+void UsageAggregator::merge(const UsageAggregator& other) {
+  for (const auto& [mac, src] : other.clients_) {
+    auto& agg = clients_[mac];
+    agg.mac = mac;
+    agg.capability_bits |= src.capability_bits;
+    for (const auto& [app, bytes] : src.app_bytes) {
+      auto& dst = agg.app_bytes[app];
+      dst.first += bytes.first;
+      dst.second += bytes.second;
+    }
+  }
+  for (const auto& [mac, aps] : other.seen_on_) {
+    auto& mine = seen_on_[mac];
+    for (const auto& [ap, seen] : aps) mine[ap] = seen;
+  }
+  for (const auto& [mac, votes] : other.os_votes_) {
+    auto& mine = os_votes_[mac];
+    for (const auto& [os_id, count] : votes) mine[os_id] += count;
+  }
+  resolve();
+}
+
+void UsageAggregator::resolve() {
+  // Per-client OS by majority vote and roaming spread. Vote scan goes over
+  // os ids in ascending order (not hash order) so an exact tie resolves
+  // identically on every platform and merge order.
   for (auto& [mac, agg] : clients_) {
     const auto votes_it = os_votes_.find(mac);
     if (votes_it != os_votes_.end()) {
       int best = 0;
-      for (const auto& [os_id, count] : votes_it->second) {
-        if (count > best) {
-          best = count;
+      for (int os_id = 0; os_id < classify::kOsTypeCount; ++os_id) {
+        const auto v = votes_it->second.find(static_cast<std::uint8_t>(os_id));
+        if (v != votes_it->second.end() && v->second > best) {
+          best = v->second;
           agg.os = static_cast<classify::OsType>(os_id);
         }
       }

@@ -37,6 +37,13 @@ class UsageAggregator {
   /// Consumes every report in [from, to).
   void consume(const ReportStore& store, SimTime from, SimTime to);
 
+  /// Adds another aggregator's observations into this one (per-shard
+  /// aggregation merged backend-side, the same roaming story §2.3 tells
+  /// within one store): bytes sum per (client, app), capability bits OR,
+  /// OS votes add, distinct-AP sets union. OS is then re-resolved over the
+  /// combined votes, so merge(a, b) equals consuming both stores directly.
+  void merge(const UsageAggregator& other);
+
   [[nodiscard]] const std::unordered_map<MacAddress, ClientAggregate>& clients() const {
     return clients_;
   }
@@ -60,6 +67,10 @@ class UsageAggregator {
   [[nodiscard]] std::vector<AppRollup> by_category() const;
 
  private:
+  /// Recomputes every client's majority OS and roaming spread from the
+  /// accumulated votes; shared by consume() and merge().
+  void resolve();
+
   std::unordered_map<MacAddress, ClientAggregate> clients_;
   std::unordered_map<MacAddress, std::unordered_map<ApId, bool>> seen_on_;
   std::unordered_map<MacAddress, std::unordered_map<std::uint8_t, int>> os_votes_;

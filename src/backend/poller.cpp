@@ -13,7 +13,14 @@ void Poller::attach(Tunnel& tunnel) {
   counters_.push_back(counters);
 }
 
+void Poller::bind_telemetry(telemetry::MetricsRegistry* metrics,
+                            telemetry::FlightRecorder* recorder) {
+  metrics_ = metrics;
+  recorder_ = recorder;
+}
+
 void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
+  std::uint64_t cycle_frames = 0;
   for (std::size_t i = 0; i < tunnels_.size(); ++i) {
     Tunnel* tunnel = tunnels_[i];
     TunnelCounters& tc = counters_[i];
@@ -21,9 +28,11 @@ void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
       --tc.backoff_remaining;
       ++tc.cycles_backed_off;
       ++stats_.polls_skipped_backoff;
+      if (metrics_) metrics_->counter("wlm_poller_polls_skipped_backoff_total").inc();
       continue;
     }
     const auto frames = tunnel->poll(per_tunnel_budget);
+    cycle_frames += frames.size();
     bool saw_corrupt = false;
     for (const auto& frame : frames) {
       ++tc.frames_polled;
@@ -32,34 +41,78 @@ void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
         stats_.corrupt_frames += decoded.corrupt_frames;
         tc.corrupt_frames += decoded.corrupt_frames;
         saw_corrupt = true;
+        if (metrics_) {
+          metrics_->counter("wlm_poller_corrupt_frames_total").inc(decoded.corrupt_frames);
+          // Per-tunnel attribution only for tunnels that actually misbehave,
+          // so metric cardinality stays proportional to trouble, not fleet
+          // size.
+          metrics_->counter("wlm_poller_tunnel_corrupt_total", tc.ap.value())
+              .inc(decoded.corrupt_frames);
+        }
       } else {
         // Only cleanly framed data counts as harvested; a frame that failed
         // its CRC delivered nothing.
         ++stats_.frames_harvested;
         stats_.bytes_harvested += frame.size();
+        if (metrics_) {
+          metrics_->counter("wlm_poller_frames_harvested_total").inc();
+          metrics_->counter("wlm_poller_bytes_harvested_total").inc(frame.size());
+        }
       }
       for (const auto& payload : decoded.payloads) {
         if (auto report = wire::decode_report(payload)) {
           store_->add(std::move(*report));
           ++stats_.reports_stored;
           ++tc.reports_stored;
+          if (metrics_) metrics_->counter("wlm_poller_reports_stored_total").inc();
         } else {
           ++stats_.malformed_reports;
           ++tc.malformed_reports;
           saw_corrupt = true;
+          if (metrics_) metrics_->counter("wlm_poller_malformed_reports_total").inc();
         }
       }
     }
+    if (metrics_ && !frames.empty()) {
+      metrics_->counter("wlm_poller_frames_polled_total").inc(frames.size());
+    }
     if (saw_corrupt) {
+      const bool was_quarantined = tc.quarantined;
       tc.backoff_level = std::min(tc.backoff_level + 1, policy_.max_backoff_level);
       tc.backoff_remaining = (1 << tc.backoff_level) - 1;
       tc.quarantined = tc.backoff_level >= policy_.quarantine_level;
+      if (metrics_) {
+        metrics_->gauge("wlm_poller_backoff_level", tc.ap.value())
+            .set(static_cast<double>(tc.backoff_level));
+        metrics_->gauge("wlm_poller_quarantined", tc.ap.value())
+            .set(tc.quarantined ? 1.0 : 0.0);
+      }
+      if (recorder_ && tc.quarantined && !was_quarantined) {
+        recorder_->record({telemetry::SpanKind::kQuarantine, tc.ap.value(), now_us_,
+                           now_us_, static_cast<std::uint64_t>(tc.backoff_level)});
+      }
     } else if (!frames.empty()) {
       // A clean poll proves the device recovered; stop punishing it.
+      const bool was_backed_off = tc.backoff_level > 0;
       tc.backoff_level = 0;
       tc.backoff_remaining = 0;
       tc.quarantined = false;
+      if (metrics_ && was_backed_off) {
+        metrics_->gauge("wlm_poller_backoff_level", tc.ap.value()).set(0.0);
+        metrics_->gauge("wlm_poller_quarantined", tc.ap.value()).set(0.0);
+      }
     }
+  }
+  if (metrics_) {
+    metrics_->counter("wlm_poller_poll_cycles_total").inc();
+    metrics_
+        ->histogram("wlm_poller_frames_per_poll",
+                    {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
+        .observe(static_cast<double>(cycle_frames));
+  }
+  if (recorder_) {
+    recorder_->record(
+        {telemetry::SpanKind::kPoll, 0, now_us_, now_us_, cycle_frames});
   }
 }
 

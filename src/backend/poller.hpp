@@ -16,6 +16,8 @@
 
 #include "backend/store.hpp"
 #include "backend/tunnel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace wlm::backend {
 
@@ -64,6 +66,18 @@ class Poller {
   /// Registers a device tunnel; the poller does not own it.
   void attach(Tunnel& tunnel);
 
+  /// Points the poller at its shard's telemetry sinks (neither owned; both
+  /// may be null to run uninstrumented). Same confinement as the store: the
+  /// registry and recorder belong to the shard that owns this poller.
+  void bind_telemetry(telemetry::MetricsRegistry* metrics,
+                      telemetry::FlightRecorder* recorder);
+
+  /// Advances the poller's notion of simulated time. The poller has no
+  /// clock of its own — the shard stamps the campaign time before each
+  /// cycle so poll spans and quarantine events carry sim time, never
+  /// wall-clock.
+  void set_now(std::int64_t t_us) { now_us_ = t_us; }
+
   /// One poll cycle over all tunnels. `per_tunnel_budget` caps the frames
   /// pulled from any one device per cycle (peak-load regulation).
   /// `ignore_backoff` forces a poll of backed-off tunnels too — the final
@@ -83,6 +97,9 @@ class Poller {
   std::vector<Tunnel*> tunnels_;
   std::vector<TunnelCounters> counters_;
   PollerStats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  std::int64_t now_us_ = 0;
 };
 
 /// Device-side helper: encodes a report and frames it for the tunnel.

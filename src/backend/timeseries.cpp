@@ -140,6 +140,33 @@ void TimeSeriesStore::compact(SimTime now) {
   }
 }
 
+void TimeSeriesStore::merge(TimeSeriesStore&& other) {
+  for (auto& [key, src] : other.series_) {
+    auto [it, inserted] = series_.try_emplace(key, std::move(src));
+    if (inserted) continue;
+    Series& dst = it->second;
+    // Appending then stable-sorting keeps equal-timestamp points in
+    // this-store-then-other order, the same tie rule append() itself has.
+    if (!src.raw.empty()) {
+      if (dst.raw.empty()) {
+        dst.raw = std::move(src.raw);
+        dst.raw_sorted = src.raw_sorted;
+      } else {
+        if (!src.raw_sorted || src.raw.front().time < dst.raw.back().time) {
+          dst.raw_sorted = false;
+        }
+        dst.raw.insert(dst.raw.end(), src.raw.begin(), src.raw.end());
+      }
+    }
+    if (!src.rollups.empty()) {
+      dst.rollups.insert(dst.rollups.end(), src.rollups.begin(), src.rollups.end());
+      std::stable_sort(dst.rollups.begin(), dst.rollups.end(),
+                       [](const Point& a, const Point& b) { return a.time < b.time; });
+    }
+  }
+  other.series_.clear();
+}
+
 std::vector<SeriesKey> TimeSeriesStore::keys_for_metric(const std::string& metric) const {
   std::vector<SeriesKey> out;
   for (const auto& [key, s] : series_) {

@@ -85,6 +85,13 @@ class TimeSeriesStore {
   /// All series keys for a metric (e.g. every AP reporting "util24").
   [[nodiscard]] std::vector<SeriesKey> keys_for_metric(const std::string& metric) const;
 
+  /// Folds `other`'s series into this store and leaves `other` empty.
+  /// Matching keys interleave their points time-sorted (shards report
+  /// overlapping weeks), like ReportStore::merge at harvest; merge order
+  /// only matters for equal timestamps, so callers needing bit-stable
+  /// output merge shards in fixed fleet order.
+  void merge(TimeSeriesStore&& other);
+
  private:
   struct Series {
     std::vector<Point> raw;       // time-sorted

@@ -8,14 +8,32 @@ FaultInjector::FaultInjector(const FaultSpec& spec, FaultPlan plan)
     : spec_(spec.clamped()), plan_(std::move(plan)), states_(plan_.ap_count()),
       enabled_(spec_.enabled()) {}
 
-void FaultInjector::reboot_now(ApState& state, backend::Tunnel& tunnel) {
+void FaultInjector::bind_telemetry(telemetry::MetricsRegistry* metrics,
+                                   telemetry::FlightRecorder* recorder,
+                                   std::vector<std::uint64_t> ap_entities) {
+  metrics_ = metrics;
+  recorder_ = recorder;
+  ap_entities_ = std::move(ap_entities);
+}
+
+std::uint64_t FaultInjector::entity_of(std::size_t ap) const {
+  return ap < ap_entities_.size() ? ap_entities_[ap] : ap;
+}
+
+void FaultInjector::reboot_now(std::size_t ap, ApState& state, backend::Tunnel& tunnel,
+                               std::int64_t t_us) {
   // A restart loses everything queued device-side and bounces the WAN
   // session. The disconnect is momentary unless the AP is inside an outage,
   // in which case the tunnel stays down.
-  (void)tunnel.flush();
+  const std::size_t lost = tunnel.flush();
   tunnel.disconnect();
   if (!state.in_outage) tunnel.reconnect();
   ++reboots_applied_;
+  if (metrics_) metrics_->counter("wlm_fault_reboots_total").inc();
+  if (recorder_) {
+    recorder_->record({telemetry::SpanKind::kReboot, entity_of(ap), t_us, t_us,
+                       static_cast<std::uint64_t>(lost)});
+  }
 }
 
 void FaultInjector::advance(std::size_t ap, std::int64_t t_us, backend::Tunnel& tunnel) {
@@ -27,14 +45,20 @@ void FaultInjector::advance(std::size_t ap, std::int64_t t_us, backend::Tunnel& 
     switch (event.type) {
       case FaultEventType::kOutageStart:
         state.in_outage = true;
+        state.outage_start_us = event.t_us;
         tunnel.disconnect();
+        if (metrics_) metrics_->counter("wlm_fault_outages_total").inc();
         break;
       case FaultEventType::kOutageEnd:
         state.in_outage = false;
         tunnel.reconnect();
+        if (recorder_) {
+          recorder_->record({telemetry::SpanKind::kOutage, entity_of(ap),
+                             state.outage_start_us, event.t_us, 0});
+        }
         break;
       case FaultEventType::kReboot:
-        reboot_now(state, tunnel);
+        reboot_now(ap, state, tunnel, event.t_us);
         break;
     }
   }
@@ -67,8 +91,9 @@ void FaultInjector::on_report(std::size_t ap, wire::ApReport& report,
   // taking its unsent telemetry with it.
   if (spec_.oom_neighbor_threshold > 0 &&
       report.neighbors.size() > spec_.oom_neighbor_threshold) {
-    reboot_now(states_[ap], tunnel);
+    reboot_now(ap, states_[ap], tunnel, report.timestamp_us);
     ++oom_reboots_;
+    if (metrics_) metrics_->counter("wlm_fault_oom_reboots_total").inc();
   }
 }
 
@@ -82,6 +107,7 @@ void FaultInjector::on_frame(std::vector<std::uint8_t>& frame, Rng& rng) {
                       static_cast<std::int64_t>(range->second) - 1));
   frame[offset] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
   ++frames_corrupted_;
+  if (metrics_) metrics_->counter("wlm_fault_frames_corrupted_total").inc();
 }
 
 void FaultInjector::on_harvest(std::size_t ap, backend::Tunnel& tunnel,
@@ -89,7 +115,14 @@ void FaultInjector::on_harvest(std::size_t ap, backend::Tunnel& tunnel,
   if (!enabled_ || ap >= states_.size()) return;
   advance(ap, FaultPlan::horizon().as_micros(), tunnel);
   if (final_catch_up) {
-    states_[ap].in_outage = false;
+    ApState& state = states_[ap];
+    if (state.in_outage && recorder_) {
+      // The outage was still open at the horizon; close its span there so
+      // the window's true extent survives in the trace.
+      recorder_->record({telemetry::SpanKind::kOutage, entity_of(ap),
+                         state.outage_start_us, FaultPlan::horizon().as_micros(), 0});
+    }
+    state.in_outage = false;
     tunnel.reconnect();
   }
 }

@@ -16,6 +16,8 @@
 #include "core/rng.hpp"
 #include "fault/plan.hpp"
 #include "fault/spec.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "wire/messages.hpp"
 
 namespace wlm::fault {
@@ -28,6 +30,15 @@ class FaultInjector {
 
   [[nodiscard]] bool enabled() const { return enabled_; }
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Points the injector at its shard's telemetry sinks (neither owned; both
+  /// may be null). `ap_entities` maps shard-local AP index to the globally
+  /// unique AP id, so outage/reboot spans carry the same entity the rest of
+  /// the fleet's telemetry uses; an unmapped index falls back to the raw
+  /// index.
+  void bind_telemetry(telemetry::MetricsRegistry* metrics,
+                      telemetry::FlightRecorder* recorder,
+                      std::vector<std::uint64_t> ap_entities);
 
   /// Advances AP `ap`'s fault clock to `t_us`, applying every scheduled
   /// event in between to its tunnel. Idempotent for t <= the clock.
@@ -62,9 +73,13 @@ class FaultInjector {
     std::size_t cursor = 0;
     std::int64_t clock = -1;
     bool in_outage = false;
+    /// Sim time the open outage began; valid only while `in_outage`.
+    std::int64_t outage_start_us = 0;
   };
 
-  void reboot_now(ApState& state, backend::Tunnel& tunnel);
+  void reboot_now(std::size_t ap, ApState& state, backend::Tunnel& tunnel,
+                  std::int64_t t_us);
+  [[nodiscard]] std::uint64_t entity_of(std::size_t ap) const;
 
   FaultSpec spec_;
   FaultPlan plan_;
@@ -73,6 +88,9 @@ class FaultInjector {
   std::uint64_t reboots_applied_ = 0;
   std::uint64_t oom_reboots_ = 0;
   std::uint64_t frames_corrupted_ = 0;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  std::vector<std::uint64_t> ap_entities_;
 };
 
 }  // namespace wlm::fault

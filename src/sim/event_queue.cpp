@@ -8,6 +8,7 @@ namespace wlm::sim {
 void EventQueue::schedule_at(SimTime at, Callback fn) {
   assert(at >= now_);
   queue_.push(Item{at, seq_++, std::move(fn)});
+  if (metrics_) metrics_->counter("wlm_events_scheduled_total").inc();
 }
 
 void EventQueue::schedule_in(Duration delay, Callback fn) {
@@ -49,6 +50,7 @@ void EventQueue::run_until(SimTime until) {
     queue_.pop();
     now_ = item.at;
     ++executed_;
+    if (metrics_) metrics_->counter("wlm_events_executed_total").inc();
     item.fn(now_);
   }
   if (now_ < until) now_ = until;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace wlm::sim {
 
@@ -36,6 +37,10 @@ class EventQueue {
   /// Drops all pending events.
   void clear();
 
+  /// Mirrors schedule/execute counts into `metrics` (not owned; may be null
+  /// to unbind). Counts are sim-state facts, so they are deterministic.
+  void bind_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct Item {
     SimTime at;
@@ -51,6 +56,7 @@ class EventQueue {
   SimTime now_;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace wlm::sim

@@ -9,6 +9,7 @@ namespace wlm::sim {
 
 FleetRunner::FleetRunner(WorldConfig config)
     : config_(std::move(config)), fleet_(deploy::generate_fleet(config_.fleet)) {
+  const telemetry::Stopwatch build_watch;
   // Knob validation: a bad scale or fraction degrades to the nearest legal
   // value instead of silently producing nonsense (negative client counts,
   // chance() calls outside [0,1]).
@@ -52,6 +53,12 @@ FleetRunner::FleetRunner(WorldConfig config)
     }
     for (auto& link : shard->links()) link_ptrs_.push_back(&link);
   }
+  record_phase("build", build_watch.seconds());
+}
+
+void FleetRunner::record_phase(const char* phase, double seconds) {
+  profiler_.record(phase, seconds);
+  telemetry::global_profiler().record(phase, seconds);
 }
 
 void FleetRunner::parallel_for(std::size_t count,
@@ -93,32 +100,63 @@ std::size_t FleetRunner::client_count() const {
 
 void FleetRunner::run_usage_week(int reports_per_week,
                                  const std::vector<traffic::UpdateSpike>& spikes) {
+  const telemetry::Stopwatch watch;
   for_each_shard(
       [&](NetworkShard& shard) { shard.run_usage_week(reports_per_week, spikes); });
+  record_phase("usage_week", watch.seconds());
 }
 
 void FleetRunner::snapshot_clients(SimTime t) {
+  const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.snapshot_clients(t); });
+  record_phase("snapshot", watch.seconds());
 }
 
 void FleetRunner::run_mr16_interference(SimTime t) {
+  const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.run_mr16_interference(t); });
+  record_phase("mr16", watch.seconds());
 }
 
 void FleetRunner::run_mr18_scan(SimTime t, double hour) {
+  const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.run_mr18_scan(t, hour); });
+  record_phase("mr18", watch.seconds());
 }
 
 void FleetRunner::run_link_windows(SimTime t) {
+  const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.run_link_windows(t); });
+  record_phase("link_windows", watch.seconds());
 }
 
 void FleetRunner::harvest(HarvestMode mode) {
   // Drain in parallel (each poller touches only its shard's tunnels and
   // store), then merge serially in fleet order: the global store's content
   // is then independent of worker scheduling.
+  const telemetry::Stopwatch drain_watch;
   for_each_shard([mode](NetworkShard& shard) { shard.harvest_local(mode); });
+  record_phase("harvest_drain", drain_watch.seconds());
+
+  const telemetry::Stopwatch merge_watch;
   for (auto& shard : shards_) store_.merge(std::move(shard->store()));
+
+  // Rebuild the merged telemetry from scratch each harvest: shard registries
+  // and recorders are cumulative, so re-merging (not appending) keeps a
+  // second harvest from double-counting. Fleet order, like the store merge,
+  // so the snapshot is bit-identical for any thread count.
+  metrics_.clear();
+  trace_.clear();
+  for (const auto& shard : shards_) {
+    metrics_.merge(shard->metrics());
+    const auto spans = shard->recorder().snapshot();
+    trace_.insert(trace_.end(), spans.begin(), spans.end());
+  }
+  metrics_.gauge("wlm_fleet_networks").set(static_cast<double>(shards_.size()));
+  metrics_.gauge("wlm_fleet_aps").set(static_cast<double>(ap_ptrs_.size()));
+  metrics_.gauge("wlm_fleet_clients").set(static_cast<double>(client_count()));
+  metrics_.gauge("wlm_fleet_mesh_links").set(static_cast<double>(link_ptrs_.size()));
+  record_phase("harvest_merge", merge_watch.seconds());
 }
 
 std::vector<SeriesPoint> FleetRunner::link_week_series(std::size_t link_index,

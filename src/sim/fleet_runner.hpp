@@ -23,6 +23,9 @@
 #include "core/ptr_span.hpp"
 #include "deploy/generator.hpp"
 #include "sim/network_shard.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/trace.hpp"
 
 namespace wlm::sim {
 
@@ -119,6 +122,18 @@ class FleetRunner {
   /// order (see fault::LossLedger for the conservation invariant).
   [[nodiscard]] fault::LossLedger loss_ledger() const;
 
+  // --- telemetry ---
+
+  /// Merged fleet metrics, rebuilt from the shard registries (in fleet
+  /// order) at every harvest(). Empty before the first harvest. Like the
+  /// store, the snapshot is bit-identical for any thread count.
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  /// Merged trace spans, shard-major in fleet order, same rebuild rule.
+  [[nodiscard]] const std::vector<telemetry::TraceSpan>& trace() const { return trace_; }
+  /// Wall-clock phase breakdown (build, campaigns, harvest). Real elapsed
+  /// time: NOT deterministic, and never part of metrics()/trace().
+  [[nodiscard]] const telemetry::PhaseProfiler& profiler() const { return profiler_; }
+
  private:
   WorldConfig config_;
   deploy::Fleet fleet_;
@@ -127,11 +142,17 @@ class FleetRunner {
   std::vector<MeshLink*> link_ptrs_;
   std::unordered_map<std::uint32_t, ApRuntime*> ap_lookup_;
   backend::ReportStore store_;
+  telemetry::MetricsRegistry metrics_;
+  std::vector<telemetry::TraceSpan> trace_;
+  telemetry::PhaseProfiler profiler_;
 
   /// Runs `fn(i)` for every i in [0, count) on the worker pool (serial when
   /// threads <= 1). `fn` must confine itself to shard i's state.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
   void for_each_shard(const std::function<void(NetworkShard&)>& fn);
+  /// Records a wall-clock phase into this runner's profiler and the
+  /// process-wide one (telemetry::global_profiler), which bench mains dump.
+  void record_phase(const char* phase, double seconds);
 };
 
 }  // namespace wlm::sim

@@ -64,6 +64,7 @@ NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& 
   }
   // aps_ never grows after this point; tunnel pointers stay valid.
   for (auto& ap : aps_) poller_.attach(ap.tunnel());
+  poller_.bind_telemetry(&metrics_, &recorder_);
 
   if (config_.faults.enabled()) {
     // The plan and the runtime fault draws come from a dedicated substream
@@ -73,6 +74,10 @@ NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& 
     injector_ = fault::FaultInjector(
         config_.faults, fault::FaultPlan::build(config_.faults, fault_stream.fork(), aps_.size()));
     fault_rng_ = fault_stream.fork();
+    std::vector<std::uint64_t> ap_entities;
+    ap_entities.reserve(aps_.size());
+    for (const auto& ap : aps_) ap_entities.push_back(ap.id().value());
+    injector_.bind_telemetry(&metrics_, &recorder_, std::move(ap_entities));
   }
 
   build_clients();
@@ -235,7 +240,9 @@ void NetworkShard::build_links() {
 void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport report) {
   report.ap_id = ap.id().value();
   if (!injector_.enabled()) {
-    ap.tunnel().enqueue(backend::frame_report(report));
+    auto frame = backend::frame_report(report);
+    record_enqueue(ap, report.timestamp_us, frame.size());
+    ap.tunnel().enqueue(std::move(frame));
     return;
   }
   // The injector advances this AP's fault clock to the report's timestamp
@@ -245,7 +252,19 @@ void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport report) {
   injector_.on_report(idx, report, ap.tunnel(), fault_rng_);
   auto frame = backend::frame_report(report);
   injector_.on_frame(frame, fault_rng_);
+  record_enqueue(ap, report.timestamp_us, frame.size());
   ap.tunnel().enqueue(std::move(frame));
+}
+
+void NetworkShard::record_enqueue(const ApRuntime& ap, std::int64_t t_us,
+                                  std::size_t frame_bytes) {
+  metrics_.counter("wlm_sim_reports_enqueued_total").inc();
+  metrics_
+      .histogram("wlm_sim_report_bytes",
+                 {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0})
+      .observe(static_cast<double>(frame_bytes));
+  recorder_.record({telemetry::SpanKind::kEnqueue, ap.id().value(), t_us, t_us,
+                    static_cast<std::uint64_t>(frame_bytes)});
 }
 
 std::vector<wire::NeighborBss> NetworkShard::neighbor_records(const ApRuntime& ap) const {
@@ -394,7 +413,10 @@ void NetworkShard::run_usage_week(int reports_per_week,
       }
       enqueue_report(ap, std::move(report));
     }
-    if (injector_.enabled()) poller_.poll_all(64);
+    if (injector_.enabled()) {
+      poller_.set_now(t_us);
+      poller_.poll_all(64);
+    }
   }
 }
 
@@ -420,7 +442,10 @@ void NetworkShard::snapshot_clients(SimTime t) {
     }
     enqueue_report(ap, std::move(report));
   }
-  if (injector_.enabled()) poller_.poll_all(64);
+  if (injector_.enabled()) {
+    poller_.set_now(t.as_micros());
+    poller_.poll_all(64);
+  }
 }
 
 void NetworkShard::run_mr16_interference(SimTime t) {
@@ -450,7 +475,10 @@ void NetworkShard::run_mr16_interference(SimTime t) {
     report.neighbors = neighbor_records(ap);
     enqueue_report(ap, std::move(report));
   }
-  if (injector_.enabled()) poller_.poll_all(64);
+  if (injector_.enabled()) {
+    poller_.set_now(t.as_micros());
+    poller_.poll_all(64);
+  }
 }
 
 void NetworkShard::run_mr18_scan(SimTime t, double hour) {
@@ -474,7 +502,10 @@ void NetworkShard::run_mr18_scan(SimTime t, double hour) {
     report.neighbors = neighbor_records(ap);
     enqueue_report(ap, std::move(report));
   }
-  if (injector_.enabled()) poller_.poll_all(64);
+  if (injector_.enabled()) {
+    poller_.set_now(t.as_micros());
+    poller_.poll_all(64);
+  }
 }
 
 void NetworkShard::run_link_windows(SimTime t) {
@@ -500,10 +531,16 @@ void NetworkShard::run_link_windows(SimTime t) {
     report.links.push_back(rec);
     enqueue_report(receiver, std::move(report));
   }
-  if (injector_.enabled()) poller_.poll_all(64);
+  if (injector_.enabled()) {
+    poller_.set_now(t.as_micros());
+    poller_.poll_all(64);
+  }
 }
 
 void NetworkShard::harvest_local(HarvestMode mode) {
+  const std::int64_t horizon_us = fault::FaultPlan::horizon().as_micros();
+  poller_.set_now(horizon_us);
+  const std::uint64_t stored_before = poller_.stats().reports_stored;
   if (injector_.enabled()) {
     // Drive every AP's fault schedule to the horizon first; kFinal then
     // reconnects even APs whose outage is still open (§2 catch-up), while
@@ -528,6 +565,29 @@ void NetworkShard::harvest_local(HarvestMode mode) {
     if (!any) break;
     poller_.poll_all(64, /*ignore_backoff=*/true);
   }
+  recorder_.record({telemetry::SpanKind::kHarvest, net_->id.value(), horizon_us,
+                    horizon_us, poller_.stats().reports_stored - stored_before});
+  publish_telemetry();
+}
+
+void NetworkShard::publish_telemetry() {
+  const fault::LossLedger ledger = loss_ledger();
+  // Gauges, not counters: harvest may run more than once (week-end then
+  // final), and the registry must reflect the latest ledger each time.
+  // Entity 0 + additive merge turns these per-shard snapshots into fleet
+  // totals at harvest, mirroring fault::LossLedger::merge.
+  metrics_.gauge("wlm_ledger_generated").set(static_cast<double>(ledger.generated));
+  metrics_.gauge("wlm_ledger_delivered").set(static_cast<double>(ledger.delivered));
+  metrics_.gauge("wlm_ledger_shed").set(static_cast<double>(ledger.shed));
+  metrics_.gauge("wlm_ledger_lost_reboot").set(static_cast<double>(ledger.lost_reboot));
+  metrics_.gauge("wlm_ledger_lost_corruption")
+      .set(static_cast<double>(ledger.lost_corruption));
+  metrics_.gauge("wlm_ledger_in_flight").set(static_cast<double>(ledger.in_flight));
+  // Structure gauges keyed by network id stay per-shard after the merge.
+  const auto entity = static_cast<std::uint64_t>(net_->id.value());
+  metrics_.gauge("wlm_shard_aps", entity).set(static_cast<double>(aps_.size()));
+  metrics_.gauge("wlm_shard_clients", entity).set(static_cast<double>(client_count_));
+  metrics_.gauge("wlm_shard_mesh_links", entity).set(static_cast<double>(links_.size()));
 }
 
 fault::LossLedger NetworkShard::loss_ledger() const {

@@ -21,6 +21,8 @@
 #include "fault/loss_ledger.hpp"
 #include "sim/ap.hpp"
 #include "sim/link.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/diurnal.hpp"
 
 namespace wlm::sim {
@@ -71,6 +73,10 @@ class NetworkShard {
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] std::size_t client_count() const { return client_count_; }
   [[nodiscard]] ApRuntime* find_ap(ApId id);
+  /// Shard-confined telemetry sinks: the poller and injector write here too.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] const telemetry::FlightRecorder& recorder() const { return recorder_; }
 
   // --- campaigns: each enqueues reports into this shard's AP tunnels ---
   // (Semantics documented on sim::FleetRunner, which fans them out.)
@@ -107,6 +113,8 @@ class NetworkShard {
   std::vector<MeshLink> links_;
   backend::ReportStore store_;
   backend::Poller poller_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::FlightRecorder recorder_;
   std::size_t client_count_ = 0;
   std::uint64_t flows_classified_ = 0;
   std::uint64_t flows_misclassified_ = 0;
@@ -115,6 +123,10 @@ class NetworkShard {
   void build_duties_and_peers();
   void build_links();
   void enqueue_report(ApRuntime& ap, wire::ApReport report);
+  void record_enqueue(const ApRuntime& ap, std::int64_t t_us, std::size_t frame_bytes);
+  /// Refreshes the ledger and shard gauges from current state (set, not
+  /// add: calling it twice must not double-count).
+  void publish_telemetry();
   [[nodiscard]] std::vector<wire::NeighborBss> neighbor_records(const ApRuntime& ap) const;
 };
 

@@ -60,6 +60,12 @@ class World {
     return runner_.mean_report_bytes_per_ap();
   }
   [[nodiscard]] fault::LossLedger loss_ledger() const { return runner_.loss_ledger(); }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const {
+    return runner_.metrics();
+  }
+  [[nodiscard]] const std::vector<telemetry::TraceSpan>& trace() const {
+    return runner_.trace();
+  }
   [[nodiscard]] double serving_utilization(const ApRuntime& ap, phy::Band band,
                                            double hour) const {
     return sim::serving_utilization(ap, band, hour);

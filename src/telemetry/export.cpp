@@ -1,0 +1,166 @@
+#include "telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace wlm::telemetry {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_labels(std::string& out, std::uint64_t entity) {
+  if (entity == 0) return;
+  out += "{ap=\"";
+  out += std::to_string(entity);
+  out += "\"}";
+}
+
+void append_bucket_label(std::string& out, std::uint64_t entity, const std::string& le) {
+  out += "{le=\"";
+  out += le;
+  out += "\"";
+  if (entity != 0) {
+    out += ",ap=\"";
+    out += std::to_string(entity);
+    out += "\"";
+  }
+  out += "}";
+}
+
+void type_header(std::string& out, std::string* last_typed, const std::string& name,
+                 const char* type) {
+  if (*last_typed == name) return;
+  *last_typed = name;
+  out += "# TYPE ";
+  out += name;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  std::string last_typed;
+  registry.for_each_counter([&](const MetricKey& key, const Counter& c) {
+    type_header(out, &last_typed, key.name, "counter");
+    out += key.name;
+    append_labels(out, key.entity);
+    out += " ";
+    out += std::to_string(c.value());
+    out += "\n";
+  });
+  last_typed.clear();
+  registry.for_each_gauge([&](const MetricKey& key, const Gauge& g) {
+    type_header(out, &last_typed, key.name, "gauge");
+    out += key.name;
+    append_labels(out, key.entity);
+    out += " ";
+    out += fmt_double(g.value());
+    out += "\n";
+  });
+  last_typed.clear();
+  registry.for_each_histogram([&](const MetricKey& key, const Histogram& h) {
+    type_header(out, &last_typed, key.name, "histogram");
+    std::uint64_t cumulative = 0;
+    const auto& bounds = h.bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out += key.name;
+      out += "_bucket";
+      append_bucket_label(out, key.entity,
+                          i < bounds.size() ? fmt_double(bounds[i]) : "+Inf");
+      out += " ";
+      out += std::to_string(cumulative);
+      out += "\n";
+    }
+    out += key.name;
+    out += "_sum";
+    append_labels(out, key.entity);
+    out += " ";
+    out += fmt_double(h.sum());
+    out += "\n";
+    out += key.name;
+    out += "_count";
+    append_labels(out, key.entity);
+    out += " ";
+    out += std::to_string(h.count());
+    out += "\n";
+  });
+  return out;
+}
+
+std::string to_json_lines(const MetricsRegistry& registry) {
+  std::string out;
+  registry.for_each_counter([&](const MetricKey& key, const Counter& c) {
+    out += "{\"kind\":\"counter\",\"name\":\"";
+    out += key.name;
+    out += "\",\"entity\":";
+    out += std::to_string(key.entity);
+    out += ",\"value\":";
+    out += std::to_string(c.value());
+    out += "}\n";
+  });
+  registry.for_each_gauge([&](const MetricKey& key, const Gauge& g) {
+    out += "{\"kind\":\"gauge\",\"name\":\"";
+    out += key.name;
+    out += "\",\"entity\":";
+    out += std::to_string(key.entity);
+    out += ",\"value\":";
+    out += fmt_double(g.value());
+    out += "}\n";
+  });
+  registry.for_each_histogram([&](const MetricKey& key, const Histogram& h) {
+    out += "{\"kind\":\"histogram\",\"name\":\"";
+    out += key.name;
+    out += "\",\"entity\":";
+    out += std::to_string(key.entity);
+    out += ",\"bounds\":[";
+    const auto& bounds = h.bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i) out += ",";
+      out += fmt_double(bounds[i]);
+    }
+    out += "],\"counts\":[";
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(counts[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    out += fmt_double(h.sum());
+    out += "}\n";
+  });
+  return out;
+}
+
+std::string spans_to_json_lines(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  for (const auto& span : spans) {
+    out += "{\"span\":\"";
+    out += span_kind_name(span.kind);
+    out += "\",\"entity\":";
+    out += std::to_string(span.entity);
+    out += ",\"start_us\":";
+    out += std::to_string(span.start_us);
+    out += ",\"end_us\":";
+    out += std::to_string(span.end_us);
+    out += ",\"detail\":";
+    out += std::to_string(span.detail);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace wlm::telemetry

@@ -1,0 +1,34 @@
+// Exporters for the telemetry layer: Prometheus-style text and JSON-lines.
+//
+// Both formats are deterministic renderings of deterministic inputs: metric
+// iteration is sorted (name, then entity), doubles print with %.17g (every
+// value we record is an integral count well under 2^53, so the rendering is
+// exact and platform-stable), and no wall-clock timestamp ever appears.
+// Byte-identical registries therefore export byte-identical text — the
+// property `wlmctl stats --jobs N` leans on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace wlm::telemetry {
+
+/// Prometheus exposition-format text: `# TYPE` headers, `{ap="N"}` labels
+/// for per-entity metrics, `_bucket{le=...}` / `_sum` / `_count` series for
+/// histograms.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// One JSON object per line, one line per metric instance:
+///   {"kind":"counter","name":...,"entity":N,"value":N}
+///   {"kind":"gauge",...}
+///   {"kind":"histogram","name":...,"bounds":[...],"counts":[...],...}
+[[nodiscard]] std::string to_json_lines(const MetricsRegistry& registry);
+
+/// One JSON object per line, one line per span, in the order given:
+///   {"span":"poll","entity":N,"start_us":N,"end_us":N,"detail":N}
+[[nodiscard]] std::string spans_to_json_lines(const std::vector<TraceSpan>& spans);
+
+}  // namespace wlm::telemetry

@@ -1,0 +1,99 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace wlm::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  if (counts_.empty()) counts_.assign(1, 0);  // default-constructed: overflow only
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds_ != other.bounds_ || counts_.size() != other.counts_.size()) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+namespace {
+MetricKey make_key(std::string_view name, std::uint64_t entity) {
+  return MetricKey{std::string(name), entity};
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name, std::uint64_t entity) {
+  return counters_[make_key(name, entity)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::uint64_t entity) {
+  return gauges_[make_key(name, entity)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
+                                      std::uint64_t entity) {
+  const auto key = make_key(name, entity);
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(key, Histogram(std::move(bounds))).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             std::uint64_t entity) const {
+  const auto it = counters_.find(make_key(name, entity));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name, std::uint64_t entity) const {
+  const auto it = gauges_.find(make_key(name, entity));
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name,
+                                                 std::uint64_t entity) const {
+  const auto it = histograms_.find(make_key(name, entity));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) counters_[key].inc(c.value());
+  for (const auto& [key, g] : other.gauges_) gauges_[key].add(g.value());
+  for (const auto& [key, h] : other.histograms_) histograms_[key].merge(h);
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const MetricKey&, const Counter&)>& fn) const {
+  for (const auto& [key, c] : counters_) fn(key, c);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const MetricKey&, const Gauge&)>& fn) const {
+  for (const auto& [key, g] : gauges_) fn(key, g);
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const MetricKey&, const Histogram&)>& fn) const {
+  for (const auto& [key, h] : histograms_) fn(key, h);
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace wlm::telemetry

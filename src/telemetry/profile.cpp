@@ -1,0 +1,53 @@
+#include "telemetry/profile.hpp"
+
+#include <cstdio>
+
+namespace wlm::telemetry {
+
+void PhaseProfiler::record(std::string_view phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& stats = phases_[std::string(phase)];
+  stats.seconds += seconds;
+  ++stats.count;
+}
+
+std::vector<std::pair<std::string, PhaseStats>> PhaseProfiler::phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {phases_.begin(), phases_.end()};
+}
+
+std::string PhaseProfiler::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"phases\":[";
+  bool first = true;
+  for (const auto& [name, stats] : phases_) {
+    if (!first) out += ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", stats.seconds);
+    out += "{\"name\":\"";
+    out += name;
+    out += "\",\"seconds\":";
+    out += buf;
+    out += ",\"count\":";
+    out += std::to_string(stats.count);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void PhaseProfiler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+PhaseProfiler& global_profiler() {
+  // Intentionally leaked: bench Timers with static storage duration record
+  // into this from their destructors, which can run after a function-local
+  // static would already be gone.
+  static PhaseProfiler* profiler = new PhaseProfiler();
+  return *profiler;
+}
+
+}  // namespace wlm::telemetry

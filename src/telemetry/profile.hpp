@@ -1,0 +1,80 @@
+// Wall-clock self-profiling, deliberately quarantined from the metrics
+// registry. Phase timers answer "where do the cycles go" for the bench
+// harness and the fleet runtime; their values are real elapsed seconds and
+// therefore nondeterministic, so they must NEVER feed anything that claims
+// bit-identity across runs or `--jobs` values. The split is structural:
+// MetricsRegistry holds sim-time facts, PhaseProfiler holds wall-clock
+// facts, and the exporters for one never see the other.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlm::telemetry {
+
+/// Simple steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct PhaseStats {
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Accumulates named wall-clock phases. Mutex-protected because the bench
+/// harness and worker threads may record concurrently; contention is nil
+/// (phases are recorded once per campaign stage, not per event).
+class PhaseProfiler {
+ public:
+  void record(std::string_view phase, double seconds);
+
+  /// Sorted by phase name.
+  [[nodiscard]] std::vector<std::pair<std::string, PhaseStats>> phases() const;
+
+  /// JSON fragment: {"phases":[{"name":...,"seconds":...,"count":N},...]}
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseStats> phases_;
+};
+
+/// RAII helper: records the elapsed time into `profiler` at scope exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler& profiler, std::string phase)
+      : profiler_(profiler), phase_(std::move(phase)) {}
+  ~ScopedPhase() { profiler_.record(phase_, watch_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler& profiler_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+/// Process-wide profiler the bench harness serializes into BENCH_*.json.
+/// FleetRunner mirrors its phase timings here so standalone tools get the
+/// breakdown for free.
+PhaseProfiler& global_profiler();
+
+}  // namespace wlm::telemetry

@@ -1,0 +1,58 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace wlm::telemetry {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kEnqueue: return "enqueue";
+    case SpanKind::kPoll: return "poll";
+    case SpanKind::kHarvest: return "harvest";
+    case SpanKind::kOutage: return "outage";
+    case SpanKind::kReboot: return "reboot";
+    case SpanKind::kQuarantine: return "quarantine";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(const TraceSpan& span) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[recorded_ % capacity_] = span;
+  }
+  ++recorded_;
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::uint64_t FlightRecorder::dropped() const {
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+std::vector<TraceSpan> FlightRecorder::snapshot() const {
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (recorded_ <= capacity_) {
+    out = ring_;
+    return out;
+  }
+  // The ring wrapped: the oldest retained span sits at the write cursor.
+  const std::size_t head = static_cast<std::size_t>(recorded_ % capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace wlm::telemetry

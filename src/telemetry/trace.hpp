@@ -1,0 +1,72 @@
+// Sim-time trace spans and the per-shard flight recorder.
+//
+// A span marks one stage of a report's life (enqueue at the AP, a poll
+// cycle, the harvest drain) or one disruption window (WAN outage, reboot,
+// poller quarantine) in *simulated* time — never wall-clock, so recorded
+// traces are part of the deterministic output and replay bit-identically
+// for any worker-pool size.
+//
+// The recorder is a bounded ring buffer, one per shard, like a crash-cart
+// flight recorder: always on, O(1) per record, and when campaigns emit more
+// spans than it holds the oldest are overwritten (the `dropped()` count
+// says how many). Shard-confined like everything else a campaign touches,
+// so recording takes no locks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wlm::telemetry {
+
+enum class SpanKind : std::uint8_t {
+  kEnqueue,     // report framed and queued on its AP tunnel
+  kPoll,        // one backend poll cycle over a shard's tunnels
+  kHarvest,     // harvest drain of a shard
+  kOutage,      // WAN outage window (start..end in sim time)
+  kReboot,      // device restart instant (queued telemetry flushed)
+  kQuarantine,  // poller backoff reached the quarantine level
+};
+
+[[nodiscard]] const char* span_kind_name(SpanKind kind);
+
+struct TraceSpan {
+  SpanKind kind = SpanKind::kEnqueue;
+  /// AP id for device-side spans, network id for shard-level ones, 0 when
+  /// the event has no single owner (a whole-shard poll cycle).
+  std::uint64_t entity = 0;
+  std::int64_t start_us = 0;
+  /// == start_us for instantaneous events (enqueue, reboot).
+  std::int64_t end_us = 0;
+  /// Kind-specific magnitude: frame bytes (enqueue), frames pulled (poll,
+  /// harvest), frames lost (reboot), backoff level (quarantine).
+  std::uint64_t detail = 0;
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(const TraceSpan& span);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Spans overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Retained spans, oldest first (recording order — sim-time order as long
+  /// as the producer advances monotonically, which shard campaigns do).
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceSpan> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace wlm::telemetry

@@ -1,0 +1,163 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wlm::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterFindOrCreateAndLookup) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("wlm_x_total"), 0u);
+  reg.counter("wlm_x_total").inc();
+  reg.counter("wlm_x_total").inc(4);
+  EXPECT_EQ(reg.counter_value("wlm_x_total"), 5u);
+  // A different entity is a different instance.
+  reg.counter("wlm_x_total", 7).inc();
+  EXPECT_EQ(reg.counter_value("wlm_x_total", 7), 1u);
+  EXPECT_EQ(reg.counter_value("wlm_x_total"), 5u);
+}
+
+TEST(MetricsRegistry, CounterReferencesStayValid) {
+  MetricsRegistry reg;
+  Counter& hot = reg.counter("wlm_hot_total");
+  // Creating many other keys must not invalidate the cached handle.
+  for (int i = 0; i < 100; ++i) reg.counter("wlm_other_total", static_cast<std::uint64_t>(i));
+  hot.inc(3);
+  EXPECT_EQ(reg.counter_value("wlm_hot_total"), 3u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  reg.gauge("wlm_depth").set(4.0);
+  reg.gauge("wlm_depth").set(2.0);  // set overwrites
+  EXPECT_DOUBLE_EQ(reg.gauge_value("wlm_depth"), 2.0);
+  reg.gauge("wlm_depth").add(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("wlm_depth"), 3.5);
+}
+
+TEST(Histogram, BucketsAreUpperBoundsPlusOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1
+  h.observe(1.0);  // <= 1 (bounds are inclusive upper bounds)
+  h.observe(3.0);  // <= 4
+  h.observe(100.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+}
+
+TEST(Histogram, ConstructorSortsAndUniquesBounds) {
+  Histogram h({4.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(Histogram, MergeSumsBucketwise) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.observe(0.5);
+  b.observe(0.5);
+  b.observe(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.bucket_counts()[0], 2u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Histogram, MergeIntoEmptyCopies) {
+  Histogram a;
+  Histogram b({1.0});
+  b.observe(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.bounds(), b.bounds());
+}
+
+TEST(Histogram, MergeMismatchedBoundsIsIgnored) {
+  Histogram a({1.0});
+  Histogram b({2.0});
+  a.observe(0.5);
+  b.observe(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);  // untouched: a merge must never corrupt counts
+}
+
+TEST(MetricsRegistry, MergeIsAdditiveAcrossAllKinds) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("wlm_c_total").inc(2);
+  b.counter("wlm_c_total").inc(3);
+  b.counter("wlm_only_b_total").inc(1);
+  a.gauge("wlm_g").set(1.5);
+  b.gauge("wlm_g").set(2.5);
+  a.histogram("wlm_h", {1.0}).observe(0.5);
+  b.histogram("wlm_h", {1.0}).observe(2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("wlm_c_total"), 5u);
+  EXPECT_EQ(a.counter_value("wlm_only_b_total"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge_value("wlm_g"), 4.0);  // gauges sum (shard contributions)
+  const Histogram* h = a.find_histogram("wlm_h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(MetricsRegistry, MergeIsOrderIndependent) {
+  MetricsRegistry a1, a2, b1, b2;
+  for (MetricsRegistry* reg : {&a1, &b2}) {
+    reg->counter("wlm_c_total", 1).inc(2);
+    reg->gauge("wlm_g").set(1.0);
+  }
+  for (MetricsRegistry* reg : {&b1, &a2}) {
+    reg->counter("wlm_c_total", 2).inc(5);
+    reg->gauge("wlm_g").set(3.0);
+  }
+  a1.merge(b1);  // shard A then B
+  a2.merge(b2);  // shard B then A
+  EXPECT_EQ(a1.counter_value("wlm_c_total", 1), a2.counter_value("wlm_c_total", 1));
+  EXPECT_EQ(a1.counter_value("wlm_c_total", 2), a2.counter_value("wlm_c_total", 2));
+  EXPECT_DOUBLE_EQ(a1.gauge_value("wlm_g"), a2.gauge_value("wlm_g"));
+}
+
+TEST(MetricsRegistry, VisitationIsSortedByNameThenEntity) {
+  MetricsRegistry reg;
+  reg.counter("wlm_b_total", 2).inc();
+  reg.counter("wlm_b_total", 1).inc();
+  reg.counter("wlm_a_total").inc();
+  std::vector<MetricKey> keys;
+  reg.for_each_counter([&](const MetricKey& key, const Counter&) { keys.push_back(key); });
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].name, "wlm_a_total");
+  EXPECT_EQ(keys[1], (MetricKey{"wlm_b_total", 1}));
+  EXPECT_EQ(keys[2], (MetricKey{"wlm_b_total", 2}));
+}
+
+TEST(MetricsRegistry, HistogramBoundsApplyOnlyOnFirstCreation) {
+  MetricsRegistry reg;
+  reg.histogram("wlm_h", {1.0, 2.0}).observe(0.5);
+  reg.histogram("wlm_h", {99.0}).observe(0.5);  // bounds ignored: key exists
+  const Histogram* h = reg.find_histogram("wlm_h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(MetricsRegistry, SizeAndClear) {
+  MetricsRegistry reg;
+  reg.counter("wlm_c_total").inc();
+  reg.gauge("wlm_g").set(1.0);
+  reg.histogram("wlm_h", {1.0}).observe(0.5);
+  EXPECT_EQ(reg.size(), 3u);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.counter_value("wlm_c_total"), 0u);
+}
+
+}  // namespace
+}  // namespace wlm::telemetry

@@ -1,0 +1,68 @@
+#include "telemetry/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wlm::telemetry {
+namespace {
+
+TEST(PhaseProfiler, AccumulatesSecondsAndCounts) {
+  PhaseProfiler profiler;
+  profiler.record("build", 0.5);
+  profiler.record("build", 0.25);
+  profiler.record("harvest", 1.0);
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(phases[0].first, "build");
+  EXPECT_DOUBLE_EQ(phases[0].second.seconds, 0.75);
+  EXPECT_EQ(phases[0].second.count, 2u);
+  EXPECT_EQ(phases[1].first, "harvest");
+  EXPECT_EQ(phases[1].second.count, 1u);
+}
+
+TEST(PhaseProfiler, ToJsonShape) {
+  PhaseProfiler profiler;
+  profiler.record("build", 0.5);
+  const std::string json = profiler.to_json();
+  EXPECT_NE(json.find("{\"phases\":[{\"name\":\"build\",\"seconds\":0.500000,"
+                      "\"count\":1}]}"),
+            std::string::npos);
+}
+
+TEST(PhaseProfiler, EmptyToJson) {
+  PhaseProfiler profiler;
+  EXPECT_EQ(profiler.to_json(), "{\"phases\":[]}");
+}
+
+TEST(PhaseProfiler, ClearEmpties) {
+  PhaseProfiler profiler;
+  profiler.record("build", 0.5);
+  profiler.clear();
+  EXPECT_TRUE(profiler.phases().empty());
+}
+
+TEST(ScopedPhase, RecordsOnDestruction) {
+  PhaseProfiler profiler;
+  {
+    ScopedPhase phase(profiler, "scoped");
+  }
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].first, "scoped");
+  EXPECT_EQ(phases[0].second.count, 1u);
+  EXPECT_GE(phases[0].second.seconds, 0.0);
+}
+
+TEST(Stopwatch, SecondsIsNonNegativeAndRestartable) {
+  Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+  watch.restart();
+  EXPECT_GE(watch.seconds(), 0.0);
+}
+
+TEST(GlobalProfiler, IsASingleton) {
+  EXPECT_EQ(&global_profiler(), &global_profiler());
+}
+
+}  // namespace
+}  // namespace wlm::telemetry

@@ -1,0 +1,123 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/export.hpp"
+
+namespace wlm::telemetry {
+namespace {
+
+TraceSpan span_at(std::int64_t t, std::uint64_t detail = 0) {
+  return TraceSpan{SpanKind::kEnqueue, 1, t, t, detail};
+}
+
+TEST(FlightRecorder, RecordsUpToCapacity) {
+  FlightRecorder rec(4);
+  EXPECT_EQ(rec.capacity(), 4u);
+  for (std::int64_t t = 0; t < 3; ++t) rec.record(span_at(t));
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.front().start_us, 0);
+  EXPECT_EQ(spans.back().start_us, 2);
+}
+
+TEST(FlightRecorder, OverwritesOldestWhenFull) {
+  FlightRecorder rec(4);
+  for (std::int64_t t = 0; t < 10; ++t) rec.record(span_at(t));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first: the retained window is [6, 9].
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_us, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(FlightRecorder, ClearResets) {
+  FlightRecorder rec(2);
+  rec.record(span_at(0));
+  rec.record(span_at(1));
+  rec.record(span_at(2));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder rec(0);
+  rec.record(span_at(1));
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(SpanKind, NamesAreStable) {
+  EXPECT_STREQ(span_kind_name(SpanKind::kEnqueue), "enqueue");
+  EXPECT_STREQ(span_kind_name(SpanKind::kPoll), "poll");
+  EXPECT_STREQ(span_kind_name(SpanKind::kHarvest), "harvest");
+  EXPECT_STREQ(span_kind_name(SpanKind::kOutage), "outage");
+  EXPECT_STREQ(span_kind_name(SpanKind::kReboot), "reboot");
+  EXPECT_STREQ(span_kind_name(SpanKind::kQuarantine), "quarantine");
+}
+
+TEST(Export, SpansToJsonLines) {
+  std::vector<TraceSpan> spans;
+  spans.push_back(TraceSpan{SpanKind::kOutage, 42, 10, 20, 0});
+  spans.push_back(TraceSpan{SpanKind::kReboot, 7, 30, 30, 5});
+  const std::string json = spans_to_json_lines(spans);
+  EXPECT_EQ(json,
+            "{\"span\":\"outage\",\"entity\":42,\"start_us\":10,\"end_us\":20,"
+            "\"detail\":0}\n"
+            "{\"span\":\"reboot\",\"entity\":7,\"start_us\":30,\"end_us\":30,"
+            "\"detail\":5}\n");
+}
+
+TEST(Export, PrometheusRendersAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("wlm_c_total").inc(3);
+  reg.counter("wlm_c_total", 9).inc(1);
+  reg.gauge("wlm_g").set(2.5);
+  reg.histogram("wlm_h", {1.0, 4.0}).observe(0.5);
+  reg.histogram("wlm_h", {1.0, 4.0}).observe(9.0);
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE wlm_c_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("wlm_c_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("wlm_c_total{ap=\"9\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wlm_g gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("wlm_g 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wlm_h histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("wlm_h_bucket{le=\"1\"} 1\n"), std::string::npos);
+  // Cumulative buckets: the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("wlm_h_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("wlm_h_sum 9.5\n"), std::string::npos);
+  EXPECT_NE(text.find("wlm_h_count 2\n"), std::string::npos);
+}
+
+TEST(Export, JsonLinesRoundTripShape) {
+  MetricsRegistry reg;
+  reg.counter("wlm_c_total", 3).inc(7);
+  reg.histogram("wlm_h", {2.0}).observe(1.0);
+  const std::string json = to_json_lines(reg);
+  EXPECT_NE(json.find("{\"kind\":\"counter\",\"name\":\"wlm_c_total\",\"entity\":3,"
+                      "\"value\":7}\n"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":[1,0]"), std::string::npos);
+}
+
+TEST(Export, ByteIdenticalForEqualRegistries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  // Insert in different orders; sorted storage must erase the difference.
+  a.counter("wlm_x_total").inc(1);
+  a.counter("wlm_y_total").inc(2);
+  b.counter("wlm_y_total").inc(2);
+  b.counter("wlm_x_total").inc(1);
+  EXPECT_EQ(to_prometheus(a), to_prometheus(b));
+  EXPECT_EQ(to_json_lines(a), to_json_lines(b));
+}
+
+}  // namespace
+}  // namespace wlm::telemetry

@@ -23,6 +23,49 @@ run_suite() {
 
 run_suite build
 
+# Bench smoke: run the two headline benches at a tiny scale and assert the
+# emitted BENCH JSON parses and carries the telemetry phase profile. The
+# scorecard's paper-figure checks are allowed to fail at this scale (the
+# calibration targets assume a full-size fleet); the smoke only cares that
+# the harness itself runs and reports.
+bench_smoke() {
+  local json="build/BENCH_smoke.json"
+  rm -f "${json}"
+  echo "=== bench smoke (tiny scale) ==="
+  WLM_BENCH_JSON="${json}" ./build/bench/bench_scorecard 12 0.2 7 2 > /dev/null \
+    || echo "bench_scorecard: nonzero exit tolerated at smoke scale"
+  WLM_BENCH_JSON="${json}" ./build/bench/bench_fault_sweep 6 0.2 7 2 > /dev/null
+  if [[ ! -s "${json}" ]]; then
+    echo "bench smoke: ${json} missing or empty" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    # Every line must parse as JSON, and at least one record (bench_fault_sweep
+    # also appends plain per-cell lines) must carry a non-empty
+    # telemetry.phases profile.
+    python3 - "${json}" << 'EOF'
+import json, sys
+ok = False
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        rec = json.loads(line)  # raises -> nonzero exit on malformed output
+        phases = rec.get("telemetry", {}).get("phases", [])
+        if phases:
+            ok = True
+if not ok:
+    sys.exit("bench smoke: no record carries a telemetry.phases profile")
+print(f"bench smoke: {n} JSON lines, telemetry profile present")
+EOF
+  else
+    grep -q '"telemetry": {"phases":\[{' "${json}" || {
+      echo "bench smoke: no telemetry.phases in ${json}" >&2
+      exit 1
+    }
+    echo "bench smoke: telemetry profile present (grep fallback)"
+  fi
+}
+bench_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_suite build-asan -DWLM_SANITIZE=address
   run_suite build-tsan -DWLM_SANITIZE=thread

@@ -4,6 +4,8 @@
 //   wlmctl report   <table2|table3|...|fig11>    regenerate one paper artifact
 //   wlmctl health   [--networks N] [--faults SPEC]  run a faulted week, triage
 //   wlmctl pcap     <path> [--flows N]           export a synthetic capture
+//   wlmctl stats    [--faults SPEC] [--metrics-out F] [--trace-out F]
+//                                                run a campaign, dump telemetry
 //   wlmctl spectrum [--seed S]                   render the Figure 11 scenes
 #include <cerrno>
 #include <climits>
@@ -19,6 +21,7 @@
 #include "backend/health.hpp"
 #include "fault/spec.hpp"
 #include "sim/world.hpp"
+#include "telemetry/export.hpp"
 #include "traffic/pcap.hpp"
 #include "traffic/workload.hpp"
 
@@ -221,7 +224,103 @@ int cmd_health(const Args& args) {
     findings.insert(findings.end(), t.begin(), t.end());
   }
   std::fputs(backend::HealthMonitor::render(findings).c_str(), stdout);
-  std::printf("%s\n", world.loss_ledger().render().c_str());
+
+  // Poller-side view, from the merged telemetry registry: which tunnels the
+  // retry policy is currently punishing. The registry only carries per-AP
+  // backoff gauges for tunnels that misbehaved at least once.
+  std::printf("\npoller backoff state (tunnels that ever misbehaved):\n");
+  const auto& metrics = world.metrics();
+  bool any_backoff = false;
+  metrics.for_each_gauge([&](const telemetry::MetricKey& key, const telemetry::Gauge& g) {
+    if (key.name != "wlm_poller_backoff_level") return;
+    any_backoff = true;
+    const bool quarantined =
+        metrics.gauge_value("wlm_poller_quarantined", key.entity) > 0.0;
+    const auto corrupt =
+        metrics.counter_value("wlm_poller_tunnel_corrupt_total", key.entity);
+    std::printf("  ap %llu: backoff level %.0f%s, %llu corrupt frames seen\n",
+                static_cast<unsigned long long>(key.entity), g.value(),
+                quarantined ? " [QUARANTINED]" : "",
+                static_cast<unsigned long long>(corrupt));
+  });
+  if (!any_backoff) std::printf("  (none — every tunnel polled clean all week)\n");
+
+  std::printf("\n%s\n", world.loss_ledger().render().c_str());
+  return 0;
+}
+
+/// Writes `text` to `path`; returns false (with a diagnostic) on failure.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "wlmctl: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  std::fclose(out);
+  if (!ok) std::fprintf(stderr, "wlmctl: short write to %s\n", path.c_str());
+  return ok;
+}
+
+int cmd_stats(const Args& args) {
+  const auto config = world_config(args);
+  if (!config) return 2;
+  sim::World world(*config);
+  world.run_usage_week();
+  world.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
+  world.harvest(sim::HarvestMode::kFinal);
+
+  // The snapshot itself goes to stdout; everything wall-clock or diagnostic
+  // goes elsewhere, so stdout is byte-identical for any --jobs value.
+  const auto& metrics = world.metrics();
+  std::fputs(telemetry::to_prometheus(metrics).c_str(), stdout);
+
+  if (const auto it = args.options.find("metrics-out"); it != args.options.end()) {
+    if (!write_text_file(it->second, telemetry::to_json_lines(metrics))) return 1;
+  }
+  if (const auto it = args.options.find("trace-out"); it != args.options.end()) {
+    if (!write_text_file(it->second, telemetry::spans_to_json_lines(world.trace()))) {
+      return 1;
+    }
+  }
+
+  // Reconcile the registry against the independently derived loss ledger:
+  // the gauges published at harvest AND the live counters incremented on
+  // the hot paths must both agree with it, or the instrumentation lies.
+  const auto ledger = world.loss_ledger();
+  bool ok = true;
+  const auto check = [&](const char* name, double have, std::uint64_t want) {
+    if (have == static_cast<double>(want)) return;
+    std::fprintf(stderr, "wlmctl stats: %s is %.0f but the ledger says %llu\n", name,
+                 have, static_cast<unsigned long long>(want));
+    ok = false;
+  };
+  check("wlm_ledger_generated", metrics.gauge_value("wlm_ledger_generated"),
+        ledger.generated);
+  check("wlm_ledger_delivered", metrics.gauge_value("wlm_ledger_delivered"),
+        ledger.delivered);
+  check("wlm_ledger_shed", metrics.gauge_value("wlm_ledger_shed"), ledger.shed);
+  check("wlm_ledger_lost_reboot", metrics.gauge_value("wlm_ledger_lost_reboot"),
+        ledger.lost_reboot);
+  check("wlm_ledger_lost_corruption", metrics.gauge_value("wlm_ledger_lost_corruption"),
+        ledger.lost_corruption);
+  check("wlm_ledger_in_flight", metrics.gauge_value("wlm_ledger_in_flight"),
+        ledger.in_flight);
+  check("wlm_sim_reports_enqueued_total",
+        static_cast<double>(metrics.counter_value("wlm_sim_reports_enqueued_total")),
+        ledger.generated);
+  check("wlm_poller_reports_stored_total",
+        static_cast<double>(metrics.counter_value("wlm_poller_reports_stored_total")),
+        ledger.delivered);
+  if (!ok) {
+    std::fprintf(stderr, "wlmctl stats: telemetry does NOT reconcile with the ledger\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "wlmctl stats: telemetry reconciles with the loss ledger "
+               "(generated=%llu delivered=%llu)\n",
+               static_cast<unsigned long long>(ledger.generated),
+               static_cast<unsigned long long>(ledger.delivered));
   return 0;
 }
 
@@ -321,6 +420,10 @@ int usage() {
                "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
                "  export    <dir> [--networks N] [--seed S] [--jobs N]  write CSV data series\n"
+               "  stats     [--networks N] [--seed S] [--faults SPEC] [--jobs N]\n"
+               "            [--metrics-out FILE] [--trace-out FILE]\n"
+               "            run a week campaign, print the Prometheus-style metrics\n"
+               "            snapshot, and verify it reconciles with the loss ledger\n"
                "  spectrum  [--seed S]\n"
                "\n"
                "--faults SPEC is comma-separated key=value pairs; keys: flap, outage_rate,\n"
@@ -341,6 +444,7 @@ int main(int argc, char** argv) {
   if (command == "health") return cmd_health(args);
   if (command == "pcap") return cmd_pcap(args);
   if (command == "export") return cmd_export(args);
+  if (command == "stats") return cmd_stats(args);
   if (command == "spectrum") return cmd_spectrum(args);
   return usage();
 }
