@@ -1,0 +1,96 @@
+// Checkpoint/restore cost: what the crash-insurance of src/ckpt actually
+// costs, against the campaign work it protects.
+//
+// Runs the standard seeded week campaign (faulted, so tunnels, the fault
+// injector, and the loss ledger all carry state), then measures:
+//   - serialize: save_campaign() to bytes, at every phase boundary depth
+//   - restore:   rebuild-and-overlay at 1, 2, and 8 worker threads
+//   - fidelity:  the restored runner re-serializes to the same bytes
+//
+// Timings land in the profiler ("checkpoint_*" phases) and the JSON record
+// goes to $WLM_BENCH_JSON (default ./BENCH_checkpoint.json).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "ckpt/campaign.hpp"
+#include "sim/fleet_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wlm;
+  setenv("WLM_BENCH_JSON", "BENCH_checkpoint.json", /*overwrite=*/0);
+  const analysis::ScenarioScale scale = bench::scale_from_args(argc, argv, 40);
+  bench::print_header("Checkpoint/restore cost and fidelity", scale);
+
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = scale.networks;
+  config.fleet.seed = scale.seed;
+  config.seed = scale.seed + 1;
+  config.client_scale = scale.client_scale;
+  config.threads = scale.threads;
+  config.faults.outage_rate_per_week = 2.0;
+  config.faults.outage_mean_hours = 12.0;
+  config.faults.reboot_rate_per_week = 1.0;
+  config.faults.corrupt_probability = 0.01;
+
+  sim::FleetRunner runner(config);
+  ckpt::CampaignProgress progress;
+  progress.label = "bench_checkpoint";
+
+  const struct {
+    const char* name;
+    void (*run)(sim::FleetRunner&);
+  } phases[] = {
+      {"usage_week", [](sim::FleetRunner& r) { r.run_usage_week(); }},
+      {"mr16",
+       [](sim::FleetRunner& r) {
+         r.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
+       }},
+      {"harvest", [](sim::FleetRunner& r) { r.harvest(); }},
+  };
+
+  std::printf("phase        campaign_s     save_s   ckpt_bytes\n");
+  std::vector<std::uint8_t> last;
+  for (const auto& phase : phases) {
+    double campaign_s = 0.0;
+    {
+      const bench::Timer t(std::string("campaign_") + phase.name);
+      phase.run(runner);
+      campaign_s = t.seconds();
+    }
+    progress.phases_done.emplace_back(phase.name);
+    double save_s = 0.0;
+    {
+      const bench::Timer t(std::string("checkpoint_save_") + phase.name);
+      last = ckpt::save_campaign(runner, progress);
+      save_s = t.seconds();
+    }
+    std::printf("%-12s %10.3f %10.4f %12zu\n", phase.name, campaign_s, save_s,
+                last.size());
+  }
+
+  std::printf("\nrestore (rebuild + overlay), from the post-harvest checkpoint:\n");
+  std::printf("threads    restore_s   fidelity\n");
+  for (const int threads : {1, 2, 8}) {
+    ckpt::RestoredCampaign restored;
+    double restore_s = 0.0;
+    {
+      const bench::Timer t("checkpoint_restore_t" + std::to_string(threads));
+      if (const auto err = ckpt::restore_campaign(last, threads, restored)) {
+        std::fprintf(stderr, "bench_checkpoint: restore failed: %s\n",
+                     err.detail.c_str());
+        return 1;
+      }
+      restore_s = t.seconds();
+    }
+    // Fidelity: the restored runner must re-serialize to the same bytes the
+    // checkpoint held — the save/restore pair is a fixed point.
+    const auto again = ckpt::save_campaign(*restored.runner, restored.progress);
+    const bool identical = again == last;
+    std::printf("%7d %11.4f   %s\n", threads, restore_s,
+                identical ? "byte-identical" : "DIVERGED");
+    if (!identical) return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "ckpt/campaign.hpp"
 
 namespace wlm::bench {
 
@@ -34,6 +37,48 @@ void write_bench_json() {
   std::fclose(out);
 }
 
+// Auto-checkpointing: with $WLM_CHECKPOINT_DIR set, every bench campaign
+// checkpoints itself at phase boundaries (throttled by
+// $WLM_CHECKPOINT_EVERY_SIM_HOURS, default: every boundary), so a killed
+// sweep resumes from <dir>/<bench>.wlmckpt instead of replaying from zero.
+// The save cost lands in the profiler under "checkpoint_save", so the
+// BENCH_*.json record shows what the insurance costs.
+void install_auto_checkpoint() {
+  const char* dir = std::getenv("WLM_CHECKPOINT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const char* every_env = std::getenv("WLM_CHECKPOINT_EVERY_SIM_HOURS");
+  const double every = every_env != nullptr ? std::atof(every_env) : 0.0;
+  std::string name = g_experiment;
+  for (auto& c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!keep) c = '_';
+  }
+  const std::string path = std::string(dir) + "/" + name + ".wlmckpt";
+  sim::FleetRunner::set_campaign_phase_hook(
+      [path, every, last_runner = static_cast<sim::FleetRunner*>(nullptr),
+       progress = ckpt::CampaignProgress{}, last_hours = 0.0](
+          sim::FleetRunner& runner, const char* phase) mutable {
+        if (&runner != last_runner) {
+          // A new campaign started (bench binaries often run several);
+          // restart the progress record for it.
+          last_runner = &runner;
+          progress = {};
+          progress.label = g_experiment;
+          last_hours = 0.0;
+        }
+        progress.phases_done.emplace_back(phase);
+        if (every > 0.0 && runner.campaign_sim_hours() - last_hours < every) return;
+        const Timer timer("checkpoint_save");
+        if (const auto err = ckpt::save_campaign_file(path, runner, progress)) {
+          std::fprintf(stderr, "bench: checkpoint to %s failed: %s\n", path.c_str(),
+                       err.detail.c_str());
+          return;
+        }
+        last_hours = runner.campaign_sim_hours();
+      });
+}
+
 }  // namespace
 
 analysis::ScenarioScale scale_from_args(int argc, char** argv, int default_networks) {
@@ -59,6 +104,7 @@ void print_header(const char* experiment, const analysis::ScenarioScale& scale) 
   // hook runs; that late duplicate is never serialized.
   g_total.emplace("bench_total");
   std::atexit(write_bench_json);
+  install_auto_checkpoint();
 }
 
 }  // namespace wlm::bench

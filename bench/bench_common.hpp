@@ -44,6 +44,11 @@ class Timer {
 /// build, each campaign, harvest drain/merge, plus any bench::Timer the
 /// binary ran), so a sweep over thread counts leaves a machine-readable
 /// trace of where the time went, not just how much there was.
+///
+/// Also arms auto-checkpointing: with $WLM_CHECKPOINT_DIR set, every
+/// campaign the bench runs writes <dir>/<bench>.wlmckpt at each phase
+/// boundary (throttle with $WLM_CHECKPOINT_EVERY_SIM_HOURS), and the save
+/// cost is profiled under "checkpoint_save".
 void print_header(const char* experiment, const analysis::ScenarioScale& scale);
 
 }  // namespace wlm::bench

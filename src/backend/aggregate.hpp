@@ -15,6 +15,10 @@
 #include "classify/os.hpp"
 #include "core/ids.hpp"
 
+namespace wlm::ckpt {
+struct AggregatorAccess;  // checkpoint serializer (src/ckpt/state.cpp)
+}
+
 namespace wlm::backend {
 
 /// Week-level rollup for one client MAC.
@@ -70,6 +74,11 @@ class UsageAggregator {
   /// Recomputes every client's majority OS and roaming spread from the
   /// accumulated votes; shared by consume() and merge().
   void resolve();
+
+  /// Checkpoint serialization needs the raw vote and sighting maps — the
+  /// resolved view alone cannot reproduce how future consume() calls would
+  /// shift a client's majority OS.
+  friend struct ::wlm::ckpt::AggregatorAccess;
 
   std::unordered_map<MacAddress, ClientAggregate> clients_;
   std::unordered_map<MacAddress, std::unordered_map<ApId, bool>> seen_on_;

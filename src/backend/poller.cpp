@@ -116,6 +116,18 @@ void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
   }
 }
 
+bool Poller::restore(const PollerStats& stats, const std::vector<TunnelCounters>& counters,
+                     std::int64_t now_us) {
+  if (counters.size() != tunnels_.size()) return false;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (counters[i].ap != tunnels_[i]->ap()) return false;
+  }
+  stats_ = stats;
+  counters_ = counters;
+  now_us_ = now_us;
+  return true;
+}
+
 const TunnelCounters* Poller::counters_for(ApId ap) const {
   for (const auto& tc : counters_) {
     if (tc.ap == ap) return &tc;

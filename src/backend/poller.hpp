@@ -90,6 +90,14 @@ class Poller {
   }
   /// Counters for one AP's tunnel; nullptr if not attached.
   [[nodiscard]] const TunnelCounters* counters_for(ApId ap) const;
+  [[nodiscard]] std::int64_t now_us() const { return now_us_; }
+
+  /// Overlays checkpointed accounting onto a freshly constructed poller with
+  /// the same tunnels attached in the same order. Returns false (and changes
+  /// nothing) if `counters` does not match the attached tunnels one-to-one —
+  /// a checkpoint from a different world must never half-apply.
+  bool restore(const PollerStats& stats, const std::vector<TunnelCounters>& counters,
+               std::int64_t now_us);
 
  private:
   ReportStore* store_;

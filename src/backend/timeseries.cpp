@@ -167,6 +167,24 @@ void TimeSeriesStore::merge(TimeSeriesStore&& other) {
   other.series_.clear();
 }
 
+void TimeSeriesStore::for_each_series(
+    const std::function<void(const SeriesKey&, const std::vector<Point>& raw,
+                             const std::vector<Point>& rollups)>& fn) const {
+  for (auto& [key, s] : series_) {
+    ensure_sorted(s);
+    fn(key, s.raw, s.rollups);
+  }
+}
+
+void TimeSeriesStore::restore_series(const SeriesKey& key, std::vector<Point> raw,
+                                     std::vector<Point> rollups) {
+  Series s;
+  s.raw = std::move(raw);
+  s.rollups = std::move(rollups);
+  s.raw_sorted = true;
+  series_[key] = std::move(s);
+}
+
 std::vector<SeriesKey> TimeSeriesStore::keys_for_metric(const std::string& metric) const {
   std::vector<SeriesKey> out;
   for (const auto& [key, s] : series_) {

@@ -92,6 +92,18 @@ class TimeSeriesStore {
   /// output merge shards in fixed fleet order.
   void merge(TimeSeriesStore&& other);
 
+  /// Visits every series in key order with raw points sorted — the canonical
+  /// iteration checkpoint serialization depends on. Sorting first makes the
+  /// emitted bytes independent of append order.
+  void for_each_series(
+      const std::function<void(const SeriesKey&, const std::vector<Point>& raw,
+                               const std::vector<Point>& rollups)>& fn) const;
+
+  /// Installs one series wholesale (checkpoint restore). Both vectors must
+  /// already be time-sorted, as for_each_series emits them.
+  void restore_series(const SeriesKey& key, std::vector<Point> raw,
+                      std::vector<Point> rollups);
+
  private:
   struct Series {
     std::vector<Point> raw;       // time-sorted

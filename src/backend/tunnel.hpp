@@ -53,6 +53,23 @@ class Tunnel {
   /// disconnected — a pull never reaches a down device).
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> poll(std::size_t max_frames = SIZE_MAX);
 
+  /// Queued frames, oldest first (checkpoint serialization reads the raw
+  /// bytes; the queue's content is exactly the in-flight bucket of the loss
+  /// ledger).
+  [[nodiscard]] const std::deque<std::vector<std::uint8_t>>& pending() const {
+    return queue_;
+  }
+
+  /// Overlays checkpointed state onto a freshly constructed tunnel. The AP
+  /// id and queue limit are construction-time configuration and must already
+  /// match; only connection state, the queue, and the counters restore.
+  void restore(bool connected, std::deque<std::vector<std::uint8_t>> queue,
+               const TunnelStats& stats) {
+    connected_ = connected;
+    queue_ = std::move(queue);
+    stats_ = stats;
+  }
+
  private:
   ApId ap_;
   std::size_t queue_limit_;

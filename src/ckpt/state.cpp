@@ -1,0 +1,777 @@
+#include "ckpt/state.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "wire/messages.hpp"
+
+namespace wlm::ckpt {
+
+namespace {
+
+/// Bounds an element count read from the payload: every element consumes at
+/// least `min_bytes_each`, so a count the remaining bytes cannot possibly
+/// hold is corruption — latch the cursor instead of looping on it.
+bool plausible_count(Cursor& c, std::uint64_t count, std::size_t min_bytes_each) {
+  if (count > c.remaining() / std::max<std::size_t>(1, min_bytes_each)) {
+    c.fail();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- RNG ---
+
+void save_rng(Buf& b, const Rng::State& s) {
+  for (const auto word : s.s) b.u64(word);
+  b.f64(s.cached_normal);
+  b.boolean(s.has_cached_normal);
+}
+
+bool load_rng(Cursor& c, Rng::State& out) {
+  Rng::State s;
+  for (auto& word : s.s) word = c.u64();
+  s.cached_normal = c.f64();
+  s.has_cached_normal = c.boolean();
+  if (!c.ok()) return false;
+  out = s;
+  return true;
+}
+
+// --- mesh link ---
+
+namespace {
+
+void save_fading(Buf& b, const phy::FadingProcess::State& s) {
+  save_rng(b, s.rng);
+  b.f64(s.re);
+  b.f64(s.im);
+}
+
+bool load_fading(Cursor& c, phy::FadingProcess::State& out) {
+  phy::FadingProcess::State s;
+  if (!load_rng(c, s.rng)) return false;
+  s.re = c.f64();
+  s.im = c.f64();
+  if (!c.ok()) return false;
+  out = s;
+  return true;
+}
+
+}  // namespace
+
+void save_link(Buf& b, const sim::MeshLink::State& s) {
+  save_rng(b, s.rng);
+  save_fading(b, s.fast_fading);
+  save_fading(b, s.slow_drift);
+  b.f64(s.current_fast_db);
+  b.f64(s.current_slow_db);
+}
+
+bool load_link(Cursor& c, sim::MeshLink::State& out) {
+  sim::MeshLink::State s;
+  if (!load_rng(c, s.rng)) return false;
+  if (!load_fading(c, s.fast_fading)) return false;
+  if (!load_fading(c, s.slow_drift)) return false;
+  s.current_fast_db = c.f64();
+  s.current_slow_db = c.f64();
+  if (!c.ok()) return false;
+  out = s;
+  return true;
+}
+
+// --- event-queue clock ---
+
+void save_clock(Buf& b, const sim::EventQueue::ClockState& s) {
+  b.i64(s.now_us);
+  b.u64(s.seq);
+  b.u64(s.executed);
+}
+
+bool load_clock(Cursor& c, sim::EventQueue::ClockState& out) {
+  sim::EventQueue::ClockState s;
+  s.now_us = c.i64();
+  s.seq = c.u64();
+  s.executed = c.u64();
+  if (!c.ok()) return false;
+  out = s;
+  return true;
+}
+
+// --- tunnel ---
+
+namespace {
+
+void save_tunnel_stats(Buf& b, const backend::TunnelStats& s) {
+  b.u64(s.frames_queued);
+  b.u64(s.frames_delivered);
+  b.u64(s.frames_dropped);
+  b.u64(s.frames_flushed);
+  b.u64(s.bytes_delivered);
+  b.u64(s.disconnects);
+}
+
+bool load_tunnel_stats(Cursor& c, backend::TunnelStats& out) {
+  backend::TunnelStats s;
+  s.frames_queued = c.u64();
+  s.frames_delivered = c.u64();
+  s.frames_dropped = c.u64();
+  s.frames_flushed = c.u64();
+  s.bytes_delivered = c.u64();
+  s.disconnects = c.u64();
+  if (!c.ok()) return false;
+  out = s;
+  return true;
+}
+
+}  // namespace
+
+void save_tunnel(Buf& b, const backend::Tunnel& tunnel) {
+  b.boolean(tunnel.connected());
+  save_tunnel_stats(b, tunnel.stats());
+  b.u64(tunnel.pending().size());
+  for (const auto& frame : tunnel.pending()) b.bytes(frame);
+}
+
+bool load_tunnel(Cursor& c, backend::Tunnel& tunnel) {
+  const bool connected = c.boolean();
+  backend::TunnelStats stats;
+  if (!load_tunnel_stats(c, stats)) return false;
+  const std::uint64_t n = c.u64();
+  if (!c.ok() || !plausible_count(c, n, 1)) return false;
+  std::deque<std::vector<std::uint8_t>> queue;
+  for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+    const auto frame = c.bytes();
+    queue.emplace_back(frame.begin(), frame.end());
+  }
+  if (!c.ok()) return false;
+  tunnel.restore(connected, std::move(queue), stats);
+  return true;
+}
+
+// --- poller ---
+
+void save_poller(Buf& b, const backend::Poller& poller) {
+  const auto& s = poller.stats();
+  b.u64(s.frames_harvested);
+  b.u64(s.corrupt_frames);
+  b.u64(s.malformed_reports);
+  b.u64(s.bytes_harvested);
+  b.u64(s.reports_stored);
+  b.u64(s.polls_skipped_backoff);
+  b.i64(poller.now_us());
+  const auto& counters = poller.tunnel_counters();
+  b.u64(counters.size());
+  for (const auto& t : counters) {
+    b.u64(t.ap.value());
+    b.u64(t.frames_polled);
+    b.u64(t.corrupt_frames);
+    b.u64(t.malformed_reports);
+    b.u64(t.reports_stored);
+    b.u64(t.cycles_backed_off);
+    b.i64(t.backoff_level);
+    b.i64(t.backoff_remaining);
+    b.boolean(t.quarantined);
+  }
+}
+
+bool load_poller(Cursor& c, backend::Poller& poller) {
+  backend::PollerStats stats;
+  stats.frames_harvested = c.u64();
+  stats.corrupt_frames = c.u64();
+  stats.malformed_reports = c.u64();
+  stats.bytes_harvested = c.u64();
+  stats.reports_stored = c.u64();
+  stats.polls_skipped_backoff = c.u64();
+  const std::int64_t now_us = c.i64();
+  const std::uint64_t n = c.u64();
+  if (!c.ok() || !plausible_count(c, n, 9)) return false;
+  std::vector<backend::TunnelCounters> counters;
+  counters.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+    backend::TunnelCounters t;
+    const std::uint64_t ap = c.u64();
+    if (ap > UINT32_MAX) c.fail();
+    t.ap = ApId{static_cast<std::uint32_t>(ap)};
+    t.frames_polled = c.u64();
+    t.corrupt_frames = c.u64();
+    t.malformed_reports = c.u64();
+    t.reports_stored = c.u64();
+    t.cycles_backed_off = c.u64();
+    const std::int64_t level = c.i64();
+    const std::int64_t rem = c.i64();
+    if (level < 0 || level > 64 || rem < 0 || rem > INT32_MAX) c.fail();
+    t.backoff_level = static_cast<int>(level);
+    t.backoff_remaining = static_cast<int>(rem);
+    t.quarantined = c.boolean();
+    counters.push_back(t);
+  }
+  if (!c.ok()) return false;
+  return poller.restore(stats, counters, now_us);
+}
+
+// --- report store ---
+
+void save_store(Buf& b, const backend::ReportStore& store) {
+  const auto aps = store.aps();  // sorted — the canonical order
+  b.u64(aps.size());
+  for (const ApId ap : aps) {
+    const auto& reports = store.reports_for(ap);
+    b.u64(ap.value());
+    b.u64(reports.size());
+    for (const auto& report : reports) b.bytes(wire::encode_report(report));
+  }
+}
+
+bool load_store(Cursor& c, backend::ReportStore& store) {
+  const std::uint64_t ap_count = c.u64();
+  if (!c.ok() || !plausible_count(c, ap_count, 2)) return false;
+  std::vector<wire::ApReport> decoded;
+  for (std::uint64_t a = 0; a < ap_count && c.ok(); ++a) {
+    const std::uint64_t ap = c.u64();
+    const std::uint64_t n = c.u64();
+    if (ap > UINT32_MAX || !c.ok() || !plausible_count(c, n, 1)) {
+      c.fail();
+      return false;
+    }
+    for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+      auto report = wire::decode_report(c.bytes());
+      if (!c.ok()) return false;
+      // The report's own ap_id must agree with its bucket: a well-framed
+      // section whose content contradicts itself is malformed, not usable.
+      if (!report || report->ap_id != ap) {
+        c.fail();
+        return false;
+      }
+      decoded.push_back(std::move(*report));
+    }
+  }
+  if (!c.ok()) return false;
+  for (auto& report : decoded) store.add(std::move(report));
+  return true;
+}
+
+// --- time series ---
+
+void save_timeseries(Buf& b, const backend::TimeSeriesStore& store) {
+  b.u64(store.series_count());
+  store.for_each_series([&](const backend::SeriesKey& key,
+                            const std::vector<backend::Point>& raw,
+                            const std::vector<backend::Point>& rollups) {
+    b.str(key.metric);
+    b.u64(key.entity);
+    b.u64(raw.size());
+    for (const auto& p : raw) {
+      b.i64(p.time.as_micros());
+      b.f64(p.value);
+    }
+    b.u64(rollups.size());
+    for (const auto& p : rollups) {
+      b.i64(p.time.as_micros());
+      b.f64(p.value);
+    }
+  });
+}
+
+bool load_timeseries(Cursor& c, backend::TimeSeriesStore& store) {
+  const std::uint64_t series_count = c.u64();
+  if (!c.ok() || !plausible_count(c, series_count, 3)) return false;
+  struct Decoded {
+    backend::SeriesKey key;
+    std::vector<backend::Point> raw;
+    std::vector<backend::Point> rollups;
+  };
+  std::vector<Decoded> decoded;
+  auto load_points = [&](std::vector<backend::Point>& out) {
+    const std::uint64_t n = c.u64();
+    if (!c.ok() || !plausible_count(c, n, 9)) return;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+      const std::int64_t t = c.i64();
+      const double v = c.f64();
+      out.push_back({SimTime::from_micros(t), v});
+    }
+  };
+  for (std::uint64_t s = 0; s < series_count && c.ok(); ++s) {
+    Decoded d;
+    d.key.metric = c.str();
+    d.key.entity = c.u64();
+    load_points(d.raw);
+    load_points(d.rollups);
+    if (c.ok()) decoded.push_back(std::move(d));
+  }
+  if (!c.ok()) return false;
+  for (auto& d : decoded) {
+    store.restore_series(d.key, std::move(d.raw), std::move(d.rollups));
+  }
+  return true;
+}
+
+// --- usage aggregator ---
+
+/// Friend of backend::UsageAggregator: checkpointing needs the raw vote and
+/// sighting maps, which the public resolved view cannot reproduce.
+struct AggregatorAccess {
+  static void save(Buf& b, const backend::UsageAggregator& agg) {
+    // Canonical order: MACs ascending, and every inner map key-sorted.
+    auto sorted_macs = [](const auto& map) {
+      std::vector<MacAddress> macs;
+      macs.reserve(map.size());
+      for (const auto& [mac, unused] : map) macs.push_back(mac);
+      std::sort(macs.begin(), macs.end());
+      return macs;
+    };
+
+    const auto client_macs = sorted_macs(agg.clients_);
+    b.u64(client_macs.size());
+    for (const MacAddress mac : client_macs) {
+      const auto& cl = agg.clients_.at(mac);
+      b.u64(mac.to_u64());
+      b.u64(static_cast<std::uint64_t>(cl.os));
+      b.u64(cl.capability_bits);
+      b.i64(cl.ap_count);
+      std::vector<classify::AppId> apps;
+      apps.reserve(cl.app_bytes.size());
+      for (const auto& [app, unused] : cl.app_bytes) apps.push_back(app);
+      std::sort(apps.begin(), apps.end());
+      b.u64(apps.size());
+      for (const classify::AppId app : apps) {
+        const auto& [up, down] = cl.app_bytes.at(app);
+        b.u64(static_cast<std::uint64_t>(app));
+        b.u64(up);
+        b.u64(down);
+      }
+    }
+
+    const auto seen_macs = sorted_macs(agg.seen_on_);
+    b.u64(seen_macs.size());
+    for (const MacAddress mac : seen_macs) {
+      const auto& aps = agg.seen_on_.at(mac);
+      b.u64(mac.to_u64());
+      std::vector<ApId> ids;
+      ids.reserve(aps.size());
+      for (const auto& [ap, unused] : aps) ids.push_back(ap);
+      std::sort(ids.begin(), ids.end());
+      b.u64(ids.size());
+      for (const ApId ap : ids) {
+        b.u64(ap.value());
+        b.boolean(aps.at(ap));
+      }
+    }
+
+    const auto vote_macs = sorted_macs(agg.os_votes_);
+    b.u64(vote_macs.size());
+    for (const MacAddress mac : vote_macs) {
+      const auto& votes = agg.os_votes_.at(mac);
+      b.u64(mac.to_u64());
+      std::vector<std::uint8_t> oses;
+      oses.reserve(votes.size());
+      for (const auto& [os, unused] : votes) oses.push_back(os);
+      std::sort(oses.begin(), oses.end());
+      b.u64(oses.size());
+      for (const std::uint8_t os : oses) {
+        b.u64(os);
+        b.i64(votes.at(os));
+      }
+    }
+  }
+
+  static bool load(Cursor& c, backend::UsageAggregator& agg) {
+    backend::UsageAggregator fresh;
+
+    const std::uint64_t n_clients = c.u64();
+    if (!c.ok() || !plausible_count(c, n_clients, 5)) return false;
+    for (std::uint64_t i = 0; i < n_clients && c.ok(); ++i) {
+      const MacAddress mac = MacAddress::from_u64(c.u64());
+      backend::ClientAggregate cl;
+      cl.mac = mac;
+      const std::uint64_t os = c.u64();
+      if (os > 0xFF) c.fail();
+      cl.os = static_cast<classify::OsType>(os);
+      const std::uint64_t caps = c.u64();
+      if (caps > UINT32_MAX) c.fail();
+      cl.capability_bits = static_cast<std::uint32_t>(caps);
+      const std::int64_t ap_count = c.i64();
+      if (ap_count < 0 || ap_count > INT32_MAX) c.fail();
+      cl.ap_count = static_cast<int>(ap_count);
+      const std::uint64_t n_apps = c.u64();
+      if (!c.ok() || !plausible_count(c, n_apps, 3)) return false;
+      for (std::uint64_t a = 0; a < n_apps && c.ok(); ++a) {
+        const std::uint64_t app = c.u64();
+        if (app > 0xFFFF) c.fail();
+        const std::uint64_t up = c.u64();
+        const std::uint64_t down = c.u64();
+        if (c.ok()) cl.app_bytes[static_cast<classify::AppId>(app)] = {up, down};
+      }
+      if (c.ok()) fresh.clients_.emplace(mac, std::move(cl));
+    }
+
+    const std::uint64_t n_seen = c.u64();
+    if (!c.ok() || !plausible_count(c, n_seen, 2)) return false;
+    for (std::uint64_t i = 0; i < n_seen && c.ok(); ++i) {
+      const MacAddress mac = MacAddress::from_u64(c.u64());
+      const std::uint64_t n_aps = c.u64();
+      if (!c.ok() || !plausible_count(c, n_aps, 2)) return false;
+      auto& aps = fresh.seen_on_[mac];
+      for (std::uint64_t a = 0; a < n_aps && c.ok(); ++a) {
+        const std::uint64_t ap = c.u64();
+        if (ap > UINT32_MAX) c.fail();
+        const bool flag = c.boolean();
+        if (c.ok()) aps[ApId{static_cast<std::uint32_t>(ap)}] = flag;
+      }
+    }
+
+    const std::uint64_t n_votes = c.u64();
+    if (!c.ok() || !plausible_count(c, n_votes, 2)) return false;
+    for (std::uint64_t i = 0; i < n_votes && c.ok(); ++i) {
+      const MacAddress mac = MacAddress::from_u64(c.u64());
+      const std::uint64_t n_os = c.u64();
+      if (!c.ok() || !plausible_count(c, n_os, 2)) return false;
+      auto& votes = fresh.os_votes_[mac];
+      for (std::uint64_t o = 0; o < n_os && c.ok(); ++o) {
+        const std::uint64_t os = c.u64();
+        if (os > 0xFF) c.fail();
+        const std::int64_t count = c.i64();
+        if (count < INT32_MIN || count > INT32_MAX) c.fail();
+        if (c.ok()) votes[static_cast<std::uint8_t>(os)] = static_cast<int>(count);
+      }
+    }
+
+    if (!c.ok()) return false;
+    agg = std::move(fresh);
+    return true;
+  }
+};
+
+void save_aggregator(Buf& b, const backend::UsageAggregator& agg) {
+  AggregatorAccess::save(b, agg);
+}
+
+bool load_aggregator(Cursor& c, backend::UsageAggregator& agg) {
+  return AggregatorAccess::load(c, agg);
+}
+
+// --- loss ledger ---
+
+void save_ledger(Buf& b, const fault::LossLedger& ledger) {
+  b.u64(ledger.generated);
+  b.u64(ledger.delivered);
+  b.u64(ledger.shed);
+  b.u64(ledger.lost_reboot);
+  b.u64(ledger.lost_corruption);
+  b.u64(ledger.in_flight);
+}
+
+bool load_ledger(Cursor& c, fault::LossLedger& out) {
+  fault::LossLedger l;
+  l.generated = c.u64();
+  l.delivered = c.u64();
+  l.shed = c.u64();
+  l.lost_reboot = c.u64();
+  l.lost_corruption = c.u64();
+  l.in_flight = c.u64();
+  if (!c.ok()) return false;
+  out = l;
+  return true;
+}
+
+// --- fault spec ---
+
+void save_fault_spec(Buf& b, const fault::FaultSpec& spec) {
+  b.f64(spec.flap_fraction);
+  b.f64(spec.outage_rate_per_week);
+  b.f64(spec.outage_mean_hours);
+  b.f64(spec.reboot_rate_per_week);
+  b.f64(spec.firmware_wave_fraction);
+  b.f64(spec.firmware_wave_hour);
+  b.f64(spec.corrupt_probability);
+  b.u64(spec.oom_neighbor_threshold);
+  b.f64(spec.skyscraper_fraction);
+  b.u64(spec.skyscraper_neighbors);
+  b.u64(spec.tunnel_queue_limit);
+}
+
+bool load_fault_spec(Cursor& c, fault::FaultSpec& out) {
+  fault::FaultSpec s;
+  s.flap_fraction = c.f64();
+  s.outage_rate_per_week = c.f64();
+  s.outage_mean_hours = c.f64();
+  s.reboot_rate_per_week = c.f64();
+  s.firmware_wave_fraction = c.f64();
+  s.firmware_wave_hour = c.f64();
+  s.corrupt_probability = c.f64();
+  const std::uint64_t oom = c.u64();
+  s.skyscraper_fraction = c.f64();
+  const std::uint64_t sky = c.u64();
+  const std::uint64_t queue_limit = c.u64();
+  // The queue limit sizes real allocations during reconstruction; a
+  // multi-terabyte value is corruption, not configuration.
+  if (oom > 1'000'000 || sky > 1'000'000 || queue_limit > 100'000'000) c.fail();
+  if (!c.ok()) return false;
+  s.oom_neighbor_threshold = static_cast<std::size_t>(oom);
+  s.skyscraper_neighbors = static_cast<std::size_t>(sky);
+  s.tunnel_queue_limit = static_cast<std::size_t>(queue_limit);
+  out = s;
+  return true;
+}
+
+// --- fault injector ---
+
+void save_injector(Buf& b, const fault::FaultInjector& injector) {
+  b.boolean(injector.enabled());
+  if (!injector.enabled()) return;
+  const auto cursors = injector.cursor_states();
+  b.u64(cursors.size());
+  for (const auto& cur : cursors) {
+    b.u64(cur.cursor);
+    b.i64(cur.clock);
+    b.boolean(cur.in_outage);
+    b.i64(cur.outage_start_us);
+  }
+  b.u64(injector.reboots_applied());
+  b.u64(injector.oom_reboots());
+  b.u64(injector.frames_corrupted());
+}
+
+bool load_injector(Cursor& c, fault::FaultInjector& injector) {
+  const bool enabled = c.boolean();
+  if (!c.ok()) return false;
+  // A checkpoint that disagrees with the rebuilt world about whether faults
+  // run cannot be from the same campaign. The cursor stays intact: the
+  // bytes are fine, the *scenario* is wrong (kBadConfig, not kMalformed).
+  if (enabled != injector.enabled()) return false;
+  if (!enabled) return true;
+  const std::uint64_t n = c.u64();
+  if (!c.ok() || !plausible_count(c, n, 4)) return false;
+  std::vector<fault::FaultInjector::ApCursor> cursors;
+  cursors.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+    fault::FaultInjector::ApCursor cur;
+    cur.cursor = c.u64();
+    cur.clock = c.i64();
+    cur.in_outage = c.boolean();
+    cur.outage_start_us = c.i64();
+    cursors.push_back(cur);
+  }
+  const std::uint64_t reboots = c.u64();
+  const std::uint64_t ooms = c.u64();
+  const std::uint64_t corrupted = c.u64();
+  if (!c.ok()) return false;
+  if (!injector.restore(cursors, reboots, ooms, corrupted)) {
+    c.fail();
+    return false;
+  }
+  return true;
+}
+
+// --- metrics registry ---
+
+void save_metrics(Buf& b, const telemetry::MetricsRegistry& metrics) {
+  // Collect first: the registry exposes sorted visitation but not sizes per
+  // kind, and the payload leads each group with its count.
+  std::vector<std::pair<telemetry::MetricKey, std::uint64_t>> counters;
+  metrics.for_each_counter([&](const telemetry::MetricKey& k, const telemetry::Counter& v) {
+    counters.emplace_back(k, v.value());
+  });
+  std::vector<std::pair<telemetry::MetricKey, double>> gauges;
+  metrics.for_each_gauge([&](const telemetry::MetricKey& k, const telemetry::Gauge& v) {
+    gauges.emplace_back(k, v.value());
+  });
+  std::vector<std::pair<telemetry::MetricKey, const telemetry::Histogram*>> histograms;
+  metrics.for_each_histogram(
+      [&](const telemetry::MetricKey& k, const telemetry::Histogram& v) {
+        histograms.emplace_back(k, &v);
+      });
+
+  b.u64(counters.size());
+  for (const auto& [key, value] : counters) {
+    b.str(key.name);
+    b.u64(key.entity);
+    b.u64(value);
+  }
+  b.u64(gauges.size());
+  for (const auto& [key, value] : gauges) {
+    b.str(key.name);
+    b.u64(key.entity);
+    b.f64(value);
+  }
+  b.u64(histograms.size());
+  for (const auto& [key, hist] : histograms) {
+    b.str(key.name);
+    b.u64(key.entity);
+    b.u64(hist->bounds().size());
+    for (const double bound : hist->bounds()) b.f64(bound);
+    for (const std::uint64_t count : hist->bucket_counts()) b.u64(count);
+    b.u64(hist->count());
+    b.f64(hist->sum());
+  }
+}
+
+bool load_metrics(Cursor& c, telemetry::MetricsRegistry& metrics) {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t entity;
+    std::uint64_t value;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::uint64_t entity;
+    double value;
+  };
+  struct HistEntry {
+    std::string name;
+    std::uint64_t entity;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count;
+    double sum;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistEntry> hists;
+
+  const std::uint64_t n_counters = c.u64();
+  if (!c.ok() || !plausible_count(c, n_counters, 3)) return false;
+  for (std::uint64_t i = 0; i < n_counters && c.ok(); ++i) {
+    CounterEntry e;
+    e.name = c.str();
+    e.entity = c.u64();
+    e.value = c.u64();
+    if (c.ok()) counters.push_back(std::move(e));
+  }
+  const std::uint64_t n_gauges = c.u64();
+  if (!c.ok() || !plausible_count(c, n_gauges, 10)) return false;
+  for (std::uint64_t i = 0; i < n_gauges && c.ok(); ++i) {
+    GaugeEntry e;
+    e.name = c.str();
+    e.entity = c.u64();
+    e.value = c.f64();
+    if (c.ok()) gauges.push_back(std::move(e));
+  }
+  const std::uint64_t n_hists = c.u64();
+  if (!c.ok() || !plausible_count(c, n_hists, 4)) return false;
+  for (std::uint64_t i = 0; i < n_hists && c.ok(); ++i) {
+    HistEntry e;
+    e.name = c.str();
+    e.entity = c.u64();
+    const std::uint64_t n_bounds = c.u64();
+    if (!c.ok() || !plausible_count(c, n_bounds, 8)) return false;
+    e.bounds.reserve(static_cast<std::size_t>(n_bounds));
+    for (std::uint64_t j = 0; j < n_bounds && c.ok(); ++j) e.bounds.push_back(c.f64());
+    for (std::uint64_t j = 0; j < n_bounds + 1 && c.ok(); ++j) e.counts.push_back(c.u64());
+    e.count = c.u64();
+    e.sum = c.f64();
+    if (c.ok()) hists.push_back(std::move(e));
+  }
+  if (!c.ok()) return false;
+
+  for (const auto& e : counters) metrics.counter(e.name, e.entity).inc(e.value);
+  for (const auto& e : gauges) metrics.gauge(e.name, e.entity).set(e.value);
+  for (auto& e : hists) {
+    auto& hist = metrics.histogram(e.name, e.bounds, e.entity);
+    if (!hist.restore(e.counts, e.count, e.sum)) {
+      // Bounds collided with an existing histogram of a different shape:
+      // the checkpoint disagrees with the registry it restores into.
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- trace spans / flight recorder ---
+
+void save_spans(Buf& b, const std::vector<telemetry::TraceSpan>& spans) {
+  b.u64(spans.size());
+  for (const auto& s : spans) {
+    b.u64(static_cast<std::uint64_t>(s.kind));
+    b.u64(s.entity);
+    b.i64(s.start_us);
+    b.i64(s.end_us);
+    b.u64(s.detail);
+  }
+}
+
+bool load_spans(Cursor& c, std::vector<telemetry::TraceSpan>& out) {
+  const std::uint64_t n = c.u64();
+  if (!c.ok() || !plausible_count(c, n, 5)) return false;
+  std::vector<telemetry::TraceSpan> spans;
+  spans.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+    telemetry::TraceSpan s;
+    const std::uint64_t kind = c.u64();
+    if (kind > static_cast<std::uint64_t>(telemetry::SpanKind::kQuarantine)) c.fail();
+    s.kind = static_cast<telemetry::SpanKind>(kind);
+    s.entity = c.u64();
+    s.start_us = c.i64();
+    s.end_us = c.i64();
+    s.detail = c.u64();
+    if (c.ok()) spans.push_back(s);
+  }
+  if (!c.ok()) return false;
+  out = std::move(spans);
+  return true;
+}
+
+void save_recorder(Buf& b, const telemetry::FlightRecorder& recorder) {
+  b.u64(recorder.dropped() + recorder.size());  // lifetime total recorded
+  save_spans(b, recorder.snapshot());
+}
+
+bool load_recorder(Cursor& c, telemetry::FlightRecorder& recorder) {
+  const std::uint64_t recorded = c.u64();
+  std::vector<telemetry::TraceSpan> spans;
+  if (!load_spans(c, spans)) return false;
+  if (!recorder.restore(spans, recorded)) {
+    c.fail();
+    return false;
+  }
+  return true;
+}
+
+// --- world config ---
+
+void save_world_config(Buf& b, const sim::WorldConfig& config) {
+  b.u64(static_cast<std::uint64_t>(config.fleet.epoch));
+  b.i64(config.fleet.network_count);
+  b.u64(static_cast<std::uint64_t>(config.fleet.model));
+  b.u64(config.fleet.seed);
+  for (const double d : config.fleet.density_mix) b.f64(d);
+  b.f64(config.client_scale);
+  b.u64(config.seed);
+  b.f64(config.wan_flap_fraction);
+  save_fault_spec(b, config.faults);
+}
+
+bool load_world_config(Cursor& c, sim::WorldConfig& out) {
+  sim::WorldConfig cfg;
+  const std::uint64_t epoch = c.u64();
+  if (epoch > static_cast<std::uint64_t>(deploy::Epoch::kJan2015)) c.fail();
+  cfg.fleet.epoch = static_cast<deploy::Epoch>(epoch);
+  const std::int64_t networks = c.i64();
+  // Reconstruction allocates per network; cap at a sane fleet size so a
+  // corrupted count cannot balloon memory before validation catches it.
+  if (networks < 0 || networks > 1'000'000) c.fail();
+  cfg.fleet.network_count = static_cast<int>(networks);
+  const std::uint64_t model = c.u64();
+  if (model > static_cast<std::uint64_t>(deploy::ApModel::kMr18)) c.fail();
+  cfg.fleet.model = static_cast<deploy::ApModel>(model);
+  cfg.fleet.seed = c.u64();
+  for (double& d : cfg.fleet.density_mix) {
+    d = c.f64();
+    if (!(d >= 0.0 && d <= 1.0)) c.fail();  // also rejects NaN
+  }
+  cfg.client_scale = c.f64();
+  if (!(cfg.client_scale >= 0.0 && cfg.client_scale <= 1e6)) c.fail();
+  cfg.seed = c.u64();
+  cfg.wan_flap_fraction = c.f64();
+  if (!(cfg.wan_flap_fraction >= 0.0 && cfg.wan_flap_fraction <= 1.0)) c.fail();
+  if (!load_fault_spec(c, cfg.faults)) return false;
+  if (!c.ok()) return false;
+  out = cfg;
+  return true;
+}
+
+}  // namespace wlm::ckpt

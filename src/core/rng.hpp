@@ -70,6 +70,23 @@ class Rng {
   /// many workers run them or in what order they are built.
   [[nodiscard]] static Rng substream(std::uint64_t base_seed, std::uint64_t stream_id);
 
+  /// Complete generator state, exposed for checkpoint/restore. The cached
+  /// Box–Muller variate is part of it: without it a restored generator
+  /// would emit its next normal() one draw out of phase.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+  [[nodiscard]] State state() const { return State{s_, cached_normal_, has_cached_normal_}; }
+  void restore(const State& state) {
+    s_ = state.s;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

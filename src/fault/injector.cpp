@@ -131,4 +131,32 @@ bool FaultInjector::in_outage(std::size_t ap) const {
   return enabled_ && ap < states_.size() && states_[ap].in_outage;
 }
 
+std::vector<FaultInjector::ApCursor> FaultInjector::cursor_states() const {
+  std::vector<ApCursor> out;
+  out.reserve(states_.size());
+  for (const ApState& s : states_) {
+    out.push_back({static_cast<std::uint64_t>(s.cursor), s.clock, s.in_outage,
+                   s.outage_start_us});
+  }
+  return out;
+}
+
+bool FaultInjector::restore(const std::vector<ApCursor>& cursors,
+                            std::uint64_t reboots_applied, std::uint64_t oom_reboots,
+                            std::uint64_t frames_corrupted) {
+  if (cursors.size() != states_.size()) return false;
+  for (std::size_t ap = 0; ap < cursors.size(); ++ap) {
+    if (cursors[ap].cursor > plan_.schedule(ap).events.size()) return false;
+  }
+  for (std::size_t ap = 0; ap < cursors.size(); ++ap) {
+    const ApCursor& c = cursors[ap];
+    states_[ap] = {static_cast<std::size_t>(c.cursor), c.clock, c.in_outage,
+                   c.outage_start_us};
+  }
+  reboots_applied_ = reboots_applied;
+  oom_reboots_ = oom_reboots;
+  frames_corrupted_ = frames_corrupted;
+  return true;
+}
+
 }  // namespace wlm::fault

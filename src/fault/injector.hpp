@@ -68,6 +68,28 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t oom_reboots() const { return oom_reboots_; }
   [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupted_; }
 
+  /// The plan this injector is executing (empty for a disabled injector).
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// One AP's position in its schedule — everything advance() mutates.
+  /// Mirrors the private ApState so checkpoints capture open outages exactly.
+  struct ApCursor {
+    std::uint64_t cursor = 0;
+    std::int64_t clock = -1;
+    bool in_outage = false;
+    std::int64_t outage_start_us = 0;
+
+    bool operator==(const ApCursor&) const = default;
+  };
+
+  [[nodiscard]] std::vector<ApCursor> cursor_states() const;
+
+  /// Exact overwrite for checkpoint restore. Returns false (changing
+  /// nothing) unless `cursors` matches the plan's AP count and every cursor
+  /// is within its AP's schedule.
+  bool restore(const std::vector<ApCursor>& cursors, std::uint64_t reboots_applied,
+               std::uint64_t oom_reboots, std::uint64_t frames_corrupted);
+
  private:
   struct ApState {
     std::size_t cursor = 0;

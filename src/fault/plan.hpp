@@ -56,6 +56,14 @@ class FaultPlan {
   /// substream (see file comment); the plan consumes it in AP order.
   [[nodiscard]] static FaultPlan build(const FaultSpec& spec, Rng rng, std::size_t ap_count);
 
+  /// Rebuilds a plan from explicit schedules (checkpoint round-trips and
+  /// hand-crafted test scenarios).
+  [[nodiscard]] static FaultPlan from_schedules(std::vector<ApFaultSchedule> schedules) {
+    FaultPlan plan;
+    plan.schedules_ = std::move(schedules);
+    return plan;
+  }
+
   [[nodiscard]] std::size_t ap_count() const { return schedules_.size(); }
   [[nodiscard]] const ApFaultSchedule& schedule(std::size_t ap) const {
     return schedules_[ap];

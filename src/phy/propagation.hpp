@@ -55,6 +55,23 @@ class FadingProcess {
   /// Advance one sample interval; returns fading gain in dB (0 dB average).
   double next_gain_db();
 
+  /// Mutable state for checkpoint/restore. The LOS amplitude, scatter sigma
+  /// and coherence are constructor-derived configuration — a restored
+  /// process must be rebuilt with the same parameters, then overlaid.
+  struct State {
+    Rng::State rng;
+    double re = 0.0;
+    double im = 0.0;
+
+    bool operator==(const State&) const = default;
+  };
+  [[nodiscard]] State state() const { return State{rng_.state(), re_, im_}; }
+  void restore(const State& state) {
+    rng_.restore(state.rng);
+    re_ = state.re;
+    im_ = state.im;
+  }
+
  private:
   Rng rng_;
   double los_amplitude_;

@@ -41,6 +41,30 @@ class EventQueue {
   /// to unbind). Counts are sim-state facts, so they are deterministic.
   void bind_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Clock and counter state for checkpoint/restore. Pending callbacks are
+  /// std::functions and cannot be serialized, so checkpoints cut at quiescent
+  /// points where the queue has drained; clock_state() captures everything a
+  /// drained queue still carries (the schedule-order counter matters — it
+  /// determines tie-break order of future same-time events).
+  struct ClockState {
+    std::int64_t now_us = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t executed = 0;
+
+    bool operator==(const ClockState&) const = default;
+  };
+  [[nodiscard]] ClockState clock_state() const {
+    return ClockState{now_.as_micros(), seq_, executed_};
+  }
+  /// Restores the clock into an idle queue; any still-pending events are
+  /// dropped first (their callbacks belong to the dead process image).
+  void restore_clock(const ClockState& state) {
+    clear();
+    now_ = SimTime::from_micros(state.now_us);
+    seq_ = state.seq;
+    executed_ = state.executed;
+  }
+
  private:
   struct Item {
     SimTime at;

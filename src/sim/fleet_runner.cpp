@@ -61,6 +61,23 @@ void FleetRunner::record_phase(const char* phase, double seconds) {
   telemetry::global_profiler().record(phase, seconds);
 }
 
+namespace {
+// Process-global, installed from the orchestrating thread before campaigns
+// start (see set_campaign_phase_hook's contract).
+FleetRunner::CampaignPhaseHook& campaign_phase_hook() {
+  static FleetRunner::CampaignPhaseHook hook;
+  return hook;
+}
+}  // namespace
+
+void FleetRunner::set_campaign_phase_hook(CampaignPhaseHook hook) {
+  campaign_phase_hook() = std::move(hook);
+}
+
+void FleetRunner::notify_phase(const char* phase) {
+  if (auto& hook = campaign_phase_hook()) hook(*this, phase);
+}
+
 void FleetRunner::parallel_for(std::size_t count,
                                const std::function<void(std::size_t)>& fn) {
   const auto n_workers = static_cast<std::size_t>(std::max(1, config_.threads));
@@ -104,30 +121,36 @@ void FleetRunner::run_usage_week(int reports_per_week,
   for_each_shard(
       [&](NetworkShard& shard) { shard.run_usage_week(reports_per_week, spikes); });
   record_phase("usage_week", watch.seconds());
+  campaign_sim_hours_ += Duration::days(7).as_hours();
+  notify_phase("usage_week");
 }
 
 void FleetRunner::snapshot_clients(SimTime t) {
   const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.snapshot_clients(t); });
   record_phase("snapshot", watch.seconds());
+  notify_phase("snapshot");
 }
 
 void FleetRunner::run_mr16_interference(SimTime t) {
   const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.run_mr16_interference(t); });
   record_phase("mr16", watch.seconds());
+  notify_phase("mr16");
 }
 
 void FleetRunner::run_mr18_scan(SimTime t, double hour) {
   const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.run_mr18_scan(t, hour); });
   record_phase("mr18", watch.seconds());
+  notify_phase("mr18");
 }
 
 void FleetRunner::run_link_windows(SimTime t) {
   const telemetry::Stopwatch watch;
   for_each_shard([&](NetworkShard& shard) { shard.run_link_windows(t); });
   record_phase("link_windows", watch.seconds());
+  notify_phase("link_windows");
 }
 
 void FleetRunner::harvest(HarvestMode mode) {
@@ -157,6 +180,7 @@ void FleetRunner::harvest(HarvestMode mode) {
   metrics_.gauge("wlm_fleet_clients").set(static_cast<double>(client_count()));
   metrics_.gauge("wlm_fleet_mesh_links").set(static_cast<double>(link_ptrs_.size()));
   record_phase("harvest_merge", merge_watch.seconds());
+  notify_phase("harvest");
 }
 
 std::vector<SeriesPoint> FleetRunner::link_week_series(std::size_t link_index,

@@ -128,11 +128,32 @@ class FleetRunner {
   /// order) at every harvest(). Empty before the first harvest. Like the
   /// store, the snapshot is bit-identical for any thread count.
   [[nodiscard]] const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  /// Mutable access for checkpoint restore (overlays the merged snapshot).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
   /// Merged trace spans, shard-major in fleet order, same rebuild rule.
   [[nodiscard]] const std::vector<telemetry::TraceSpan>& trace() const { return trace_; }
+  [[nodiscard]] std::vector<telemetry::TraceSpan>& trace() { return trace_; }
   /// Wall-clock phase breakdown (build, campaigns, harvest). Real elapsed
   /// time: NOT deterministic, and never part of metrics()/trace().
   [[nodiscard]] const telemetry::PhaseProfiler& profiler() const { return profiler_; }
+
+  // --- campaign progress ---
+
+  /// Simulated hours covered by campaigns so far (usage weeks contribute
+  /// 168 h each; instantaneous snapshots contribute none). Checkpoint
+  /// cadence (`--checkpoint-every <sim-hours>`) keys off this.
+  [[nodiscard]] double campaign_sim_hours() const { return campaign_sim_hours_; }
+  /// Restore-side overwrite, paired with the checkpoint's progress record.
+  void set_campaign_sim_hours(double hours) { campaign_sim_hours_ = hours; }
+
+  /// Process-global hook invoked on the orchestrating thread after every
+  /// campaign phase (and harvest) completes, when shards are quiescent —
+  /// exactly the boundary where a checkpoint cut is safe. Used by
+  /// bench_common's auto-checkpointer; pass nullptr to clear. Not
+  /// thread-safe against concurrently running campaigns: install it before
+  /// the campaign starts.
+  using CampaignPhaseHook = std::function<void(FleetRunner&, const char* phase)>;
+  static void set_campaign_phase_hook(CampaignPhaseHook hook);
 
  private:
   WorldConfig config_;
@@ -145,6 +166,7 @@ class FleetRunner {
   telemetry::MetricsRegistry metrics_;
   std::vector<telemetry::TraceSpan> trace_;
   telemetry::PhaseProfiler profiler_;
+  double campaign_sim_hours_ = 0.0;
 
   /// Runs `fn(i)` for every i in [0, count) on the worker pool (serial when
   /// threads <= 1). `fn` must confine itself to shard i's state.
@@ -153,6 +175,8 @@ class FleetRunner {
   /// Records a wall-clock phase into this runner's profiler and the
   /// process-wide one (telemetry::global_profiler), which bench mains dump.
   void record_phase(const char* phase, double seconds);
+  /// Fires the process-global campaign phase hook (if any) with this runner.
+  void notify_phase(const char* phase);
 };
 
 }  // namespace wlm::sim

@@ -57,6 +57,30 @@ class MeshLink {
   /// Current per-probe delivery probability (for tests/calibration).
   [[nodiscard]] double delivery_probability(const ProbeOutcomeModel& model);
 
+  /// Mutable link state for checkpoint/restore. The budget and endpoints are
+  /// construction-time configuration; only the RNG and the two fading
+  /// processes evolve as probes run.
+  struct State {
+    Rng::State rng;
+    phy::FadingProcess::State fast_fading;
+    phy::FadingProcess::State slow_drift;
+    double current_fast_db = 0.0;
+    double current_slow_db = 0.0;
+
+    bool operator==(const State&) const = default;
+  };
+  [[nodiscard]] State state() const {
+    return State{rng_.state(), fast_fading_.state(), slow_drift_.state(),
+                 current_fast_db_, current_slow_db_};
+  }
+  void restore(const State& state) {
+    rng_.restore(state.rng);
+    fast_fading_.restore(state.fast_fading);
+    slow_drift_.restore(state.slow_drift);
+    current_fast_db_ = state.current_fast_db;
+    current_slow_db_ = state.current_slow_db;
+  }
+
  private:
   ApId from_;
   ApId to_;

@@ -69,14 +69,27 @@ class NetworkShard {
   [[nodiscard]] const std::vector<MeshLink>& links() const { return links_; }
   [[nodiscard]] backend::ReportStore& store() { return store_; }
   [[nodiscard]] const backend::Poller& poller() const { return poller_; }
+  [[nodiscard]] backend::Poller& poller() { return poller_; }
   [[nodiscard]] const fault::FaultInjector& injector() const { return injector_; }
+  [[nodiscard]] fault::FaultInjector& injector() { return injector_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  /// Runtime fault draw stream (corruption, skyscraper tables) — a sibling
+  /// of the campaign stream; checkpoints capture both.
+  [[nodiscard]] Rng& fault_rng() { return fault_rng_; }
   [[nodiscard]] std::size_t client_count() const { return client_count_; }
   [[nodiscard]] ApRuntime* find_ap(ApId id);
   /// Shard-confined telemetry sinks: the poller and injector write here too.
   [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const telemetry::MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] const telemetry::FlightRecorder& recorder() const { return recorder_; }
+  [[nodiscard]] telemetry::FlightRecorder& recorder() { return recorder_; }
+
+  /// Exact overwrite for checkpoint restore (classification tallies are
+  /// shard campaign state, not derivable from the store).
+  void restore_flow_counters(std::uint64_t classified, std::uint64_t misclassified) {
+    flows_classified_ = classified;
+    flows_misclassified_ = misclassified;
+  }
 
   // --- campaigns: each enqueues reports into this shard's AP tunnels ---
   // (Semantics documented on sim::FleetRunner, which fans them out.)

@@ -87,6 +87,17 @@ class Histogram {
   /// mismatched shapes are ignored (a merge must never corrupt counts).
   void merge(const Histogram& other);
 
+  /// Exact overwrite for checkpoint restore. Returns false (and changes
+  /// nothing) unless `counts` matches this histogram's bucket shape —
+  /// restore must never leave a half-valid histogram behind.
+  bool restore(const std::vector<std::uint64_t>& counts, std::uint64_t count, double sum) {
+    if (counts.size() != bounds_.size() + 1) return false;
+    counts_ = counts;
+    count_ = count;
+    sum_ = sum;
+    return true;
+  }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;

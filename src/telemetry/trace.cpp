@@ -55,4 +55,22 @@ void FlightRecorder::clear() {
   recorded_ = 0;
 }
 
+bool FlightRecorder::restore(const std::vector<TraceSpan>& spans, std::uint64_t recorded) {
+  const std::size_t expect =
+      recorded < capacity_ ? static_cast<std::size_t>(recorded) : capacity_;
+  if (spans.size() != expect) return false;
+  ring_.clear();
+  if (recorded <= capacity_) {
+    ring_ = spans;
+  } else {
+    // Invert snapshot(): span k goes back to slot (head + k) mod capacity so
+    // the write cursor resumes exactly where the saved recorder left it.
+    ring_.resize(capacity_);
+    const std::size_t head = static_cast<std::size_t>(recorded % capacity_);
+    for (std::size_t k = 0; k < capacity_; ++k) ring_[(head + k) % capacity_] = spans[k];
+  }
+  recorded_ = recorded;
+  return true;
+}
+
 }  // namespace wlm::telemetry

@@ -63,6 +63,13 @@ class FlightRecorder {
 
   void clear();
 
+  /// Exact overwrite for checkpoint restore: `spans` is a snapshot() (oldest
+  /// first, at most capacity entries) and `recorded` the lifetime total.
+  /// Returns false (changing nothing) on an inconsistent pair. The ring is
+  /// laid out exactly as organic recording would have left it, so future
+  /// record() calls overwrite the same slots in the same order.
+  bool restore(const std::vector<TraceSpan>& spans, std::uint64_t recorded);
+
  private:
   std::size_t capacity_;
   std::vector<TraceSpan> ring_;

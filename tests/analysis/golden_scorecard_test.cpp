@@ -1,0 +1,96 @@
+// Golden regression: checked-in renders of the paper's headline artifacts.
+//
+// The determinism suite proves a run equals itself across thread counts;
+// this suite pins the run against *history*. Any change to the simulation,
+// classification, or rendering path that shifts a single byte of Table 2,
+// Table 3, Figure 3, or Figure 6 at the reference scale fails here and
+// forces a deliberate golden update:
+//
+//   WLM_REGEN_GOLDEN=1 ctest -R GoldenScorecard   # rewrite the goldens
+//
+// The reference scale (12 networks, seed 2015) is small enough for tier-1
+// but large enough that every pipeline stage contributes to the bytes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/experiments.hpp"
+
+#ifndef WLM_GOLDEN_DIR
+#error "WLM_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace wlm {
+namespace {
+
+analysis::ScenarioScale golden_scale() {
+  analysis::ScenarioScale scale;
+  scale.networks = 12;
+  scale.seed = 2015;
+  scale.threads = 2;  // goldens must not depend on this; determinism_test pins that
+  return scale;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(WLM_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char chunk[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) out.append(chunk, n);
+  std::fclose(f);
+  return true;
+}
+
+void check_golden(const std::string& name, const std::string& rendered) {
+  const std::string path = golden_path(name);
+  if (std::getenv("WLM_REGEN_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::string expected;
+  ASSERT_TRUE(read_file(path, expected))
+      << path << " missing — run with WLM_REGEN_GOLDEN=1 to create it";
+  // Byte equality, but diagnose with the first diverging line so a drift
+  // report reads like a diff, not a wall of text.
+  if (rendered != expected) {
+    std::size_t line = 1, pos = 0;
+    const std::size_t limit = std::min(rendered.size(), expected.size());
+    while (pos < limit && rendered[pos] == expected[pos]) {
+      if (rendered[pos] == '\n') ++line;
+      ++pos;
+    }
+    FAIL() << name << " drifted from its golden at line " << line
+           << " (byte " << pos << "). If the change is intentional, rerun with "
+           << "WLM_REGEN_GOLDEN=1 and commit the new golden.";
+  }
+}
+
+TEST(GoldenScorecard, Table2NetworkSizes) {
+  check_golden("table2", analysis::render_table2(golden_scale()));
+}
+
+TEST(GoldenScorecard, Table3OsUsage) {
+  check_golden("table3", analysis::render_table3(analysis::run_usage_study(golden_scale())));
+}
+
+TEST(GoldenScorecard, Fig3DeliveryCdf) {
+  check_golden("fig3", analysis::render_fig3(analysis::run_link_study(golden_scale())));
+}
+
+TEST(GoldenScorecard, Fig6Utilization) {
+  check_golden("fig6",
+               analysis::render_fig6(analysis::run_utilization_study(golden_scale())));
+}
+
+}  // namespace
+}  // namespace wlm

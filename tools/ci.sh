@@ -14,14 +14,15 @@ cd "$(dirname "$0")/.."
 
 run_suite() {
   local dir="$1"
-  shift
+  local ctest_filter="$2"
+  shift 2
   echo "=== configure ${dir} ($*) ==="
   cmake -B "${dir}" -S . "$@"
   cmake --build "${dir}" -j"$(nproc)"
-  (cd "${dir}" && ctest --output-on-failure -j"$(nproc)")
+  (cd "${dir}" && ctest --output-on-failure -j"$(nproc)" ${ctest_filter})
 }
 
-run_suite build
+run_suite build ""
 
 # Bench smoke: run the two headline benches at a tiny scale and assert the
 # emitted BENCH JSON parses and carries the telemetry phase profile. The
@@ -66,9 +67,51 @@ EOF
 }
 bench_smoke
 
+# Checkpoint/resume smoke: kill a campaign at a phase boundary, resume it in
+# a new process at a different --jobs, and require byte-identical stdout and
+# metrics versus the run that never stopped (the tier-1 e2e tests prove this
+# in-process; the smoke proves the shipped wlmctl wiring does too).
+ckpt_smoke() {
+  echo "=== checkpoint/resume smoke ==="
+  local dir="build/ckpt-smoke"
+  rm -rf "${dir}" && mkdir -p "${dir}"
+  local flags=(--networks 5 --seed 11 --faults "outage_rate=2,outage_hours=12,corrupt=0.01")
+  ./build/tools/wlmctl simulate "${flags[@]}" --jobs 2 \
+    --metrics-out "${dir}/full.metrics" > "${dir}/full.out"
+  ./build/tools/wlmctl simulate "${flags[@]}" --jobs 1 \
+    --checkpoint-out "${dir}/cut.wlmckpt" --halt-after-phase mr16 \
+    > "${dir}/halted.out" 2> /dev/null
+  ./build/tools/wlmctl simulate --resume-from "${dir}/cut.wlmckpt" --jobs 4 \
+    --metrics-out "${dir}/resumed.metrics" > "${dir}/resumed.out" 2> /dev/null
+  cmp "${dir}/full.out" "${dir}/resumed.out" || {
+    echo "ckpt smoke: resumed stdout differs from the uninterrupted run" >&2
+    exit 1
+  }
+  cmp "${dir}/full.metrics" "${dir}/resumed.metrics" || {
+    echo "ckpt smoke: resumed metrics differ from the uninterrupted run" >&2
+    exit 1
+  }
+  # A truncated checkpoint must fail with a diagnostic, not a crash.
+  head -c 40 "${dir}/cut.wlmckpt" > "${dir}/torn.wlmckpt"
+  if ./build/tools/wlmctl simulate --resume-from "${dir}/torn.wlmckpt" \
+    > /dev/null 2> "${dir}/torn.err"; then
+    echo "ckpt smoke: resume from a truncated checkpoint succeeded" >&2
+    exit 1
+  fi
+  grep -q "cannot resume" "${dir}/torn.err" || {
+    echo "ckpt smoke: truncated resume died without a diagnostic" >&2
+    exit 1
+  }
+  echo "ckpt smoke: kill/resume byte-identical, torn checkpoint fails closed"
+}
+ckpt_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
-  run_suite build-asan -DWLM_SANITIZE=address
-  run_suite build-tsan -DWLM_SANITIZE=thread
+  # Sanitizer builds skip the `slow` label (fork-based e2e + golden replays):
+  # the instrumented binaries run those campaigns 5-20x slower, and the
+  # same code paths are already covered by the unlabeled ckpt/property tests.
+  run_suite build-asan "-LE slow" -DWLM_SANITIZE=address
+  run_suite build-tsan "-LE slow" -DWLM_SANITIZE=thread
 fi
 
 echo "=== ci.sh: all suites green ==="

@@ -1,17 +1,21 @@
 // wlmctl — command-line front end for the wlm measurement system.
 //
 //   wlmctl simulate [--networks N] [--seed S] [--jobs N] [--faults SPEC]
+//                   [--checkpoint-out F] [--checkpoint-every H]
+//                   [--resume-from F] [--halt-after-phase P]
 //   wlmctl report   <table2|table3|...|fig11>    regenerate one paper artifact
 //   wlmctl health   [--networks N] [--faults SPEC]  run a faulted week, triage
 //   wlmctl pcap     <path> [--flows N]           export a synthetic capture
 //   wlmctl stats    [--faults SPEC] [--metrics-out F] [--trace-out F]
 //                                                run a campaign, dump telemetry
 //   wlmctl spectrum [--seed S]                   render the Figure 11 scenes
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,6 +23,7 @@
 #include "analysis/experiments.hpp"
 #include "analysis/export.hpp"
 #include "backend/health.hpp"
+#include "ckpt/campaign.hpp"
 #include "fault/spec.hpp"
 #include "sim/world.hpp"
 #include "telemetry/export.hpp"
@@ -122,25 +127,151 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
   return config;
 }
 
+/// Writes `text` to `path`; returns false (with a diagnostic) on failure.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "wlmctl: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  std::fclose(out);
+  if (!ok) std::fprintf(stderr, "wlmctl: short write to %s\n", path.c_str());
+  return ok;
+}
+
+/// The simulate campaign script, as named phases. Checkpoints cut between
+/// entries; a resume replays only the phases the checkpoint hasn't done.
+struct SimulatePhase {
+  const char* name;
+  void (*run)(sim::FleetRunner&);
+};
+
+constexpr SimulatePhase kSimulatePhases[] = {
+    {"usage_week", [](sim::FleetRunner& r) { r.run_usage_week(); }},
+    {"mr16",
+     [](sim::FleetRunner& r) {
+       r.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
+     }},
+    {"link_windows",
+     [](sim::FleetRunner& r) {
+       r.run_link_windows(SimTime::epoch() + Duration::hours(14));
+     }},
+    {"harvest", [](sim::FleetRunner& r) { r.harvest(); }},
+};
+
 int cmd_simulate(const Args& args) {
-  const auto config = world_config(args);
-  if (!config) return 2;
-  sim::World world(*config);
-  std::printf("fleet: %d APs, %zu clients, %zu mesh links\n", world.fleet().total_aps(),
-              world.client_count(), world.mesh_links().size());
-  world.run_usage_week();
-  world.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
-  world.run_link_windows(SimTime::epoch() + Duration::hours(14));
-  world.harvest();
+  std::string checkpoint_out;
+  if (const auto it = args.options.find("checkpoint-out"); it != args.options.end()) {
+    checkpoint_out = it->second;
+  }
+  const double checkpoint_every = args.get_double("checkpoint-every", 0.0);
+  std::string halt_after;
+  if (const auto it = args.options.find("halt-after-phase"); it != args.options.end()) {
+    halt_after = it->second;
+    const bool known =
+        std::any_of(std::begin(kSimulatePhases), std::end(kSimulatePhases),
+                    [&](const SimulatePhase& p) { return halt_after == p.name; });
+    if (!known) {
+      std::fprintf(stderr, "wlmctl: unknown phase '%s' for --halt-after-phase\n",
+                   halt_after.c_str());
+      return 2;
+    }
+  }
+  if (checkpoint_every < 0.0) {
+    std::fprintf(stderr, "wlmctl: --checkpoint-every must be >= 0 sim-hours\n");
+    return 2;
+  }
+  if ((checkpoint_every > 0.0 || !halt_after.empty()) && checkpoint_out.empty()) {
+    std::fprintf(stderr,
+                 "wlmctl: --checkpoint-every/--halt-after-phase need --checkpoint-out\n");
+    return 2;
+  }
+
+  std::unique_ptr<sim::FleetRunner> runner;
+  ckpt::CampaignProgress progress;
+  progress.label = "simulate";
+  if (const auto it = args.options.find("resume-from"); it != args.options.end()) {
+    // The checkpoint carries the full scenario; only --jobs applies here
+    // (parallelism is not simulated state).
+    const int jobs = args.get_int("jobs", 1);
+    if (args.bad || jobs < 1) {
+      std::fprintf(stderr, "wlmctl: --jobs must be >= 1 (got %d)\n", jobs);
+      return 2;
+    }
+    ckpt::RestoredCampaign restored;
+    if (const auto err = ckpt::restore_campaign_file(it->second, jobs, restored)) {
+      std::fprintf(stderr, "wlmctl: cannot resume from %s: %s (%s)\n",
+                   it->second.c_str(), err.detail.c_str(), status_name(err.status));
+      return 1;
+    }
+    runner = std::move(restored.runner);
+    progress = std::move(restored.progress);
+    std::fprintf(stderr, "wlmctl: resumed '%s' at %.0f sim-hours (%zu phases done)\n",
+                 progress.label.c_str(), progress.sim_hours,
+                 progress.phases_done.size());
+  } else {
+    const auto config = world_config(args);
+    if (!config) return 2;
+    runner = std::make_unique<sim::FleetRunner>(*config);
+  }
+
+  // Everything on stdout below is simulated output: byte-identical for any
+  // --jobs, and identical between a resumed and an uninterrupted run.
+  std::printf("fleet: %d APs, %zu clients, %zu mesh links\n",
+              runner->fleet().total_aps(), runner->client_count(),
+              runner->mesh_links().size());
+
+  const auto is_done = [&](const char* name) {
+    return std::find(progress.phases_done.begin(), progress.phases_done.end(), name) !=
+           progress.phases_done.end();
+  };
+  double last_ckpt_hours = progress.sim_hours;
+  // With --checkpoint-every H, write when >= H sim-hours elapsed since the
+  // last cut; without it, write after every phase. `force` covers the
+  // --halt-after-phase cut, which must always land on disk.
+  const auto checkpoint_now = [&](const char* phase, bool force) {
+    if (checkpoint_out.empty()) return true;
+    const double elapsed = runner->campaign_sim_hours() - last_ckpt_hours;
+    if (!force && checkpoint_every > 0.0 && elapsed < checkpoint_every) return true;
+    progress.sim_hours = runner->campaign_sim_hours();
+    if (const auto err = ckpt::save_campaign_file(checkpoint_out, *runner, progress)) {
+      std::fprintf(stderr, "wlmctl: cannot checkpoint to %s: %s (%s)\n",
+                   checkpoint_out.c_str(), err.detail.c_str(), status_name(err.status));
+      return false;
+    }
+    last_ckpt_hours = runner->campaign_sim_hours();
+    std::fprintf(stderr, "wlmctl: checkpoint written to %s after phase '%s'\n",
+                 checkpoint_out.c_str(), phase);
+    return true;
+  };
+
+  for (const auto& phase : kSimulatePhases) {
+    if (!is_done(phase.name)) {
+      phase.run(*runner);
+      progress.phases_done.push_back(phase.name);
+      if (!checkpoint_now(phase.name, /*force=*/halt_after == phase.name)) return 1;
+    }
+    if (halt_after == phase.name) {
+      std::fprintf(stderr, "wlmctl: halted after phase '%s'\n", phase.name);
+      return 0;
+    }
+  }
+
   std::printf("store: %zu reports; flows classified: %llu (%.2f%% disagree with truth)\n",
-              world.store().report_count(),
-              static_cast<unsigned long long>(world.flows_classified()),
-              100.0 * static_cast<double>(world.flows_misclassified()) /
-                  std::max<std::uint64_t>(1, world.flows_classified()));
+              runner->store().report_count(),
+              static_cast<unsigned long long>(runner->flows_classified()),
+              100.0 * static_cast<double>(runner->flows_misclassified()) /
+                  std::max<std::uint64_t>(1, runner->flows_classified()));
   std::printf("mean telemetry per AP: %.1f kB framed\n",
-              world.mean_report_bytes_per_ap() / 1e3);
-  if (world.runner().config().faults.enabled()) {
-    std::printf("%s\n", world.loss_ledger().render().c_str());
+              runner->mean_report_bytes_per_ap() / 1e3);
+  if (runner->config().faults.enabled()) {
+    std::printf("%s\n", runner->loss_ledger().render().c_str());
+  }
+  if (const auto it = args.options.find("metrics-out"); it != args.options.end()) {
+    if (!write_text_file(it->second, telemetry::to_json_lines(runner->metrics()))) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -247,19 +378,6 @@ int cmd_health(const Args& args) {
 
   std::printf("\n%s\n", world.loss_ledger().render().c_str());
   return 0;
-}
-
-/// Writes `text` to `path`; returns false (with a diagnostic) on failure.
-bool write_text_file(const std::string& path, const std::string& text) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "wlmctl: cannot write %s\n", path.c_str());
-    return false;
-  }
-  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
-  std::fclose(out);
-  if (!ok) std::fprintf(stderr, "wlmctl: short write to %s\n", path.c_str());
-  return ok;
 }
 
 int cmd_stats(const Args& args) {
@@ -416,6 +534,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: wlmctl <command> [options]\n"
                "  simulate  [--networks N] [--seed S] [--flap F] [--faults SPEC] [--jobs N]\n"
+               "            [--checkpoint-out FILE] [--checkpoint-every SIM_HOURS]\n"
+               "            [--resume-from FILE] [--halt-after-phase PHASE]\n"
+               "            [--metrics-out FILE]\n"
+               "            phases: usage_week, mr16, link_windows, harvest. A resume\n"
+               "            replays only unfinished phases; its output is byte-identical\n"
+               "            to an uninterrupted run at any --jobs\n"
                "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S] [--jobs N]\n"
                "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
