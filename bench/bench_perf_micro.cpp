@@ -1,9 +1,21 @@
 // Micro-benchmarks of the hot pipeline stages: flow classification, wire
 // encode/decode, framing, medium observation, and the probe window.
+//
+// The custom main additionally runs the two-tier classification contrast
+// (RuleIndex + VerdictCache vs the kReference linear engine on the same
+// fragment stream) and appends one JSON record to $WLM_CLASSIFY_BENCH_JSON
+// (default ./BENCH_classify.json): flows/s in both modes, the speedup, the
+// cache hit/miss/evict counters, and the slow-path latency histogram.
+// $WLM_CLASSIFY_BENCH_FLOWS overrides the stream size.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "backend/poller.hpp"
 #include "classify/classifier.hpp"
+#include "classify/verdict_cache.hpp"
 #include "mac/medium.hpp"
 #include "probe/window.hpp"
 #include "scan/spectral.hpp"
@@ -37,6 +49,138 @@ void BM_ClassifyFlow(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ClassifyFlow);
+
+// The same fragment stream the fleet runtime feeds the classifier: flows
+// with volume-derived fragment counts and per-flow keys.
+struct FragmentStream {
+  std::vector<traffic::GeneratedFlow> flows;
+  std::vector<classify::FlowKey> keys;
+  std::size_t fragments = 0;
+};
+
+FragmentStream make_fragment_stream(std::size_t n_flows) {
+  traffic::FlowGenerator gen{Rng{2015}};
+  Rng rng{99991};
+  FragmentStream stream;
+  const auto& catalog = classify::app_catalog();
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    const auto& info = catalog[rng.next_u64() % catalog.size()];
+    const auto os = static_cast<classify::OsType>(i % classify::kOsTypeCount);
+    stream.flows.push_back(gen.make_flow(info.id, os, rng.next_u64() % (1u << 22),
+                                         rng.next_u64() % (1u << 26)));
+    const auto& flow = stream.flows.back();
+    stream.keys.push_back(classify::FlowKey{
+        0xB16'0000'0000ULL + i, static_cast<std::uint32_t>(i % 251), flow.dst_host,
+        flow.src_port, flow.sample.dst_port,
+        flow.sample.transport == classify::Transport::kUdp ? std::uint8_t{17}
+                                                           : std::uint8_t{6}});
+    stream.fragments += flow.fragments;
+  }
+  return stream;
+}
+
+std::uint64_t run_stream(classify::TwoTierClassifier& tier, const FragmentStream& stream) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < stream.flows.size(); ++i) {
+    const auto& flow = stream.flows[i];
+    for (std::uint16_t f = 0; f < flow.fragments; ++f) {
+      acc += static_cast<std::uint64_t>(tier.classify(stream.keys[i], flow.sample));
+    }
+  }
+  return acc;
+}
+
+void BM_ClassifyTwoTierIndexed(benchmark::State& state) {
+  const auto stream = make_fragment_stream(512);
+  for (auto _ : state) {
+    classify::TwoTierClassifier tier(classify::ClassifierMode::kIndexed);
+    benchmark::DoNotOptimize(run_stream(tier, stream));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.fragments));
+}
+BENCHMARK(BM_ClassifyTwoTierIndexed);
+
+void BM_ClassifyTwoTierReference(benchmark::State& state) {
+  const auto stream = make_fragment_stream(512);
+  for (auto _ : state) {
+    classify::TwoTierClassifier tier(classify::ClassifierMode::kReference);
+    benchmark::DoNotOptimize(run_stream(tier, stream));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.fragments));
+}
+BENCHMARK(BM_ClassifyTwoTierReference);
+
+// The JSON contrast record the CI smoke checks: one timed pass per mode
+// over an identical stream, verdict checksums compared as a sanity gate.
+void emit_classify_contrast() {
+  std::size_t n_flows = 50'000;
+  if (const char* env = std::getenv("WLM_CLASSIFY_BENCH_FLOWS")) {
+    n_flows = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  const auto stream = make_fragment_stream(n_flows);
+
+  const auto timed = [&](classify::TwoTierClassifier& tier) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto checksum = run_stream(tier, stream);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return std::pair<std::uint64_t, double>{checksum, static_cast<double>(ns) / 1e9};
+  };
+
+  classify::TwoTierClassifier indexed(classify::ClassifierMode::kIndexed);
+  classify::TwoTierClassifier reference(classify::ClassifierMode::kReference);
+  const auto [sum_fast, s_fast] = timed(indexed);
+  const auto [sum_ref, s_ref] = timed(reference);
+  if (sum_fast != sum_ref) {
+    std::fprintf(stderr, "bench_classify: verdict checksum mismatch (%llu != %llu)\n",
+                 static_cast<unsigned long long>(sum_fast),
+                 static_cast<unsigned long long>(sum_ref));
+    std::exit(1);
+  }
+
+  const double fps_fast = static_cast<double>(stream.fragments) / s_fast;
+  const double fps_ref = static_cast<double>(stream.fragments) / s_ref;
+  const auto& stats = indexed.cache().stats();
+  const auto& profile = indexed.profile();
+
+  const char* path = std::getenv("WLM_CLASSIFY_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_classify.json";
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_classify: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out,
+               "{\"bench\": \"classify_two_tier\", \"flows\": %zu, \"fragments\": %zu, "
+               "\"reference_fragments_per_s\": %.0f, \"indexed_fragments_per_s\": %.0f, "
+               "\"speedup\": %.2f, \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"evictions\": %llu, \"pinned\": %llu}, "
+               "\"slow_path_ns\": {\"count\": %llu, \"mean\": %.1f, \"log2_buckets\": [",
+               stream.flows.size(), stream.fragments, fps_ref, fps_fast, fps_fast / fps_ref,
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.evictions),
+               static_cast<unsigned long long>(stats.pinned),
+               static_cast<unsigned long long>(profile.count), profile.mean_ns());
+  for (std::size_t b = 0; b < classify::SlowPathProfile::kBuckets; ++b) {
+    std::fprintf(out, "%s%llu", b == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(profile.buckets[b]));
+  }
+  std::fprintf(out, "]}}\n");
+  std::fclose(out);
+
+  std::printf("classify two-tier: %zu flows / %zu fragments\n", stream.flows.size(),
+              stream.fragments);
+  std::printf("  reference: %12.0f fragments/s\n", fps_ref);
+  std::printf("  indexed:   %12.0f fragments/s  (%.2fx)\n", fps_fast, fps_fast / fps_ref);
+  std::printf("  cache: %llu hits / %llu misses / %llu evictions, slow-path mean %.0f ns\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions), profile.mean_ns());
+}
 
 wire::ApReport make_report(int clients) {
   wire::ApReport report;
@@ -126,4 +270,13 @@ BENCHMARK(BM_Fft4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the google-benchmark suite plus the two-tier JSON contrast
+// (which always runs — pass --benchmark_filter=^$ to get only the record).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  emit_classify_contrast();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

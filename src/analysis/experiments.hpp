@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "backend/aggregate.hpp"
+#include "classify/rule_index.hpp"
 #include "core/stats.hpp"
 #include "deploy/epoch.hpp"
 
@@ -25,6 +26,10 @@ struct ScenarioScale {
   /// Worker threads for the fleet runtime; output is identical for any
   /// value (see sim::FleetRunner's determinism contract).
   int threads = 1;
+  /// Classification engine the simulated APs run. Every rendered table is
+  /// byte-identical in both modes; kReference exists as the differential
+  /// oracle (and for benchmarking the fast path against it).
+  classify::ClassifierMode classifier = classify::ClassifierMode::kIndexed;
 };
 
 // ---------------------------------------------------------------- Table 2

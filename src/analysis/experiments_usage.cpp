@@ -27,6 +27,7 @@ sim::WorldConfig make_world_config(const ScenarioScale& scale, deploy::Epoch epo
   cfg.client_scale = scale.client_scale;
   cfg.seed = scale.seed * 1315423911ULL + static_cast<std::uint64_t>(epoch);
   cfg.threads = scale.threads;
+  cfg.classifier = scale.classifier;
   return cfg;
 }
 

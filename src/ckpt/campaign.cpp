@@ -27,6 +27,7 @@ void save_shard(Buf& b, sim::NetworkShard& shard) {
   save_recorder(b, shard.recorder());
   b.u64(shard.flows_classified());
   b.u64(shard.flows_misclassified());
+  save_classifier(b, shard.classifier());
 }
 
 /// Overlays one shard section. `c` latches on structural damage
@@ -71,6 +72,8 @@ bool load_shard(Cursor& c, sim::NetworkShard& shard) {
 
   const std::uint64_t classified = c.u64();
   const std::uint64_t misclassified = c.u64();
+  if (!c.ok()) return false;
+  if (!load_classifier(c, shard.classifier())) return false;
   if (!c.at_end()) return false;  // trailing bytes are corruption too
   shard.restore_flow_counters(classified, misclassified);
   return true;

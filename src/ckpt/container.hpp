@@ -61,7 +61,10 @@ enum class SectionTag : std::uint64_t {
   kShard = 5,           // repeated, one per network, fleet order
 };
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version 2: shard sections carry the two-tier classifier (verdict cache
+// contents + slow-path counter) and the config section carries the
+// classifier mode and cache capacity. Version-1 files fail kBadVersion.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Append-only payload builder. Scalars are varints (zigzag for signed),
 /// doubles are 8-byte LE bit patterns (exact round-trip, no printf loss),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <utility>
 
 #include "wire/messages.hpp"
@@ -731,6 +732,71 @@ bool load_recorder(Cursor& c, telemetry::FlightRecorder& recorder) {
   return true;
 }
 
+// --- two-tier classifier ---
+
+void save_classifier(Buf& b, const classify::TwoTierClassifier& classifier) {
+  b.u64(static_cast<std::uint64_t>(classifier.mode()));
+  b.u64(classifier.slow_path_calls());
+  const auto& stats = classifier.cache().stats();
+  b.u64(stats.hits);
+  b.u64(stats.misses);
+  b.u64(stats.evictions);
+  b.u64(stats.pinned);
+  const auto entries = classifier.cache().snapshot();
+  b.u64(entries.size());
+  for (const auto& e : entries) {
+    b.u64(e.key.client_mac);
+    b.u64((std::uint64_t{e.key.src_addr} << 32) | e.key.dst_addr);
+    b.u64((std::uint64_t{e.key.src_port} << 32) | (std::uint64_t{e.key.dst_port} << 16) |
+          e.key.protocol);
+    b.u64(static_cast<std::uint64_t>(e.verdict));
+    b.u64(e.slow_seen);
+  }
+}
+
+bool load_classifier(Cursor& c, classify::TwoTierClassifier& classifier) {
+  const std::uint64_t mode = c.u64();
+  if (mode > static_cast<std::uint64_t>(classify::ClassifierMode::kIndexed)) c.fail();
+  if (!c.ok()) return false;
+  // The mode travels in the config section too; a shard section disagreeing
+  // with the rebuilt world is a config mismatch, not corruption.
+  if (mode != static_cast<std::uint64_t>(classifier.mode())) return false;
+  const std::uint64_t slow_calls = c.u64();
+  classify::VerdictCache::Stats stats;
+  stats.hits = c.u64();
+  stats.misses = c.u64();
+  stats.evictions = c.u64();
+  stats.pinned = c.u64();
+  const std::uint64_t count = c.u64();
+  if (!c.ok()) return false;
+  if (count > classifier.cache().capacity()) return false;
+  std::vector<classify::VerdictCache::SavedEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && c.ok(); ++i) {
+    classify::VerdictCache::SavedEntry e;
+    e.key.client_mac = c.u64();
+    const std::uint64_t addrs = c.u64();
+    e.key.src_addr = static_cast<std::uint32_t>(addrs >> 32);
+    e.key.dst_addr = static_cast<std::uint32_t>(addrs);
+    const std::uint64_t ports = c.u64();
+    if (ports >> 48 != 0) c.fail();
+    e.key.src_port = static_cast<std::uint16_t>(ports >> 32);
+    e.key.dst_port = static_cast<std::uint16_t>(ports >> 16);
+    e.key.protocol = static_cast<std::uint8_t>(ports);
+    const std::uint64_t verdict = c.u64();
+    if (verdict > static_cast<std::uint64_t>(classify::AppId::kXboxLive)) c.fail();
+    e.verdict = static_cast<classify::AppId>(verdict);
+    const std::uint64_t slow_seen = c.u64();
+    if (slow_seen > std::numeric_limits<std::uint32_t>::max()) c.fail();
+    e.slow_seen = static_cast<std::uint32_t>(slow_seen);
+    if (c.ok()) entries.push_back(e);
+  }
+  if (!c.ok()) return false;
+  classifier.cache().restore(entries, stats);
+  classifier.restore(slow_calls);
+  return true;
+}
+
 // --- world config ---
 
 void save_world_config(Buf& b, const sim::WorldConfig& config) {
@@ -743,6 +809,8 @@ void save_world_config(Buf& b, const sim::WorldConfig& config) {
   b.u64(config.seed);
   b.f64(config.wan_flap_fraction);
   save_fault_spec(b, config.faults);
+  b.u64(static_cast<std::uint64_t>(config.classifier));
+  b.u64(config.verdict_cache_capacity);
 }
 
 bool load_world_config(Cursor& c, sim::WorldConfig& out) {
@@ -769,6 +837,13 @@ bool load_world_config(Cursor& c, sim::WorldConfig& out) {
   cfg.wan_flap_fraction = c.f64();
   if (!(cfg.wan_flap_fraction >= 0.0 && cfg.wan_flap_fraction <= 1.0)) c.fail();
   if (!load_fault_spec(c, cfg.faults)) return false;
+  const std::uint64_t mode = c.u64();
+  if (mode > static_cast<std::uint64_t>(classify::ClassifierMode::kIndexed)) c.fail();
+  cfg.classifier = static_cast<classify::ClassifierMode>(mode);
+  const std::uint64_t capacity = c.u64();
+  // A corrupted capacity must not balloon the rebuilt caches.
+  if (capacity < 1 || capacity > 100'000'000) c.fail();
+  cfg.verdict_cache_capacity = static_cast<std::size_t>(capacity);
   if (!c.ok()) return false;
   out = cfg;
   return true;

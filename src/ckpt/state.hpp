@@ -100,6 +100,11 @@ void save_spans(Buf& b, const std::vector<telemetry::TraceSpan>& spans);
 void save_recorder(Buf& b, const telemetry::FlightRecorder& recorder);
 [[nodiscard]] bool load_recorder(Cursor& c, telemetry::FlightRecorder& recorder);
 
+// --- two-tier classifier (verdict cache contents in FIFO order + stats +
+// slow-path counter; the mode is validated against the rebuilt shard) ---
+void save_classifier(Buf& b, const classify::TwoTierClassifier& classifier);
+[[nodiscard]] bool load_classifier(Cursor& c, classify::TwoTierClassifier& classifier);
+
 // --- world configuration (everything FleetRunner reconstruction needs;
 // `threads` is a runtime choice and is NOT serialized) ---
 void save_world_config(Buf& b, const sim::WorldConfig& config);

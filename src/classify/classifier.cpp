@@ -9,22 +9,33 @@
 #include "classify/dns.hpp"
 #include "classify/http.hpp"
 #include "classify/oui.hpp"
+#include "classify/rule_index.hpp"
 #include "classify/tls.hpp"
 #include "classify/user_agent.hpp"
 
 namespace wlm::classify {
 
-OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version) {
+namespace {
+
+OsType classify_os_impl(const ClientEvidence& evidence, HeuristicsVersion version,
+                        const RuleIndex* index) {
+  const auto dhcp_lookup = [index](std::span<const std::uint8_t> params) {
+    return index ? index->os_from_dhcp(params) : os_from_dhcp(params);
+  };
+  const auto ua_lookup = [index](std::string_view ua) {
+    return index ? index->os_from_user_agent(ua) : os_from_user_agent(ua);
+  };
+
   // --- DHCP fingerprints: the strongest signal. ---
   std::set<OsType> dhcp_votes;
   for (const auto& params : evidence.dhcp_fingerprints) {
     std::optional<OsType> os;
     if (version == HeuristicsVersion::k2014) {
       // The older heuristics only accepted exact signature matches.
-      os = os_from_dhcp(params);
+      os = dhcp_lookup(params);
       if (os && canonical_dhcp_params(*os) != params) os = std::nullopt;
     } else {
-      os = os_from_dhcp(params);
+      os = dhcp_lookup(params);
     }
     if (os) dhcp_votes.insert(*os);
   }
@@ -36,7 +47,7 @@ OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version) {
   // --- User-Agent strings: may legitimately disagree (apps, spoofing). ---
   std::map<OsType, int> ua_votes;
   for (const auto& ua : evidence.user_agents) {
-    if (const auto os = os_from_user_agent(ua)) ++ua_votes[*os];
+    if (const auto os = ua_lookup(ua)) ++ua_votes[*os];
   }
 
   if (dhcp_votes.size() == 1) {
@@ -81,6 +92,17 @@ OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version) {
   return OsType::kUnknown;
 }
 
+}  // namespace
+
+OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version) {
+  return classify_os_impl(evidence, version, nullptr);
+}
+
+OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version,
+                   const RuleIndex* index) {
+  return classify_os_impl(evidence, version, index);
+}
+
 bool payload_high_entropy(std::span<const std::uint8_t> payload) {
   if (payload.size() < 64) return false;
   std::array<int, 256> counts{};
@@ -121,6 +143,47 @@ FlowMetadata extract_metadata(const FlowSample& sample) {
       } else {
         meta.high_entropy = payload_high_entropy(sample.first_payload);
       }
+    }
+  }
+  return meta;
+}
+
+FlowMetadata extract_metadata_fast(const FlowSample& sample) {
+  FlowMetadata meta;
+  meta.transport = sample.transport;
+  meta.dst_port = sample.dst_port;
+
+  if (!sample.dns_packet.empty()) {
+    if (const auto dns = parse_dns_ex(sample.dns_packet); dns.ok()) {
+      if (!dns.value->questions.empty()) meta.dns_hostname = dns.value->questions.front().qname;
+    }
+  }
+  if (!sample.first_payload.empty()) {
+    const char first = static_cast<char>(sample.first_payload.front());
+    if (sample.first_payload.front() == 0x16) {
+      // Only a TLS record can start 0x16 (not an HTTP token char, so the
+      // reference cascade's HTTP attempt is doomed anyway).
+      if (const auto hello = parse_client_hello_ex(sample.first_payload); hello.ok()) {
+        meta.saw_tls = true;
+        meta.sni = hello.value->sni;
+      } else {
+        meta.high_entropy = payload_high_entropy(sample.first_payload);
+      }
+    } else if (http_token_char(first) || first == ' ' || first == '\t') {
+      // A parsable request line starts with a method token after optional
+      // space/tab padding (which the header parser trims).
+      const std::string_view text(reinterpret_cast<const char*>(sample.first_payload.data()),
+                                  sample.first_payload.size());
+      if (const auto http = parse_http_request_ex(text); http.ok()) {
+        meta.http_host = http.value->host;
+        meta.http_content_type = http.value->content_type;
+      } else {
+        meta.high_entropy = payload_high_entropy(sample.first_payload);
+      }
+    } else {
+      // Neither parser can accept this first byte; straight to the test the
+      // reference path would fall through to.
+      meta.high_entropy = payload_high_entropy(sample.first_payload);
     }
   }
   return meta;

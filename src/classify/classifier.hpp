@@ -16,6 +16,8 @@
 
 namespace wlm::classify {
 
+class RuleIndex;
+
 /// Heuristics revision: the paper notes device-typing improved between the
 /// January 2014 and January 2015 measurement weeks, shrinking the Unknown
 /// bucket (§3.2).
@@ -34,6 +36,11 @@ struct ClientEvidence {
 [[nodiscard]] OsType classify_os(const ClientEvidence& evidence,
                                  HeuristicsVersion version = HeuristicsVersion::k2015);
 
+/// Same decision procedure with evidence lookups routed through the compiled
+/// index's exact-match buckets (verdict-identical; see RuleIndex).
+[[nodiscard]] OsType classify_os(const ClientEvidence& evidence, HeuristicsVersion version,
+                                 const RuleIndex* index);
+
 /// Raw packets of a flow's slow-path sample, before metadata extraction.
 struct FlowSample {
   Transport transport = Transport::kTcp;
@@ -45,6 +52,13 @@ struct FlowSample {
 /// Runs the real parsers over the packets to produce FlowMetadata — the
 /// step the Click elements perform in the paper's data path.
 [[nodiscard]] FlowMetadata extract_metadata(const FlowSample& sample);
+
+/// Metadata-identical variant that dispatches on the first payload byte
+/// (0x16 -> TLS, token/space/tab -> HTTP, else entropy) instead of running
+/// the full TLS -> HTTP -> entropy cascade. Equivalence holds because a
+/// parsable TLS record must start 0x16 and a parsable HTTP request line must
+/// start with a token char after optional space/tab padding.
+[[nodiscard]] FlowMetadata extract_metadata_fast(const FlowSample& sample);
 
 /// Convenience: extract + classify.
 [[nodiscard]] AppId classify_flow(const FlowSample& sample);

@@ -60,14 +60,15 @@ std::vector<std::uint8_t> encode_dhcp(const DhcpPacket& packet) {
   return out;
 }
 
-std::optional<DhcpPacket> parse_dhcp(std::span<const std::uint8_t> data) {
-  if (data.size() < kBootpHeaderSize + 4) return std::nullopt;
-  if (data[0] != 1 || data[1] != 1 || data[2] != 6) return std::nullopt;
+Parsed<DhcpPacket> parse_dhcp_ex(std::span<const std::uint8_t> data) {
+  using Result = Parsed<DhcpPacket>;
+  if (data.size() < kBootpHeaderSize + 4) return Result::failure(ParseError::kTruncated);
+  if (data[0] != 1 || data[1] != 1 || data[2] != 6) return Result::failure(ParseError::kBadMagic);
   const std::uint32_t cookie = (static_cast<std::uint32_t>(data[kBootpHeaderSize]) << 24) |
                                (static_cast<std::uint32_t>(data[kBootpHeaderSize + 1]) << 16) |
                                (static_cast<std::uint32_t>(data[kBootpHeaderSize + 2]) << 8) |
                                data[kBootpHeaderSize + 3];
-  if (cookie != kMagicCookie) return std::nullopt;
+  if (cookie != kMagicCookie) return Result::failure(ParseError::kBadMagic);
 
   DhcpPacket packet;
   packet.xid = (static_cast<std::uint32_t>(data[4]) << 24) |
@@ -104,7 +105,11 @@ std::optional<DhcpPacket> parse_dhcp(std::span<const std::uint8_t> data) {
         break;  // skip unknown options
     }
   }
-  return packet;
+  return Result::success(std::move(packet));
+}
+
+std::optional<DhcpPacket> parse_dhcp(std::span<const std::uint8_t> data) {
+  return parse_dhcp_ex(data).value;
 }
 
 std::string canonical_vendor_class(OsType os) {

@@ -13,6 +13,7 @@
 
 #include "core/ids.hpp"
 #include "classify/dhcp_fingerprint.hpp"
+#include "classify/parse_error.hpp"
 
 namespace wlm::classify {
 
@@ -35,9 +36,14 @@ struct DhcpPacket {
 /// Serializes a client DHCP message (BOOTP header + magic cookie + options).
 [[nodiscard]] std::vector<std::uint8_t> encode_dhcp(const DhcpPacket& packet);
 
-/// Parses a DHCP message; nullopt when the BOOTP header or magic cookie is
-/// malformed. Unknown options are skipped; a truncated option list yields
-/// what was parsed up to that point.
+/// Parses a DHCP message. Fails typed: kTruncated when the buffer cannot
+/// hold a BOOTP header + cookie, kBadMagic when the op/htype/hlen triple or
+/// the magic cookie is wrong. Unknown options are skipped; a truncated
+/// option list still succeeds with what was parsed up to that point (the
+/// classifier works from partial captures).
+[[nodiscard]] Parsed<DhcpPacket> parse_dhcp_ex(std::span<const std::uint8_t> data);
+
+/// Optional-returning wrapper around parse_dhcp_ex.
 [[nodiscard]] std::optional<DhcpPacket> parse_dhcp(std::span<const std::uint8_t> data);
 
 /// The vendor class string each OS's DHCP client sends (option 60).

@@ -17,36 +17,41 @@ std::optional<std::uint16_t> get_u16(std::span<const std::uint8_t> in, std::size
 }
 
 /// Reads a (possibly compressed) name starting at `pos`; advances pos past
-/// the in-place portion. Returns nullopt on malformed input.
-std::optional<std::string> read_name(std::span<const std::uint8_t> in, std::size_t& pos) {
-  std::string name;
+/// the in-place portion. On failure returns the typed reason and leaves the
+/// output name unspecified.
+ParseError read_name(std::span<const std::uint8_t> in, std::size_t& pos, std::string& name) {
+  name.clear();
   std::size_t p = pos;
   bool jumped = false;
   int hops = 0;
   while (true) {
-    if (p >= in.size()) return std::nullopt;
+    if (p >= in.size()) return ParseError::kTruncated;
     const std::uint8_t len = in[p];
     if ((len & 0xC0) == 0xC0) {  // compression pointer
       const auto ptr = get_u16(in, p);
-      if (!ptr) return std::nullopt;
+      if (!ptr) return ParseError::kTruncated;
       if (!jumped) pos = p + 2;
       p = *ptr & 0x3FFF;
       jumped = true;
-      if (++hops > 16) return std::nullopt;  // pointer loop
+      // Hop bound: self-referential and mutually-referential pointer chains
+      // would otherwise spin forever; anything deeper than the longest legal
+      // name is a loop by construction.
+      if (++hops > kDnsMaxPointerHops) return ParseError::kPointerLoop;
       continue;
     }
     if (len == 0) {
       if (!jumped) pos = p + 1;
       break;
     }
-    if (len > 63 || p + 1 + len > in.size()) return std::nullopt;
+    if (len > 63) return ParseError::kBadValue;             // 0x40/0x80 label types
+    if (p + 1 + len > in.size()) return ParseError::kBadLength;
     if (!name.empty()) name.push_back('.');
     for (std::size_t i = 0; i < len; ++i) {
       name.push_back(static_cast<char>(std::tolower(in[p + 1 + i])));
     }
     p += 1 + len;
   }
-  return name;
+  return ParseError::kNone;
 }
 
 }  // namespace
@@ -82,8 +87,8 @@ std::vector<std::uint8_t> encode_dns_query(std::uint16_t id, std::string_view qn
   return out;
 }
 
-std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet) {
-  if (packet.size() < 12) return std::nullopt;
+Parsed<DnsMessage> parse_dns_ex(std::span<const std::uint8_t> packet) {
+  if (packet.size() < 12) return Parsed<DnsMessage>::failure(ParseError::kTruncated);
   DnsMessage msg;
   msg.id = *get_u16(packet, 0);
   const std::uint16_t flags = *get_u16(packet, 2);
@@ -91,16 +96,23 @@ std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet) {
   const std::uint16_t qdcount = *get_u16(packet, 4);
   msg.answer_count = *get_u16(packet, 6);
   std::size_t pos = 12;
+  std::string name;
   for (std::uint16_t q = 0; q < qdcount; ++q) {
-    auto name = read_name(packet, pos);
-    if (!name) return std::nullopt;
+    if (const ParseError err = read_name(packet, pos, name); err != ParseError::kNone) {
+      return Parsed<DnsMessage>::failure(err);
+    }
     const auto qtype = get_u16(packet, pos);
     const auto qclass = get_u16(packet, pos + 2);
-    if (!qtype || !qclass) return std::nullopt;
+    if (!qtype || !qclass) return Parsed<DnsMessage>::failure(ParseError::kTruncated);
     pos += 4;
-    msg.questions.push_back(DnsQuestion{std::move(*name), *qtype, *qclass});
+    msg.questions.push_back(DnsQuestion{std::move(name), *qtype, *qclass});
+    name = {};
   }
-  return msg;
+  return Parsed<DnsMessage>::success(std::move(msg));
+}
+
+std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet) {
+  return parse_dns_ex(packet).value;
 }
 
 }  // namespace wlm::classify

@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "classify/parse_error.hpp"
+
 namespace wlm::classify {
 
 struct DnsQuestion {
@@ -26,13 +28,22 @@ struct DnsMessage {
   std::uint16_t answer_count = 0;  // parsed but answers are not materialized
 };
 
+/// Compression-pointer hop bound: a legal name has at most 127 labels
+/// (255-byte name, 2 bytes per minimal label), so no well-formed chain needs
+/// more hops than that. Chains past the bound fail with kPointerLoop.
+inline constexpr int kDnsMaxPointerHops = 127;
+
 /// Encodes a single-question query. Names longer than 255 bytes or with
 /// labels over 63 bytes are truncated per-spec limits.
 [[nodiscard]] std::vector<std::uint8_t> encode_dns_query(std::uint16_t id,
                                                          std::string_view qname);
 
-/// Parses header + question section (answers are skipped; compression
-/// pointers in QNAMEs are followed with loop protection).
+/// Parses header + question section (answers are skipped). Compression
+/// pointers in QNAMEs are followed with the kDnsMaxPointerHops bound; every
+/// malformed input fails typed (kTruncated / kBadLength / kPointerLoop).
+[[nodiscard]] Parsed<DnsMessage> parse_dns_ex(std::span<const std::uint8_t> packet);
+
+/// Optional-returning wrapper around parse_dns_ex (legacy entry point).
 [[nodiscard]] std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet);
 
 }  // namespace wlm::classify

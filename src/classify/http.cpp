@@ -29,30 +29,34 @@ bool iequals(std::string_view a, std::string_view b) {
          });
 }
 
-bool is_token_char(char c) {
+}  // namespace
+
+bool http_token_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '!' || c == '#' || c == '$' ||
          c == '%' || c == '&' || c == '\'' || c == '*' || c == '+' || c == '-' || c == '.' ||
          c == '^' || c == '_' || c == '`' || c == '|' || c == '~';
 }
 
-}  // namespace
-
-std::optional<HttpRequestHead> parse_http_request(std::string_view payload) {
+Parsed<HttpRequestHead> parse_http_request_ex(std::string_view payload) {
+  using Result = Parsed<HttpRequestHead>;
+  if (payload.empty()) return Result::failure(ParseError::kTruncated);
   const std::size_t line_end = payload.find('\n');
   const std::string_view request_line =
       trim(line_end == std::string_view::npos ? payload : payload.substr(0, line_end));
 
   // METHOD SP TARGET SP HTTP/x.y
   const std::size_t sp1 = request_line.find(' ');
-  if (sp1 == std::string_view::npos || sp1 == 0) return std::nullopt;
+  if (sp1 == std::string_view::npos || sp1 == 0) return Result::failure(ParseError::kBadValue);
   const std::size_t sp2 = request_line.rfind(' ');
-  if (sp2 == sp1) return std::nullopt;
+  if (sp2 == sp1) return Result::failure(ParseError::kBadValue);
   const std::string_view method = request_line.substr(0, sp1);
   const std::string_view target = trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
   const std::string_view version = request_line.substr(sp2 + 1);
-  if (!std::all_of(method.begin(), method.end(), is_token_char)) return std::nullopt;
-  if (!version.starts_with("HTTP/")) return std::nullopt;
-  if (target.empty()) return std::nullopt;
+  if (!std::all_of(method.begin(), method.end(), http_token_char)) {
+    return Result::failure(ParseError::kBadValue);
+  }
+  if (!version.starts_with("HTTP/")) return Result::failure(ParseError::kBadMagic);
+  if (target.empty()) return Result::failure(ParseError::kBadValue);
 
   HttpRequestHead head;
   head.method = std::string(method);
@@ -85,7 +89,11 @@ std::optional<HttpRequestHead> parse_http_request(std::string_view payload) {
       head.content_type = to_lower(value);
     }
   }
-  return head;
+  return Result::success(std::move(head));
+}
+
+std::optional<HttpRequestHead> parse_http_request(std::string_view payload) {
+  return parse_http_request_ex(payload).value;
 }
 
 std::string build_http_request(std::string_view method, std::string_view host,

@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "classify/parse_error.hpp"
+
 namespace wlm::classify {
 
 struct HttpRequestHead {
@@ -17,10 +19,18 @@ struct HttpRequestHead {
   std::string content_type;  // from the request, when present
 };
 
+/// RFC 7230 token character (legal in a method name). The first payload
+/// byte of any parsable HTTP request is a token char, a space, or a tab —
+/// the classifier's first-byte dispatch keys on exactly this predicate.
+[[nodiscard]] bool http_token_char(char c);
+
 /// Parses the request line and headers from the start of a TCP payload.
 /// Tolerates a truncated header block (classification works from the first
-/// packet of a flow); returns nullopt only when the request line itself is
-/// absent or malformed.
+/// packet of a flow); fails typed — kTruncated for an empty payload,
+/// kBadValue when the request line itself is absent or malformed.
+[[nodiscard]] Parsed<HttpRequestHead> parse_http_request_ex(std::string_view payload);
+
+/// Optional-returning wrapper around parse_http_request_ex.
 [[nodiscard]] std::optional<HttpRequestHead> parse_http_request(std::string_view payload);
 
 /// Builds a request head for the traffic generator.

@@ -38,17 +38,17 @@ std::vector<Rule> generate_rules() {
   return rules;
 }
 
-bool looks_like_video(std::string_view content_type) {
+}  // namespace
+
+bool content_type_looks_video(std::string_view content_type) {
   return content_type.starts_with("video/") ||
          content_type.find("mpegurl") != std::string_view::npos ||
          content_type.find("mp2t") != std::string_view::npos;
 }
 
-bool looks_like_audio(std::string_view content_type) {
+bool content_type_looks_audio(std::string_view content_type) {
   return content_type.starts_with("audio/");
 }
-
-}  // namespace
 
 RuleSet::RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {}
 
@@ -91,8 +91,8 @@ AppId RuleSet::classify(const FlowMetadata& flow) const {
   }
   // 3. Fallback buckets, in the paper's taxonomy.
   if (flow.transport == Transport::kUdp) return AppId::kUdp;
-  if (looks_like_video(flow.http_content_type)) return AppId::kMiscVideo;
-  if (looks_like_audio(flow.http_content_type)) return AppId::kMiscAudio;
+  if (content_type_looks_video(flow.http_content_type)) return AppId::kMiscVideo;
+  if (content_type_looks_audio(flow.http_content_type)) return AppId::kMiscAudio;
   if (flow.dst_port == 80 || flow.dst_port == 8080) return AppId::kMiscWeb;
   if (flow.dst_port == 443 || flow.saw_tls) {
     return flow.dst_port == 443 ? AppId::kMiscSecureWeb : AppId::kEncryptedTcp;

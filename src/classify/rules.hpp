@@ -46,6 +46,11 @@ struct Rule {
 /// True when `host` equals `suffix` or ends with "." + suffix.
 [[nodiscard]] bool domain_suffix_match(std::string_view host, std::string_view suffix);
 
+/// Content-type sniffers behind the misc-video / misc-audio fallback buckets.
+/// Shared with the compiled RuleIndex so both engines bucket identically.
+[[nodiscard]] bool content_type_looks_video(std::string_view content_type);
+[[nodiscard]] bool content_type_looks_audio(std::string_view content_type);
+
 /// The compiled rule set.
 class RuleSet {
  public:

@@ -106,15 +106,22 @@ std::vector<std::uint8_t> build_client_hello(std::string_view sni, std::uint64_t
   return out;
 }
 
-std::optional<ClientHelloInfo> parse_client_hello(std::span<const std::uint8_t> record) {
+Parsed<ClientHelloInfo> parse_client_hello_ex(std::span<const std::uint8_t> record) {
+  using Result = Parsed<ClientHelloInfo>;
   Reader r(record);
-  if (r.u8() != 0x16) return std::nullopt;  // not a handshake record
-  r.u16();                                  // record version (any)
+  const std::uint8_t record_type = r.u8();
+  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  if (record_type != 0x16) return Result::failure(ParseError::kBadMagic);
+  r.u16();  // record version (any)
   const std::uint16_t record_len = r.u16();
-  if (!r.ok() || record_len > r.remaining()) return std::nullopt;
-  if (r.u8() != 0x01) return std::nullopt;  // not client_hello
+  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  if (record_len > r.remaining()) return Result::failure(ParseError::kBadLength);
+  const std::uint8_t hs_type = r.u8();
+  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  if (hs_type != 0x01) return Result::failure(ParseError::kBadMagic);
   const std::uint32_t hs_len = r.u24();
-  if (!r.ok() || hs_len > r.remaining()) return std::nullopt;
+  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  if (hs_len > r.remaining()) return Result::failure(ParseError::kBadLength);
 
   ClientHelloInfo info;
   info.legacy_version = r.u16();
@@ -122,13 +129,13 @@ std::optional<ClientHelloInfo> parse_client_hello(std::span<const std::uint8_t> 
   const std::uint8_t session_len = r.u8();
   r.skip(session_len);
   const std::uint16_t suites_len = r.u16();
-  if (suites_len % 2 != 0) return std::nullopt;
+  if (r.ok() && suites_len % 2 != 0) return Result::failure(ParseError::kBadValue);
   info.cipher_suite_count = suites_len / 2;
   r.skip(suites_len);
   const std::uint8_t comp_len = r.u8();
   r.skip(comp_len);
-  if (!r.ok()) return std::nullopt;
-  if (r.remaining() < 2) return info;  // extensions are optional
+  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  if (r.remaining() < 2) return Result::success(std::move(info));  // extensions optional
   std::uint16_t ext_total = r.u16();
   while (r.ok() && ext_total >= 4 && r.remaining() >= 4) {
     const std::uint16_t ext_type = r.u16();
@@ -149,8 +156,12 @@ std::optional<ClientHelloInfo> parse_client_hello(std::span<const std::uint8_t> 
       r.skip(ext_len);
     }
   }
-  if (!r.ok()) return std::nullopt;
-  return info;
+  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  return Result::success(std::move(info));
+}
+
+std::optional<ClientHelloInfo> parse_client_hello(std::span<const std::uint8_t> record) {
+  return parse_client_hello_ex(record).value;
 }
 
 }  // namespace wlm::classify

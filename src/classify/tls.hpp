@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "classify/parse_error.hpp"
+
 namespace wlm::classify {
 
 struct ClientHelloInfo {
@@ -24,7 +26,14 @@ struct ClientHelloInfo {
                                                            std::uint64_t random32 = 0);
 
 /// Parses a TLS record containing a ClientHello; extracts SNI when present.
-/// Returns nullopt for anything that is not a well-formed ClientHello.
+/// Every malformed record fails typed: kBadMagic for non-handshake /
+/// non-ClientHello bytes, kBadLength for lying record or handshake lengths,
+/// kTruncated for bodies that run out mid-field, kBadValue for an odd
+/// cipher-suite length.
+[[nodiscard]] Parsed<ClientHelloInfo> parse_client_hello_ex(
+    std::span<const std::uint8_t> record);
+
+/// Optional-returning wrapper around parse_client_hello_ex.
 [[nodiscard]] std::optional<ClientHelloInfo> parse_client_hello(
     std::span<const std::uint8_t> record);
 

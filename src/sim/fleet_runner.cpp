@@ -28,6 +28,8 @@ FleetRunner::FleetRunner(WorldConfig config)
   shard_config.client_scale = config_.client_scale;
   shard_config.seed = config_.seed;
   shard_config.faults = config_.faults;
+  shard_config.classifier = config_.classifier;
+  shard_config.verdict_cache_capacity = config_.verdict_cache_capacity;
 
   // Shard construction is independent per network (each shard's RNG is a
   // substream of the base seed), so it parallelizes like the campaigns do.

@@ -42,6 +42,11 @@ struct WorldConfig {
   double wan_flap_fraction = 0.0;
   /// Fault scenario applied per shard; all-zeros runs a clean campaign.
   fault::FaultSpec faults;
+  /// Classification engine every shard runs (indexed fast path by default;
+  /// reference keeps the linear oracle). Verdicts are identical in both.
+  classify::ClassifierMode classifier = classify::ClassifierMode::kIndexed;
+  /// Per-shard verdict cache bound; any value >= 1 is verdict-equivalent.
+  std::size_t verdict_cache_capacity = classify::VerdictCache::kDefaultCapacity;
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;

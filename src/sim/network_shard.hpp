@@ -16,6 +16,7 @@
 
 #include "backend/poller.hpp"
 #include "backend/store.hpp"
+#include "classify/verdict_cache.hpp"
 #include "deploy/generator.hpp"
 #include "fault/injector.hpp"
 #include "fault/loss_ledger.hpp"
@@ -38,6 +39,13 @@ struct ShardConfig {
   /// shard's FaultPlan is drawn from a dedicated substream, so enabling
   /// faults never perturbs the campaign's own draws.
   fault::FaultSpec faults;
+  /// Which classification engine APs run. kIndexed is the production fast
+  /// path; kReference keeps the linear scan as the differential oracle.
+  /// Verdicts (and therefore every report and table) are identical in both.
+  classify::ClassifierMode classifier = classify::ClassifierMode::kIndexed;
+  /// Per-shard verdict cache bound (flows pinned at once). Any value >= 1
+  /// yields the same verdict sequence; only hit/evict counts change.
+  std::size_t verdict_cache_capacity = classify::VerdictCache::kDefaultCapacity;
 };
 
 /// How harvest treats tunnels that are down when the week ends.
@@ -91,6 +99,11 @@ class NetworkShard {
     flows_misclassified_ = misclassified;
   }
 
+  /// The AP-side two-tier classifier (slow path + verdict cache). Exposed
+  /// mutably so checkpoints can capture and restore the cache contents.
+  [[nodiscard]] classify::TwoTierClassifier& classifier() { return classifier_; }
+  [[nodiscard]] const classify::TwoTierClassifier& classifier() const { return classifier_; }
+
   // --- campaigns: each enqueues reports into this shard's AP tunnels ---
   // (Semantics documented on sim::FleetRunner, which fans them out.)
   void run_usage_week(int reports_per_week, const std::vector<traffic::UpdateSpike>& spikes);
@@ -128,6 +141,7 @@ class NetworkShard {
   backend::Poller poller_;
   telemetry::MetricsRegistry metrics_;
   telemetry::FlightRecorder recorder_;
+  classify::TwoTierClassifier classifier_;
   std::size_t client_count_ = 0;
   std::uint64_t flows_classified_ = 0;
   std::uint64_t flows_misclassified_ = 0;

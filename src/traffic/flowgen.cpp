@@ -157,6 +157,21 @@ GeneratedFlow FlowGenerator::make_flow(classify::AppId app, classify::OsType os,
       break;
     }
   }
+
+  flow.src_port = next_src_port_;
+  next_src_port_ = next_src_port_ == 65535 ? 49152 : static_cast<std::uint16_t>(next_src_port_ + 1);
+  // FNV-1a over the destination name, salted with port and transport so
+  // port-only flows still get distinct server addresses.
+  std::uint32_t host_hash = 2166136261u;
+  for (const char c : domain) host_hash = (host_hash ^ static_cast<std::uint8_t>(c)) * 16777619u;
+  host_hash ^= (static_cast<std::uint32_t>(s.dst_port) << 16) |
+               (s.transport == classify::Transport::kUdp ? 1u : 0u);
+  flow.dst_host = host_hash;
+  // One slow-path observation per 2 MiB of volume models the flow's later
+  // packets hitting the AP after the verdict is pinned; capped so a single
+  // giant flow cannot dominate a shard's classification work.
+  flow.fragments = static_cast<std::uint16_t>(
+      1 + std::min<std::uint64_t>(6, (up_bytes + down_bytes) >> 21));
   return flow;
 }
 

@@ -17,11 +17,17 @@
 namespace wlm::traffic {
 
 /// One generated flow: classifier input plus ground truth and byte volume.
+/// The connection identifiers (src_port, dst_host) and the fragment count
+/// are pure functions of values the generator already draws — adding them
+/// consumed no extra RNG, so every downstream random stream is unchanged.
 struct GeneratedFlow {
   classify::FlowSample sample;
   classify::AppId truth = classify::AppId::kUnclassified;
   std::uint64_t upstream_bytes = 0;
   std::uint64_t downstream_bytes = 0;
+  std::uint16_t src_port = 0;   // client ephemeral port (generator counter)
+  std::uint32_t dst_host = 0;   // stand-in server address (domain/port hash)
+  std::uint16_t fragments = 1;  // slow-path observations of this flow (>= 1)
 };
 
 class FlowGenerator {
@@ -35,6 +41,7 @@ class FlowGenerator {
 
  private:
   Rng rng_;
+  std::uint16_t next_src_port_ = 49152;  // IANA ephemeral range, wraps
 
   [[nodiscard]] std::string pick_domain(const classify::AppInfo& info);
 };

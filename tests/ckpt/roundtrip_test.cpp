@@ -13,6 +13,8 @@
 #include "ckpt/campaign.hpp"
 #include "ckpt/container.hpp"
 #include "ckpt/state.hpp"
+#include "classify/tls.hpp"
+#include "classify/verdict_cache.hpp"
 #include "telemetry/export.hpp"
 
 namespace wlm {
@@ -124,6 +126,51 @@ TEST(CkptState, TunnelRoundTripIsByteStable) {
   EXPECT_EQ(fresh.connected(), original.connected());
   EXPECT_EQ(fresh.pending(), original.pending());
   EXPECT_EQ(fresh.stats().frames_dropped, original.stats().frames_dropped);
+}
+
+TEST(CkptState, ClassifierRoundTripIsByteStable) {
+  using classify::ClassifierMode;
+  using classify::FlowKey;
+  using classify::TwoTierClassifier;
+
+  // Populate the cache through the real classify path: a few TLS flows with
+  // distinct keys, some taken past the pin quota (so a hit is recorded) and
+  // enough keys to force an eviction at capacity 3.
+  TwoTierClassifier original(ClassifierMode::kIndexed, /*cache_capacity=*/3);
+  classify::FlowSample sample;
+  sample.dst_port = 443;
+  sample.first_payload = classify::build_client_hello("www.netflix.com", 1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const FlowKey key{0xBEEF'0000 + i, 10, 20, static_cast<std::uint16_t>(50'000 + i), 443, 6};
+    (void)original.classify(key, sample);
+    (void)original.classify(key, sample);  // second fragment: cache hit
+  }
+  ASSERT_GT(original.cache().stats().hits, 0u);
+  ASSERT_GT(original.cache().stats().evictions, 0u);
+
+  TwoTierClassifier fresh(ClassifierMode::kIndexed, /*cache_capacity=*/3);
+  expect_save_load_save_identity(
+      original, fresh,
+      [](ckpt::Buf& b, const TwoTierClassifier& t) { ckpt::save_classifier(b, t); },
+      [](ckpt::Cursor& c, TwoTierClassifier& t) { return ckpt::load_classifier(c, t); });
+  EXPECT_EQ(fresh.cache().stats(), original.cache().stats());
+  EXPECT_EQ(fresh.slow_path_calls(), original.slow_path_calls());
+  EXPECT_EQ(fresh.cache().size(), original.cache().size());
+
+  // The restored cache must behave identically: a pinned flow still hits...
+  const FlowKey pinned{0xBEEF'0004, 10, 20, 50'004, 443, 6};
+  const auto hits_before = fresh.cache().stats().hits;
+  (void)fresh.classify(pinned, sample);
+  EXPECT_EQ(fresh.cache().stats().hits, hits_before + 1);
+
+  // ...and a mode mismatch is a config error (false), not corruption.
+  ckpt::Buf b;
+  ckpt::save_classifier(b, original);
+  const auto bytes = b.take();
+  ckpt::Cursor c(bytes);
+  TwoTierClassifier wrong_mode(ClassifierMode::kReference);
+  EXPECT_FALSE(ckpt::load_classifier(c, wrong_mode));
+  EXPECT_TRUE(c.ok());
 }
 
 TEST(CkptState, StoreRoundTripIsByteStable) {

@@ -73,6 +73,9 @@ TEST(Dns, PointerLoopRejected) {
   packet.push_back(0x00);
   packet.push_back(0x01);
   EXPECT_FALSE(parse_dns(packet).has_value());
+  // Regression: the loop must be reported as kPointerLoop (the old 16-hop
+  // bound also misfiled deep-but-legal chains; see kDnsMaxPointerHops).
+  EXPECT_EQ(parse_dns_ex(packet).error, ParseError::kPointerLoop);
 }
 
 TEST(Dns, ResponseFlagParsed) {

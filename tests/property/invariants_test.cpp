@@ -2,13 +2,18 @@
 // input, swept with parameterized seeds.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "backend/aggregate.hpp"
 #include "backend/tunnel.hpp"
 #include "ckpt/state.hpp"
+#include "classify/rules.hpp"
+#include "classify/verdict_cache.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "mac/beacon.hpp"
 #include "phy/channel.hpp"
+#include "traffic/flowgen.hpp"
 #include "wire/messages.hpp"
 
 namespace wlm {
@@ -224,6 +229,104 @@ TEST_P(SeededProperty, CheckpointTunnelSaveLoadSaveIsIdentity) {
   ckpt::Buf second;
   ckpt::save_tunnel(second, loaded);
   EXPECT_EQ(bytes, second.take());
+}
+
+// Interleaved fragment workload shared by the cache properties below:
+// a handful of flows, each emitting several fragments, shuffled so that
+// distinct flow keys contend for cache slots mid-flow.
+struct FragmentEvent {
+  classify::FlowKey key;
+  const classify::FlowSample* sample;
+  std::uint64_t bytes;
+};
+
+std::vector<FragmentEvent> random_fragment_workload(
+    Rng& rng, std::vector<traffic::GeneratedFlow>& storage) {
+  traffic::FlowGenerator gen{Rng{rng.next_u64()}};
+  const auto& catalog = classify::app_catalog();
+  const auto n_flows = rng.uniform_int(5, 40);
+  storage.clear();
+  storage.reserve(static_cast<std::size_t>(n_flows));
+  std::vector<FragmentEvent> events;
+  for (std::int64_t i = 0; i < n_flows; ++i) {
+    const auto& app = catalog[static_cast<std::size_t>(rng.next_u64() % catalog.size())];
+    const auto os = static_cast<classify::OsType>(rng.uniform_int(0, classify::kOsTypeCount - 1));
+    storage.push_back(gen.make_flow(app.id, os, rng.next_u64() % (1u << 22),
+                                    rng.next_u64() % (1u << 26)));
+  }
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    const auto& flow = storage[i];
+    const classify::FlowKey key{
+        0xAA00'0000'0000ULL + i, static_cast<std::uint32_t>(i % 3), flow.dst_host,
+        flow.src_port, flow.sample.dst_port,
+        flow.sample.transport == classify::Transport::kUdp ? std::uint8_t{17} : std::uint8_t{6}};
+    const auto frags = std::max<std::uint16_t>(flow.fragments, 2);
+    for (std::uint16_t f = 0; f < frags; ++f) {
+      events.push_back(FragmentEvent{key, &flow.sample, rng.next_u64() % 100'000});
+    }
+  }
+  rng.shuffle(events);
+  return events;
+}
+
+TEST_P(SeededProperty, VerdictCacheConservesAttribution) {
+  // Conservation: every lookup is exactly one hit or one miss, evictions
+  // never exceed insertions, live entries never exceed capacity, and the
+  // bytes attributed per app through the cache equal the bytes attributed
+  // by the always-slow reference on the same event stream.
+  Rng rng(GetParam() * 41 + 13);
+  std::vector<traffic::GeneratedFlow> storage;
+  const auto events = random_fragment_workload(rng, storage);
+
+  classify::TwoTierClassifier cached(classify::ClassifierMode::kIndexed,
+                                     /*cache_capacity=*/8);
+  classify::TwoTierClassifier reference(classify::ClassifierMode::kReference);
+  std::map<classify::AppId, std::uint64_t> bytes_cached;
+  std::map<classify::AppId, std::uint64_t> bytes_reference;
+  for (const auto& ev : events) {
+    bytes_cached[cached.classify(ev.key, *ev.sample)] += ev.bytes;
+    bytes_reference[reference.classify(ev.key, *ev.sample)] += ev.bytes;
+  }
+  EXPECT_EQ(bytes_cached, bytes_reference);
+
+  const auto& stats = cached.cache().stats();
+  EXPECT_EQ(stats.hits + stats.misses, events.size());
+  EXPECT_EQ(stats.hits + cached.slow_path_calls(), events.size());
+  EXPECT_LE(stats.evictions, stats.misses);
+  EXPECT_LE(cached.cache().size(), cached.cache().capacity());
+  EXPECT_EQ(reference.cache().stats().hits, 0u);  // reference never caches
+}
+
+TEST_P(SeededProperty, VerdictCacheEvictionIsCapacityInvariant) {
+  // Eviction determinism: the verdict SEQUENCE is identical at any capacity
+  // >= 1 (an evicted entry just re-runs the slow path, which re-derives the
+  // same verdict), and replaying the same stream is bit-identical.
+  Rng rng(GetParam() * 53 + 29);
+  std::vector<traffic::GeneratedFlow> storage;
+  const auto events = random_fragment_workload(rng, storage);
+
+  std::vector<classify::AppId> baseline;
+  std::uint64_t baseline_hits = 0;
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                                     std::size_t{64}, std::size_t{100'000}}) {
+    classify::TwoTierClassifier tier(classify::ClassifierMode::kIndexed, capacity);
+    std::vector<classify::AppId> verdicts;
+    verdicts.reserve(events.size());
+    for (const auto& ev : events) verdicts.push_back(tier.classify(ev.key, *ev.sample));
+    if (baseline.empty()) {
+      baseline = verdicts;
+      baseline_hits = tier.cache().stats().hits;
+      // Replay determinism at the smallest capacity: same stream, same stats.
+      classify::TwoTierClassifier replay(classify::ClassifierMode::kIndexed, capacity);
+      for (const auto& ev : events) (void)replay.classify(ev.key, *ev.sample);
+      EXPECT_EQ(replay.cache().stats().hits, tier.cache().stats().hits);
+      EXPECT_EQ(replay.cache().stats().evictions, tier.cache().stats().evictions);
+    } else {
+      ASSERT_EQ(verdicts, baseline) << "capacity=" << capacity;
+      // Bigger caches can only hit more often, never less.
+      EXPECT_GE(tier.cache().stats().hits, baseline_hits) << "capacity=" << capacity;
+    }
+  }
 }
 
 }  // namespace

@@ -67,6 +67,46 @@ EOF
 }
 bench_smoke
 
+# Classify fast-path smoke: run the two-tier contrast at a reduced stream
+# size and require the JSON record to parse, the verdict checksums to have
+# matched (the bench exits nonzero on a mismatch), and the RuleIndex +
+# VerdictCache path to clear the 3x throughput floor over the reference
+# engine. `--benchmark_filter=^$` skips the google-benchmark loops so the
+# smoke stays fast.
+classify_smoke() {
+  local json="build/BENCH_classify_smoke.json"
+  rm -f "${json}"
+  echo "=== classify fast-path smoke ==="
+  WLM_CLASSIFY_BENCH_FLOWS=20000 WLM_CLASSIFY_BENCH_JSON="${json}" \
+    ./build/bench/bench_perf_micro --benchmark_filter='^$' > /dev/null
+  if [[ ! -s "${json}" ]]; then
+    echo "classify smoke: ${json} missing or empty" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "${json}" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rec = json.loads(f.readline())
+speedup = rec["speedup"]
+cache = rec["cache"]
+if speedup < 3.0:
+    sys.exit(f"classify smoke: speedup {speedup} below the 3x floor")
+if cache["hits"] == 0:
+    sys.exit("classify smoke: the verdict cache never hit")
+print(f"classify smoke: {speedup}x over reference, "
+      f"{cache['hits']} hits / {cache['misses']} misses")
+EOF
+  else
+    grep -q '"speedup"' "${json}" || {
+      echo "classify smoke: no speedup field in ${json}" >&2
+      exit 1
+    }
+    echo "classify smoke: record present (grep fallback)"
+  fi
+}
+classify_smoke
+
 # Checkpoint/resume smoke: kill a campaign at a phase boundary, resume it in
 # a new process at a different --jobs, and require byte-identical stdout and
 # metrics versus the run that never stopped (the tier-1 e2e tests prove this
@@ -110,6 +150,9 @@ if [[ "${1:-}" != "--fast" ]]; then
   # Sanitizer builds skip the `slow` label (fork-based e2e + golden replays):
   # the instrumented binaries run those campaigns 5-20x slower, and the
   # same code paths are already covered by the unlabeled ckpt/property tests.
+  # The `classify` label (rule-engine differential + parser fuzz corpus) is
+  # NOT slow-labeled, so both sanitizer lanes sweep the mutated-packet
+  # corpus and the 100k-flow oracle diff on every run.
   run_suite build-asan "-LE slow" -DWLM_SANITIZE=address
   run_suite build-tsan "-LE slow" -DWLM_SANITIZE=thread
 fi

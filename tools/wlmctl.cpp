@@ -124,6 +124,15 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
     }
     config.faults = *spec;
   }
+  if (const auto it = args.options.find("classifier"); it != args.options.end()) {
+    const auto mode = classify::classifier_mode_from_name(it->second);
+    if (!mode) {
+      std::fprintf(stderr, "wlmctl: --classifier expects reference|indexed, got '%s'\n",
+                   it->second.c_str());
+      return std::nullopt;
+    }
+    config.classifier = *mode;
+  }
   return config;
 }
 
@@ -534,6 +543,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: wlmctl <command> [options]\n"
                "  simulate  [--networks N] [--seed S] [--flap F] [--faults SPEC] [--jobs N]\n"
+               "            [--classifier reference|indexed]\n"
                "            [--checkpoint-out FILE] [--checkpoint-every SIM_HOURS]\n"
                "            [--resume-from FILE] [--halt-after-phase PHASE]\n"
                "            [--metrics-out FILE]\n"
