@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -27,12 +29,30 @@ void write_bench_json() {
   if (path == nullptr) path = "BENCH_fleetrunner.json";
   std::FILE* out = std::fopen(path, "a");
   if (out == nullptr) return;
+  // Throughput = deterministic work count / wall clock. The tally (fragments
+  // classified by shards + report frames harvested by the poller) is fixed by
+  // the scenario, so run-to-run and thread-count comparisons divide the same
+  // numerator — only `seconds` moves.
+  const auto& tally = telemetry::work_tally();
+  const std::uint64_t fragments = tally.fragments.load(std::memory_order_relaxed);
+  const std::uint64_t frames = tally.frames.load(std::memory_order_relaxed);
+  const double per_sec =
+      seconds > 0.0 ? static_cast<double>(fragments + frames) / seconds : 0.0;
+  // Linux reports ru_maxrss in kilobytes.
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const unsigned long long peak_rss_bytes =
+      static_cast<unsigned long long>(usage.ru_maxrss) * 1024ULL;
   std::fprintf(out,
                "{\"bench\": \"%s\", \"networks\": %d, \"client_scale\": %.3f, "
                "\"seed\": %llu, \"threads\": %d, \"seconds\": %.3f, "
+               "\"fragments\": %llu, \"frames\": %llu, "
+               "\"fragments_frames_per_sec\": %.1f, \"peak_rss_bytes\": %llu, "
                "\"telemetry\": %s}\n",
                g_experiment.c_str(), g_scale.networks, g_scale.client_scale,
                static_cast<unsigned long long>(g_scale.seed), g_scale.threads, seconds,
+               static_cast<unsigned long long>(fragments),
+               static_cast<unsigned long long>(frames), per_sec, peak_rss_bytes,
                telemetry::global_profiler().to_json().c_str());
   std::fclose(out);
 }

@@ -38,8 +38,13 @@ class Timer {
 /// Prints a standard header naming the experiment and starts the wall-clock
 /// measurement. At process exit a line-delimited JSON record
 ///   {"bench": ..., "networks": ..., "threads": ..., "seconds": ...,
-///    "telemetry": {"phases": [...]}}
-/// is appended to $WLM_BENCH_JSON (default ./BENCH_fleetrunner.json). The
+///    "fragments": ..., "frames": ..., "fragments_frames_per_sec": ...,
+///    "peak_rss_bytes": ..., "telemetry": {"phases": [...]}}
+/// is appended to $WLM_BENCH_JSON (default ./BENCH_fleetrunner.json).
+/// `fragments`/`frames` come from telemetry::work_tally() — deterministic
+/// work counts, so `fragments_frames_per_sec` is the scenario's fixed work
+/// divided by this run's wall clock, and `peak_rss_bytes` is getrusage
+/// ru_maxrss. The
 /// `telemetry` section is the global profiler's phase breakdown (fleet
 /// build, each campaign, harvest drain/merge, plus any bench::Timer the
 /// binary ran), so a sweep over thread counts leaves a machine-readable

@@ -7,6 +7,11 @@
 // (default ./BENCH_classify.json): flows/s in both modes, the speedup, the
 // cache hit/miss/evict counters, and the slow-path latency histogram.
 // $WLM_CLASSIFY_BENCH_FLOWS overrides the stream size.
+//
+// It also runs the SINR->PER table contrast (guarded table draws vs the
+// scalar oracle on one decision stream, identical decisions enforced) and
+// appends a record to $WLM_PER_BENCH_JSON (default ./BENCH_per.json);
+// $WLM_PER_BENCH_EVALS overrides that stream size.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -17,6 +22,8 @@
 #include "classify/classifier.hpp"
 #include "classify/verdict_cache.hpp"
 #include "mac/medium.hpp"
+#include "phy/modulation.hpp"
+#include "phy/per_table.hpp"
 #include "probe/window.hpp"
 #include "scan/spectral.hpp"
 #include "traffic/flowgen.hpp"
@@ -182,6 +189,118 @@ void emit_classify_contrast() {
               static_cast<unsigned long long>(stats.evictions), profile.mean_ns());
 }
 
+// --- SINR->PER lookup table vs the scalar oracle --------------------------
+
+// One frame-error decision stream: (modulation, SINR, uniform draw) tuples
+// shaped like the mesh-probe loop's queries (on-grid SINRs, probe payload).
+struct PerStream {
+  std::vector<phy::Modulation> mods;
+  std::vector<double> sinrs;
+  std::vector<double> draws;
+};
+
+PerStream make_per_stream(std::size_t n) {
+  Rng rng{0x9E12015};
+  PerStream stream;
+  stream.mods.reserve(n);
+  stream.sinrs.reserve(n);
+  stream.draws.reserve(n);
+  const auto& rates = phy::all_rates();
+  for (std::size_t i = 0; i < n; ++i) {
+    stream.mods.push_back(rates[rng.next_u64() % rates.size()].modulation);
+    stream.sinrs.push_back(
+        rng.uniform(phy::PerTable::kGridMinDb, phy::PerTable::kGridMaxDb));
+    stream.draws.push_back(rng.uniform());
+  }
+  return stream;
+}
+
+void BM_PerScalar(benchmark::State& state) {
+  const auto stream = make_per_stream(512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto j = i++ % stream.mods.size();
+    benchmark::DoNotOptimize(
+        stream.draws[j] < phy::packet_error_rate(stream.mods[j], stream.sinrs[j], 60));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerScalar);
+
+void BM_PerTableGuarded(benchmark::State& state) {
+  const auto stream = make_per_stream(512);
+  const phy::PerTableSet tables(60);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto j = i++ % stream.mods.size();
+    benchmark::DoNotOptimize(
+        tables.table(stream.mods[j]).chance_error(stream.sinrs[j], stream.draws[j]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerTableGuarded);
+
+// The JSON contrast record the CI smoke gates on: same decision stream
+// through both paths, identical decisions required (the guarded-exact
+// contract), table speedup reported. $WLM_PER_BENCH_EVALS overrides the
+// stream size; the record appends to $WLM_PER_BENCH_JSON.
+void emit_per_contrast() {
+  std::size_t n = 2'000'000;
+  if (const char* env = std::getenv("WLM_PER_BENCH_EVALS")) {
+    n = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  const auto stream = make_per_stream(n);
+  const phy::PerTableSet tables(60);  // built outside the timed region
+
+  const auto start_ref = std::chrono::steady_clock::now();
+  std::uint64_t errors_ref = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    errors_ref += stream.draws[i] < phy::packet_error_rate(stream.mods[i],
+                                                           stream.sinrs[i], 60);
+  }
+  const double s_ref = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                     start_ref)
+                           .count();
+
+  const auto start_tab = std::chrono::steady_clock::now();
+  std::uint64_t errors_tab = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    errors_tab += tables.table(stream.mods[i]).chance_error(stream.sinrs[i],
+                                                            stream.draws[i]);
+  }
+  const double s_tab = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                     start_tab)
+                           .count();
+
+  if (errors_ref != errors_tab) {
+    std::fprintf(stderr, "bench_per: decision mismatch (%llu != %llu)\n",
+                 static_cast<unsigned long long>(errors_ref),
+                 static_cast<unsigned long long>(errors_tab));
+    std::exit(1);
+  }
+
+  const double eps_ref = static_cast<double>(n) / s_ref;
+  const double eps_tab = static_cast<double>(n) / s_tab;
+  const char* path = std::getenv("WLM_PER_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_per.json";
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_per: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out,
+               "{\"bench\": \"per_table\", \"evals\": %zu, "
+               "\"reference_evals_per_s\": %.0f, \"table_evals_per_s\": %.0f, "
+               "\"speedup\": %.2f, \"frame_errors\": %llu}\n",
+               n, eps_ref, eps_tab, eps_tab / eps_ref,
+               static_cast<unsigned long long>(errors_tab));
+  std::fclose(out);
+
+  std::printf("per table: %zu guarded draws, decisions identical\n", n);
+  std::printf("  scalar: %12.0f evals/s\n", eps_ref);
+  std::printf("  table:  %12.0f evals/s  (%.2fx)\n", eps_tab, eps_tab / eps_ref);
+}
+
 wire::ApReport make_report(int clients) {
   wire::ApReport report;
   report.ap_id = 17;
@@ -276,6 +395,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   emit_classify_contrast();
+  emit_per_contrast();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -14,6 +14,7 @@
 #include "classify/rule_index.hpp"
 #include "core/stats.hpp"
 #include "deploy/epoch.hpp"
+#include "phy/per_table.hpp"
 
 namespace wlm::analysis {
 
@@ -30,6 +31,10 @@ struct ScenarioScale {
   /// byte-identical in both modes; kReference exists as the differential
   /// oracle (and for benchmarking the fast path against it).
   classify::ClassifierMode classifier = classify::ClassifierMode::kIndexed;
+  /// PER evaluation path mesh links use (same oracle pattern: kTable is
+  /// the lookup fast path, kReference the scalar oracle, outputs are
+  /// byte-identical in both).
+  phy::PerMode per_mode = phy::PerMode::kTable;
 };
 
 // ---------------------------------------------------------------- Table 2

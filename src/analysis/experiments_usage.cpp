@@ -28,6 +28,7 @@ sim::WorldConfig make_world_config(const ScenarioScale& scale, deploy::Epoch epo
   cfg.seed = scale.seed * 1315423911ULL + static_cast<std::uint64_t>(epoch);
   cfg.threads = scale.threads;
   cfg.classifier = scale.classifier;
+  cfg.per_mode = scale.per_mode;
   return cfg;
 }
 

@@ -1,6 +1,15 @@
 #include "backend/aggregate.hpp"
 
+#include <stdexcept>
+
 namespace wlm::backend {
+
+const std::pair<std::uint64_t, std::uint64_t>& AppByteMap::at(classify::AppId app) const {
+  for (const auto& e : entries_) {
+    if (e.first == app) return e.second;
+  }
+  throw std::out_of_range("AppByteMap::at: unknown app");
+}
 
 std::uint64_t ClientAggregate::upstream() const {
   std::uint64_t total = 0;
@@ -14,23 +23,61 @@ std::uint64_t ClientAggregate::downstream() const {
   return total;
 }
 
+namespace {
+
+/// Marks `ap` sighted: overwrite the flag if the AP is already recorded,
+/// append otherwise (same effect as the old nested map's operator[]).
+void mark_seen(std::vector<std::pair<ApId, bool>>& seen, ApId ap, bool flag) {
+  for (auto& [existing, f] : seen) {
+    if (existing == ap) {
+      f = flag;
+      return;
+    }
+  }
+  seen.emplace_back(ap, flag);
+}
+
+void add_votes(std::vector<std::pair<std::uint8_t, int>>& votes, std::uint8_t os_id, int count) {
+  for (auto& [existing, n] : votes) {
+    if (existing == os_id) {
+      n += count;
+      return;
+    }
+  }
+  votes.emplace_back(os_id, count);
+}
+
+}  // namespace
+
 void UsageAggregator::consume(const ReportStore& store, SimTime from, SimTime to) {
   store.for_each_in(from, to, [&](const wire::ApReport& report) {
     const ApId ap{report.ap_id};
+    // Usage rows for one client arrive consecutively (the AP serializes its
+    // flow table client by client), so one client/observation lookup pair is
+    // reused across that client's whole run of rows instead of re-hashing
+    // the MAC for every row. The sighting is recorded once per run, too —
+    // every row in the run repeats the same (client, ap) pair.
+    ClientAggregate* agg = nullptr;
+    bool have_cached = false;
+    MacAddress cached_mac;
     for (const auto& u : report.usage) {
-      auto& agg = clients_[u.client];
-      agg.mac = u.client;
-      auto& bytes = agg.app_bytes[static_cast<classify::AppId>(u.app_id)];
+      if (!have_cached || !(u.client == cached_mac)) {
+        cached_mac = u.client;
+        have_cached = true;
+        agg = &clients_[u.client];
+        agg->mac = u.client;
+        mark_seen(agg->obs.seen, ap, true);
+      }
+      auto& bytes = agg->app_bytes[static_cast<classify::AppId>(u.app_id)];
       bytes.first += u.tx_bytes;
       bytes.second += u.rx_bytes;
-      seen_on_[u.client][ap] = true;
     }
     for (const auto& snap : report.clients) {
-      auto& agg = clients_[snap.client];
-      agg.mac = snap.client;
-      agg.capability_bits |= snap.capability_bits;
-      ++os_votes_[snap.client][snap.os_id];
-      seen_on_[snap.client][ap] = true;
+      auto& agg2 = clients_[snap.client];
+      agg2.mac = snap.client;
+      agg2.capability_bits |= snap.capability_bits;
+      add_votes(agg2.obs.votes, snap.os_id, 1);
+      mark_seen(agg2.obs.seen, ap, true);
     }
   });
   resolve();
@@ -46,36 +93,27 @@ void UsageAggregator::merge(const UsageAggregator& other) {
       dst.first += bytes.first;
       dst.second += bytes.second;
     }
-  }
-  for (const auto& [mac, aps] : other.seen_on_) {
-    auto& mine = seen_on_[mac];
-    for (const auto& [ap, seen] : aps) mine[ap] = seen;
-  }
-  for (const auto& [mac, votes] : other.os_votes_) {
-    auto& mine = os_votes_[mac];
-    for (const auto& [os_id, count] : votes) mine[os_id] += count;
+    for (const auto& [ap, flag] : src.obs.seen) mark_seen(agg.obs.seen, ap, flag);
+    for (const auto& [os_id, count] : src.obs.votes) add_votes(agg.obs.votes, os_id, count);
   }
   resolve();
 }
 
 void UsageAggregator::resolve() {
   // Per-client OS by majority vote and roaming spread. Vote scan goes over
-  // os ids in ascending order (not hash order) so an exact tie resolves
-  // identically on every platform and merge order.
+  // os ids in ascending order (not observation order) so an exact tie
+  // resolves identically on every platform and merge order.
   for (auto& [mac, agg] : clients_) {
-    const auto votes_it = os_votes_.find(mac);
-    if (votes_it != os_votes_.end()) {
-      int best = 0;
-      for (int os_id = 0; os_id < classify::kOsTypeCount; ++os_id) {
-        const auto v = votes_it->second.find(static_cast<std::uint8_t>(os_id));
-        if (v != votes_it->second.end() && v->second > best) {
-          best = v->second;
+    int best = 0;
+    for (int os_id = 0; os_id < classify::kOsTypeCount; ++os_id) {
+      for (const auto& [id, count] : agg.obs.votes) {
+        if (id == os_id && count > best) {
+          best = count;
           agg.os = static_cast<classify::OsType>(os_id);
         }
       }
     }
-    const auto seen_it = seen_on_.find(mac);
-    agg.ap_count = seen_it == seen_on_.end() ? 0 : static_cast<int>(seen_it->second.size());
+    agg.ap_count = static_cast<int>(agg.obs.seen.size());
   }
 }
 

@@ -21,13 +21,51 @@ struct AggregatorAccess;  // checkpoint serializer (src/ckpt/state.cpp)
 
 namespace wlm::backend {
 
+/// Flat app -> (up, down) byte map. A client touches a handful of the
+/// catalog's ~30 apps, so a linear scan over one contiguous vector beats a
+/// per-client hash map's bucket array and node allocations — the aggregator
+/// holds one of these per client, millions at fleet scale. Insertion order
+/// is deterministic (input order); every reader either sums (order-free) or
+/// sorts before writing (checkpoint canonical form), so the layout change
+/// is observation-equivalent to the old unordered_map.
+class AppByteMap {
+ public:
+  using value_type = std::pair<classify::AppId, std::pair<std::uint64_t, std::uint64_t>>;
+
+  std::pair<std::uint64_t, std::uint64_t>& operator[](classify::AppId app) {
+    for (auto& e : entries_) {
+      if (e.first == app) return e.second;
+    }
+    entries_.emplace_back(app, std::pair<std::uint64_t, std::uint64_t>{0, 0});
+    return entries_.back().second;
+  }
+  [[nodiscard]] const std::pair<std::uint64_t, std::uint64_t>& at(classify::AppId app) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<value_type> entries_;
+};
+
+/// Raw per-client observations backing OS resolution: which APs the MAC was
+/// sighted on and how many snapshots voted for each OS id. Small flat
+/// vectors — a fleet-sized harvest does millions of sighting/vote updates,
+/// and a linear scan over a handful of APs or OS ids beats a nested hash
+/// map's hashing and node churn.
+struct ClientObservations {
+  std::vector<std::pair<ApId, bool>> seen;          // unique APs, insertion order
+  std::vector<std::pair<std::uint8_t, int>> votes;  // unique OS ids, insertion order
+};
+
 /// Week-level rollup for one client MAC.
 struct ClientAggregate {
   MacAddress mac;
   classify::OsType os = classify::OsType::kUnknown;
   std::uint32_t capability_bits = 0;
-  std::unordered_map<classify::AppId, std::pair<std::uint64_t, std::uint64_t>>
-      app_bytes;  // app -> (up, down)
+  AppByteMap app_bytes;  // app -> (up, down)
+  ClientObservations obs;  // feeds resolve(); serialized canonically sorted
   int ap_count = 0;  // distinct APs the client appeared on (roaming)
 
   [[nodiscard]] std::uint64_t upstream() const;
@@ -75,14 +113,16 @@ class UsageAggregator {
   /// accumulated votes; shared by consume() and merge().
   void resolve();
 
-  /// Checkpoint serialization needs the raw vote and sighting maps — the
+  /// Checkpoint serialization needs the raw vote and sighting records — the
   /// resolved view alone cannot reproduce how future consume() calls would
   /// shift a client's majority OS.
   friend struct ::wlm::ckpt::AggregatorAccess;
 
+  // Observations live inside each ClientAggregate (one hash lookup per
+  // usage-row run instead of two parallel maps' worth, and ~half the map
+  // nodes at fleet scale). The checkpoint serializer writes the same
+  // canonical sorted sections as the old split layout.
   std::unordered_map<MacAddress, ClientAggregate> clients_;
-  std::unordered_map<MacAddress, std::unordered_map<ApId, bool>> seen_on_;
-  std::unordered_map<MacAddress, std::unordered_map<std::uint8_t, int>> os_votes_;
 };
 
 }  // namespace wlm::backend

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/profile.hpp"
+#include "wire/encoder.hpp"
 #include "wire/framing.hpp"
 
 namespace wlm::backend {
@@ -36,31 +38,11 @@ void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
     bool saw_corrupt = false;
     for (const auto& frame : frames) {
       ++tc.frames_polled;
-      const auto decoded = wire::decode_stream(frame);
-      if (decoded.corrupt_frames > 0) {
-        stats_.corrupt_frames += decoded.corrupt_frames;
-        tc.corrupt_frames += decoded.corrupt_frames;
-        saw_corrupt = true;
-        if (metrics_) {
-          metrics_->counter("wlm_poller_corrupt_frames_total").inc(decoded.corrupt_frames);
-          // Per-tunnel attribution only for tunnels that actually misbehave,
-          // so metric cardinality stays proportional to trouble, not fleet
-          // size.
-          metrics_->counter("wlm_poller_tunnel_corrupt_total", tc.ap.value())
-              .inc(decoded.corrupt_frames);
-        }
-      } else {
-        // Only cleanly framed data counts as harvested; a frame that failed
-        // its CRC delivered nothing.
-        ++stats_.frames_harvested;
-        stats_.bytes_harvested += frame.size();
-        if (metrics_) {
-          metrics_->counter("wlm_poller_frames_harvested_total").inc();
-          metrics_->counter("wlm_poller_bytes_harvested_total").inc(frame.size());
-        }
-      }
-      for (const auto& payload : decoded.payloads) {
-        if (auto report = wire::decode_report(payload)) {
+      // Walk the frame in place: report payloads are parsed straight out of
+      // the polled buffer, so a clean harvest copies no payload bytes.
+      wire::FrameWalker walker(frame);
+      while (const auto payload = walker.next()) {
+        if (auto report = wire::decode_report(*payload)) {
           store_->add(std::move(*report));
           ++stats_.reports_stored;
           ++tc.reports_stored;
@@ -70,6 +52,29 @@ void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
           ++tc.malformed_reports;
           saw_corrupt = true;
           if (metrics_) metrics_->counter("wlm_poller_malformed_reports_total").inc();
+        }
+      }
+      if (walker.corrupt_frames() > 0) {
+        stats_.corrupt_frames += walker.corrupt_frames();
+        tc.corrupt_frames += walker.corrupt_frames();
+        saw_corrupt = true;
+        if (metrics_) {
+          metrics_->counter("wlm_poller_corrupt_frames_total").inc(walker.corrupt_frames());
+          // Per-tunnel attribution only for tunnels that actually misbehave,
+          // so metric cardinality stays proportional to trouble, not fleet
+          // size.
+          metrics_->counter("wlm_poller_tunnel_corrupt_total", tc.ap.value())
+              .inc(walker.corrupt_frames());
+        }
+      } else {
+        // Only cleanly framed data counts as harvested; a frame that failed
+        // its CRC delivered nothing.
+        ++stats_.frames_harvested;
+        stats_.bytes_harvested += frame.size();
+        telemetry::work_tally().frames.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_) {
+          metrics_->counter("wlm_poller_frames_harvested_total").inc();
+          metrics_->counter("wlm_poller_bytes_harvested_total").inc(frame.size());
         }
       }
     }
@@ -136,10 +141,14 @@ const TunnelCounters* Poller::counters_for(ApId ap) const {
 }
 
 std::vector<std::uint8_t> frame_report(const wire::ApReport& report) {
-  const auto payload = wire::encode_report(report);
+  // Thread-local scratch: the encoder's buffer capacity survives across the
+  // millions of reports a shard frames, and each worker thread owns its own
+  // scratch so parallel shards never contend.
+  thread_local wire::Encoder encoder;
+  wire::encode_report_into(report, encoder);
   std::vector<std::uint8_t> framed;
-  framed.reserve(payload.size() + wire::frame_overhead(payload.size()));
-  wire::append_frame(framed, payload);
+  framed.reserve(encoder.size() + wire::frame_overhead(encoder.size()));
+  wire::append_frame(framed, encoder.bytes());
   return framed;
 }
 

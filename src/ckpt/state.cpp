@@ -347,35 +347,44 @@ struct AggregatorAccess {
       }
     }
 
-    const auto seen_macs = sorted_macs(agg.seen_on_);
+    // Observations live inside each ClientAggregate now, but the canonical
+    // form stays what it always was — a sightings section then a votes
+    // section, MACs ascending, inner keys sorted — so aggregator checkpoint
+    // bytes are unchanged across the flat-layout rewrite.
+    std::vector<MacAddress> seen_macs;
+    std::vector<MacAddress> vote_macs;
+    seen_macs.reserve(agg.clients_.size());
+    vote_macs.reserve(agg.clients_.size());
+    for (const auto& [mac, cl2] : agg.clients_) {
+      if (!cl2.obs.seen.empty()) seen_macs.push_back(mac);
+      if (!cl2.obs.votes.empty()) vote_macs.push_back(mac);
+    }
+    std::sort(seen_macs.begin(), seen_macs.end());
+    std::sort(vote_macs.begin(), vote_macs.end());
+
     b.u64(seen_macs.size());
     for (const MacAddress mac : seen_macs) {
-      const auto& aps = agg.seen_on_.at(mac);
+      auto aps = agg.clients_.at(mac).obs.seen;
+      std::sort(aps.begin(), aps.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
       b.u64(mac.to_u64());
-      std::vector<ApId> ids;
-      ids.reserve(aps.size());
-      for (const auto& [ap, unused] : aps) ids.push_back(ap);
-      std::sort(ids.begin(), ids.end());
-      b.u64(ids.size());
-      for (const ApId ap : ids) {
+      b.u64(aps.size());
+      for (const auto& [ap, flag] : aps) {
         b.u64(ap.value());
-        b.boolean(aps.at(ap));
+        b.boolean(flag);
       }
     }
 
-    const auto vote_macs = sorted_macs(agg.os_votes_);
     b.u64(vote_macs.size());
     for (const MacAddress mac : vote_macs) {
-      const auto& votes = agg.os_votes_.at(mac);
+      auto votes = agg.clients_.at(mac).obs.votes;
+      std::sort(votes.begin(), votes.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
       b.u64(mac.to_u64());
-      std::vector<std::uint8_t> oses;
-      oses.reserve(votes.size());
-      for (const auto& [os, unused] : votes) oses.push_back(os);
-      std::sort(oses.begin(), oses.end());
-      b.u64(oses.size());
-      for (const std::uint8_t os : oses) {
+      b.u64(votes.size());
+      for (const auto& [os, count] : votes) {
         b.u64(os);
-        b.i64(votes.at(os));
+        b.i64(count);
       }
     }
   }
@@ -416,12 +425,25 @@ struct AggregatorAccess {
       const MacAddress mac = MacAddress::from_u64(c.u64());
       const std::uint64_t n_aps = c.u64();
       if (!c.ok() || !plausible_count(c, n_aps, 2)) return false;
-      auto& aps = fresh.seen_on_[mac];
+      auto& owner = fresh.clients_[mac];
+      owner.mac = mac;
+      auto& seen = owner.obs.seen;
+      seen.reserve(n_aps);
       for (std::uint64_t a = 0; a < n_aps && c.ok(); ++a) {
         const std::uint64_t ap = c.u64();
         if (ap > UINT32_MAX) c.fail();
         const bool flag = c.boolean();
-        if (c.ok()) aps[ApId{static_cast<std::uint32_t>(ap)}] = flag;
+        if (!c.ok()) continue;
+        // Keyed container semantics: a duplicated AP id overwrites its flag.
+        bool found = false;
+        for (auto& [existing, f] : seen) {
+          if (existing == ApId{static_cast<std::uint32_t>(ap)}) {
+            f = flag;
+            found = true;
+            break;
+          }
+        }
+        if (!found) seen.emplace_back(ApId{static_cast<std::uint32_t>(ap)}, flag);
       }
     }
 
@@ -431,13 +453,25 @@ struct AggregatorAccess {
       const MacAddress mac = MacAddress::from_u64(c.u64());
       const std::uint64_t n_os = c.u64();
       if (!c.ok() || !plausible_count(c, n_os, 2)) return false;
-      auto& votes = fresh.os_votes_[mac];
+      auto& vote_owner = fresh.clients_[mac];
+      vote_owner.mac = mac;
+      auto& votes = vote_owner.obs.votes;
+      votes.reserve(n_os);
       for (std::uint64_t o = 0; o < n_os && c.ok(); ++o) {
         const std::uint64_t os = c.u64();
         if (os > 0xFF) c.fail();
         const std::int64_t count = c.i64();
         if (count < INT32_MIN || count > INT32_MAX) c.fail();
-        if (c.ok()) votes[static_cast<std::uint8_t>(os)] = static_cast<int>(count);
+        if (!c.ok()) continue;
+        bool found = false;
+        for (auto& [existing, n] : votes) {
+          if (existing == static_cast<std::uint8_t>(os)) {
+            n = static_cast<int>(count);
+            found = true;
+            break;
+          }
+        }
+        if (!found) votes.emplace_back(static_cast<std::uint8_t>(os), static_cast<int>(count));
       }
     }
 

@@ -109,10 +109,25 @@ bool payload_high_entropy(std::span<const std::uint8_t> payload) {
   for (auto b : payload) ++counts[b];
   double entropy = 0.0;
   const double n = static_cast<double>(payload.size());
+  // A short payload spread over 256 bins repeats the same small counts, so
+  // memoize each count's term instead of re-running log2 per bin. Terms and
+  // summation order are unchanged — the result is bit-identical.
+  std::array<double, 16> term_cache{};
+  std::uint16_t have_term = 0;
   for (int c : counts) {
     if (c == 0) continue;
-    const double p = static_cast<double>(c) / n;
-    entropy -= p * std::log2(p);
+    double term;
+    if (c < 16 && (have_term & (1u << c)) != 0) {
+      term = term_cache[static_cast<std::size_t>(c)];
+    } else {
+      const double p = static_cast<double>(c) / n;
+      term = p * std::log2(p);
+      if (c < 16) {
+        term_cache[static_cast<std::size_t>(c)] = term;
+        have_term = static_cast<std::uint16_t>(have_term | (1u << c));
+      }
+    }
+    entropy -= term;
   }
   // Threshold accounts for small-sample bias: 256 uniform bytes measure
   // ~7.1 bits observed entropy; text and binary protocol headers sit at 4-6.
@@ -150,12 +165,31 @@ FlowMetadata extract_metadata(const FlowSample& sample) {
 
 FlowMetadata extract_metadata_fast(const FlowSample& sample) {
   FlowMetadata meta;
+  extract_metadata_fast_into(sample, meta);
+  return meta;
+}
+
+void extract_metadata_fast_into(const FlowSample& sample, FlowMetadata& meta) {
   meta.transport = sample.transport;
   meta.dst_port = sample.dst_port;
+  meta.dns_hostname.clear();
+  meta.http_host.clear();
+  meta.http_content_type.clear();
+  meta.sni.clear();
+  meta.saw_tls = false;
+  meta.high_entropy = false;
+
+  // Parser outputs are thread-local so their strings and question slots
+  // keep capacity across the millions of flows one worker inspects; only
+  // the fields copied into `meta` survive the call.
+  thread_local DnsMessage dns_scratch;
+  thread_local ClientHelloInfo hello_scratch;
+  thread_local HttpRequestHead http_scratch;
 
   if (!sample.dns_packet.empty()) {
-    if (const auto dns = parse_dns_ex(sample.dns_packet); dns.ok()) {
-      if (!dns.value->questions.empty()) meta.dns_hostname = dns.value->questions.front().qname;
+    if (parse_dns_into(sample.dns_packet, dns_scratch) == ParseError::kNone &&
+        !dns_scratch.questions.empty()) {
+      meta.dns_hostname = dns_scratch.questions.front().qname;
     }
   }
   if (!sample.first_payload.empty()) {
@@ -163,9 +197,9 @@ FlowMetadata extract_metadata_fast(const FlowSample& sample) {
     if (sample.first_payload.front() == 0x16) {
       // Only a TLS record can start 0x16 (not an HTTP token char, so the
       // reference cascade's HTTP attempt is doomed anyway).
-      if (const auto hello = parse_client_hello_ex(sample.first_payload); hello.ok()) {
+      if (parse_client_hello_into(sample.first_payload, hello_scratch) == ParseError::kNone) {
         meta.saw_tls = true;
-        meta.sni = hello.value->sni;
+        meta.sni = hello_scratch.sni;
       } else {
         meta.high_entropy = payload_high_entropy(sample.first_payload);
       }
@@ -174,9 +208,9 @@ FlowMetadata extract_metadata_fast(const FlowSample& sample) {
       // space/tab padding (which the header parser trims).
       const std::string_view text(reinterpret_cast<const char*>(sample.first_payload.data()),
                                   sample.first_payload.size());
-      if (const auto http = parse_http_request_ex(text); http.ok()) {
-        meta.http_host = http.value->host;
-        meta.http_content_type = http.value->content_type;
+      if (parse_http_request_into(text, http_scratch) == ParseError::kNone) {
+        meta.http_host = http_scratch.host;
+        meta.http_content_type = http_scratch.content_type;
       } else {
         meta.high_entropy = payload_high_entropy(sample.first_payload);
       }
@@ -186,7 +220,6 @@ FlowMetadata extract_metadata_fast(const FlowSample& sample) {
       meta.high_entropy = payload_high_entropy(sample.first_payload);
     }
   }
-  return meta;
 }
 
 AppId classify_flow(const FlowSample& sample) {

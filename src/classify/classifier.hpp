@@ -60,6 +60,11 @@ struct FlowSample {
 /// start with a token char after optional space/tab padding.
 [[nodiscard]] FlowMetadata extract_metadata_fast(const FlowSample& sample);
 
+/// Same extraction into a caller-owned metadata object whose strings keep
+/// their capacity — the hot classify loop reuses one across all flows.
+/// Every field of `meta` is overwritten.
+void extract_metadata_fast_into(const FlowSample& sample, FlowMetadata& meta);
+
 /// Convenience: extract + classify.
 [[nodiscard]] AppId classify_flow(const FlowSample& sample);
 

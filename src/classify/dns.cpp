@@ -58,6 +58,13 @@ ParseError read_name(std::span<const std::uint8_t> in, std::size_t& pos, std::st
 
 std::vector<std::uint8_t> encode_dns_query(std::uint16_t id, std::string_view qname) {
   std::vector<std::uint8_t> out;
+  encode_dns_query_into(id, qname, out);
+  return out;
+}
+
+void encode_dns_query_into(std::uint16_t id, std::string_view qname,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
   put_u16(out, id);
   put_u16(out, 0x0100);  // flags: standard query, RD
   put_u16(out, 1);       // QDCOUNT
@@ -84,30 +91,41 @@ std::vector<std::uint8_t> encode_dns_query(std::uint16_t id, std::string_view qn
   out.push_back(0);
   put_u16(out, 1);  // QTYPE A
   put_u16(out, 1);  // QCLASS IN
-  return out;
 }
 
-Parsed<DnsMessage> parse_dns_ex(std::span<const std::uint8_t> packet) {
-  if (packet.size() < 12) return Parsed<DnsMessage>::failure(ParseError::kTruncated);
-  DnsMessage msg;
-  msg.id = *get_u16(packet, 0);
+ParseError parse_dns_into(std::span<const std::uint8_t> packet, DnsMessage& out) {
+  if (packet.size() < 12) return ParseError::kTruncated;
+  out.id = *get_u16(packet, 0);
   const std::uint16_t flags = *get_u16(packet, 2);
-  msg.is_response = (flags & 0x8000) != 0;
+  out.is_response = (flags & 0x8000) != 0;
   const std::uint16_t qdcount = *get_u16(packet, 4);
-  msg.answer_count = *get_u16(packet, 6);
+  out.answer_count = *get_u16(packet, 6);
   std::size_t pos = 12;
-  std::string name;
+  // Question slots (and the qname strings inside them) are overwritten in
+  // place so a reused message keeps its allocations across packets.
+  std::size_t used = 0;
   for (std::uint16_t q = 0; q < qdcount; ++q) {
-    if (const ParseError err = read_name(packet, pos, name); err != ParseError::kNone) {
-      return Parsed<DnsMessage>::failure(err);
+    if (used == out.questions.size()) out.questions.emplace_back();
+    DnsQuestion& question = out.questions[used];
+    if (const ParseError err = read_name(packet, pos, question.qname); err != ParseError::kNone) {
+      return err;
     }
     const auto qtype = get_u16(packet, pos);
     const auto qclass = get_u16(packet, pos + 2);
-    if (!qtype || !qclass) return Parsed<DnsMessage>::failure(ParseError::kTruncated);
+    if (!qtype || !qclass) return ParseError::kTruncated;
     pos += 4;
-    msg.questions.push_back(DnsQuestion{std::move(name), *qtype, *qclass});
-    name = {};
+    question.qtype = *qtype;
+    question.qclass = *qclass;
+    ++used;
   }
+  if (out.questions.size() > used) out.questions.resize(used);
+  return ParseError::kNone;
+}
+
+Parsed<DnsMessage> parse_dns_ex(std::span<const std::uint8_t> packet) {
+  DnsMessage msg;
+  const ParseError err = parse_dns_into(packet, msg);
+  if (err != ParseError::kNone) return Parsed<DnsMessage>::failure(err);
   return Parsed<DnsMessage>::success(std::move(msg));
 }
 

@@ -38,10 +38,20 @@ inline constexpr int kDnsMaxPointerHops = 127;
 [[nodiscard]] std::vector<std::uint8_t> encode_dns_query(std::uint16_t id,
                                                          std::string_view qname);
 
+/// Same encoding written into a caller-owned buffer (cleared first) so a
+/// hot generator loop can reuse one allocation across millions of queries.
+void encode_dns_query_into(std::uint16_t id, std::string_view qname,
+                           std::vector<std::uint8_t>& out);
+
 /// Parses header + question section (answers are skipped). Compression
 /// pointers in QNAMEs are followed with the kDnsMaxPointerHops bound; every
 /// malformed input fails typed (kTruncated / kBadLength / kPointerLoop).
 [[nodiscard]] Parsed<DnsMessage> parse_dns_ex(std::span<const std::uint8_t> packet);
+
+/// Same parse into a caller-owned message whose question slots (and qname
+/// strings) keep their capacity across packets — for the classifier's hot
+/// loop. Returns kNone on success; `out` is unspecified on failure.
+ParseError parse_dns_into(std::span<const std::uint8_t> packet, DnsMessage& out);
 
 /// Optional-returning wrapper around parse_dns_ex (legacy entry point).
 [[nodiscard]] std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> packet);

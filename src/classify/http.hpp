@@ -30,6 +30,11 @@ struct HttpRequestHead {
 /// kBadValue when the request line itself is absent or malformed.
 [[nodiscard]] Parsed<HttpRequestHead> parse_http_request_ex(std::string_view payload);
 
+/// Same parse into a caller-owned head whose strings keep their capacity —
+/// the classifier's hot loop reuses one head across millions of flows. All
+/// fields are cleared first; returns kNone on success.
+ParseError parse_http_request_into(std::string_view payload, HttpRequestHead& out);
+
 /// Optional-returning wrapper around parse_http_request_ex.
 [[nodiscard]] std::optional<HttpRequestHead> parse_http_request(std::string_view payload);
 
@@ -37,5 +42,11 @@ struct HttpRequestHead {
 [[nodiscard]] std::string build_http_request(std::string_view method, std::string_view host,
                                              std::string_view path, std::string_view user_agent,
                                              std::string_view content_type = {});
+
+/// Same request head appended into a caller-owned string (cleared first) so
+/// the generator's hot loop reuses one allocation across flows.
+void build_http_request_into(std::string_view method, std::string_view host,
+                             std::string_view path, std::string_view user_agent,
+                             std::string_view content_type, std::string& out);
 
 }  // namespace wlm::classify

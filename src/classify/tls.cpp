@@ -61,81 +61,90 @@ class Reader {
 }  // namespace
 
 std::vector<std::uint8_t> build_client_hello(std::string_view sni, std::uint64_t random32) {
-  // --- extensions ---
-  std::vector<std::uint8_t> ext;
-  if (!sni.empty()) {
-    std::vector<std::uint8_t> sni_list;
-    put_u8(sni_list, 0);  // name_type: host_name
-    put_u16(sni_list, static_cast<std::uint16_t>(sni.size()));
-    sni_list.insert(sni_list.end(), sni.begin(), sni.end());
-
-    put_u16(ext, 0);  // extension_type: server_name
-    put_u16(ext, static_cast<std::uint16_t>(sni_list.size() + 2));
-    put_u16(ext, static_cast<std::uint16_t>(sni_list.size()));
-    ext.insert(ext.end(), sni_list.begin(), sni_list.end());
-  }
-  // supported_versions (TLS 1.3 + 1.2) for realism
-  put_u16(ext, 43);
-  put_u16(ext, 3);
-  put_u8(ext, 2);
-  put_u16(ext, 0x0304);
-
-  // --- ClientHello body ---
-  std::vector<std::uint8_t> body;
-  put_u16(body, 0x0303);  // legacy_version
-  for (int i = 0; i < 32; ++i) {  // client random from the seed
-    put_u8(body, static_cast<std::uint8_t>((random32 >> (8 * (i % 8))) ^ (i * 0x9d)));
-  }
-  put_u8(body, 0);  // empty session id
-  const std::uint16_t suites[] = {0x1301, 0x1302, 0xC02F, 0xC030, 0x009C};
-  put_u16(body, static_cast<std::uint16_t>(sizeof suites / sizeof suites[0] * 2));
-  for (auto s : suites) put_u16(body, s);
-  put_u8(body, 1);  // compression methods
-  put_u8(body, 0);  // null
-  put_u16(body, static_cast<std::uint16_t>(ext.size()));
-  body.insert(body.end(), ext.begin(), ext.end());
-
-  // --- handshake + record headers ---
   std::vector<std::uint8_t> out;
-  put_u8(out, 0x16);      // record type: handshake
-  put_u16(out, 0x0301);   // record legacy version
-  put_u16(out, static_cast<std::uint16_t>(body.size() + 4));
-  put_u8(out, 0x01);      // handshake type: client_hello
-  put_u24(out, static_cast<std::uint32_t>(body.size()));
-  out.insert(out.end(), body.begin(), body.end());
+  build_client_hello_into(sni, random32, out);
   return out;
 }
 
-Parsed<ClientHelloInfo> parse_client_hello_ex(std::span<const std::uint8_t> record) {
-  using Result = Parsed<ClientHelloInfo>;
+void build_client_hello_into(std::string_view sni, std::uint64_t random32,
+                             std::vector<std::uint8_t>& out) {
+  // Single pass into the caller's buffer: every section length is a closed
+  // form of sni.size(), so the record can be emitted front to back with no
+  // staging vectors. Byte-for-byte identical to assembling extensions and
+  // body separately and splicing them under the headers.
+  const std::size_t sni_list_size = sni.empty() ? 0 : 3 + sni.size();
+  const std::size_t ext_size = (sni.empty() ? 0 : sni_list_size + 6) + 7;
+  const std::size_t body_size = 51 + ext_size;
+
+  out.clear();
+  out.reserve(body_size + 9);
+  // --- record + handshake headers ---
+  put_u8(out, 0x16);      // record type: handshake
+  put_u16(out, 0x0301);   // record legacy version
+  put_u16(out, static_cast<std::uint16_t>(body_size + 4));
+  put_u8(out, 0x01);      // handshake type: client_hello
+  put_u24(out, static_cast<std::uint32_t>(body_size));
+
+  // --- ClientHello body ---
+  put_u16(out, 0x0303);  // legacy_version
+  for (int i = 0; i < 32; ++i) {  // client random from the seed
+    put_u8(out, static_cast<std::uint8_t>((random32 >> (8 * (i % 8))) ^ (i * 0x9d)));
+  }
+  put_u8(out, 0);  // empty session id
+  const std::uint16_t suites[] = {0x1301, 0x1302, 0xC02F, 0xC030, 0x009C};
+  put_u16(out, static_cast<std::uint16_t>(sizeof suites / sizeof suites[0] * 2));
+  for (auto s : suites) put_u16(out, s);
+  put_u8(out, 1);  // compression methods
+  put_u8(out, 0);  // null
+
+  // --- extensions ---
+  put_u16(out, static_cast<std::uint16_t>(ext_size));
+  if (!sni.empty()) {
+    put_u16(out, 0);  // extension_type: server_name
+    put_u16(out, static_cast<std::uint16_t>(sni_list_size + 2));
+    put_u16(out, static_cast<std::uint16_t>(sni_list_size));
+    put_u8(out, 0);  // name_type: host_name
+    put_u16(out, static_cast<std::uint16_t>(sni.size()));
+    out.insert(out.end(), sni.begin(), sni.end());
+  }
+  // supported_versions (TLS 1.3 + 1.2) for realism
+  put_u16(out, 43);
+  put_u16(out, 3);
+  put_u8(out, 2);
+  put_u16(out, 0x0304);
+}
+
+ParseError parse_client_hello_into(std::span<const std::uint8_t> record, ClientHelloInfo& out) {
+  out.legacy_version = 0x0303;
+  out.sni.clear();
+  out.cipher_suite_count = 0;
   Reader r(record);
   const std::uint8_t record_type = r.u8();
-  if (!r.ok()) return Result::failure(ParseError::kTruncated);
-  if (record_type != 0x16) return Result::failure(ParseError::kBadMagic);
+  if (!r.ok()) return ParseError::kTruncated;
+  if (record_type != 0x16) return ParseError::kBadMagic;
   r.u16();  // record version (any)
   const std::uint16_t record_len = r.u16();
-  if (!r.ok()) return Result::failure(ParseError::kTruncated);
-  if (record_len > r.remaining()) return Result::failure(ParseError::kBadLength);
+  if (!r.ok()) return ParseError::kTruncated;
+  if (record_len > r.remaining()) return ParseError::kBadLength;
   const std::uint8_t hs_type = r.u8();
-  if (!r.ok()) return Result::failure(ParseError::kTruncated);
-  if (hs_type != 0x01) return Result::failure(ParseError::kBadMagic);
+  if (!r.ok()) return ParseError::kTruncated;
+  if (hs_type != 0x01) return ParseError::kBadMagic;
   const std::uint32_t hs_len = r.u24();
-  if (!r.ok()) return Result::failure(ParseError::kTruncated);
-  if (hs_len > r.remaining()) return Result::failure(ParseError::kBadLength);
+  if (!r.ok()) return ParseError::kTruncated;
+  if (hs_len > r.remaining()) return ParseError::kBadLength;
 
-  ClientHelloInfo info;
-  info.legacy_version = r.u16();
+  out.legacy_version = r.u16();
   r.skip(32);  // client random
   const std::uint8_t session_len = r.u8();
   r.skip(session_len);
   const std::uint16_t suites_len = r.u16();
-  if (r.ok() && suites_len % 2 != 0) return Result::failure(ParseError::kBadValue);
-  info.cipher_suite_count = suites_len / 2;
+  if (r.ok() && suites_len % 2 != 0) return ParseError::kBadValue;
+  out.cipher_suite_count = suites_len / 2;
   r.skip(suites_len);
   const std::uint8_t comp_len = r.u8();
   r.skip(comp_len);
-  if (!r.ok()) return Result::failure(ParseError::kTruncated);
-  if (r.remaining() < 2) return Result::success(std::move(info));  // extensions optional
+  if (!r.ok()) return ParseError::kTruncated;
+  if (r.remaining() < 2) return ParseError::kNone;  // extensions optional
   std::uint16_t ext_total = r.u16();
   while (r.ok() && ext_total >= 4 && r.remaining() >= 4) {
     const std::uint16_t ext_type = r.u16();
@@ -149,14 +158,22 @@ Parsed<ClientHelloInfo> parse_client_hello_ex(std::span<const std::uint8_t> reco
       const std::uint16_t name_len = sr.u16();
       const auto name = sr.bytes(name_len);
       if (sr.ok() && name_type == 0) {
-        info.sni.reserve(name.size());
-        for (auto c : name) info.sni.push_back(static_cast<char>(std::tolower(c)));
+        out.sni.reserve(name.size());
+        for (auto c : name) out.sni.push_back(static_cast<char>(std::tolower(c)));
       }
     } else {
       r.skip(ext_len);
     }
   }
-  if (!r.ok()) return Result::failure(ParseError::kTruncated);
+  if (!r.ok()) return ParseError::kTruncated;
+  return ParseError::kNone;
+}
+
+Parsed<ClientHelloInfo> parse_client_hello_ex(std::span<const std::uint8_t> record) {
+  using Result = Parsed<ClientHelloInfo>;
+  ClientHelloInfo info;
+  const ParseError err = parse_client_hello_into(record, info);
+  if (err != ParseError::kNone) return Result::failure(err);
   return Result::success(std::move(info));
 }
 

@@ -44,6 +44,10 @@ std::optional<OsType> os_from_user_agent(std::string_view ua) {
 }
 
 std::string canonical_user_agent(OsType os, unsigned variant) {
+  return std::string(canonical_user_agent_view(os, variant));
+}
+
+std::string_view canonical_user_agent_view(OsType os, unsigned variant) {
   switch (os) {
     case OsType::kWindows: {
       static const std::array<const char*, 3> uas = {

@@ -16,4 +16,9 @@ namespace wlm::classify {
 /// `variant` selects among several browsers/apps per OS.
 [[nodiscard]] std::string canonical_user_agent(OsType os, unsigned variant = 0);
 
+/// Allocation-free variant: a view into the static table canonical_user_agent
+/// copies from. The hot generator path reads it without materializing a
+/// string per flow.
+[[nodiscard]] std::string_view canonical_user_agent_view(OsType os, unsigned variant = 0);
+
 }  // namespace wlm::classify

@@ -24,11 +24,18 @@ void VerdictCache::record(const FlowKey& key, AppId verdict) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     if (entries_.size() >= capacity_) {
-      entries_.erase(fifo_.front());
+      // Recycle the evicted node for the incoming key instead of a
+      // free+malloc pair per eviction — a full cache turns over once per
+      // flow, so the churn is material at fleet scale.
+      auto node = entries_.extract(fifo_.front());
       fifo_.pop_front();
       ++stats_.evictions;
+      node.key() = key;
+      node.mapped() = Entry{};
+      it = entries_.insert(std::move(node)).position;
+    } else {
+      it = entries_.emplace(key, Entry{}).first;
     }
-    it = entries_.emplace(key, Entry{}).first;
     fifo_.push_back(key);
   }
   it->second.verdict = verdict;
@@ -86,7 +93,8 @@ AppId TwoTierClassifier::classify_slow(const FlowSample& sample) {
   const auto start = std::chrono::steady_clock::now();
   AppId verdict;
   if (mode_ == ClassifierMode::kIndexed) {
-    verdict = RuleIndex::standard().classify(extract_metadata_fast(sample));
+    extract_metadata_fast_into(sample, meta_scratch_);
+    verdict = RuleIndex::standard().classify(meta_scratch_);
   } else {
     verdict = RuleSet::standard().classify(extract_metadata(sample));
   }

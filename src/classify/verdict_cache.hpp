@@ -152,6 +152,7 @@ class TwoTierClassifier {
   VerdictCache cache_;
   std::uint64_t slow_path_calls_ = 0;
   SlowPathProfile profile_;
+  FlowMetadata meta_scratch_;  // reused across indexed slow-path calls
 };
 
 }  // namespace wlm::classify

@@ -1,0 +1,142 @@
+// A small bump arena for per-window scratch memory.
+//
+// The fleet inner loop produces short-lived containers in bursts — usage
+// rows while a shard simulates a week, pending events in the discrete-event
+// engine, decode scratch at harvest — whose lifetimes all end at the next
+// harvest window boundary. A bump allocator turns that churn into pointer
+// arithmetic: allocation is an offset add, and reset() reclaims everything
+// at once while keeping the largest chunk, so steady state allocates no new
+// memory from the system at all.
+//
+// Lifetime rules (see DESIGN.md §4f):
+//   * Memory handed out by an Arena is valid until the next reset() or the
+//     arena's destruction, whichever comes first.
+//   * Containers using ArenaAllocator must be cleared/destroyed before
+//     reset() — reset() does not run destructors.
+//   * Arenas are single-threaded by design; each shard/worker owns its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace wlm::core {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_chunk_bytes = 16 * 1024)
+      : min_chunk_(initial_chunk_bytes < 64 ? 64 : initial_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two). Alignment is
+  /// applied to the absolute address, not the chunk-relative offset — chunk
+  /// bases from new[] only guarantee alignof(max_align_t), so over-aligned
+  /// requests must pad from the real pointer value.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t offset = aligned_offset(align);
+    if (current_ == nullptr || offset + bytes > capacity_) {
+      grow(bytes + align);
+      offset = aligned_offset(align);
+    }
+    used_ = offset + bytes;
+    bytes_served_ += bytes;
+    return current_ + offset;
+  }
+
+  /// Reclaims every allocation at once. The largest chunk is kept so a
+  /// steady-state window re-runs entirely inside recycled memory; the rest
+  /// are returned to the system.
+  void reset() {
+    if (chunks_.size() > 1) {
+      // Keep only the newest (largest — growth is geometric) chunk.
+      auto keep = std::move(chunks_.back());
+      chunks_.clear();
+      chunks_.push_back(std::move(keep));
+    }
+    if (!chunks_.empty()) {
+      current_ = chunks_.back().data.get();
+      capacity_ = chunks_.back().size;
+    }
+    used_ = 0;
+    ++resets_;
+  }
+
+  /// Total bytes handed out since construction (diagnostics).
+  [[nodiscard]] std::uint64_t bytes_served() const { return bytes_served_; }
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+  /// Bytes currently held from the system.
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Smallest offset >= used_ whose absolute address is `align`-aligned.
+  [[nodiscard]] std::size_t aligned_offset(std::size_t align) const {
+    const auto base = reinterpret_cast<std::uintptr_t>(current_);
+    const std::uintptr_t aligned =
+        (base + used_ + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+    return static_cast<std::size_t>(aligned - base);
+  }
+
+  void grow(std::size_t at_least) {
+    std::size_t next = capacity_ > 0 ? capacity_ * 2 : min_chunk_;
+    while (next < at_least) next *= 2;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(next), next});
+    current_ = chunks_.back().data.get();
+    capacity_ = next;
+    used_ = 0;
+  }
+
+  std::size_t min_chunk_;
+  std::vector<Chunk> chunks_;
+  std::byte* current_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::uint64_t bytes_served_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// Minimal std-compatible allocator over an Arena. deallocate() is a no-op;
+/// memory comes back at Arena::reset(). Suitable for scratch containers
+/// whose lifetime is bounded by a harvest window.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // reclaimed wholesale by Arena::reset()
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Convenience alias for arena-backed scratch vectors.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace wlm::core

@@ -127,6 +127,22 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 
 Rng Rng::fork() { return Rng{next_u64()}; }
 
+void Rng::fill_uniform(std::span<double> out) {
+  // Definitionally sequence-identical to repeated uniform() calls: the point
+  // of the batched form is that callers hoist the draws out of branchy inner
+  // loops (better scheduling, no per-frame call), not that the stream
+  // changes. Any deviation here would break the determinism contract.
+  for (double& v : out) v = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void Rng::fill_normal(std::span<double> out) {
+  for (double& v : out) v = normal();
+}
+
+void Rng::fill_normal(std::span<double> out, double mean, double stddev) {
+  for (double& v : out) v = mean + stddev * normal();
+}
+
 Rng Rng::substream(std::uint64_t base_seed, std::uint64_t stream_id) {
   return Rng{substream_seed(base_seed, stream_id)};
 }

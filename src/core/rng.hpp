@@ -47,6 +47,17 @@ class Rng {
   /// Rayleigh-distributed amplitude with scale sigma (fading envelopes).
   double rayleigh(double sigma);
 
+  /// Batched draws: fills `out` with exactly the values the scalar calls
+  /// would produce in sequence (fill_uniform(out) ≡ out[i] = uniform() in
+  /// index order; likewise fill_normal, including the Box–Muller cache).
+  /// The inner loops consume precomputed blocks instead of calling through
+  /// per frame; substream semantics and checkpointed state are unchanged —
+  /// after a fill the generator state equals the state after the scalar
+  /// sequence.
+  void fill_uniform(std::span<double> out);
+  void fill_normal(std::span<double> out);
+  void fill_normal(std::span<double> out, double mean, double stddev);
+
   /// Index in [0, weights.size()) sampled proportionally to weights.
   /// Zero/negative weights are treated as zero; requires a positive total.
   std::size_t weighted_index(std::span<const double> weights);

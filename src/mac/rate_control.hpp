@@ -16,6 +16,7 @@
 
 #include "core/rng.hpp"
 #include "phy/modulation.hpp"
+#include "phy/per_table.hpp"
 
 namespace wlm::mac {
 
@@ -62,8 +63,12 @@ class MinstrelController {
 
 /// Convenience: simulate `n` transmissions of `payload_bytes` frames over a
 /// channel at the given SINR and report the mean achieved throughput in
-/// Mb/s (successful payload bits over total airtime).
+/// Mb/s (successful payload bits over total airtime). When `tables` is
+/// supplied (and built for this payload size) per-frame loss draws go
+/// through the guarded SINR->PER lookup — bit-identical outcomes, no
+/// pow/erfc in the loop.
 [[nodiscard]] double simulate_throughput(MinstrelController& controller, double sinr_db,
-                                         int payload_bytes, int n, Rng& rng);
+                                         int payload_bytes, int n, Rng& rng,
+                                         const phy::PerTableSet* tables = nullptr);
 
 }  // namespace wlm::mac

@@ -24,7 +24,12 @@ const std::vector<RateInfo> kRates = {
     {Modulation::kOfdm54, DataRate::mbps(54), "OFDM 54", 22.0, true},
 };
 
-double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+// Hoisted out of q_function: sqrt(2) is correctly rounded, so dividing by
+// the cached constant yields bit-identical results to recomputing it per
+// call (pinned by phy tests).
+const double kSqrt2 = std::sqrt(2.0);
+
+double q_function(double x) { return 0.5 * std::erfc(x / kSqrt2); }
 
 }  // namespace
 

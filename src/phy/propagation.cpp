@@ -8,10 +8,34 @@ double distance_m(const Position& a, const Position& b) {
   return std::hypot(a.x - b.x, a.y - b.y);
 }
 
-double PathLossModel::reference_loss_db(FrequencyMhz freq) {
+namespace {
+
+double reference_loss_db_uncached(FrequencyMhz freq) {
   // Friis free-space loss at 1 m: 20 log10(4*pi*d*f/c).
   const double c = 299'792'458.0;
   return 20.0 * std::log10(4.0 * M_PI * 1.0 * freq.hz() / c);
+}
+
+}  // namespace
+
+double PathLossModel::reference_loss_db(FrequencyMhz freq) {
+  // A fleet uses a handful of carrier frequencies but evaluates path loss
+  // millions of times, so memoize the log10 per frequency. The cached value
+  // is the same double the direct computation yields (pinned by the phy
+  // hoisted-constants test); thread_local keeps the tiny cache race-free
+  // without synchronizing shard workers.
+  struct CacheEntry {
+    double freq_hz;
+    double loss_db;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  const double hz = freq.hz();
+  for (const auto& e : cache) {
+    if (e.freq_hz == hz) return e.loss_db;
+  }
+  const double loss = reference_loss_db_uncached(freq);
+  cache.push_back(CacheEntry{hz, loss});
+  return loss;
 }
 
 double PathLossModel::median_loss_db(double d_m, FrequencyMhz freq, int walls) const {
@@ -31,17 +55,20 @@ FadingProcess::FadingProcess(Rng rng, double k_factor_db, double coherence)
   const double k = k_factor_db <= -100.0 ? 0.0 : std::pow(10.0, k_factor_db / 10.0);
   los_amplitude_ = std::sqrt(k / (k + 1.0));
   scatter_sigma_ = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+  // AR(1) innovation keeping the stationary variance at scatter_sigma^2;
+  // constructor-derived, so hoisted out of next_gain_db() (the expression is
+  // identical, hence so is the double — pinned by the phy hoist test). Not
+  // part of State: a restored process is rebuilt with the same parameters.
+  innov_sigma_ = std::sqrt(1.0 - coherence_ * coherence_) * scatter_sigma_;
   // Start from the stationary distribution.
   re_ = rng_.normal(0.0, scatter_sigma_);
   im_ = rng_.normal(0.0, scatter_sigma_);
 }
 
 double FadingProcess::next_gain_db() {
-  // AR(1) innovation keeping the stationary variance at scatter_sigma^2.
   const double rho = coherence_;
-  const double innov = std::sqrt(1.0 - rho * rho) * scatter_sigma_;
-  re_ = rho * re_ + rng_.normal(0.0, innov);
-  im_ = rho * im_ + rng_.normal(0.0, innov);
+  re_ = rho * re_ + rng_.normal(0.0, innov_sigma_);
+  im_ = rho * im_ + rng_.normal(0.0, innov_sigma_);
   const double i_part = los_amplitude_ + re_;
   const double power = i_part * i_part + im_ * im_;
   const double floor = 1e-9;  // -90 dB: bound deep fades to keep logs finite

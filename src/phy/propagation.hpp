@@ -77,6 +77,7 @@ class FadingProcess {
   double los_amplitude_;
   double scatter_sigma_;
   double coherence_;
+  double innov_sigma_;  // sqrt(1 - coherence^2) * scatter_sigma, hoisted
   double re_ = 0.0;
   double im_ = 0.0;
 };

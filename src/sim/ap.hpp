@@ -2,6 +2,7 @@
 // tunnel to the backend, and offered-load bookkeeping.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "backend/tunnel.hpp"
@@ -14,12 +15,47 @@
 
 namespace wlm::sim {
 
-/// A client currently associated to this AP.
+/// A client currently associated to this AP (the row view used when adding).
 struct AssociatedClient {
   deploy::ClientDevice device;
   phy::Band band = phy::Band::k2_4GHz;
   double rssi_at_ap_dbm = -70.0;
   classify::OsType detected_os = classify::OsType::kUnknown;
+};
+
+/// Struct-of-arrays storage for an AP's associated clients. The weekly
+/// report loop re-reads every client once per reporting period, touching
+/// only a few fields per pass; parallel columns keep those passes on dense,
+/// homogeneous memory instead of striding over whole AssociatedClient
+/// records (DESIGN.md §4f). Columns are index-aligned: entry i of every
+/// column describes the same client.
+class ClientColumns {
+ public:
+  void add(AssociatedClient client) {
+    devices_.push_back(std::move(client.device));
+    bands_.push_back(client.band);
+    rssi_at_ap_dbm_.push_back(client.rssi_at_ap_dbm);
+    detected_os_.push_back(client.detected_os);
+  }
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] bool empty() const { return devices_.empty(); }
+
+  [[nodiscard]] std::span<const deploy::ClientDevice> devices() const { return devices_; }
+  [[nodiscard]] std::span<const phy::Band> bands() const { return bands_; }
+  [[nodiscard]] std::span<const double> rssi_at_ap_dbm() const { return rssi_at_ap_dbm_; }
+  [[nodiscard]] std::span<const classify::OsType> detected_os() const { return detected_os_; }
+
+  /// Materializes row i (tests and cold paths; hot loops walk the columns).
+  [[nodiscard]] AssociatedClient row(std::size_t i) const {
+    return AssociatedClient{devices_[i], bands_[i], rssi_at_ap_dbm_[i], detected_os_[i]};
+  }
+
+ private:
+  std::vector<deploy::ClientDevice> devices_;
+  std::vector<phy::Band> bands_;
+  std::vector<double> rssi_at_ap_dbm_;
+  std::vector<classify::OsType> detected_os_;
 };
 
 class ApRuntime {
@@ -45,9 +81,8 @@ class ApRuntime {
   void set_tx_duty(double duty_24, double duty_5);
   [[nodiscard]] double tx_duty(phy::Band band, double hour) const;
 
-  void add_client(AssociatedClient client) { clients_.push_back(std::move(client)); }
-  [[nodiscard]] const std::vector<AssociatedClient>& clients() const { return clients_; }
-  [[nodiscard]] std::vector<AssociatedClient>& clients() { return clients_; }
+  void add_client(AssociatedClient client) { clients_.add(std::move(client)); }
+  [[nodiscard]] const ClientColumns& clients() const { return clients_; }
 
   /// Radio environment for this AP (peers' duties scaled for the hour).
   [[nodiscard]] RadioEnvironment environment(double hour) const;
@@ -59,7 +94,7 @@ class ApRuntime {
   backend::Tunnel tunnel_;
   probe::LinkTable link_table_;
   std::vector<FleetPeer> peers_;
-  std::vector<AssociatedClient> clients_;
+  ClientColumns clients_;
   double tx_duty_24_ = 0.0;
   double tx_duty_5_ = 0.0;
 };

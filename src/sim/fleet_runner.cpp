@@ -30,6 +30,7 @@ FleetRunner::FleetRunner(WorldConfig config)
   shard_config.faults = config_.faults;
   shard_config.classifier = config_.classifier;
   shard_config.verdict_cache_capacity = config_.verdict_cache_capacity;
+  shard_config.per_mode = config_.per_mode;
 
   // Shard construction is independent per network (each shard's RNG is a
   // substream of the base seed), so it parallelizes like the campaigns do.

@@ -47,6 +47,9 @@ struct WorldConfig {
   classify::ClassifierMode classifier = classify::ClassifierMode::kIndexed;
   /// Per-shard verdict cache bound; any value >= 1 is verdict-equivalent.
   std::size_t verdict_cache_capacity = classify::VerdictCache::kDefaultCapacity;
+  /// PER evaluation path for mesh-link probes (table fast path by default;
+  /// reference recomputes the scalar). Outputs are byte-identical in both.
+  phy::PerMode per_mode = phy::PerMode::kTable;
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;

@@ -1,6 +1,7 @@
 #include "sim/network_shard.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "classify/dhcp.hpp"
@@ -8,6 +9,7 @@
 #include "classify/user_agent.hpp"
 #include "mac/beacon_frame.hpp"
 #include "scan/scanner.hpp"
+#include "telemetry/profile.hpp"
 #include "traffic/broadcast.hpp"
 #include "traffic/os_model.hpp"
 #include "traffic/sessions.hpp"
@@ -185,9 +187,11 @@ void NetworkShard::build_duties_and_peers() {
   for (ApRuntime& ap : aps_) {
     double bytes_24 = 0.0;
     double bytes_5 = 0.0;
-    for (const auto& c : ap.clients()) {
-      const double mb = traffic::os_usage(c.device.os, epoch()).mb_per_client;
-      (c.band == phy::Band::k5GHz ? bytes_5 : bytes_24) += mb * 1e6;
+    const auto devices = ap.clients().devices();
+    const auto bands = ap.clients().bands();
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const double mb = traffic::os_usage(devices[i].os, epoch()).mb_per_client;
+      (bands[i] == phy::Band::k5GHz ? bytes_5 : bytes_24) += mb * 1e6;
     }
     const double week_s = 7.0 * 24 * 3600;
     // x2 for MAC overhead, retries, and rate fallback.
@@ -237,13 +241,13 @@ void NetworkShard::build_links() {
             compute_link_budget(a.config().position, b.config().position, walls, band, tx,
                                 pathloss_, rng_);
         if (budget.median_rx_dbm < -95.0) continue;  // never decodable
-        links_.emplace_back(a.id(), b.id(), budget, rng_.fork());
+        links_.emplace_back(a.id(), b.id(), budget, rng_.fork(), config_.per_mode);
       }
     }
   }
 }
 
-void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport report) {
+void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport& report) {
   report.ap_id = ap.id().value();
   if (!injector_.enabled()) {
     auto frame = backend::frame_report(report);
@@ -338,34 +342,65 @@ void NetworkShard::run_usage_week(int reports_per_week,
   };
 
   // Per-report-period usage rows, accumulated per (client, app) at the AP
-  // that carried the traffic.
-  struct Row {
-    MacAddress mac;
-    classify::OsType os;
-    classify::AppId app;
-    std::uint64_t up;
-    std::uint64_t down;
+  // that carried the traffic. Struct-of-arrays, indexed by AP position (not
+  // a map keyed by AP id): the report loop below re-walks every row once
+  // per reporting period touching two or three columns per pass, so the
+  // columns keep those passes dense. Backed by the shard arena — the rows
+  // die when the week's reports are built, and reset() below recycles the
+  // memory for the next campaign.
+  struct RowColumns {
+    core::ArenaVector<MacAddress> mac;
+    core::ArenaVector<classify::OsType> os;
+    core::ArenaVector<classify::AppId> app;
+    core::ArenaVector<std::uint64_t> up;
+    core::ArenaVector<std::uint64_t> down;
+
+    explicit RowColumns(core::Arena& arena)
+        : mac(core::ArenaAllocator<MacAddress>(arena)),
+          os(core::ArenaAllocator<classify::OsType>(arena)),
+          app(core::ArenaAllocator<classify::AppId>(arena)),
+          up(core::ArenaAllocator<std::uint64_t>(arena)),
+          down(core::ArenaAllocator<std::uint64_t>(arena)) {}
+
+    void push(MacAddress m, classify::OsType o, classify::AppId a, std::uint64_t u,
+              std::uint64_t d) {
+      mac.push_back(m);
+      os.push_back(o);
+      app.push_back(a);
+      up.push_back(u);
+      down.push_back(d);
+    }
+    [[nodiscard]] std::size_t size() const { return mac.size(); }
   };
 
-  std::unordered_map<std::uint32_t, std::vector<Row>> rows_by_ap;
+  {
+  std::vector<RowColumns> rows_by_ap;
+  rows_by_ap.reserve(aps_.size());
+  for (std::size_t i = 0; i < aps_.size(); ++i) rows_by_ap.emplace_back(arena_);
+
   const auto cache_before = classifier_.cache().stats();
   const auto slow_before = classifier_.slow_path_calls();
   std::uint64_t fragments_seen = 0;
-  for (ApRuntime& home : aps_) {
-    for (auto& client : home.clients()) {
-      traffic::DeviceWeek week = workload.generate_week(client.device);
+  // One scratch week for the whole sweep: flow slots and their payload
+  // buffers are rewritten in place per device instead of reallocated.
+  traffic::DeviceWeek week;
+  for (std::size_t home_idx = 0; home_idx < aps_.size(); ++home_idx) {
+    ApRuntime& home = aps_[home_idx];
+    for (const auto& device : home.clients().devices()) {
+      workload.generate_week(device, week);
 
       // Roaming phones appear on several of the network's APs during the
       // week; their bytes split across them and the backend must re-merge
-      // by MAC (paper §2.3).
-      std::vector<ApRuntime*> visited{&home};
-      if (client.device.roams && aps_.size() > 1) {
+      // by MAC (paper §2.3). At most home + 2 extras, tracked as indices.
+      std::array<std::size_t, 3> visited{home_idx, 0, 0};
+      std::size_t n_visited = 1;
+      if (device.roams && aps_.size() > 1) {
         const int extra = static_cast<int>(rng_.uniform_int(1, std::min<std::int64_t>(
                                                 2, static_cast<std::int64_t>(aps_.size()) - 1)));
         for (int e = 0; e < extra; ++e) {
-          ApRuntime* other = &aps_[static_cast<std::size_t>(
-              rng_.uniform_int(0, static_cast<std::int64_t>(aps_.size()) - 1))];
-          if (other != &home) visited.push_back(other);
+          const auto other = static_cast<std::size_t>(
+              rng_.uniform_int(0, static_cast<std::int64_t>(aps_.size()) - 1));
+          if (other != home_idx) visited[n_visited++] = other;
         }
       }
 
@@ -375,7 +410,7 @@ void NetworkShard::run_usage_week(int reports_per_week,
         // rest are attributed from the cache — or reparsed end to end in
         // reference mode, which is exactly the contrast bench_perf_micro
         // measures. Verdicts are identical either way.
-        const classify::FlowKey key{client.device.mac.to_u64(), home.id().value(),
+        const classify::FlowKey key{device.mac.to_u64(), home.id().value(),
                                     flow.dst_host, flow.src_port, flow.sample.dst_port,
                                     flow.sample.transport == classify::Transport::kUdp
                                         ? std::uint8_t{17}
@@ -387,11 +422,11 @@ void NetworkShard::run_usage_week(int reports_per_week,
         fragments_seen += flow.fragments;
         ++flows_classified_;
         if (detected != flow.truth) ++flows_misclassified_;
-        const auto share = static_cast<std::uint64_t>(visited.size());
-        for (ApRuntime* target : visited) {
-          rows_by_ap[target->id().value()].push_back(
-              Row{client.device.mac, client.device.os, detected,
-                  flow.upstream_bytes / share, flow.downstream_bytes / share});
+        const auto share = static_cast<std::uint64_t>(n_visited);
+        for (std::size_t v = 0; v < n_visited; ++v) {
+          rows_by_ap[visited[v]].push(device.mac, device.os, detected,
+                                      flow.upstream_bytes / share,
+                                      flow.downstream_bytes / share);
         }
       }
     }
@@ -403,6 +438,7 @@ void NetworkShard::run_usage_week(int reports_per_week,
   // exports must be bit-identical across --jobs.
   const auto& cache_after = classifier_.cache().stats();
   metrics_.counter("wlm_classify_fragments_total").inc(fragments_seen);
+  telemetry::work_tally().fragments.fetch_add(fragments_seen, std::memory_order_relaxed);
   metrics_.counter("wlm_classify_cache_hits_total").inc(cache_after.hits - cache_before.hits);
   metrics_.counter("wlm_classify_cache_misses_total")
       .inc(cache_after.misses - cache_before.misses);
@@ -419,41 +455,59 @@ void NetworkShard::run_usage_week(int reports_per_week,
   // polls; their store content is identical either way because reports only
   // land at harvest.) Per-AP queue order matches the old AP-major loop, so
   // the store's arrival order is unchanged.
+  // One scratch report for the whole loop: its row vectors keep capacity
+  // across APs instead of reallocating per report. enqueue_report only
+  // reads the report (framing copies the bytes), so reuse is safe.
+  wire::ApReport report;
   for (int r = 0; r < reports_per_week; ++r) {
     const std::int64_t t_us =
         (Duration::days(7) / reports_per_week * r + Duration::hours(12)).as_micros();
-    for (ApRuntime& ap : aps_) {
-      const auto& rows = rows_by_ap[ap.id().value()];
-      wire::ApReport report;
+    for (std::size_t ap_idx = 0; ap_idx < aps_.size(); ++ap_idx) {
+      ApRuntime& ap = aps_[ap_idx];
+      const auto& rows = rows_by_ap[ap_idx];
+      report.usage.clear();
+      report.utilization.clear();
+      report.neighbors.clear();
+      report.links.clear();
+      report.clients.clear();
       report.timestamp_us = t_us;
       report.firmware = 2;  // the second 2014 firmware revision
-      for (const auto& row : rows) {
+      report.usage.reserve(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
         wire::ClientUsage usage;
-        usage.client = row.mac;
-        usage.app_id = static_cast<std::uint32_t>(row.app);
-        usage.tx_bytes = row.up / static_cast<std::uint64_t>(reports_per_week);
-        const double mult = spikes.empty() ? 1.0 : spike_multiplier(row.os, r);
+        usage.client = rows.mac[i];
+        usage.app_id = static_cast<std::uint32_t>(rows.app[i]);
+        usage.tx_bytes = rows.up[i] / static_cast<std::uint64_t>(reports_per_week);
+        const double mult = spikes.empty() ? 1.0 : spike_multiplier(rows.os[i], r);
         usage.rx_bytes = static_cast<std::uint64_t>(
-            static_cast<double>(row.down / static_cast<std::uint64_t>(reports_per_week)) *
+            static_cast<double>(rows.down[i] / static_cast<std::uint64_t>(reports_per_week)) *
             mult);
         report.usage.push_back(usage);
       }
-      for (const auto& client : ap.clients()) {
+      const auto& cols = ap.clients();
+      const auto devices = cols.devices();
+      const auto bands = cols.bands();
+      const auto rssi = cols.rssi_at_ap_dbm();
+      const auto detected = cols.detected_os();
+      report.clients.reserve(cols.size());
+      for (std::size_t i = 0; i < cols.size(); ++i) {
         wire::ClientSnapshot snap;
-        snap.client = client.device.mac;
-        snap.capability_bits = client.device.caps.bits;
-        snap.band = band_code(client.band);
-        snap.rssi_dbm = client.rssi_at_ap_dbm;
-        snap.os_id = static_cast<std::uint8_t>(client.detected_os);
+        snap.client = devices[i].mac;
+        snap.capability_bits = devices[i].caps.bits;
+        snap.band = band_code(bands[i]);
+        snap.rssi_dbm = rssi[i];
+        snap.os_id = static_cast<std::uint8_t>(detected[i]);
         report.clients.push_back(snap);
       }
-      enqueue_report(ap, std::move(report));
+      enqueue_report(ap, report);
     }
     if (injector_.enabled()) {
       poller_.set_now(t_us);
       poller_.poll_all(64);
     }
   }
+  }  // row columns die here ...
+  arena_.reset();  // ... so the arena can recycle their memory wholesale
 }
 
 void NetworkShard::snapshot_clients(SimTime t) {
@@ -466,17 +520,22 @@ void NetworkShard::snapshot_clients(SimTime t) {
     const double presence = sessions.presence_probability(t.hour_of_day());
     wire::ApReport report;
     report.timestamp_us = t.as_micros();
-    for (const auto& client : ap.clients()) {
+    const auto& cols = ap.clients();
+    const auto devices = cols.devices();
+    const auto bands = cols.bands();
+    const auto rssi = cols.rssi_at_ap_dbm();
+    const auto detected = cols.detected_os();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
       if (!rng_.chance(presence)) continue;
       wire::ClientSnapshot snap;
-      snap.client = client.device.mac;
-      snap.capability_bits = client.device.caps.bits;
-      snap.band = band_code(client.band);
-      snap.rssi_dbm = client.rssi_at_ap_dbm;
-      snap.os_id = static_cast<std::uint8_t>(client.detected_os);
+      snap.client = devices[i].mac;
+      snap.capability_bits = devices[i].caps.bits;
+      snap.band = band_code(bands[i]);
+      snap.rssi_dbm = rssi[i];
+      snap.os_id = static_cast<std::uint8_t>(detected[i]);
       report.clients.push_back(snap);
     }
-    enqueue_report(ap, std::move(report));
+    enqueue_report(ap, report);
   }
   if (injector_.enabled()) {
     poller_.set_now(t.as_micros());
@@ -509,7 +568,7 @@ void NetworkShard::run_mr16_interference(SimTime t) {
       report.utilization.push_back(util);
     }
     report.neighbors = neighbor_records(ap);
-    enqueue_report(ap, std::move(report));
+    enqueue_report(ap, report);
   }
   if (injector_.enabled()) {
     poller_.set_now(t.as_micros());
@@ -536,7 +595,7 @@ void NetworkShard::run_mr18_scan(SimTime t, double hour) {
       report.utilization.push_back(util);
     }
     report.neighbors = neighbor_records(ap);
-    enqueue_report(ap, std::move(report));
+    enqueue_report(ap, report);
   }
   if (injector_.enabled()) {
     poller_.set_now(t.as_micros());
@@ -565,7 +624,7 @@ void NetworkShard::run_link_windows(SimTime t) {
     rec.probes_expected = static_cast<std::uint32_t>(window.expected);
     rec.probes_received = static_cast<std::uint32_t>(window.received);
     report.links.push_back(rec);
-    enqueue_report(receiver, std::move(report));
+    enqueue_report(receiver, report);
   }
   if (injector_.enabled()) {
     poller_.set_now(t.as_micros());

@@ -16,6 +16,7 @@
 
 #include "backend/poller.hpp"
 #include "backend/store.hpp"
+#include "core/arena.hpp"
 #include "classify/verdict_cache.hpp"
 #include "deploy/generator.hpp"
 #include "fault/injector.hpp"
@@ -46,6 +47,10 @@ struct ShardConfig {
   /// Per-shard verdict cache bound (flows pinned at once). Any value >= 1
   /// yields the same verdict sequence; only hit/evict counts change.
   std::size_t verdict_cache_capacity = classify::VerdictCache::kDefaultCapacity;
+  /// PER evaluation path mesh links use. kTable is the production lookup
+  /// fast path; kReference recomputes the scalar PER per probe as the
+  /// differential oracle. Probe outcomes are byte-identical in both.
+  phy::PerMode per_mode = phy::PerMode::kTable;
 };
 
 /// How harvest treats tunnels that are down when the week ends.
@@ -142,6 +147,9 @@ class NetworkShard {
   telemetry::MetricsRegistry metrics_;
   telemetry::FlightRecorder recorder_;
   classify::TwoTierClassifier classifier_;
+  /// Scratch arena for the usage-week row columns; reset once the rows have
+  /// been folded into reports, so every week reruns in recycled memory.
+  core::Arena arena_;
   std::size_t client_count_ = 0;
   std::uint64_t flows_classified_ = 0;
   std::uint64_t flows_misclassified_ = 0;
@@ -149,7 +157,10 @@ class NetworkShard {
   void build_clients();
   void build_duties_and_peers();
   void build_links();
-  void enqueue_report(ApRuntime& ap, wire::ApReport report);
+  /// Frames and queues one report. The report is read (and, with faults
+  /// enabled, mutated by the injector) but never consumed, so callers can
+  /// reuse one scratch report across calls.
+  void enqueue_report(ApRuntime& ap, wire::ApReport& report);
   void record_enqueue(const ApRuntime& ap, std::int64_t t_us, std::size_t frame_bytes);
   /// Refreshes the ledger and shard gauges from current state (set, not
   /// add: calling it twice must not double-count).

@@ -50,4 +50,13 @@ PhaseProfiler& global_profiler() {
   return *profiler;
 }
 
+void reset_global_profiler() { global_profiler().clear(); }
+
+WorkTally& work_tally() {
+  // Leaked for the same reason as global_profiler(): the bench JSON writer
+  // runs from an atexit hook, after function-local statics may be gone.
+  static WorkTally* tally = new WorkTally();
+  return *tally;
+}
+
 }  // namespace wlm::telemetry

@@ -7,7 +7,9 @@
 // facts, and the exporters for one never see the other.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -76,5 +78,34 @@ class ScopedPhase {
 /// FleetRunner mirrors its phase timings here so standalone tools get the
 /// breakdown for free.
 PhaseProfiler& global_profiler();
+
+/// Zeroes the process-wide profiler. The singleton object itself stays
+/// alive for the whole process (static-duration bench Timers record into it
+/// from destructors, so it is deliberately never destroyed), but phases it
+/// accumulated are dropped — call between bench repetitions so one rep's
+/// timings never bleed into the next rep's BENCH_*.json.
+void reset_global_profiler();
+
+/// Process-wide tally of simulation work items, used by the bench harness to
+/// report throughput as work/second. The counts themselves are sim-determined
+/// (fragments classified, report frames harvested) and therefore identical
+/// across runs and `--jobs` values — only the division by wall-clock seconds
+/// is nondeterministic, and that happens in the bench JSON writer, never in
+/// anything that claims bit-identity. Atomics because shards on worker
+/// threads bump them concurrently; integer addition commutes, so thread
+/// interleaving cannot change the totals.
+struct WorkTally {
+  std::atomic<std::uint64_t> fragments{0};
+  std::atomic<std::uint64_t> frames{0};
+
+  void reset() {
+    fragments.store(0, std::memory_order_relaxed);
+    frames.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process-wide tally (never destroyed, same lifetime story as
+/// global_profiler()).
+WorkTally& work_tally();
 
 }  // namespace wlm::telemetry

@@ -60,55 +60,62 @@ WireStyle wire_style(const classify::AppInfo& info, Rng& rng) {
   }
 }
 
-std::vector<std::uint8_t> to_bytes(const std::string& s) {
-  return {s.begin(), s.end()};
-}
-
 }  // namespace
 
-std::string FlowGenerator::pick_domain(const classify::AppInfo& info) {
-  if (info.domains.empty()) return {};
+void FlowGenerator::pick_domain_into(const classify::AppInfo& info, std::string& out) {
+  out.clear();
+  if (info.domains.empty()) return;
   const auto idx = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(info.domains.size()) - 1));
-  std::string domain{info.domains[idx]};
+  out = info.domains[idx];
   // Real clients resolve host names under the service domain.
-  if (rng_.chance(0.4) && !domain.starts_with("www.")) {
+  if (rng_.chance(0.4) && !out.starts_with("www.")) {
     static const char* kPrefixes[] = {"www", "api", "cdn", "edge", "static"};
-    domain = std::string(kPrefixes[rng_.uniform_int(0, 4)]) + "." + domain;
+    out.insert(0, 1, '.');
+    out.insert(0, kPrefixes[rng_.uniform_int(0, 4)]);
   }
-  return domain;
 }
 
 GeneratedFlow FlowGenerator::make_flow(classify::AppId app, classify::OsType os,
                                        std::uint64_t up_bytes, std::uint64_t down_bytes) {
-  const auto& info = classify::app_info(app);
   GeneratedFlow flow;
-  flow.truth = app;
-  flow.upstream_bytes = up_bytes;
-  flow.downstream_bytes = down_bytes;
+  make_flow_into(app, os, up_bytes, down_bytes, flow);
+  return flow;
+}
+
+void FlowGenerator::make_flow_into(classify::AppId app, classify::OsType os,
+                                   std::uint64_t up_bytes, std::uint64_t down_bytes,
+                                   GeneratedFlow& out) {
+  const auto& info = classify::app_info(app);
+  out.truth = app;
+  out.upstream_bytes = up_bytes;
+  out.downstream_bytes = down_bytes;
 
   const WireStyle style = wire_style(info, rng_);
-  const std::string domain = pick_domain(info);
-  const std::string ua =
-      classify::canonical_user_agent(os, static_cast<unsigned>(rng_.next_u64() & 3));
+  pick_domain_into(info, domain_scratch_);
+  const std::string& domain = domain_scratch_;
+  const std::string_view ua =
+      classify::canonical_user_agent_view(os, static_cast<unsigned>(rng_.next_u64() & 3));
 
-  auto& s = flow.sample;
+  auto& s = out.sample;
   // The DNS lookup that preceded the flow: present for anything hostname-
   // based, unless the client cached it (paper: DNS is only one signal).
+  s.dns_packet.clear();
   if (!domain.empty() && rng_.chance(0.8)) {
-    s.dns_packet = classify::encode_dns_query(static_cast<std::uint16_t>(rng_.next_u64()), domain);
+    classify::encode_dns_query_into(static_cast<std::uint16_t>(rng_.next_u64()), domain,
+                                    s.dns_packet);
   }
 
   switch (style) {
     case WireStyle::kTls:
       s.transport = classify::Transport::kTcp;
       s.dst_port = 443;
-      s.first_payload = classify::build_client_hello(domain, rng_.next_u64());
+      classify::build_client_hello_into(domain, rng_.next_u64(), s.first_payload);
       break;
     case WireStyle::kTlsOddPort:
       s.transport = classify::Transport::kTcp;
       s.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(8400, 9000));
-      s.first_payload = classify::build_client_hello(domain, rng_.next_u64());
+      classify::build_client_hello_into(domain, rng_.next_u64(), s.first_payload);
       break;
     case WireStyle::kHttp:
     case WireStyle::kHttpVideo:
@@ -118,10 +125,16 @@ GeneratedFlow FlowGenerator::make_flow(classify::AppId app, classify::OsType os,
       const char* content_type = style == WireStyle::kHttpVideo  ? "video/mp4"
                                  : style == WireStyle::kHttpAudio ? "audio/mpeg"
                                                                   : "";
-      const std::string host = domain.empty() ? "site-" + std::to_string(rng_.next_u64() % 100000) + ".example"
-                                              : domain;
-      s.first_payload =
-          to_bytes(classify::build_http_request("GET", host, "/", ua, content_type));
+      if (domain.empty()) {
+        host_scratch_ = "site-";
+        host_scratch_ += std::to_string(rng_.next_u64() % 100000);
+        host_scratch_ += ".example";
+      } else {
+        host_scratch_ = domain;
+      }
+      classify::build_http_request_into("GET", host_scratch_, "/", ua, content_type,
+                                        http_scratch_);
+      s.first_payload.assign(http_scratch_.begin(), http_scratch_.end());
       break;
     }
     case WireStyle::kRawTcp: {
@@ -158,7 +171,7 @@ GeneratedFlow FlowGenerator::make_flow(classify::AppId app, classify::OsType os,
     }
   }
 
-  flow.src_port = next_src_port_;
+  out.src_port = next_src_port_;
   next_src_port_ = next_src_port_ == 65535 ? 49152 : static_cast<std::uint16_t>(next_src_port_ + 1);
   // FNV-1a over the destination name, salted with port and transport so
   // port-only flows still get distinct server addresses.
@@ -166,13 +179,12 @@ GeneratedFlow FlowGenerator::make_flow(classify::AppId app, classify::OsType os,
   for (const char c : domain) host_hash = (host_hash ^ static_cast<std::uint8_t>(c)) * 16777619u;
   host_hash ^= (static_cast<std::uint32_t>(s.dst_port) << 16) |
                (s.transport == classify::Transport::kUdp ? 1u : 0u);
-  flow.dst_host = host_hash;
+  out.dst_host = host_hash;
   // One slow-path observation per 2 MiB of volume models the flow's later
   // packets hitting the AP after the verdict is pinned; capped so a single
   // giant flow cannot dominate a shard's classification work.
-  flow.fragments = static_cast<std::uint16_t>(
+  out.fragments = static_cast<std::uint16_t>(
       1 + std::min<std::uint64_t>(6, (up_bytes + down_bytes) >> 21));
-  return flow;
 }
 
 }  // namespace wlm::traffic

@@ -39,11 +39,24 @@ class FlowGenerator {
   [[nodiscard]] GeneratedFlow make_flow(classify::AppId app, classify::OsType os,
                                         std::uint64_t up_bytes, std::uint64_t down_bytes);
 
+  /// Same flow written into a caller-owned slot. The slot's payload buffers
+  /// (and the generator's internal string scratch) keep their capacity
+  /// across calls, so a fleet run's millions of flows reuse a handful of
+  /// allocations instead of making fresh ones per flow. Draws exactly the
+  /// RNG sequence make_flow draws; every field of `out` is overwritten.
+  void make_flow_into(classify::AppId app, classify::OsType os, std::uint64_t up_bytes,
+                      std::uint64_t down_bytes, GeneratedFlow& out);
+
  private:
   Rng rng_;
   std::uint16_t next_src_port_ = 49152;  // IANA ephemeral range, wraps
 
-  [[nodiscard]] std::string pick_domain(const classify::AppInfo& info);
+  void pick_domain_into(const classify::AppInfo& info, std::string& out);
+
+  // Scratch buffers reused across make_flow_into calls.
+  std::string domain_scratch_;
+  std::string host_scratch_;
+  std::string http_scratch_;
 };
 
 }  // namespace wlm::traffic

@@ -49,15 +49,18 @@ const std::vector<WorkloadModel::AppPick>& WorkloadModel::picks_for(classify::Os
 
 DeviceWeek WorkloadModel::generate_week(const deploy::ClientDevice& device) {
   DeviceWeek week;
+  generate_week(device, week);
+  return week;
+}
+
+void WorkloadModel::generate_week(const deploy::ClientDevice& device, DeviceWeek& out) {
+  out.usages.clear();
   const double budget = sample_weekly_bytes(device.os, epoch_, rng_);
   const OsUsageProfile profile = os_usage(device.os, epoch_);
 
   // Select this week's app set.
-  struct Selected {
-    AppId app;
-    double weight;
-  };
-  std::vector<Selected> selected;
+  auto& selected = selected_scratch_;
+  selected.clear();
   const double os_mean = profile.mb_per_client * 1e6;
   // Heavy users disproportionately subscribe to byte-heavy services
   // (Netflix's 1.2 GB/week clients are not average clients), so selection
@@ -77,7 +80,10 @@ DeviceWeek WorkloadModel::generate_week(const deploy::ClientDevice& device) {
   for (const auto& s : selected) weight_sum += s.weight;
 
   // Allocate bytes; correct the device's download fraction toward the OS
-  // profile by scaling each app's split around its catalog value.
+  // profile by scaling each app's split around its catalog value. Flow
+  // slots already present in `out` are overwritten in place so their
+  // payload buffers keep their capacity; surplus slots are trimmed.
+  std::size_t flow_count = 0;
   for (const auto& s : selected) {
     const double bytes = budget * s.weight / weight_sum;
     if (bytes < 1.0) continue;
@@ -90,11 +96,13 @@ DeviceWeek WorkloadModel::generate_week(const deploy::ClientDevice& device) {
     usage.app = s.app;
     usage.downstream_bytes = static_cast<std::uint64_t>(bytes * down_frac);
     usage.upstream_bytes = static_cast<std::uint64_t>(bytes * (1.0 - down_frac));
-    week.flows.push_back(
-        flowgen_.make_flow(s.app, device.os, usage.upstream_bytes, usage.downstream_bytes));
-    week.usages.push_back(usage);
+    if (flow_count == out.flows.size()) out.flows.emplace_back();
+    flowgen_.make_flow_into(s.app, device.os, usage.upstream_bytes, usage.downstream_bytes,
+                            out.flows[flow_count]);
+    ++flow_count;
+    out.usages.push_back(usage);
   }
-  return week;
+  if (out.flows.size() > flow_count) out.flows.resize(flow_count);
 }
 
 }  // namespace wlm::traffic

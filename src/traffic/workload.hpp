@@ -40,10 +40,23 @@ class WorkloadModel {
   /// up/down split follows the catalog's download fractions.
   [[nodiscard]] DeviceWeek generate_week(const deploy::ClientDevice& device);
 
+  /// Same sampling into a caller-owned week. Flow slots (and the payload
+  /// buffers inside them) are reused across calls: the shard loop passes
+  /// one scratch DeviceWeek for its whole device sweep, turning millions of
+  /// per-flow allocations into a handful of steady-state buffers. Draws the
+  /// same RNG sequence as the by-value overload; `out` is fully rewritten.
+  void generate_week(const deploy::ClientDevice& device, DeviceWeek& out);
+
  private:
   deploy::Epoch epoch_;
   Rng rng_;
   FlowGenerator flowgen_;
+
+  struct Selected {
+    classify::AppId app;
+    double weight;
+  };
+  std::vector<Selected> selected_scratch_;  // reused across generate_week calls
 
   struct AppPick {
     classify::AppId app;

@@ -4,9 +4,14 @@
 // schema changes and new software revisions without affecting the
 // measurement data" (paper §2): old collectors skip fields added by newer
 // firmware instead of failing.
+//
+// Header-only: next() runs once per field of every harvested report (tens
+// of millions of calls per fleet run), so it must inline into the message
+// parsers together with get_varint.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <string>
@@ -25,7 +30,12 @@ struct Field {
   [[nodiscard]] std::uint64_t as_uint() const { return varint; }
   [[nodiscard]] std::int64_t as_sint() const { return zigzag_decode(varint); }
   [[nodiscard]] bool as_bool() const { return varint != 0; }
-  [[nodiscard]] double as_double() const;
+  [[nodiscard]] double as_double() const {
+    double v = 0.0;
+    std::uint64_t bits = varint;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
   [[nodiscard]] std::string as_string() const {
     return {reinterpret_cast<const char*>(payload.data()), payload.size()};
   }
@@ -38,7 +48,64 @@ class Decoder {
   explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
 
   /// Next field, or nullopt at end-of-message or on error.
-  [[nodiscard]] std::optional<Field> next();
+  [[nodiscard]] std::optional<Field> next() {
+    if (!ok_ || pos_ >= data_.size()) return std::nullopt;
+    const auto tag = get_varint(data_.subspan(pos_));
+    if (!tag) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    pos_ += tag->consumed;
+    Field f;
+    f.number = static_cast<std::uint32_t>(tag->value >> 3);
+    const auto wt = static_cast<std::uint8_t>(tag->value & 0x7);
+    if (f.number == 0) {  // field numbers start at 1
+      ok_ = false;
+      return std::nullopt;
+    }
+    switch (wt) {
+      case 0: {
+        const auto v = get_varint(data_.subspan(pos_));
+        if (!v) break;
+        pos_ += v->consumed;
+        f.type = WireType::kVarint;
+        f.varint = v->value;
+        return f;
+      }
+      case 1: {
+        if (pos_ + 8 > data_.size()) break;
+        std::uint64_t bits = 0;
+        for (int i = 7; i >= 0; --i) bits = (bits << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 8;
+        f.type = WireType::kFixed64;
+        f.varint = bits;
+        return f;
+      }
+      case 2: {
+        const auto len = get_varint(data_.subspan(pos_));
+        if (!len) break;
+        pos_ += len->consumed;
+        if (pos_ + len->value > data_.size()) break;
+        f.type = WireType::kLengthDelimited;
+        f.payload = data_.subspan(pos_, len->value);
+        pos_ += len->value;
+        return f;
+      }
+      case 5: {
+        if (pos_ + 4 > data_.size()) break;
+        std::uint32_t bits = 0;
+        for (int i = 3; i >= 0; --i) bits = (bits << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 4;
+        f.type = WireType::kFixed32;
+        f.varint = bits;
+        return f;
+      }
+      default:
+        break;
+    }
+    ok_ = false;
+    return std::nullopt;
+  }
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] bool at_end() const { return pos_ >= data_.size(); }

@@ -1,8 +1,12 @@
 // Tag-length-value message encoder (protobuf wire-format compatible layout:
 // field tags are (field_number << 3) | wire_type).
+//
+// Header-only: every field of every report passes through these appenders,
+// so they must inline into the message serializers.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -23,17 +27,46 @@ enum class WireType : std::uint8_t {
 }
 
 /// Append-only message builder. Nested messages are encoded by building the
-/// child first and adding it as a length-delimited field.
+/// child first and adding it as a length-delimited field; hot serializers
+/// reuse one child encoder via clear() so the scratch buffer's capacity
+/// survives across messages instead of being reallocated per row.
 class Encoder {
  public:
-  void add_uint(std::uint32_t field, std::uint64_t v);
+  void add_uint(std::uint32_t field, std::uint64_t v) {
+    put_varint(buf_, make_tag(field, WireType::kVarint));
+    put_varint(buf_, v);
+  }
   /// ZigZag-encoded signed integer.
-  void add_sint(std::uint32_t field, std::int64_t v);
-  void add_bool(std::uint32_t field, bool v);
-  void add_double(std::uint32_t field, double v);
-  void add_string(std::uint32_t field, std::string_view v);
-  void add_bytes(std::uint32_t field, std::span<const std::uint8_t> v);
-  void add_message(std::uint32_t field, const Encoder& child);
+  void add_sint(std::uint32_t field, std::int64_t v) {
+    put_varint(buf_, make_tag(field, WireType::kVarint));
+    put_varint(buf_, zigzag_encode(v));
+  }
+  void add_bool(std::uint32_t field, bool v) { add_uint(field, v ? 1 : 0); }
+  void add_double(std::uint32_t field, double v) {
+    put_varint(buf_, make_tag(field, WireType::kFixed64));
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    // Little-endian fixed64: one resize + memcpy instead of 8 push_backs.
+    std::uint8_t le[8];
+    for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    buf_.insert(buf_.end(), le, le + 8);
+  }
+  void add_string(std::uint32_t field, std::string_view v) {
+    add_bytes(field, std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>(v.data()), v.size()));
+  }
+  void add_bytes(std::uint32_t field, std::span<const std::uint8_t> v) {
+    put_varint(buf_, make_tag(field, WireType::kLengthDelimited));
+    put_varint(buf_, v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  void add_message(std::uint32_t field, const Encoder& child) { add_bytes(field, child.bytes()); }
+
+  /// Drops the content but keeps the capacity — the reuse hook for hot
+  /// serializers that build millions of small sub-messages.
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }

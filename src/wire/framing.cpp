@@ -14,37 +14,49 @@ void append_frame(std::vector<std::uint8_t>& stream, std::span<const std::uint8_
   for (int i = 0; i < 4; ++i) stream.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
 }
 
+std::optional<std::span<const std::uint8_t>> FrameWalker::next() {
+  while (pos_ + 2 <= stream_.size()) {
+    if (stream_[pos_] != kFrameMagic0 || stream_[pos_ + 1] != kFrameMagic1) {
+      ++pos_;
+      ++resync_bytes_;
+      continue;
+    }
+    const std::size_t frame_start = pos_;
+    pos_ += 2;
+    const auto len = get_varint(stream_.subspan(pos_));
+    if (!len) {
+      pos_ = stream_.size();  // truncated tail
+      return std::nullopt;
+    }
+    pos_ += len->consumed;
+    if (pos_ + len->value + 4 > stream_.size()) {
+      // Truncated frame; rewind past the magic and resync.
+      pos_ = frame_start + 1;
+      ++resync_bytes_;
+      continue;
+    }
+    const auto payload = stream_.subspan(pos_, len->value);
+    pos_ += len->value;
+    std::uint32_t crc = 0;
+    for (int i = 3; i >= 0; --i) crc = (crc << 8) | stream_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    if (crc32(payload) != crc) {
+      ++corrupt_frames_;
+      continue;
+    }
+    return payload;
+  }
+  return std::nullopt;
+}
+
 StreamDecodeResult decode_stream(std::span<const std::uint8_t> stream) {
   StreamDecodeResult result;
-  std::size_t pos = 0;
-  while (pos + 2 <= stream.size()) {
-    if (stream[pos] != kFrameMagic0 || stream[pos + 1] != kFrameMagic1) {
-      ++pos;
-      ++result.resync_bytes;
-      continue;
-    }
-    const std::size_t frame_start = pos;
-    pos += 2;
-    const auto len = get_varint(stream.subspan(pos));
-    if (!len) break;  // truncated tail
-    pos += len->consumed;
-    if (pos + len->value + 4 > stream.size()) {
-      // Truncated frame; rewind past the magic and resync.
-      pos = frame_start + 1;
-      ++result.resync_bytes;
-      continue;
-    }
-    const auto payload = stream.subspan(pos, len->value);
-    pos += len->value;
-    std::uint32_t crc = 0;
-    for (int i = 3; i >= 0; --i) crc = (crc << 8) | stream[pos + static_cast<std::size_t>(i)];
-    pos += 4;
-    if (crc32(payload) != crc) {
-      ++result.corrupt_frames;
-      continue;
-    }
-    result.payloads.emplace_back(payload.begin(), payload.end());
+  FrameWalker walker(stream);
+  while (const auto payload = walker.next()) {
+    result.payloads.emplace_back(payload->begin(), payload->end());
   }
+  result.corrupt_frames = walker.corrupt_frames();
+  result.resync_bytes = walker.resync_bytes();
   return result;
 }
 

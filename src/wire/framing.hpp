@@ -20,6 +20,28 @@ inline constexpr std::uint8_t kFrameMagic1 = 0x5C;
 /// Appends one framed payload to `stream`.
 void append_frame(std::vector<std::uint8_t>& stream, std::span<const std::uint8_t> payload);
 
+/// Zero-copy frame iterator: walks the stream and yields a span per frame
+/// whose CRC verifies, with the same resynchronization and corruption
+/// accounting as decode_stream (which is built on it). The spans alias the
+/// input buffer — the backend parses reports straight out of the polled
+/// frame instead of copying every payload first.
+class FrameWalker {
+ public:
+  explicit FrameWalker(std::span<const std::uint8_t> stream) : stream_(stream) {}
+
+  /// Next CRC-clean payload, or nullopt at end of stream.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> next();
+
+  [[nodiscard]] std::size_t corrupt_frames() const { return corrupt_frames_; }
+  [[nodiscard]] std::size_t resync_bytes() const { return resync_bytes_; }
+
+ private:
+  std::span<const std::uint8_t> stream_;
+  std::size_t pos_ = 0;
+  std::size_t corrupt_frames_ = 0;
+  std::size_t resync_bytes_ = 0;
+};
+
 struct StreamDecodeResult {
   std::vector<std::vector<std::uint8_t>> payloads;
   std::size_t corrupt_frames = 0;   // bad CRC

@@ -17,6 +17,8 @@
 
 namespace wlm::wire {
 
+class Encoder;
+
 /// Per-client, per-application byte counters since the previous poll.
 struct ClientUsage {
   MacAddress client;
@@ -94,6 +96,11 @@ struct ApReport {
 
 /// Serializes a report to wire bytes.
 [[nodiscard]] std::vector<std::uint8_t> encode_report(const ApReport& report);
+
+/// Serializes into a caller-owned encoder (cleared first). Hot paths reuse
+/// one encoder across reports so the buffer capacity survives; the bytes
+/// are identical to encode_report's.
+void encode_report_into(const ApReport& report, Encoder& e);
 
 /// Parses wire bytes; nullopt on malformed input. Unknown fields are skipped.
 [[nodiscard]] std::optional<ApReport> decode_report(std::span<const std::uint8_t> data);

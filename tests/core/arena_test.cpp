@@ -1,0 +1,96 @@
+// Bump-arena semantics: alignment, growth, wholesale reset with chunk
+// recycling, and the std-allocator adapter (see DESIGN.md §4f lifetime
+// rules — memory is valid until reset(), deallocate() is a no-op).
+#include "core/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace wlm::core {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  auto* a = static_cast<std::uint8_t*>(arena.allocate(10, 1));
+  auto* b = static_cast<std::uint8_t*>(arena.allocate(16, 8));
+  auto* c = static_cast<std::uint8_t*>(arena.allocate(1, 64));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  // Write patterns and confirm no overlap clobbers them.
+  std::memset(a, 0xAA, 10);
+  std::memset(b, 0xBB, 16);
+  std::memset(c, 0xCC, 1);
+  EXPECT_EQ(a[0], 0xAA);
+  EXPECT_EQ(a[9], 0xAA);
+  EXPECT_EQ(b[0], 0xBB);
+  EXPECT_EQ(b[15], 0xBB);
+  EXPECT_EQ(c[0], 0xCC);
+  EXPECT_EQ(arena.bytes_served(), 27u);
+}
+
+TEST(Arena, GrowsBeyondInitialChunk) {
+  Arena arena(64);
+  // Far more than one chunk's worth; every allocation must still be usable.
+  for (int i = 0; i < 100; ++i) {
+    auto* p = static_cast<std::uint8_t*>(arena.allocate(40));
+    std::memset(p, static_cast<int>(i & 0xFF), 40);
+    EXPECT_EQ(p[39], static_cast<std::uint8_t>(i & 0xFF));
+  }
+  EXPECT_GE(arena.capacity(), 100u * 40u);
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  auto* p = arena.allocate(10'000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, 10'000);
+  EXPECT_GE(arena.capacity(), 10'000u);
+}
+
+TEST(Arena, ResetRecyclesLargestChunk) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) (void)arena.allocate(100);
+  const std::size_t grown_capacity = arena.capacity();
+  arena.reset();
+  EXPECT_EQ(arena.resets(), 1u);
+  // Reset keeps only the newest (largest) chunk — capacity shrinks to it,
+  // but stays big enough that a steady-state window re-runs allocation-free.
+  EXPECT_LE(arena.capacity(), grown_capacity);
+  EXPECT_GT(arena.capacity(), 0u);
+  const std::size_t kept = arena.capacity();
+  // A same-sized second window must run entirely inside the kept chunk.
+  std::size_t burst = 0;
+  while (burst + 100 <= kept) {
+    (void)arena.allocate(100, 1);
+    burst += 100;
+  }
+  EXPECT_EQ(arena.capacity(), kept);
+}
+
+TEST(Arena, ArenaVectorUsesArenaMemory) {
+  Arena arena(1024);
+  const std::uint64_t before = arena.bytes_served();
+  ArenaVector<int> v{ArenaAllocator<int>(arena)};
+  v.reserve(100);
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_GT(arena.bytes_served(), before);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(v[i], i);
+  // Lifetime rule: containers are destroyed/cleared before reset().
+  v = ArenaVector<int>{ArenaAllocator<int>(arena)};
+  arena.reset();
+}
+
+TEST(Arena, AllocatorEqualityFollowsArenaIdentity) {
+  Arena a(64);
+  Arena b(64);
+  EXPECT_TRUE(ArenaAllocator<int>(a) == ArenaAllocator<int>(a));
+  EXPECT_FALSE(ArenaAllocator<int>(a) == ArenaAllocator<int>(b));
+  // Rebinding (e.g. int -> long) keeps pointing at the same arena.
+  const ArenaAllocator<long> rebound{ArenaAllocator<int>(a)};
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+}  // namespace
+}  // namespace wlm::core

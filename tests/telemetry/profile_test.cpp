@@ -64,5 +64,38 @@ TEST(GlobalProfiler, IsASingleton) {
   EXPECT_EQ(&global_profiler(), &global_profiler());
 }
 
+TEST(GlobalProfiler, ResetDropsAccumulatedPhasesButKeepsTheSingleton) {
+  // The leak fix: bench reps call reset_global_profiler() between runs so
+  // one rep's phases never bleed into the next BENCH_*.json record. The
+  // object itself must survive (static-duration Timers record into it from
+  // destructors).
+  auto& profiler = global_profiler();
+  profiler.record("stale_phase", 1.25);
+  ASSERT_FALSE(profiler.phases().empty());
+  reset_global_profiler();
+  EXPECT_TRUE(global_profiler().phases().empty());
+  EXPECT_EQ(&global_profiler(), &profiler);
+  // Still usable after the reset.
+  global_profiler().record("fresh_phase", 0.5);
+  const auto phases = global_profiler().phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].first, "fresh_phase");
+  reset_global_profiler();
+}
+
+TEST(WorkTally, AccumulatesAndResets) {
+  auto& tally = work_tally();
+  tally.reset();
+  tally.fragments.fetch_add(250, std::memory_order_relaxed);
+  tally.fragments.fetch_add(1, std::memory_order_relaxed);
+  tally.frames.fetch_add(42, std::memory_order_relaxed);
+  EXPECT_EQ(tally.fragments.load(), 251u);
+  EXPECT_EQ(tally.frames.load(), 42u);
+  tally.reset();
+  EXPECT_EQ(tally.fragments.load(), 0u);
+  EXPECT_EQ(tally.frames.load(), 0u);
+  EXPECT_EQ(&work_tally(), &tally);
+}
+
 }  // namespace
 }  // namespace wlm::telemetry

@@ -82,5 +82,36 @@ TEST(FlowGen, DnsPacketsAreWellFormedWhenPresent) {
   }
 }
 
+TEST(FlowGen, MakeFlowIntoMatchesByValueAcrossReusedSlot) {
+  // Two same-seeded generators must stay in lockstep when one produces
+  // flows by value and the other writes into a single reused slot — same
+  // bytes, same ports, same RNG sequence, no stale state from the previous
+  // (possibly larger) flow in the slot.
+  FlowGenerator by_value{Rng{0xF10}};
+  FlowGenerator into{Rng{0xF10}};
+  GeneratedFlow slot;
+  const AppId apps[] = {AppId::kNetflix, AppId::kMiscWeb, AppId::kBitTorrent,
+                        AppId::kUdp, AppId::kGmail, AppId::kMiscSecureWeb};
+  const classify::OsType oses[] = {classify::OsType::kWindows, classify::OsType::kAppleIos,
+                                   classify::OsType::kAndroid};
+  for (int i = 0; i < 300; ++i) {
+    const AppId app = apps[static_cast<std::size_t>(i) % std::size(apps)];
+    const auto os = oses[static_cast<std::size_t>(i) % std::size(oses)];
+    const auto expected =
+        by_value.make_flow(app, os, static_cast<std::uint64_t>(i) * 11, 1000 + i);
+    into.make_flow_into(app, os, static_cast<std::uint64_t>(i) * 11, 1000 + i, slot);
+    ASSERT_EQ(slot.sample.transport, expected.sample.transport) << i;
+    ASSERT_EQ(slot.sample.dst_port, expected.sample.dst_port) << i;
+    ASSERT_EQ(slot.sample.dns_packet, expected.sample.dns_packet) << i;
+    ASSERT_EQ(slot.sample.first_payload, expected.sample.first_payload) << i;
+    ASSERT_EQ(slot.truth, expected.truth) << i;
+    ASSERT_EQ(slot.upstream_bytes, expected.upstream_bytes) << i;
+    ASSERT_EQ(slot.downstream_bytes, expected.downstream_bytes) << i;
+    ASSERT_EQ(slot.src_port, expected.src_port) << i;
+    ASSERT_EQ(slot.dst_host, expected.dst_host) << i;
+    ASSERT_EQ(slot.fragments, expected.fragments) << i;
+  }
+}
+
 }  // namespace
 }  // namespace wlm::traffic

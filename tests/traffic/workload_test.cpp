@@ -115,5 +115,37 @@ TEST(Workload, EveryDeviceGetsSomething) {
   }
 }
 
+TEST(Workload, GenerateWeekIntoMatchesByValueAcrossReusedSlot) {
+  // The out-param overload reuses usage/flow slots across devices; it must
+  // stay in RNG lockstep with the by-value original and trim stale flows
+  // when the next device generates fewer.
+  WorkloadModel by_value(deploy::Epoch::kJan2015, Rng{23});
+  WorkloadModel into(deploy::Epoch::kJan2015, Rng{23});
+  DeviceWeek slot;
+  const OsType oses[] = {OsType::kWindows, OsType::kAppleIos, OsType::kAndroid,
+                         OsType::kMacOsX, OsType::kBlackberry};
+  for (int i = 0; i < 200; ++i) {
+    const auto dev = device_with(oses[static_cast<std::size_t>(i) % std::size(oses)],
+                                 static_cast<std::uint32_t>(i + 1));
+    const auto expected = by_value.generate_week(dev);
+    into.generate_week(dev, slot);
+    ASSERT_EQ(slot.usages.size(), expected.usages.size()) << i;
+    for (std::size_t u = 0; u < expected.usages.size(); ++u) {
+      ASSERT_EQ(slot.usages[u].app, expected.usages[u].app) << i;
+      ASSERT_EQ(slot.usages[u].upstream_bytes, expected.usages[u].upstream_bytes) << i;
+      ASSERT_EQ(slot.usages[u].downstream_bytes, expected.usages[u].downstream_bytes) << i;
+    }
+    ASSERT_EQ(slot.flows.size(), expected.flows.size()) << i;
+    for (std::size_t f = 0; f < expected.flows.size(); ++f) {
+      ASSERT_EQ(slot.flows[f].sample.dns_packet, expected.flows[f].sample.dns_packet) << i;
+      ASSERT_EQ(slot.flows[f].sample.first_payload, expected.flows[f].sample.first_payload)
+          << i;
+      ASSERT_EQ(slot.flows[f].truth, expected.flows[f].truth) << i;
+      ASSERT_EQ(slot.flows[f].fragments, expected.flows[f].fragments) << i;
+    }
+    ASSERT_EQ(slot.total_bytes(), expected.total_bytes()) << i;
+  }
+}
+
 }  // namespace
 }  // namespace wlm::traffic

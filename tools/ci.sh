@@ -41,28 +41,37 @@ bench_smoke() {
     exit 1
   fi
   if command -v python3 > /dev/null 2>&1; then
-    # Every line must parse as JSON, and at least one record (bench_fault_sweep
+    # Every line must parse as JSON; at least one record (bench_fault_sweep
     # also appends plain per-cell lines) must carry a non-empty
-    # telemetry.phases profile.
+    # telemetry.phases profile AND the throughput fields (the work tally is
+    # deterministic, so a zero fragments_frames_per_sec means the counters
+    # came unhooked, not that the machine was slow).
     python3 - "${json}" << 'EOF'
 import json, sys
-ok = False
+have_phases = have_throughput = False
 with open(sys.argv[1]) as f:
     for n, line in enumerate(f, 1):
         rec = json.loads(line)  # raises -> nonzero exit on malformed output
-        phases = rec.get("telemetry", {}).get("phases", [])
-        if phases:
-            ok = True
-if not ok:
+        if rec.get("telemetry", {}).get("phases", []):
+            have_phases = True
+        if rec.get("fragments_frames_per_sec", 0) > 0 and rec.get("peak_rss_bytes", 0) > 0:
+            have_throughput = True
+if not have_phases:
     sys.exit("bench smoke: no record carries a telemetry.phases profile")
-print(f"bench smoke: {n} JSON lines, telemetry profile present")
+if not have_throughput:
+    sys.exit("bench smoke: no record carries fragments_frames_per_sec/peak_rss_bytes")
+print(f"bench smoke: {n} JSON lines, telemetry profile + throughput fields present")
 EOF
   else
     grep -q '"telemetry": {"phases":\[{' "${json}" || {
       echo "bench smoke: no telemetry.phases in ${json}" >&2
       exit 1
     }
-    echo "bench smoke: telemetry profile present (grep fallback)"
+    grep -q '"fragments_frames_per_sec": ' "${json}" || {
+      echo "bench smoke: no fragments_frames_per_sec in ${json}" >&2
+      exit 1
+    }
+    echo "bench smoke: telemetry profile + throughput fields present (grep fallback)"
   fi
 }
 bench_smoke
@@ -107,6 +116,42 @@ EOF
 }
 classify_smoke
 
+# PER-table smoke: run the SINR->PER contrast at a reduced stream size and
+# require identical frame-error decisions (bench_perf_micro exits nonzero on
+# a mismatch) plus a >= 2x table-over-scalar throughput floor. The floor is
+# deliberately below the typical 5-10x so scheduler noise can't flake the
+# lane while a real regression (table silently falling back to the scalar
+# path) still trips it.
+per_smoke() {
+  local json="build/BENCH_per_smoke.json"
+  rm -f "${json}"
+  echo "=== PER table smoke ==="
+  WLM_PER_BENCH_EVALS=300000 WLM_PER_BENCH_JSON="${json}" \
+    WLM_CLASSIFY_BENCH_FLOWS=2000 WLM_CLASSIFY_BENCH_JSON=/dev/null \
+    ./build/bench/bench_perf_micro --benchmark_filter='^$' > /dev/null
+  if [[ ! -s "${json}" ]]; then
+    echo "per smoke: ${json} missing or empty" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "${json}" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rec = json.loads(f.readline())
+if rec["speedup"] < 2.0:
+    sys.exit(f"per smoke: table speedup {rec['speedup']} below the 2x floor")
+print(f"per smoke: {rec['speedup']}x over the scalar oracle, decisions identical")
+EOF
+  else
+    grep -q '"speedup"' "${json}" || {
+      echo "per smoke: no speedup field in ${json}" >&2
+      exit 1
+    }
+    echo "per smoke: record present (grep fallback)"
+  fi
+}
+per_smoke
+
 # Checkpoint/resume smoke: kill a campaign at a phase boundary, resume it in
 # a new process at a different --jobs, and require byte-identical stdout and
 # metrics versus the run that never stopped (the tier-1 e2e tests prove this
@@ -147,14 +192,15 @@ ckpt_smoke() {
 ckpt_smoke
 
 if [[ "${1:-}" != "--fast" ]]; then
-  # Sanitizer builds skip the `slow` label (fork-based e2e + golden replays):
-  # the instrumented binaries run those campaigns 5-20x slower, and the
-  # same code paths are already covered by the unlabeled ckpt/property tests.
+  # Sanitizer builds skip the `slow` and `perf` labels (fork-based e2e,
+  # golden replays, and the PER-mode fleet-identity gates): the instrumented
+  # binaries run those campaigns 5-20x slower, and the same code paths are
+  # already covered by the unlabeled ckpt/property/determinism tests.
   # The `classify` label (rule-engine differential + parser fuzz corpus) is
-  # NOT slow-labeled, so both sanitizer lanes sweep the mutated-packet
+  # NOT excluded, so both sanitizer lanes sweep the mutated-packet
   # corpus and the 100k-flow oracle diff on every run.
-  run_suite build-asan "-LE slow" -DWLM_SANITIZE=address
-  run_suite build-tsan "-LE slow" -DWLM_SANITIZE=thread
+  run_suite build-asan "-LE slow|perf" -DWLM_SANITIZE=address
+  run_suite build-tsan "-LE slow|perf" -DWLM_SANITIZE=thread
 fi
 
 echo "=== ci.sh: all suites green ==="

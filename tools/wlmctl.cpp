@@ -133,7 +133,31 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
     }
     config.classifier = *mode;
   }
+  if (const auto it = args.options.find("per-mode"); it != args.options.end()) {
+    const auto mode = phy::per_mode_from_name(it->second);
+    if (!mode) {
+      std::fprintf(stderr, "wlmctl: --per-mode expects reference|table, got '%s'\n",
+                   it->second.c_str());
+      return std::nullopt;
+    }
+    config.per_mode = *mode;
+  }
   return config;
+}
+
+/// Applies the shared --per-mode option to an experiment scale; returns
+/// false (with a diagnostic) on an unknown mode name.
+bool apply_per_mode(const Args& args, analysis::ScenarioScale& scale) {
+  const auto it = args.options.find("per-mode");
+  if (it == args.options.end()) return true;
+  const auto mode = phy::per_mode_from_name(it->second);
+  if (!mode) {
+    std::fprintf(stderr, "wlmctl: --per-mode expects reference|table, got '%s'\n",
+                 it->second.c_str());
+    return false;
+  }
+  scale.per_mode = *mode;
+  return true;
 }
 
 /// Writes `text` to `path`; returns false (with a diagnostic) on failure.
@@ -295,6 +319,7 @@ int cmd_report(const Args& args) {
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   scale.threads = args.get_int("jobs", 1);
   if (!validate_scale(args, scale.networks, scale.threads)) return 2;
+  if (!apply_per_mode(args, scale)) return 2;
   const std::string& what = args.positional[0];
 
   if (what == "table2") {
@@ -502,6 +527,7 @@ int cmd_export(const Args& args) {
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   scale.threads = args.get_int("jobs", 1);
   if (!validate_scale(args, scale.networks, scale.threads)) return 2;
+  if (!apply_per_mode(args, scale)) return 2;
   const std::string& dir = args.positional[0];
 
   std::vector<analysis::CsvDoc> docs;
@@ -543,7 +569,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: wlmctl <command> [options]\n"
                "  simulate  [--networks N] [--seed S] [--flap F] [--faults SPEC] [--jobs N]\n"
-               "            [--classifier reference|indexed]\n"
+               "            [--classifier reference|indexed] [--per-mode reference|table]\n"
                "            [--checkpoint-out FILE] [--checkpoint-every SIM_HOURS]\n"
                "            [--resume-from FILE] [--halt-after-phase PHASE]\n"
                "            [--metrics-out FILE]\n"
@@ -551,6 +577,7 @@ int usage() {
                "            replays only unfinished phases; its output is byte-identical\n"
                "            to an uninterrupted run at any --jobs\n"
                "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S] [--jobs N]\n"
+               "            [--per-mode reference|table]\n"
                "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
                "  export    <dir> [--networks N] [--seed S] [--jobs N]  write CSV data series\n"
