@@ -13,6 +13,7 @@
 // appends a record to $WLM_PER_BENCH_JSON (default ./BENCH_per.json);
 // $WLM_PER_BENCH_EVALS overrides that stream size.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
@@ -288,12 +289,21 @@ void emit_per_contrast() {
     std::fprintf(stderr, "bench_per: cannot open %s\n", path);
     std::exit(1);
   }
+  // Shared-schema fields (see bench_common print_header): this bench's unit
+  // of work is one frame-error decision, so the throughput field carries
+  // the fast (table) path's decision rate.
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const unsigned long long peak_rss_bytes =
+      static_cast<unsigned long long>(usage.ru_maxrss) * 1024ULL;
   std::fprintf(out,
                "{\"bench\": \"per_table\", \"evals\": %zu, "
                "\"reference_evals_per_s\": %.0f, \"table_evals_per_s\": %.0f, "
-               "\"speedup\": %.2f, \"frame_errors\": %llu}\n",
+               "\"speedup\": %.2f, \"frame_errors\": %llu, "
+               "\"fragments_frames_per_sec\": %.1f, \"peak_rss_bytes\": %llu}\n",
                n, eps_ref, eps_tab, eps_tab / eps_ref,
-               static_cast<unsigned long long>(errors_tab));
+               static_cast<unsigned long long>(errors_tab), eps_tab,
+               peak_rss_bytes);
   std::fclose(out);
 
   std::printf("per table: %zu guarded draws, decisions identical\n", n);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "failsafe/failpoint.hpp"
 #include "telemetry/profile.hpp"
 #include "wire/encoder.hpp"
 #include "wire/framing.hpp"
@@ -22,6 +23,9 @@ void Poller::bind_telemetry(telemetry::MetricsRegistry* metrics,
 }
 
 void Poller::poll_all(std::size_t per_tunnel_budget, bool ignore_backoff) {
+  // Supervision trigger site: a poll cycle is where a real collector talks
+  // to the outside world, so it is where injected crashes/stalls land.
+  failsafe::failpoint("poller.poll");
   std::uint64_t cycle_frames = 0;
   for (std::size_t i = 0; i < tunnels_.size(); ++i) {
     Tunnel* tunnel = tunnels_[i];

@@ -1,83 +1,16 @@
 #include "ckpt/campaign.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "ckpt/state.hpp"
+#include "failsafe/failpoint.hpp"
 
 namespace wlm::ckpt {
 
 namespace {
-
-void save_shard(Buf& b, sim::NetworkShard& shard) {
-  b.u64(shard.id().value());
-  save_rng(b, shard.rng().state());
-  save_rng(b, shard.fault_rng().state());
-  save_injector(b, shard.injector());
-  b.u64(shard.aps().size());
-  for (auto& ap : shard.aps()) {
-    b.u64(ap.id().value());
-    save_tunnel(b, ap.tunnel());
-  }
-  b.u64(shard.links().size());
-  for (const auto& link : shard.links()) save_link(b, link.state());
-  save_store(b, shard.store());
-  save_poller(b, shard.poller());
-  save_metrics(b, shard.metrics());
-  save_recorder(b, shard.recorder());
-  b.u64(shard.flows_classified());
-  b.u64(shard.flows_misclassified());
-  save_classifier(b, shard.classifier());
-}
-
-/// Overlays one shard section. `c` latches on structural damage
-/// (kMalformed); a false return with an ok cursor means the section is
-/// well-formed but contradicts the rebuilt world (kBadConfig).
-bool load_shard(Cursor& c, sim::NetworkShard& shard) {
-  const std::uint64_t net_id = c.u64();
-  if (!c.ok()) return false;
-  if (net_id != shard.id().value()) return false;
-
-  Rng::State rng_state;
-  Rng::State fault_rng_state;
-  if (!load_rng(c, rng_state) || !load_rng(c, fault_rng_state)) return false;
-  shard.rng().restore(rng_state);
-  shard.fault_rng().restore(fault_rng_state);
-
-  if (!load_injector(c, shard.injector())) return false;
-
-  const std::uint64_t ap_count = c.u64();
-  if (!c.ok()) return false;
-  if (ap_count != shard.aps().size()) return false;
-  for (auto& ap : shard.aps()) {
-    const std::uint64_t ap_id = c.u64();
-    if (!c.ok()) return false;
-    if (ap_id != ap.id().value()) return false;
-    if (!load_tunnel(c, ap.tunnel())) return false;
-  }
-
-  const std::uint64_t link_count = c.u64();
-  if (!c.ok()) return false;
-  if (link_count != shard.links().size()) return false;
-  for (auto& link : shard.links()) {
-    sim::MeshLink::State state;
-    if (!load_link(c, state)) return false;
-    link.restore(state);
-  }
-
-  if (!load_store(c, shard.store())) return false;
-  if (!load_poller(c, shard.poller())) return false;
-  if (!load_metrics(c, shard.metrics())) return false;
-  if (!load_recorder(c, shard.recorder())) return false;
-
-  const std::uint64_t classified = c.u64();
-  const std::uint64_t misclassified = c.u64();
-  if (!c.ok()) return false;
-  if (!load_classifier(c, shard.classifier())) return false;
-  if (!c.at_end()) return false;  // trailing bytes are corruption too
-  shard.restore_flow_counters(classified, misclassified);
-  return true;
-}
 
 Error section_error(const Cursor& c, const std::string& what) {
   // The cursor separates "bytes are broken" from "bytes disagree with the
@@ -118,15 +51,24 @@ std::vector<std::uint8_t> save_campaign(sim::FleetRunner& runner,
   // the container bytes are byte-identical for any --jobs.
   for (const auto& shard : runner.shards()) {
     Buf b;
-    save_shard(b, *shard);
+    save_shard_state(b, *shard);
     w.add_section(SectionTag::kShard, b.take());
   }
+
+  // The supervision manifest rides in every checkpoint (usually empty): a
+  // resumed degraded run must keep its incident history and quarantine set.
+  Buf supervision;
+  save_manifest(supervision, runner.supervisor().manifest());
+  w.add_section(SectionTag::kSupervision, supervision.take());
 
   return w.finish();
 }
 
 Error save_campaign_file(const std::string& path, sim::FleetRunner& runner,
                          const CampaignProgress& progress) {
+  if (failsafe::failpoint_fails("ckpt.save.write")) {
+    return {Status::kIo, "injected failpoint: ckpt.save.write"};
+  }
   const auto bytes = save_campaign(runner, progress);
   // Atomic like Writer::write_file: a crash mid-write must never leave a
   // half-checkpoint where a resume would find it.
@@ -174,7 +116,7 @@ Error restore_campaign(std::span<const std::uint8_t> bytes, int threads,
   }
   for (std::size_t i = 0; i < shard_sections.size(); ++i) {
     Cursor c(shard_sections[i]);
-    if (!load_shard(c, *runner->shards()[i])) {
+    if (!load_shard_state(c, *runner->shards()[i])) {
       return section_error(c, "shard " + std::to_string(i));
     }
   }
@@ -197,6 +139,20 @@ Error restore_campaign(std::span<const std::uint8_t> bytes, int threads,
     runner->trace() = std::move(spans);
   } else {
     return {Status::kMalformed, "missing fleet telemetry section"};
+  }
+
+  // Supervision restores BEFORE the meta ledger cross-check: the fleet
+  // ledger folds quarantined shards into lost_supervision, so the
+  // quarantine set must be in place for the cross-check to balance.
+  if (const auto payload = reader.find(SectionTag::kSupervision)) {
+    Cursor c(*payload);
+    failsafe::DegradedRunManifest manifest;
+    if (!load_manifest(c, manifest) || !c.at_end()) {
+      return section_error(c, "supervision manifest");
+    }
+    runner->restore_supervision(std::move(manifest));
+  } else {
+    return {Status::kMalformed, "missing supervision section"};
   }
 
   CampaignProgress progress;
@@ -233,7 +189,9 @@ Error restore_campaign(std::span<const std::uint8_t> bytes, int threads,
 
 Error restore_campaign_file(const std::string& path, int threads, RestoredCampaign& out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return {Status::kIo, "cannot open " + path};
+  if (f == nullptr) {
+    return {Status::kIo, "cannot open " + path + ": " + std::strerror(errno)};
+  }
   std::vector<std::uint8_t> bytes;
   std::uint8_t chunk[65536];
   std::size_t n = 0;

@@ -59,12 +59,16 @@ enum class SectionTag : std::uint64_t {
   kFleetStore = 3,      // merged backend store (post-harvest state)
   kFleetTelemetry = 4,  // merged metrics + trace + sim-hours
   kShard = 5,           // repeated, one per network, fleet order
+  kSupervision = 6,     // degraded-run manifest (supervision incidents)
 };
 
 // Version 2: shard sections carry the two-tier classifier (verdict cache
 // contents + slow-path counter) and the config section carries the
-// classifier mode and cache capacity. Version-1 files fail kBadVersion.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// classifier mode and cache capacity. Version 3: the ledger carries the
+// lost_supervision bucket, the config section carries the supervision
+// knobs, and a kSupervision section serializes the degraded-run manifest.
+// Older versions fail kBadVersion.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Append-only payload builder. Scalars are varints (zigzag for signed),
 /// doubles are 8-byte LE bit patterns (exact round-trip, no printf loss),

@@ -1,6 +1,7 @@
 #include "ckpt/state.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <utility>
@@ -498,6 +499,7 @@ void save_ledger(Buf& b, const fault::LossLedger& ledger) {
   b.u64(ledger.lost_reboot);
   b.u64(ledger.lost_corruption);
   b.u64(ledger.in_flight);
+  b.u64(ledger.lost_supervision);
 }
 
 bool load_ledger(Cursor& c, fault::LossLedger& out) {
@@ -508,6 +510,7 @@ bool load_ledger(Cursor& c, fault::LossLedger& out) {
   l.lost_reboot = c.u64();
   l.lost_corruption = c.u64();
   l.in_flight = c.u64();
+  l.lost_supervision = c.u64();
   if (!c.ok()) return false;
   out = l;
   return true;
@@ -737,7 +740,7 @@ bool load_spans(Cursor& c, std::vector<telemetry::TraceSpan>& out) {
   for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
     telemetry::TraceSpan s;
     const std::uint64_t kind = c.u64();
-    if (kind > static_cast<std::uint64_t>(telemetry::SpanKind::kQuarantine)) c.fail();
+    if (kind > static_cast<std::uint64_t>(telemetry::SpanKind::kShardQuarantine)) c.fail();
     s.kind = static_cast<telemetry::SpanKind>(kind);
     s.entity = c.u64();
     s.start_us = c.i64();
@@ -845,6 +848,10 @@ void save_world_config(Buf& b, const sim::WorldConfig& config) {
   save_fault_spec(b, config.faults);
   b.u64(static_cast<std::uint64_t>(config.classifier));
   b.u64(config.verdict_cache_capacity);
+  b.u64(config.supervision.max_shard_retries);
+  b.f64(config.supervision.shard_deadline_hours);
+  b.f64(config.supervision.retry_backoff_hours);
+  b.boolean(config.supervision.capture_checkpoints);
 }
 
 bool load_world_config(Cursor& c, sim::WorldConfig& out) {
@@ -878,8 +885,148 @@ bool load_world_config(Cursor& c, sim::WorldConfig& out) {
   // A corrupted capacity must not balloon the rebuilt caches.
   if (capacity < 1 || capacity > 100'000'000) c.fail();
   cfg.verdict_cache_capacity = static_cast<std::size_t>(capacity);
+  cfg.supervision.max_shard_retries = c.u64();
+  // Each retry can serialize + restore a whole shard; an absurd count is
+  // corruption, not a scenario.
+  if (cfg.supervision.max_shard_retries > 1000) c.fail();
+  cfg.supervision.shard_deadline_hours = c.f64();
+  if (!(cfg.supervision.shard_deadline_hours >= 0.0) ||
+      std::isinf(cfg.supervision.shard_deadline_hours)) {
+    c.fail();
+  }
+  cfg.supervision.retry_backoff_hours = c.f64();
+  if (!(cfg.supervision.retry_backoff_hours >= 0.0) ||
+      std::isinf(cfg.supervision.retry_backoff_hours)) {
+    c.fail();
+  }
+  cfg.supervision.capture_checkpoints = c.boolean();
   if (!c.ok()) return false;
   out = cfg;
+  return true;
+}
+
+// --- one shard's full mutable state ---
+//
+// The campaign container's kShard sections and the supervision layer's
+// retry snapshots are the same byte sequence: a supervised retry is a
+// checkpoint restore scoped to one shard.
+
+void save_shard_state(Buf& b, sim::NetworkShard& shard) {
+  b.u64(shard.id().value());
+  save_rng(b, shard.rng().state());
+  save_rng(b, shard.fault_rng().state());
+  save_injector(b, shard.injector());
+  b.u64(shard.aps().size());
+  for (auto& ap : shard.aps()) {
+    b.u64(ap.id().value());
+    save_tunnel(b, ap.tunnel());
+  }
+  b.u64(shard.links().size());
+  for (const auto& link : shard.links()) save_link(b, link.state());
+  save_store(b, shard.store());
+  save_poller(b, shard.poller());
+  save_metrics(b, shard.metrics());
+  save_recorder(b, shard.recorder());
+  b.u64(shard.flows_classified());
+  b.u64(shard.flows_misclassified());
+  save_classifier(b, shard.classifier());
+}
+
+bool load_shard_state(Cursor& c, sim::NetworkShard& shard) {
+  const std::uint64_t net_id = c.u64();
+  if (!c.ok()) return false;
+  if (net_id != shard.id().value()) return false;
+
+  Rng::State rng_state;
+  Rng::State fault_rng_state;
+  if (!load_rng(c, rng_state) || !load_rng(c, fault_rng_state)) return false;
+  shard.rng().restore(rng_state);
+  shard.fault_rng().restore(fault_rng_state);
+
+  if (!load_injector(c, shard.injector())) return false;
+
+  const std::uint64_t ap_count = c.u64();
+  if (!c.ok()) return false;
+  if (ap_count != shard.aps().size()) return false;
+  for (auto& ap : shard.aps()) {
+    const std::uint64_t ap_id = c.u64();
+    if (!c.ok()) return false;
+    if (ap_id != ap.id().value()) return false;
+    if (!load_tunnel(c, ap.tunnel())) return false;
+  }
+
+  const std::uint64_t link_count = c.u64();
+  if (!c.ok()) return false;
+  if (link_count != shard.links().size()) return false;
+  for (auto& link : shard.links()) {
+    sim::MeshLink::State state;
+    if (!load_link(c, state)) return false;
+    link.restore(state);
+  }
+
+  // Store and metrics loads overlay (add/inc) into their target, which is
+  // exact only on a fresh shard. A supervised retry restores into a shard
+  // that already ran part of a phase, so wipe both first: a restore is an
+  // overwrite, never an accumulation.
+  shard.store() = backend::ReportStore{};
+  shard.metrics().clear();
+  if (!load_store(c, shard.store())) return false;
+  if (!load_poller(c, shard.poller())) return false;
+  if (!load_metrics(c, shard.metrics())) return false;
+  if (!load_recorder(c, shard.recorder())) return false;
+
+  const std::uint64_t classified = c.u64();
+  const std::uint64_t misclassified = c.u64();
+  if (!c.ok()) return false;
+  if (!load_classifier(c, shard.classifier())) return false;
+  if (!c.at_end()) return false;  // trailing bytes are corruption too
+  shard.restore_flow_counters(classified, misclassified);
+  return true;
+}
+
+// --- degraded-run manifest ---
+
+void save_manifest(Buf& b, const failsafe::DegradedRunManifest& manifest) {
+  b.u64(manifest.incidents.size());
+  for (const auto& inc : manifest.incidents) {
+    b.u64(inc.network);
+    b.str(inc.phase);
+    b.str(inc.error);
+    b.i64(inc.sim_us);
+    b.u64(inc.failures);
+    b.u64(inc.retries);
+    b.f64(inc.backoff_hours);
+    b.u64(static_cast<std::uint64_t>(inc.outcome));
+    save_ledger(b, inc.ledger);
+  }
+}
+
+bool load_manifest(Cursor& c, failsafe::DegradedRunManifest& out) {
+  const std::uint64_t n = c.u64();
+  if (!c.ok() || !plausible_count(c, n, 10)) return false;
+  failsafe::DegradedRunManifest manifest;
+  manifest.incidents.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
+    failsafe::ShardIncident inc;
+    inc.network = c.u64();
+    inc.phase = c.str();
+    inc.error = c.str();
+    inc.sim_us = c.i64();
+    inc.failures = c.u64();
+    inc.retries = c.u64();
+    inc.backoff_hours = c.f64();
+    if (!(inc.backoff_hours >= 0.0) || std::isinf(inc.backoff_hours)) c.fail();
+    const std::uint64_t outcome = c.u64();
+    if (outcome > static_cast<std::uint64_t>(failsafe::IncidentOutcome::kQuarantined)) {
+      c.fail();
+    }
+    inc.outcome = static_cast<failsafe::IncidentOutcome>(outcome);
+    if (inc.failures == 0) c.fail();  // an incident without a failure is corruption
+    if (!load_ledger(c, inc.ledger)) return false;
+    if (c.ok()) manifest.incidents.push_back(std::move(inc));
+  }
+  if (!c.ok()) return false;
+  out = std::move(manifest);
   return true;
 }
 

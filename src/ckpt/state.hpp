@@ -30,6 +30,7 @@
 #include "backend/tunnel.hpp"
 #include "ckpt/container.hpp"
 #include "core/rng.hpp"
+#include "failsafe/supervisor.hpp"
 #include "fault/injector.hpp"
 #include "fault/loss_ledger.hpp"
 #include "fault/spec.hpp"
@@ -109,5 +110,17 @@ void save_classifier(Buf& b, const classify::TwoTierClassifier& classifier);
 // `threads` is a runtime choice and is NOT serialized) ---
 void save_world_config(Buf& b, const sim::WorldConfig& config);
 [[nodiscard]] bool load_world_config(Cursor& c, sim::WorldConfig& out);
+
+// --- one shard's full mutable state: the campaign container's kShard
+// payload, and (the same bytes) the supervision layer's retry snapshots.
+// load validates structure against the rebuilt shard and applies
+// all-or-nothing like every other pair. ---
+void save_shard_state(Buf& b, sim::NetworkShard& shard);
+[[nodiscard]] bool load_shard_state(Cursor& c, sim::NetworkShard& shard);
+
+// --- degraded-run manifest (supervision incidents; quarantine state is
+// rebuilt from the kQuarantined entries on restore) ---
+void save_manifest(Buf& b, const failsafe::DegradedRunManifest& manifest);
+[[nodiscard]] bool load_manifest(Cursor& c, failsafe::DegradedRunManifest& out);
 
 }  // namespace wlm::ckpt

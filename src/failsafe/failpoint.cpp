@@ -1,0 +1,267 @@
+#include "failsafe/failpoint.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+namespace wlm::failsafe {
+
+namespace {
+
+std::string describe(std::string_view site, std::uint64_t entity) {
+  std::string out = "failpoint '";
+  out += site;
+  out += "' fired (entity ";
+  out += std::to_string(entity);
+  out += ")";
+  return out;
+}
+
+/// Strict double parse, same contract as fault::FaultSpec's.
+std::optional<double> parse_double(std::string_view text) {
+  const std::string s(text);
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  const auto v = parse_double(text);
+  if (!v || *v < 0.0 || *v != std::floor(*v) || *v > 1e15) return std::nullopt;
+  return static_cast<std::uint64_t>(*v);
+}
+
+/// FNV-1a over the site name: folds the site into the probabilistic
+/// schedule's substream id so two sites armed with the same seed draw
+/// independent sequences.
+std::uint64_t site_hash(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : site) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+thread_local ScopedShardContext* g_current_context = nullptr;
+
+}  // namespace
+
+FailpointError::FailpointError(std::string_view site, std::uint64_t entity)
+    : std::runtime_error(describe(site, entity)) {}
+
+WatchdogTimeout::WatchdogTimeout(std::uint64_t entity, double delay_hours,
+                                 double deadline_hours)
+    : std::runtime_error("watchdog: shard " + std::to_string(entity) + " stalled " +
+                         std::to_string(delay_hours) + " sim-hours (deadline " +
+                         std::to_string(deadline_hours) + ")") {}
+
+std::optional<std::vector<FailpointSpec>> FailpointSpec::parse_list(std::string_view text,
+                                                                    std::string* error) {
+  std::vector<FailpointSpec> specs;
+  auto fail = [&](const std::string& why) -> std::optional<std::vector<FailpointSpec>> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  std::size_t clause_pos = 0;
+  while (clause_pos <= text.size()) {
+    std::size_t semi = text.find(';', clause_pos);
+    if (semi == std::string_view::npos) semi = text.size();
+    const std::string_view clause = text.substr(clause_pos, semi - clause_pos);
+    clause_pos = semi + 1;
+    if (clause.empty()) continue;
+
+    FailpointSpec spec;
+    std::size_t pos = 0;
+    while (pos < clause.size()) {
+      std::size_t comma = clause.find(',', pos);
+      if (comma == std::string_view::npos) comma = clause.size();
+      const std::string_view pair = clause.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (pair.empty()) continue;
+
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        return fail("expected key=value, got '" + std::string(pair) + "'");
+      }
+      const std::string_view key = pair.substr(0, eq);
+      const std::string_view value = pair.substr(eq + 1);
+
+      if (key == "site") {
+        if (value.empty()) return fail("site must not be empty");
+        spec.site = std::string(value);
+      } else if (key == "net") {
+        const auto n = parse_u64(value);
+        if (!n) return fail("net must be a non-negative integer");
+        spec.entity = *n;
+        spec.any_entity = false;
+      } else if (key == "action") {
+        if (value == "throw") {
+          spec.action = FailAction::kThrow;
+        } else if (value == "error") {
+          spec.action = FailAction::kError;
+        } else if (value == "delay") {
+          spec.action = FailAction::kDelay;
+        } else if (value == "oom") {
+          spec.action = FailAction::kOom;
+        } else {
+          return fail("action must be throw|error|delay|oom, got '" + std::string(value) +
+                      "'");
+        }
+      } else if (key == "after") {
+        const auto n = parse_u64(value);
+        if (!n) return fail("after must be a non-negative integer");
+        spec.after = *n;
+      } else if (key == "times") {
+        const auto n = parse_u64(value);
+        if (!n) return fail("times must be a non-negative integer");
+        spec.times = *n;
+      } else if (key == "hours") {
+        const auto v = parse_double(value);
+        if (!v || std::isnan(*v) || std::isinf(*v) || *v < 0.0) {
+          return fail("hours must be a non-negative number");
+        }
+        spec.delay_hours = *v;
+      } else if (key == "prob") {
+        const auto v = parse_double(value);
+        if (!v || std::isnan(*v) || *v < 0.0 || *v > 1.0) {
+          return fail("prob must be a probability in [0,1]");
+        }
+        spec.probability = *v;
+      } else if (key == "seed") {
+        const auto n = parse_u64(value);
+        if (!n) return fail("seed must be a non-negative integer");
+        spec.seed = *n;
+      } else {
+        return fail("unknown failpoint key '" + std::string(key) +
+                    "' (known: site, net, action, after, times, hours, prob, seed)");
+      }
+    }
+    if (spec.site.empty()) return fail("every failpoint clause needs site=<name>");
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) return fail("empty failpoint spec: need at least one clause");
+  return specs;
+}
+
+void FailpointRegistry::arm(FailpointSpec spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(Armed{std::move(spec), {}, {}});
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+bool FailpointRegistry::arm_list(std::string_view text, std::string* error) {
+  auto specs = FailpointSpec::parse_list(text, error);
+  if (!specs) return false;
+  for (auto& spec : *specs) arm(std::move(spec));
+  return true;
+}
+
+void FailpointRegistry::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FailAction> FailpointRegistry::fire_locked(std::string_view site,
+                                                         std::uint64_t entity) {
+  std::optional<FailAction> fired;
+  for (auto& armed : specs_) {
+    if (armed.spec.site != site) continue;
+    if (!armed.spec.any_entity && armed.spec.entity != entity) continue;
+    // Every matching clause counts the hit (schedules stay independent);
+    // the first clause that fires decides the action.
+    const std::uint64_t idx = armed.hits[entity]++;
+    if (fired) continue;
+    if (idx < armed.spec.after) continue;
+    if (armed.spec.times != 0 && idx >= armed.spec.after + armed.spec.times) continue;
+    if (armed.spec.probability < 1.0) {
+      auto [it, inserted] = armed.rngs.try_emplace(
+          entity, Rng::substream(armed.spec.seed ^ site_hash(armed.spec.site), entity));
+      // One draw per eligible hit: the schedule is a fixed function of the
+      // hit index for this (clause, entity), independent of thread count.
+      if (!it->second.chance(armed.spec.probability)) continue;
+    }
+    fired = armed.spec.action;
+  }
+  return fired;
+}
+
+void FailpointRegistry::eval(std::string_view site, std::uint64_t entity) {
+  std::optional<FailAction> action;
+  double delay_hours = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    action = fire_locked(site, entity);
+    if (action == FailAction::kDelay) {
+      for (const auto& armed : specs_) {
+        if (armed.spec.site == site && armed.spec.action == FailAction::kDelay) {
+          delay_hours = armed.spec.delay_hours;
+          break;
+        }
+      }
+    }
+  }
+  if (!action) return;
+  switch (*action) {
+    case FailAction::kThrow:
+    case FailAction::kError:
+      // An injected error return still means failure at a throwing site.
+      throw FailpointError(site, entity);
+    case FailAction::kDelay:
+      ScopedShardContext::add_delay_hours(delay_hours);
+      return;
+    case FailAction::kOom:
+      throw std::bad_alloc();
+  }
+}
+
+bool FailpointRegistry::eval_fails(std::string_view site, std::uint64_t entity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fire_locked(site, entity).has_value();
+}
+
+std::uint64_t FailpointRegistry::hits(std::string_view site, std::uint64_t entity) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& armed : specs_) {
+    if (armed.spec.site != site) continue;
+    const auto it = armed.hits.find(entity);
+    if (it != armed.hits.end()) total = std::max(total, it->second);
+  }
+  return total;
+}
+
+FailpointRegistry& failpoints() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+ScopedShardContext::ScopedShardContext(std::uint64_t entity, double deadline_hours)
+    : prev_(g_current_context), entity_(entity), deadline_hours_(deadline_hours) {
+  g_current_context = this;
+}
+
+ScopedShardContext::~ScopedShardContext() { g_current_context = prev_; }
+
+std::uint64_t ScopedShardContext::current_entity() {
+  return g_current_context != nullptr ? g_current_context->entity_ : 0;
+}
+
+double ScopedShardContext::current_delay_hours() {
+  return g_current_context != nullptr ? g_current_context->delay_hours_ : 0.0;
+}
+
+void ScopedShardContext::add_delay_hours(double hours) {
+  ScopedShardContext* ctx = g_current_context;
+  if (ctx == nullptr) return;
+  ctx->delay_hours_ += hours;
+  if (ctx->deadline_hours_ > 0.0 && ctx->delay_hours_ > ctx->deadline_hours_) {
+    throw WatchdogTimeout(ctx->entity_, ctx->delay_hours_, ctx->deadline_hours_);
+  }
+}
+
+}  // namespace wlm::failsafe

@@ -11,20 +11,23 @@ LossLedger& LossLedger::merge(const LossLedger& other) {
   lost_reboot += other.lost_reboot;
   lost_corruption += other.lost_corruption;
   in_flight += other.in_flight;
+  lost_supervision += other.lost_supervision;
   return *this;
 }
 
 std::string LossLedger::render() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 "loss ledger: %llu generated = %llu delivered (%.1f%%) + %llu shed + "
-                "%llu lost-reboot + %llu lost-corruption + %llu in-flight [%s]",
+                "%llu lost-reboot + %llu lost-corruption + %llu in-flight + "
+                "%llu lost-supervision [%s]",
                 static_cast<unsigned long long>(generated),
                 static_cast<unsigned long long>(delivered), 100.0 * delivery_ratio(),
                 static_cast<unsigned long long>(shed),
                 static_cast<unsigned long long>(lost_reboot),
                 static_cast<unsigned long long>(lost_corruption),
                 static_cast<unsigned long long>(in_flight),
+                static_cast<unsigned long long>(lost_supervision),
                 conserved() ? "conserved" : "NOT CONSERVED");
   return buf;
 }

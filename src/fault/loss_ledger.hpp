@@ -4,10 +4,12 @@
 // delivered (decoded into the backend store), shed (dropped by the bounded
 // device-side queue), lost to a reboot (queue flushed by a power/OOM/firmware
 // restart), lost to wire corruption (framing CRC or message decode failure),
-// or still in flight (queued on a tunnel the backend has not drained yet).
-// The conservation invariant
+// still in flight (queued on a tunnel the backend has not drained yet), or
+// lost to supervision (the work of a shard the failsafe layer quarantined —
+// degradation accounted, never silent). The conservation invariant
 //
-//     generated == delivered + shed + lost_reboot + lost_corruption + in_flight
+//     generated == delivered + shed + lost_reboot + lost_corruption
+//                  + in_flight + lost_supervision
 //
 // is structural: each counter is derived from the tunnel and poller
 // statistics at the layer where the frame's fate is decided, so a violation
@@ -28,10 +30,11 @@ struct LossLedger {
   std::uint64_t lost_reboot = 0;      // queue flushed by an AP restart
   std::uint64_t lost_corruption = 0;  // framing CRC / message decode failure
   std::uint64_t in_flight = 0;        // still queued device-side
+  std::uint64_t lost_supervision = 0; // shard quarantined by the failsafe layer
 
   [[nodiscard]] std::uint64_t lost() const { return lost_reboot + lost_corruption; }
   [[nodiscard]] std::uint64_t accounted() const {
-    return delivered + shed + lost_reboot + lost_corruption + in_flight;
+    return delivered + shed + lost_reboot + lost_corruption + in_flight + lost_supervision;
   }
   [[nodiscard]] bool conserved() const { return generated == accounted(); }
   [[nodiscard]] double delivery_ratio() const {

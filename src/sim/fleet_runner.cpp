@@ -5,6 +5,12 @@
 #include <thread>
 #include <utility>
 
+// Deliberate layering exception (see src/sim/CMakeLists.txt): the
+// supervisor's retry snapshots are ckpt per-shard sections, and wiring the
+// serializers here keeps failsafe itself sim-independent.
+#include "ckpt/container.hpp"
+#include "ckpt/state.hpp"
+
 namespace wlm::sim {
 
 FleetRunner::FleetRunner(WorldConfig config)
@@ -56,6 +62,25 @@ FleetRunner::FleetRunner(WorldConfig config)
     }
     for (auto& link : shard->links()) link_ptrs_.push_back(&link);
   }
+
+  // Supervision hooks: retry snapshots are ckpt per-shard sections, so a
+  // supervised retry is a checkpoint restore scoped to one shard.
+  failsafe::ShardHooks hooks;
+  hooks.network_id = [this](std::size_t i) {
+    return static_cast<std::uint64_t>(shards_[i]->id().value());
+  };
+  hooks.snapshot = [this](std::size_t i) {
+    ckpt::Buf b;
+    ckpt::save_shard_state(b, *shards_[i]);
+    return b.take();
+  };
+  hooks.restore = [this](std::size_t i, const std::vector<std::uint8_t>& bytes) {
+    ckpt::Cursor c(bytes);
+    return ckpt::load_shard_state(c, *shards_[i]);
+  };
+  hooks.ledger = [this](std::size_t i) { return shards_[i]->loss_ledger(); };
+  supervisor_.configure(config_.supervision, shards_.size(), std::move(hooks));
+
   record_phase("build", build_watch.seconds());
 }
 
@@ -107,6 +132,15 @@ void FleetRunner::for_each_shard(const std::function<void(NetworkShard&)>& fn) {
   parallel_for(shards_.size(), [&](std::size_t i) { fn(*shards_[i]); });
 }
 
+void FleetRunner::run_supervised(const char* phase,
+                                 const std::function<void(NetworkShard&)>& fn) {
+  supervisor_.run_phase(
+      phase, sim_now_us(), [&](std::size_t i) { fn(*shards_[i]); },
+      [&](const std::function<void(std::size_t)>& body) {
+        parallel_for(shards_.size(), body);
+      });
+}
+
 ApRuntime* FleetRunner::find_ap(ApId id) {
   const auto it = ap_lookup_.find(id.value());
   return it == ap_lookup_.end() ? nullptr : it->second;
@@ -121,8 +155,8 @@ std::size_t FleetRunner::client_count() const {
 void FleetRunner::run_usage_week(int reports_per_week,
                                  const std::vector<traffic::UpdateSpike>& spikes) {
   const telemetry::Stopwatch watch;
-  for_each_shard(
-      [&](NetworkShard& shard) { shard.run_usage_week(reports_per_week, spikes); });
+  run_supervised("usage_week",
+                 [&](NetworkShard& shard) { shard.run_usage_week(reports_per_week, spikes); });
   record_phase("usage_week", watch.seconds());
   campaign_sim_hours_ += Duration::days(7).as_hours();
   notify_phase("usage_week");
@@ -130,28 +164,28 @@ void FleetRunner::run_usage_week(int reports_per_week,
 
 void FleetRunner::snapshot_clients(SimTime t) {
   const telemetry::Stopwatch watch;
-  for_each_shard([&](NetworkShard& shard) { shard.snapshot_clients(t); });
+  run_supervised("snapshot", [&](NetworkShard& shard) { shard.snapshot_clients(t); });
   record_phase("snapshot", watch.seconds());
   notify_phase("snapshot");
 }
 
 void FleetRunner::run_mr16_interference(SimTime t) {
   const telemetry::Stopwatch watch;
-  for_each_shard([&](NetworkShard& shard) { shard.run_mr16_interference(t); });
+  run_supervised("mr16", [&](NetworkShard& shard) { shard.run_mr16_interference(t); });
   record_phase("mr16", watch.seconds());
   notify_phase("mr16");
 }
 
 void FleetRunner::run_mr18_scan(SimTime t, double hour) {
   const telemetry::Stopwatch watch;
-  for_each_shard([&](NetworkShard& shard) { shard.run_mr18_scan(t, hour); });
+  run_supervised("mr18", [&](NetworkShard& shard) { shard.run_mr18_scan(t, hour); });
   record_phase("mr18", watch.seconds());
   notify_phase("mr18");
 }
 
 void FleetRunner::run_link_windows(SimTime t) {
   const telemetry::Stopwatch watch;
-  for_each_shard([&](NetworkShard& shard) { shard.run_link_windows(t); });
+  run_supervised("link_windows", [&](NetworkShard& shard) { shard.run_link_windows(t); });
   record_phase("link_windows", watch.seconds());
   notify_phase("link_windows");
 }
@@ -161,23 +195,50 @@ void FleetRunner::harvest(HarvestMode mode) {
   // store), then merge serially in fleet order: the global store's content
   // is then independent of worker scheduling.
   const telemetry::Stopwatch drain_watch;
-  for_each_shard([mode](NetworkShard& shard) { shard.harvest_local(mode); });
+  run_supervised("harvest_drain",
+                 [mode](NetworkShard& shard) { shard.harvest_local(mode); });
   record_phase("harvest_drain", drain_watch.seconds());
 
   const telemetry::Stopwatch merge_watch;
-  for (auto& shard : shards_) store_.merge(std::move(shard->store()));
+  const std::int64_t now_us = sim_now_us();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // guard_merge is false for quarantined shards (their work is accounted
+    // as lost_supervision, never merged) and for shards the harvest.merge
+    // failpoint just quarantined.
+    if (!supervisor_.guard_merge(i, now_us)) continue;
+    store_.merge(std::move(shards_[i]->store()));
+  }
 
   // Rebuild the merged telemetry from scratch each harvest: shard registries
   // and recorders are cumulative, so re-merging (not appending) keeps a
   // second harvest from double-counting. Fleet order, like the store merge,
-  // so the snapshot is bit-identical for any thread count.
+  // so the snapshot is bit-identical for any thread count. Quarantined
+  // shards are excluded — their surviving peers' series must be identical
+  // to a clean run's — and the supervisor then re-derives its own metrics
+  // and spans from the manifest (nothing, on a clean run).
   metrics_.clear();
   trace_.clear();
-  for (const auto& shard : shards_) {
-    metrics_.merge(shard->metrics());
-    const auto spans = shard->recorder().snapshot();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (supervisor_.quarantined(i)) continue;
+    metrics_.merge(shards_[i]->metrics());
+    const auto spans = shards_[i]->recorder().snapshot();
     trace_.insert(trace_.end(), spans.begin(), spans.end());
   }
+  // A quarantined shard still contributes its (reattributed) ledger view to
+  // the fleet ledger gauges, so `wlmctl stats` reconciliation keeps closing.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!supervisor_.quarantined(i)) continue;
+    const fault::LossLedger view =
+        failsafe::ShardSupervisor::quarantined_view(shards_[i]->loss_ledger());
+    metrics_.gauge("wlm_ledger_generated").add(static_cast<double>(view.generated));
+    metrics_.gauge("wlm_ledger_shed").add(static_cast<double>(view.shed));
+    metrics_.gauge("wlm_ledger_lost_reboot").add(static_cast<double>(view.lost_reboot));
+    metrics_.gauge("wlm_ledger_lost_corruption")
+        .add(static_cast<double>(view.lost_corruption));
+    metrics_.gauge("wlm_ledger_lost_supervision")
+        .add(static_cast<double>(view.lost_supervision));
+  }
+  supervisor_.publish(metrics_, trace_);
   metrics_.gauge("wlm_fleet_networks").set(static_cast<double>(shards_.size()));
   metrics_.gauge("wlm_fleet_aps").set(static_cast<double>(ap_ptrs_.size()));
   metrics_.gauge("wlm_fleet_clients").set(static_cast<double>(client_count()));
@@ -217,8 +278,17 @@ std::uint64_t FleetRunner::flows_misclassified() const {
 
 fault::LossLedger FleetRunner::loss_ledger() const {
   fault::LossLedger total;
-  for (const auto& shard : shards_) total.merge(shard->loss_ledger());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const fault::LossLedger shard_ledger = shards_[i]->loss_ledger();
+    total.merge(supervisor_.quarantined(i)
+                    ? failsafe::ShardSupervisor::quarantined_view(shard_ledger)
+                    : shard_ledger);
+  }
   return total;
+}
+
+void FleetRunner::restore_supervision(failsafe::DegradedRunManifest manifest) {
+  supervisor_.restore_manifest(std::move(manifest));
 }
 
 double FleetRunner::mean_report_bytes_per_ap() const {

@@ -22,6 +22,7 @@
 #include "backend/store.hpp"
 #include "core/ptr_span.hpp"
 #include "deploy/generator.hpp"
+#include "failsafe/supervisor.hpp"
 #include "sim/network_shard.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profile.hpp"
@@ -53,6 +54,11 @@ struct WorldConfig {
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;
+  /// Shard supervision knobs (retry budget, watchdog deadline, snapshot
+  /// capture). Defaults supervise without snapshots: a failing shard is
+  /// isolated and quarantined rather than retried. A clean campaign's
+  /// output is byte-identical whatever these are set to.
+  failsafe::SupervisorConfig supervision;
 };
 
 /// Delivery-ratio time series sample for one link (Figures 4/5).
@@ -127,8 +133,22 @@ class FleetRunner {
   /// the ~1 kbit/s overhead claim.
   [[nodiscard]] double mean_report_bytes_per_ap() const;
   /// Fleet-wide end-to-end loss accounting, summed over shards in fleet
-  /// order (see fault::LossLedger for the conservation invariant).
+  /// order (see fault::LossLedger for the conservation invariant). A
+  /// quarantined shard contributes its quarantined view: delivered and
+  /// in-flight work moves to lost_supervision, keeping the fleet invariant
+  /// closed while naming what supervision cost.
   [[nodiscard]] fault::LossLedger loss_ledger() const;
+
+  // --- supervision ---
+
+  /// The shard supervision layer: exception isolation, watchdog deadlines,
+  /// checkpoint-based retry, quarantine (see failsafe::ShardSupervisor).
+  /// Every campaign phase runs through it.
+  [[nodiscard]] const failsafe::ShardSupervisor& supervisor() const { return supervisor_; }
+  [[nodiscard]] failsafe::ShardSupervisor& supervisor() { return supervisor_; }
+  /// Checkpoint restore: adopt a saved degraded-run manifest and rebuild
+  /// the quarantine set from it.
+  void restore_supervision(failsafe::DegradedRunManifest manifest);
 
   // --- telemetry ---
 
@@ -174,12 +194,22 @@ class FleetRunner {
   telemetry::MetricsRegistry metrics_;
   std::vector<telemetry::TraceSpan> trace_;
   telemetry::PhaseProfiler profiler_;
+  failsafe::ShardSupervisor supervisor_;
   double campaign_sim_hours_ = 0.0;
 
   /// Runs `fn(i)` for every i in [0, count) on the worker pool (serial when
   /// threads <= 1). `fn` must confine itself to shard i's state.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
   void for_each_shard(const std::function<void(NetworkShard&)>& fn);
+  /// Campaign-phase dispatch under supervision: fans `fn` out across the
+  /// worker pool with per-shard exception isolation, then lets the
+  /// supervisor restore/retry/quarantine failed shards in fleet order.
+  void run_supervised(const char* phase, const std::function<void(NetworkShard&)>& fn);
+  /// Sim-time stamp for supervision incidents/spans: the campaign clock at
+  /// the current phase's start.
+  [[nodiscard]] std::int64_t sim_now_us() const {
+    return static_cast<std::int64_t>(campaign_sim_hours_ * 3.6e9);
+  }
   /// Records a wall-clock phase into this runner's profiler and the
   /// process-wide one (telemetry::global_profiler), which bench mains dump.
   void record_phase(const char* phase, double seconds);

@@ -6,6 +6,7 @@
 
 #include "classify/dhcp.hpp"
 #include "classify/oui.hpp"
+#include "failsafe/failpoint.hpp"
 #include "classify/user_agent.hpp"
 #include "mac/beacon_frame.hpp"
 #include "scan/scanner.hpp"
@@ -374,6 +375,10 @@ void NetworkShard::run_usage_week(int reports_per_week,
   };
 
   {
+  // Allocation-pressure site: arms as action=oom to model the arena build
+  // OOMing under a pathological week (the supervisor catches bad_alloc like
+  // any other shard failure).
+  failsafe::failpoint("shard.alloc");
   std::vector<RowColumns> rows_by_ap;
   rows_by_ap.reserve(aps_.size());
   for (std::size_t i = 0; i < aps_.size(); ++i) rows_by_ap.emplace_back(arena_);
@@ -460,6 +465,9 @@ void NetworkShard::run_usage_week(int reports_per_week,
   // reads the report (framing copies the bytes), so reuse is safe.
   wire::ApReport report;
   for (int r = 0; r < reports_per_week; ++r) {
+    // One hit per reporting period per shard: `after=N` in a failpoint
+    // schedule kills the shard exactly N report-periods into the week.
+    failsafe::failpoint("shard.step");
     const std::int64_t t_us =
         (Duration::days(7) / reports_per_week * r + Duration::hours(12)).as_micros();
     for (std::size_t ap_idx = 0; ap_idx < aps_.size(); ++ap_idx) {
@@ -678,6 +686,10 @@ void NetworkShard::publish_telemetry() {
   metrics_.gauge("wlm_ledger_lost_corruption")
       .set(static_cast<double>(ledger.lost_corruption));
   metrics_.gauge("wlm_ledger_in_flight").set(static_cast<double>(ledger.in_flight));
+  // Always 0 for a live shard (supervision loss exists only fleet-side, for
+  // quarantined shards); published so the key exists for reconciliation.
+  metrics_.gauge("wlm_ledger_lost_supervision")
+      .set(static_cast<double>(ledger.lost_supervision));
   // Structure gauges keyed by network id stay per-shard after the merge.
   const auto entity = static_cast<std::uint64_t>(net_->id.value());
   metrics_.gauge("wlm_shard_aps", entity).set(static_cast<double>(aps_.size()));

@@ -12,6 +12,8 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kOutage: return "outage";
     case SpanKind::kReboot: return "reboot";
     case SpanKind::kQuarantine: return "quarantine";
+    case SpanKind::kShardRetry: return "shard_retry";
+    case SpanKind::kShardQuarantine: return "shard_quarantine";
   }
   return "unknown";
 }

@@ -25,6 +25,8 @@ enum class SpanKind : std::uint8_t {
   kOutage,      // WAN outage window (start..end in sim time)
   kReboot,      // device restart instant (queued telemetry flushed)
   kQuarantine,  // poller backoff reached the quarantine level
+  kShardRetry,       // supervisor restored a failed shard and re-ran a phase
+  kShardQuarantine,  // supervisor exhausted retries; shard excluded
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind kind);

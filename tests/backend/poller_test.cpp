@@ -160,6 +160,66 @@ TEST(Poller, RepeatedCorruptionBacksOffThenQuarantines) {
   EXPECT_EQ(poller.counters_for(ApId{13})->backoff_level, 0);
 }
 
+TEST(Poller, QuarantineReleasePinsCounterSequence) {
+  // Pins the exact backoff ladder through quarantine and release: each
+  // corrupt poll doubles the punishment window ((1 << level) - 1 skipped
+  // cycles), one clean poll resets everything, and none of the skip/backoff
+  // counters move again after release.
+  ReportStore store;
+  Poller poller(store);
+  Tunnel t(ApId{15});
+  poller.attach(t);
+  auto corrupt_frame = [] {
+    auto framed = frame_report(report_for(15));
+    framed[framed.size() / 2] ^= 0x01;
+    return framed;
+  };
+
+  // Climb the ladder: feed one corrupt frame per *eligible* cycle (the
+  // poller skips the tunnel while backing off, so eligible cycles are
+  // spaced (1 << level) - 1 apart).
+  int expected_skips = 0;
+  for (int level = 1; level <= 4; ++level) {
+    t.enqueue(corrupt_frame());
+    poller.poll_all();
+    const TunnelCounters* tc = poller.counters_for(ApId{15});
+    ASSERT_NE(tc, nullptr);
+    EXPECT_EQ(tc->backoff_level, level);
+    EXPECT_EQ(tc->backoff_remaining, (1 << level) - 1);
+    EXPECT_EQ(tc->quarantined, level >= 4);
+    // Serve out this level's punishment window exactly.
+    for (int skip = 0; skip < (1 << level) - 1; ++skip) poller.poll_all();
+    expected_skips += (1 << level) - 1;
+    EXPECT_EQ(poller.stats().polls_skipped_backoff,
+              static_cast<std::uint64_t>(expected_skips));
+    EXPECT_EQ(tc->backoff_remaining, 0);
+  }
+  EXPECT_EQ(poller.counters_for(ApId{15})->cycles_backed_off,
+            static_cast<std::uint64_t>(expected_skips));
+
+  // One clean poll releases the quarantine and zeroes the ladder.
+  t.enqueue(frame_report(report_for(15)));
+  poller.poll_all();
+  const TunnelCounters* tc = poller.counters_for(ApId{15});
+  EXPECT_FALSE(tc->quarantined);
+  EXPECT_EQ(tc->backoff_level, 0);
+  EXPECT_EQ(tc->backoff_remaining, 0);
+  EXPECT_EQ(tc->reports_stored, 1u);
+
+  // Post-release cycles poll normally: the skip counters must not move
+  // again (a double-counted release would inflate them here).
+  for (int i = 0; i < 5; ++i) poller.poll_all();
+  EXPECT_EQ(poller.stats().polls_skipped_backoff,
+            static_cast<std::uint64_t>(expected_skips));
+  EXPECT_EQ(tc->cycles_backed_off, static_cast<std::uint64_t>(expected_skips));
+  // And another corruption starts the ladder from the bottom, not from the
+  // pre-release level.
+  t.enqueue(corrupt_frame());
+  poller.poll_all();
+  EXPECT_EQ(tc->backoff_level, 1);
+  EXPECT_FALSE(tc->quarantined);
+}
+
 TEST(Poller, IgnoreBackoffDrainsBackedOffTunnel) {
   ReportStore store;
   Poller poller(store);

@@ -11,8 +11,10 @@
 #include "classify/verdict_cache.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "failsafe/failpoint.hpp"
 #include "mac/beacon.hpp"
 #include "phy/channel.hpp"
+#include "sim/fleet_runner.hpp"
 #include "traffic/flowgen.hpp"
 #include "wire/messages.hpp"
 
@@ -325,6 +327,77 @@ TEST_P(SeededProperty, VerdictCacheEvictionIsCapacityInvariant) {
       ASSERT_EQ(verdicts, baseline) << "capacity=" << capacity;
       // Bigger caches can only hit more often, never less.
       EXPECT_GE(tier.cache().stats().hits, baseline_hits) << "capacity=" << capacity;
+    }
+  }
+}
+
+TEST_P(SeededProperty, LossLedgerConservesUnderSupervisionOutcomes) {
+  // The fleet ledger's conservation invariant (generated = delivered + shed
+  // + lost_reboot + lost_corruption + in_flight + lost_supervision) must
+  // close for EVERY supervision outcome — clean pass, recovered retry,
+  // watchdog trip, or quarantine — and the whole degraded accounting must
+  // be bit-identical for any worker count. The seed sweeps the failpoint
+  // schedule (site, skip count, firing bound, retry budget) across those
+  // outcomes.
+  Rng rng(GetParam() * 31 + 17);
+  static constexpr const char* kSites[] = {"shard.step", "poller.poll",
+                                           "harvest.merge", "shard.alloc"};
+  const char* site = kSites[rng.next_u64() % 4];
+  const bool oom = std::string_view(site) == "shard.alloc";
+  const std::uint64_t after = rng.next_u64() % 4;
+  const std::uint64_t times = rng.next_u64() % 3;  // 0 = fire forever
+  const std::uint64_t retries = rng.next_u64() % 3;
+  const std::size_t victim_index = static_cast<std::size_t>(rng.next_u64() % 4);
+
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 4;
+  config.fleet.seed = 21;
+  config.seed = 22;
+  config.supervision.max_shard_retries = retries;
+  config.supervision.capture_checkpoints = true;
+
+  const std::uint64_t victim = [&] {
+    const sim::FleetRunner probe(config);
+    return probe.shards().at(victim_index)->id().value();
+  }();
+  const std::string spec = std::string("site=") + site +
+                           ",net=" + std::to_string(victim) +
+                           ",action=" + (oom ? "oom" : "throw") +
+                           ",after=" + std::to_string(after) +
+                           ",times=" + std::to_string(times);
+
+  std::string baseline_ledger;
+  std::string baseline_manifest;
+  for (const int jobs : {1, 2, 8}) {
+    failsafe::failpoints().disarm_all();
+    ASSERT_TRUE(failsafe::failpoints().arm_list(spec)) << spec;
+    config.threads = jobs;
+    sim::FleetRunner runner(config);
+    runner.run_usage_week();
+    runner.harvest(sim::HarvestMode::kFinal);
+    failsafe::failpoints().disarm_all();
+
+    const auto ledger = runner.loss_ledger();
+    EXPECT_TRUE(ledger.conserved()) << spec << " jobs=" << jobs << "\n"
+                                    << ledger.render();
+    // A quarantine is never silent: it must show up in both the manifest
+    // and the ledger's supervision bucket (unless the shard died before
+    // producing anything — then the bucket is legitimately zero).
+    if (runner.supervisor().quarantined_count() > 0) {
+      EXPECT_TRUE(runner.supervisor().degraded());
+      EXPECT_EQ(runner.supervisor().manifest().quarantined_networks(),
+                std::vector<std::uint64_t>{victim});
+    } else {
+      EXPECT_EQ(ledger.lost_supervision, 0u);
+    }
+    if (jobs == 1) {
+      baseline_ledger = ledger.render();
+      baseline_manifest = runner.supervisor().manifest().render();
+    } else {
+      EXPECT_EQ(ledger.render(), baseline_ledger) << spec << " jobs=" << jobs;
+      EXPECT_EQ(runner.supervisor().manifest().render(), baseline_manifest)
+          << spec << " jobs=" << jobs;
     }
   }
 }

@@ -191,6 +191,70 @@ ckpt_smoke() {
 }
 ckpt_smoke
 
+# Crash-recovery smoke: the shard supervision layer through the shipped
+# wlmctl wiring (the tier-1 `failsafe` label proves it in-process). Kills
+# one network with a failpoint and requires: the campaign still completes
+# (exit 3 = degraded, not a crash), the manifest names exactly that
+# network, the surviving shards' output is byte-identical across --jobs,
+# a transient failure recovers to byte-identical clean output, and a
+# missing resume checkpoint exits with the distinct I/O code (4).
+failsafe_smoke() {
+  echo "=== crash-recovery (failsafe) smoke ==="
+  local dir="build/failsafe-smoke"
+  rm -rf "${dir}" && mkdir -p "${dir}"
+  local flags=(--networks 5 --seed 11)
+  local kill_spec="site=poller.poll,net=3,action=throw"
+
+  # Kill-one-shard campaign: must finish degraded, naming network 3.
+  local rc=0
+  ./build/tools/wlmctl simulate "${flags[@]}" --jobs 2 \
+    --failpoints "${kill_spec}" --max-shard-retries 1 \
+    > "${dir}/degraded-j2.out" 2> /dev/null || rc=$?
+  if [[ "${rc}" -ne 3 ]]; then
+    echo "failsafe smoke: kill-one-shard run exited ${rc}, want 3 (degraded)" >&2
+    exit 1
+  fi
+  grep -q "\[quarantined\] network 3" "${dir}/degraded-j2.out" || {
+    echo "failsafe smoke: manifest does not quarantine network 3" >&2
+    exit 1
+  }
+  # The degraded run is still a deterministic artifact: same bytes per jobs.
+  for jobs in 1 8; do
+    ./build/tools/wlmctl simulate "${flags[@]}" --jobs "${jobs}" \
+      --failpoints "${kill_spec}" --max-shard-retries 1 \
+      > "${dir}/degraded-j${jobs}.out" 2> /dev/null || true
+    cmp "${dir}/degraded-j2.out" "${dir}/degraded-j${jobs}.out" || {
+      echo "failsafe smoke: degraded output differs at --jobs ${jobs}" >&2
+      exit 1
+    }
+  done
+
+  # Transient failure + retry: byte-identical to the unfaulted run.
+  ./build/tools/wlmctl simulate "${flags[@]}" --jobs 2 > "${dir}/clean.out"
+  ./build/tools/wlmctl simulate "${flags[@]}" --jobs 2 \
+    --failpoints "site=shard.step,net=3,action=throw,times=1" \
+    --max-shard-retries 2 > "${dir}/recovered.out" 2> /dev/null
+  cmp "${dir}/clean.out" "${dir}/recovered.out" || {
+    echo "failsafe smoke: recovered run differs from the unfaulted run" >&2
+    exit 1
+  }
+
+  # A nonexistent --resume-from path is a typed I/O error, exit code 4.
+  rc=0
+  ./build/tools/wlmctl simulate --resume-from "${dir}/no-such.wlmckpt" \
+    > /dev/null 2> "${dir}/missing.err" || rc=$?
+  if [[ "${rc}" -ne 4 ]]; then
+    echo "failsafe smoke: missing checkpoint exited ${rc}, want 4 (resume I/O)" >&2
+    exit 1
+  fi
+  grep -q "cannot resume" "${dir}/missing.err" || {
+    echo "failsafe smoke: missing-checkpoint resume lacked a diagnostic" >&2
+    exit 1
+  }
+  echo "failsafe smoke: degraded completion deterministic, retry recovers, resume I/O typed"
+}
+failsafe_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   # Sanitizer builds skip the `slow` and `perf` labels (fork-based e2e,
   # golden replays, and the PER-mode fleet-identity gates): the instrumented

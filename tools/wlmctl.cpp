@@ -24,6 +24,8 @@
 #include "analysis/export.hpp"
 #include "backend/health.hpp"
 #include "ckpt/campaign.hpp"
+#include "failsafe/failpoint.hpp"
+#include "failsafe/supervisor.hpp"
 #include "fault/spec.hpp"
 #include "sim/world.hpp"
 #include "telemetry/export.hpp"
@@ -99,6 +101,27 @@ bool validate_scale(const Args& args, int networks, int jobs) {
   return true;
 }
 
+/// Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 campaign finished
+/// degraded (shards quarantined — partial but accounted results), 4 resume
+/// I/O failure (checkpoint missing/unreadable).
+constexpr int kExitDegraded = 3;
+constexpr int kExitResumeIo = 4;
+
+/// Arms the process-global failpoint registry from --failpoints. Returns
+/// false (with a diagnostic) on a bad spec. Failpoints are injection
+/// config, not simulated state: they apply to resumed runs too and are
+/// never serialized into checkpoints.
+bool arm_failpoints(const Args& args) {
+  const auto it = args.options.find("failpoints");
+  if (it == args.options.end()) return true;
+  std::string error;
+  if (!failsafe::failpoints().arm_list(it->second, &error)) {
+    std::fprintf(stderr, "wlmctl: bad --failpoints spec: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
 std::optional<sim::WorldConfig> world_config(const Args& args) {
   sim::WorldConfig config;
   config.fleet.epoch = deploy::Epoch::kJan2015;
@@ -142,6 +165,26 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
     }
     config.per_mode = *mode;
   }
+  const int retries = args.get_int("max-shard-retries", config.supervision.max_shard_retries);
+  if (args.bad) return std::nullopt;
+  if (retries < 0) {
+    std::fprintf(stderr, "wlmctl: --max-shard-retries must be >= 0 (got %d)\n", retries);
+    return std::nullopt;
+  }
+  config.supervision.max_shard_retries = retries;
+  const double deadline = args.get_double("shard-deadline", 0.0);
+  if (args.bad) return std::nullopt;
+  if (deadline < 0.0) {
+    std::fprintf(stderr, "wlmctl: --shard-deadline must be >= 0 sim-hours (got %g)\n",
+                 deadline);
+    return std::nullopt;
+  }
+  config.supervision.shard_deadline_hours = deadline;
+  // Snapshot capture costs a per-shard serialize each phase, so it only
+  // switches on when the user opts into supervision behavior explicitly.
+  config.supervision.capture_checkpoints = args.options.count("failpoints") != 0 ||
+                                           args.options.count("max-shard-retries") != 0 ||
+                                           args.options.count("shard-deadline") != 0;
   return config;
 }
 
@@ -194,6 +237,7 @@ constexpr SimulatePhase kSimulatePhases[] = {
 };
 
 int cmd_simulate(const Args& args) {
+  if (!arm_failpoints(args)) return 2;
   std::string checkpoint_out;
   if (const auto it = args.options.find("checkpoint-out"); it != args.options.end()) {
     checkpoint_out = it->second;
@@ -236,7 +280,9 @@ int cmd_simulate(const Args& args) {
     if (const auto err = ckpt::restore_campaign_file(it->second, jobs, restored)) {
       std::fprintf(stderr, "wlmctl: cannot resume from %s: %s (%s)\n",
                    it->second.c_str(), err.detail.c_str(), status_name(err.status));
-      return 1;
+      // An unreadable/missing checkpoint file is an I/O problem the caller
+      // can act on (wrong path, lost volume); a malformed one is a bug.
+      return err.status == ckpt::Status::kIo ? kExitResumeIo : 1;
     }
     runner = std::move(restored.runner);
     progress = std::move(restored.progress);
@@ -298,15 +344,22 @@ int cmd_simulate(const Args& args) {
                   std::max<std::uint64_t>(1, runner->flows_classified()));
   std::printf("mean telemetry per AP: %.1f kB framed\n",
               runner->mean_report_bytes_per_ap() / 1e3);
-  if (runner->config().faults.enabled()) {
+  const bool degraded = runner->supervisor().degraded();
+  if (runner->config().faults.enabled() || degraded) {
     std::printf("%s\n", runner->loss_ledger().render().c_str());
+  }
+  if (degraded) {
+    // The campaign finished, but with quarantined shards: report exactly
+    // which networks are missing and exit distinctly so scripts can tell
+    // "partial but accounted" from success and from failure.
+    std::printf("%s\n", runner->supervisor().manifest().render().c_str());
   }
   if (const auto it = args.options.find("metrics-out"); it != args.options.end()) {
     if (!write_text_file(it->second, telemetry::to_json_lines(runner->metrics()))) {
       return 1;
     }
   }
-  return 0;
+  return degraded ? kExitDegraded : 0;
 }
 
 int cmd_report(const Args& args) {
@@ -365,6 +418,7 @@ int cmd_report(const Args& args) {
 }
 
 int cmd_health(const Args& args) {
+  if (!arm_failpoints(args)) return 2;
   auto config = world_config(args);
   if (!config) return 2;
   if (!config->faults.enabled()) {
@@ -411,10 +465,15 @@ int cmd_health(const Args& args) {
   if (!any_backoff) std::printf("  (none — every tunnel polled clean all week)\n");
 
   std::printf("\n%s\n", world.loss_ledger().render().c_str());
+  if (world.runner().supervisor().degraded()) {
+    std::printf("%s\n", world.runner().supervisor().manifest().render().c_str());
+    return kExitDegraded;
+  }
   return 0;
 }
 
 int cmd_stats(const Args& args) {
+  if (!arm_failpoints(args)) return 2;
   const auto config = world_config(args);
   if (!config) return 2;
   sim::World world(*config);
@@ -458,12 +517,24 @@ int cmd_stats(const Args& args) {
         ledger.lost_corruption);
   check("wlm_ledger_in_flight", metrics.gauge_value("wlm_ledger_in_flight"),
         ledger.in_flight);
-  check("wlm_sim_reports_enqueued_total",
-        static_cast<double>(metrics.counter_value("wlm_sim_reports_enqueued_total")),
-        ledger.generated);
-  check("wlm_poller_reports_stored_total",
-        static_cast<double>(metrics.counter_value("wlm_poller_reports_stored_total")),
-        ledger.delivered);
+  check("wlm_ledger_lost_supervision",
+        metrics.gauge_value("wlm_ledger_lost_supervision"), ledger.lost_supervision);
+  const bool degraded = world.runner().supervisor().degraded();
+  if (!degraded) {
+    // These hot-path counters reflect work as it happened; a quarantined
+    // shard's registry is excluded from the merge while the ledger
+    // reattributes its work to lost_supervision, so the comparison is only
+    // meaningful for fully harvested fleets.
+    check("wlm_sim_reports_enqueued_total",
+          static_cast<double>(metrics.counter_value("wlm_sim_reports_enqueued_total")),
+          ledger.generated);
+    check("wlm_poller_reports_stored_total",
+          static_cast<double>(metrics.counter_value("wlm_poller_reports_stored_total")),
+          ledger.delivered);
+  } else {
+    std::fprintf(stderr,
+                 "wlmctl stats: degraded run — hot-path counter checks skipped\n");
+  }
   if (!ok) {
     std::fprintf(stderr, "wlmctl stats: telemetry does NOT reconcile with the ledger\n");
     return 1;
@@ -473,7 +544,7 @@ int cmd_stats(const Args& args) {
                "(generated=%llu delivered=%llu)\n",
                static_cast<unsigned long long>(ledger.generated),
                static_cast<unsigned long long>(ledger.delivered));
-  return 0;
+  return degraded ? kExitDegraded : 0;
 }
 
 int cmd_pcap(const Args& args) {
@@ -572,7 +643,8 @@ int usage() {
                "            [--classifier reference|indexed] [--per-mode reference|table]\n"
                "            [--checkpoint-out FILE] [--checkpoint-every SIM_HOURS]\n"
                "            [--resume-from FILE] [--halt-after-phase PHASE]\n"
-               "            [--metrics-out FILE]\n"
+               "            [--failpoints SPEC] [--max-shard-retries N]\n"
+               "            [--shard-deadline SIM_HOURS] [--metrics-out FILE]\n"
                "            phases: usage_week, mr16, link_windows, harvest. A resume\n"
                "            replays only unfinished phases; its output is byte-identical\n"
                "            to an uninterrupted run at any --jobs\n"
@@ -590,7 +662,19 @@ int usage() {
                "--faults SPEC is comma-separated key=value pairs; keys: flap, outage_rate,\n"
                "outage_hours, reboot_rate, fw_wave, fw_hour, corrupt, oom_threshold,\n"
                "skyscraper, skyscraper_neighbors, queue. Example:\n"
-               "  wlmctl health --faults \"outage_rate=2,outage_hours=36,corrupt=0.02\"\n");
+               "  wlmctl health --faults \"outage_rate=2,outage_hours=36,corrupt=0.02\"\n"
+               "\n"
+               "--failpoints SPEC arms deterministic fault-injection sites: clauses\n"
+               "separated by ';', each comma-separated key=value pairs. Keys: site\n"
+               "(required: ckpt.save.write, poller.poll, shard.step, harvest.merge,\n"
+               "shard.alloc), net (entity id; default all), action (throw|error|delay|oom),\n"
+               "after (skip first N hits), times (fire at most N; 0=forever), hours (delay\n"
+               "magnitude), prob (firing probability), seed. Example:\n"
+               "  wlmctl simulate --failpoints \"site=shard.step,net=3,action=throw,times=1\"\n"
+               "\n"
+               "exit codes: 0 ok; 1 runtime failure; 2 usage error; 3 campaign finished\n"
+               "degraded (shards quarantined, output partial but accounted); 4 resume\n"
+               "checkpoint missing or unreadable\n");
   return 2;
 }
 
