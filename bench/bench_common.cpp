@@ -36,23 +36,16 @@ void write_bench_json() {
   const auto& tally = telemetry::work_tally();
   const std::uint64_t fragments = tally.fragments.load(std::memory_order_relaxed);
   const std::uint64_t frames = tally.frames.load(std::memory_order_relaxed);
-  const double per_sec =
-      seconds > 0.0 ? static_cast<double>(fragments + frames) / seconds : 0.0;
-  // Linux reports ru_maxrss in kilobytes.
-  struct rusage usage {};
-  getrusage(RUSAGE_SELF, &usage);
-  const unsigned long long peak_rss_bytes =
-      static_cast<unsigned long long>(usage.ru_maxrss) * 1024ULL;
   std::fprintf(out,
                "{\"bench\": \"%s\", \"networks\": %d, \"client_scale\": %.3f, "
                "\"seed\": %llu, \"threads\": %d, \"seconds\": %.3f, "
-               "\"fragments\": %llu, \"frames\": %llu, "
-               "\"fragments_frames_per_sec\": %.1f, \"peak_rss_bytes\": %llu, "
+               "\"fragments\": %llu, \"frames\": %llu, %s, "
                "\"telemetry\": %s}\n",
                g_experiment.c_str(), g_scale.networks, g_scale.client_scale,
                static_cast<unsigned long long>(g_scale.seed), g_scale.threads, seconds,
                static_cast<unsigned long long>(fragments),
-               static_cast<unsigned long long>(frames), per_sec, peak_rss_bytes,
+               static_cast<unsigned long long>(frames),
+               rate_rss_fields(fragments + frames, seconds).c_str(),
                telemetry::global_profiler().to_json().c_str());
   std::fclose(out);
 }
@@ -100,6 +93,21 @@ void install_auto_checkpoint() {
 }
 
 }  // namespace
+
+std::string rate_rss_fields(std::uint64_t work_items, double seconds) {
+  const double per_sec =
+      seconds > 0.0 ? static_cast<double>(work_items) / seconds : 0.0;
+  // Linux reports ru_maxrss in kilobytes.
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const unsigned long long peak_rss_bytes =
+      static_cast<unsigned long long>(usage.ru_maxrss) * 1024ULL;
+  char fields[96];
+  std::snprintf(fields, sizeof fields,
+                "\"fragments_frames_per_sec\": %.1f, \"peak_rss_bytes\": %llu",
+                per_sec, peak_rss_bytes);
+  return fields;
+}
 
 analysis::ScenarioScale scale_from_args(int argc, char** argv, int default_networks) {
   analysis::ScenarioScale scale;

@@ -35,6 +35,13 @@ class Timer {
 [[nodiscard]] analysis::ScenarioScale scale_from_args(int argc, char** argv,
                                                       int default_networks = 250);
 
+/// Renders the two fields every BENCH_*.json record carries regardless of
+/// shape — `"fragments_frames_per_sec": R, "peak_rss_bytes": B` (no braces,
+/// so emitters splice it into their own records). `work_items` is the
+/// record's own deterministic work count and `seconds` its own wall clock;
+/// peak RSS is the process high-water mark from getrusage.
+[[nodiscard]] std::string rate_rss_fields(std::uint64_t work_items, double seconds);
+
 /// Prints a standard header naming the experiment and starts the wall-clock
 /// measurement. At process exit a line-delimited JSON record
 ///   {"bench": ..., "networks": ..., "threads": ..., "seconds": ...,

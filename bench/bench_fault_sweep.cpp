@@ -20,8 +20,22 @@ namespace {
 
 using namespace wlm;
 
-fault::LossLedger run_cell(const analysis::ScenarioScale& scale,
-                           const fault::FaultSpec& faults) {
+struct CellResult {
+  fault::LossLedger ledger;
+  /// Fragments + frames this cell added to the global work tally, and its
+  /// own wall clock — the shared-schema throughput inputs.
+  std::uint64_t work = 0;
+  double seconds = 0.0;
+};
+
+std::uint64_t work_tally_total() {
+  const auto& tally = telemetry::work_tally();
+  return tally.fragments.load(std::memory_order_relaxed) +
+         tally.frames.load(std::memory_order_relaxed);
+}
+
+CellResult run_cell(const analysis::ScenarioScale& scale,
+                    const fault::FaultSpec& faults) {
   sim::WorldConfig config;
   config.fleet.epoch = deploy::Epoch::kJan2015;
   config.fleet.network_count = scale.networks;
@@ -30,14 +44,21 @@ fault::LossLedger run_cell(const analysis::ScenarioScale& scale,
   config.client_scale = scale.client_scale;
   config.threads = scale.threads;
   config.faults = faults;
+  CellResult cell;
+  const std::uint64_t tally_before = work_tally_total();
+  const telemetry::Stopwatch watch;
   sim::FleetRunner runner(config);
   runner.run_usage_week(7);
   runner.run_mr16_interference(SimTime::epoch() + Duration::days(3));
   runner.harvest(sim::HarvestMode::kFinal);
-  return runner.loss_ledger();
+  cell.ledger = runner.loss_ledger();
+  cell.seconds = watch.seconds();
+  cell.work = work_tally_total() - tally_before;
+  return cell;
 }
 
-void append_json(const char* axis, double intensity, const fault::LossLedger& ledger) {
+void append_json(const char* axis, double intensity, const CellResult& cell) {
+  const fault::LossLedger& ledger = cell.ledger;
   const char* path = std::getenv("WLM_BENCH_JSON");
   if (path == nullptr) path = "BENCH_fault_sweep.json";
   std::FILE* out = std::fopen(path, "a");
@@ -46,14 +67,15 @@ void append_json(const char* axis, double intensity, const fault::LossLedger& le
                "{\"bench\": \"fault_sweep\", \"axis\": \"%s\", \"intensity\": %.4f, "
                "\"generated\": %llu, \"delivered\": %llu, \"shed\": %llu, "
                "\"lost_reboot\": %llu, \"lost_corruption\": %llu, "
-               "\"in_flight\": %llu, \"conserved\": %s}\n",
+               "\"in_flight\": %llu, \"conserved\": %s, %s}\n",
                axis, intensity, static_cast<unsigned long long>(ledger.generated),
                static_cast<unsigned long long>(ledger.delivered),
                static_cast<unsigned long long>(ledger.shed),
                static_cast<unsigned long long>(ledger.lost_reboot),
                static_cast<unsigned long long>(ledger.lost_corruption),
                static_cast<unsigned long long>(ledger.in_flight),
-               ledger.conserved() ? "true" : "false");
+               ledger.conserved() ? "true" : "false",
+               bench::rate_rss_fields(cell.work, cell.seconds).c_str());
   std::fclose(out);
 }
 
@@ -83,9 +105,9 @@ int main(int argc, char** argv) {
     faults.outage_mean_hours = 12.0;
     faults.reboot_rate_per_week = rate / 2.0;
     faults.tunnel_queue_limit = 64;
-    const auto ledger = run_cell(scale, faults);
-    print_row(rate, ledger);
-    append_json("outage_rate", rate, ledger);
+    const auto cell = run_cell(scale, faults);
+    print_row(rate, cell.ledger);
+    append_json("outage_rate", rate, cell);
   }
 
   std::printf("\n-- Corruption sweep (bit flips caught by the framing CRC) --\n");
@@ -93,9 +115,9 @@ int main(int argc, char** argv) {
   for (const double p : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
     fault::FaultSpec faults;
     faults.corrupt_probability = p;
-    const auto ledger = run_cell(scale, faults);
-    print_row(p, ledger);
-    append_json("corrupt_probability", p, ledger);
+    const auto cell = run_cell(scale, faults);
+    print_row(p, cell.ledger);
+    append_json("corrupt_probability", p, cell);
   }
 
   std::printf(

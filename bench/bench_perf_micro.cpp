@@ -177,7 +177,18 @@ void emit_classify_contrast() {
     std::fprintf(out, "%s%llu", b == 0 ? "" : ", ",
                  static_cast<unsigned long long>(profile.buckets[b]));
   }
-  std::fprintf(out, "]}}\n");
+  // Shared-schema fields (see bench_common print_header): this record's
+  // unit of work is one fragment classified; both engines ran the stream
+  // once each, so the rate divides double the stream over both passes.
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const unsigned long long peak_rss_bytes =
+      static_cast<unsigned long long>(usage.ru_maxrss) * 1024ULL;
+  const double both_per_sec =
+      static_cast<double>(2 * stream.fragments) / (s_fast + s_ref);
+  std::fprintf(out,
+               "]}, \"fragments_frames_per_sec\": %.1f, \"peak_rss_bytes\": %llu}\n",
+               both_per_sec, peak_rss_bytes);
   std::fclose(out);
 
   std::printf("classify two-tier: %zu flows / %zu fragments\n", stream.flows.size(),

@@ -40,7 +40,7 @@ int main() {
   backend::TimeSeriesStore tsdb;
   std::uint32_t outlier_ap = 0;
   std::size_t outlier_neighbors = 0;
-  world.store().for_each([&](const wire::ApReport& report) {
+  world.reports().for_each([&](const wire::ApReport& report) {
     tsdb.append(backend::SeriesKey{"neighbors", report.ap_id},
                 SimTime::from_micros(report.timestamp_us),
                 static_cast<double>(report.neighbors.size()));
@@ -54,7 +54,7 @@ int main() {
   backend::HealthPolicy policy;
   policy.expected_interval = Duration::days(1);
   const backend::HealthMonitor monitor(policy);
-  auto findings = monitor.analyze(world.store(), SimTime::epoch() + Duration::days(7));
+  auto findings = monitor.analyze(world.reports(), SimTime::epoch() + Duration::days(7));
   for (const auto& ap : world.aps()) {
     const auto tunnel_findings = monitor.analyze_tunnel(ap.tunnel());
     findings.insert(findings.end(), tunnel_findings.begin(), tunnel_findings.end());

@@ -28,12 +28,12 @@ int main() {
 
   // 3. Collect: every report flows tunnel -> poller -> store.
   world.harvest();
-  std::printf("backend store: %zu reports from %zu APs\n", world.store().report_count(),
-              world.store().ap_count());
+  std::printf("backend store: %zu reports from %zu APs\n", world.reports().report_count(),
+              world.reports().ap_count());
 
   // 4. Ask questions. Who used the most data this week?
   backend::UsageAggregator agg;
-  agg.consume(world.store(), SimTime::epoch(), SimTime::epoch() + Duration::days(8));
+  agg.consume(world.reports(), SimTime::epoch(), SimTime::epoch() + Duration::days(8));
   std::uint64_t best_total = 0;
   classify::OsType best_os = classify::OsType::kUnknown;
   for (const auto& [mac, client] : agg.clients()) {
@@ -47,7 +47,7 @@ int main() {
 
   // 5. And how busy is the spectrum?
   RunningStats util;
-  world.store().for_each([&](const wire::ApReport& report) {
+  world.reports().for_each([&](const wire::ApReport& report) {
     for (const auto& u : report.utilization) {
       if (u.band == 0 && u.cycle_us > 0) {
         util.add(static_cast<double>(u.busy_us) / static_cast<double>(u.cycle_us));

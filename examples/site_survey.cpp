@@ -31,7 +31,7 @@ int main() {
     int neighbors = 0;
   };
   std::map<std::pair<int, int>, ChannelStat> by_channel;  // (band, channel)
-  world.store().for_each([&](const wire::ApReport& report) {
+  world.reports().for_each([&](const wire::ApReport& report) {
     std::map<std::pair<int, int>, int> neighbor_count;
     for (const auto& n : report.neighbors) {
       if (!n.is_same_fleet) ++neighbor_count[{n.band, n.channel}];

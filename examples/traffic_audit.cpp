@@ -26,7 +26,7 @@ int main() {
   world.harvest();
 
   backend::UsageAggregator agg;
-  agg.consume(world.store(), SimTime::epoch(), SimTime::epoch() + Duration::days(8));
+  agg.consume(world.reports(), SimTime::epoch(), SimTime::epoch() + Duration::days(8));
 
   std::printf("audited %zu clients, %llu flows classified (%llu disagreed with ground "
               "truth)\n\n",

@@ -35,7 +35,17 @@ struct ScenarioScale {
   /// the lookup fast path, kReference the scalar oracle, outputs are
   /// byte-identical in both).
   phy::PerMode per_mode = phy::PerMode::kTable;
+  /// Streaming-harvest memory ceiling in MiB (0 = classic hold-until-final
+  /// harvest). Renders are byte-identical for any FIXED value; see
+  /// sim::WorldConfig::mem_ceiling_mb.
+  std::uint64_t mem_ceiling_mb = 0;
+  /// Where sealed segments spill when the ceiling presses.
+  std::string spill_dir = ".";
 };
+
+/// The paper's audited full fleet size (Table 2 total: 20,667 networks).
+/// `--scale paper` presets and the wlmctl bounds check key off this.
+[[nodiscard]] int paper_network_count();
 
 // ---------------------------------------------------------------- Table 2
 

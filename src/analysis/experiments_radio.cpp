@@ -26,6 +26,8 @@ sim::WorldConfig radio_world_config(const ScenarioScale& scale, deploy::Epoch ep
   cfg.threads = scale.threads;
   cfg.classifier = scale.classifier;
   cfg.per_mode = scale.per_mode;
+  cfg.mem_ceiling_mb = scale.mem_ceiling_mb;
+  cfg.spill_dir = scale.spill_dir;
   return cfg;
 }
 
@@ -51,7 +53,7 @@ NeighborRun run_neighbor_study(const ScenarioScale& scale) {
     NeighborRun::EpochStats stats;
     std::uint64_t hotspots24 = 0;
     std::uint64_t hotspots5 = 0;
-    world.store().for_each([&](const wire::ApReport& report) {
+    world.reports().for_each([&](const wire::ApReport& report) {
       ++stats.ap_count;
       for (const auto& n : report.neighbors) {
         if (n.is_same_fleet) continue;  // Table 7 excludes the fleet's own APs
@@ -290,7 +292,7 @@ UtilizationRun run_utilization_study(const ScenarioScale& scale) {
     sim::FleetRunner world(radio_world_config(scale, deploy::Epoch::kJan2015, deploy::ApModel::kMr16));
     world.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
     world.harvest();
-    world.store().for_each([&](const wire::ApReport& report) {
+    world.reports().for_each([&](const wire::ApReport& report) {
       for (const auto& u : report.utilization) {
         if (u.cycle_us == 0) continue;
         const double util = static_cast<double>(u.busy_us) / static_cast<double>(u.cycle_us);
@@ -308,7 +310,7 @@ UtilizationRun run_utilization_study(const ScenarioScale& scale) {
     world.run_mr18_scan(night, 22.0);
     world.harvest();
 
-    world.store().for_each([&](const wire::ApReport& report) {
+    world.reports().for_each([&](const wire::ApReport& report) {
       const bool is_day = report.timestamp_us < night.as_micros();
       // Neighbor counts per (band, channel) within this report.
       std::map<std::pair<int, int>, int> neighbors_on;

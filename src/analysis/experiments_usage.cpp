@@ -29,10 +29,14 @@ sim::WorldConfig make_world_config(const ScenarioScale& scale, deploy::Epoch epo
   cfg.threads = scale.threads;
   cfg.classifier = scale.classifier;
   cfg.per_mode = scale.per_mode;
+  cfg.mem_ceiling_mb = scale.mem_ceiling_mb;
+  cfg.spill_dir = scale.spill_dir;
   return cfg;
 }
 
 }  // namespace
+
+int paper_network_count() { return deploy::total_network_count(); }
 
 std::string percentile_summary(const std::vector<double>& values, bool as_percent) {
   EmpiricalCdf cdf{std::vector<double>(values)};
@@ -81,7 +85,7 @@ UsageRun run_usage_study(const ScenarioScale& scale) {
     world.harvest();
 
     auto& agg = epoch == deploy::Epoch::kJan2015 ? run.agg_2015 : run.agg_2014;
-    agg.consume(world.store(), SimTime::epoch(), SimTime::epoch() + Duration::days(8));
+    agg.consume(world.reports(), SimTime::epoch(), SimTime::epoch() + Duration::days(8));
 
     const double sim_clients = std::max<std::size_t>(agg.client_count(), 1);
     const double paper_clients = deploy::total_clients(epoch);
@@ -347,7 +351,7 @@ SnapshotRun run_snapshot_study(const ScenarioScale& scale) {
         epoch == deploy::Epoch::kJan2015 ? run.caps_2015 : run.caps_2014;
     std::size_t count = 0;
     const double noise = phy::noise_floor(20.0).dbm();
-    world.store().for_each([&](const wire::ApReport& report) {
+    world.reports().for_each([&](const wire::ApReport& report) {
       for (const auto& snap : report.clients) {
         ++count;
         const std::uint32_t bits = snap.capability_bits;

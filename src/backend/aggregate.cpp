@@ -49,7 +49,7 @@ void add_votes(std::vector<std::pair<std::uint8_t, int>>& votes, std::uint8_t os
 
 }  // namespace
 
-void UsageAggregator::consume(const ReportStore& store, SimTime from, SimTime to) {
+void UsageAggregator::consume(const ReportSource& store, SimTime from, SimTime to) {
   store.for_each_in(from, to, [&](const wire::ApReport& report) {
     const ApId ap{report.ap_id};
     // Usage rows for one client arrive consecutively (the AP serializes its

@@ -76,8 +76,10 @@ struct ClientAggregate {
 /// Aggregates all usage and client snapshots in the store by MAC.
 class UsageAggregator {
  public:
-  /// Consumes every report in [from, to).
-  void consume(const ReportStore& store, SimTime from, SimTime to);
+  /// Consumes every report in [from, to). Reads through the ReportSource
+  /// contract, so the row store and the columnar tsdb segment store feed it
+  /// interchangeably (canonical order either way).
+  void consume(const ReportSource& store, SimTime from, SimTime to);
 
   /// Adds another aggregator's observations into this one (per-shard
   /// aggregation merged backend-side, the same roaming story §2.3 tells

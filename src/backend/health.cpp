@@ -22,13 +22,12 @@ const char* health_issue_name(HealthIssue issue) {
   return "?";
 }
 
-std::vector<HealthFinding> HealthMonitor::analyze(const ReportStore& store,
+std::vector<HealthFinding> HealthMonitor::analyze(const ReportSource& store,
                                                   SimTime now) const {
   std::vector<HealthFinding> findings;
   const double interval_us = static_cast<double>(policy_.expected_interval.as_micros());
-  for (const ApId ap : store.aps()) {
-    const auto& reports = store.reports_for(ap);
-    if (reports.empty()) continue;
+  store.for_each_ap([&](ApId ap, const std::vector<wire::ApReport>& reports) {
+    if (reports.empty()) return;
 
     // Reports arrive in poll order; evaluate by timestamp.
     std::vector<std::int64_t> times;
@@ -67,7 +66,7 @@ std::vector<HealthFinding> HealthMonitor::analyze(const ReportStore& store,
                     max_neighbors, policy_.neighbor_pressure_threshold);
       findings.push_back(HealthFinding{ap, HealthIssue::kNeighborPressure, buf});
     }
-  }
+  });
   return findings;
 }
 

@@ -46,8 +46,10 @@ class HealthMonitor {
  public:
   explicit HealthMonitor(HealthPolicy policy = HealthPolicy{}) : policy_(policy) {}
 
-  /// Analyzes every AP's reports in the store as of `now`.
-  [[nodiscard]] std::vector<HealthFinding> analyze(const ReportStore& store,
+  /// Analyzes every AP's reports in the store as of `now`. Reads through
+  /// the ReportSource per-AP visitor, so row and columnar stores feed it
+  /// interchangeably.
+  [[nodiscard]] std::vector<HealthFinding> analyze(const ReportSource& store,
                                                    SimTime now) const;
 
   /// Tunnel-level signals (queue drops, disconnect counts); the store has

@@ -32,18 +32,23 @@ const std::vector<wire::ApReport>& ReportStore::reports_for(ApId ap) const {
 }
 
 void ReportStore::for_each(const std::function<void(const wire::ApReport&)>& fn) const {
-  for (const auto& [ap, reports] : by_ap_) {
-    for (const auto& r : reports) fn(r);
+  for (const ApId ap : aps()) {
+    for (const auto& r : by_ap_.at(ap)) fn(r);
   }
 }
 
 void ReportStore::for_each_in(SimTime from, SimTime to,
                               const std::function<void(const wire::ApReport&)>& fn) const {
-  for (const auto& [ap, reports] : by_ap_) {
-    for (const auto& r : reports) {
+  for (const ApId ap : aps()) {
+    for (const auto& r : by_ap_.at(ap)) {
       if (r.timestamp_us >= from.as_micros() && r.timestamp_us < to.as_micros()) fn(r);
     }
   }
+}
+
+void ReportStore::for_each_ap(
+    const std::function<void(ApId, const std::vector<wire::ApReport>&)>& fn) const {
+  for (const ApId ap : aps()) fn(ap, by_ap_.at(ap));
 }
 
 std::vector<ApId> ReportStore::aps() const {

@@ -10,13 +10,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/report_source.hpp"
 #include "core/ids.hpp"
 #include "core/time.hpp"
 #include "wire/messages.hpp"
 
 namespace wlm::backend {
 
-class ReportStore {
+class ReportStore final : public ReportSource {
  public:
   void add(wire::ApReport report);
 
@@ -28,16 +29,21 @@ class ReportStore {
   /// thread filled which shard.
   void merge(ReportStore&& other);
 
-  [[nodiscard]] std::size_t report_count() const { return total_; }
-  [[nodiscard]] std::size_t ap_count() const { return by_ap_.size(); }
+  [[nodiscard]] std::size_t report_count() const override { return total_; }
+  [[nodiscard]] std::size_t ap_count() const override { return by_ap_.size(); }
 
   /// All reports for one AP, in arrival order.
   [[nodiscard]] const std::vector<wire::ApReport>& reports_for(ApId ap) const;
 
-  /// Visits every report (all APs), optionally bounded to [from, to).
-  void for_each(const std::function<void(const wire::ApReport&)>& fn) const;
+  /// Visits every report in canonical order (ascending AP id, per-AP
+  /// arrival order), optionally bounded to [from, to). Canonical order is
+  /// part of the read contract (backend/report_source.hpp): it keeps this
+  /// store and the columnar segment store byte-interchangeable.
+  void for_each(const std::function<void(const wire::ApReport&)>& fn) const override;
   void for_each_in(SimTime from, SimTime to,
-                   const std::function<void(const wire::ApReport&)>& fn) const;
+                   const std::function<void(const wire::ApReport&)>& fn) const override;
+  void for_each_ap(const std::function<void(ApId, const std::vector<wire::ApReport>&)>& fn)
+      const override;
 
   [[nodiscard]] std::vector<ApId> aps() const;
 

@@ -38,8 +38,18 @@ std::vector<std::uint8_t> save_campaign(sim::FleetRunner& runner,
   save_world_config(config, runner.config());
   w.add_section(SectionTag::kConfig, config.take());
 
+  // v4: the harvested fleet serializes as its sealed columnar segments —
+  // no row materialization, and spilled segments are pulled back from disk
+  // so the checkpoint stands alone. If a spill file has become unreadable,
+  // the section keeps its leading report total but carries zero segments:
+  // any attempt to restore then fails the count cross-check loudly instead
+  // of silently resuming without the harvested reports.
   Buf fleet_store;
-  save_store(fleet_store, runner.store());
+  if (!save_fleet_segments(fleet_store, runner.fleet_tsdb())) {
+    fleet_store = Buf{};
+    fleet_store.u64(runner.fleet_tsdb().stats().reports);
+    fleet_store.u64(0);  // zero segments: poisoned on purpose
+  }
   w.add_section(SectionTag::kFleetStore, fleet_store.take());
 
   Buf fleet_telemetry;
@@ -123,9 +133,12 @@ Error restore_campaign(std::span<const std::uint8_t> bytes, int threads,
 
   if (const auto payload = reader.find(SectionTag::kFleetStore)) {
     Cursor c(*payload);
-    if (!load_store(c, runner->store()) || !c.at_end()) {
+    if (!load_fleet_segments(c, runner->fleet_tsdb()) || !c.at_end()) {
       return section_error(c, "fleet store");
     }
+    // The legacy row view materializes from the adopted segments on first
+    // store() access.
+    runner->invalidate_store_view();
   } else {
     return {Status::kMalformed, "missing fleet store section"};
   }

@@ -60,6 +60,7 @@ enum class SectionTag : std::uint64_t {
   kFleetTelemetry = 4,  // merged metrics + trace + sim-hours
   kShard = 5,           // repeated, one per network, fleet order
   kSupervision = 6,     // degraded-run manifest (supervision incidents)
+  kTsdbSegments = 7,    // repeated, one sealed tsdb segment per section
 };
 
 // Version 2: shard sections carry the two-tier classifier (verdict cache
@@ -67,8 +68,14 @@ enum class SectionTag : std::uint64_t {
 // classifier mode and cache capacity. Version 3: the ledger carries the
 // lost_supervision bucket, the config section carries the supervision
 // knobs, and a kSupervision section serializes the degraded-run manifest.
-// Older versions fail kBadVersion.
-inline constexpr std::uint32_t kFormatVersion = 3;
+// Version 4: the fleet store serializes as sealed columnar tsdb segments
+// (each with its own internal CRCs) instead of row-encoded reports, the
+// config section carries the streaming-harvest bit (the on/off state is
+// simulated behavior; the ceiling value and spill directory are host
+// resource knobs and stay out, like the thread count), and time-series
+// point lists use the columnar codec (tsdb/series_codec). Older versions
+// fail kBadVersion.
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// Append-only payload builder. Scalars are varints (zigzag for signed),
 /// doubles are 8-byte LE bit patterns (exact round-trip, no printf loss),

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "tsdb/series_codec.hpp"
 #include "wire/messages.hpp"
 
 namespace wlm::ckpt {
@@ -259,22 +260,24 @@ bool load_store(Cursor& c, backend::ReportStore& store) {
 // --- time series ---
 
 void save_timeseries(Buf& b, const backend::TimeSeriesStore& store) {
+  // v4: point lists ride the columnar codec (delta-coded times, dictionary
+  // or fixed64 values) as one length-prefixed byte string per list — the
+  // same compression story as the segment store, ~6x smaller than the old
+  // row encoding for typical telemetry.
   b.u64(store.series_count());
+  std::vector<std::uint8_t> scratch;
+  const auto put_points = [&](const std::vector<backend::Point>& points) {
+    scratch.clear();
+    tsdb::encode_points(scratch, points);
+    b.bytes(scratch);
+  };
   store.for_each_series([&](const backend::SeriesKey& key,
                             const std::vector<backend::Point>& raw,
                             const std::vector<backend::Point>& rollups) {
     b.str(key.metric);
     b.u64(key.entity);
-    b.u64(raw.size());
-    for (const auto& p : raw) {
-      b.i64(p.time.as_micros());
-      b.f64(p.value);
-    }
-    b.u64(rollups.size());
-    for (const auto& p : rollups) {
-      b.i64(p.time.as_micros());
-      b.f64(p.value);
-    }
+    put_points(raw);
+    put_points(rollups);
   });
 }
 
@@ -288,14 +291,12 @@ bool load_timeseries(Cursor& c, backend::TimeSeriesStore& store) {
   };
   std::vector<Decoded> decoded;
   auto load_points = [&](std::vector<backend::Point>& out) {
-    const std::uint64_t n = c.u64();
-    if (!c.ok() || !plausible_count(c, n, 9)) return;
-    out.reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t i = 0; i < n && c.ok(); ++i) {
-      const std::int64_t t = c.i64();
-      const double v = c.f64();
-      out.push_back({SimTime::from_micros(t), v});
-    }
+    const auto payload = c.bytes();
+    if (!c.ok()) return;
+    std::size_t pos = 0;
+    // The list must decode cleanly AND consume its byte string exactly —
+    // trailing garbage inside a well-framed string is corruption.
+    if (!tsdb::decode_points(payload, pos, out) || pos != payload.size()) c.fail();
   };
   for (std::uint64_t s = 0; s < series_count && c.ok(); ++s) {
     Decoded d;
@@ -308,6 +309,74 @@ bool load_timeseries(Cursor& c, backend::TimeSeriesStore& store) {
   if (!c.ok()) return false;
   for (auto& d : decoded) {
     store.restore_series(d.key, std::move(d.raw), std::move(d.rollups));
+  }
+  return true;
+}
+
+// --- fleet segment vault ---
+
+bool save_fleet_segments(Buf& b, const tsdb::FleetStore& store) {
+  // The report total leads the section so the restore side can prove no
+  // segment went missing (e.g. a spill file that became unreadable between
+  // spill and save would otherwise vanish silently).
+  b.u64(store.stats().reports);
+  // Count only live segments: drop_network leaves zeroed placeholder
+  // records behind (spill offsets of later segments must not shift), and a
+  // quarantined network's batches must not resurface through a restore.
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < store.segment_count(); ++i) {
+    if (store.info(i).size > 0) ++live;
+  }
+  b.u64(live);
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < store.segment_count(); ++i) {
+    const auto info = store.info(i);
+    if (info.size == 0) continue;
+    if (store.segment_bytes(i, bytes)) return false;  // spill file unreadable
+    b.u64(info.network_id);
+    b.u64(info.batch_seq);
+    b.u64(info.n_reports);
+    b.bytes(bytes);
+  }
+  return true;
+}
+
+bool load_fleet_segments(Cursor& c, tsdb::FleetStore& store) {
+  const std::uint64_t expected_reports = c.u64();
+  const std::uint64_t n_segments = c.u64();
+  // Each segment costs at least its header (magic + fixed words + trailer).
+  if (!c.ok() || !plausible_count(c, n_segments, 24)) return false;
+  std::vector<std::vector<std::uint8_t>> segments;
+  for (std::uint64_t i = 0; i < n_segments && c.ok(); ++i) {
+    const std::uint64_t network_id = c.u64();
+    const std::uint64_t batch_seq = c.u64();
+    const std::uint64_t n_reports = c.u64();
+    const auto payload = c.bytes();
+    if (!c.ok()) return false;
+    // The envelope's claims must agree with the segment's own validated
+    // header — a mismatch means the container was stitched together.
+    tsdb::SegmentHeader hdr;
+    if (tsdb::SegmentReader::read_header(payload, hdr) || hdr.network_id != network_id ||
+        hdr.batch_seq != batch_seq || hdr.n_reports != n_reports) {
+      c.fail();
+      return false;
+    }
+    segments.emplace_back(payload.begin(), payload.end());
+  }
+  if (!c.ok()) return false;
+  // All-or-nothing: adopt (which re-validates every CRC) only after the
+  // whole section parsed, and the adopted total must match the leading
+  // claim — a shortfall means a segment was lost between spill and save.
+  for (auto& seg : segments) {
+    if (store.adopt_segment(std::move(seg))) {
+      store.clear();
+      return false;
+    }
+  }
+  if (store.stats().reports != expected_reports) {
+    store.clear();
+    c.fail();
+    return false;
   }
   return true;
 }
@@ -836,6 +905,11 @@ bool load_classifier(Cursor& c, classify::TwoTierClassifier& classifier) {
 
 // --- world config ---
 
+/// The memory ceiling a restored streaming campaign runs under. Arbitrary
+/// but harmless: output is byte-identical for ANY nonzero ceiling, so this
+/// only decides when the resumed process starts spilling.
+constexpr std::uint64_t kRestoredCeilingMb = 4096;
+
 void save_world_config(Buf& b, const sim::WorldConfig& config) {
   b.u64(static_cast<std::uint64_t>(config.fleet.epoch));
   b.i64(config.fleet.network_count);
@@ -852,6 +926,13 @@ void save_world_config(Buf& b, const sim::WorldConfig& config) {
   b.f64(config.supervision.shard_deadline_hours);
   b.f64(config.supervision.retry_backoff_hours);
   b.boolean(config.supervision.capture_checkpoints);
+  // v4: the streaming-harvest bit. Whether the campaign drains shards at
+  // phase boundaries is simulated state (it adds poll cycles), so a resume
+  // must reproduce it — but only the on/off bit. The ceiling VALUE and the
+  // spill directory are host resource knobs like `threads`: any nonzero
+  // ceiling yields byte-identical output, so serializing the value would
+  // make checkpoint bytes differ between behaviorally identical runs.
+  b.boolean(config.mem_ceiling_mb > 0);
 }
 
 bool load_world_config(Cursor& c, sim::WorldConfig& out) {
@@ -900,6 +981,10 @@ bool load_world_config(Cursor& c, sim::WorldConfig& out) {
     c.fail();
   }
   cfg.supervision.capture_checkpoints = c.boolean();
+  // Streaming on restores with a default ceiling (output is identical for
+  // any nonzero value); the actual bound and spill directory are the
+  // resuming host's business, not the checkpoint's.
+  cfg.mem_ceiling_mb = c.boolean() ? kRestoredCeilingMb : 0;
   if (!c.ok()) return false;
   out = cfg;
   return true;

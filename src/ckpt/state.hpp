@@ -39,6 +39,7 @@
 #include "sim/link.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "tsdb/fleet_store.hpp"
 
 namespace wlm::ckpt {
 
@@ -69,9 +70,18 @@ void save_poller(Buf& b, const backend::Poller& poller);
 void save_store(Buf& b, const backend::ReportStore& store);
 [[nodiscard]] bool load_store(Cursor& c, backend::ReportStore& store);
 
-// --- time-series store (key-sorted; raw points sorted before emit) ---
+// --- time-series store (key-sorted; raw points sorted before emit; point
+// lists ride the columnar codec, tsdb/series_codec) ---
 void save_timeseries(Buf& b, const backend::TimeSeriesStore& store);
 [[nodiscard]] bool load_timeseries(Cursor& c, backend::TimeSeriesStore& store);
+
+// --- fleet segment vault: every live sealed segment (network id, batch
+// seq, report count, segment bytes), fleet order. Spilled segments are
+// pulled back from their spill file to serialize, so the checkpoint is
+// self-contained; save returns false if a spill file has gone unreadable.
+// load adopts each segment through its own header/CRC validation. ---
+[[nodiscard]] bool save_fleet_segments(Buf& b, const tsdb::FleetStore& store);
+[[nodiscard]] bool load_fleet_segments(Cursor& c, tsdb::FleetStore& store);
 
 // --- usage aggregator: raw vote/sighting maps, MAC-sorted ---
 void save_aggregator(Buf& b, const backend::UsageAggregator& agg);

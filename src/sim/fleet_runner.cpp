@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -28,6 +29,12 @@ FleetRunner::FleetRunner(WorldConfig config)
     config_.faults.flap_fraction = config_.wan_flap_fraction;
   }
   config_.faults = config_.faults.clamped();
+
+  // Segment vault knobs: the MiB ceiling becomes a byte budget for sealed
+  // segments; spill decisions inside the vault key on deterministic byte
+  // accounting only (never getrusage), so output is spill-invariant.
+  fleet_tsdb_.set_mem_ceiling(config_.mem_ceiling_mb * 1024 * 1024);
+  fleet_tsdb_.set_spill_dir(config_.spill_dir);
 
   ShardConfig shard_config;
   shard_config.epoch = config_.fleet.epoch;
@@ -141,6 +148,48 @@ void FleetRunner::run_supervised(const char* phase,
       });
 }
 
+backend::ReportStore& FleetRunner::store() {
+  if (store_stale_) {
+    // Materialize the legacy row view from the segments: exact round-trip,
+    // canonical order, so readers of either view see identical bytes.
+    store_ = backend::ReportStore{};
+    fleet_tsdb_.for_each([&](const wire::ApReport& report) { store_.add(report); });
+    store_stale_ = false;
+  }
+  return store_;
+}
+
+void FleetRunner::seal_shard(std::size_t i) {
+  backend::ReportStore& local = shards_[i]->store();
+  if (local.report_count() == 0) return;
+  fleet_tsdb_.append_store(shards_[i]->id().value(), std::move(local));
+  store_stale_ = true;
+}
+
+void FleetRunner::incremental_harvest() {
+  const telemetry::Stopwatch watch;
+  const std::int64_t now_us = sim_now_us();
+  // Drains are shard-confined (poller + tunnels + local store), so they fan
+  // out like campaigns; sealing then runs serially in fleet order, so the
+  // vault's segment sequence is independent of worker scheduling.
+  parallel_for(shards_.size(), [&](std::size_t i) {
+    if (supervisor_.quarantined(i)) return;
+    shards_[i]->drain_connected(now_us);
+  });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (supervisor_.quarantined(i)) continue;
+    seal_shard(i);
+  }
+  if (const tsdb::Error err = fleet_tsdb_.maybe_spill()) {
+    // An unwritable spill dir is an I/O problem, not a simulation problem:
+    // segments stay resident (correct, just over budget) and the operator
+    // hears about it once per failing phase.
+    std::fprintf(stderr, "wlm: tsdb spill failed (%s): %s\n",
+                 tsdb::status_name(err.status), err.detail.c_str());
+  }
+  record_phase("incremental_harvest", watch.seconds());
+}
+
 ApRuntime* FleetRunner::find_ap(ApId id) {
   const auto it = ap_lookup_.find(id.value());
   return it == ap_lookup_.end() ? nullptr : it->second;
@@ -159,6 +208,7 @@ void FleetRunner::run_usage_week(int reports_per_week,
                  [&](NetworkShard& shard) { shard.run_usage_week(reports_per_week, spikes); });
   record_phase("usage_week", watch.seconds());
   campaign_sim_hours_ += Duration::days(7).as_hours();
+  if (config_.mem_ceiling_mb > 0) incremental_harvest();
   notify_phase("usage_week");
 }
 
@@ -166,6 +216,7 @@ void FleetRunner::snapshot_clients(SimTime t) {
   const telemetry::Stopwatch watch;
   run_supervised("snapshot", [&](NetworkShard& shard) { shard.snapshot_clients(t); });
   record_phase("snapshot", watch.seconds());
+  if (config_.mem_ceiling_mb > 0) incremental_harvest();
   notify_phase("snapshot");
 }
 
@@ -173,6 +224,7 @@ void FleetRunner::run_mr16_interference(SimTime t) {
   const telemetry::Stopwatch watch;
   run_supervised("mr16", [&](NetworkShard& shard) { shard.run_mr16_interference(t); });
   record_phase("mr16", watch.seconds());
+  if (config_.mem_ceiling_mb > 0) incremental_harvest();
   notify_phase("mr16");
 }
 
@@ -180,6 +232,7 @@ void FleetRunner::run_mr18_scan(SimTime t, double hour) {
   const telemetry::Stopwatch watch;
   run_supervised("mr18", [&](NetworkShard& shard) { shard.run_mr18_scan(t, hour); });
   record_phase("mr18", watch.seconds());
+  if (config_.mem_ceiling_mb > 0) incremental_harvest();
   notify_phase("mr18");
 }
 
@@ -187,6 +240,7 @@ void FleetRunner::run_link_windows(SimTime t) {
   const telemetry::Stopwatch watch;
   run_supervised("link_windows", [&](NetworkShard& shard) { shard.run_link_windows(t); });
   record_phase("link_windows", watch.seconds());
+  if (config_.mem_ceiling_mb > 0) incremental_harvest();
   notify_phase("link_windows");
 }
 
@@ -204,9 +258,21 @@ void FleetRunner::harvest(HarvestMode mode) {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     // guard_merge is false for quarantined shards (their work is accounted
     // as lost_supervision, never merged) and for shards the harvest.merge
-    // failpoint just quarantined.
-    if (!supervisor_.guard_merge(i, now_us)) continue;
-    store_.merge(std::move(shards_[i]->store()));
+    // failpoint just quarantined. A quarantined shard may have sealed
+    // batches earlier (streaming harvest runs before the failure): those
+    // are dropped too, so no partial work reaches any analysis.
+    if (!supervisor_.guard_merge(i, now_us)) {
+      fleet_tsdb_.drop_network(shards_[i]->id().value());
+      store_stale_ = true;
+      continue;
+    }
+    seal_shard(i);
+  }
+  if (config_.mem_ceiling_mb > 0) {
+    if (const tsdb::Error err = fleet_tsdb_.maybe_spill()) {
+      std::fprintf(stderr, "wlm: tsdb spill failed (%s): %s\n",
+                   tsdb::status_name(err.status), err.detail.c_str());
+    }
   }
 
   // Rebuild the merged telemetry from scratch each harvest: shard registries
@@ -243,6 +309,17 @@ void FleetRunner::harvest(HarvestMode mode) {
   metrics_.gauge("wlm_fleet_aps").set(static_cast<double>(ap_ptrs_.size()));
   metrics_.gauge("wlm_fleet_clients").set(static_cast<double>(client_count()));
   metrics_.gauge("wlm_fleet_mesh_links").set(static_cast<double>(link_ptrs_.size()));
+  // Segment-vault gauges. Only spill-invariant values belong here: where
+  // the bytes live (resident vs spilled, spill file count) depends on the
+  // ceiling pressing, and the export must be bit-identical across spill
+  // on/off for a fixed config. Those splits stay on FleetStore::stats(),
+  // for bench records and stderr.
+  const tsdb::FleetStoreStats& ts = fleet_tsdb_.stats();
+  metrics_.gauge("wlm_tsdb_segments_sealed").set(static_cast<double>(ts.segments_sealed));
+  metrics_.gauge("wlm_tsdb_reports").set(static_cast<double>(ts.reports));
+  metrics_.gauge("wlm_tsdb_raw_wire_bytes").set(static_cast<double>(ts.raw_wire_bytes));
+  metrics_.gauge("wlm_tsdb_segment_bytes").set(static_cast<double>(ts.segment_bytes()));
+  metrics_.gauge("wlm_tsdb_compression_ratio").set(ts.compression_ratio());
   record_phase("harvest_merge", merge_watch.seconds());
   notify_phase("harvest");
 }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/report_source.hpp"
 #include "backend/store.hpp"
 #include "core/ptr_span.hpp"
 #include "deploy/generator.hpp"
@@ -27,6 +28,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/profile.hpp"
 #include "telemetry/trace.hpp"
+#include "tsdb/fleet_store.hpp"
 
 namespace wlm::sim {
 
@@ -54,6 +56,18 @@ struct WorldConfig {
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;
+  /// Per-shard memory ceiling in MiB; 0 runs the classic hold-until-final
+  /// harvest. Nonzero turns on streaming harvest: every campaign phase
+  /// boundary drains connected tunnels, seals each shard's batch into a
+  /// columnar tsdb segment, releases the shard's row store, and spills
+  /// sealed segments to `spill_dir` when resident segment bytes press the
+  /// ceiling. The on/off bit is determinism-relevant (phase drains add poll
+  /// cycles) and is checkpointed; the value itself is a host resource knob
+  /// like `threads` — output is bit-identical for ANY nonzero ceiling,
+  /// across thread counts, and across spill on/off.
+  std::uint64_t mem_ceiling_mb = 0;
+  /// Where sealed segments spill when the ceiling presses (see above).
+  std::string spill_dir = ".";
   /// Shard supervision knobs (retry budget, watchdog deadline, snapshot
   /// capture). Defaults supervise without snapshots: a failing shard is
   /// isolated and quarantined rather than retried. A clean campaign's
@@ -86,7 +100,21 @@ class FleetRunner {
   [[nodiscard]] PtrSpan<MeshLink> mesh_links() {
     return {link_ptrs_.data(), link_ptrs_.size()};
   }
-  [[nodiscard]] backend::ReportStore& store() { return store_; }
+  /// Legacy row view of the harvested fleet. Reports live in columnar tsdb
+  /// segments after harvest(); the first store() call after a segment
+  /// change materializes them back into rows (canonical order, exact
+  /// round-trip). Prefer reports() — it reads the segments directly, one
+  /// network resident at a time.
+  [[nodiscard]] backend::ReportStore& store();
+  /// The harvested fleet as a columnar read source (backend/report_source
+  /// contract: canonical order, byte-identical to store()'s view).
+  [[nodiscard]] const backend::ReportSource& reports() const { return fleet_tsdb_; }
+  /// Segment vault access for checkpointing and bench accounting.
+  [[nodiscard]] const tsdb::FleetStore& fleet_tsdb() const { return fleet_tsdb_; }
+  [[nodiscard]] tsdb::FleetStore& fleet_tsdb() { return fleet_tsdb_; }
+  /// Marks the legacy row view stale (checkpoint restore adopts segments
+  /// behind store()'s back).
+  void invalidate_store_view() { store_stale_ = true; }
   [[nodiscard]] std::size_t client_count() const;
   [[nodiscard]] ApRuntime* find_ap(ApId id);
 
@@ -190,7 +218,10 @@ class FleetRunner {
   std::vector<ApRuntime*> ap_ptrs_;
   std::vector<MeshLink*> link_ptrs_;
   std::unordered_map<std::uint32_t, ApRuntime*> ap_lookup_;
+  tsdb::FleetStore fleet_tsdb_;
   backend::ReportStore store_;
+  /// True when segments changed since store_ was last materialized.
+  bool store_stale_ = false;
   telemetry::MetricsRegistry metrics_;
   std::vector<telemetry::TraceSpan> trace_;
   telemetry::PhaseProfiler profiler_;
@@ -205,6 +236,14 @@ class FleetRunner {
   /// worker pool with per-shard exception isolation, then lets the
   /// supervisor restore/retry/quarantine failed shards in fleet order.
   void run_supervised(const char* phase, const std::function<void(NetworkShard&)>& fn);
+  /// Streaming harvest (mem_ceiling_mb > 0): drains connected tunnels in
+  /// parallel, seals each shard's batch into the segment vault in fleet
+  /// order, releases the shard row stores, and spills if the ceiling
+  /// presses. Runs at every campaign phase boundary, before the phase hook,
+  /// so checkpoint cuts see sealed segments.
+  void incremental_harvest();
+  /// Seals one shard's local store into the vault (no-op when empty).
+  void seal_shard(std::size_t i);
   /// Sim-time stamp for supervision incidents/spans: the campaign clock at
   /// the current phase's start.
   [[nodiscard]] std::int64_t sim_now_us() const {

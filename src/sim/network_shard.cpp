@@ -673,6 +673,25 @@ void NetworkShard::harvest_local(HarvestMode mode) {
   publish_telemetry();
 }
 
+void NetworkShard::drain_connected(std::int64_t now_us) {
+  poller_.set_now(now_us);
+  // Same bounded pull loop as harvest_local, minus the reconnect and the
+  // fault-plan fast-forward: only tunnels that are up right now drain, and
+  // an AP mid-outage keeps queueing (§2: the backend polls queued data when
+  // the connection is reestablished).
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    bool any = false;
+    for (const auto& ap : aps_) {
+      if (ap.tunnel().connected() && ap.tunnel().queued() > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    poller_.poll_all(64, /*ignore_backoff=*/true);
+  }
+}
+
 void NetworkShard::publish_telemetry() {
   const fault::LossLedger ledger = loss_ledger();
   // Gauges, not counters: harvest may run more than once (week-end then

@@ -123,6 +123,15 @@ class NetworkShard {
   /// still-open outage offline, backlog in flight.
   void harvest_local(HarvestMode mode = HarvestMode::kFinal);
 
+  /// Incremental-harvest drain: pulls whatever the connected tunnels have
+  /// queued at `now_us` into the shard store, without touching fault
+  /// schedules (no injector on_harvest — that drives plans to the horizon
+  /// and belongs to the final harvest only), reconnecting anything, or
+  /// republishing telemetry. APs inside an outage keep their backlog in
+  /// flight. Shard-confined, so phase-boundary drains on different shards
+  /// parallelize like campaigns do.
+  void drain_connected(std::int64_t now_us);
+
   // --- pipeline statistics ---
   [[nodiscard]] std::uint64_t flows_classified() const { return flows_classified_; }
   [[nodiscard]] std::uint64_t flows_misclassified() const { return flows_misclassified_; }

@@ -27,6 +27,10 @@ class World {
   [[nodiscard]] PtrSpan<const ApRuntime> aps() const { return runner_.aps(); }
   [[nodiscard]] PtrSpan<MeshLink> mesh_links() { return runner_.mesh_links(); }
   [[nodiscard]] backend::ReportStore& store() { return runner_.store(); }
+  /// Columnar read path: the harvested fleet straight from the tsdb segment
+  /// vault (same canonical order as store(), one network resident at a
+  /// time). Analyses should prefer this.
+  [[nodiscard]] const backend::ReportSource& reports() const { return runner_.reports(); }
   /// Facade-level auxiliary stream (simulation state draws from per-shard
   /// substreams instead; see NetworkShard).
   [[nodiscard]] Rng& rng() { return rng_; }

@@ -1,0 +1,102 @@
+// Columnar segment writer/reader (format in tsdb/format.hpp).
+//
+// SegmentWriter shreds wire::ApReports — appended in canonical order
+// (ascending AP id, per-AP arrival order) — into per-field column vectors
+// and seals them into one immutable, CRC-guarded byte block. SegmentReader
+// is the adversarial inverse: it validates structure, CRCs, and count
+// consistency before reassembling a single report, and surfaces every
+// failure as a typed tsdb::Error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tsdb/format.hpp"
+#include "wire/messages.hpp"
+
+namespace wlm::tsdb {
+
+class SegmentWriter {
+ public:
+  SegmentWriter(std::uint32_t network_id, std::uint32_t batch_seq)
+      : network_id_(network_id), batch_seq_(batch_seq) {}
+
+  /// Appends one report's fields to the column buffers. Callers append in
+  /// canonical order; the writer does not reorder.
+  void add(const wire::ApReport& report);
+
+  [[nodiscard]] std::size_t report_count() const { return ap_ids_.size(); }
+  /// Total bytes the row-oriented wire encoding of the appended reports
+  /// takes — the compression-ratio baseline, carried in the header.
+  [[nodiscard]] std::uint64_t raw_wire_bytes() const { return raw_wire_bytes_; }
+  /// Distinct AP ids appended so far, ascending (canonical input order).
+  [[nodiscard]] const std::vector<std::uint32_t>& ap_ids() const { return distinct_aps_; }
+
+  /// Seals the columns into one segment byte block. The writer is spent
+  /// afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> seal();
+
+ private:
+  std::uint32_t network_id_;
+  std::uint32_t batch_seq_;
+  std::uint64_t raw_wire_bytes_ = 0;
+  std::vector<std::uint32_t> distinct_aps_;
+
+  // Per-report columns.
+  std::vector<std::uint64_t> ap_ids_, firmware_;
+  std::vector<std::int64_t> timestamps_;
+  std::vector<std::uint64_t> n_usage_, n_util_, n_nbr_, n_link_, n_client_;
+  // Child-row columns (MACs raw here; dict-indexed at seal).
+  std::vector<std::uint64_t> usage_client_, usage_app_, usage_tx_, usage_rx_;
+  std::vector<std::uint64_t> util_band_, util_cycle_, util_busy_, util_rxf_, util_tx_;
+  std::vector<std::int64_t> util_channel_;
+  std::vector<std::uint64_t> nbr_bssid_, nbr_band_, nbr_flags_;
+  std::vector<std::int64_t> nbr_channel_;
+  std::vector<double> nbr_rssi_;
+  std::vector<std::int64_t> link_from_, link_channel_;
+  std::vector<std::uint64_t> link_band_, link_expected_, link_received_;
+  std::vector<std::uint64_t> client_mac_, client_caps_, client_band_, client_os_;
+  std::vector<double> client_rssi_;
+};
+
+/// Header fields every segment carries before its blocks.
+struct SegmentHeader {
+  std::uint32_t network_id = 0;
+  std::uint32_t batch_seq = 0;
+  std::uint64_t n_reports = 0;
+  std::uint64_t n_aps = 0;
+  std::uint64_t raw_wire_bytes = 0;
+  std::uint64_t n_blocks = 0;
+};
+
+class SegmentReader {
+ public:
+  /// Parses and validates the fixed header (magic, version, counts) without
+  /// touching blocks. Cheap; spill read-back uses it as a sanity gate.
+  [[nodiscard]] static Error read_header(std::span<const std::uint8_t> bytes,
+                                         SegmentHeader& out);
+
+  /// Full structural validation: header, every block frame, every CRC, the
+  /// segment trailer CRC, and cross-block count consistency — without
+  /// assembling reports.
+  [[nodiscard]] static Error validate(std::span<const std::uint8_t> bytes);
+
+  /// Decodes every report in append order. Runs validate() first; on any
+  /// error nothing is emitted.
+  [[nodiscard]] static Error for_each(
+      std::span<const std::uint8_t> bytes,
+      const std::function<void(wire::ApReport&&)>& fn);
+
+  /// Timestamp column min/max from the block summary, no payload decode.
+  /// `lo`/`hi` untouched when the segment holds no reports.
+  [[nodiscard]] static Error time_bounds(std::span<const std::uint8_t> bytes,
+                                         std::int64_t& lo, std::int64_t& hi);
+
+  /// Distinct AP ids in the segment, ascending.
+  [[nodiscard]] static Error ap_ids(std::span<const std::uint8_t> bytes,
+                                    std::vector<std::uint32_t>& out);
+};
+
+}  // namespace wlm::tsdb

@@ -1,0 +1,161 @@
+#include "tsdb/series_codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "wire/varint.hpp"
+
+namespace wlm::tsdb {
+
+namespace {
+
+constexpr std::size_t kMaxDict = 4096;
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double bits_f64(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+unsigned index_bits(std::size_t n) {
+  return n <= 1 ? 0 : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+void put_fixed64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool get_fixed64(std::span<const std::uint8_t> bytes, std::size_t& pos, std::uint64_t& out) {
+  if (bytes.size() - pos < 8) return false;
+  out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | bytes[pos + static_cast<std::size_t>(i)];
+  pos += 8;
+  return true;
+}
+
+bool get_varint_at(std::span<const std::uint8_t> bytes, std::size_t& pos, std::uint64_t& out) {
+  const auto r = wire::get_varint(bytes.subspan(pos));
+  if (!r) return false;
+  out = r->value;
+  pos += r->consumed;
+  return true;
+}
+
+}  // namespace
+
+void encode_points(std::vector<std::uint8_t>& out, const std::vector<backend::Point>& points) {
+  wire::put_varint(out, points.size());
+  std::int64_t prev = 0;
+  for (const auto& p : points) {
+    wire::put_varint(out, wire::zigzag_encode(p.time.as_micros() - prev));
+    prev = p.time.as_micros();
+  }
+  std::vector<std::uint64_t> bits;
+  bits.reserve(points.size());
+  for (const auto& p : points) bits.push_back(f64_bits(p.value));
+  std::vector<std::uint64_t> dict = bits;
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  if (!points.empty() && dict.size() <= kMaxDict) {
+    out.push_back(static_cast<std::uint8_t>(Encoding::kDictF64));
+    wire::put_varint(out, dict.size());
+    std::uint64_t dprev = 0;
+    for (const std::uint64_t d : dict) {
+      wire::put_varint(out, wire::zigzag_encode(static_cast<std::int64_t>(d - dprev)));
+      dprev = d;
+    }
+    const unsigned width = index_bits(dict.size());
+    std::uint64_t acc = 0;
+    unsigned nbits = 0;
+    for (const std::uint64_t v : bits) {
+      const auto it = std::lower_bound(dict.begin(), dict.end(), v);
+      acc |= static_cast<std::uint64_t>(it - dict.begin()) << nbits;
+      nbits += width;
+      while (nbits >= 8) {
+        out.push_back(static_cast<std::uint8_t>(acc));
+        acc >>= 8;
+        nbits -= 8;
+      }
+    }
+    if (nbits > 0) out.push_back(static_cast<std::uint8_t>(acc));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(Encoding::kFixed64));
+    for (const std::uint64_t v : bits) put_fixed64(out, v);
+  }
+}
+
+bool decode_points(std::span<const std::uint8_t> bytes, std::size_t& pos,
+                   std::vector<backend::Point>& out) {
+  std::uint64_t n = 0;
+  if (!get_varint_at(bytes, pos, n)) return false;
+  // Every point costs at least one time byte; a count beyond the remaining
+  // bytes is a lie and must not reach reserve().
+  if (n > bytes.size() - pos) return false;
+  std::vector<std::int64_t> times;
+  times.reserve(n);
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t z = 0;
+    if (!get_varint_at(bytes, pos, z)) return false;
+    prev += wire::zigzag_decode(z);
+    times.push_back(prev);
+  }
+  out.clear();
+  out.reserve(n);
+  if (n == 0) return true;
+  if (bytes.size() - pos < 1) return false;
+  const auto encoding = static_cast<Encoding>(bytes[pos]);
+  pos += 1;
+  if (encoding == Encoding::kDictF64) {
+    std::uint64_t n_dict = 0;
+    if (!get_varint_at(bytes, pos, n_dict)) return false;
+    if (n_dict > kMaxDict || n_dict > bytes.size() - pos) return false;
+    std::vector<std::uint64_t> dict;
+    dict.reserve(n_dict);
+    std::uint64_t dprev = 0;
+    for (std::uint64_t i = 0; i < n_dict; ++i) {
+      std::uint64_t z = 0;
+      if (!get_varint_at(bytes, pos, z)) return false;
+      const std::uint64_t v = dprev + static_cast<std::uint64_t>(wire::zigzag_decode(z));
+      if (i > 0 && v <= dprev) return false;
+      dict.push_back(v);
+      dprev = v;
+    }
+    const unsigned width = index_bits(dict.size());
+    const std::uint64_t need = (n * width + 7) / 8;
+    if (need > bytes.size() - pos) return false;
+    std::uint64_t acc = 0;
+    unsigned nbits = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      while (nbits < width) {
+        acc |= static_cast<std::uint64_t>(bytes[pos++]) << nbits;
+        nbits += 8;
+      }
+      const std::uint64_t mask = width == 0 ? 0 : (~std::uint64_t{0} >> (64 - width));
+      const std::uint64_t idx = acc & mask;
+      if (idx >= dict.size()) return false;
+      acc >>= width;
+      nbits -= width;
+      out.push_back({SimTime::from_micros(times[i]), bits_f64(dict[idx])});
+    }
+    return true;
+  }
+  if (encoding == Encoding::kFixed64) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t bits = 0;
+      if (!get_fixed64(bytes, pos, bits)) return false;
+      out.push_back({SimTime::from_micros(times[i]), bits_f64(bits)});
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wlm::tsdb

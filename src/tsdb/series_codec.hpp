@@ -1,0 +1,37 @@
+// Columnar point-vector codec for TimeSeriesStore serialization.
+//
+// The row codec spent ~17 bytes per point (varint micros + 8-byte double).
+// Time-sorted points delta/zigzag-code their timestamps to 1-3 bytes, and
+// telemetry values repeat heavily (counters, quantized utilizations), so a
+// value dictionary usually replaces 8 bytes with a 1-2 byte index:
+//
+//   [varint n]
+//   [varint zigzag(t[i] - t[i-1])]*   (t[-1] = 0)
+//   [u8 encoding: kDictF64 | kFixed64]
+//   kDictF64: [varint dict size][delta-coded sorted bit patterns]*
+//             [ceil(log2(n))-bit packed indices, LSB-first]
+//   kFixed64: [8B LE bit patterns]*
+//
+// Doubles travel as IEEE-754 bit patterns — exact round-trip, same contract
+// as the wire format and the checkpoint container.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "backend/timeseries.hpp"
+#include "tsdb/format.hpp"
+
+namespace wlm::tsdb {
+
+/// Appends the columnar encoding of `points` (must be time-sorted, as
+/// TimeSeriesStore::for_each_series emits them) to `out`.
+void encode_points(std::vector<std::uint8_t>& out, const std::vector<backend::Point>& points);
+
+/// Decodes one point vector from the front of `bytes`, advancing `pos`.
+/// False (with `pos` unspecified) on malformed input; never over-reads.
+[[nodiscard]] bool decode_points(std::span<const std::uint8_t> bytes, std::size_t& pos,
+                                 std::vector<backend::Point>& out);
+
+}  // namespace wlm::tsdb

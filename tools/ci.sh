@@ -255,6 +255,66 @@ failsafe_smoke() {
 }
 failsafe_smoke
 
+# Full-scale streaming-harvest smoke: the tsdb segment store + spill path
+# through the shipped wlmctl wiring (the tier-1 `tsdb` label proves the
+# store in-process; BENCH_fullscale measures the real 20,667-network
+# campaign). A tiny fleet runs once with a roomy segment ceiling (streaming
+# on, nothing spills) and once with a deliberately tiny 1 MiB ceiling that
+# forces every sealed segment to disk. Requirements: the tiny-ceiling run
+# actually produced spill files, its stdout is byte-identical to the
+# unspilled run, and its peak RSS stays under a generous absolute bound —
+# the ceiling governs resident segment bytes, so the bound catches the
+# store accidentally holding everything resident anyway.
+fullscale_smoke() {
+  echo "=== full-scale streaming-harvest smoke ==="
+  local dir="build/fullscale-smoke"
+  rm -rf "${dir}" && mkdir -p "${dir}/spill"
+  local flags=(--networks 12 --seed 11 --jobs 2)
+
+  ./build/tools/wlmctl simulate "${flags[@]}" --mem-ceiling-mb 4096 \
+    --spill-dir "${dir}/spill" > "${dir}/resident.out"
+  if compgen -G "${dir}/spill/tsdb_spill_*.ckpt" > /dev/null; then
+    echo "fullscale smoke: roomy ceiling spilled sealed segments" >&2
+    exit 1
+  fi
+
+  if command -v python3 > /dev/null 2>&1; then
+    # Run the spilled pass under a wrapper that reports the child's peak
+    # RSS (ru_maxrss) and enforce a 768 MiB bound — far above a tiny
+    # fleet's honest footprint, far below an everything-resident bug.
+    python3 - "${dir}" "${flags[@]}" << 'EOF'
+import resource, subprocess, sys
+outdir = sys.argv[1]
+cmd = ["./build/tools/wlmctl", "simulate", *sys.argv[2:],
+       "--mem-ceiling-mb", "1", "--spill-dir", f"{outdir}/spill"]
+with open(f"{outdir}/spilled.out", "wb") as out:
+    rc = subprocess.call(cmd, stdout=out)
+if rc != 0:
+    sys.exit(f"fullscale smoke: spilled run exited {rc}")
+rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+cap_kb = 768 * 1024
+if rss_kb > cap_kb:
+    sys.exit(f"fullscale smoke: peak RSS {rss_kb} KB above the {cap_kb} KB bound")
+print(f"fullscale smoke: spilled run peak RSS {rss_kb} KB (bound {cap_kb} KB)")
+EOF
+  else
+    ./build/tools/wlmctl simulate "${flags[@]}" --mem-ceiling-mb 1 \
+      --spill-dir "${dir}/spill" > "${dir}/spilled.out"
+    echo "fullscale smoke: RSS bound skipped (no python3)"
+  fi
+
+  compgen -G "${dir}/spill/tsdb_spill_*.ckpt" > /dev/null || {
+    echo "fullscale smoke: 1 MiB ceiling never spilled" >&2
+    exit 1
+  }
+  cmp "${dir}/resident.out" "${dir}/spilled.out" || {
+    echo "fullscale smoke: spilled stdout differs from the unspilled run" >&2
+    exit 1
+  }
+  echo "fullscale smoke: spill occurred, spilled output byte-identical to resident"
+}
+fullscale_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   # Sanitizer builds skip the `slow` and `perf` labels (fork-based e2e,
   # golden replays, and the PER-mode fleet-identity gates): the instrumented
@@ -262,7 +322,10 @@ if [[ "${1:-}" != "--fast" ]]; then
   # already covered by the unlabeled ckpt/property/determinism tests.
   # The `classify` label (rule-engine differential + parser fuzz corpus) is
   # NOT excluded, so both sanitizer lanes sweep the mutated-packet
-  # corpus and the 100k-flow oracle diff on every run.
+  # corpus and the 100k-flow oracle diff on every run. Likewise `tsdb`
+  # (segment format roundtrip + the adversarial truncation/bit-flip/tamper
+  # corpus): its tests are fast and written to be ASan/UBSan-clean, so both
+  # sanitizer lanes pick them up automatically.
   run_suite build-asan "-LE slow|perf" -DWLM_SANITIZE=address
   run_suite build-tsan "-LE slow|perf" -DWLM_SANITIZE=thread
 fi

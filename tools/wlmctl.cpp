@@ -87,16 +87,63 @@ Args parse_args(int argc, char** argv, int first) {
 }
 
 /// Validates the scale/parallelism options shared by every world-building
-/// command. Prints a diagnostic and returns false on a bad value.
+/// command. Prints a diagnostic and returns false on a bad value. The
+/// upper bound is the paper's audited full fleet (20,667 networks, Table
+/// 2): every code path is exercised at that scale (BENCH_fullscale.json),
+/// anything beyond it is untested territory — rejected, not clamped, so a
+/// typo'd count fails loudly.
 bool validate_scale(const Args& args, int networks, int jobs) {
   if (args.bad) return false;
   if (networks < 1) {
     std::fprintf(stderr, "wlmctl: --networks must be >= 1 (got %d)\n", networks);
     return false;
   }
+  if (networks > analysis::paper_network_count()) {
+    std::fprintf(stderr,
+                 "wlmctl: --networks is audited up to %d (the paper's full fleet); "
+                 "got %d\n",
+                 analysis::paper_network_count(), networks);
+    return false;
+  }
   if (jobs < 1) {
     std::fprintf(stderr, "wlmctl: --jobs must be >= 1 (got %d)\n", jobs);
     return false;
+  }
+  return true;
+}
+
+/// Resolves --networks against the --scale preset. `--scale paper` presets
+/// the audited full fleet (20,667 networks); an explicit --networks wins.
+int resolve_networks(const Args& args, int fallback) {
+  if (const auto it = args.options.find("scale"); it != args.options.end()) {
+    if (it->second != "paper") {
+      std::fprintf(stderr, "wlmctl: --scale expects 'paper', got '%s'\n",
+                   it->second.c_str());
+      args.bad = true;
+      return fallback;
+    }
+    if (args.options.count("networks") == 0) return analysis::paper_network_count();
+  }
+  return args.get_int("networks", fallback);
+}
+
+/// Applies the shared streaming-harvest flags (--mem-ceiling-mb,
+/// --spill-dir) to an experiment scale; returns false on a bad value.
+bool apply_mem_ceiling(const Args& args, std::uint64_t& mem_ceiling_mb,
+                       std::string& spill_dir) {
+  const int ceiling = args.get_int("mem-ceiling-mb", 0);
+  if (args.bad) return false;
+  if (ceiling < 0) {
+    std::fprintf(stderr, "wlmctl: --mem-ceiling-mb must be >= 0 (got %d)\n", ceiling);
+    return false;
+  }
+  mem_ceiling_mb = static_cast<std::uint64_t>(ceiling);
+  if (const auto it = args.options.find("spill-dir"); it != args.options.end()) {
+    if (it->second.empty()) {
+      std::fprintf(stderr, "wlmctl: --spill-dir expects a directory\n");
+      return false;
+    }
+    spill_dir = it->second;
   }
   return true;
 }
@@ -125,7 +172,7 @@ bool arm_failpoints(const Args& args) {
 std::optional<sim::WorldConfig> world_config(const Args& args) {
   sim::WorldConfig config;
   config.fleet.epoch = deploy::Epoch::kJan2015;
-  config.fleet.network_count = args.get_int("networks", 50);
+  config.fleet.network_count = resolve_networks(args, 50);
   config.fleet.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   config.seed = config.fleet.seed + 1;
   config.wan_flap_fraction = args.get_double("flap", 0.0);
@@ -185,6 +232,9 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
   config.supervision.capture_checkpoints = args.options.count("failpoints") != 0 ||
                                            args.options.count("max-shard-retries") != 0 ||
                                            args.options.count("shard-deadline") != 0;
+  if (!apply_mem_ceiling(args, config.mem_ceiling_mb, config.spill_dir)) {
+    return std::nullopt;
+  }
   return config;
 }
 
@@ -338,7 +388,7 @@ int cmd_simulate(const Args& args) {
   }
 
   std::printf("store: %zu reports; flows classified: %llu (%.2f%% disagree with truth)\n",
-              runner->store().report_count(),
+              runner->reports().report_count(),
               static_cast<unsigned long long>(runner->flows_classified()),
               100.0 * static_cast<double>(runner->flows_misclassified()) /
                   std::max<std::uint64_t>(1, runner->flows_classified()));
@@ -368,11 +418,12 @@ int cmd_report(const Args& args) {
     return 2;
   }
   analysis::ScenarioScale scale;
-  scale.networks = args.get_int("networks", 150);
+  scale.networks = resolve_networks(args, 150);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   scale.threads = args.get_int("jobs", 1);
   if (!validate_scale(args, scale.networks, scale.threads)) return 2;
   if (!apply_per_mode(args, scale)) return 2;
+  if (!apply_mem_ceiling(args, scale.mem_ceiling_mb, scale.spill_dir)) return 2;
   const std::string& what = args.positional[0];
 
   if (what == "table2") {
@@ -437,7 +488,7 @@ int cmd_health(const Args& args) {
   backend::HealthPolicy policy;
   policy.expected_interval = Duration::days(1);
   const backend::HealthMonitor monitor(policy);
-  auto findings = monitor.analyze(world.store(), SimTime::epoch() + Duration::days(7));
+  auto findings = monitor.analyze(world.reports(), SimTime::epoch() + Duration::days(7));
   for (const auto& ap : world.aps()) {
     const auto t = monitor.analyze_tunnel(ap.tunnel());
     findings.insert(findings.end(), t.begin(), t.end());
@@ -594,11 +645,12 @@ int cmd_export(const Args& args) {
     return 2;
   }
   analysis::ScenarioScale scale;
-  scale.networks = args.get_int("networks", 150);
+  scale.networks = resolve_networks(args, 150);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   scale.threads = args.get_int("jobs", 1);
   if (!validate_scale(args, scale.networks, scale.threads)) return 2;
   if (!apply_per_mode(args, scale)) return 2;
+  if (!apply_mem_ceiling(args, scale.mem_ceiling_mb, scale.spill_dir)) return 2;
   const std::string& dir = args.positional[0];
 
   std::vector<analysis::CsvDoc> docs;
@@ -639,8 +691,10 @@ int cmd_spectrum(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: wlmctl <command> [options]\n"
-               "  simulate  [--networks N] [--seed S] [--flap F] [--faults SPEC] [--jobs N]\n"
+               "  simulate  [--networks N] [--scale paper] [--seed S] [--flap F]\n"
+               "            [--faults SPEC] [--jobs N]\n"
                "            [--classifier reference|indexed] [--per-mode reference|table]\n"
+               "            [--mem-ceiling-mb MB] [--spill-dir DIR]\n"
                "            [--checkpoint-out FILE] [--checkpoint-every SIM_HOURS]\n"
                "            [--resume-from FILE] [--halt-after-phase PHASE]\n"
                "            [--failpoints SPEC] [--max-shard-retries N]\n"
@@ -648,16 +702,25 @@ int usage() {
                "            phases: usage_week, mr16, link_windows, harvest. A resume\n"
                "            replays only unfinished phases; its output is byte-identical\n"
                "            to an uninterrupted run at any --jobs\n"
-               "  report    <table2..table7|fig1..fig11> [--networks N] [--seed S] [--jobs N]\n"
-               "            [--per-mode reference|table]\n"
+               "  report    <table2..table7|fig1..fig11> [--networks N] [--scale paper]\n"
+               "            [--seed S] [--jobs N] [--per-mode reference|table]\n"
+               "            [--mem-ceiling-mb MB] [--spill-dir DIR]\n"
                "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
-               "  export    <dir> [--networks N] [--seed S] [--jobs N]  write CSV data series\n"
+               "  export    <dir> [--networks N] [--scale paper] [--seed S] [--jobs N]\n"
+               "            [--mem-ceiling-mb MB] [--spill-dir DIR]  write CSV data series\n"
                "  stats     [--networks N] [--seed S] [--faults SPEC] [--jobs N]\n"
                "            [--metrics-out FILE] [--trace-out FILE]\n"
                "            run a week campaign, print the Prometheus-style metrics\n"
                "            snapshot, and verify it reconciles with the loss ledger\n"
                "  spectrum  [--seed S]\n"
+               "\n"
+               "--scale paper presets --networks to the paper's audited full fleet\n"
+               "(20,667 networks, Table 2); an explicit --networks overrides it.\n"
+               "--mem-ceiling-mb M streams the harvest: shards seal columnar tsdb\n"
+               "segments at phase boundaries and spill to --spill-dir when resident\n"
+               "segment bytes press M/4. Output is byte-identical for any fixed\n"
+               "ceiling, spilled or not (0 = classic hold-until-final harvest).\n"
                "\n"
                "--faults SPEC is comma-separated key=value pairs; keys: flap, outage_rate,\n"
                "outage_hours, reboot_rate, fw_wave, fw_hour, corrupt, oom_threshold,\n"
