@@ -191,7 +191,9 @@ Error FleetStore::load_segment(const Segment& seg, std::vector<std::uint8_t>& ou
   std::FILE* f = std::fopen(seg.spill_file.c_str(), "rb");
   if (f == nullptr) return {Status::kIo, "cannot open spill file " + seg.spill_file};
   out.resize(seg.size);
-  const bool sought = std::fseek(f, static_cast<long>(seg.spill_offset), SEEK_SET) == 0;
+  // fseeko, not fseek: spill files at paper scale run past 2 GiB, where a
+  // `long` offset truncates on 32-bit/LLP64 targets.
+  const bool sought = ::fseeko(f, static_cast<off_t>(seg.spill_offset), SEEK_SET) == 0;
   const std::size_t got = sought ? std::fread(out.data(), 1, out.size(), f) : 0;
   std::fclose(f);
   if (got != out.size()) {

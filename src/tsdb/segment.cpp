@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <limits>
 #include <map>
+#include <new>
+#include <stdexcept>
 
 #include "core/checksum.hpp"
 #include "wire/encoder.hpp"
@@ -15,6 +18,14 @@ namespace {
 
 constexpr std::size_t kHeaderFixedBytes = 8 + 4 + 4 + 4;  // magic + 3 u32s
 constexpr std::size_t kTrailerBytes = 4;
+/// Columnar sealing never shrinks the row-oriented wire encoding by more
+/// than this factor, so a header claiming a larger raw_wire_bytes is lying.
+/// The bound keeps raw_wire_bytes usable as a row-count ceiling below.
+constexpr std::uint64_t kMaxRawExpansion = std::uint64_t{1} << 16;
+/// Hard ceiling on a single report's child-row count (usage/util/neighbor/
+/// link/client rows). The fleet tops out around thousands per report; 16M
+/// is far past legitimate and small enough that per-group sums stay sane.
+constexpr std::uint64_t kMaxChildRowsPerReport = std::uint64_t{1} << 24;
 /// RSSI columns switch from dictionary to raw fixed64 past this many
 /// distinct values (a dictionary larger than the rows it indexes inflates).
 constexpr std::size_t kMaxF64Dict = 4096;
@@ -372,6 +383,12 @@ Error walk_header(Walk& w, SegmentHeader& hdr) {
       hdr.n_blocks > w.bytes.size()) {
     return {Status::kBadCount, "segment header counts exceed segment size"};
   }
+  // raw_wire_bytes is load-bearing downstream (row counts and per-report
+  // child counts are bounded against it), so it must itself be plausible.
+  // Division form: bytes.size() * kMaxRawExpansion could wrap.
+  if (hdr.raw_wire_bytes / kMaxRawExpansion > w.bytes.size()) {
+    return {Status::kBadCount, "segment header raw_wire_bytes implausible"};
+  }
   return {};
 }
 
@@ -396,7 +413,9 @@ Error walk_block(Walk& w, RawBlock& b, bool check_crc) {
   }
   b.min = wire::zigzag_decode(zmin);
   b.max = wire::zigzag_decode(zmax);
-  if (w.remaining() < len + 4 + kTrailerBytes) {
+  // Overflow-safe: a crafted len near 2^64 would wrap `len + 4 + trailer`
+  // and sail past a `remaining() < sum` check into an out-of-bounds subspan.
+  if (len > w.remaining() || w.remaining() - len < 4 + kTrailerBytes) {
     return {Status::kTruncated, "block payload truncated"};
   }
   b.payload = w.bytes.subspan(w.pos, len);
@@ -432,7 +451,13 @@ struct Parsed {
 Error unpack_indices(Walk& w, std::uint64_t rows, std::size_t dict_size,
                      std::vector<std::uint64_t>& out) {
   const unsigned width = index_bits(dict_size);
-  const std::uint64_t need = (rows * width + 7) / 8;
+  // Overflow-safe: rows*width near 2^64 would wrap `need` down to a value
+  // an attacker can match with a tiny (even empty) stream.
+  if (width > 0 &&
+      rows > (std::numeric_limits<std::uint64_t>::max() - 7) / width) {
+    return {Status::kBadCount, "packed index row count overflows"};
+  }
+  const std::uint64_t need = width == 0 ? 0 : (rows * width + 7) / 8;
   if (w.remaining() != need) {
     return {Status::kBadCount, "packed index stream length mismatch"};
   }
@@ -459,6 +484,14 @@ Error unpack_indices(Walk& w, std::uint64_t rows, std::size_t dict_size,
 Error decode_block(const RawBlock& b, Parsed& out) {
   if (out.ints.count(b.id) != 0 || out.reals.count(b.id) != 0) {
     return {Status::kMalformed, "duplicate column"};
+  }
+  // Every row costs at least one byte in the row-oriented wire encoding the
+  // header's raw_wire_bytes records (itself bounded in walk_header), so a
+  // larger row count is a lie. Gating here — before any reserve() — also
+  // covers the zero-width dict case, where a constant column's empty index
+  // stream puts no payload-derived bound on rows.
+  if (b.rows > out.hdr.raw_wire_bytes) {
+    return {Status::kBadCount, "block row count exceeds raw wire size"};
   }
   std::int64_t seen_min = 0, seen_max = 0;
   bool any = false;
@@ -540,7 +573,9 @@ Error decode_block(const RawBlock& b, Parsed& out) {
       break;
     }
     case Encoding::kFixed64: {
-      if (b.payload.size() != b.rows * 8) {
+      // Division form: rows * 8 wraps for crafted rows >= 2^61, letting an
+      // empty payload pass an exact product comparison.
+      if (b.payload.size() % 8 != 0 || b.rows != b.payload.size() / 8) {
         return {Status::kBadCount, "fixed64 column size mismatch"};
       }
       std::vector<double> col;
@@ -623,11 +658,14 @@ Error cross_check(const Parsed& p) {
   const auto checked_sum = [&](ColumnId id, std::uint64_t& out) -> Error {
     out = 0;
     for (const std::uint64_t v : p.col(id)) {
-      // A single count claiming more rows than the segment has bytes is a
-      // lie regardless of what the child columns say; rejecting it here
-      // also keeps the sum overflow-free.
-      if (v > hdr.raw_wire_bytes + p.col(id).size() + 1 && v > (1ULL << 32)) {
+      // Hard per-count cap, independent of any header field: no report
+      // carries anywhere near this many child rows, and rejecting early
+      // keeps the sum from wrapping to a value matching absent columns.
+      if (v > kMaxChildRowsPerReport) {
         return {Status::kBadCount, "implausible per-report child count"};
+      }
+      if (out > std::numeric_limits<std::uint64_t>::max() - v) {
+        return {Status::kBadCount, "child row total overflows"};
       }
       out += v;
     }
@@ -686,6 +724,21 @@ Error cross_check(const Parsed& p) {
   return {};
 }
 
+/// Last line of the no-crash contract: row counts are bounded against the
+/// segment's own claims above, but a large crafted segment can still make
+/// bounded reserves exceed what the host will grant. That must surface as
+/// a typed error, not an uncaught bad_alloc/length_error.
+template <typename Fn>
+Error guard_alloc(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::bad_alloc&) {
+    return {Status::kBadCount, "segment decode exhausted memory"};
+  } catch (const std::length_error&) {
+    return {Status::kBadCount, "segment decode exhausted memory"};
+  }
+}
+
 Error parse(std::span<const std::uint8_t> bytes, Parsed& out) {
   Walk w{bytes};
   if (auto err = walk_header(w, out.hdr)) return err;
@@ -714,13 +767,13 @@ Error SegmentReader::read_header(std::span<const std::uint8_t> bytes, SegmentHea
 
 Error SegmentReader::validate(std::span<const std::uint8_t> bytes) {
   Parsed p;
-  return parse(bytes, p);
+  return guard_alloc([&] { return parse(bytes, p); });
 }
 
 Error SegmentReader::for_each(std::span<const std::uint8_t> bytes,
                               const std::function<void(wire::ApReport&&)>& fn) {
   Parsed p;
-  if (auto err = parse(bytes, p)) return err;
+  if (auto err = guard_alloc([&] { return parse(bytes, p); })) return err;
   const auto& dict = p.col(ColumnId::kMacDict);
   const auto& aps = p.col(ColumnId::kApId);
   const auto& ts = p.col(ColumnId::kTimestamp);
@@ -822,7 +875,7 @@ Error SegmentReader::ap_ids(std::span<const std::uint8_t> bytes,
     if (b.id != ColumnId::kApId) continue;
     Parsed p;
     p.hdr = hdr;
-    if (auto err = decode_block(b, p)) return err;
+    if (auto err = guard_alloc([&] { return decode_block(b, p); })) return err;
     out.clear();
     for (const std::uint64_t v : p.col(ColumnId::kApId)) {
       if (out.empty() || out.back() != static_cast<std::uint32_t>(v)) {

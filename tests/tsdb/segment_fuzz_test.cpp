@@ -13,6 +13,7 @@
 #include "core/rng.hpp"
 #include "tsdb/segment.hpp"
 #include "wire/messages.hpp"
+#include "wire/varint.hpp"
 
 namespace wlm {
 namespace {
@@ -140,6 +141,137 @@ TEST(SegmentFuzz, RandomGarbageFailsTyped) {
     EXPECT_TRUE(err);
     EXPECT_TRUE(decoded.empty());
   }
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Hand-builds a segment header for crafted-field attacks the mutation
+/// fuzzers cannot reach (multi-byte varints near 2^64 never arise from
+/// flipping bits of a small valid segment).
+std::vector<std::uint8_t> crafted_header(std::uint64_t n_reports, std::uint64_t n_aps,
+                                         std::uint64_t raw_wire_bytes,
+                                         std::uint64_t n_blocks) {
+  std::vector<std::uint8_t> out(tsdb::kMagic.begin(), tsdb::kMagic.end());
+  put_u32le(out, tsdb::kFormatVersion);
+  put_u32le(out, 1);  // network id
+  put_u32le(out, 0);  // batch seq
+  wire::put_varint(out, n_reports);
+  wire::put_varint(out, n_aps);
+  wire::put_varint(out, raw_wire_bytes);
+  wire::put_varint(out, n_blocks);
+  return out;
+}
+
+void append_crafted_block(std::vector<std::uint8_t>& out, tsdb::ColumnId id,
+                          tsdb::Encoding enc, std::uint64_t rows, std::uint64_t len,
+                          std::span<const std::uint8_t> payload, std::int64_t min = 0,
+                          std::int64_t max = 0) {
+  out.push_back(static_cast<std::uint8_t>(id));
+  out.push_back(static_cast<std::uint8_t>(enc));
+  wire::put_varint(out, rows);
+  wire::put_varint(out, wire::zigzag_encode(min));
+  wire::put_varint(out, wire::zigzag_encode(max));
+  wire::put_varint(out, len);
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32le(out, crc32(payload));
+}
+
+void append_trailer_crc(std::vector<std::uint8_t>& out) {
+  const std::span<const std::uint8_t> guarded{out.data() + tsdb::kMagic.size(),
+                                              out.size() - tsdb::kMagic.size()};
+  put_u32le(out, crc32(guarded));
+}
+
+TEST(SegmentFuzz, BlockLenVarintNearU64MaxIsTruncatedNotOutOfBounds) {
+  // A block-length varint >= 2^64-8 once wrapped the `len + crc + trailer`
+  // truncation sum and sent an out-of-bounds count into subspan. Must be a
+  // typed truncation (ASan holds the no-OOB line).
+  auto bytes = crafted_header(/*n_reports=*/1, /*n_aps=*/1, /*raw_wire_bytes=*/100,
+                              /*n_blocks=*/1);
+  append_crafted_block(bytes, tsdb::ColumnId::kApId, tsdb::Encoding::kDeltaZigzag,
+                       /*rows=*/1, /*len=*/~std::uint64_t{0} - 7, {});
+  append_trailer_crc(bytes);
+  EXPECT_EQ(tsdb::SegmentReader::validate(bytes).status, tsdb::Status::kTruncated);
+  std::int64_t lo = 0, hi = 0;
+  EXPECT_EQ(tsdb::SegmentReader::time_bounds(bytes, lo, hi).status,
+            tsdb::Status::kTruncated);
+}
+
+TEST(SegmentFuzz, Fixed64RowsNearU64MaxIsBadCountNotOverflow) {
+  // rows=2^61 made `rows * 8` wrap to 0, matching an empty payload exactly
+  // and sending the decoder into a 2^61-row reserve.
+  auto bytes = crafted_header(1, 1, 100, 1);
+  append_crafted_block(bytes, tsdb::ColumnId::kNbrRssi, tsdb::Encoding::kFixed64,
+                       /*rows=*/std::uint64_t{1} << 61, /*len=*/0, {});
+  append_trailer_crc(bytes);
+  EXPECT_EQ(tsdb::SegmentReader::validate(bytes).status, tsdb::Status::kBadCount);
+}
+
+TEST(SegmentFuzz, ConstantDictHugeRowsIsBadCountNotAllocCrash) {
+  // Width-0 packed indices (single-entry dictionary) put no payload-derived
+  // bound on rows; only the raw-wire-bytes gate stands between a crafted
+  // 2^61 row count and an uncaught bad_alloc.
+  std::vector<std::uint8_t> payload;
+  wire::put_varint(payload, 1);                        // dict size
+  wire::put_varint(payload, wire::zigzag_encode(5));   // lone entry
+  auto bytes = crafted_header(1, 1, 100, 1);
+  append_crafted_block(bytes, tsdb::ColumnId::kUsageTx, tsdb::Encoding::kDictVarint,
+                       /*rows=*/std::uint64_t{1} << 61, payload.size(), payload);
+  append_trailer_crc(bytes);
+  EXPECT_EQ(tsdb::SegmentReader::validate(bytes).status, tsdb::Status::kBadCount);
+}
+
+TEST(SegmentFuzz, RawWireBytesNearU64MaxFailsInTheHeader) {
+  // raw_wire_bytes is the ceiling later row/count checks lean on, so a
+  // 2^64-1 claim must die in walk_header before any block is trusted.
+  auto bytes = crafted_header(0, 0, ~std::uint64_t{0}, 0);
+  append_trailer_crc(bytes);
+  tsdb::SegmentHeader header;
+  EXPECT_EQ(tsdb::SegmentReader::read_header(bytes, header).status,
+            tsdb::Status::kBadCount);
+  EXPECT_EQ(tsdb::SegmentReader::validate(bytes).status, tsdb::Status::kBadCount);
+}
+
+TEST(SegmentFuzz, ChildCountNearU64MaxIsBadCountNotWrappedSum) {
+  // Per-report child counts of 2^63+2^63 wrap to 0, matching absent child
+  // columns; checked_sum must reject each count on its own.
+  const std::uint64_t half = std::uint64_t{1} << 63;
+  // The block summary tracks values through an i64 cast, so the crafted
+  // count block's min/max must claim INT64_MIN to survive decode and reach
+  // cross_check, where the attack actually aims.
+  const auto half_signed = static_cast<std::int64_t>(half);
+  std::vector<std::uint8_t> count_payload;
+  wire::put_varint(count_payload, half);
+  wire::put_varint(count_payload, half);
+  std::vector<std::uint8_t> plain1;  // value 0 per row, two rows
+  plain1.push_back(0);
+  plain1.push_back(0);
+  auto bytes = crafted_header(/*n_reports=*/2, /*n_aps=*/1, /*raw_wire_bytes=*/1000,
+                              /*n_blocks=*/8);
+  append_crafted_block(bytes, tsdb::ColumnId::kApId, tsdb::Encoding::kVarint, 2, 2,
+                       plain1);
+  append_crafted_block(bytes, tsdb::ColumnId::kTimestamp, tsdb::Encoding::kDeltaZigzag,
+                       2, 2, plain1);
+  append_crafted_block(bytes, tsdb::ColumnId::kFirmware, tsdb::Encoding::kVarint, 2, 2,
+                       plain1);
+  append_crafted_block(bytes, tsdb::ColumnId::kUsageCount, tsdb::Encoding::kVarint, 2,
+                       count_payload.size(), count_payload, half_signed, half_signed);
+  append_crafted_block(bytes, tsdb::ColumnId::kUtilCount, tsdb::Encoding::kVarint, 2, 2,
+                       plain1);
+  append_crafted_block(bytes, tsdb::ColumnId::kNeighborCount, tsdb::Encoding::kVarint, 2,
+                       2, plain1);
+  append_crafted_block(bytes, tsdb::ColumnId::kLinkCount, tsdb::Encoding::kVarint, 2, 2,
+                       plain1);
+  append_crafted_block(bytes, tsdb::ColumnId::kClientCount, tsdb::Encoding::kVarint, 2,
+                       2, plain1);
+  append_trailer_crc(bytes);
+  std::vector<wire::ApReport> decoded;
+  const auto err = tsdb::SegmentReader::for_each(
+      bytes, [&](wire::ApReport&& r) { decoded.push_back(std::move(r)); });
+  EXPECT_EQ(err.status, tsdb::Status::kBadCount);
+  EXPECT_TRUE(decoded.empty());
 }
 
 TEST(SegmentFuzz, WrongMagicIsTyped) {
