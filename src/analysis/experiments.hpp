@@ -14,6 +14,7 @@
 #include "classify/rule_index.hpp"
 #include "core/stats.hpp"
 #include "deploy/epoch.hpp"
+#include "mobility/mobility.hpp"
 #include "phy/per_table.hpp"
 
 namespace wlm::analysis {
@@ -41,6 +42,10 @@ struct ScenarioScale {
   std::uint64_t mem_ceiling_mb = 0;
   /// Where sealed segments spill when the ceiling presses.
   std::string spill_dir = ".";
+  /// Client mobility knobs for the roaming studies; run_mobility_study
+  /// forces `enabled` on, every other experiment leaves mobility off (so
+  /// their renders stay byte-identical to pre-mobility builds).
+  mobility::MobilityConfig mobility;
 };
 
 /// The paper's audited full fleet size (Table 2 total: 20,667 networks).
@@ -170,6 +175,41 @@ struct UtilizationRun {
 [[nodiscard]] std::string render_fig8(const UtilizationRun& run);
 [[nodiscard]] std::string render_fig9(const UtilizationRun& run);
 [[nodiscard]] std::string render_fig10(const UtilizationRun& run);
+
+// --------------------------------------------- mobility (roaming churn)
+
+/// Backend-side roaming statistics from one mobility-enabled usage week.
+/// Everything here is computed from the harvested store (the §2.3
+/// aggregate-by-MAC path) plus the merged telemetry registry — never from
+/// simulator internals, so the renders measure what the backend can see.
+struct MobilityRun {
+  /// Distinct-AP count per client, sorted by client MAC (deterministic
+  /// regardless of hash-map iteration order).
+  std::vector<int> ap_counts;
+  std::size_t clients = 0;
+  /// Clients whose resolved OS is mobile-class (phones/tablets).
+  std::size_t mobile_clients = 0;
+  /// Mobile-class clients the backend saw on exactly one AP all week —
+  /// the paper's "sticky" population that never benefits from roaming.
+  std::size_t sticky_mobile = 0;
+  // Fleet wlm_mobility_* counters from the merged registry.
+  std::uint64_t clients_walking = 0;
+  std::uint64_t steps_active = 0;
+  std::uint64_t roams = 0;
+  std::uint64_t handoffs_armed = 0;
+  std::uint64_t handoffs_aborted = 0;
+  std::uint64_t band_switches = 0;
+};
+
+/// Runs one usage week with mobility forced on (scale.mobility supplies the
+/// walk knobs) and aggregates roaming behavior from the backend store.
+[[nodiscard]] MobilityRun run_mobility_study(const ScenarioScale& scale);
+/// CDF of per-client roam counts (AP changes = distinct APs - 1).
+[[nodiscard]] std::string render_roam_cdf(const MobilityRun& run);
+/// Distribution of distinct APs visited per client over the week.
+[[nodiscard]] std::string render_ap_visits(const MobilityRun& run);
+/// Sticky-client report plus the fleet handoff counters.
+[[nodiscard]] std::string render_sticky_clients(const MobilityRun& run);
 
 // ------------------------------------------------ Figure 11 (spectrum)
 

@@ -73,9 +73,12 @@ enum class SectionTag : std::uint64_t {
 // config section carries the streaming-harvest bit (the on/off state is
 // simulated behavior; the ceiling value and spill directory are host
 // resource knobs and stay out, like the thread count), and time-series
-// point lists use the columnar codec (tsdb/series_codec). Older versions
-// fail kBadVersion.
-inline constexpr std::uint32_t kFormatVersion = 4;
+// point lists use the columnar codec (tsdb/series_codec). Version 5: the
+// config section carries the mobility knobs and shard sections append a
+// mobility block (mobility RNG, per-client motion state, serving BSS, and
+// pending-handoff debounce) when mobility is enabled, so a restored run
+// resumes every walk mid-stride. Older versions fail kBadVersion.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// Append-only payload builder. Scalars are varints (zigzag for signed),
 /// doubles are 8-byte LE bit patterns (exact round-trip, no printf loss),

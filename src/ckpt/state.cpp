@@ -933,6 +933,17 @@ void save_world_config(Buf& b, const sim::WorldConfig& config) {
   // ceiling yields byte-identical output, so serializing the value would
   // make checkpoint bytes differ between behaviorally identical runs.
   b.boolean(config.mem_ceiling_mb > 0);
+  // v5: mobility knobs. All of them shape simulated behavior (walk draws,
+  // handoff decisions, roster membership), so a resume must reproduce every
+  // one — unlike threads or the memory ceiling, none is a host knob.
+  b.boolean(config.mobility.enabled);
+  b.f64(config.mobility.speed_mps);
+  b.f64(config.mobility.pause_mean_s);
+  b.u64(static_cast<std::uint64_t>(config.mobility.steps_per_week));
+  b.u64(static_cast<std::uint64_t>(config.mobility.handoff_settle_steps));
+  b.f64(config.mobility.handoff_hysteresis_db);
+  b.f64(config.mobility.band_steer_bonus_db);
+  b.f64(config.mobility.roam_probability);
 }
 
 bool load_world_config(Cursor& c, sim::WorldConfig& out) {
@@ -985,6 +996,33 @@ bool load_world_config(Cursor& c, sim::WorldConfig& out) {
   // any nonzero value); the actual bound and spill directory are the
   // resuming host's business, not the checkpoint's.
   cfg.mem_ceiling_mb = c.boolean() ? kRestoredCeilingMb : 0;
+  cfg.mobility.enabled = c.boolean();
+  cfg.mobility.speed_mps = c.f64();
+  // The ranges mirror MobilityConfig::clamped(): a value the clamp would
+  // have rewritten cannot have produced this checkpoint.
+  if (!(cfg.mobility.speed_mps > 0.0 && cfg.mobility.speed_mps <= 10.0)) c.fail();
+  cfg.mobility.pause_mean_s = c.f64();
+  if (!(cfg.mobility.pause_mean_s >= 0.0 && cfg.mobility.pause_mean_s <= 1e6)) c.fail();
+  const std::uint64_t steps = c.u64();
+  if (steps < 1 || steps > 100'000) c.fail();
+  cfg.mobility.steps_per_week = static_cast<int>(steps);
+  const std::uint64_t settle = c.u64();
+  if (settle < 1 || settle > 100) c.fail();
+  cfg.mobility.handoff_settle_steps = static_cast<int>(settle);
+  cfg.mobility.handoff_hysteresis_db = c.f64();
+  if (!(cfg.mobility.handoff_hysteresis_db >= 0.0 &&
+        cfg.mobility.handoff_hysteresis_db <= 50.0)) {
+    c.fail();
+  }
+  cfg.mobility.band_steer_bonus_db = c.f64();
+  if (!(cfg.mobility.band_steer_bonus_db >= -20.0 &&
+        cfg.mobility.band_steer_bonus_db <= 20.0)) {
+    c.fail();
+  }
+  cfg.mobility.roam_probability = c.f64();
+  if (!(cfg.mobility.roam_probability >= 0.0 && cfg.mobility.roam_probability <= 1.0)) {
+    c.fail();
+  }
   if (!c.ok()) return false;
   out = cfg;
   return true;
@@ -1015,6 +1053,32 @@ void save_shard_state(Buf& b, sim::NetworkShard& shard) {
   b.u64(shard.flows_classified());
   b.u64(shard.flows_misclassified());
   save_classifier(b, shard.classifier());
+  // v5 mobility block. The enabled bit always travels (it is simulated
+  // behavior); the state behind it only when mobility is on, so disabled
+  // checkpoints cost one byte.
+  b.boolean(shard.mobility_enabled());
+  if (shard.mobility_enabled()) {
+    save_rng(b, shard.mobility_rng().state());
+    const auto& roster = shard.mobility_roster();
+    b.u64(roster.size());
+    for (const auto& per_ap : roster) {
+      b.u64(per_ap.size());
+      for (const sim::MobileClient& m : per_ap) {
+        b.boolean(m.walks);
+        b.boolean(m.dual_band);
+        b.f64(m.motion.pos.x);
+        b.f64(m.motion.pos.y);
+        b.f64(m.motion.target.x);
+        b.f64(m.motion.target.y);
+        b.f64(m.motion.pause_s);
+        b.u64(m.serving_ap);
+        b.u64(m.serving_band == phy::Band::k5GHz ? 1 : 0);
+        b.u64(m.pending_steps);
+        b.u64(m.pending_ap);
+        b.u64(m.pending_band == phy::Band::k5GHz ? 1 : 0);
+      }
+    }
+  }
 }
 
 bool load_shard_state(Cursor& c, sim::NetworkShard& shard) {
@@ -1064,6 +1128,64 @@ bool load_shard_state(Cursor& c, sim::NetworkShard& shard) {
   const std::uint64_t misclassified = c.u64();
   if (!c.ok()) return false;
   if (!load_classifier(c, shard.classifier())) return false;
+
+  // v5 mobility block. The rebuilt shard already constructed its roster
+  // deterministically from the (already-validated) config, so every count
+  // and index here is checked against ground truth: a section that lies
+  // about roster shape is corruption, not a scenario.
+  const bool mobility_enabled = c.boolean();
+  if (!c.ok()) return false;
+  if (mobility_enabled != shard.mobility_enabled()) return false;
+  if (mobility_enabled) {
+    Rng::State mobility_rng_state;
+    if (!load_rng(c, mobility_rng_state)) return false;
+    shard.mobility_rng().restore(mobility_rng_state);
+    auto& roster = shard.mobility_roster();
+    const std::uint64_t ap_rosters = c.u64();
+    if (!c.ok()) return false;
+    if (ap_rosters != roster.size()) return false;
+    const double width = shard.network().site.width_m;
+    const double height = shard.network().site.height_m;
+    const std::uint64_t n_aps = shard.aps().size();
+    for (auto& per_ap : roster) {
+      const std::uint64_t n = c.u64();
+      if (!c.ok()) return false;
+      if (n != per_ap.size()) return false;
+      for (sim::MobileClient& m : per_ap) {
+        m.walks = c.boolean();
+        m.dual_band = c.boolean();
+        m.motion.pos.x = c.f64();
+        m.motion.pos.y = c.f64();
+        m.motion.target.x = c.f64();
+        m.motion.target.y = c.f64();
+        // Walks never leave the site rectangle; out-of-bounds positions
+        // (or NaN) are corruption.
+        if (!(m.motion.pos.x >= 0.0 && m.motion.pos.x <= width)) c.fail();
+        if (!(m.motion.pos.y >= 0.0 && m.motion.pos.y <= height)) c.fail();
+        if (!(m.motion.target.x >= 0.0 && m.motion.target.x <= width)) c.fail();
+        if (!(m.motion.target.y >= 0.0 && m.motion.target.y <= height)) c.fail();
+        m.motion.pause_s = c.f64();
+        if (!(m.motion.pause_s >= 0.0) || std::isinf(m.motion.pause_s)) c.fail();
+        const std::uint64_t serving = c.u64();
+        if (serving >= n_aps) c.fail();
+        m.serving_ap = static_cast<std::size_t>(serving);
+        const std::uint64_t serving_band = c.u64();
+        if (serving_band > 1) c.fail();
+        m.serving_band = serving_band == 1 ? phy::Band::k5GHz : phy::Band::k2_4GHz;
+        const std::uint64_t pending_steps = c.u64();
+        if (pending_steps > 100) c.fail();  // settle clamp caps this at 100
+        m.pending_steps = static_cast<std::uint32_t>(pending_steps);
+        const std::uint64_t pending = c.u64();
+        if (pending >= n_aps) c.fail();
+        m.pending_ap = static_cast<std::size_t>(pending);
+        const std::uint64_t pending_band = c.u64();
+        if (pending_band > 1) c.fail();
+        m.pending_band = pending_band == 1 ? phy::Band::k5GHz : phy::Band::k2_4GHz;
+        if (!c.ok()) return false;
+      }
+    }
+  }
+
   if (!c.at_end()) return false;  // trailing bytes are corruption too
   shard.restore_flow_counters(classified, misclassified);
   return true;

@@ -1,6 +1,8 @@
 #include "deploy/population.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "classify/oui.hpp"
 
@@ -95,6 +97,12 @@ double total_clients(Epoch epoch) {
   return total;
 }
 
+PopulationModel::PopulationModel(Epoch epoch, double roam_probability)
+    : epoch_(epoch), roam_probability_(roam_probability) {
+  if (std::isnan(roam_probability_)) roam_probability_ = kDefaultRoamProbability;
+  roam_probability_ = std::clamp(roam_probability_, 0.0, 1.0);
+}
+
 ClientDevice PopulationModel::sample(ClientId id, Rng& rng) const {
   ClientDevice dev;
   dev.id = id;
@@ -121,7 +129,7 @@ ClientDevice PopulationModel::sample(ClientId id, Rng& rng) const {
     dev.caps.bits &= ~static_cast<std::uint32_t>(kCap11ac);
   }
   const auto dc = classify::device_class(dev.os);
-  dev.roams = dc == classify::DeviceClass::kMobile && rng.chance(0.6);
+  dev.roams = dc == classify::DeviceClass::kMobile && rng.chance(roam_probability_);
   return dev;
 }
 

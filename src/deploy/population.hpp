@@ -32,16 +32,27 @@ struct ClientDevice {
 /// Total unique clients in the study week for an epoch (4.07 M -> 5.58 M).
 [[nodiscard]] double total_clients(Epoch epoch);
 
+/// Fraction of mobile-class devices (phones/tablets) that roam between APs
+/// during the week when no scenario overrides it.
+inline constexpr double kDefaultRoamProbability = 0.6;
+
 class PopulationModel {
  public:
-  explicit PopulationModel(Epoch epoch) : epoch_(epoch) {}
+  /// `roam_probability` is clamped to [0, 1] (NaN falls back to the
+  /// default). Because Rng::chance consumes one draw for ANY probability,
+  /// every other sampled field is byte-identical across roam settings.
+  explicit PopulationModel(Epoch epoch,
+                           double roam_probability = kDefaultRoamProbability);
 
   /// Samples one device. MAC vendor, OS, and capabilities are mutually
   /// consistent (e.g. a Playstation is never 11ac, iPhones are Apple OUIs).
   [[nodiscard]] ClientDevice sample(ClientId id, Rng& rng) const;
 
+  [[nodiscard]] double roam_probability() const { return roam_probability_; }
+
  private:
   Epoch epoch_;
+  double roam_probability_;
 };
 
 }  // namespace wlm::deploy

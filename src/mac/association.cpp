@@ -28,4 +28,33 @@ std::optional<AssociationResult> select_bss(const std::vector<BssCandidate>& can
   return AssociationResult{pick->ap, pick->band, pick->rssi};
 }
 
+std::optional<AssociationResult> select_handoff(const std::vector<BssCandidate>& candidates,
+                                                bool client_has_5ghz, ApId serving_ap,
+                                                phy::Band serving_band, PowerDbm serving_rssi,
+                                                const AssociationPolicy& policy) {
+  const auto score = [&](phy::Band band, double rssi_dbm) {
+    return rssi_dbm +
+           (band == phy::Band::k5GHz && client_has_5ghz ? policy.band_steer_bonus_db : 0.0);
+  };
+  const BssCandidate* best = nullptr;
+  double best_score = 0.0;
+  for (const auto& c : candidates) {
+    if (c.rssi < policy.min_rssi) continue;  // unusable — never a roam target
+    if (c.band == phy::Band::k5GHz && !client_has_5ghz) continue;
+    if (c.ap == serving_ap && c.band == serving_band) continue;  // that's us
+    const double s = score(c.band, c.rssi.dbm());
+    if (best == nullptr || s > best_score) {
+      best = &c;
+      best_score = s;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  // Strict ">": an exact tie at the hysteresis margin (including the
+  // equal-RSSI, zero-hysteresis corner) stays on the serving BSS.
+  if (!(best_score > score(serving_band, serving_rssi.dbm()) + policy.handoff_hysteresis_db)) {
+    return std::nullopt;
+  }
+  return AssociationResult{best->ap, best->band, best->rssi};
+}
+
 }  // namespace wlm::mac

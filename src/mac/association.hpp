@@ -35,6 +35,15 @@ struct AssociationPolicy {
   /// Probability a dual-band client nevertheless joins 2.4 GHz when both are
   /// usable (legacy drivers, band-scan order, power saving).
   double sticky_2_4_prob = 0.45;
+  /// Roaming hysteresis: a rival BSS must beat the serving BSS by strictly
+  /// more than this many dB before a moving client hands off. Strict ">"
+  /// means an equal-RSSI tie never triggers a handoff (and neither does the
+  /// serving BSS itself, which always scores a zero margin).
+  double handoff_hysteresis_db = 6.0;
+  /// Band-steering bonus credited to 5 GHz candidates during handoff
+  /// evaluation only (infrastructure nudging dual-band clients up-band).
+  /// 0 disables steering; it never applies to single-band clients.
+  double band_steer_bonus_db = 0.0;
 };
 
 struct AssociationResult {
@@ -48,5 +57,21 @@ struct AssociationResult {
 [[nodiscard]] std::optional<AssociationResult> select_bss(
     const std::vector<BssCandidate>& candidates, bool client_has_5ghz,
     const AssociationPolicy& policy, Rng& rng);
+
+/// Mid-session handoff decision for a moving client: returns the BSS to
+/// roam to, or nullopt to stay put. Deterministic — no RNG — so the
+/// mobility layer's handoff sequence is a pure function of the RSSI trace.
+///
+/// Rules: candidates below min_rssi are unusable; the best usable rival
+/// (by RSSI plus the 5 GHz band-steer bonus for dual-band clients) wins
+/// only if it beats the serving BSS's score by STRICTLY more than
+/// handoff_hysteresis_db. Consequences the boundary tests pin: an
+/// equal-RSSI tie stays, a single-AP network never roams, and a client on
+/// the cell edge (serving below min_rssi, nothing usable) stays rather
+/// than flapping to an unusable BSS.
+[[nodiscard]] std::optional<AssociationResult> select_handoff(
+    const std::vector<BssCandidate>& candidates, bool client_has_5ghz,
+    ApId serving_ap, phy::Band serving_band, PowerDbm serving_rssi,
+    const AssociationPolicy& policy);
 
 }  // namespace wlm::mac

@@ -1,0 +1,62 @@
+#include "mobility/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traffic/diurnal.hpp"
+
+namespace wlm::mobility {
+
+MobilityConfig MobilityConfig::clamped() const {
+  MobilityConfig c = *this;
+  if (!(c.speed_mps > 0.0)) c.speed_mps = 1.1;  // also catches NaN
+  c.speed_mps = std::min(c.speed_mps, 10.0);
+  if (!(c.pause_mean_s >= 0.0)) c.pause_mean_s = 600.0;
+  c.pause_mean_s = std::min(c.pause_mean_s, 1e6);
+  if (c.steps_per_week < 1) c.steps_per_week = 168;
+  c.steps_per_week = std::min(c.steps_per_week, 100'000);
+  if (c.handoff_settle_steps < 1) c.handoff_settle_steps = 1;
+  c.handoff_settle_steps = std::min(c.handoff_settle_steps, 100);
+  if (!(c.handoff_hysteresis_db >= 0.0)) c.handoff_hysteresis_db = 6.0;
+  c.handoff_hysteresis_db = std::min(c.handoff_hysteresis_db, 50.0);
+  if (std::isnan(c.band_steer_bonus_db)) c.band_steer_bonus_db = 0.0;
+  c.band_steer_bonus_db = std::clamp(c.band_steer_bonus_db, -20.0, 20.0);
+  if (std::isnan(c.roam_probability)) c.roam_probability = 0.6;
+  c.roam_probability = std::clamp(c.roam_probability, 0.0, 1.0);
+  return c;
+}
+
+double occupancy(double hour_of_day, deploy::Industry industry) {
+  // The diurnal curve averages ~1 over the day; treating half of it as an
+  // on-site probability gives busy hours near-certain presence and night
+  // hours the kMinOccupancy trickle.
+  const double p = 0.5 * traffic::diurnal_multiplier(hour_of_day, industry);
+  return std::clamp(p, kMinOccupancy, 1.0);
+}
+
+void advance(MotionState& m, double dt_s, const MobilityConfig& config,
+             double width_m, double height_m, Rng& rng) {
+  if (m.pause_s > 0.0) {
+    m.pause_s = std::max(0.0, m.pause_s - dt_s);
+    return;
+  }
+  const double dx = m.target.x - m.pos.x;
+  const double dy = m.target.y - m.pos.y;
+  const double dist = std::hypot(dx, dy);
+  const double reach = config.speed_mps * dt_s;
+  if (dist <= reach) {
+    // Arrived (or parked at the initial pos==target state): dwell, then
+    // pick the next waypoint uniformly inside the site.
+    m.pos = m.target;
+    m.target = phy::Position{rng.uniform(0.0, std::max(width_m, 0.0)),
+                             rng.uniform(0.0, std::max(height_m, 0.0))};
+    m.pause_s = config.pause_mean_s > 0.0
+                    ? rng.exponential(1.0 / config.pause_mean_s)
+                    : 0.0;
+    return;
+  }
+  m.pos.x += dx / dist * reach;
+  m.pos.y += dy / dist * reach;
+}
+
+}  // namespace wlm::mobility

@@ -1,0 +1,87 @@
+// Client mobility: random-waypoint walks inside site geometry plus a
+// day/night occupancy wave.
+//
+// The paper's backend aggregates usage by client MAC precisely because
+// clients roam across APs during the week (§2.3). This module supplies the
+// movement that exercises that path: each roaming client carries a motion
+// state (position, waypoint target, pause timer) advanced in fixed simulated
+// steps, and an occupancy wave layered on the diurnal curve decides whether
+// the client is on-site and moving at a given hour.
+//
+// Determinism contract: every random decision here draws from a dedicated
+// per-shard substream (seed ^ kMobilitySeedSalt, keyed by network id —
+// mirroring the fault layer's kFaultSeedSalt). A campaign with mobility
+// disabled consumes exactly the same campaign randomness as before this
+// module existed, so mobility-off runs stay byte-identical to historical
+// output; mobility-on runs are byte-identical across any --jobs count.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "deploy/industry.hpp"
+#include "phy/propagation.hpp"
+
+namespace wlm::mobility {
+
+/// Salt separating the mobility substreams from the campaign and fault
+/// substreams; keyed by the network id below it (see sim::NetworkShard).
+inline constexpr std::uint64_t kMobilitySeedSalt = 0x30B17E30B17E30ULL;
+
+/// Fleet-wide mobility knobs. Defaults model an office walker: ~1.1 m/s
+/// pace, ten-minute dwells, one motion/handoff evaluation per simulated
+/// hour. `enabled == false` (the default) bypasses the module entirely.
+struct MobilityConfig {
+  bool enabled = false;
+  /// Walk speed between waypoints, meters per second.
+  double speed_mps = 1.1;
+  /// Mean pause at a reached waypoint, seconds (exponentially distributed).
+  double pause_mean_s = 600.0;
+  /// Motion/handoff evaluations across the simulated week. 168 = hourly.
+  int steps_per_week = 168;
+  /// Consecutive steps a rival BSS must stay past the hysteresis margin
+  /// before the handoff commits (debounce against shadowing flicker).
+  int handoff_settle_steps = 2;
+  /// dB margin a rival BSS must clear over the serving BSS (threaded into
+  /// mac::AssociationPolicy::handoff_hysteresis_db for walk evaluations).
+  double handoff_hysteresis_db = 6.0;
+  /// Band-steering bonus credited to 5 GHz rivals during handoffs
+  /// (mac::AssociationPolicy::band_steer_bonus_db); 0 disables steering.
+  double band_steer_bonus_db = 0.0;
+  /// Probability a mobile-class device (phone/tablet) roams at all —
+  /// hoisted from the old hard-coded 0.6 in deploy::PopulationModel so
+  /// scenario presets control it.
+  double roam_probability = 0.6;
+
+  /// Degrades every knob to the nearest legal value (NaN/negative speed,
+  /// zero steps, out-of-range probability) instead of producing nonsense.
+  [[nodiscard]] MobilityConfig clamped() const;
+};
+
+/// Per-client random-waypoint state. `pos == target` with no pause means
+/// "pick a new waypoint on the next step", which is also the natural
+/// initial condition (clients start parked at their drawn position).
+struct MotionState {
+  phy::Position pos{};
+  phy::Position target{};
+  /// Remaining dwell at the current waypoint, seconds.
+  double pause_s = 0.0;
+};
+
+/// Probability the client is on-site and moving at `hour` of day, layered
+/// on the industry's diurnal activity curve (offices empty out at night;
+/// hospitality stays warm). Always within [kMinOccupancy, 1].
+[[nodiscard]] double occupancy(double hour_of_day, deploy::Industry industry);
+
+/// Floor of the occupancy wave: even at 3 a.m. a few devices wander
+/// (cleaning crews, on-call staff), so roaming never fully freezes.
+inline constexpr double kMinOccupancy = 0.05;
+
+/// Advances one random-waypoint step of `dt_s` seconds inside the
+/// [0, width] x [0, height] rectangle. Pauses burn down first; a reached
+/// (or initial) waypoint draws a fresh uniform target and an exponential
+/// pause from `rng`. Positions never leave the site.
+void advance(MotionState& m, double dt_s, const MobilityConfig& config,
+             double width_m, double height_m, Rng& rng);
+
+}  // namespace wlm::mobility

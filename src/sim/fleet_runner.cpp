@@ -29,6 +29,7 @@ FleetRunner::FleetRunner(WorldConfig config)
     config_.faults.flap_fraction = config_.wan_flap_fraction;
   }
   config_.faults = config_.faults.clamped();
+  config_.mobility = config_.mobility.clamped();
 
   // Segment vault knobs: the MiB ceiling becomes a byte budget for sealed
   // segments; spill decisions inside the vault key on deterministic byte
@@ -44,6 +45,7 @@ FleetRunner::FleetRunner(WorldConfig config)
   shard_config.classifier = config_.classifier;
   shard_config.verdict_cache_capacity = config_.verdict_cache_capacity;
   shard_config.per_mode = config_.per_mode;
+  shard_config.mobility = config_.mobility;
 
   // Shard construction is independent per network (each shard's RNG is a
   // substream of the base seed), so it parallelizes like the campaigns do.

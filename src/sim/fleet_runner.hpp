@@ -53,6 +53,10 @@ struct WorldConfig {
   /// PER evaluation path for mesh-link probes (table fast path by default;
   /// reference recomputes the scalar). Outputs are byte-identical in both.
   phy::PerMode per_mode = phy::PerMode::kTable;
+  /// Client mobility: random-waypoint walks + occupancy-wave handoffs.
+  /// Disabled by default; disabled runs are byte-identical to pre-mobility
+  /// builds (mobility draws live in their own salted substream).
+  mobility::MobilityConfig mobility;
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;

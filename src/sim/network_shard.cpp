@@ -58,8 +58,17 @@ NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& 
       rng_(Rng::substream(config.seed, net.id.value())), poller_(store_),
       classifier_(config.classifier, config.verdict_cache_capacity) {
   config_.faults = config_.faults.clamped();
+  config_.mobility = config_.mobility.clamped();
   pathloss_.exponent = 3.2;
   pathloss_.shadowing_sigma_db = 7.0;
+
+  if (config_.mobility.enabled) {
+    // Same substream discipline as the fault layer: mobility draws come
+    // from a dedicated salted stream, so campaigns consume exactly the
+    // same randomness with mobility on or off.
+    mobility_rng_ =
+        Rng::substream(config_.seed ^ mobility::kMobilitySeedSalt, net_->id.value());
+  }
 
   aps_.reserve(net_->aps.size());
   for (const auto& ap : net_->aps) {
@@ -95,10 +104,11 @@ ApRuntime* NetworkShard::find_ap(ApId id) {
 }
 
 void NetworkShard::build_clients() {
-  const deploy::PopulationModel population(epoch());
+  const deploy::PopulationModel population(epoch(), config_.mobility.roam_probability);
   const auto n_clients = static_cast<int>(
       net_->clients_per_ap * static_cast<double>(net_->aps.size()) * config_.client_scale + 0.5);
   const mac::AssociationPolicy policy;
+  if (config_.mobility.enabled) mobility_roster_.resize(aps_.size());
 
   for (int i = 0; i < n_clients; ++i) {
     const ClientId cid{static_cast<std::uint32_t>((net_->id.value() << 16) | (i + 1))};
@@ -172,6 +182,21 @@ void NetworkShard::build_clients() {
         config_.classifier == classify::ClassifierMode::kIndexed ? &classify::RuleIndex::standard()
                                                                  : nullptr);
     home.add_client(std::move(client));
+    if (config_.mobility.enabled) {
+      // Roster rides the already-drawn placement (no extra campaign draws);
+      // pos == target parks the client until its first mobility step.
+      const std::size_t home_idx = ap_index_[result->ap.value()];
+      MobileClient entry;
+      entry.walks = device.roams;
+      entry.dual_band = device.caps.dual_band();
+      entry.motion.pos = pos;
+      entry.motion.target = pos;
+      entry.serving_ap = home_idx;
+      entry.serving_band = result->band;
+      entry.pending_ap = home_idx;
+      entry.pending_band = result->band;
+      mobility_roster_[home_idx].push_back(entry);
+    }
     ++client_count_;
   }
 }
@@ -317,6 +342,97 @@ std::vector<wire::NeighborBss> NetworkShard::neighbor_records(const ApRuntime& a
   return out;
 }
 
+void NetworkShard::mobility_candidates(const phy::Position& pos,
+                                       std::vector<mac::BssCandidate>& out) {
+  // Same propagation math as build_clients; only the shadowing draws differ
+  // (they come from the mobility substream, never the campaign stream).
+  out.clear();
+  for (ApRuntime& ap : aps_) {
+    const double d = phy::distance_m(pos, ap.config().position);
+    const int walls = static_cast<int>(d / 10.0 * net_->site.walls_per_10m);
+    const double rx24 = ap.config().tx_power_24_dbm + 3.0 -
+                        pathloss_.median_loss_db(d, FrequencyMhz{2437.0}, walls) +
+                        mobility_rng_.normal(0.0, 3.0);
+    out.push_back(mac::BssCandidate{ap.id(), phy::Band::k2_4GHz, PowerDbm{rx24}});
+    const double rx5 = ap.config().tx_power_5_dbm + 5.0 -
+                       pathloss_.median_loss_db(d, FrequencyMhz{5250.0}, walls) -
+                       static_cast<double>(walls) * 2.0 + mobility_rng_.normal(0.0, 3.0);
+    out.push_back(mac::BssCandidate{ap.id(), phy::Band::k5GHz, PowerDbm{rx5}});
+  }
+}
+
+std::uint32_t NetworkShard::walk_client_week(MobileClient& entry,
+                                             std::vector<std::size_t>& visited,
+                                             std::vector<mac::BssCandidate>& scan_scratch,
+                                             MobilityWeekStats& stats) {
+  visited.push_back(entry.serving_ap);
+  // Static clients and single-AP networks never hand off; skipping the walk
+  // outright keeps the mobility substream cheap without changing any other
+  // client's draws (the substream is consumed strictly in client order).
+  if (!entry.walks || aps_.size() <= 1) return 0;
+
+  const mobility::MobilityConfig& mc = config_.mobility;
+  const double dt_s = 7.0 * 24.0 * 3600.0 / static_cast<double>(mc.steps_per_week);
+  mac::AssociationPolicy policy;
+  policy.handoff_hysteresis_db = mc.handoff_hysteresis_db;
+  policy.band_steer_bonus_db = mc.band_steer_bonus_db;
+
+  std::uint32_t roams = 0;
+  for (int step = 0; step < mc.steps_per_week; ++step) {
+    const double hour = std::fmod(static_cast<double>(step) * dt_s / 3600.0, 24.0);
+    if (!mobility_rng_.chance(mobility::occupancy(hour, net_->industry))) {
+      // Off-site: the client neither moves nor scans, and any half-settled
+      // handoff goes stale.
+      if (entry.pending_steps > 0) {
+        entry.pending_steps = 0;
+        ++stats.handoffs_aborted;
+      }
+      continue;
+    }
+    ++stats.active_steps;
+    mobility::advance(entry.motion, dt_s, mc, net_->site.width_m, net_->site.height_m,
+                      mobility_rng_);
+    mobility_candidates(entry.motion.pos, scan_scratch);
+    // Candidates are pushed 2.4 GHz then 5 GHz per AP, in aps_ order.
+    const mac::BssCandidate& serving =
+        scan_scratch[entry.serving_ap * 2 + (entry.serving_band == phy::Band::k5GHz ? 1 : 0)];
+    const auto rival = mac::select_handoff(scan_scratch, entry.dual_band, serving.ap,
+                                           entry.serving_band, serving.rssi, policy);
+    if (!rival) {
+      if (entry.pending_steps > 0) {
+        entry.pending_steps = 0;
+        ++stats.handoffs_aborted;
+      }
+      continue;
+    }
+    const std::size_t rival_idx = ap_index_[rival->ap.value()];
+    if (entry.pending_steps > 0 && rival_idx == entry.pending_ap &&
+        rival->band == entry.pending_band) {
+      ++entry.pending_steps;
+    } else {
+      if (entry.pending_steps > 0) ++stats.handoffs_aborted;  // rival changed mid-settle
+      entry.pending_ap = rival_idx;
+      entry.pending_band = rival->band;
+      entry.pending_steps = 1;
+      ++stats.handoffs_armed;
+    }
+    if (entry.pending_steps >= static_cast<std::uint32_t>(mc.handoff_settle_steps)) {
+      if (rival_idx != entry.serving_ap) {
+        ++roams;
+        ++stats.roams;
+        entry.serving_ap = rival_idx;
+        if (std::find(visited.begin(), visited.end(), rival_idx) == visited.end()) {
+          visited.push_back(rival_idx);
+        }
+      }
+      if (rival->band != entry.serving_band) ++stats.band_switches;
+      entry.serving_band = rival->band;
+      entry.pending_steps = 0;
+    }
+  }
+  return roams;
+}
+
 void NetworkShard::run_usage_week(int reports_per_week,
                                   const std::vector<traffic::UpdateSpike>& spikes) {
   traffic::WorkloadModel workload(epoch(), rng_.fork());
@@ -389,24 +505,47 @@ void NetworkShard::run_usage_week(int reports_per_week,
   // One scratch week for the whole sweep: flow slots and their payload
   // buffers are rewritten in place per device instead of reallocated.
   traffic::DeviceWeek week;
+  const bool mobility_on = config_.mobility.enabled;
+  MobilityWeekStats mob_stats;
+  std::vector<std::size_t> walk_visited;
+  std::vector<mac::BssCandidate> scan_scratch;
+  if (mobility_on) {
+    mobility_traces_.clear();
+    mobility_traces_.reserve(client_count_);
+    scan_scratch.reserve(aps_.size() * 2);
+  }
   for (std::size_t home_idx = 0; home_idx < aps_.size(); ++home_idx) {
     ApRuntime& home = aps_[home_idx];
-    for (const auto& device : home.clients().devices()) {
+    const auto devices = home.clients().devices();
+    for (std::size_t row = 0; row < devices.size(); ++row) {
+      const auto& device = devices[row];
       workload.generate_week(device, week);
 
       // Roaming phones appear on several of the network's APs during the
       // week; their bytes split across them and the backend must re-merge
-      // by MAC (paper §2.3). At most home + 2 extras, tracked as indices.
+      // by MAC (paper §2.3). With mobility off, the legacy coin-flip picks
+      // at most home + 2 extras; with mobility on, the set is the APs the
+      // client's waypoint walk genuinely handed off to.
       std::array<std::size_t, 3> visited{home_idx, 0, 0};
       std::size_t n_visited = 1;
-      if (device.roams && aps_.size() > 1) {
-        const int extra = static_cast<int>(rng_.uniform_int(1, std::min<std::int64_t>(
-                                                2, static_cast<std::int64_t>(aps_.size()) - 1)));
-        for (int e = 0; e < extra; ++e) {
-          const auto other = static_cast<std::size_t>(
-              rng_.uniform_int(0, static_cast<std::int64_t>(aps_.size()) - 1));
-          if (other != home_idx) visited[n_visited++] = other;
+      const std::size_t* visited_aps = visited.data();
+      std::uint32_t client_roams = 0;
+      if (!mobility_on) {
+        if (device.roams && aps_.size() > 1) {
+          const int extra = static_cast<int>(rng_.uniform_int(1, std::min<std::int64_t>(
+                                                  2, static_cast<std::int64_t>(aps_.size()) - 1)));
+          for (int e = 0; e < extra; ++e) {
+            const auto other = static_cast<std::size_t>(
+                rng_.uniform_int(0, static_cast<std::int64_t>(aps_.size()) - 1));
+            if (other != home_idx) visited[n_visited++] = other;
+          }
         }
+      } else {
+        walk_visited.clear();
+        client_roams = walk_client_week(mobility_roster_[home_idx][row], walk_visited,
+                                        scan_scratch, mob_stats);
+        visited_aps = walk_visited.data();
+        n_visited = walk_visited.size();
       }
 
       for (const auto& flow : week.flows) {
@@ -429,12 +568,48 @@ void NetworkShard::run_usage_week(int reports_per_week,
         if (detected != flow.truth) ++flows_misclassified_;
         const auto share = static_cast<std::uint64_t>(n_visited);
         for (std::size_t v = 0; v < n_visited; ++v) {
-          rows_by_ap[visited[v]].push(device.mac, device.os, detected,
-                                      flow.upstream_bytes / share,
-                                      flow.downstream_bytes / share);
+          rows_by_ap[visited_aps[v]].push(device.mac, device.os, detected,
+                                          flow.upstream_bytes / share,
+                                          flow.downstream_bytes / share);
         }
       }
+
+      if (mobility_on) {
+        // Ground truth for the backend's ap_count: APs that carried usage
+        // rows (only when the device generated flows at all) plus the home
+        // AP, which client snapshots pin regardless of the walk.
+        ClientTrace trace;
+        trace.mac = device.mac.to_u64();
+        trace.roams = client_roams;
+        if (!week.flows.empty()) {
+          for (std::size_t v = 0; v < n_visited; ++v) {
+            trace.ap_ids.push_back(aps_[visited_aps[v]].id().value());
+          }
+        }
+        const std::uint32_t home_id = home.id().value();
+        if (std::find(trace.ap_ids.begin(), trace.ap_ids.end(), home_id) ==
+            trace.ap_ids.end()) {
+          trace.ap_ids.push_back(home_id);
+        }
+        std::sort(trace.ap_ids.begin(), trace.ap_ids.end());
+        mobility_traces_.push_back(std::move(trace));
+      }
     }
+  }
+
+  if (mobility_on) {
+    // Folded once per week, and only on mobility runs: the mobility-off
+    // Prometheus export must stay byte-identical to pre-mobility builds.
+    std::uint64_t walkers = 0;
+    for (const auto& roster : mobility_roster_) {
+      for (const auto& entry : roster) walkers += entry.walks ? 1 : 0;
+    }
+    metrics_.counter("wlm_mobility_clients_walking_total").inc(walkers);
+    metrics_.counter("wlm_mobility_steps_active_total").inc(mob_stats.active_steps);
+    metrics_.counter("wlm_mobility_roams_total").inc(mob_stats.roams);
+    metrics_.counter("wlm_mobility_handoffs_armed_total").inc(mob_stats.handoffs_armed);
+    metrics_.counter("wlm_mobility_handoffs_aborted_total").inc(mob_stats.handoffs_aborted);
+    metrics_.counter("wlm_mobility_band_switches_total").inc(mob_stats.band_switches);
   }
 
   // Deterministic event counts only (hit/miss/evict/slow-path tallies depend

@@ -21,6 +21,8 @@
 #include "deploy/generator.hpp"
 #include "fault/injector.hpp"
 #include "fault/loss_ledger.hpp"
+#include "mac/association.hpp"
+#include "mobility/mobility.hpp"
 #include "sim/ap.hpp"
 #include "sim/link.hpp"
 #include "telemetry/metrics.hpp"
@@ -51,6 +53,11 @@ struct ShardConfig {
   /// fast path; kReference recomputes the scalar PER per probe as the
   /// differential oracle. Probe outcomes are byte-identical in both.
   phy::PerMode per_mode = phy::PerMode::kTable;
+  /// Client mobility knobs. Disabled (the default) keeps the legacy
+  /// coin-flip roaming and consumes zero extra campaign randomness —
+  /// mobility draws come from a dedicated substream (kMobilitySeedSalt),
+  /// so mobility-off output is byte-identical to pre-mobility builds.
+  mobility::MobilityConfig mobility;
 };
 
 /// How harvest treats tunnels that are down when the week ends.
@@ -63,6 +70,36 @@ enum class HarvestMode {
   /// backlog stays in flight and the backend sees those APs as offline —
   /// the view HealthMonitor alerts on.
   kWeekEnd,
+};
+
+/// One roaming client's mobility runtime, roster-aligned with its home
+/// AP's ClientColumns row. Static clients carry an entry too (walks ==
+/// false) so the roster indexes exactly like the columns.
+struct MobileClient {
+  /// True for devices that walk (deploy::ClientDevice::roams); static
+  /// entries never move or hand off.
+  bool walks = false;
+  bool dual_band = false;
+  mobility::MotionState motion;
+  /// Index into aps_ of the currently serving AP, plus the serving band.
+  std::size_t serving_ap = 0;
+  phy::Band serving_band = phy::Band::k2_4GHz;
+  /// Pending handoff debounce: the rival must win handoff_settle_steps
+  /// consecutive evaluations before the roam commits. 0 = nothing pending.
+  std::uint32_t pending_steps = 0;
+  std::size_t pending_ap = 0;
+  phy::Band pending_band = phy::Band::k2_4GHz;
+};
+
+/// Ground truth for the backend's roaming aggregation: the distinct APs
+/// whose reports will carry this MAC over the last usage week (visited APs
+/// when the device generated flows, plus the home AP, which snapshots pin
+/// regardless). The ap_count property test unions these by MAC fleet-wide
+/// and compares against backend::UsageAggregator.
+struct ClientTrace {
+  std::uint64_t mac = 0;
+  std::vector<std::uint32_t> ap_ids;  // sorted, distinct
+  std::uint32_t roams = 0;            // committed AP changes during the week
 };
 
 class NetworkShard {
@@ -89,6 +126,25 @@ class NetworkShard {
   /// Runtime fault draw stream (corruption, skyscraper tables) — a sibling
   /// of the campaign stream; checkpoints capture both.
   [[nodiscard]] Rng& fault_rng() { return fault_rng_; }
+  /// Mobility draw stream (waypoints, occupancy, shadowing along the walk).
+  /// A sibling of the campaign stream under kMobilitySeedSalt; checkpoints
+  /// capture it when mobility is enabled.
+  [[nodiscard]] Rng& mobility_rng() { return mobility_rng_; }
+  [[nodiscard]] bool mobility_enabled() const { return config_.mobility.enabled; }
+  /// Mobility roster, [ap index][client row] aligned with each AP's
+  /// ClientColumns. Empty when mobility is disabled. Mutable for checkpoint
+  /// restore (motion state is campaign state).
+  [[nodiscard]] std::vector<std::vector<MobileClient>>& mobility_roster() {
+    return mobility_roster_;
+  }
+  [[nodiscard]] const std::vector<std::vector<MobileClient>>& mobility_roster() const {
+    return mobility_roster_;
+  }
+  /// Ground-truth roaming traces from the last usage week (mobility runs
+  /// only; cleared at the start of each usage week).
+  [[nodiscard]] const std::vector<ClientTrace>& mobility_traces() const {
+    return mobility_traces_;
+  }
   [[nodiscard]] std::size_t client_count() const { return client_count_; }
   [[nodiscard]] ApRuntime* find_ap(ApId id);
   /// Shard-confined telemetry sinks: the poller and injector write here too.
@@ -146,6 +202,11 @@ class NetworkShard {
   /// Runtime fault draws (corruption, skyscraper tables). A sibling of the
   /// plan's substream, so faults never consume campaign randomness.
   Rng fault_rng_;
+  /// Mobility draws (waypoints, occupancy, walk shadowing). A sibling of
+  /// the campaign stream, so mobility never consumes campaign randomness.
+  Rng mobility_rng_;
+  std::vector<std::vector<MobileClient>> mobility_roster_;
+  std::vector<ClientTrace> mobility_traces_;
   fault::FaultInjector injector_;
   phy::PathLossModel pathloss_;
   std::vector<ApRuntime> aps_;
@@ -166,6 +227,28 @@ class NetworkShard {
   void build_clients();
   void build_duties_and_peers();
   void build_links();
+  /// Per-step mobility counters accumulated while walking a usage week,
+  /// folded into wlm_mobility_* metrics once per week (mobility runs only,
+  /// so mobility-off telemetry exports stay byte-identical).
+  struct MobilityWeekStats {
+    std::uint64_t active_steps = 0;
+    std::uint64_t roams = 0;
+    std::uint64_t handoffs_armed = 0;
+    std::uint64_t handoffs_aborted = 0;
+    std::uint64_t band_switches = 0;
+  };
+  /// Walks one client through the simulated week: advances its waypoint
+  /// motion under the occupancy wave, evaluates hysteresis handoffs per
+  /// step, and appends the distinct serving-AP indices to `visited`
+  /// (serving AP at week start first). Draws only from mobility_rng_.
+  /// Returns the client's committed AP changes (its roam count).
+  std::uint32_t walk_client_week(MobileClient& entry, std::vector<std::size_t>& visited,
+                                 std::vector<mac::BssCandidate>& scan_scratch,
+                                 MobilityWeekStats& stats);
+  /// RSSI of every in-network BSS at `pos`, with walk shadowing drawn from
+  /// mobility_rng_. Same propagation math as build_clients.
+  void mobility_candidates(const phy::Position& pos,
+                           std::vector<mac::BssCandidate>& out);
   /// Frames and queues one report. The report is read (and, with faults
   /// enabled, mutated by the injector) but never consumed, so callers can
   /// reuse one scratch report across calls.

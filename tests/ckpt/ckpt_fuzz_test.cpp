@@ -7,6 +7,9 @@
 // partially restored runner.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "ckpt/campaign.hpp"
 #include "ckpt/container.hpp"
 #include "ckpt/state.hpp"
@@ -197,6 +200,188 @@ TEST(CkptFuzz, CrossScenarioResumeFailsClosed) {
     const auto err = ckpt::restore_campaign(with_config(other), 1, out);
     EXPECT_TRUE(err) << "resumed a faulted checkpoint into a clean scenario";
     EXPECT_EQ(err.status, ckpt::Status::kBadConfig) << err.detail;
+    EXPECT_EQ(out.runner, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v5 mobility-block adversarial vectors. The shard sections now end with the
+// walk state (rng, roster counts, per-client motion); every lie in that tail
+// must die in the semantic validators, because the container CRC is honest.
+
+std::vector<std::uint8_t> valid_mobility_checkpoint() {
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 3;
+  config.fleet.seed = 31;
+  config.seed = 32;
+  config.client_scale = 0.2;
+  config.mobility.enabled = true;
+  config.mobility.steps_per_week = 24;
+  sim::FleetRunner runner(config);
+  runner.run_usage_week();
+  runner.harvest();
+  ckpt::CampaignProgress progress;
+  progress.label = "fuzz-mobility";
+  progress.phases_done = {"usage_week", "harvest"};
+  return ckpt::save_campaign(runner, progress);
+}
+
+/// Rebuilds `bytes` with one shard section's payload transformed (Writer
+/// recomputes the CRC, so only semantic validation can object).
+std::vector<std::uint8_t> with_shard_payload(
+    const std::vector<std::uint8_t>& bytes, std::size_t shard_index,
+    const std::function<void(std::vector<std::uint8_t>&)>& mutate) {
+  ckpt::Reader r;
+  EXPECT_FALSE(r.load(bytes));
+  ckpt::Writer w;
+  std::size_t seen_shards = 0;
+  for (const auto& section : r.sections()) {
+    std::vector<std::uint8_t> payload{section.payload.begin(), section.payload.end()};
+    if (section.tag == ckpt::SectionTag::kShard && seen_shards++ == shard_index) {
+      mutate(payload);
+    }
+    w.add_section(section.tag, std::move(payload));
+  }
+  return w.finish();
+}
+
+TEST(CkptFuzz, TruncatedMobilityTailFailsTyped) {
+  // The mobility block sits at the end of each shard section; cutting any
+  // number of bytes off that tail (CRC re-stamped over the shorter payload)
+  // must be caught by the loader's bounds checks, never by reading past the
+  // cursor. Sweep the whole block depth on every shard.
+  const auto valid = valid_mobility_checkpoint();
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    for (std::size_t cut = 1; cut <= 512; ++cut) {
+      const auto mutated = with_shard_payload(
+          valid, shard, [&](std::vector<std::uint8_t>& payload) {
+            payload.resize(payload.size() - std::min(cut, payload.size()));
+          });
+      ckpt::RestoredCampaign out;
+      const auto err = ckpt::restore_campaign(mutated, 1, out);
+      EXPECT_TRUE(err) << "shard " << shard << " tail cut of " << cut
+                       << " bytes restored successfully";
+      EXPECT_EQ(out.runner, nullptr);
+    }
+  }
+}
+
+TEST(CkptFuzz, MobilityTailTamperWithRecomputedCrcFailsTyped) {
+  // Random byte-level lies inside the mobility tail — which is where the
+  // roster counts, serving indices, and waypoint coordinates live. A varint
+  // flip here claims a different roster shape; the loader must cross-check
+  // against the deterministically rebuilt roster and fail typed.
+  const auto valid = valid_mobility_checkpoint();
+  Rng rng(105);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t shard = rng.next_u64() % 3;
+    const auto mutated = with_shard_payload(
+        valid, shard, [&](std::vector<std::uint8_t>& payload) {
+          const std::size_t tail = std::min<std::size_t>(payload.size(), 400);
+          const std::size_t pos = payload.size() - 1 - rng.next_u64() % tail;
+          payload[pos] ^= static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+        });
+    expect_typed_outcome(mutated);
+  }
+}
+
+TEST(CkptFuzz, MobilityEnabledBitMismatchFailsClosed) {
+  // A mobility checkpoint resumed into a mobility-off scenario (or the
+  // reverse) would silently drop or invent walk state; both directions must
+  // fail as kBadConfig, like any other cross-scenario resume.
+  const auto swap_config = [](const std::vector<std::uint8_t>& bytes,
+                              const sim::WorldConfig& other) {
+    ckpt::Reader r;
+    EXPECT_FALSE(r.load(bytes));
+    ckpt::Writer w;
+    for (const auto& section : r.sections()) {
+      if (section.tag == ckpt::SectionTag::kConfig) {
+        ckpt::Buf b;
+        ckpt::save_world_config(b, other);
+        w.add_section(ckpt::SectionTag::kConfig, b.take());
+      } else {
+        w.add_section(section.tag, {section.payload.begin(), section.payload.end()});
+      }
+    }
+    return w.finish();
+  };
+
+  sim::WorldConfig base;
+  base.fleet.epoch = deploy::Epoch::kJan2015;
+  base.fleet.network_count = 3;
+  base.fleet.seed = 31;
+  base.seed = 32;
+  base.client_scale = 0.2;
+
+  {
+    // Saved with mobility on, config says off.
+    sim::WorldConfig off = base;
+    off.mobility.enabled = false;
+    off.mobility.steps_per_week = 24;
+    ckpt::RestoredCampaign out;
+    const auto err =
+        ckpt::restore_campaign(swap_config(valid_mobility_checkpoint(), off), 1, out);
+    EXPECT_EQ(err.status, ckpt::Status::kBadConfig) << err.detail;
+    EXPECT_EQ(out.runner, nullptr);
+  }
+  {
+    // Saved with mobility off, config claims on: the shard sections carry no
+    // walk state for the rebuilt roster to restore from.
+    sim::WorldConfig on = base;
+    on.mobility.enabled = true;
+    on.mobility.steps_per_week = 24;
+    ckpt::RestoredCampaign out;
+    const auto err = ckpt::restore_campaign(swap_config(valid_checkpoint(), on), 1, out);
+    EXPECT_TRUE(err) << "mobility-off checkpoint restored into a mobility-on world";
+    EXPECT_EQ(out.runner, nullptr);
+  }
+}
+
+TEST(CkptFuzz, OutOfRangeMobilityKnobsInConfigSectionFailTyped) {
+  // The loader validates every mobility knob against the same ranges
+  // MobilityConfig::clamped() enforces; a hostile config section claiming
+  // speed 500 m/s or 10^7 steps must not construct a world.
+  const auto valid = valid_mobility_checkpoint();
+  ckpt::Reader r;
+  ASSERT_FALSE(r.load(valid));
+
+  sim::WorldConfig hostile;
+  hostile.fleet.epoch = deploy::Epoch::kJan2015;
+  hostile.fleet.network_count = 3;
+  hostile.fleet.seed = 31;
+  hostile.seed = 32;
+  hostile.client_scale = 0.2;
+  hostile.mobility.enabled = true;
+  hostile.mobility.steps_per_week = 24;
+
+  const std::vector<std::function<void(mobility::MobilityConfig&)>> cases = {
+      [](mobility::MobilityConfig& m) { m.speed_mps = 500.0; },
+      [](mobility::MobilityConfig& m) { m.speed_mps = -1.0; },
+      [](mobility::MobilityConfig& m) { m.pause_mean_s = 1e12; },
+      [](mobility::MobilityConfig& m) { m.steps_per_week = 10'000'000; },
+      [](mobility::MobilityConfig& m) { m.steps_per_week = 0; },
+      [](mobility::MobilityConfig& m) { m.handoff_settle_steps = 5000; },
+      [](mobility::MobilityConfig& m) { m.handoff_hysteresis_db = 400.0; },
+      [](mobility::MobilityConfig& m) { m.band_steer_bonus_db = 99.0; },
+      [](mobility::MobilityConfig& m) { m.roam_probability = 2.0; },
+  };
+  for (const auto& poison : cases) {
+    sim::WorldConfig other = hostile;
+    poison(other.mobility);
+    ckpt::Writer w;
+    for (const auto& section : r.sections()) {
+      if (section.tag == ckpt::SectionTag::kConfig) {
+        ckpt::Buf b;
+        ckpt::save_world_config(b, other);
+        w.add_section(ckpt::SectionTag::kConfig, b.take());
+      } else {
+        w.add_section(section.tag, {section.payload.begin(), section.payload.end()});
+      }
+    }
+    ckpt::RestoredCampaign out;
+    const auto err = ckpt::restore_campaign(w.finish(), 1, out);
+    EXPECT_TRUE(err) << "out-of-range mobility knob restored successfully";
     EXPECT_EQ(out.runner, nullptr);
   }
 }

@@ -39,6 +39,16 @@ sim::WorldConfig e2e_config(int threads) {
   return config;
 }
 
+// Same campaign with the mobility walk enabled: checkpoints now carry the
+// v5 shard mobility block (walk rng, per-client motion state, pending
+// handoffs) and the resume must reproduce the walk's roaming byte-for-byte.
+sim::WorldConfig mobile_e2e_config(int threads) {
+  sim::WorldConfig config = e2e_config(threads);
+  config.mobility.enabled = true;
+  config.mobility.steps_per_week = 48;  // enough churn, tier-1 wall clock
+  return config;
+}
+
 // The campaign script: the same four phases wlmctl simulate runs.
 constexpr const char* kPhases[] = {"usage_week", "mr16", "link_windows", "harvest"};
 
@@ -188,6 +198,74 @@ TEST(ResumeE2E, SigkilledCampaignResumesByteIdentical) {
     EXPECT_EQ(outputs_of(*restored.runner), uninterrupted_run(1, sim::HarvestMode::kFinal));
   }
   std::remove(path.c_str());
+}
+
+TEST(ResumeE2E, MobilitySigkilledCampaignResumesByteIdentical) {
+  // The roaming variant of the SIGKILL test: the checkpoint is cut after a
+  // full mobility week, so it must carry every walker's motion state and the
+  // walk rng mid-stream; the resumed run re-derives the remaining phases and
+  // must match a never-killed mobility campaign at any --jobs split.
+  const std::string path =
+      "resume_mobility_" + std::to_string(::getpid()) + ".wlmckpt";
+  std::remove(path.c_str());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    sim::FleetRunner runner(mobile_e2e_config(2));
+    ckpt::CampaignProgress progress;
+    progress.label = "sigkill-mobility";
+    runner.run_usage_week();
+    progress.phases_done.emplace_back("usage_week");
+    runner.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
+    progress.phases_done.emplace_back("mr16");
+    if (ckpt::save_campaign_file(path, runner, progress)) _exit(3);
+    ::raise(SIGKILL);
+    _exit(4);  // unreachable
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of dying by signal";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const Outputs reference = [&] {
+    sim::FleetRunner runner(mobile_e2e_config(1));
+    for (const char* phase : kPhases) run_phase(runner, phase, sim::HarvestMode::kFinal);
+    return outputs_of(runner);
+  }();
+  for (const int jobs : {1, 8}) {
+    SCOPED_TRACE("resume jobs=" + std::to_string(jobs));
+    ckpt::RestoredCampaign restored;
+    const auto err = ckpt::restore_campaign_file(path, jobs, restored);
+    ASSERT_FALSE(err) << err.detail;
+    EXPECT_EQ(restored.progress.label, "sigkill-mobility");
+    for (std::size_t i = restored.progress.phases_done.size(); i < std::size(kPhases);
+         ++i) {
+      run_phase(*restored.runner, kPhases[i], sim::HarvestMode::kFinal);
+    }
+    EXPECT_EQ(outputs_of(*restored.runner), reference);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResumeE2E, MobilityCheckpointBytesIndependentOfJobs) {
+  // The v5 mobility block serializes per-shard in network order, so the
+  // checkpoint bytes — not just the resumed outputs — must be identical
+  // whatever worker count produced them.
+  std::vector<std::uint8_t> reference;
+  for (const int jobs : {1, 2, 8}) {
+    sim::FleetRunner runner(mobile_e2e_config(jobs));
+    run_phase(runner, "usage_week", sim::HarvestMode::kFinal);
+    ckpt::CampaignProgress progress;
+    progress.phases_done = {"usage_week"};
+    auto bytes = ckpt::save_campaign(runner, progress);
+    if (reference.empty()) {
+      reference = std::move(bytes);
+    } else {
+      EXPECT_EQ(bytes, reference) << "mobility checkpoint differs at --jobs " << jobs;
+    }
+  }
 }
 
 TEST(ResumeE2E, TornRewriteLeavesLastGoodCheckpoint) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 
@@ -81,6 +82,52 @@ TEST(Population, OnlyMobileDevicesRoam) {
     }
   }
   EXPECT_GT(mobile_roamers, 1000);
+}
+
+TEST(Population, RoamProbabilityClampsToLegalRange) {
+  // The knob replaced a hard-coded 0.6; hostile values degrade, not explode.
+  EXPECT_DOUBLE_EQ(PopulationModel(Epoch::kJan2015).roam_probability(), 0.6);
+  EXPECT_DOUBLE_EQ(PopulationModel(Epoch::kJan2015, 0.25).roam_probability(), 0.25);
+  EXPECT_DOUBLE_EQ(PopulationModel(Epoch::kJan2015, -1.0).roam_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationModel(Epoch::kJan2015, 7.0).roam_probability(), 1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(PopulationModel(Epoch::kJan2015, nan).roam_probability(), 0.6);
+}
+
+TEST(Population, RoamProbabilityExtremesRespected) {
+  Rng rng0(13);
+  const PopulationModel never(Epoch::kJan2015, 0.0);
+  Rng rng1(13);
+  const PopulationModel always(Epoch::kJan2015, 1.0);
+  int mobile = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto id = ClientId{static_cast<std::uint32_t>(i)};
+    EXPECT_FALSE(never.sample(id, rng0).roams);
+    const auto dev = always.sample(id, rng1);
+    const bool is_mobile =
+        classify::device_class(dev.os) == classify::DeviceClass::kMobile;
+    EXPECT_EQ(dev.roams, is_mobile);
+    mobile += is_mobile ? 1 : 0;
+  }
+  EXPECT_GT(mobile, 1000);
+}
+
+TEST(Population, RoamSettingNeverShiftsOtherSampledFields) {
+  // Rng::chance consumes exactly one draw for any probability, so the roam
+  // knob must not perturb MAC/OS/caps — the guarantee that keeps historical
+  // campaigns byte-identical when a scenario overrides the probability.
+  const PopulationModel a(Epoch::kJan2015, 0.0);
+  const PopulationModel b(Epoch::kJan2015, 1.0);
+  Rng rng_a(17);
+  Rng rng_b(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto id = ClientId{static_cast<std::uint32_t>(i)};
+    const auto da = a.sample(id, rng_a);
+    const auto db = b.sample(id, rng_b);
+    ASSERT_EQ(da.mac.to_u64(), db.mac.to_u64()) << "client " << i;
+    ASSERT_EQ(da.os, db.os) << "client " << i;
+    ASSERT_EQ(da.caps.bits, db.caps.bits) << "client " << i;
+  }
 }
 
 TEST(Population, MacsMostlyUnique) {

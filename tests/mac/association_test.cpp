@@ -86,5 +86,97 @@ TEST(Association, StickinessKeepsSomeClientsOn24) {
   EXPECT_NEAR(static_cast<double>(on24) / n, 0.35, 0.02);
 }
 
+// --- select_handoff boundary cases (the mobility walk's decision rule) ---
+
+TEST(Handoff, EqualRssiTieNeverRoams) {
+  AssociationPolicy policy;
+  policy.handoff_hysteresis_db = 0.0;  // even with zero margin...
+  const auto r = select_handoff({bss(1, phy::Band::k2_4GHz, -60.0),
+                                 bss(2, phy::Band::k2_4GHz, -60.0)},
+                                false, ApId{1}, phy::Band::k2_4GHz,
+                                PowerDbm{-60.0}, policy);
+  EXPECT_FALSE(r.has_value());  // ...strict ">" keeps ties on the serving BSS
+}
+
+TEST(Handoff, ExactHysteresisBoundaryStays) {
+  AssociationPolicy policy;
+  policy.handoff_hysteresis_db = 6.0;
+  // Rival beats serving by exactly 6 dB: not strictly more, stays.
+  const auto at = select_handoff({bss(2, phy::Band::k2_4GHz, -54.0)}, false,
+                                 ApId{1}, phy::Band::k2_4GHz, PowerDbm{-60.0},
+                                 policy);
+  EXPECT_FALSE(at.has_value());
+  // One step past the margin: roams.
+  const auto past = select_handoff({bss(2, phy::Band::k2_4GHz, -53.9)}, false,
+                                   ApId{1}, phy::Band::k2_4GHz, PowerDbm{-60.0},
+                                   policy);
+  ASSERT_TRUE(past.has_value());
+  EXPECT_EQ(past->ap, ApId{2});
+}
+
+TEST(Handoff, SingleApNetworkNeverRoams) {
+  AssociationPolicy policy;
+  // The only candidates are the serving AP's own BSSes; the serving BSS is
+  // skipped and the other band would be a band switch, not a given.
+  const auto same_bss = select_handoff({bss(1, phy::Band::k2_4GHz, -40.0)},
+                                       false, ApId{1}, phy::Band::k2_4GHz,
+                                       PowerDbm{-70.0}, policy);
+  EXPECT_FALSE(same_bss.has_value());
+  EXPECT_FALSE(select_handoff({}, true, ApId{1}, phy::Band::k2_4GHz,
+                              PowerDbm{-70.0}, policy)
+                   .has_value());
+}
+
+TEST(Handoff, CellEdgeWithNothingUsableStays) {
+  AssociationPolicy policy;
+  // Client on the cell edge: serving signal is below min_rssi and so is
+  // every rival. Staying (and suffering) beats flapping to an unusable BSS.
+  const auto r = select_handoff({bss(2, phy::Band::k2_4GHz, -92.0),
+                                 bss(3, phy::Band::k5GHz, -95.0)},
+                                true, ApId{1}, phy::Band::k2_4GHz,
+                                PowerDbm{-91.0}, policy);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(Handoff, CellEdgeRoamsToTheOneUsableRival) {
+  AssociationPolicy policy;
+  policy.handoff_hysteresis_db = 6.0;
+  const auto r = select_handoff({bss(2, phy::Band::k2_4GHz, -70.0),
+                                 bss(3, phy::Band::k2_4GHz, -89.0)},
+                                false, ApId{1}, phy::Band::k2_4GHz,
+                                PowerDbm{-91.0}, policy);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ap, ApId{2});
+}
+
+TEST(Handoff, BandSteerBonusOnlyMovesDualBandClients) {
+  AssociationPolicy policy;
+  policy.handoff_hysteresis_db = 6.0;
+  policy.band_steer_bonus_db = 10.0;
+  const std::vector<BssCandidate> cands = {bss(2, phy::Band::k5GHz, -63.0)};
+  // Dual-band: -63 + 10 steer = -53, beats -60 by 7 > 6 — roams up-band.
+  const auto dual = select_handoff(cands, true, ApId{1}, phy::Band::k2_4GHz,
+                                   PowerDbm{-60.0}, policy);
+  ASSERT_TRUE(dual.has_value());
+  EXPECT_EQ(dual->band, phy::Band::k5GHz);
+  EXPECT_EQ(dual->ap, ApId{2});
+  // Single-band client can't even see the 5 GHz BSS.
+  const auto single = select_handoff(cands, false, ApId{1}, phy::Band::k2_4GHz,
+                                     PowerDbm{-60.0}, policy);
+  EXPECT_FALSE(single.has_value());
+}
+
+TEST(Handoff, SteerBonusAlsoRaisesTheServingScoreOn5GHz) {
+  AssociationPolicy policy;
+  policy.handoff_hysteresis_db = 6.0;
+  policy.band_steer_bonus_db = 10.0;
+  // Serving on 5 GHz gets the same bonus, so a 2.4 GHz rival must clear
+  // the full steered score: -63+10 = -53 serving vs -50 rival = 3 dB, stays.
+  const auto r = select_handoff({bss(2, phy::Band::k2_4GHz, -50.0)}, true,
+                                ApId{1}, phy::Band::k5GHz, PowerDbm{-63.0},
+                                policy);
+  EXPECT_FALSE(r.has_value());
+}
+
 }  // namespace
 }  // namespace wlm::mac

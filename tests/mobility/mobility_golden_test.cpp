@@ -1,0 +1,96 @@
+// Mobility scenario pack, part 2: golden renders.
+//
+// Pins the three roaming artifacts — roam-rate CDF, per-client AP-visit
+// distribution, sticky-client summary — at the same reference scale the
+// scorecard goldens use (12 networks, seed 2015). Any change to the walk,
+// the handoff policy, the aggregation path, or the renderers that shifts a
+// byte fails here and forces a deliberate update:
+//
+//   WLM_REGEN_GOLDEN=1 ctest -R MobilityGolden   # rewrite the goldens
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/experiments.hpp"
+
+#ifndef WLM_GOLDEN_DIR
+#error "WLM_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace wlm {
+namespace {
+
+analysis::ScenarioScale golden_scale() {
+  analysis::ScenarioScale scale;
+  scale.networks = 12;
+  scale.seed = 2015;
+  scale.threads = 2;  // goldens must not depend on this; determinism pins it
+  return scale;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(WLM_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char chunk[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) out.append(chunk, n);
+  std::fclose(f);
+  return true;
+}
+
+void check_golden(const std::string& name, const std::string& rendered) {
+  const std::string path = golden_path(name);
+  if (std::getenv("WLM_REGEN_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::string expected;
+  ASSERT_TRUE(read_file(path, expected))
+      << path << " missing — run with WLM_REGEN_GOLDEN=1 to create it";
+  if (rendered != expected) {
+    std::size_t line = 1, pos = 0;
+    const std::size_t limit = std::min(rendered.size(), expected.size());
+    while (pos < limit && rendered[pos] == expected[pos]) {
+      if (rendered[pos] == '\n') ++line;
+      ++pos;
+    }
+    FAIL() << name << " drifted from its golden at line " << line
+           << " (byte " << pos << "). If the change is intentional, rerun with "
+           << "WLM_REGEN_GOLDEN=1 and commit the new golden.";
+  }
+}
+
+// One campaign feeds all three renders; the fixture runs it once.
+class MobilityGolden : public ::testing::Test {
+ protected:
+  static const analysis::MobilityRun& run() {
+    static const analysis::MobilityRun r =
+        analysis::run_mobility_study(golden_scale());
+    return r;
+  }
+};
+
+TEST_F(MobilityGolden, RoamRateCdf) {
+  check_golden("mobility_roamcdf", analysis::render_roam_cdf(run()));
+}
+
+TEST_F(MobilityGolden, ApVisitDistribution) {
+  check_golden("mobility_apvisits", analysis::render_ap_visits(run()));
+}
+
+TEST_F(MobilityGolden, StickyClients) {
+  check_golden("mobility_sticky", analysis::render_sticky_clients(run()));
+}
+
+}  // namespace
+}  // namespace wlm

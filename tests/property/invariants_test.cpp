@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <string>
 
 #include "backend/aggregate.hpp"
 #include "backend/tunnel.hpp"
@@ -399,6 +401,107 @@ TEST_P(SeededProperty, LossLedgerConservesUnderSupervisionOutcomes) {
       EXPECT_EQ(runner.supervisor().manifest().render(), baseline_manifest)
           << spec << " jobs=" << jobs;
     }
+  }
+}
+
+TEST_P(SeededProperty, LossLedgerConservesUnderRoamingChurn) {
+  // Mobility churn (per-flow usage fanned out across the roam set) must not
+  // break byte conservation while faults chew on the tunnels and the
+  // supervisor retries a failpoint-shot shard — and the whole degraded
+  // accounting must stay bit-identical across worker counts. Odd seeds arm
+  // a mid-week shard failure so the churn × supervision corner is covered.
+  const std::uint64_t seed = GetParam();
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 4;
+  config.fleet.seed = seed * 2 + 21;
+  config.seed = seed * 3 + 22;
+  config.client_scale = 0.25;
+  config.mobility.enabled = true;
+  config.mobility.steps_per_week = 48;
+  config.mobility.handoff_hysteresis_db = (seed % 2 == 0) ? 3.0 : 6.0;
+  config.mobility.band_steer_bonus_db = (seed % 3 == 0) ? 6.0 : 0.0;
+  config.faults.outage_rate_per_week = 2.0;
+  config.faults.outage_mean_hours = 12.0;
+  config.faults.reboot_rate_per_week = 1.0;
+  config.faults.corrupt_probability = 0.01;
+  config.faults.tunnel_queue_limit = 64;
+  config.supervision.max_shard_retries = 1;
+  config.supervision.capture_checkpoints = true;
+
+  const bool inject = (seed % 2) == 1;
+  std::string spec;
+  if (inject) {
+    const std::uint64_t victim = [&] {
+      const sim::FleetRunner probe(config);
+      return probe.shards().at(static_cast<std::size_t>(seed % 4))->id().value();
+    }();
+    spec = "site=shard.step,net=" + std::to_string(victim) +
+           ",action=throw,after=1,times=1";
+  }
+
+  std::string baseline;
+  for (const int jobs : {1, 2, 8}) {
+    if (inject) {
+      failsafe::failpoints().disarm_all();
+      ASSERT_TRUE(failsafe::failpoints().arm_list(spec)) << spec;
+    }
+    config.threads = jobs;
+    sim::FleetRunner runner(config);
+    runner.run_usage_week();
+    runner.harvest(sim::HarvestMode::kFinal);
+    failsafe::failpoints().disarm_all();
+
+    const auto ledger = runner.loss_ledger();
+    EXPECT_TRUE(ledger.conserved())
+        << "seed=" << seed << " jobs=" << jobs << "\n" << ledger.render();
+    if (jobs == 1) {
+      baseline = ledger.render();
+    } else {
+      EXPECT_EQ(ledger.render(), baseline) << "seed=" << seed << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST_P(SeededProperty, BackendApCountMatchesGroundTruthTraces) {
+  // The backend's per-MAC ap_count (paper §2.3: aggregate by MAC to account
+  // for roaming) must equal the distinct APs in the client's ground-truth
+  // walk trace. Traces are unioned per MAC across the whole fleet before
+  // comparing: the randomized MAC tail can collide across networks, and the
+  // aggregator keys by MAC alone, so a collision legitimately merges two
+  // clients' AP sets. Clean fault-free config: every report is delivered.
+  const std::uint64_t seed = GetParam();
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 4;
+  config.fleet.seed = seed + 2015;
+  config.seed = seed + 2016;
+  config.client_scale = 0.25;
+  config.threads = 2;
+  config.mobility.enabled = true;
+  config.mobility.steps_per_week = 48;
+
+  sim::FleetRunner runner(config);
+  runner.run_usage_week(7);
+  runner.harvest(sim::HarvestMode::kFinal);
+
+  std::map<std::uint64_t, std::set<std::uint32_t>> truth;
+  for (const auto& shard : runner.shards()) {
+    for (const auto& trace : shard->mobility_traces()) {
+      truth[trace.mac].insert(trace.ap_ids.begin(), trace.ap_ids.end());
+    }
+  }
+  ASSERT_FALSE(truth.empty());
+
+  backend::UsageAggregator agg;
+  agg.consume(runner.reports(), SimTime::epoch(),
+              SimTime::epoch() + Duration::days(8));
+  EXPECT_EQ(agg.clients().size(), truth.size()) << "seed=" << seed;
+  for (const auto& [mac, client] : agg.clients()) {
+    const auto it = truth.find(mac.to_u64());
+    ASSERT_NE(it, truth.end()) << "seed=" << seed << " mac=" << mac.to_u64();
+    EXPECT_EQ(static_cast<std::size_t>(client.ap_count), it->second.size())
+        << "seed=" << seed << " mac=" << mac.to_u64();
   }
 }
 

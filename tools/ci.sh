@@ -315,6 +315,52 @@ EOF
 }
 fullscale_smoke
 
+# Mobility (roaming) smoke: the waypoint walk + handoff path through the
+# shipped wlmctl wiring (the tier-1 `mobility` label proves it in-process).
+# A tiny mobile campaign must render byte-identical roaming artifacts at any
+# --jobs, must actually roam (a walk that never hands off would pass every
+# determinism check while testing nothing), and its telemetry must still
+# reconcile with the loss ledger — churn may move bytes between APs, never
+# invent or lose them.
+mobility_smoke() {
+  echo "=== mobility (roaming) smoke ==="
+  local dir="build/mobility-smoke"
+  rm -rf "${dir}" && mkdir -p "${dir}"
+  local flags=(--networks 5 --seed 11 --mobility on --mobility-steps 48)
+
+  for jobs in 1 2 8; do
+    ./build/tools/wlmctl report roamcdf "${flags[@]}" --jobs "${jobs}" \
+      > "${dir}/roamcdf-j${jobs}.out"
+  done
+  for jobs in 2 8; do
+    cmp "${dir}/roamcdf-j1.out" "${dir}/roamcdf-j${jobs}.out" || {
+      echo "mobility smoke: roam-rate CDF differs at --jobs ${jobs}" >&2
+      exit 1
+    }
+  done
+
+  ./build/tools/wlmctl report sticky "${flags[@]}" --jobs 2 > "${dir}/sticky.out"
+  grep -q "committed roams" "${dir}/sticky.out" || {
+    echo "mobility smoke: sticky report lacks the roam counters" >&2
+    exit 1
+  }
+  if grep -Eq "committed roams +\| +0 \|" "${dir}/sticky.out"; then
+    echo "mobility smoke: the mobile campaign never roamed" >&2
+    exit 1
+  fi
+
+  # Ledger reconciliation with the walk enabled (and faults chewing on the
+  # tunnels): wlmctl stats exits nonzero unless telemetry matches the ledger.
+  ./build/tools/wlmctl stats "${flags[@]}" --jobs 2 \
+    --faults "outage_rate=2,outage_hours=12,corrupt=0.01" \
+    > "${dir}/stats.out" || {
+    echo "mobility smoke: telemetry/ledger reconciliation failed under churn" >&2
+    exit 1
+  }
+  echo "mobility smoke: roaming deterministic across jobs, ledger reconciles"
+}
+mobility_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   # Sanitizer builds skip the `slow` and `perf` labels (fork-based e2e,
   # golden replays, and the PER-mode fleet-identity gates): the instrumented
@@ -324,8 +370,9 @@ if [[ "${1:-}" != "--fast" ]]; then
   # NOT excluded, so both sanitizer lanes sweep the mutated-packet
   # corpus and the 100k-flow oracle diff on every run. Likewise `tsdb`
   # (segment format roundtrip + the adversarial truncation/bit-flip/tamper
-  # corpus): its tests are fast and written to be ASan/UBSan-clean, so both
-  # sanitizer lanes pick them up automatically.
+  # corpus) and `mobility` (walk determinism, handoff boundaries, mobility
+  # golden renders): their tests are fast and written to be ASan/UBSan-clean,
+  # so both sanitizer lanes pick them up automatically.
   run_suite build-asan "-LE slow|perf" -DWLM_SANITIZE=address
   run_suite build-tsan "-LE slow|perf" -DWLM_SANITIZE=thread
 fi

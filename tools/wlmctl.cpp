@@ -148,6 +148,49 @@ bool apply_mem_ceiling(const Args& args, std::uint64_t& mem_ceiling_mb,
   return true;
 }
 
+/// Applies the shared mobility flags (--mobility on|off, --roam-prob P,
+/// --mobility-speed M, --mobility-steps N) to a MobilityConfig; returns
+/// false on a bad value. Out-of-range values are rejected loudly here —
+/// MobilityConfig::clamped() exists for programmatic callers, but a typo'd
+/// CLI flag should fail, not silently run a different scenario.
+bool apply_mobility(const Args& args, mobility::MobilityConfig& mobility) {
+  if (const auto it = args.options.find("mobility"); it != args.options.end()) {
+    if (it->second == "on") {
+      mobility.enabled = true;
+    } else if (it->second == "off") {
+      mobility.enabled = false;
+    } else {
+      std::fprintf(stderr, "wlmctl: --mobility expects on|off, got '%s'\n",
+                   it->second.c_str());
+      return false;
+    }
+  }
+  const double roam = args.get_double("roam-prob", mobility.roam_probability);
+  if (args.bad) return false;
+  if (roam < 0.0 || roam > 1.0) {
+    std::fprintf(stderr, "wlmctl: --roam-prob must be in [0,1] (got %g)\n", roam);
+    return false;
+  }
+  mobility.roam_probability = roam;
+  const double speed = args.get_double("mobility-speed", mobility.speed_mps);
+  if (args.bad) return false;
+  if (!(speed > 0.0 && speed <= 10.0)) {
+    std::fprintf(stderr, "wlmctl: --mobility-speed must be in (0,10] m/s (got %g)\n",
+                 speed);
+    return false;
+  }
+  mobility.speed_mps = speed;
+  const int steps = args.get_int("mobility-steps", mobility.steps_per_week);
+  if (args.bad) return false;
+  if (steps < 1 || steps > 100'000) {
+    std::fprintf(stderr, "wlmctl: --mobility-steps must be in [1,100000] (got %d)\n",
+                 steps);
+    return false;
+  }
+  mobility.steps_per_week = steps;
+  return true;
+}
+
 /// Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 campaign finished
 /// degraded (shards quarantined — partial but accounted results), 4 resume
 /// I/O failure (checkpoint missing/unreadable).
@@ -235,6 +278,7 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
   if (!apply_mem_ceiling(args, config.mem_ceiling_mb, config.spill_dir)) {
     return std::nullopt;
   }
+  if (!apply_mobility(args, config.mobility)) return std::nullopt;
   return config;
 }
 
@@ -424,6 +468,7 @@ int cmd_report(const Args& args) {
   if (!validate_scale(args, scale.networks, scale.threads)) return 2;
   if (!apply_per_mode(args, scale)) return 2;
   if (!apply_mem_ceiling(args, scale.mem_ceiling_mb, scale.spill_dir)) return 2;
+  if (!apply_mobility(args, scale.mobility)) return 2;
   const std::string& what = args.positional[0];
 
   if (what == "table2") {
@@ -461,6 +506,13 @@ int cmd_report(const Args& args) {
   } else if (what == "fig11") {
     std::fputs(analysis::render_fig11(analysis::run_spectrum_study(scale.seed)).c_str(),
                stdout);
+  } else if (what == "roamcdf" || what == "apvisits" || what == "sticky") {
+    // The mobility studies force mobility on; --roam-prob and the other
+    // knobs shape the walk.
+    const auto run = analysis::run_mobility_study(scale);
+    if (what == "roamcdf") std::fputs(analysis::render_roam_cdf(run).c_str(), stdout);
+    if (what == "apvisits") std::fputs(analysis::render_ap_visits(run).c_str(), stdout);
+    if (what == "sticky") std::fputs(analysis::render_sticky_clients(run).c_str(), stdout);
   } else {
     std::fprintf(stderr, "unknown artifact '%s'\n", what.c_str());
     return 2;
@@ -699,12 +751,17 @@ int usage() {
                "            [--resume-from FILE] [--halt-after-phase PHASE]\n"
                "            [--failpoints SPEC] [--max-shard-retries N]\n"
                "            [--shard-deadline SIM_HOURS] [--metrics-out FILE]\n"
+               "            [--mobility on|off] [--roam-prob P] [--mobility-speed M]\n"
+               "            [--mobility-steps N]\n"
                "            phases: usage_week, mr16, link_windows, harvest. A resume\n"
                "            replays only unfinished phases; its output is byte-identical\n"
                "            to an uninterrupted run at any --jobs\n"
-               "  report    <table2..table7|fig1..fig11> [--networks N] [--scale paper]\n"
+               "  report    <table2..table7|fig1..fig11|roamcdf|apvisits|sticky>\n"
+               "            [--networks N] [--scale paper]\n"
                "            [--seed S] [--jobs N] [--per-mode reference|table]\n"
                "            [--mem-ceiling-mb MB] [--spill-dir DIR]\n"
+               "            [--roam-prob P] [--mobility-speed M] [--mobility-steps N]\n"
+               "            roamcdf/apvisits/sticky run a mobility-enabled usage week\n"
                "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
                "  export    <dir> [--networks N] [--scale paper] [--seed S] [--jobs N]\n"
