@@ -14,6 +14,8 @@
 #include "classify/rule_index.hpp"
 #include "core/stats.hpp"
 #include "deploy/epoch.hpp"
+#include "fault/loss_ledger.hpp"
+#include "mac/mesh.hpp"
 #include "mobility/mobility.hpp"
 #include "phy/per_table.hpp"
 
@@ -46,6 +48,10 @@ struct ScenarioScale {
   /// forces `enabled` on, every other experiment leaves mobility off (so
   /// their renders stay byte-identical to pre-mobility builds).
   mobility::MobilityConfig mobility;
+  /// Mesh backhaul knobs for the multi-hop studies; run_mesh_study forces
+  /// a nonzero mesh fraction, every other experiment leaves mesh off (so
+  /// their renders stay byte-identical to pre-mesh builds).
+  mesh::MeshConfig mesh;
 };
 
 /// The paper's audited full fleet size (Table 2 total: 20,667 networks).
@@ -210,6 +216,44 @@ struct MobilityRun {
 [[nodiscard]] std::string render_ap_visits(const MobilityRun& run);
 /// Sticky-client report plus the fleet handoff counters.
 [[nodiscard]] std::string render_sticky_clients(const MobilityRun& run);
+
+// ------------------------------------------- mesh (multi-hop backhaul)
+
+/// Delivery and delay vs hop count from one mesh-enabled usage week, the
+/// ngwmn grid-study methodology: generation counts come from the merged
+/// shard registries, delivery counts and relay-delay samples come from the
+/// harvested backend store ONLY — the backend measures what arrived, the
+/// shards attest what was sent, and the gap is the ledger's business.
+struct MeshRun {
+  /// Reports enqueued at each hop distance (index = hops; 0 = gateway- or
+  /// wire-attached APs), from wlm_mesh_reports_by_hops_total.
+  std::vector<std::uint64_t> generated_by_hops;
+  /// Reports the backend store holds at each hop distance.
+  std::vector<std::uint64_t> delivered_by_hops;
+  /// Relay-delay samples (us) per hop distance, from delivered reports;
+  /// index 0 stays empty (direct reports carry no relay delay).
+  std::vector<std::vector<double>> relay_us_by_hops;
+  /// WAN-less (mesh) APs across the fleet, from the wlm_mesh_aps gauges.
+  std::uint64_t mesh_aps = 0;
+  std::uint64_t total_aps = 0;
+  // Fleet wlm_mesh_* counters from the merged registry.
+  std::uint64_t relayed_reports = 0;
+  std::uint64_t hops_total = 0;
+  std::uint64_t relay_us_total = 0;
+  std::uint64_t partition_lost = 0;
+  /// Fleet conservation ledger (closes with lost_mesh_partition).
+  fault::LossLedger ledger;
+};
+
+/// Runs one usage week with mesh backhaul forced on (scale.mesh supplies
+/// the knobs; a zero fraction defaults to 0.40) and measures delivery and
+/// delay per hop count from the backend store.
+[[nodiscard]] MeshRun run_mesh_study(const ScenarioScale& scale);
+/// Delivery-ratio table: generated vs delivered per hop count, plus the
+/// partition losses that keep the ledger closed.
+[[nodiscard]] std::string render_mesh_delivery(const MeshRun& run);
+/// Relay-delay table per hop count (mean and percentiles).
+[[nodiscard]] std::string render_mesh_delay(const MeshRun& run);
 
 // ------------------------------------------------ Figure 11 (spectrum)
 

@@ -77,8 +77,13 @@ enum class SectionTag : std::uint64_t {
 // config section carries the mobility knobs and shard sections append a
 // mobility block (mobility RNG, per-client motion state, serving BSS, and
 // pending-handoff debounce) when mobility is enabled, so a restored run
-// resumes every walk mid-stride. Older versions fail kBadVersion.
-inline constexpr std::uint32_t kFormatVersion = 5;
+// resumes every walk mid-stride. Version 6: the ledger carries the
+// lost_mesh_partition bucket, the config section carries the mesh backhaul
+// knobs, and shard sections append a mesh block (mesh RNG, the phase's
+// routing table, per-AP relay busy horizons, and the partition-drop count)
+// when mesh is enabled, so a restored run relays over the same drifted
+// topology. Older versions fail kBadVersion.
+inline constexpr std::uint32_t kFormatVersion = 6;
 
 /// Append-only payload builder. Scalars are varints (zigzag for signed),
 /// doubles are 8-byte LE bit patterns (exact round-trip, no printf loss),

@@ -569,6 +569,7 @@ void save_ledger(Buf& b, const fault::LossLedger& ledger) {
   b.u64(ledger.lost_corruption);
   b.u64(ledger.in_flight);
   b.u64(ledger.lost_supervision);
+  b.u64(ledger.lost_mesh_partition);
 }
 
 bool load_ledger(Cursor& c, fault::LossLedger& out) {
@@ -580,6 +581,7 @@ bool load_ledger(Cursor& c, fault::LossLedger& out) {
   l.lost_corruption = c.u64();
   l.in_flight = c.u64();
   l.lost_supervision = c.u64();
+  l.lost_mesh_partition = c.u64();
   if (!c.ok()) return false;
   out = l;
   return true;
@@ -944,6 +946,13 @@ void save_world_config(Buf& b, const sim::WorldConfig& config) {
   b.f64(config.mobility.handoff_hysteresis_db);
   b.f64(config.mobility.band_steer_bonus_db);
   b.f64(config.mobility.roam_probability);
+  // v6: mesh backhaul knobs. Like mobility, every one shapes simulated
+  // behavior (gateway draws, routing, relay accounting), so a resume must
+  // reproduce them all.
+  b.f64(config.mesh.mesh_fraction);
+  b.u64(static_cast<std::uint64_t>(config.mesh.max_hops));
+  b.f64(config.mesh.relay_floor_dbm);
+  b.f64(config.mesh.drift_sigma_db);
 }
 
 bool load_world_config(Cursor& c, sim::WorldConfig& out) {
@@ -1023,6 +1032,19 @@ bool load_world_config(Cursor& c, sim::WorldConfig& out) {
   if (!(cfg.mobility.roam_probability >= 0.0 && cfg.mobility.roam_probability <= 1.0)) {
     c.fail();
   }
+  // The ranges mirror mesh::MeshConfig::clamped(): a value the clamp would
+  // have rewritten cannot have produced this checkpoint.
+  cfg.mesh.mesh_fraction = c.f64();
+  if (!(cfg.mesh.mesh_fraction >= 0.0 && cfg.mesh.mesh_fraction <= 0.95)) c.fail();
+  const std::uint64_t mesh_hops = c.u64();
+  if (mesh_hops < 1 || mesh_hops > 16) c.fail();
+  cfg.mesh.max_hops = static_cast<int>(mesh_hops);
+  cfg.mesh.relay_floor_dbm = c.f64();
+  if (!(cfg.mesh.relay_floor_dbm >= -100.0 && cfg.mesh.relay_floor_dbm <= -40.0)) {
+    c.fail();
+  }
+  cfg.mesh.drift_sigma_db = c.f64();
+  if (!(cfg.mesh.drift_sigma_db >= 0.0 && cfg.mesh.drift_sigma_db <= 10.0)) c.fail();
   if (!c.ok()) return false;
   out = cfg;
   return true;
@@ -1078,6 +1100,26 @@ void save_shard_state(Buf& b, sim::NetworkShard& shard) {
         b.u64(m.pending_band == phy::Band::k5GHz ? 1 : 0);
       }
     }
+  }
+  // v6 mesh block, same shape as mobility: the enabled bit always travels,
+  // the state behind it only when mesh is on.
+  b.boolean(shard.mesh_enabled());
+  if (shard.mesh_enabled()) {
+    save_rng(b, shard.mesh_rng().state());
+    const auto& routes = shard.mesh_routes();
+    b.u64(routes.size());
+    for (const mesh::RouteEntry& r : routes) {
+      b.boolean(r.is_gateway);
+      b.boolean(r.routable);
+      b.u64(r.next_hop);
+      b.u64(r.gateway);
+      b.u64(r.hop_count);
+      b.f64(r.next_hop_rx_dbm);
+    }
+    const auto& busy = shard.mesh_busy_until_us();
+    b.u64(busy.size());
+    for (const std::int64_t t : busy) b.i64(t);
+    b.u64(shard.mesh_partition_lost());
   }
 }
 
@@ -1186,8 +1228,75 @@ bool load_shard_state(Cursor& c, sim::NetworkShard& shard) {
     }
   }
 
+  // v6 mesh block. Mesh membership is rebuilt deterministically from the
+  // (already-validated) config, so the saved routing table is checked
+  // against that ground truth: a dangling next-hop index, a self-loop, a
+  // hop count past the clamp cap, or a gateway flag that disagrees with the
+  // rebuilt membership is corruption, not a scenario.
+  const bool mesh_enabled = c.boolean();
+  if (!c.ok()) return false;
+  if (mesh_enabled != shard.mesh_enabled()) return false;
+  std::uint64_t mesh_partition_lost = 0;
+  if (mesh_enabled) {
+    Rng::State mesh_rng_state;
+    if (!load_rng(c, mesh_rng_state)) return false;
+    shard.mesh_rng().restore(mesh_rng_state);
+    const std::uint64_t n_aps = shard.aps().size();
+    const auto& is_mesh = shard.mesh_membership();
+    const std::uint64_t route_count = c.u64();
+    if (!c.ok()) return false;
+    // Empty only for a checkpoint cut before the first campaign phase;
+    // otherwise exactly one entry per AP.
+    if (route_count != 0 && route_count != n_aps) return false;
+    std::vector<mesh::RouteEntry> routes;
+    routes.reserve(static_cast<std::size_t>(route_count));
+    for (std::uint64_t i = 0; i < route_count && c.ok(); ++i) {
+      mesh::RouteEntry r;
+      r.is_gateway = c.boolean();
+      r.routable = c.boolean();
+      if (r.is_gateway == is_mesh[static_cast<std::size_t>(i)]) c.fail();
+      const std::uint64_t next_hop = c.u64();
+      if (next_hop >= n_aps) c.fail();  // dangling AP index
+      r.next_hop = static_cast<std::uint32_t>(next_hop);
+      const std::uint64_t gateway = c.u64();
+      if (gateway >= n_aps) c.fail();
+      r.gateway = static_cast<std::uint32_t>(gateway);
+      const std::uint64_t hop_count = c.u64();
+      if (hop_count > 16) c.fail();  // max_hops clamp caps paths at 16
+      r.hop_count = static_cast<std::uint32_t>(hop_count);
+      if (r.is_gateway || !r.routable) {
+        // Gateways and unroutable APs point at themselves with no hops.
+        if (next_hop != i || gateway != i || hop_count != 0) c.fail();
+      } else {
+        if (next_hop == i) c.fail();  // self-loop
+        if (hop_count == 0) c.fail();
+        if (gateway < n_aps && is_mesh[static_cast<std::size_t>(gateway)]) {
+          c.fail();  // a relay path must terminate at a gateway
+        }
+      }
+      r.next_hop_rx_dbm = c.f64();
+      if (!(r.next_hop_rx_dbm >= -1000.0 && r.next_hop_rx_dbm <= 1000.0)) c.fail();
+      if (c.ok()) routes.push_back(r);
+    }
+    const std::uint64_t busy_count = c.u64();
+    if (!c.ok()) return false;
+    if (busy_count != n_aps) return false;
+    std::vector<std::int64_t> busy;
+    busy.reserve(static_cast<std::size_t>(busy_count));
+    for (std::uint64_t i = 0; i < busy_count && c.ok(); ++i) {
+      const std::int64_t t = c.i64();
+      if (t < 0) c.fail();  // relay horizons never precede the epoch
+      busy.push_back(t);
+    }
+    mesh_partition_lost = c.u64();
+    if (!c.ok()) return false;
+    shard.mesh_routes() = std::move(routes);
+    shard.mesh_busy_until_us() = std::move(busy);
+  }
+
   if (!c.at_end()) return false;  // trailing bytes are corruption too
   shard.restore_flow_counters(classified, misclassified);
+  if (mesh_enabled) shard.restore_mesh_partition_lost(mesh_partition_lost);
   return true;
 }
 

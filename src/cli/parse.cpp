@@ -1,0 +1,67 @@
+#include "cli/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace wlm::cli {
+
+namespace {
+
+/// True when `text` is (sign) digits [ '.' digits ] [ e/E (sign) digits ],
+/// with at least one digit in the integer-or-fraction part. This is the
+/// whitelist; strtod below only supplies the value.
+bool is_plain_decimal(std::string_view text) {
+  std::size_t i = 0;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+  std::size_t digits = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i, ++digits;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i, ++digits;
+  }
+  if (digits == 0) return false;
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    std::size_t exp_digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i, ++exp_digits;
+    if (exp_digits == 0) return false;
+  }
+  return i == text.size();
+}
+
+}  // namespace
+
+std::optional<long long> parse_int(std::string_view text, long long min, long long max) {
+  std::size_t i = 0;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+  if (i == text.size()) return std::nullopt;
+  for (std::size_t j = i; j < text.size(); ++j) {
+    if (text[j] < '0' || text[j] > '9') return std::nullopt;
+  }
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(owned.c_str(), &end, 10);
+  if (errno == ERANGE || end != owned.c_str() + owned.size()) return std::nullopt;
+  if (v < min || v > max) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (!is_plain_decimal(text)) return std::nullopt;
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  // ERANGE covers overflow-to-inf; underflow-to-0 is fine. The isfinite
+  // check is belt-and-braces for platforms that skip errno.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace wlm::cli

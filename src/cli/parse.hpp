@@ -1,0 +1,37 @@
+// Strict numeric parsing for command-line flags.
+//
+// The C library's strtol/strtod are the wrong contract for operator-facing
+// flags: strtod happily accepts "nan", "inf", "infinity", hex floats
+// ("0x1p4"), and locale surprises, and both silently stop at the first
+// non-numeric byte unless the caller remembers to check *end. A NaN that
+// sneaks through a flag poisons every downstream clamp (NaN fails every
+// comparison, so clamped() range checks pass it along), which is how a
+// `--roam-prob nan` run once differed across --jobs counts.
+//
+// These parsers accept exactly the boring subset a human types:
+//   integers: optional sign, decimal digits, nothing else
+//   doubles:  optional sign, decimal digits with optional '.' fraction and
+//             optional e/E exponent, finite result, nothing else
+// Everything else — empty strings, whitespace, trailing junk, NaN/inf in
+// any spelling, hex, values that overflow the target type — returns
+// nullopt so the caller can fail the flag loudly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace wlm::cli {
+
+/// Strict decimal integer. Rejects empty input, whitespace, trailing
+/// junk, hex/octal spellings, and anything outside [min, max].
+[[nodiscard]] std::optional<long long> parse_int(std::string_view text,
+                                                 long long min = INT64_MIN,
+                                                 long long max = INT64_MAX);
+
+/// Strict finite decimal double. Rejects empty input, whitespace, trailing
+/// junk, every NaN/infinity spelling, hex floats, and values whose
+/// magnitude overflows to infinity.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+}  // namespace wlm::cli

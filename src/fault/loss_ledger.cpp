@@ -12,22 +12,30 @@ LossLedger& LossLedger::merge(const LossLedger& other) {
   lost_corruption += other.lost_corruption;
   in_flight += other.in_flight;
   lost_supervision += other.lost_supervision;
+  lost_mesh_partition += other.lost_mesh_partition;
   return *this;
 }
 
 std::string LossLedger::render() const {
-  char buf[320];
+  // The mesh bucket prints only when it holds anything: non-mesh runs keep
+  // the historical one-liner byte for byte.
+  char mesh[64] = "";
+  if (lost_mesh_partition > 0) {
+    std::snprintf(mesh, sizeof mesh, " + %llu lost-mesh-partition",
+                  static_cast<unsigned long long>(lost_mesh_partition));
+  }
+  char buf[384];
   std::snprintf(buf, sizeof buf,
                 "loss ledger: %llu generated = %llu delivered (%.1f%%) + %llu shed + "
                 "%llu lost-reboot + %llu lost-corruption + %llu in-flight + "
-                "%llu lost-supervision [%s]",
+                "%llu lost-supervision%s [%s]",
                 static_cast<unsigned long long>(generated),
                 static_cast<unsigned long long>(delivered), 100.0 * delivery_ratio(),
                 static_cast<unsigned long long>(shed),
                 static_cast<unsigned long long>(lost_reboot),
                 static_cast<unsigned long long>(lost_corruption),
                 static_cast<unsigned long long>(in_flight),
-                static_cast<unsigned long long>(lost_supervision),
+                static_cast<unsigned long long>(lost_supervision), mesh,
                 conserved() ? "conserved" : "NOT CONSERVED");
   return buf;
 }

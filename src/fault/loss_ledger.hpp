@@ -4,12 +4,15 @@
 // delivered (decoded into the backend store), shed (dropped by the bounded
 // device-side queue), lost to a reboot (queue flushed by a power/OOM/firmware
 // restart), lost to wire corruption (framing CRC or message decode failure),
-// still in flight (queued on a tunnel the backend has not drained yet), or
+// still in flight (queued on a tunnel the backend has not drained yet),
 // lost to supervision (the work of a shard the failsafe layer quarantined —
-// degradation accounted, never silent). The conservation invariant
+// degradation accounted, never silent), or lost to a mesh partition (a
+// WAN-less AP whose relay path was down — gateway in outage or no route —
+// when the report would have entered the backhaul). The conservation
+// invariant
 //
 //     generated == delivered + shed + lost_reboot + lost_corruption
-//                  + in_flight + lost_supervision
+//                  + in_flight + lost_supervision + lost_mesh_partition
 //
 // is structural: each counter is derived from the tunnel and poller
 // statistics at the layer where the frame's fate is decided, so a violation
@@ -31,10 +34,12 @@ struct LossLedger {
   std::uint64_t lost_corruption = 0;  // framing CRC / message decode failure
   std::uint64_t in_flight = 0;        // still queued device-side
   std::uint64_t lost_supervision = 0; // shard quarantined by the failsafe layer
+  std::uint64_t lost_mesh_partition = 0;  // relay path down (no gateway reachable)
 
   [[nodiscard]] std::uint64_t lost() const { return lost_reboot + lost_corruption; }
   [[nodiscard]] std::uint64_t accounted() const {
-    return delivered + shed + lost_reboot + lost_corruption + in_flight + lost_supervision;
+    return delivered + shed + lost_reboot + lost_corruption + in_flight +
+           lost_supervision + lost_mesh_partition;
   }
   [[nodiscard]] bool conserved() const { return generated == accounted(); }
   [[nodiscard]] double delivery_ratio() const {

@@ -1,0 +1,118 @@
+#include "mac/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wlm::mesh {
+
+MeshConfig MeshConfig::clamped() const {
+  MeshConfig c = *this;
+  // NaN comparisons are false, so each test is phrased to catch NaN too.
+  if (!(c.mesh_fraction > 0.0)) c.mesh_fraction = 0.0;
+  if (c.mesh_fraction > 0.95) c.mesh_fraction = 0.95;
+  c.max_hops = std::clamp(c.max_hops, 1, 16);
+  if (!(c.relay_floor_dbm >= -100.0 && c.relay_floor_dbm <= -40.0)) {
+    c.relay_floor_dbm = -88.0;
+  }
+  if (!(c.drift_sigma_db >= 0.0)) c.drift_sigma_db = 2.0;
+  if (c.drift_sigma_db > 10.0) c.drift_sigma_db = 10.0;
+  return c;
+}
+
+std::vector<RouteEntry> compute_routes(std::size_t n_aps,
+                                       const std::vector<bool>& is_mesh,
+                                       const std::vector<MeshEdge>& edges,
+                                       const MeshConfig& config) {
+  std::vector<RouteEntry> routes(n_aps);
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    RouteEntry& r = routes[i];
+    r.is_gateway = i >= is_mesh.size() || !is_mesh[i];
+    r.next_hop = static_cast<std::uint32_t>(i);
+    r.gateway = static_cast<std::uint32_t>(i);
+    if (!r.is_gateway) {
+      r.routable = false;  // until BFS assigns a path below
+      r.next_hop_rx_dbm = -200.0;
+    }
+  }
+
+  // Out-adjacency, strongest usable edge per (from, to) pair: two bands can
+  // connect the same AP pair, and the relay always picks the better one.
+  std::vector<std::vector<MeshEdge>> out(n_aps);
+  for (const MeshEdge& e : edges) {
+    if (e.from >= n_aps || e.to >= n_aps || e.from == e.to) continue;
+    if (!(e.rx_dbm >= config.relay_floor_dbm)) continue;  // also drops NaN
+    auto& lane = out[e.from];
+    const auto it = std::find_if(lane.begin(), lane.end(),
+                                 [&](const MeshEdge& x) { return x.to == e.to; });
+    if (it == lane.end()) {
+      lane.push_back(e);
+    } else if (e.rx_dbm > it->rx_dbm) {
+      *it = e;
+    }
+  }
+
+  // Multi-source BFS by increasing hop count. Scanning candidates in
+  // ascending AP index with (strongest rx, lowest next-hop index) tie-breaks
+  // makes the table a pure function of the inputs.
+  std::vector<std::uint32_t> dist(n_aps, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    if (routes[i].is_gateway) dist[i] = 0;
+  }
+  for (int d = 0; d < config.max_hops; ++d) {
+    bool assigned = false;
+    for (std::size_t x = 0; x < n_aps; ++x) {
+      if (dist[x] != std::numeric_limits<std::uint32_t>::max()) continue;
+      const MeshEdge* best = nullptr;
+      for (const MeshEdge& e : out[x]) {
+        if (dist[e.to] != static_cast<std::uint32_t>(d)) continue;
+        if (best == nullptr || e.rx_dbm > best->rx_dbm ||
+            (e.rx_dbm == best->rx_dbm && e.to < best->to)) {
+          best = &e;
+        }
+      }
+      if (best == nullptr) continue;
+      RouteEntry& r = routes[x];
+      r.routable = true;
+      r.next_hop = best->to;
+      r.gateway = routes[best->to].gateway;
+      r.hop_count = static_cast<std::uint32_t>(d + 1);
+      r.next_hop_rx_dbm = best->rx_dbm;
+      dist[x] = r.hop_count;
+      assigned = true;
+    }
+    if (!assigned) break;
+  }
+  return routes;
+}
+
+double relay_rate_mbps(double rx_dbm) {
+  // Coarse 802.11n single-stream MCS ladder (20 MHz, long GI). The exact
+  // thresholds matter less than being monotone and deterministic.
+  if (rx_dbm >= -65.0) return 65.0;
+  if (rx_dbm >= -71.0) return 39.0;
+  if (rx_dbm >= -77.0) return 26.0;
+  if (rx_dbm >= -82.0) return 13.0;
+  if (rx_dbm >= -86.0) return 6.5;
+  return 1.0;
+}
+
+int relay_attempts(double rx_dbm) {
+  if (rx_dbm >= -72.0) return 1;
+  if (rx_dbm >= -79.0) return 2;
+  if (rx_dbm >= -84.0) return 3;
+  return 4;
+}
+
+std::uint64_t hop_airtime_us(std::size_t frame_bytes, double rx_dbm) {
+  /// Fixed per-attempt MAC cost: DIFS + average backoff + PHY preamble +
+  /// block-ack turnaround, rounded to a flat number.
+  constexpr double kPerAttemptOverheadUs = 250.0;
+  const double serialize_us =
+      static_cast<double>(frame_bytes) * 8.0 / relay_rate_mbps(rx_dbm);
+  const double total =
+      static_cast<double>(relay_attempts(rx_dbm)) * (kPerAttemptOverheadUs + serialize_us);
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace wlm::mesh

@@ -1,0 +1,109 @@
+// Multi-hop mesh backhaul: deterministic shortest-path routing from
+// WAN-less APs to gateway APs over the per-network link budget graph.
+//
+// The paper's fleet assumes every AP has a wired uplink; real managed
+// deployments relay telemetry over 802.11s-style wireless mesh to the few
+// APs that do (the ngwmn 7x7-grid study measures exactly this regime:
+// packet delivery ratio and delay as a function of hop count). This module
+// supplies the routing layer: given which APs are mesh (no WAN) and the
+// directed AP-to-AP link budgets, it computes one next-hop route per AP
+// toward its nearest gateway, plus the per-hop airtime/retry cost model the
+// shard uses to account relay delay.
+//
+// Determinism contract: route selection is a pure function of its inputs
+// (ties broken by strongest receive power, then lowest AP index), and every
+// random decision feeding those inputs — mesh-AP selection, per-phase
+// shadowing drift — draws from a dedicated per-shard substream
+// (seed ^ kMeshSeedSalt, keyed by network id, mirroring kFaultSeedSalt and
+// mobility::kMobilitySeedSalt). A campaign with mesh disabled consumes
+// exactly the same campaign randomness as before this module existed, so
+// mesh-off runs stay byte-identical to historical output; mesh-on runs are
+// byte-identical across any --jobs count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wlm::mesh {
+
+/// Salt separating the mesh substreams from the campaign, fault, and
+/// mobility substreams; keyed by the network id below it.
+inline constexpr std::uint64_t kMeshSeedSalt = 0xBACC4A07BACC4AULL;
+
+/// Fleet-wide mesh backhaul knobs. `mesh_fraction == 0` (the default)
+/// bypasses the module entirely: no routes, no relay accounting, no extra
+/// randomness consumed.
+struct MeshConfig {
+  /// Fraction of APs with no WAN uplink that relay over the mesh. The
+  /// lowest-indexed AP of every network is always a gateway, so a network
+  /// never loses its last uplink.
+  double mesh_fraction = 0.0;
+  /// Longest usable relay path; APs farther than this from every gateway
+  /// are partitioned (their reports land in lost_mesh_partition).
+  int max_hops = 8;
+  /// Weakest drifted link a relay hop will use, dBm. Below it the edge is
+  /// not part of the routing graph at all.
+  double relay_floor_dbm = -88.0;
+  /// Sigma of the per-link shadowing drift (dB) drawn at every campaign
+  /// phase boundary before routes are recomputed. 0 freezes the topology.
+  double drift_sigma_db = 2.0;
+
+  [[nodiscard]] bool enabled() const { return mesh_fraction > 0.0; }
+
+  /// Degrades every knob to the nearest legal value (NaN/negative fraction,
+  /// zero hops, out-of-range floor) instead of producing nonsense.
+  [[nodiscard]] MeshConfig clamped() const;
+};
+
+/// One AP's routing decision. Indices are positions in the shard's aps_
+/// vector (stable within a campaign), not ApId values.
+struct RouteEntry {
+  /// True when the AP has a WAN uplink and terminates relay paths.
+  bool is_gateway = true;
+  /// False for a mesh AP with no usable path to any gateway this phase.
+  bool routable = true;
+  /// Next relay toward the gateway; self for gateways and unroutable APs.
+  std::uint32_t next_hop = 0;
+  /// Terminal gateway of this AP's path; self for gateways.
+  std::uint32_t gateway = 0;
+  /// Relay hops to the gateway; 0 for gateways and unroutable APs.
+  std::uint32_t hop_count = 0;
+  /// Drifted receive power on the chosen first-hop edge, dBm (0 when none).
+  double next_hop_rx_dbm = 0.0;
+
+  bool operator==(const RouteEntry&) const = default;
+};
+
+/// One directed candidate edge of the routing graph: `from` transmits,
+/// `to` receives at `rx_dbm` (already including this phase's drift).
+struct MeshEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double rx_dbm = -200.0;
+};
+
+/// Deterministic multi-source BFS from every gateway: each mesh AP gets the
+/// hop-minimal route, ties broken by strongest rx_dbm then lowest next-hop
+/// index. Edges below config.relay_floor_dbm are ignored; APs beyond
+/// config.max_hops stay unroutable. Pure function — identical inputs yield
+/// identical tables on any thread or host.
+[[nodiscard]] std::vector<RouteEntry> compute_routes(std::size_t n_aps,
+                                                     const std::vector<bool>& is_mesh,
+                                                     const std::vector<MeshEdge>& edges,
+                                                     const MeshConfig& config);
+
+/// Effective relay PHY rate for a hop at `rx_dbm`, Mbit/s. A coarse
+/// 802.11n single-stream ladder; deterministic (no draws), so per-hop
+/// airtime is a pure function of frame size and link budget.
+[[nodiscard]] double relay_rate_mbps(double rx_dbm);
+
+/// Transmission attempts (1 + retries) a hop at `rx_dbm` spends per frame.
+/// Weak links retry more; deterministic for the same reason as the rate.
+[[nodiscard]] int relay_attempts(double rx_dbm);
+
+/// Total airtime one relay hop spends on a `frame_bytes` frame at
+/// `rx_dbm`: attempts x (fixed MAC overhead + serialization time).
+[[nodiscard]] std::uint64_t hop_airtime_us(std::size_t frame_bytes, double rx_dbm);
+
+}  // namespace wlm::mesh

@@ -30,6 +30,7 @@ FleetRunner::FleetRunner(WorldConfig config)
   }
   config_.faults = config_.faults.clamped();
   config_.mobility = config_.mobility.clamped();
+  config_.mesh = config_.mesh.clamped();
 
   // Segment vault knobs: the MiB ceiling becomes a byte budget for sealed
   // segments; spill decisions inside the vault key on deterministic byte
@@ -46,6 +47,7 @@ FleetRunner::FleetRunner(WorldConfig config)
   shard_config.verdict_cache_capacity = config_.verdict_cache_capacity;
   shard_config.per_mode = config_.per_mode;
   shard_config.mobility = config_.mobility;
+  shard_config.mesh = config_.mesh;
 
   // Shard construction is independent per network (each shard's RNG is a
   // substream of the base seed), so it parallelizes like the campaigns do.

@@ -57,6 +57,11 @@ struct WorldConfig {
   /// Disabled by default; disabled runs are byte-identical to pre-mobility
   /// builds (mobility draws live in their own salted substream).
   mobility::MobilityConfig mobility;
+  /// Mesh backhaul: a fraction of each network's APs lose their WAN uplink
+  /// and relay report batches hop by hop to gateway APs. Disabled by
+  /// default (mesh_fraction == 0); disabled runs are byte-identical to
+  /// pre-mesh builds (mesh draws live in their own salted substream).
+  mesh::MeshConfig mesh;
   /// Worker threads for shard campaigns; 1 runs fully serial. Output is
   /// bit-identical regardless of this value.
   int threads = 1;

@@ -59,6 +59,7 @@ NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& 
       classifier_(config.classifier, config.verdict_cache_capacity) {
   config_.faults = config_.faults.clamped();
   config_.mobility = config_.mobility.clamped();
+  config_.mesh = config_.mesh.clamped();
   pathloss_.exponent = 3.2;
   pathloss_.shadowing_sigma_db = 7.0;
 
@@ -68,6 +69,11 @@ NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& 
     // same randomness with mobility on or off.
     mobility_rng_ =
         Rng::substream(config_.seed ^ mobility::kMobilitySeedSalt, net_->id.value());
+  }
+  if (config_.mesh.enabled()) {
+    // Same discipline again for the mesh backhaul: gateway selection and
+    // per-phase link drift draw from their own salted stream.
+    mesh_rng_ = Rng::substream(config_.seed ^ mesh::kMeshSeedSalt, net_->id.value());
   }
 
   aps_.reserve(net_->aps.size());
@@ -96,6 +102,17 @@ NetworkShard::NetworkShard(const deploy::NetworkConfig& net, const ShardConfig& 
   build_clients();
   build_duties_and_peers();
   build_links();
+
+  if (config_.mesh.enabled()) {
+    // Mesh membership draws in AP index order from the dedicated substream.
+    // Index 0 is always a gateway, so a network never loses its last uplink.
+    is_mesh_.assign(aps_.size(), false);
+    for (std::size_t i = 1; i < aps_.size(); ++i) {
+      is_mesh_[i] = mesh_rng_.chance(config_.mesh.mesh_fraction);
+    }
+    mesh_busy_until_us_.assign(aps_.size(), 0);
+    mesh_enqueued_by_hops_.assign(static_cast<std::size_t>(config_.mesh.max_hops) + 1, 0);
+  }
 }
 
 ApRuntime* NetworkShard::find_ap(ApId id) {
@@ -275,10 +292,26 @@ void NetworkShard::build_links() {
 
 void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport& report) {
   report.ap_id = ap.id().value();
+  // Relay fields are per-enqueue outputs; callers reuse one scratch report
+  // across APs, so clear them before any path stamps or frames them.
+  report.mesh_hops = 0;
+  report.mesh_relay_us = 0;
+  const bool mesh_on = config_.mesh.enabled();
+  if (mesh_on && is_mesh_[ap_index_[ap.id().value()]]) {
+    if (!enqueue_via_mesh(ap_index_[ap.id().value()], ap, report)) {
+      // Stranded: the report dies before any tunnel sees it, so the shard
+      // counts it at the drop site (generated + lost_mesh_partition) to
+      // keep the conservation invariant structural.
+      ++mesh_partition_lost_;
+      metrics_.counter("wlm_mesh_partition_lost_total").inc();
+    }
+    return;
+  }
   if (!injector_.enabled()) {
     auto frame = backend::frame_report(report);
     record_enqueue(ap, report.timestamp_us, frame.size());
     ap.tunnel().enqueue(std::move(frame));
+    if (mesh_on) record_mesh_hops(0, 0);
     return;
   }
   // The injector advances this AP's fault clock to the report's timestamp
@@ -290,6 +323,89 @@ void NetworkShard::enqueue_report(ApRuntime& ap, wire::ApReport& report) {
   injector_.on_frame(frame, fault_rng_);
   record_enqueue(ap, report.timestamp_us, frame.size());
   ap.tunnel().enqueue(std::move(frame));
+  if (mesh_on) record_mesh_hops(0, 0);
+}
+
+bool NetworkShard::enqueue_via_mesh(std::size_t idx, ApRuntime& origin,
+                                    wire::ApReport& report) {
+  if (mesh_routes_.empty() || !mesh_routes_[idx].routable) return false;
+  const std::size_t gw_idx = mesh_routes_[idx].gateway;
+  ApRuntime& gw = aps_[gw_idx];
+  if (injector_.enabled()) {
+    // The origin's own fault schedule still fires in time order (reboots,
+    // skyscraper tables) even though its tunnel carries nothing; then the
+    // gateway's clock advances to the report's time — a gateway inside a
+    // WAN outage strands its whole subtree.
+    injector_.on_report(idx, report, origin.tunnel(), fault_rng_);
+    injector_.advance(gw_idx, report.timestamp_us, gw.tunnel());
+    if (injector_.in_outage(gw_idx)) return false;
+  }
+  // Provisional encode sizes the frame before the relay walk: the relay
+  // delay itself rides in the frame, so airtime is computed over the
+  // pre-stamp bytes (the stamp adds a few varint bytes charged to no hop —
+  // the approximation is deterministic, which is the contract that matters).
+  const std::size_t frame_bytes = backend::frame_report(report).size();
+  std::uint32_t hops = 0;
+  std::int64_t cur = report.timestamp_us;
+  std::size_t at = idx;
+  while (!mesh_routes_[at].is_gateway) {
+    const mesh::RouteEntry& r = mesh_routes_[at];
+    // Store-and-forward: each relay radio serializes one frame at a time,
+    // so a frame waits out the radio's previous transmission first.
+    const std::int64_t start = std::max(cur, mesh_busy_until_us_[at]);
+    const std::int64_t done =
+        start +
+        static_cast<std::int64_t>(mesh::hop_airtime_us(frame_bytes, r.next_hop_rx_dbm));
+    mesh_busy_until_us_[at] = done;
+    cur = done;
+    at = r.next_hop;
+    ++hops;
+  }
+  report.mesh_hops = hops;
+  report.mesh_relay_us = static_cast<std::uint64_t>(cur - report.timestamp_us);
+  // Final encode with the relay fields stamped; the frame enters the
+  // GATEWAY's tunnel (ap_id stays the origin, so the store buckets the
+  // report under the AP that generated it).
+  auto frame = backend::frame_report(report);
+  if (injector_.enabled()) injector_.on_frame(frame, fault_rng_);
+  record_enqueue(origin, report.timestamp_us, frame.size());
+  gw.tunnel().enqueue(std::move(frame));
+  record_mesh_hops(hops, report.mesh_relay_us);
+  return true;
+}
+
+void NetworkShard::record_mesh_hops(std::uint32_t hops, std::uint64_t relay_us) {
+  // Ground truth for the hop-count property test, plus the per-hop generated
+  // counter the delivery-vs-hops analysis divides by. Mesh runs only, so the
+  // mesh-off metrics export stays byte-identical to pre-mesh builds.
+  const std::size_t bucket =
+      std::min<std::size_t>(hops, mesh_enqueued_by_hops_.size() - 1);
+  ++mesh_enqueued_by_hops_[bucket];
+  metrics_.counter("wlm_mesh_reports_by_hops_total", hops).inc();
+  if (hops > 0) {
+    metrics_.counter("wlm_mesh_relayed_reports_total").inc();
+    metrics_.counter("wlm_mesh_hops_total").inc(hops);
+    metrics_.counter("wlm_mesh_relay_us_total").inc(relay_us);
+  }
+}
+
+void NetworkShard::mesh_phase_begin() {
+  if (!config_.mesh.enabled()) return;
+  // Shadowing drifts between campaign phases: redraw every directed link's
+  // budget (in links_ order, so substream consumption is schedule-free) and
+  // recompute routes over the drifted graph. Relay radios start the phase
+  // idle.
+  std::vector<mesh::MeshEdge> edges;
+  edges.reserve(links_.size());
+  for (auto& link : links_) {
+    mesh::MeshEdge e;
+    e.from = static_cast<std::uint32_t>(ap_index_[link.from().value()]);
+    e.to = static_cast<std::uint32_t>(ap_index_[link.to().value()]);
+    e.rx_dbm = link.median_rx_dbm() + mesh_rng_.normal(0.0, config_.mesh.drift_sigma_db);
+    edges.push_back(e);
+  }
+  mesh_routes_ = mesh::compute_routes(aps_.size(), is_mesh_, edges, config_.mesh);
+  mesh_busy_until_us_.assign(aps_.size(), 0);
 }
 
 void NetworkShard::record_enqueue(const ApRuntime& ap, std::int64_t t_us,
@@ -435,6 +551,7 @@ std::uint32_t NetworkShard::walk_client_week(MobileClient& entry,
 
 void NetworkShard::run_usage_week(int reports_per_week,
                                   const std::vector<traffic::UpdateSpike>& spikes) {
+  mesh_phase_begin();
   traffic::WorkloadModel workload(epoch(), rng_.fork());
 
   // Per-report-period download multiplier for each OS under the injected
@@ -694,6 +811,7 @@ void NetworkShard::run_usage_week(int reports_per_week,
 }
 
 void NetworkShard::snapshot_clients(SimTime t) {
+  mesh_phase_begin();
   // A real-time snapshot only sees clients currently in a session (the
   // paper's evening snapshot caught ~309 k of the week's 5.58 M clients).
   for (auto& ap : aps_) {
@@ -727,6 +845,7 @@ void NetworkShard::snapshot_clients(SimTime t) {
 }
 
 void NetworkShard::run_mr16_interference(SimTime t) {
+  mesh_phase_begin();
   const double hour = t.hour_of_day();
   const auto& plan = phy::ChannelPlan::us();
   for (auto& ap : aps_) {
@@ -760,6 +879,7 @@ void NetworkShard::run_mr16_interference(SimTime t) {
 }
 
 void NetworkShard::run_mr18_scan(SimTime t, double hour) {
+  mesh_phase_begin();
   const auto scanner = scan::default_mr18_scanner();
   const auto& plan = phy::ChannelPlan::us();
   for (auto& ap : aps_) {
@@ -787,6 +907,7 @@ void NetworkShard::run_mr18_scan(SimTime t, double hour) {
 }
 
 void NetworkShard::run_link_windows(SimTime t) {
+  mesh_phase_begin();
   const double hour = t.hour_of_day();
   for (auto& link : links_) {
     auto& receiver = aps_[ap_index_[link.to().value()]];
@@ -889,6 +1010,16 @@ void NetworkShard::publish_telemetry() {
   metrics_.gauge("wlm_shard_aps", entity).set(static_cast<double>(aps_.size()));
   metrics_.gauge("wlm_shard_clients", entity).set(static_cast<double>(client_count_));
   metrics_.gauge("wlm_shard_mesh_links", entity).set(static_cast<double>(links_.size()));
+  if (config_.mesh.enabled()) {
+    // Published only on mesh runs, so the mesh-off export stays byte-
+    // identical to pre-mesh builds. Entity 0 + additive merge, like the
+    // other ledger gauges.
+    metrics_.gauge("wlm_ledger_lost_mesh_partition")
+        .set(static_cast<double>(ledger.lost_mesh_partition));
+    std::uint64_t mesh_aps = 0;
+    for (std::size_t i = 0; i < is_mesh_.size(); ++i) mesh_aps += is_mesh_[i] ? 1 : 0;
+    metrics_.gauge("wlm_mesh_aps", entity).set(static_cast<double>(mesh_aps));
+  }
 }
 
 fault::LossLedger NetworkShard::loss_ledger() const {
@@ -905,6 +1036,10 @@ fault::LossLedger NetworkShard::loss_ledger() const {
   const auto& ps = poller_.stats();
   ledger.delivered = ps.reports_stored;
   ledger.lost_corruption = ps.corrupt_frames + ps.malformed_reports;
+  // Partition-stranded reports never reach a tunnel; the shard counted them
+  // at the drop site, so conservation closes with the mesh bucket.
+  ledger.generated += mesh_partition_lost_;
+  ledger.lost_mesh_partition = mesh_partition_lost_;
   return ledger;
 }
 

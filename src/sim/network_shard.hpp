@@ -22,6 +22,7 @@
 #include "fault/injector.hpp"
 #include "fault/loss_ledger.hpp"
 #include "mac/association.hpp"
+#include "mac/mesh.hpp"
 #include "mobility/mobility.hpp"
 #include "sim/ap.hpp"
 #include "sim/link.hpp"
@@ -58,6 +59,12 @@ struct ShardConfig {
   /// mobility draws come from a dedicated substream (kMobilitySeedSalt),
   /// so mobility-off output is byte-identical to pre-mobility builds.
   mobility::MobilityConfig mobility;
+  /// Mesh backhaul knobs. Disabled (mesh_fraction == 0, the default) keeps
+  /// every AP on a WAN uplink and consumes zero extra campaign randomness —
+  /// mesh draws (gateway selection, per-phase link drift) come from a
+  /// dedicated substream (mesh::kMeshSeedSalt), so mesh-off output is
+  /// byte-identical to pre-mesh builds.
+  mesh::MeshConfig mesh;
 };
 
 /// How harvest treats tunnels that are down when the week ends.
@@ -145,6 +152,40 @@ class NetworkShard {
   [[nodiscard]] const std::vector<ClientTrace>& mobility_traces() const {
     return mobility_traces_;
   }
+  // --- mesh backhaul (empty/zero unless config.mesh.enabled()) ---
+  [[nodiscard]] bool mesh_enabled() const { return config_.mesh.enabled(); }
+  /// Mesh draw stream (gateway selection, per-phase link drift). A sibling
+  /// of the campaign stream under mesh::kMeshSeedSalt; checkpoints capture
+  /// it when mesh is enabled.
+  [[nodiscard]] Rng& mesh_rng() { return mesh_rng_; }
+  /// Which APs (by aps_ index) have no WAN uplink. Drawn once at
+  /// construction from mesh_rng_; index 0 is always a gateway.
+  [[nodiscard]] const std::vector<bool>& mesh_membership() const { return is_mesh_; }
+  /// Current routing table, aps_-indexed. Recomputed at every campaign
+  /// phase boundary as shadowing drifts; mutable for checkpoint restore.
+  [[nodiscard]] std::vector<mesh::RouteEntry>& mesh_routes() { return mesh_routes_; }
+  [[nodiscard]] const std::vector<mesh::RouteEntry>& mesh_routes() const {
+    return mesh_routes_;
+  }
+  /// Per-AP relay-radio busy horizon (store-and-forward queueing state);
+  /// mutable for checkpoint restore.
+  [[nodiscard]] std::vector<std::int64_t>& mesh_busy_until_us() {
+    return mesh_busy_until_us_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& mesh_busy_until_us() const {
+    return mesh_busy_until_us_;
+  }
+  /// Reports stranded by a down relay path (gateway outage or no route).
+  [[nodiscard]] std::uint64_t mesh_partition_lost() const { return mesh_partition_lost_; }
+  /// Exact overwrite for checkpoint restore (partition drops are shard
+  /// campaign state, invisible to tunnels and poller).
+  void restore_mesh_partition_lost(std::uint64_t n) { mesh_partition_lost_ = n; }
+  /// Ground truth for the hop-count property test: reports enqueued per hop
+  /// count (index 0 = direct/wired), counted at tunnel-enqueue time. Test
+  /// state only — never serialized.
+  [[nodiscard]] const std::vector<std::uint64_t>& mesh_enqueued_by_hops() const {
+    return mesh_enqueued_by_hops_;
+  }
   [[nodiscard]] std::size_t client_count() const { return client_count_; }
   [[nodiscard]] ApRuntime* find_ap(ApId id);
   /// Shard-confined telemetry sinks: the poller and injector write here too.
@@ -205,8 +246,16 @@ class NetworkShard {
   /// Mobility draws (waypoints, occupancy, walk shadowing). A sibling of
   /// the campaign stream, so mobility never consumes campaign randomness.
   Rng mobility_rng_;
+  /// Mesh draws (gateway selection, per-phase link drift). A sibling of the
+  /// campaign stream, so mesh never consumes campaign randomness.
+  Rng mesh_rng_;
   std::vector<std::vector<MobileClient>> mobility_roster_;
   std::vector<ClientTrace> mobility_traces_;
+  std::vector<bool> is_mesh_;
+  std::vector<mesh::RouteEntry> mesh_routes_;
+  std::vector<std::int64_t> mesh_busy_until_us_;
+  std::uint64_t mesh_partition_lost_ = 0;
+  std::vector<std::uint64_t> mesh_enqueued_by_hops_;
   fault::FaultInjector injector_;
   phy::PathLossModel pathloss_;
   std::vector<ApRuntime> aps_;
@@ -251,8 +300,22 @@ class NetworkShard {
                            std::vector<mac::BssCandidate>& out);
   /// Frames and queues one report. The report is read (and, with faults
   /// enabled, mutated by the injector) but never consumed, so callers can
-  /// reuse one scratch report across calls.
+  /// reuse one scratch report across calls. On a WAN-less AP the frame is
+  /// relayed hop by hop into its gateway's tunnel; a down relay path
+  /// (gateway outage, no route) strands the report in lost_mesh_partition.
   void enqueue_report(ApRuntime& ap, wire::ApReport& report);
+  /// Relay path for a mesh AP's report: walks the route accumulating
+  /// store-and-forward airtime + queueing, stamps mesh_hops/mesh_relay_us,
+  /// and enqueues into the gateway's tunnel (ap_id stays the origin).
+  /// Returns false when the relay path is down — the report is stranded.
+  bool enqueue_via_mesh(std::size_t idx, ApRuntime& origin, wire::ApReport& report);
+  /// Folds one successful enqueue into the hop histogram and the per-hop
+  /// wlm_mesh_* counters (mesh runs only).
+  void record_mesh_hops(std::uint32_t hops, std::uint64_t relay_us);
+  /// Campaign phase boundary: redraws per-link shadowing drift from
+  /// mesh_rng_, recomputes the routing table over the drifted link budget
+  /// graph, and resets the relay queue horizons. No-op when mesh is off.
+  void mesh_phase_begin();
   void record_enqueue(const ApRuntime& ap, std::int64_t t_us, std::size_t frame_bytes);
   /// Refreshes the ledger and shard gauges from current state (set, not
   /// add: calling it twice must not double-count).

@@ -91,6 +91,11 @@ enum class ColumnId : std::uint8_t {
   kClientBand = 32,
   kClientRssi = 33,
   kClientOs = 34,
+  // Mesh backhaul accounting (per report). Emitted only when some report in
+  // the segment actually relayed, so non-mesh segments seal byte-identically
+  // to readers/writers that predate the columns.
+  kMeshHops = 35,
+  kMeshRelayUs = 36,
 };
 
 /// Per-block payload encodings. Integer columns pick whichever of

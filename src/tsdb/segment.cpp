@@ -223,6 +223,9 @@ void SegmentWriter::add(const wire::ApReport& report) {
   n_nbr_.push_back(report.neighbors.size());
   n_link_.push_back(report.links.size());
   n_client_.push_back(report.clients.size());
+  mesh_hops_.push_back(report.mesh_hops);
+  mesh_relay_us_.push_back(report.mesh_relay_us);
+  if (report.mesh_hops != 0) any_mesh_ = true;
   for (const auto& u : report.usage) {
     usage_client_.push_back(u.client.to_u64());
     usage_app_.push_back(u.app_id);
@@ -321,6 +324,10 @@ std::vector<std::uint8_t> SegmentWriter::seal() {
   emit(best_u64_block(ColumnId::kClientBand, client_band_));
   emit(f64_block(ColumnId::kClientRssi, client_rssi_));
   emit(best_u64_block(ColumnId::kClientOs, client_os_));
+  if (any_mesh_) {
+    emit(best_u64_block(ColumnId::kMeshHops, mesh_hops_));
+    emit(best_u64_block(ColumnId::kMeshRelayUs, mesh_relay_us_));
+  }
 
   std::vector<std::uint8_t> out;
   out.reserve(64);
@@ -704,6 +711,25 @@ Error cross_check(const Parsed& p) {
       if (auto err = require_rows(child, total, g.what)) return err;
     }
   }
+  // Mesh columns are optional (absent for non-mesh segments) but must be
+  // per-report-shaped and travel as a pair when present — a lone column is
+  // tampering, and resume byte-identity depends on both surviving.
+  {
+    const bool has_hops = p.ints.count(ColumnId::kMeshHops) != 0;
+    const bool has_relay = p.ints.count(ColumnId::kMeshRelayUs) != 0;
+    if (has_hops != has_relay) {
+      return {Status::kBadCount, "mesh columns must both be present or absent"};
+    }
+    if (has_hops) {
+      if (auto err = require_rows(ColumnId::kMeshHops, hdr.n_reports, "mesh hops column")) {
+        return err;
+      }
+      if (auto err = require_rows(ColumnId::kMeshRelayUs, hdr.n_reports,
+                                  "mesh relay column")) {
+        return err;
+      }
+    }
+  }
   // Dictionary references must resolve.
   const std::size_t dict_size = p.col(ColumnId::kMacDict).size();
   for (const ColumnId id :
@@ -778,12 +804,19 @@ Error SegmentReader::for_each(std::span<const std::uint8_t> bytes,
   const auto& aps = p.col(ColumnId::kApId);
   const auto& ts = p.col(ColumnId::kTimestamp);
   const auto& fw = p.col(ColumnId::kFirmware);
+  // Optional mesh columns: cross_check guarantees n_reports rows when present.
+  const auto& mesh_hops = p.col(ColumnId::kMeshHops);
+  const auto& mesh_relay = p.col(ColumnId::kMeshRelayUs);
   std::size_t u = 0, c = 0, n = 0, l = 0, s = 0;  // child cursors
   for (std::uint64_t r = 0; r < p.hdr.n_reports; ++r) {
     wire::ApReport report;
     report.ap_id = static_cast<std::uint32_t>(aps[r]);
     report.timestamp_us = static_cast<std::int64_t>(ts[r]);
     report.firmware = static_cast<std::uint32_t>(fw[r]);
+    if (!mesh_hops.empty()) {
+      report.mesh_hops = static_cast<std::uint32_t>(mesh_hops[r]);
+      report.mesh_relay_us = mesh_relay[r];
+    }
     const std::uint64_t nu = p.col(ColumnId::kUsageCount)[r];
     report.usage.reserve(nu);
     for (std::uint64_t i = 0; i < nu; ++i, ++u) {

@@ -48,6 +48,11 @@ class SegmentWriter {
   std::vector<std::uint64_t> ap_ids_, firmware_;
   std::vector<std::int64_t> timestamps_;
   std::vector<std::uint64_t> n_usage_, n_util_, n_nbr_, n_link_, n_client_;
+  // Mesh backhaul columns ride along but seal only when any report relayed
+  // (any_mesh_), keeping non-mesh segments byte-identical to the pre-mesh
+  // format.
+  std::vector<std::uint64_t> mesh_hops_, mesh_relay_us_;
+  bool any_mesh_ = false;
   // Child-row columns (MACs raw here; dict-indexed at seal).
   std::vector<std::uint64_t> usage_client_, usage_app_, usage_tx_, usage_rx_;
   std::vector<std::uint64_t> util_band_, util_cycle_, util_busy_, util_rxf_, util_tx_;

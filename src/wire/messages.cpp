@@ -18,6 +18,10 @@ constexpr std::uint32_t kFUtilization = 5;
 constexpr std::uint32_t kFNeighbor = 6;
 constexpr std::uint32_t kFLink = 7;
 constexpr std::uint32_t kFClient = 8;
+// Mesh backhaul accounting (appended; emitted only when nonzero so wired
+// reports keep their historical bytes).
+constexpr std::uint32_t kFMeshHops = 9;
+constexpr std::uint32_t kFMeshRelayUs = 10;
 
 // --- specialized hot-row codecs -------------------------------------------
 //
@@ -332,6 +336,10 @@ void encode_report_into(const ApReport& report, Encoder& e) {
     e.add_message(kFLink, child);
   }
   for (const auto& c : report.clients) encode_client_into(c, e);
+  if (report.mesh_hops != 0) {
+    e.add_uint(kFMeshHops, report.mesh_hops);
+    e.add_uint(kFMeshRelayUs, report.mesh_relay_us);
+  }
 }
 
 std::vector<std::uint8_t> encode_report(const ApReport& report) {
@@ -386,6 +394,12 @@ std::optional<ApReport> decode_report_generic(std::span<const std::uint8_t> data
         r.clients.push_back(*c);
         break;
       }
+      case kFMeshHops:
+        r.mesh_hops = static_cast<std::uint32_t>(f->as_uint());
+        break;
+      case kFMeshRelayUs:
+        r.mesh_relay_us = f->as_uint();
+        break;
       default:
         break;  // unknown field from newer firmware: skip
     }
@@ -547,6 +561,16 @@ std::optional<ApReport> decode_report(std::span<const std::uint8_t> data) {
         p += v;
         continue;
       }
+      case tag_byte(kFMeshHops, WireType::kVarint):
+        p = parse_varint(p, end, v);
+        if (p == nullptr) return decode_report_generic(data);
+        r.mesh_hops = static_cast<std::uint32_t>(v);
+        continue;
+      case tag_byte(kFMeshRelayUs, WireType::kVarint):
+        p = parse_varint(p, end, v);
+        if (p == nullptr) return decode_report_generic(data);
+        r.mesh_relay_us = v;
+        continue;
       default:
         return decode_report_generic(data);
     }

@@ -90,6 +90,12 @@ struct ApReport {
   std::vector<NeighborBss> neighbors;
   std::vector<LinkProbeWindow> links;
   std::vector<ClientSnapshot> clients;
+  /// Mesh backhaul hops this report traversed to reach a gateway AP, and
+  /// the relay delay (queueing + airtime) those hops added. Both stay 0 on
+  /// wired APs and are omitted from the wire entirely when 0, so non-mesh
+  /// reports encode byte-identically to firmware that predates the fields.
+  std::uint32_t mesh_hops = 0;
+  std::uint64_t mesh_relay_us = 0;
 
   bool operator==(const ApReport&) const = default;
 };

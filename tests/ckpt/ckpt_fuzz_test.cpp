@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "ckpt/campaign.hpp"
@@ -382,6 +383,240 @@ TEST(CkptFuzz, OutOfRangeMobilityKnobsInConfigSectionFailTyped) {
     ckpt::RestoredCampaign out;
     const auto err = ckpt::restore_campaign(w.finish(), 1, out);
     EXPECT_TRUE(err) << "out-of-range mobility knob restored successfully";
+    EXPECT_EQ(out.runner, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v6 mesh-block adversarial vectors. Shard sections now end with the mesh
+// backhaul state (mesh rng, the phase's routing table, per-AP relay busy
+// horizons, partition-drop count); the routing table is the juicy target —
+// a dangling next-hop index would be an out-of-bounds read at relay time,
+// a self-loop an infinite relay walk — so every such lie must die in the
+// loader, CRC honesty notwithstanding.
+
+sim::WorldConfig mesh_fuzz_config() {
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 3;
+  config.fleet.seed = 31;
+  config.seed = 32;
+  config.client_scale = 0.2;
+  config.mesh.mesh_fraction = 0.6;
+  return config;
+}
+
+std::unique_ptr<sim::FleetRunner> run_mesh_campaign() {
+  auto runner = std::make_unique<sim::FleetRunner>(mesh_fuzz_config());
+  runner->run_usage_week();
+  runner->harvest();
+  return runner;
+}
+
+std::vector<std::uint8_t> save_mesh_campaign(sim::FleetRunner& runner) {
+  ckpt::CampaignProgress progress;
+  progress.label = "fuzz-mesh";
+  progress.phases_done = {"usage_week", "harvest"};
+  return ckpt::save_campaign(runner, progress);
+}
+
+std::vector<std::uint8_t> valid_mesh_checkpoint() {
+  return save_mesh_campaign(*run_mesh_campaign());
+}
+
+TEST(CkptFuzz, TruncatedMeshTailFailsTyped) {
+  // The mesh block is the last thing in each shard section; every cut depth
+  // through it (CRC re-stamped over the shorter payload) must land in the
+  // loader's bounds checks, never past the cursor.
+  const auto valid = valid_mesh_checkpoint();
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    for (std::size_t cut = 1; cut <= 512; ++cut) {
+      const auto mutated = with_shard_payload(
+          valid, shard, [&](std::vector<std::uint8_t>& payload) {
+            payload.resize(payload.size() - std::min(cut, payload.size()));
+          });
+      ckpt::RestoredCampaign out;
+      const auto err = ckpt::restore_campaign(mutated, 1, out);
+      EXPECT_TRUE(err) << "shard " << shard << " mesh tail cut of " << cut
+                       << " bytes restored successfully";
+      EXPECT_EQ(out.runner, nullptr);
+    }
+  }
+}
+
+TEST(CkptFuzz, MeshTailTamperWithRecomputedCrcFailsTyped) {
+  // Random byte lies in the mesh tail — routing-table varints, busy
+  // horizons, the partition count. Either the restore succeeds (the flip
+  // produced an equally-valid value, e.g. a different partition count) or
+  // it fails typed; it must never crash or leak a half-built runner.
+  const auto valid = valid_mesh_checkpoint();
+  Rng rng(106);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t shard = rng.next_u64() % 3;
+    const auto mutated = with_shard_payload(
+        valid, shard, [&](std::vector<std::uint8_t>& payload) {
+          const std::size_t tail = std::min<std::size_t>(payload.size(), 400);
+          const std::size_t pos = payload.size() - 1 - rng.next_u64() % tail;
+          payload[pos] ^= static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+        });
+    expect_typed_outcome(mutated);
+  }
+}
+
+TEST(CkptFuzz, PoisonedRoutingTableEntriesFailTyped) {
+  // Surgical routing-table lies with an honest CRC: serialize a live
+  // campaign whose in-memory routing table has been poisoned, then demand
+  // the loader reject it. Covers the three classic relay-time disasters —
+  // dangling AP index, self-loop, hop-count overflow — plus a gateway
+  // mismatch against the deterministically rebuilt membership and a
+  // negative relay busy horizon.
+  struct Poison {
+    const char* name;
+    std::function<bool(sim::NetworkShard&)> apply;  // false = no target entry
+  };
+  const std::vector<Poison> poisons = {
+      {"dangling next_hop", [](sim::NetworkShard& shard) {
+         for (auto& r : shard.mesh_routes()) {
+           if (!r.is_gateway && r.routable) { r.next_hop = 60'000; return true; }
+         }
+         return false;
+       }},
+      {"self-loop next_hop", [](sim::NetworkShard& shard) {
+         auto& routes = shard.mesh_routes();
+         for (std::size_t i = 0; i < routes.size(); ++i) {
+           if (!routes[i].is_gateway && routes[i].routable) {
+             routes[i].next_hop = static_cast<std::uint32_t>(i);
+             return true;
+           }
+         }
+         return false;
+       }},
+      {"hop-count overflow", [](sim::NetworkShard& shard) {
+         for (auto& r : shard.mesh_routes()) {
+           if (!r.is_gateway && r.routable) { r.hop_count = 1'000'000; return true; }
+         }
+         return false;
+       }},
+      {"path ends at a mesh AP", [](sim::NetworkShard& shard) {
+         auto& routes = shard.mesh_routes();
+         std::uint32_t mesh_ap = 0;
+         bool found = false;
+         for (std::size_t i = 0; i < routes.size(); ++i) {
+           if (!routes[i].is_gateway) { mesh_ap = static_cast<std::uint32_t>(i); found = true; break; }
+         }
+         if (!found) return false;
+         for (auto& r : routes) {
+           if (!r.is_gateway && r.routable) { r.gateway = mesh_ap; return true; }
+         }
+         return false;
+       }},
+      {"gateway flag contradicts membership", [](sim::NetworkShard& shard) {
+         for (auto& r : shard.mesh_routes()) {
+           if (!r.is_gateway) { r.is_gateway = true; return true; }
+         }
+         return false;
+       }},
+      {"negative busy horizon", [](sim::NetworkShard& shard) {
+         auto& busy = shard.mesh_busy_until_us();
+         if (busy.empty()) return false;
+         busy[0] = -5;
+         return true;
+       }},
+  };
+
+  for (const auto& poison : poisons) {
+    const auto runner = run_mesh_campaign();
+    bool applied = false;
+    for (const auto& shard : runner->shards()) {
+      if (poison.apply(*shard)) { applied = true; break; }
+    }
+    ASSERT_TRUE(applied) << poison.name << ": no entry to poison at this scale";
+    ckpt::RestoredCampaign out;
+    const auto err = ckpt::restore_campaign(save_mesh_campaign(*runner), 1, out);
+    EXPECT_TRUE(err) << poison.name << " restored successfully";
+    EXPECT_EQ(out.runner, nullptr) << poison.name;
+  }
+}
+
+TEST(CkptFuzz, MeshEnabledBitMismatchFailsClosed) {
+  // A mesh checkpoint resumed into a mesh-off scenario (or the reverse)
+  // would drop or invent relay state; both directions fail kBadConfig.
+  const auto swap_config = [](const std::vector<std::uint8_t>& bytes,
+                              const sim::WorldConfig& other) {
+    ckpt::Reader r;
+    EXPECT_FALSE(r.load(bytes));
+    ckpt::Writer w;
+    for (const auto& section : r.sections()) {
+      if (section.tag == ckpt::SectionTag::kConfig) {
+        ckpt::Buf b;
+        ckpt::save_world_config(b, other);
+        w.add_section(ckpt::SectionTag::kConfig, b.take());
+      } else {
+        w.add_section(section.tag, {section.payload.begin(), section.payload.end()});
+      }
+    }
+    return w.finish();
+  };
+
+  {
+    // Saved with mesh on, config says off.
+    sim::WorldConfig off = mesh_fuzz_config();
+    off.mesh.mesh_fraction = 0.0;
+    ckpt::RestoredCampaign out;
+    const auto err =
+        ckpt::restore_campaign(swap_config(valid_mesh_checkpoint(), off), 1, out);
+    EXPECT_EQ(err.status, ckpt::Status::kBadConfig) << err.detail;
+    EXPECT_EQ(out.runner, nullptr);
+  }
+  {
+    // Saved with mesh off, config claims on: the shard sections carry no
+    // relay state for the rebuilt topology to restore from.
+    sim::WorldConfig on = mesh_fuzz_config();
+    // valid_checkpoint() runs a faulted, mesh-off scenario; mirror it.
+    on.faults.outage_rate_per_week = 2.0;
+    on.faults.outage_mean_hours = 8.0;
+    on.faults.corrupt_probability = 0.02;
+    ckpt::RestoredCampaign out;
+    const auto err = ckpt::restore_campaign(swap_config(valid_checkpoint(), on), 1, out);
+    EXPECT_TRUE(err) << "mesh-off checkpoint restored into a mesh-on world";
+    EXPECT_EQ(out.runner, nullptr);
+  }
+}
+
+TEST(CkptFuzz, OutOfRangeMeshKnobsInConfigSectionFailTyped) {
+  // The loader validates every mesh knob against the same ranges
+  // MeshConfig::clamped() enforces; a hostile config section claiming a
+  // 1.5 mesh fraction or 40 hops must not construct a world.
+  const auto valid = valid_mesh_checkpoint();
+  ckpt::Reader r;
+  ASSERT_FALSE(r.load(valid));
+
+  const std::vector<std::function<void(mesh::MeshConfig&)>> cases = {
+      [](mesh::MeshConfig& m) { m.mesh_fraction = 1.5; },
+      [](mesh::MeshConfig& m) { m.mesh_fraction = -0.1; },
+      [](mesh::MeshConfig& m) { m.max_hops = 0; },
+      [](mesh::MeshConfig& m) { m.max_hops = 40; },
+      [](mesh::MeshConfig& m) { m.relay_floor_dbm = -200.0; },
+      [](mesh::MeshConfig& m) { m.relay_floor_dbm = 0.0; },
+      [](mesh::MeshConfig& m) { m.drift_sigma_db = -1.0; },
+      [](mesh::MeshConfig& m) { m.drift_sigma_db = 100.0; },
+  };
+  for (const auto& poison : cases) {
+    sim::WorldConfig other = mesh_fuzz_config();
+    poison(other.mesh);
+    ckpt::Writer w;
+    for (const auto& section : r.sections()) {
+      if (section.tag == ckpt::SectionTag::kConfig) {
+        ckpt::Buf b;
+        ckpt::save_world_config(b, other);
+        w.add_section(ckpt::SectionTag::kConfig, b.take());
+      } else {
+        w.add_section(section.tag, {section.payload.begin(), section.payload.end()});
+      }
+    }
+    ckpt::RestoredCampaign out;
+    const auto err = ckpt::restore_campaign(w.finish(), 1, out);
+    EXPECT_TRUE(err) << "out-of-range mesh knob restored successfully";
     EXPECT_EQ(out.runner, nullptr);
   }
 }

@@ -49,6 +49,19 @@ sim::WorldConfig mobile_e2e_config(int threads) {
   return config;
 }
 
+// Same campaign relaying over multi-hop mesh backhaul: checkpoints now
+// carry the v6 shard mesh block (mesh rng, the phase's drifted routing
+// table, per-AP relay busy horizons, partition-drop count) and the resume
+// must relay the remaining phases over the identical topology. The fault
+// mix keeps gateway outages in play, so lost_mesh_partition accounting
+// crosses the cut too.
+sim::WorldConfig mesh_e2e_config(int threads) {
+  sim::WorldConfig config = e2e_config(threads);
+  config.mesh.mesh_fraction = 0.5;
+  config.mesh.drift_sigma_db = 3.0;
+  return config;
+}
+
 // The campaign script: the same four phases wlmctl simulate runs.
 constexpr const char* kPhases[] = {"usage_week", "mr16", "link_windows", "harvest"};
 
@@ -264,6 +277,74 @@ TEST(ResumeE2E, MobilityCheckpointBytesIndependentOfJobs) {
       reference = std::move(bytes);
     } else {
       EXPECT_EQ(bytes, reference) << "mobility checkpoint differs at --jobs " << jobs;
+    }
+  }
+}
+
+TEST(ResumeE2E, MeshSigkilledCampaignResumesByteIdentical) {
+  // The mesh variant of the SIGKILL test: the checkpoint cuts mid-campaign
+  // between route recomputations, so it must carry the drifted routing
+  // tables, the relay busy horizons, and the partition-drop count; the
+  // resumed run replays the remaining phases over the same topology and
+  // must match a never-killed mesh campaign at any --jobs split.
+  const std::string path = "resume_mesh_" + std::to_string(::getpid()) + ".wlmckpt";
+  std::remove(path.c_str());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    sim::FleetRunner runner(mesh_e2e_config(2));
+    ckpt::CampaignProgress progress;
+    progress.label = "sigkill-mesh";
+    runner.run_usage_week();
+    progress.phases_done.emplace_back("usage_week");
+    runner.run_mr16_interference(SimTime::epoch() + Duration::hours(14));
+    progress.phases_done.emplace_back("mr16");
+    if (ckpt::save_campaign_file(path, runner, progress)) _exit(3);
+    ::raise(SIGKILL);
+    _exit(4);  // unreachable
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of dying by signal";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const Outputs reference = [&] {
+    sim::FleetRunner runner(mesh_e2e_config(1));
+    for (const char* phase : kPhases) run_phase(runner, phase, sim::HarvestMode::kFinal);
+    return outputs_of(runner);
+  }();
+  for (const int jobs : {1, 8}) {
+    SCOPED_TRACE("resume jobs=" + std::to_string(jobs));
+    ckpt::RestoredCampaign restored;
+    const auto err = ckpt::restore_campaign_file(path, jobs, restored);
+    ASSERT_FALSE(err) << err.detail;
+    EXPECT_EQ(restored.progress.label, "sigkill-mesh");
+    for (std::size_t i = restored.progress.phases_done.size(); i < std::size(kPhases);
+         ++i) {
+      run_phase(*restored.runner, kPhases[i], sim::HarvestMode::kFinal);
+    }
+    EXPECT_EQ(outputs_of(*restored.runner), reference);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResumeE2E, MeshCheckpointBytesIndependentOfJobs) {
+  // The v6 mesh block serializes per-shard in network order, so the
+  // checkpoint bytes — not just the resumed outputs — must be identical
+  // whatever worker count produced them.
+  std::vector<std::uint8_t> reference;
+  for (const int jobs : {1, 2, 8}) {
+    sim::FleetRunner runner(mesh_e2e_config(jobs));
+    run_phase(runner, "usage_week", sim::HarvestMode::kFinal);
+    ckpt::CampaignProgress progress;
+    progress.phases_done = {"usage_week"};
+    auto bytes = ckpt::save_campaign(runner, progress);
+    if (reference.empty()) {
+      reference = std::move(bytes);
+    } else {
+      EXPECT_EQ(bytes, reference) << "mesh checkpoint differs at --jobs " << jobs;
     }
   }
 }

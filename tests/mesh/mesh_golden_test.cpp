@@ -1,0 +1,98 @@
+// Mesh scenario pack, golden renders.
+//
+// Pins the two hop-count artifacts — delivery ratio and relay delay vs hop
+// count — at the same reference scale the scorecard and mobility goldens
+// use (12 networks, seed 2015). Any change to the routing layer, the relay
+// cost model, the wire/tsdb mesh fields, or the renderers that shifts a
+// byte fails here and forces a deliberate update:
+//
+//   WLM_REGEN_GOLDEN=1 ctest -R MeshGolden   # rewrite the goldens
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/experiments.hpp"
+
+#ifndef WLM_GOLDEN_DIR
+#error "WLM_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace wlm {
+namespace {
+
+analysis::ScenarioScale golden_scale() {
+  analysis::ScenarioScale scale;
+  scale.networks = 12;
+  scale.seed = 2015;
+  scale.threads = 2;  // goldens must not depend on this; determinism pins it
+  // Deep relay trees: a high mesh fraction leaves few gateways per site, so
+  // the hop-count tables cover more than the trivial 0/1 rows.
+  scale.mesh.mesh_fraction = 0.75;
+  scale.mesh.drift_sigma_db = 3.0;
+  // A strict relay floor prunes the weak long direct edges, forcing the
+  // far APs through intermediate relays — the tables then cover hops >= 2.
+  scale.mesh.relay_floor_dbm = -70.0;
+  return scale;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(WLM_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char chunk[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) out.append(chunk, n);
+  std::fclose(f);
+  return true;
+}
+
+void check_golden(const std::string& name, const std::string& rendered) {
+  const std::string path = golden_path(name);
+  if (std::getenv("WLM_REGEN_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::string expected;
+  ASSERT_TRUE(read_file(path, expected))
+      << path << " missing — run with WLM_REGEN_GOLDEN=1 to create it";
+  if (rendered != expected) {
+    std::size_t line = 1, pos = 0;
+    const std::size_t limit = std::min(rendered.size(), expected.size());
+    while (pos < limit && rendered[pos] == expected[pos]) {
+      if (rendered[pos] == '\n') ++line;
+      ++pos;
+    }
+    FAIL() << name << " drifted from its golden at line " << line
+           << " (byte " << pos << "). If the change is intentional, rerun with "
+           << "WLM_REGEN_GOLDEN=1 and commit the new golden.";
+  }
+}
+
+// One campaign feeds both renders; the fixture runs it once.
+class MeshGolden : public ::testing::Test {
+ protected:
+  static const analysis::MeshRun& run() {
+    static const analysis::MeshRun r = analysis::run_mesh_study(golden_scale());
+    return r;
+  }
+};
+
+TEST_F(MeshGolden, DeliveryVsHopCount) {
+  check_golden("meshdelivery", analysis::render_mesh_delivery(run()));
+}
+
+TEST_F(MeshGolden, DelayVsHopCount) {
+  check_golden("meshdelay", analysis::render_mesh_delay(run()));
+}
+
+}  // namespace
+}  // namespace wlm

@@ -1,0 +1,185 @@
+// wlm::mesh routing layer: the pure-function contract of compute_routes
+// (hop-minimal multi-source BFS with strongest-rx tie-breaking) and the
+// deterministic relay cost model behind per-hop airtime accounting.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "mac/mesh.hpp"
+
+namespace wlm::mesh {
+namespace {
+
+MeshConfig config_on() {
+  MeshConfig c;
+  c.mesh_fraction = 0.5;
+  return c;
+}
+
+/// Bidirectional edge helper — real link budgets are symmetric here.
+void link(std::vector<MeshEdge>& edges, std::uint32_t a, std::uint32_t b,
+          double rx_dbm) {
+  edges.push_back({a, b, rx_dbm});
+  edges.push_back({b, a, rx_dbm});
+}
+
+TEST(MeshRouting, GatewaysRouteToThemselvesWithZeroHops) {
+  const std::vector<bool> is_mesh{false, false, false};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 1, -50.0);
+  link(edges, 1, 2, -50.0);
+  const auto routes = compute_routes(3, is_mesh, edges, config_on());
+  ASSERT_EQ(routes.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(routes[i].is_gateway);
+    EXPECT_TRUE(routes[i].routable);
+    EXPECT_EQ(routes[i].next_hop, i);
+    EXPECT_EQ(routes[i].gateway, i);
+    EXPECT_EQ(routes[i].hop_count, 0u);
+  }
+}
+
+TEST(MeshRouting, ChainRoutesWithIncreasingHopCounts) {
+  // 0(gw) - 1 - 2 - 3: a pure relay chain.
+  const std::vector<bool> is_mesh{false, true, true, true};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 1, -60.0);
+  link(edges, 1, 2, -62.0);
+  link(edges, 2, 3, -64.0);
+  const auto routes = compute_routes(4, is_mesh, edges, config_on());
+  EXPECT_EQ(routes[1].hop_count, 1u);
+  EXPECT_EQ(routes[1].next_hop, 0u);
+  EXPECT_EQ(routes[2].hop_count, 2u);
+  EXPECT_EQ(routes[2].next_hop, 1u);
+  EXPECT_EQ(routes[3].hop_count, 3u);
+  EXPECT_EQ(routes[3].next_hop, 2u);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(routes[i].is_gateway);
+    EXPECT_TRUE(routes[i].routable);
+    EXPECT_EQ(routes[i].gateway, 0u);
+  }
+}
+
+TEST(MeshRouting, HopMinimalPathWinsOverStrongerLongPath) {
+  // 2 can reach gateway 0 directly (-80) or via 1 with two strong hops;
+  // BFS is hop-minimal, so the weak direct edge wins.
+  const std::vector<bool> is_mesh{false, true, true};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 2, -80.0);
+  link(edges, 0, 1, -50.0);
+  link(edges, 1, 2, -50.0);
+  const auto routes = compute_routes(3, is_mesh, edges, config_on());
+  EXPECT_EQ(routes[2].hop_count, 1u);
+  EXPECT_EQ(routes[2].next_hop, 0u);
+}
+
+TEST(MeshRouting, EqualHopTieBreaksByStrongestRxThenLowestIndex) {
+  // 3 reaches gateways 0 and 1 in one hop each; the stronger edge (to 1)
+  // must win the tie.
+  {
+    const std::vector<bool> is_mesh{false, false, false, true};
+    std::vector<MeshEdge> edges;
+    link(edges, 0, 3, -70.0);
+    link(edges, 1, 3, -55.0);
+    const auto routes = compute_routes(4, is_mesh, edges, config_on());
+    EXPECT_EQ(routes[3].next_hop, 1u);
+    EXPECT_EQ(routes[3].gateway, 1u);
+  }
+  {
+    // Exactly equal rx: lowest next-hop index wins, deterministically.
+    const std::vector<bool> is_mesh{false, false, false, true};
+    std::vector<MeshEdge> edges;
+    link(edges, 0, 3, -60.0);
+    link(edges, 1, 3, -60.0);
+    const auto routes = compute_routes(4, is_mesh, edges, config_on());
+    EXPECT_EQ(routes[3].next_hop, 0u);
+  }
+}
+
+TEST(MeshRouting, EdgesBelowRelayFloorAreNotUsable) {
+  MeshConfig config = config_on();
+  config.relay_floor_dbm = -88.0;
+  const std::vector<bool> is_mesh{false, true};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 1, -92.0);  // below the floor: not a usable relay edge
+  const auto routes = compute_routes(2, is_mesh, edges, config);
+  EXPECT_FALSE(routes[1].routable);
+  EXPECT_EQ(routes[1].next_hop, 1u);  // unroutable APs self-point
+  EXPECT_EQ(routes[1].hop_count, 0u);
+}
+
+TEST(MeshRouting, BeyondMaxHopsIsPartitioned) {
+  MeshConfig config = config_on();
+  config.max_hops = 2;
+  const std::vector<bool> is_mesh{false, true, true, true};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 1, -60.0);
+  link(edges, 1, 2, -60.0);
+  link(edges, 2, 3, -60.0);
+  const auto routes = compute_routes(4, is_mesh, edges, config);
+  EXPECT_TRUE(routes[1].routable);
+  EXPECT_TRUE(routes[2].routable);
+  EXPECT_FALSE(routes[3].routable) << "3 hops out with max_hops=2";
+}
+
+TEST(MeshRouting, DisconnectedMeshApIsPartitioned) {
+  const std::vector<bool> is_mesh{false, true, true};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 1, -60.0);  // 2 has no edges at all
+  const auto routes = compute_routes(3, is_mesh, edges, config_on());
+  EXPECT_TRUE(routes[1].routable);
+  EXPECT_FALSE(routes[2].routable);
+}
+
+TEST(MeshRouting, PureFunctionIsDeterministic) {
+  const std::vector<bool> is_mesh{false, true, true, true, false, true};
+  std::vector<MeshEdge> edges;
+  link(edges, 0, 1, -55.0);
+  link(edges, 1, 2, -65.0);
+  link(edges, 2, 3, -58.0);
+  link(edges, 4, 5, -62.0);
+  link(edges, 1, 5, -80.0);
+  const auto a = compute_routes(6, is_mesh, edges, config_on());
+  const auto b = compute_routes(6, is_mesh, edges, config_on());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MeshCostModel, WeakerLinksAreSlowerAndRetryMore) {
+  EXPECT_GE(relay_rate_mbps(-50.0), relay_rate_mbps(-70.0));
+  EXPECT_GE(relay_rate_mbps(-70.0), relay_rate_mbps(-85.0));
+  EXPECT_LE(relay_attempts(-50.0), relay_attempts(-85.0));
+  EXPECT_GE(relay_attempts(-50.0), 1);
+  // Airtime is monotone in frame size and link weakness.
+  EXPECT_LT(hop_airtime_us(200, -50.0), hop_airtime_us(2000, -50.0));
+  EXPECT_LE(hop_airtime_us(1000, -50.0), hop_airtime_us(1000, -85.0));
+  EXPECT_GT(hop_airtime_us(0, -50.0), 0u);  // fixed MAC overhead never free
+}
+
+TEST(MeshConfigClamp, DegradesEveryKnobToLegalRanges) {
+  MeshConfig c;
+  c.mesh_fraction = 1.7;
+  c.max_hops = 0;
+  c.relay_floor_dbm = -300.0;
+  c.drift_sigma_db = -4.0;
+  const MeshConfig k = c.clamped();
+  EXPECT_LE(k.mesh_fraction, 0.95);
+  EXPECT_GE(k.max_hops, 1);
+  EXPECT_LE(k.max_hops, 16);
+  EXPECT_GE(k.relay_floor_dbm, -100.0);
+  EXPECT_LE(k.relay_floor_dbm, -40.0);
+  EXPECT_GE(k.drift_sigma_db, 0.0);
+  const MeshConfig nan_case = [] {
+    MeshConfig m;
+    m.mesh_fraction = std::numeric_limits<double>::quiet_NaN();
+    m.drift_sigma_db = std::numeric_limits<double>::quiet_NaN();
+    return m.clamped();
+  }();
+  EXPECT_GE(nan_case.mesh_fraction, 0.0);
+  EXPECT_LE(nan_case.mesh_fraction, 0.95);
+  EXPECT_GE(nan_case.drift_sigma_db, 0.0);
+  EXPECT_FALSE(MeshConfig{}.enabled());
+}
+
+}  // namespace
+}  // namespace wlm::mesh

@@ -463,6 +463,138 @@ TEST_P(SeededProperty, LossLedgerConservesUnderRoamingChurn) {
   }
 }
 
+TEST_P(SeededProperty, LossLedgerConservesUnderMeshPartition) {
+  // Mesh backhaul adds a new way to lose work — a partitioned relay subtree
+  // (no route within max_hops, or a gateway mid-outage) drops reports
+  // before they ever reach a tunnel — and the ledger's lost_mesh_partition
+  // bucket must keep conservation closed through it, stacked with tunnel
+  // faults and failpoint supervision, bit-identically across worker counts.
+  // The seed sweeps hop budgets, drift, and a mid-week shard failure.
+  const std::uint64_t seed = GetParam();
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 4;
+  config.fleet.seed = seed * 5 + 31;
+  config.seed = seed * 7 + 32;
+  config.client_scale = 0.25;
+  config.mesh.mesh_fraction = 0.6;
+  config.mesh.max_hops = (seed % 2 == 0) ? 8 : 2;
+  config.mesh.drift_sigma_db = (seed % 3 == 0) ? 0.0 : 4.0;
+  // Long outages against a dense mesh: when one lands on a gateway AP its
+  // whole relay subtree strands into lost_mesh_partition.
+  config.faults.outage_rate_per_week = 3.0;
+  config.faults.outage_mean_hours = 24.0;
+  config.faults.reboot_rate_per_week = 1.0;
+  config.faults.corrupt_probability = 0.01;
+  config.faults.tunnel_queue_limit = 64;
+  config.supervision.max_shard_retries = 1;
+  config.supervision.capture_checkpoints = true;
+
+  const bool inject = (seed % 2) == 1;
+  std::string spec;
+  if (inject) {
+    const std::uint64_t victim = [&] {
+      const sim::FleetRunner probe(config);
+      return probe.shards().at(static_cast<std::size_t>(seed % 4))->id().value();
+    }();
+    spec = "site=shard.step,net=" + std::to_string(victim) +
+           ",action=throw,after=1,times=1";
+  }
+
+  std::string baseline;
+  for (const int jobs : {1, 2, 8}) {
+    if (inject) {
+      failsafe::failpoints().disarm_all();
+      ASSERT_TRUE(failsafe::failpoints().arm_list(spec)) << spec;
+    }
+    config.threads = jobs;
+    sim::FleetRunner runner(config);
+    runner.run_usage_week();
+    runner.harvest(sim::HarvestMode::kFinal);
+    failsafe::failpoints().disarm_all();
+
+    const auto ledger = runner.loss_ledger();
+    EXPECT_TRUE(ledger.conserved())
+        << "seed=" << seed << " jobs=" << jobs << "\n" << ledger.render();
+    if (!runner.supervisor().degraded()) {
+      // The hot-path partition counter must agree with the ledger bucket
+      // (a quarantined shard's registry leaves the merge, so only clean
+      // runs can make this comparison).
+      EXPECT_EQ(runner.metrics().counter_value("wlm_mesh_partition_lost_total"),
+                ledger.lost_mesh_partition)
+          << "seed=" << seed << " jobs=" << jobs;
+    }
+    if (jobs == 1) {
+      baseline = ledger.render();
+    } else {
+      EXPECT_EQ(ledger.render(), baseline) << "seed=" << seed << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST_P(SeededProperty, MeshHopHistogramMatchesBackendObservation) {
+  // Ground truth: the hop distribution the backend decodes from delivered
+  // reports must equal the union of the shards' enqueue-time histograms,
+  // and the wlm_mesh_* counters must re-derive from the same reports. The
+  // config is fault-free so every enqueued report is delivered — any gap
+  // between the two views is a wire/tsdb/relay accounting bug, not loss.
+  // (Topology can still strand APs — disconnected or beyond max_hops — so
+  // partition loss is reconciled against the ledger, not assumed zero.)
+  const std::uint64_t seed = GetParam();
+  sim::WorldConfig config;
+  config.fleet.epoch = deploy::Epoch::kJan2015;
+  config.fleet.network_count = 4;
+  config.fleet.seed = seed + 3015;
+  config.seed = seed + 3016;
+  config.client_scale = 0.25;
+  config.threads = 2;
+  config.mesh.mesh_fraction = 0.5;
+  config.mesh.drift_sigma_db = 3.0;
+
+  sim::FleetRunner runner(config);
+  runner.run_usage_week(7);
+  runner.harvest(sim::HarvestMode::kFinal);
+
+  std::vector<std::uint64_t> truth;
+  for (const auto& shard : runner.shards()) {
+    const auto& hist = shard->mesh_enqueued_by_hops();
+    if (hist.size() > truth.size()) truth.resize(hist.size(), 0);
+    for (std::size_t h = 0; h < hist.size(); ++h) truth[h] += hist[h];
+  }
+  ASSERT_FALSE(truth.empty());
+
+  std::vector<std::uint64_t> observed(truth.size(), 0);
+  std::uint64_t relayed = 0, hops_total = 0, relay_us_total = 0;
+  runner.reports().for_each([&](const wire::ApReport& r) {
+    if (r.mesh_hops >= observed.size()) {
+      ADD_FAILURE() << "hop count " << r.mesh_hops << " beyond the config budget";
+      return;
+    }
+    ++observed[r.mesh_hops];
+    if (r.mesh_hops != 0) {
+      ++relayed;
+      hops_total += r.mesh_hops;
+      relay_us_total += r.mesh_relay_us;
+    } else {
+      EXPECT_EQ(r.mesh_relay_us, 0u);  // direct reports carry no relay delay
+    }
+  });
+  EXPECT_EQ(observed, truth) << "seed=" << seed;
+
+  const auto& metrics = runner.metrics();
+  for (std::size_t h = 0; h < truth.size(); ++h) {
+    EXPECT_EQ(metrics.counter_value("wlm_mesh_reports_by_hops_total", h), truth[h])
+        << "seed=" << seed << " hops=" << h;
+  }
+  EXPECT_EQ(metrics.counter_value("wlm_mesh_relayed_reports_total"), relayed);
+  EXPECT_EQ(metrics.counter_value("wlm_mesh_hops_total"), hops_total);
+  EXPECT_EQ(metrics.counter_value("wlm_mesh_relay_us_total"), relay_us_total);
+  const auto ledger = runner.loss_ledger();
+  EXPECT_TRUE(ledger.conserved()) << ledger.render();
+  EXPECT_EQ(metrics.counter_value("wlm_mesh_partition_lost_total"),
+            ledger.lost_mesh_partition);
+}
+
 TEST_P(SeededProperty, BackendApCountMatchesGroundTruthTraces) {
   // The backend's per-MAC ap_count (paper §2.3: aggregate by MAC to account
   // for roaming) must equal the distinct APs in the client's ground-truth

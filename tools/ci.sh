@@ -361,6 +361,53 @@ mobility_smoke() {
 }
 mobility_smoke
 
+# Mesh (multi-hop backhaul) smoke: the relay routing + per-hop accounting
+# path through the shipped wlmctl wiring (the tier-1 `mesh` label proves it
+# in-process). A mesh campaign must be byte-identical at any --jobs, a
+# gateway-outage scenario must complete with a reconciled ledger (wlmctl
+# stats exits nonzero otherwise) AND actually strand reports — a topology
+# where nothing partitions would pass every determinism check while testing
+# nothing — and the hop-count artifact must render relayed traffic.
+mesh_smoke() {
+  echo "=== mesh (multi-hop backhaul) smoke ==="
+  local dir="build/mesh-smoke"
+  rm -rf "${dir}" && mkdir -p "${dir}"
+  local flags=(--networks 8 --seed 7 --mesh-fraction 0.5)
+
+  for jobs in 1 2 8; do
+    ./build/tools/wlmctl simulate "${flags[@]}" --jobs "${jobs}" \
+      > "${dir}/sim-j${jobs}.out"
+  done
+  for jobs in 2 8; do
+    cmp "${dir}/sim-j1.out" "${dir}/sim-j${jobs}.out" || {
+      echo "mesh smoke: mesh campaign output differs at --jobs ${jobs}" >&2
+      exit 1
+    }
+  done
+
+  # Gateway outages strand relay subtrees; stats exits nonzero unless the
+  # telemetry counters reconcile with the loss ledger, partition bucket
+  # included.
+  ./build/tools/wlmctl stats --networks 8 --seed 7 --mesh-fraction 0.6 \
+    --jobs 2 --faults "outage_rate=3,outage_hours=40" > "${dir}/stats.out" || {
+    echo "mesh smoke: telemetry/ledger reconciliation failed under gateway outages" >&2
+    exit 1
+  }
+  grep -Eq "^wlm_mesh_partition_lost_total [1-9]" "${dir}/stats.out" || {
+    echo "mesh smoke: the gateway-outage scenario never stranded a subtree" >&2
+    exit 1
+  }
+
+  ./build/tools/wlmctl report meshdelivery --networks 6 --seed 7 --jobs 2 \
+    > "${dir}/delivery.out"
+  grep -q "relayed reports" "${dir}/delivery.out" || {
+    echo "mesh smoke: meshdelivery artifact lacks the relay summary" >&2
+    exit 1
+  }
+  echo "mesh smoke: jobs byte-identical, outage ledger reconciles with stranding, artifact renders"
+}
+mesh_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   # Sanitizer builds skip the `slow` and `perf` labels (fork-based e2e,
   # golden replays, and the PER-mode fleet-identity gates): the instrumented
@@ -370,9 +417,11 @@ if [[ "${1:-}" != "--fast" ]]; then
   # NOT excluded, so both sanitizer lanes sweep the mutated-packet
   # corpus and the 100k-flow oracle diff on every run. Likewise `tsdb`
   # (segment format roundtrip + the adversarial truncation/bit-flip/tamper
-  # corpus) and `mobility` (walk determinism, handoff boundaries, mobility
-  # golden renders): their tests are fast and written to be ASan/UBSan-clean,
-  # so both sanitizer lanes pick them up automatically.
+  # corpus), `mobility` (walk determinism, handoff boundaries, mobility
+  # golden renders), and `mesh` (relay routing purity, jobs byte-identity,
+  # gateway-outage stranding, hop-count goldens, the v6 checkpoint fuzz
+  # corpus): their tests are fast and written to be ASan/UBSan-clean, so
+  # both sanitizer lanes pick them up automatically.
   run_suite build-asan "-LE slow|perf" -DWLM_SANITIZE=address
   run_suite build-tsan "-LE slow|perf" -DWLM_SANITIZE=thread
 fi

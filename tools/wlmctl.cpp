@@ -24,6 +24,7 @@
 #include "analysis/export.hpp"
 #include "backend/health.hpp"
 #include "ckpt/campaign.hpp"
+#include "cli/parse.hpp"
 #include "failsafe/failpoint.hpp"
 #include "failsafe/supervisor.hpp"
 #include "fault/spec.hpp"
@@ -42,34 +43,34 @@ struct Args {
   /// Set when any option failed to parse; commands bail with exit code 2.
   mutable bool bad = false;
 
+  // Both getters go through cli::parse_* — the strict whitelist parsers —
+  // so every numeric flag uniformly rejects NaN/inf spellings, hex, empty
+  // values, trailing junk, and overflow. strtod's permissiveness once let
+  // `--roam-prob nan` through ([0,1] range checks pass NaN), silently
+  // running a different scenario than asked.
   [[nodiscard]] int get_int(const std::string& name, int fallback) const {
     const auto it = options.find(name);
     if (it == options.end()) return fallback;
-    char* end = nullptr;
-    errno = 0;
-    const long v = std::strtol(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE || v < INT_MIN ||
-        v > INT_MAX) {
+    const auto v = cli::parse_int(it->second, INT_MIN, INT_MAX);
+    if (!v) {
       std::fprintf(stderr, "wlmctl: --%s expects an integer, got '%s'\n", name.c_str(),
                    it->second.c_str());
       bad = true;
       return fallback;
     }
-    return static_cast<int>(v);
+    return static_cast<int>(*v);
   }
   [[nodiscard]] double get_double(const std::string& name, double fallback) const {
     const auto it = options.find(name);
     if (it == options.end()) return fallback;
-    char* end = nullptr;
-    errno = 0;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
-      std::fprintf(stderr, "wlmctl: --%s expects a number, got '%s'\n", name.c_str(),
-                   it->second.c_str());
+    const auto v = cli::parse_double(it->second);
+    if (!v) {
+      std::fprintf(stderr, "wlmctl: --%s expects a finite number, got '%s'\n",
+                   name.c_str(), it->second.c_str());
       bad = true;
       return fallback;
     }
-    return v;
+    return *v;
   }
 };
 
@@ -191,6 +192,45 @@ bool apply_mobility(const Args& args, mobility::MobilityConfig& mobility) {
   return true;
 }
 
+/// Applies the shared mesh backhaul flags (--mesh-fraction F,
+/// --mesh-max-hops N, --mesh-floor-dbm D, --mesh-drift-db D) to a
+/// MeshConfig; returns false on a bad value. Same policy as mobility:
+/// MeshConfig::clamped() exists for programmatic callers, but a typo'd CLI
+/// flag must fail, not silently run a different scenario.
+bool apply_mesh(const Args& args, mesh::MeshConfig& mesh) {
+  const double fraction = args.get_double("mesh-fraction", mesh.mesh_fraction);
+  if (args.bad) return false;
+  if (fraction < 0.0 || fraction > 0.95) {
+    std::fprintf(stderr, "wlmctl: --mesh-fraction must be in [0,0.95] (got %g)\n",
+                 fraction);
+    return false;
+  }
+  mesh.mesh_fraction = fraction;
+  const int hops = args.get_int("mesh-max-hops", mesh.max_hops);
+  if (args.bad) return false;
+  if (hops < 1 || hops > 16) {
+    std::fprintf(stderr, "wlmctl: --mesh-max-hops must be in [1,16] (got %d)\n", hops);
+    return false;
+  }
+  mesh.max_hops = hops;
+  const double floor = args.get_double("mesh-floor-dbm", mesh.relay_floor_dbm);
+  if (args.bad) return false;
+  if (floor < -100.0 || floor > -40.0) {
+    std::fprintf(stderr, "wlmctl: --mesh-floor-dbm must be in [-100,-40] (got %g)\n",
+                 floor);
+    return false;
+  }
+  mesh.relay_floor_dbm = floor;
+  const double drift = args.get_double("mesh-drift-db", mesh.drift_sigma_db);
+  if (args.bad) return false;
+  if (drift < 0.0 || drift > 10.0) {
+    std::fprintf(stderr, "wlmctl: --mesh-drift-db must be in [0,10] (got %g)\n", drift);
+    return false;
+  }
+  mesh.drift_sigma_db = drift;
+  return true;
+}
+
 /// Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 campaign finished
 /// degraded (shards quarantined — partial but accounted results), 4 resume
 /// I/O failure (checkpoint missing/unreadable).
@@ -279,6 +319,7 @@ std::optional<sim::WorldConfig> world_config(const Args& args) {
     return std::nullopt;
   }
   if (!apply_mobility(args, config.mobility)) return std::nullopt;
+  if (!apply_mesh(args, config.mesh)) return std::nullopt;
   return config;
 }
 
@@ -469,6 +510,7 @@ int cmd_report(const Args& args) {
   if (!apply_per_mode(args, scale)) return 2;
   if (!apply_mem_ceiling(args, scale.mem_ceiling_mb, scale.spill_dir)) return 2;
   if (!apply_mobility(args, scale.mobility)) return 2;
+  if (!apply_mesh(args, scale.mesh)) return 2;
   const std::string& what = args.positional[0];
 
   if (what == "table2") {
@@ -513,6 +555,14 @@ int cmd_report(const Args& args) {
     if (what == "roamcdf") std::fputs(analysis::render_roam_cdf(run).c_str(), stdout);
     if (what == "apvisits") std::fputs(analysis::render_ap_visits(run).c_str(), stdout);
     if (what == "sticky") std::fputs(analysis::render_sticky_clients(run).c_str(), stdout);
+  } else if (what == "meshdelivery" || what == "meshdelay") {
+    // The mesh studies force a nonzero mesh fraction; --mesh-fraction and
+    // the other knobs shape the backhaul.
+    const auto run = analysis::run_mesh_study(scale);
+    if (what == "meshdelivery") {
+      std::fputs(analysis::render_mesh_delivery(run).c_str(), stdout);
+    }
+    if (what == "meshdelay") std::fputs(analysis::render_mesh_delay(run).c_str(), stdout);
   } else {
     std::fprintf(stderr, "unknown artifact '%s'\n", what.c_str());
     return 2;
@@ -622,15 +672,24 @@ int cmd_stats(const Args& args) {
         ledger.in_flight);
   check("wlm_ledger_lost_supervision",
         metrics.gauge_value("wlm_ledger_lost_supervision"), ledger.lost_supervision);
+  if (ledger.lost_mesh_partition != 0 ||
+      metrics.gauge_value("wlm_ledger_lost_mesh_partition") != 0.0) {
+    check("wlm_ledger_lost_mesh_partition",
+          metrics.gauge_value("wlm_ledger_lost_mesh_partition"),
+          ledger.lost_mesh_partition);
+  }
   const bool degraded = world.runner().supervisor().degraded();
   if (!degraded) {
     // These hot-path counters reflect work as it happened; a quarantined
     // shard's registry is excluded from the merge while the ledger
     // reattributes its work to lost_supervision, so the comparison is only
-    // meaningful for fully harvested fleets.
+    // meaningful for fully harvested fleets. Partition-stranded mesh
+    // reports never reach the enqueue counter (they drop before the
+    // tunnel), so the ledger's generated total exceeds it by exactly that
+    // bucket.
     check("wlm_sim_reports_enqueued_total",
           static_cast<double>(metrics.counter_value("wlm_sim_reports_enqueued_total")),
-          ledger.generated);
+          ledger.generated - ledger.lost_mesh_partition);
     check("wlm_poller_reports_stored_total",
           static_cast<double>(metrics.counter_value("wlm_poller_reports_stored_total")),
           ledger.delivered);
@@ -753,15 +812,20 @@ int usage() {
                "            [--shard-deadline SIM_HOURS] [--metrics-out FILE]\n"
                "            [--mobility on|off] [--roam-prob P] [--mobility-speed M]\n"
                "            [--mobility-steps N]\n"
+               "            [--mesh-fraction F] [--mesh-max-hops N] [--mesh-floor-dbm D]\n"
+               "            [--mesh-drift-db D]\n"
                "            phases: usage_week, mr16, link_windows, harvest. A resume\n"
                "            replays only unfinished phases; its output is byte-identical\n"
                "            to an uninterrupted run at any --jobs\n"
-               "  report    <table2..table7|fig1..fig11|roamcdf|apvisits|sticky>\n"
+               "  report    <table2..table7|fig1..fig11|roamcdf|apvisits|sticky\n"
+               "             |meshdelivery|meshdelay>\n"
                "            [--networks N] [--scale paper]\n"
                "            [--seed S] [--jobs N] [--per-mode reference|table]\n"
                "            [--mem-ceiling-mb MB] [--spill-dir DIR]\n"
                "            [--roam-prob P] [--mobility-speed M] [--mobility-steps N]\n"
                "            roamcdf/apvisits/sticky run a mobility-enabled usage week\n"
+               "            meshdelivery/meshdelay run a mesh-enabled usage week and\n"
+               "            render delivery ratio / relay delay vs hop count\n"
                "  health    [--networks N] [--flap F] [--faults SPEC] [--jobs N]\n"
                "  pcap      <path> [--flows N] [--seed S]\n"
                "  export    <dir> [--networks N] [--scale paper] [--seed S] [--jobs N]\n"
@@ -778,6 +842,13 @@ int usage() {
                "segments at phase boundaries and spill to --spill-dir when resident\n"
                "segment bytes press M/4. Output is byte-identical for any fixed\n"
                "ceiling, spilled or not (0 = classic hold-until-final harvest).\n"
+               "\n"
+               "--mesh-fraction F makes that fraction of each network's APs WAN-less:\n"
+               "they relay report batches over multi-hop paths to gateway APs (AP 0 is\n"
+               "always a gateway). Routes recompute at campaign phase boundaries as\n"
+               "shadowing drifts (--mesh-drift-db); APs beyond --mesh-max-hops of every\n"
+               "gateway are partitioned and their reports land in lost_mesh_partition.\n"
+               "A gateway outage strands its whole relay subtree the same way.\n"
                "\n"
                "--faults SPEC is comma-separated key=value pairs; keys: flap, outage_rate,\n"
                "outage_hours, reboot_rate, fw_wave, fw_hour, corrupt, oom_threshold,\n"
